@@ -1,0 +1,401 @@
+//! Assignment results and the PDL (percentage of dynamic links) metric.
+
+use crate::model::CapModel;
+use std::collections::BTreeSet;
+
+/// A controller assignment: one controller group per switch.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_assign::Assignment;
+///
+/// let a = Assignment::from_groups(vec![vec![0, 1], vec![1, 2]], 3);
+/// assert_eq!(a.used_count(), 3);
+/// assert_eq!(a.total_links(), 4);
+/// assert!(a.contains(0, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    groups: Vec<BTreeSet<usize>>,
+    n_controllers: usize,
+}
+
+/// A violated CAP constraint, reported by [`Assignment::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintViolation {
+    /// C1.1: a switch's group is smaller than `B_i`.
+    GroupTooSmall {
+        /// The under-covered switch.
+        switch: usize,
+        /// Required group size.
+        required: usize,
+        /// Actual group size.
+        actual: usize,
+    },
+    /// C1.2: a controller's load exceeds its capacity.
+    OverCapacity {
+        /// The overloaded controller.
+        controller: usize,
+    },
+    /// C1.3: an assigned pair exceeds `D_c,s`.
+    CsDelayExceeded {
+        /// The switch of the offending link.
+        switch: usize,
+        /// The controller of the offending link.
+        controller: usize,
+    },
+    /// C1.4: two co-assigned controllers exceed `D_c,c`.
+    CcDelayExceeded {
+        /// The switch whose group is incompatible.
+        switch: usize,
+        /// First controller of the incompatible pair.
+        a: usize,
+        /// Second controller of the incompatible pair.
+        b: usize,
+    },
+    /// C2.5: an excluded (byzantine) controller is used.
+    ExcludedUsed {
+        /// The excluded controller.
+        controller: usize,
+    },
+    /// C2.6: a pinned leader is missing from its switch's group.
+    LeaderMissing {
+        /// The switch whose leader pin is violated.
+        switch: usize,
+        /// The pinned leader.
+        leader: usize,
+    },
+}
+
+impl core::fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConstraintViolation::GroupTooSmall { switch, required, actual } => write!(
+                f,
+                "switch {switch}: group size {actual} below required {required}"
+            ),
+            ConstraintViolation::OverCapacity { controller } => {
+                write!(f, "controller {controller} over capacity")
+            }
+            ConstraintViolation::CsDelayExceeded { switch, controller } => {
+                write!(f, "link ({switch},{controller}) exceeds D_c,s")
+            }
+            ConstraintViolation::CcDelayExceeded { switch, a, b } => {
+                write!(f, "switch {switch}: controllers {a},{b} exceed D_c,c")
+            }
+            ConstraintViolation::ExcludedUsed { controller } => {
+                write!(f, "excluded controller {controller} in use")
+            }
+            ConstraintViolation::LeaderMissing { switch, leader } => {
+                write!(f, "switch {switch}: pinned leader {leader} missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+impl Assignment {
+    /// Builds an assignment from per-switch controller lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any controller index is `>= n_controllers`.
+    pub fn from_groups(groups: Vec<Vec<usize>>, n_controllers: usize) -> Self {
+        let groups: Vec<BTreeSet<usize>> = groups
+            .into_iter()
+            .map(|g| {
+                let set: BTreeSet<usize> = g.into_iter().collect();
+                assert!(
+                    set.iter().all(|&j| j < n_controllers),
+                    "controller index out of range"
+                );
+                set
+            })
+            .collect();
+        Assignment {
+            groups,
+            n_controllers,
+        }
+    }
+
+    /// Number of switches.
+    pub fn n_switches(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of controllers in the universe (not the used count).
+    pub fn n_controllers(&self) -> usize {
+        self.n_controllers
+    }
+
+    /// The controller group of switch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn group(&self, i: usize) -> &BTreeSet<usize> {
+        &self.groups[i]
+    }
+
+    /// Whether controller `j` governs switch `i`.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.groups.get(i).is_some_and(|g| g.contains(&j))
+    }
+
+    /// The set of controllers that govern at least one switch.
+    pub fn used_controllers(&self) -> BTreeSet<usize> {
+        self.groups.iter().flatten().copied().collect()
+    }
+
+    /// Number of controllers in use (`Σ x_j` in the paper's objective).
+    pub fn used_count(&self) -> usize {
+        self.used_controllers().len()
+    }
+
+    /// Total number of controller-switch links (`Σ A_ij`).
+    pub fn total_links(&self) -> usize {
+        self.groups.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Iterates all `(switch, controller)` links.
+    pub fn links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .flat_map(|(i, g)| g.iter().map(move |&j| (i, j)))
+    }
+
+    /// Links removed and added going from `self` to `new`:
+    /// `Σ |A_ij − a_ij|` split into its two parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two assignments have different dimensions.
+    pub fn moves_to(&self, new: &Assignment) -> (usize, usize) {
+        assert_eq!(self.groups.len(), new.groups.len(), "switch count mismatch");
+        let mut removed = 0;
+        let mut added = 0;
+        for (old_g, new_g) in self.groups.iter().zip(&new.groups) {
+            removed += old_g.difference(new_g).count();
+            added += new_g.difference(old_g).count();
+        }
+        (removed, added)
+    }
+
+    /// The paper's PDL metric: `(removed + added) / (old links + added)`.
+    ///
+    /// Example from Section IV-B1: 30 links, 2 removed, 3 added ⇒
+    /// `5 / 33 ≈ 15%`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn pdl_to(&self, new: &Assignment) -> f64 {
+        let (removed, added) = self.moves_to(new);
+        let denom = self.total_links() + added;
+        if denom == 0 {
+            return 0.0;
+        }
+        (removed + added) as f64 / denom as f64
+    }
+
+    /// Verifies every CAP constraint of `model` against this assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConstraintViolation`] found.
+    pub fn check(&self, model: &CapModel) -> Result<(), ConstraintViolation> {
+        for (i, group) in self.groups.iter().enumerate() {
+            if group.len() < model.group_size[i] {
+                return Err(ConstraintViolation::GroupTooSmall {
+                    switch: i,
+                    required: model.group_size[i],
+                    actual: group.len(),
+                });
+            }
+            for &j in group {
+                if model.excluded[j] {
+                    return Err(ConstraintViolation::ExcludedUsed { controller: j });
+                }
+                if model.cs_delay[i][j] > model.max_cs_delay {
+                    return Err(ConstraintViolation::CsDelayExceeded {
+                        switch: i,
+                        controller: j,
+                    });
+                }
+            }
+            for &a in group {
+                for &b in group {
+                    if a < b && !model.compatible(a, b) {
+                        return Err(ConstraintViolation::CcDelayExceeded { switch: i, a, b });
+                    }
+                }
+            }
+            if let Some(leader) = model.leader_pins[i] {
+                if !group.contains(&leader) {
+                    return Err(ConstraintViolation::LeaderMissing { switch: i, leader });
+                }
+            }
+        }
+        // C1.2: capacity.
+        let mut used: Vec<u64> = vec![0; self.n_controllers];
+        for (i, group) in self.groups.iter().enumerate() {
+            for &j in group {
+                used[j] += model.load[i] as u64;
+            }
+        }
+        for (j, &u) in used.iter().enumerate() {
+            if u > model.capacity[j] as u64 {
+                return Err(ConstraintViolation::OverCapacity { controller: j });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_switch() -> Assignment {
+        Assignment::from_groups(vec![vec![0, 1], vec![1, 2]], 4)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let a = two_switch();
+        assert_eq!(a.n_switches(), 2);
+        assert_eq!(a.used_count(), 3);
+        assert_eq!(a.total_links(), 4);
+        assert!(a.contains(0, 0));
+        assert!(!a.contains(0, 2));
+        assert_eq!(a.links().count(), 4);
+        assert!(!a.contains(9, 0), "out-of-range switch is simply absent");
+    }
+
+    #[test]
+    fn moves_and_pdl() {
+        let old = two_switch();
+        let new = Assignment::from_groups(vec![vec![0, 3], vec![1, 2]], 4);
+        // removed: (0,1); added: (0,3)
+        assert_eq!(old.moves_to(&new), (1, 1));
+        assert!((old.pdl_to(&new) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdl_paper_example() {
+        // 30 links; remove a controller with 2 links, add one with 3.
+        let old_groups: Vec<Vec<usize>> = (0..30).map(|i| vec![i % 10]).collect();
+        let old = Assignment::from_groups(old_groups, 12);
+        let mut new_groups: Vec<Vec<usize>> = (0..30).map(|i| vec![i % 10]).collect();
+        // Controller 10 replaces controller 0's two appearances at
+        // switches 0 and 10, and additionally joins switch 20.
+        new_groups[0] = vec![10];
+        new_groups[10] = vec![10];
+        new_groups[20] = vec![0, 10];
+        let new = Assignment::from_groups(new_groups, 12);
+        let (removed, added) = old.moves_to(&new);
+        assert_eq!((removed, added), (2, 3));
+        assert!((old.pdl_to(&new) - 5.0 / 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_assignments_have_zero_pdl() {
+        let a = two_switch();
+        assert_eq!(a.pdl_to(&a.clone()), 0.0);
+        assert_eq!(a.moves_to(&a.clone()), (0, 0));
+    }
+
+    #[test]
+    fn check_passes_on_valid() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        assert!(two_switch().check(&m).is_ok());
+    }
+
+    #[test]
+    fn check_catches_small_group() {
+        let m = CapModel::new(2, 4); // default B_i = 4
+        assert!(matches!(
+            two_switch().check(&m),
+            Err(ConstraintViolation::GroupTooSmall { switch: 0, required: 4, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn check_catches_excluded() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        m.exclude(1);
+        assert!(matches!(
+            two_switch().check(&m),
+            Err(ConstraintViolation::ExcludedUsed { controller: 1 })
+        ));
+    }
+
+    #[test]
+    fn check_catches_cs_delay() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        m.set_cs_delay(vec![vec![0.0, 9.0, 0.0, 0.0], vec![0.0; 4]])
+            .set_max_cs_delay(5.0);
+        assert!(matches!(
+            two_switch().check(&m),
+            Err(ConstraintViolation::CsDelayExceeded { switch: 0, controller: 1 })
+        ));
+    }
+
+    #[test]
+    fn check_catches_cc_delay() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        let mut cc = vec![vec![0.0; 4]; 4];
+        cc[0][1] = 9.0;
+        cc[1][0] = 9.0;
+        m.set_cc_delay(cc).set_max_cc_delay(Some(5.0));
+        assert!(matches!(
+            two_switch().check(&m),
+            Err(ConstraintViolation::CcDelayExceeded { switch: 0, a: 0, b: 1 })
+        ));
+    }
+
+    #[test]
+    fn check_catches_capacity() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        m.capacity = vec![1, 0, 1, 1]; // controller 1 has zero capacity
+        assert!(matches!(
+            two_switch().check(&m),
+            Err(ConstraintViolation::OverCapacity { controller: 1 })
+        ));
+    }
+
+    #[test]
+    fn check_catches_missing_leader() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        m.pin_leader(0, 3);
+        assert!(matches!(
+            two_switch().check(&m),
+            Err(ConstraintViolation::LeaderMissing { switch: 0, leader: 3 })
+        ));
+    }
+
+    #[test]
+    fn violation_display_nonempty() {
+        let v = ConstraintViolation::GroupTooSmall {
+            switch: 1,
+            required: 4,
+            actual: 2,
+        };
+        assert!(v.to_string().contains("switch 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_controller_panics() {
+        Assignment::from_groups(vec![vec![5]], 4);
+    }
+}

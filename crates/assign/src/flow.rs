@@ -1,0 +1,242 @@
+//! Minimum-cost maximum-flow, used to solve the assignment subproblem
+//! of the CAP once the set of enabled controllers is fixed.
+//!
+//! The implementation is successive shortest augmenting paths with
+//! SPFA (costs may be negative on original arcs, e.g. "reusing an
+//! existing link is cheaper than adding one" in the LCR objective; the
+//! residual network never develops negative cycles because augmenting
+//! always follows shortest paths).
+
+/// An arc in the flow network.
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    capacity: i64,
+    original_capacity: i64,
+    cost: i64,
+    /// Index of the reverse arc in `to`'s adjacency list.
+    rev: usize,
+}
+
+/// Handle to an arc added with [`MinCostFlow::add_arc`]; lets the caller
+/// read back how much flow the arc carries after [`MinCostFlow::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcId {
+    node: usize,
+    index: usize,
+}
+
+/// A minimum-cost maximum-flow network over `n` nodes.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_assign::flow::MinCostFlow;
+///
+/// // Two parallel unit arcs of costs 5 and 1; the cheap one is used
+/// // first.
+/// let mut net = MinCostFlow::new(2);
+/// net.add_arc(0, 1, 1, 5);
+/// net.add_arc(0, 1, 1, 1);
+/// let (flow, cost) = net.run(0, 1, 1);
+/// assert_eq!((flow, cost), (1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<Arc>>,
+}
+
+impl MinCostFlow {
+    /// Creates an empty network over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed arc `from → to` with the given capacity and
+    /// per-unit cost, returning a handle for flow read-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or capacity is negative.
+    pub fn add_arc(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> ArcId {
+        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(capacity >= 0, "capacity must be non-negative");
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Arc {
+            to,
+            capacity,
+            original_capacity: capacity,
+            cost,
+            rev: rev_from,
+        });
+        self.graph[to].push(Arc {
+            to: from,
+            capacity: 0,
+            original_capacity: 0,
+            cost: -cost,
+            rev: rev_to,
+        });
+        ArcId {
+            node: from,
+            index: rev_to,
+        }
+    }
+
+    /// Sends up to `want` units from `source` to `sink` along
+    /// cheapest paths. Returns `(flow sent, total cost)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink`.
+    pub fn run(&mut self, source: usize, sink: usize, want: i64) -> (i64, i64) {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.graph.len();
+        let mut flow = 0i64;
+        let mut cost = 0i64;
+        while flow < want {
+            // SPFA shortest path on residual costs.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+            dist[source] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(source);
+            in_queue[source] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let du = dist[u];
+                for (i, arc) in self.graph[u].iter().enumerate() {
+                    if arc.capacity > 0 && du + arc.cost < dist[arc.to] {
+                        dist[arc.to] = du + arc.cost;
+                        prev[arc.to] = Some((u, i));
+                        if !in_queue[arc.to] {
+                            queue.push_back(arc.to);
+                            in_queue[arc.to] = true;
+                        }
+                    }
+                }
+            }
+            if dist[sink] == i64::MAX {
+                break; // no augmenting path left
+            }
+            // Find bottleneck.
+            let mut push = want - flow;
+            let mut v = sink;
+            while let Some((u, i)) = prev[v] {
+                push = push.min(self.graph[u][i].capacity);
+                v = u;
+            }
+            // Apply.
+            let mut v = sink;
+            while let Some((u, i)) = prev[v] {
+                let rev = self.graph[u][i].rev;
+                self.graph[u][i].capacity -= push;
+                self.graph[v][rev].capacity += push;
+                v = u;
+            }
+            flow += push;
+            cost += push * dist[sink];
+        }
+        (flow, cost)
+    }
+
+    /// Units of flow currently carried by the arc `id`.
+    pub fn flow_on(&self, id: ArcId) -> i64 {
+        let arc = &self.graph[id.node][id.index];
+        arc.original_capacity - arc.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut net = MinCostFlow::new(3);
+        net.add_arc(0, 1, 4, 2);
+        net.add_arc(1, 2, 4, 3);
+        assert_eq!(net.run(0, 2, 4), (4, 20));
+    }
+
+    #[test]
+    fn capacity_limits_flow() {
+        let mut net = MinCostFlow::new(3);
+        net.add_arc(0, 1, 2, 1);
+        net.add_arc(1, 2, 10, 1);
+        assert_eq!(net.run(0, 2, 5), (2, 4));
+    }
+
+    #[test]
+    fn prefers_cheaper_path() {
+        let mut net = MinCostFlow::new(4);
+        net.add_arc(0, 1, 1, 10);
+        net.add_arc(1, 3, 1, 10);
+        net.add_arc(0, 2, 1, 1);
+        net.add_arc(2, 3, 1, 1);
+        let (flow, cost) = net.run(0, 3, 1);
+        assert_eq!((flow, cost), (1, 2));
+    }
+
+    #[test]
+    fn negative_cost_arcs_supported() {
+        // Reusing an existing link is modelled as cost -1.
+        let mut net = MinCostFlow::new(3);
+        net.add_arc(0, 1, 1, -1);
+        net.add_arc(0, 1, 1, 1);
+        net.add_arc(1, 2, 2, 0);
+        let (flow, cost) = net.run(0, 2, 2);
+        assert_eq!((flow, cost), (2, 0)); // -1 + 1
+    }
+
+    #[test]
+    fn rerouting_through_residual_arcs() {
+        // Classic case where the second augmentation must undo part of
+        // the first.
+        let mut net = MinCostFlow::new(4);
+        net.add_arc(0, 1, 1, 1);
+        net.add_arc(0, 2, 1, 5);
+        net.add_arc(1, 2, 1, 1);
+        net.add_arc(1, 3, 1, 5);
+        net.add_arc(2, 3, 2, 1);
+        let (flow, cost) = net.run(0, 3, 2);
+        assert_eq!(flow, 2);
+        // Optimal: 0-1-2-3 (3) and 0-2... capacity 2-3 is 2: 0-2-3 (6)
+        // => total 9, or 0-1-3 (6) + 0-2-3 (6) = 12; best is 9.
+        assert_eq!(cost, 9);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero_flow() {
+        let mut net = MinCostFlow::new(3);
+        net.add_arc(0, 1, 5, 1);
+        assert_eq!(net.run(0, 2, 3), (0, 0));
+    }
+
+    #[test]
+    fn bipartite_assignment_shape() {
+        // 2 switches each need 1 controller; 2 controllers with 1 slot
+        // each; costs force the cross assignment.
+        // nodes: 0=src, 1..=2 switches, 3..=4 controllers, 5=sink
+        let mut net = MinCostFlow::new(6);
+        net.add_arc(0, 1, 1, 0);
+        net.add_arc(0, 2, 1, 0);
+        net.add_arc(1, 3, 1, 10);
+        net.add_arc(1, 4, 1, 1);
+        net.add_arc(2, 3, 1, 1);
+        net.add_arc(2, 4, 1, 10);
+        net.add_arc(3, 5, 1, 0);
+        net.add_arc(4, 5, 1, 0);
+        let (flow, cost) = net.run(0, 5, 2);
+        assert_eq!((flow, cost), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_sink_panics() {
+        MinCostFlow::new(2).run(1, 1, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Controller-assignment optimisation (the paper's `OP()` solver).
+//!
+//! Curb assigns each switch a controller group by solving the
+//! controller assignment problem (CAP), an 0-1 integer program the
+//! paper hands to the Gurobi optimiser. This crate is the from-scratch
+//! substitute:
+//!
+//! * [`CapModel`] — the CAP instance: group sizes `B_i = 3f + 1`, loads
+//!   `Q_i`, capacities `C_j`, delay matrices and the `D_c,s` / `D_c,c`
+//!   thresholds, byzantine exclusions (`C2.5`) and leader pins (`C2.6`).
+//! * [`solve`] — exact branch-and-bound over controller usage with a
+//!   min-cost-flow assignment subsolver (backtracking when the
+//!   quadratic C2C constraint is active).
+//! * [`Objective::Tcr`] / [`Objective::Lcr`] — the two reassignment
+//!   objectives `[O2]` and `[O3]`.
+//! * [`Assignment`] — result type with the paper's PDL metric
+//!   ([`Assignment::pdl_to`]) and a full constraint checker
+//!   ([`Assignment::check`]).
+//!
+//! # Examples
+//!
+//! ```rust
+//! use curb_assign::{solve, CapModel, Objective, SolveOptions};
+//!
+//! // 4 switches, 8 controllers, tolerate f = 1 per group.
+//! let mut model = CapModel::new(4, 8);
+//! model.set_fault_tolerance(1);
+//! let initial = solve(&model, &SolveOptions::default())?;
+//!
+//! // Controller 0 turns byzantine: reassign with least movement.
+//! model.exclude(0);
+//! let re = solve(&model, &SolveOptions {
+//!     objective: Objective::Lcr,
+//!     previous: Some(initial.assignment.clone()),
+//!     ..SolveOptions::default()
+//! })?;
+//! let pdl = initial.assignment.pdl_to(&re.assignment);
+//! assert!(pdl <= 1.0);
+//! # Ok::<(), curb_assign::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+pub mod flow;
+mod model;
+mod solver;
+
+pub use assignment::{Assignment, ConstraintViolation};
+pub use model::CapModel;
+pub use solver::{solve, Objective, Solution, SolveError, SolveOptions, SolveStats};

@@ -1,0 +1,266 @@
+//! The controller-assignment-problem (CAP) model.
+//!
+//! Mirrors the paper's optimisation programs `[O1/C1.1–C1.4]` (initial
+//! assignment) and `[O2/C2.1–C2.6]` / `[O3]` (reassignment):
+//!
+//! * **C1.1** every switch `i` is governed by at least `B_i = 3f + 1`
+//!   controllers;
+//! * **C1.2** controller `j` carries at most `C_j` load, where switch
+//!   `i` contributes `Q_i`;
+//! * **C1.3** an assigned controller must be within `D_c,s` delay of its
+//!   switch (with binary variables this fixes `A_ij = 0` for far pairs);
+//! * **C1.4** (optional, quadratic) two controllers assigned to the same
+//!   switch must be within `D_c,c` of each other;
+//! * **C2.5** byzantine controllers are excluded entirely;
+//! * **C2.6** group leaders are pinned (`A_ij = 1`).
+
+/// A CAP instance.
+///
+/// Delays are expressed in milliseconds throughout, matching the
+/// paper's `D_c,s` sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapModel {
+    n_switches: usize,
+    n_controllers: usize,
+    /// `B_i`: required group size per switch.
+    pub group_size: Vec<usize>,
+    /// `Q_i`: load each switch puts on each assigned controller.
+    pub load: Vec<u32>,
+    /// `C_j`: total load capacity per controller.
+    pub capacity: Vec<u32>,
+    /// `d_ij` in ms, indexed `[switch][controller]`.
+    pub cs_delay: Vec<Vec<f64>>,
+    /// `d_jj'` in ms, indexed `[controller][controller]`.
+    pub cc_delay: Vec<Vec<f64>>,
+    /// `D_c,s`: max admissible controller-to-switch delay (ms).
+    pub max_cs_delay: f64,
+    /// `D_c,c`: max admissible controller-to-controller delay (ms);
+    /// `None` drops constraint C1.4/C2.4 (as in most of the paper's
+    /// experiments).
+    pub max_cc_delay: Option<f64>,
+    /// `C2.5`: controllers barred from use (byzantine).
+    pub excluded: Vec<bool>,
+    /// `C2.6`: per-switch pinned leader, if the leader constraint is on.
+    pub leader_pins: Vec<Option<usize>>,
+}
+
+impl CapModel {
+    /// Creates an instance with uniform defaults: `B_i = 4` (f = 1),
+    /// `Q_i = 1`, ample capacity, all-zero delays (every pair in range)
+    /// and no exclusions or pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_switches: usize, n_controllers: usize) -> Self {
+        assert!(n_switches > 0 && n_controllers > 0, "dimensions must be positive");
+        CapModel {
+            n_switches,
+            n_controllers,
+            group_size: vec![4; n_switches],
+            load: vec![1; n_switches],
+            capacity: vec![u32::MAX; n_controllers],
+            cs_delay: vec![vec![0.0; n_controllers]; n_switches],
+            cc_delay: vec![vec![0.0; n_controllers]; n_controllers],
+            max_cs_delay: f64::INFINITY,
+            max_cc_delay: None,
+            excluded: vec![false; n_controllers],
+            leader_pins: vec![None; n_switches],
+        }
+    }
+
+    /// Number of switches.
+    pub fn n_switches(&self) -> usize {
+        self.n_switches
+    }
+
+    /// Number of controllers.
+    pub fn n_controllers(&self) -> usize {
+        self.n_controllers
+    }
+
+    /// Sets every switch's group size to `3f + 1`.
+    pub fn set_fault_tolerance(&mut self, f: usize) -> &mut Self {
+        self.group_size = vec![3 * f + 1; self.n_switches];
+        self
+    }
+
+    /// Sets the controller-to-switch delay matrix (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn set_cs_delay(&mut self, d: Vec<Vec<f64>>) -> &mut Self {
+        assert_eq!(d.len(), self.n_switches, "cs_delay rows");
+        assert!(d.iter().all(|r| r.len() == self.n_controllers), "cs_delay cols");
+        self.cs_delay = d;
+        self
+    }
+
+    /// Sets the controller-to-controller delay matrix (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn set_cc_delay(&mut self, d: Vec<Vec<f64>>) -> &mut Self {
+        assert_eq!(d.len(), self.n_controllers, "cc_delay rows");
+        assert!(d.iter().all(|r| r.len() == self.n_controllers), "cc_delay cols");
+        self.cc_delay = d;
+        self
+    }
+
+    /// Sets the `D_c,s` threshold (ms).
+    pub fn set_max_cs_delay(&mut self, d: f64) -> &mut Self {
+        self.max_cs_delay = d;
+        self
+    }
+
+    /// Enables constraint C1.4/C2.4 with threshold `d` (ms), or disables
+    /// it with `None`.
+    pub fn set_max_cc_delay(&mut self, d: Option<f64>) -> &mut Self {
+        self.max_cc_delay = d;
+        self
+    }
+
+    /// Marks controller `j` as byzantine (constraint C2.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn exclude(&mut self, j: usize) -> &mut Self {
+        self.excluded[j] = true;
+        self
+    }
+
+    /// Pins controller `j` as switch `i`'s leader (constraint C2.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, or if `j` is excluded or
+    /// out of `D_c,s` range of `i`.
+    pub fn pin_leader(&mut self, i: usize, j: usize) -> &mut Self {
+        assert!(i < self.n_switches && j < self.n_controllers, "index out of range");
+        assert!(!self.excluded[j], "cannot pin an excluded controller");
+        assert!(
+            self.cs_delay[i][j] <= self.max_cs_delay,
+            "pinned leader violates D_c,s"
+        );
+        self.leader_pins[i] = Some(j);
+        self
+    }
+
+    /// Controllers admissible for switch `i`: not excluded and within
+    /// `D_c,s` (constraint C1.3 as variable fixing).
+    pub fn candidates(&self, i: usize) -> Vec<usize> {
+        (0..self.n_controllers)
+            .filter(|&j| !self.excluded[j] && self.cs_delay[i][j] <= self.max_cs_delay)
+            .collect()
+    }
+
+    /// Whether controllers `j` and `k` may co-govern a switch under the
+    /// C2C constraint.
+    pub fn compatible(&self, j: usize, k: usize) -> bool {
+        match self.max_cc_delay {
+            None => true,
+            Some(d) => j == k || self.cc_delay[j][k] <= d,
+        }
+    }
+
+    /// Whether every switch's load is identical (enables the exact
+    /// flow-based assignment subsolver).
+    pub fn uniform_load(&self) -> bool {
+        self.load.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Cheap necessary feasibility conditions; the solver reports
+    /// definitive infeasibility.
+    pub fn obviously_infeasible(&self) -> bool {
+        (0..self.n_switches).any(|i| {
+            let cands = self.candidates(i);
+            if cands.len() < self.group_size[i] {
+                return true;
+            }
+            match self.leader_pins[i] {
+                Some(l) => !cands.contains(&l),
+                None => false,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_permissive() {
+        let m = CapModel::new(3, 5);
+        assert_eq!(m.candidates(0), vec![0, 1, 2, 3, 4]);
+        assert!(m.compatible(0, 4));
+        assert!(m.uniform_load());
+        assert!(!m.obviously_infeasible());
+    }
+
+    #[test]
+    fn cs_threshold_filters_candidates() {
+        let mut m = CapModel::new(1, 3);
+        m.set_cs_delay(vec![vec![1.0, 5.0, 9.0]])
+            .set_max_cs_delay(5.0);
+        assert_eq!(m.candidates(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn exclusion_filters_candidates() {
+        let mut m = CapModel::new(1, 3);
+        m.exclude(1);
+        assert_eq!(m.candidates(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn cc_threshold_controls_compatibility() {
+        let mut m = CapModel::new(1, 2);
+        m.set_cc_delay(vec![vec![0.0, 7.0], vec![7.0, 0.0]]);
+        assert!(m.compatible(0, 1), "constraint off by default");
+        m.set_max_cc_delay(Some(5.0));
+        assert!(!m.compatible(0, 1));
+        m.set_max_cc_delay(Some(10.0));
+        assert!(m.compatible(0, 1));
+    }
+
+    #[test]
+    fn fault_tolerance_sets_group_size() {
+        let mut m = CapModel::new(2, 16);
+        m.set_fault_tolerance(4);
+        assert_eq!(m.group_size, vec![13, 13]);
+    }
+
+    #[test]
+    fn infeasible_when_too_few_candidates() {
+        let mut m = CapModel::new(1, 3);
+        m.set_fault_tolerance(1); // needs 4 > 3 controllers
+        assert!(m.obviously_infeasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "violates D_c,s")]
+    fn pin_out_of_range_leader_panics() {
+        let mut m = CapModel::new(1, 2);
+        m.set_cs_delay(vec![vec![1.0, 99.0]]).set_max_cs_delay(5.0);
+        m.pin_leader(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "excluded")]
+    fn pin_excluded_leader_panics() {
+        let mut m = CapModel::new(1, 2);
+        m.exclude(1);
+        m.pin_leader(0, 1);
+    }
+
+    #[test]
+    fn non_uniform_load_detected() {
+        let mut m = CapModel::new(2, 4);
+        m.load = vec![1, 3];
+        assert!(!m.uniform_load());
+    }
+}

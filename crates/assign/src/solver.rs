@@ -1,0 +1,922 @@
+//! The OP solver: exact branch-and-bound over controller usage with a
+//! min-cost-flow assignment subsolver.
+//!
+//! This replaces the Gurobi optimiser of the paper's artifact. The
+//! search branches on the usage variables `x_j` (include/exclude a
+//! controller), pruning with a covering lower bound; whenever the
+//! included set can cover every switch, the concrete link assignment
+//! `A_ij` is solved:
+//!
+//! * **exactly, by min-cost flow**, when load is uniform and the
+//!   quadratic C2C constraint is off (the configuration used by most of
+//!   the paper's experiments), or
+//! * **by cost-ordered backtracking** when C1.4/C2.4 is active or load
+//!   is non-uniform — the same regime in which the paper reports the
+//!   large IQCP time overhead.
+
+use crate::assignment::Assignment;
+use crate::flow::MinCostFlow;
+use crate::model::CapModel;
+use std::time::{Duration, Instant};
+
+/// Which objective function the solver minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Trivial controller reassignment `[O2]`: minimise `Σ x_j`.
+    #[default]
+    Tcr,
+    /// Least-movement controller reassignment `[O3]`: minimise
+    /// `Σ x_j + Σ |A_ij − a_ij|` (requires a previous assignment).
+    Lcr,
+}
+
+/// Options controlling a [`solve`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Objective function.
+    pub objective: Objective,
+    /// Previous assignment `a_ij`, required by [`Objective::Lcr`] and
+    /// used for move accounting in either mode.
+    pub previous: Option<Assignment>,
+    /// Branch-and-bound node budget; `0` means the default (2 million).
+    pub node_limit: u64,
+    /// Tie-break seed: permutes equally-attractive branching choices so
+    /// the "random and deterministic" behaviour of the paper's basic
+    /// OP() is reproducible per seed.
+    pub seed: u64,
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes visited.
+    pub nodes: u64,
+    /// Assignment subproblems solved.
+    pub leaf_evals: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// `false` if the node budget was exhausted (best-found returned).
+    pub optimal: bool,
+}
+
+/// A solver result.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The controller groups.
+    pub assignment: Assignment,
+    /// Number of controllers in use.
+    pub used: usize,
+    /// `(removed, added)` links relative to `options.previous`, if one
+    /// was supplied.
+    pub moves: Option<(usize, usize)>,
+    /// The minimised objective value (`used`, plus `removed + added`
+    /// under LCR).
+    pub objective_value: u64,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+/// Errors from [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// [`Objective::Lcr`] was requested without
+    /// [`SolveOptions::previous`].
+    MissingPrevious,
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "no feasible assignment exists"),
+            SolveError::MissingPrevious => {
+                write!(f, "LCR objective requires a previous assignment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves a CAP instance.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] when the constraints admit no
+/// assignment, and [`SolveError::MissingPrevious`] when LCR is requested
+/// without a previous assignment.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_assign::{solve, CapModel, SolveOptions};
+///
+/// let mut model = CapModel::new(4, 6);
+/// model.set_fault_tolerance(1); // groups of 4
+/// let solution = solve(&model, &SolveOptions::default())?;
+/// assert_eq!(solution.used, 4); // 4 controllers can cover everything
+/// assert!(solution.assignment.check(&model).is_ok());
+/// # Ok::<(), curb_assign::SolveError>(())
+/// ```
+pub fn solve(model: &CapModel, options: &SolveOptions) -> Result<Solution, SolveError> {
+    let start = Instant::now();
+    if options.objective == Objective::Lcr && options.previous.is_none() {
+        return Err(SolveError::MissingPrevious);
+    }
+    if model.obviously_infeasible() {
+        return Err(SolveError::Infeasible);
+    }
+    let mut search = Search::new(model, options);
+    search.run();
+    let elapsed = start.elapsed();
+    let stats = SolveStats {
+        nodes: search.nodes,
+        leaf_evals: search.leaf_evals,
+        elapsed,
+        optimal: !search.hit_limit,
+    };
+    match search.best {
+        Some((objective_value, assignment)) => {
+            let used = assignment.used_count();
+            let moves = options.previous.as_ref().map(|p| p.moves_to(&assignment));
+            Ok(Solution {
+                assignment,
+                used,
+                moves,
+                objective_value,
+                stats,
+            })
+        }
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+/// Move-versus-usage weight: O3 weighs one changed link equal to one
+/// used controller.
+const MOVE_WEIGHT: u64 = 1;
+
+struct Search<'a> {
+    model: &'a CapModel,
+    options: &'a SolveOptions,
+    /// Branchable controllers in branching order.
+    order: Vec<usize>,
+    /// Candidate controllers per switch.
+    cands: Vec<Vec<usize>>,
+    /// Switches that list controller `j` as a candidate.
+    covers: Vec<Vec<usize>>,
+    included: Vec<bool>,
+    decided: Vec<bool>,
+    included_count: u64,
+    /// `B_i − pins_i − |included ∩ cands_i|` (may go negative).
+    deficits: Vec<i64>,
+    /// `|(included ∪ undecided) ∩ cands_i|` + pins.
+    avail: Vec<i64>,
+    /// `|(included ∪ undecided) ∩ cands_i ∩ prev_i|`: how many of switch
+    /// `i`'s previous links can still be kept (drives the LCR
+    /// must-add-links bound).
+    avail_prev: Vec<i64>,
+    /// Previous links to decided-excluded controllers (forced removals,
+    /// a valid LCR lower-bound term).
+    forced_removals: u64,
+    best: Option<(u64, Assignment)>,
+    nodes: u64,
+    leaf_evals: u64,
+    hit_limit: bool,
+    node_limit: u64,
+    /// Total load the assignment must place (`Σ B_i · Q_i`).
+    total_load: u64,
+    /// Load capacity currently included (`Σ_{j included} C_j`).
+    included_capacity: u64,
+}
+
+impl<'a> Search<'a> {
+    fn new(model: &'a CapModel, options: &'a SolveOptions) -> Self {
+        let n_c = model.n_controllers();
+        let n_s = model.n_switches();
+        let cands: Vec<Vec<usize>> = (0..n_s).map(|i| model.candidates(i)).collect();
+        let mut covers: Vec<Vec<usize>> = vec![Vec::new(); n_c];
+        for (i, cs) in cands.iter().enumerate() {
+            for &j in cs {
+                covers[j].push(i);
+            }
+        }
+        let mut included = vec![false; n_c];
+        let mut decided = vec![false; n_c];
+        // Pins are forced-in; excluded and uncovering controllers are
+        // forced-out.
+        for j in 0..n_c {
+            if model.excluded[j] || covers[j].is_empty() {
+                decided[j] = true;
+            }
+        }
+        let mut included_count = 0;
+        for &pin in model.leader_pins.iter().flatten() {
+            if !decided[pin] && !included[pin] {
+                included[pin] = true;
+                decided[pin] = true;
+                included_count += 1;
+            }
+        }
+        let mut deficits: Vec<i64> = (0..n_s).map(|i| model.group_size[i] as i64).collect();
+        let mut avail = vec![0i64; n_s];
+        let mut avail_prev = vec![0i64; n_s];
+        for (i, cs) in cands.iter().enumerate() {
+            for &j in cs {
+                if included[j] || !decided[j] {
+                    avail[i] += 1;
+                    if options.previous.as_ref().is_some_and(|p| p.contains(i, j)) {
+                        avail_prev[i] += 1;
+                    }
+                }
+                if included[j] {
+                    deficits[i] -= 1;
+                }
+            }
+        }
+        // Branch order: coverage-descending, seeded tie-break.
+        let mut order: Vec<usize> = (0..n_c).filter(|&j| !decided[j]).collect();
+        let tie: Vec<u64> = (0..n_c)
+            .map(|j| splitmix(options.seed ^ (j as u64).wrapping_mul(0x9E37_79B9)))
+            .collect();
+        order.sort_by_key(|&j| (std::cmp::Reverse(covers[j].len()), tie[j]));
+        let node_limit = if options.node_limit == 0 {
+            2_000_000
+        } else {
+            options.node_limit
+        };
+        let total_load: u64 = (0..n_s)
+            .map(|i| model.group_size[i] as u64 * model.load[i] as u64)
+            .sum();
+        let included_capacity: u64 = (0..n_c)
+            .filter(|&j| included[j])
+            .map(|j| model.capacity[j] as u64)
+            .sum();
+        Search {
+            model,
+            options,
+            order,
+            cands,
+            covers,
+            included,
+            decided,
+            included_count,
+            deficits,
+            avail,
+            avail_prev,
+            forced_removals: 0,
+            best: None,
+            nodes: 0,
+            leaf_evals: 0,
+            hit_limit: false,
+            node_limit,
+            total_load,
+            included_capacity,
+        }
+    }
+
+    fn run(&mut self) {
+        self.dfs(0, true);
+    }
+
+    fn lower_bound(&self) -> u64 {
+        let max_deficit = self.deficits.iter().copied().max().unwrap_or(0).max(0) as u64;
+        // Capacity bound: however controllers are chosen, the included
+        // set plus extras must offer `total_load` capacity.
+        let capacity_extra = if self.included_capacity < self.total_load {
+            let shortfall = self.total_load - self.included_capacity;
+            let max_free_cap = self
+                .order
+                .iter()
+                .filter(|&&j| !self.decided[j])
+                .map(|&j| self.model.capacity[j] as u64)
+                .max()
+                .unwrap_or(0);
+            if max_free_cap == 0 {
+                u64::MAX / 4 // cannot be satisfied: prune
+            } else {
+                shortfall.div_ceil(max_free_cap)
+            }
+        } else {
+            0
+        };
+        self.included_count
+            + max_deficit.max(capacity_extra)
+            + MOVE_WEIGHT * self.lcr_removal_bound()
+    }
+
+    /// LCR move bound: links to decided-excluded controllers must be
+    /// removed, and group slots with too few surviving previous
+    /// candidates must be filled with *new* links.
+    fn lcr_removal_bound(&self) -> u64 {
+        if self.options.objective != Objective::Lcr {
+            return 0;
+        }
+        let must_add: i64 = self
+            .avail_prev
+            .iter()
+            .enumerate()
+            .map(|(i, &ap)| (self.model.group_size[i] as i64 - ap).max(0))
+            .sum();
+        self.forced_removals + must_add as u64
+    }
+
+    fn dfs(&mut self, pos: usize, just_included: bool) {
+        self.dfs_inner(pos, just_included, false)
+    }
+
+    fn dfs_inner(&mut self, pos: usize, just_included: bool, mut covered_feasible: bool) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            self.hit_limit = true;
+            return;
+        }
+        // Infeasibility: some switch cannot reach its group size even if
+        // every undecided candidate joins.
+        for i in 0..self.avail.len() {
+            if self.avail[i] < self.model.group_size[i] as i64 {
+                return;
+            }
+        }
+        if let Some((best, _)) = &self.best {
+            if self.lower_bound() >= *best {
+                return;
+            }
+        }
+        let covered = self.deficits.iter().all(|&d| d <= 0);
+        if covered && just_included {
+            let improved = self.evaluate_leaf();
+            // Under TCR any superset costs strictly more, so the branch
+            // is closed once a feasible leaf exists here.
+            if improved && self.options.objective == Objective::Tcr {
+                return;
+            }
+            if improved {
+                covered_feasible = true;
+            }
+        }
+        if pos >= self.order.len() {
+            return;
+        }
+        let j = self.order[pos];
+        // Include branch. Once a feasible covering leaf exists in this
+        // branch, including a controller with no previous links cannot
+        // reduce moves (it only creates new links) — it strictly
+        // worsens the LCR objective, so skip it.
+        let useless_extra = covered_feasible && self.prev_links_of(j) == 0;
+        if !useless_extra {
+            self.included[j] = true;
+            self.decided[j] = true;
+            self.included_count += 1;
+            self.included_capacity += self.model.capacity[j] as u64;
+            for idx in 0..self.covers[j].len() {
+                let i = self.covers[j][idx];
+                self.deficits[i] -= 1;
+            }
+            self.dfs_inner(pos + 1, true, covered_feasible);
+            self.included[j] = false;
+            self.included_count -= 1;
+            self.included_capacity -= self.model.capacity[j] as u64;
+            for idx in 0..self.covers[j].len() {
+                let i = self.covers[j][idx];
+                self.deficits[i] += 1;
+            }
+        }
+        // Exclude branch.
+        let removal_delta = self.prev_links_of(j);
+        self.forced_removals += removal_delta;
+        let is_prev = |search: &Self, i: usize| {
+            search
+                .options
+                .previous
+                .as_ref()
+                .is_some_and(|p| p.contains(i, j))
+        };
+        for idx in 0..self.covers[j].len() {
+            let i = self.covers[j][idx];
+            self.avail[i] -= 1;
+            if is_prev(self, i) {
+                self.avail_prev[i] -= 1;
+            }
+        }
+        self.dfs_inner(pos + 1, false, covered_feasible);
+        for idx in 0..self.covers[j].len() {
+            let i = self.covers[j][idx];
+            self.avail[i] += 1;
+            if is_prev(self, i) {
+                self.avail_prev[i] += 1;
+            }
+        }
+        self.forced_removals -= removal_delta;
+        self.decided[j] = false;
+    }
+
+    fn prev_links_of(&self, j: usize) -> u64 {
+        match &self.options.previous {
+            Some(prev) => (0..self.model.n_switches())
+                .filter(|&i| prev.contains(i, j))
+                .count() as u64,
+            None => 0,
+        }
+    }
+
+    /// Solves the link-assignment subproblem for the current included
+    /// set; updates the incumbent. Returns whether a feasible leaf was
+    /// found.
+    fn evaluate_leaf(&mut self) -> bool {
+        self.leaf_evals += 1;
+        let assignment = if self.model.uniform_load() && self.model.max_cc_delay.is_none() {
+            self.flow_assign()
+        } else {
+            self.backtrack_assign()
+        };
+        let Some(assignment) = assignment else {
+            return false;
+        };
+        debug_assert!(assignment.check(self.model).is_ok());
+        let mut cost = assignment.used_count() as u64;
+        if self.options.objective == Objective::Lcr {
+            let prev = self.options.previous.as_ref().expect("validated in solve");
+            let (removed, added) = prev.moves_to(&assignment);
+            cost += MOVE_WEIGHT * (removed + added) as u64;
+        }
+        if self.best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            self.best = Some((cost, assignment));
+        }
+        true
+    }
+
+    /// Per-link cost used by both subsolvers: LCR strongly prefers
+    /// reusing previous links; both prefer nearby controllers as a
+    /// deterministic tie-break. Distance is quantised to 5 ms buckets
+    /// with the controller id as the finest tie-break, so co-located
+    /// switches choose *identical* controller groups — keeping the
+    /// number of distinct groups (and thus parallel PBFT instances)
+    /// small, as the paper's group-based design intends.
+    fn edge_cost(&self, i: usize, j: usize) -> i64 {
+        let bucket = (self.model.cs_delay[i][j] / 5.0).round() as i64;
+        let distance_cost = bucket * 1_000 + j as i64;
+        match self.options.objective {
+            Objective::Tcr => distance_cost,
+            Objective::Lcr => {
+                let prev = self.options.previous.as_ref().expect("validated in solve");
+                let base = if prev.contains(i, j) { -1_000_000_000 } else { 1_000_000_000 };
+                base + distance_cost
+            }
+        }
+    }
+
+    /// Exact assignment by min-cost flow (uniform load, no C2C).
+    fn flow_assign(&self) -> Option<Assignment> {
+        let n_s = self.model.n_switches();
+        let n_c = self.model.n_controllers();
+        let unit = self.model.load.first().copied().unwrap_or(1).max(1) as u64;
+        let source = 0;
+        let sink = 1 + n_s + n_c;
+        let switch_node = |i: usize| 1 + i;
+        let ctrl_node = |j: usize| 1 + n_s + j;
+        let mut net = MinCostFlow::new(sink + 1);
+        let mut want = 0i64;
+        // Controller slots, reduced by pinned-leader consumption.
+        let mut slots: Vec<i64> = (0..n_c)
+            .map(|j| ((self.model.capacity[j] as u64 / unit).min(u32::MAX as u64)) as i64)
+            .collect();
+        for (i, pin) in self.model.leader_pins.iter().enumerate() {
+            if let Some(l) = *pin {
+                slots[l] -= 1;
+                if slots[l] < 0 {
+                    return None;
+                }
+                let _ = i;
+            }
+        }
+        let mut link_arcs = Vec::new();
+        for i in 0..n_s {
+            let pin = self.model.leader_pins[i];
+            let demand = self.model.group_size[i] as i64 - pin.is_some() as i64;
+            if demand < 0 {
+                continue;
+            }
+            want += demand;
+            net.add_arc(source, switch_node(i), demand, 0);
+            for &j in &self.cands[i] {
+                if !self.included[j] || Some(j) == pin {
+                    continue;
+                }
+                let arc = net.add_arc(switch_node(i), ctrl_node(j), 1, self.edge_cost(i, j));
+                link_arcs.push((i, j, arc));
+            }
+        }
+        for (j, &s) in slots.iter().enumerate() {
+            if self.included[j] || self.model.leader_pins.iter().flatten().any(|&l| l == j) {
+                net.add_arc(ctrl_node(j), sink, s.max(0), 0);
+            }
+        }
+        let (flow, _) = net.run(source, sink, want);
+        if flow < want {
+            return None;
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_s];
+        for (i, pin) in self.model.leader_pins.iter().enumerate() {
+            if let Some(l) = *pin {
+                groups[i].push(l);
+            }
+        }
+        for (i, j, arc) in link_arcs {
+            if net.flow_on(arc) > 0 {
+                groups[i].push(j);
+            }
+        }
+        Some(Assignment::from_groups(groups, n_c))
+    }
+
+    /// Backtracking assignment: handles the quadratic C2C constraint and
+    /// non-uniform load. Subsets are explored in cost order; the first
+    /// complete solution is returned (cost-greedy with backtracking).
+    fn backtrack_assign(&self) -> Option<Assignment> {
+        let n_s = self.model.n_switches();
+        let n_c = self.model.n_controllers();
+        // Per-switch feasible candidate pools (included, compatible with
+        // the pinned leader if any).
+        let mut pools: Vec<Vec<usize>> = Vec::with_capacity(n_s);
+        for i in 0..n_s {
+            let pin = self.model.leader_pins[i];
+            let pool: Vec<usize> = self.cands[i]
+                .iter()
+                .copied()
+                .filter(|&j| self.included[j] && Some(j) != pin)
+                .filter(|&j| pin.is_none_or(|l| self.model.compatible(j, l)))
+                .collect();
+            pools.push(pool);
+        }
+        // Most-constrained switch first.
+        let mut order: Vec<usize> = (0..n_s).collect();
+        order.sort_by_key(|&i| pools[i].len());
+        let mut remaining: Vec<i64> = self.model.capacity.iter().map(|&c| c as i64).collect();
+        for (i, pin) in self.model.leader_pins.iter().enumerate() {
+            if let Some(l) = *pin {
+                remaining[l] -= self.model.load[i] as i64;
+                if remaining[l] < 0 {
+                    return None;
+                }
+            }
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_s];
+        // Step budget: a time-limited IQCP solve, like the paper's
+        // Gurobi runs. Exhaustion fails the leaf; other leaves still
+        // provide incumbents.
+        let mut budget: u64 = 500_000;
+        if self.backtrack(&order, &pools, 0, &mut remaining, &mut groups, &mut budget) {
+            for (i, pin) in self.model.leader_pins.iter().enumerate() {
+                if let Some(l) = *pin {
+                    groups[i].push(l);
+                }
+            }
+            Some(Assignment::from_groups(groups, n_c))
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        &self,
+        order: &[usize],
+        pools: &[Vec<usize>],
+        depth: usize,
+        remaining: &mut Vec<i64>,
+        groups: &mut Vec<Vec<usize>>,
+        budget: &mut u64,
+    ) -> bool {
+        let Some(&i) = order.get(depth) else {
+            return true;
+        };
+        if *budget == 0 {
+            return false;
+        }
+        let pin = self.model.leader_pins[i];
+        let need = self.model.group_size[i].saturating_sub(pin.is_some() as usize);
+        let load = self.model.load[i] as i64;
+        let mut subsets = Vec::new();
+        let mut current = Vec::new();
+        self.enumerate_subsets(&pools[i], need, 0, &mut current, &mut subsets);
+        // Cost-ordered: cheapest subset first.
+        subsets.sort_by_key(|s| s.iter().map(|&j| self.edge_cost(i, j)).sum::<i64>());
+        for subset in subsets {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            if subset.iter().any(|&j| remaining[j] < load) {
+                continue;
+            }
+            for &j in &subset {
+                remaining[j] -= load;
+            }
+            groups[i] = subset.clone();
+            if self.backtrack(order, pools, depth + 1, remaining, groups, budget) {
+                return true;
+            }
+            for &j in &subset {
+                remaining[j] += load;
+            }
+            groups[i].clear();
+        }
+        false
+    }
+
+    /// Enumerates pairwise-compatible subsets of `pool` of size `need`
+    /// (bounded by an internal cap to keep the quadratic case tractable,
+    /// mirroring a time-limited IQCP solve).
+    fn enumerate_subsets(
+        &self,
+        pool: &[usize],
+        need: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        const SUBSET_CAP: usize = 4096;
+        if out.len() >= SUBSET_CAP {
+            return;
+        }
+        if current.len() == need {
+            out.push(current.clone());
+            return;
+        }
+        if pool.len() - start < need - current.len() {
+            return;
+        }
+        for idx in start..pool.len() {
+            let j = pool[idx];
+            if current.iter().all(|&k| self.model.compatible(k, j)) {
+                current.push(j);
+                self.enumerate_subsets(pool, need, idx + 1, current, out);
+                current.pop();
+            }
+        }
+    }
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solved(model: &CapModel) -> Solution {
+        solve(model, &SolveOptions::default()).expect("feasible")
+    }
+
+    #[test]
+    fn minimal_cover_found() {
+        // 4 switches, 6 controllers, groups of 4: exactly 4 controllers
+        // suffice.
+        let mut m = CapModel::new(4, 6);
+        m.set_fault_tolerance(1);
+        let s = solved(&m);
+        assert_eq!(s.used, 4);
+        assert!(s.assignment.check(&m).is_ok());
+        assert!(s.stats.optimal);
+    }
+
+    #[test]
+    fn distance_filter_forces_more_controllers() {
+        // Two switch clusters, each in range of a disjoint controller
+        // triple; groups of 2 ⇒ must use controllers from both triples.
+        let mut m = CapModel::new(2, 6);
+        m.group_size = vec![2, 2];
+        let far = 100.0;
+        m.set_cs_delay(vec![
+            vec![1.0, 1.0, 1.0, far, far, far],
+            vec![far, far, far, 1.0, 1.0, 1.0],
+        ])
+        .set_max_cs_delay(10.0);
+        let s = solved(&m);
+        assert_eq!(s.used, 4);
+        for (i, j) in s.assignment.links() {
+            assert!(m.cs_delay[i][j] <= 10.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_not_enough_candidates() {
+        let mut m = CapModel::new(1, 3);
+        m.set_fault_tolerance(1); // needs 4
+        assert!(matches!(
+            solve(&m, &SolveOptions::default()),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn capacity_forces_spread() {
+        // 4 switches, groups of 1, but each controller can host at most
+        // 2 switches ⇒ at least 2 controllers.
+        let mut m = CapModel::new(4, 4);
+        m.group_size = vec![1; 4];
+        m.capacity = vec![2; 4];
+        let s = solved(&m);
+        assert_eq!(s.used, 2);
+        assert!(s.assignment.check(&m).is_ok());
+    }
+
+    #[test]
+    fn capacity_infeasible_detected() {
+        let mut m = CapModel::new(3, 1);
+        m.group_size = vec![1; 3];
+        m.capacity = vec![2];
+        assert!(matches!(
+            solve(&m, &SolveOptions::default()),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn excluded_controllers_never_used() {
+        let mut m = CapModel::new(2, 6);
+        m.group_size = vec![2, 2];
+        m.exclude(0).exclude(1);
+        let s = solved(&m);
+        assert!(!s.assignment.used_controllers().contains(&0));
+        assert!(!s.assignment.used_controllers().contains(&1));
+    }
+
+    #[test]
+    fn leader_pins_respected() {
+        let mut m = CapModel::new(2, 6);
+        m.group_size = vec![2, 2];
+        m.pin_leader(0, 5).pin_leader(1, 5);
+        let s = solved(&m);
+        assert!(s.assignment.contains(0, 5));
+        assert!(s.assignment.contains(1, 5));
+    }
+
+    #[test]
+    fn lcr_requires_previous() {
+        let m = CapModel::new(1, 4);
+        let opts = SolveOptions {
+            objective: Objective::Lcr,
+            ..SolveOptions::default()
+        };
+        assert!(matches!(solve(&m, &opts), Err(SolveError::MissingPrevious)));
+    }
+
+    #[test]
+    fn lcr_prefers_previous_links() {
+        // 1 switch, group of 2, 4 interchangeable controllers. LCR must
+        // keep the previous {2, 3}.
+        let mut m = CapModel::new(1, 4);
+        m.group_size = vec![2];
+        let prev = Assignment::from_groups(vec![vec![2, 3]], 4);
+        let opts = SolveOptions {
+            objective: Objective::Lcr,
+            previous: Some(prev),
+            ..SolveOptions::default()
+        };
+        let s = solve(&m, &opts).unwrap();
+        assert_eq!(s.moves, Some((0, 0)));
+        assert!(s.assignment.contains(0, 2) && s.assignment.contains(0, 3));
+    }
+
+    #[test]
+    fn lcr_moves_minimally_after_exclusion() {
+        // Previous {0, 1}; controller 0 turns byzantine. LCR keeps 1 and
+        // adds exactly one new controller.
+        let mut m = CapModel::new(1, 4);
+        m.group_size = vec![2];
+        m.exclude(0);
+        let prev = Assignment::from_groups(vec![vec![0, 1]], 4);
+        let opts = SolveOptions {
+            objective: Objective::Lcr,
+            previous: Some(prev),
+            ..SolveOptions::default()
+        };
+        let s = solve(&m, &opts).unwrap();
+        assert_eq!(s.moves, Some((1, 1)));
+        assert!(s.assignment.contains(0, 1));
+    }
+
+    #[test]
+    fn tcr_and_lcr_use_same_controller_count() {
+        // The paper's Fig. 7 observation on a small instance.
+        let mut m = CapModel::new(3, 8);
+        m.group_size = vec![2; 3];
+        let prev = Assignment::from_groups(vec![vec![0, 1], vec![0, 1], vec![0, 1]], 8);
+        m.exclude(0);
+        let tcr = solve(
+            &m,
+            &SolveOptions {
+                objective: Objective::Tcr,
+                previous: Some(prev.clone()),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        let lcr = solve(
+            &m,
+            &SolveOptions {
+                objective: Objective::Lcr,
+                previous: Some(prev.clone()),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tcr.used, lcr.used);
+        // And LCR never moves more than TCR.
+        let (r1, a1) = prev.moves_to(&tcr.assignment);
+        let (r2, a2) = prev.moves_to(&lcr.assignment);
+        assert!(r2 + a2 <= r1 + a1);
+    }
+
+    #[test]
+    fn cc_constraint_respected() {
+        // Controllers 0/1 are far apart; a group of 2 must avoid the
+        // {0,1} pairing.
+        let mut m = CapModel::new(1, 3);
+        m.group_size = vec![2];
+        let mut cc = vec![vec![0.0; 3]; 3];
+        cc[0][1] = 50.0;
+        cc[1][0] = 50.0;
+        m.set_cc_delay(cc).set_max_cc_delay(Some(10.0));
+        let s = solved(&m);
+        let g = s.assignment.group(0);
+        assert!(!(g.contains(&0) && g.contains(&1)));
+        assert!(s.assignment.check(&m).is_ok());
+    }
+
+    #[test]
+    fn cc_constraint_can_make_infeasible() {
+        let mut m = CapModel::new(1, 2);
+        m.group_size = vec![2];
+        let mut cc = vec![vec![0.0; 2]; 2];
+        cc[0][1] = 50.0;
+        cc[1][0] = 50.0;
+        m.set_cc_delay(cc).set_max_cc_delay(Some(10.0));
+        assert!(matches!(
+            solve(&m, &SolveOptions::default()),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn non_uniform_load_uses_backtracker() {
+        let mut m = CapModel::new(2, 3);
+        m.group_size = vec![1, 1];
+        m.load = vec![3, 1];
+        m.capacity = vec![3, 1, 0];
+        let s = solved(&m);
+        assert!(s.assignment.check(&m).is_ok());
+        // Switch 0 (load 3) must land on controller 0.
+        assert!(s.assignment.contains(0, 0));
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let mut m = CapModel::new(4, 8);
+        m.group_size = vec![2; 4];
+        let opts = SolveOptions {
+            seed: 42,
+            ..SolveOptions::default()
+        };
+        let a = solve(&m, &opts).unwrap();
+        let b = solve(&m, &opts).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn node_limit_marks_non_optimal_or_finishes() {
+        let mut m = CapModel::new(6, 12);
+        m.group_size = vec![3; 6];
+        let opts = SolveOptions {
+            node_limit: 3,
+            ..SolveOptions::default()
+        };
+        match solve(&m, &opts) {
+            Ok(s) => assert!(!s.stats.optimal || s.stats.nodes <= 3),
+            Err(SolveError::Infeasible) => {} // budget too small to find anything
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut m = CapModel::new(2, 4);
+        m.group_size = vec![2, 2];
+        let s = solved(&m);
+        assert!(s.stats.nodes > 0);
+        assert!(s.stats.leaf_evals > 0);
+        assert_eq!(s.objective_value, s.used as u64);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!SolveError::Infeasible.to_string().is_empty());
+        assert!(!SolveError::MissingPrevious.to_string().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the substrates: hashing, signatures,
+//! PBFT rounds and the OP solver (drives the paper's Fig. 6 shape).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use curb_assign::{solve, Objective, SolveOptions};
+use curb_bench::{internet2_model, OpCombo};
+use curb_consensus::{BytesPayload, Cluster};
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::digest;
+use curb_crypto::KeyPair;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xABu8; 4096];
+    c.bench_function("sha256_4k", |b| b.iter(|| digest(std::hint::black_box(&data))));
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut rng = DetRng::new(1);
+    let keys = KeyPair::generate(&mut rng);
+    let sig = keys.sign(b"benchmark message", &mut rng);
+    c.bench_function("schnorr_sign", |b| {
+        b.iter_batched(
+            || DetRng::new(2),
+            |mut r| keys.sign(std::hint::black_box(b"benchmark message"), &mut r),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("schnorr_verify", |b| {
+        b.iter(|| keys.public().verify(std::hint::black_box(b"benchmark message"), &sig))
+    });
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    c.bench_function("pbft_round_n4", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::<BytesPayload>::new(4);
+            cluster.propose(BytesPayload(vec![0; 256]));
+            cluster.run_to_quiescence()
+        })
+    });
+    c.bench_function("pbft_round_n13", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::<BytesPayload>::new(13);
+            cluster.propose(BytesPayload(vec![0; 256]));
+            cluster.run_to_quiescence()
+        })
+    });
+}
+
+fn bench_op_solver(c: &mut Criterion) {
+    // Fig. 6 kernel: the reassignment OP at D_c,s = 16 ms.
+    c.bench_function("op_tcr_internet2", |b| {
+        b.iter(|| {
+            let mut model = internet2_model(16.0, None, 34);
+            model.exclude(0);
+            solve(&model, &SolveOptions::default()).expect("feasible")
+        })
+    });
+    let initial = solve(&internet2_model(16.0, None, 34), &SolveOptions::default())
+        .expect("feasible")
+        .assignment;
+    c.bench_function("op_lcr_internet2", |b| {
+        b.iter(|| {
+            let mut model = internet2_model(16.0, None, 34);
+            model.exclude(0);
+            let options = SolveOptions {
+                objective: Objective::Lcr,
+                previous: Some(initial.clone()),
+                node_limit: 200_000,
+                seed: 7,
+            };
+            solve(&model, &options).expect("feasible")
+        })
+    });
+    let _ = OpCombo {
+        objective: Objective::Tcr,
+        leader_pins: false,
+        cc_threshold: None,
+    };
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_schnorr, bench_pbft_round, bench_op_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of full protocol rounds (drives the shapes of
+//! Fig. 5 and the Theorem 1 comparison at one size point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use curb_core::{CurbConfig, CurbNetwork};
+use curb_graph::internet2;
+
+fn bench_round(c: &mut Criterion) {
+    let topo = internet2();
+    c.bench_function("curb_round_internet2", |b| {
+        let mut net = CurbNetwork::new(&topo, CurbConfig::default()).expect("feasible");
+        b.iter(|| net.run_round())
+    });
+    c.bench_function("curb_round_internet2_parallel", |b| {
+        let mut net = CurbNetwork::new(&topo, CurbConfig::default().with_parallel(true))
+            .expect("feasible");
+        b.iter(|| net.run_round())
+    });
+    c.bench_function("flat_round_internet2", |b| {
+        let mut net = CurbNetwork::new(&topo, CurbConfig::default().flat()).expect("feasible");
+        b.iter(|| net.run_round())
+    });
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let topo = internet2();
+    c.bench_function("network_setup_internet2", |b| {
+        b.iter(|| CurbNetwork::new(&topo, CurbConfig::default()).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_round, bench_setup
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Ablations over Curb's design knobs — sensitivity studies the paper
+//! does not include, exercising the configuration space around its
+//! chosen operating point.
+//!
+//! * `--study batch`: the leader batch window (latency/throughput
+//!   trade-off of Algorithm 3's "time out or reqBuffer is full").
+//! * `--study block`: the final committee's block window (non-parallel
+//!   pipeline only).
+//! * `--study service`: per-message controller service time (how the
+//!   testbed's CPU speed moves absolute numbers).
+//! * `--study signing`: request signatures on/off (the crypto cost).
+//! * `--study loss`: packet-loss sensitivity (quorum redundancy at
+//!   work).
+//! * no `--study`: all of them.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin ablation --
+//! [--study batch] [--rounds 3] [--csv]`
+
+#![allow(clippy::field_reassign_with_default)]
+use curb_bench::{arg_flag, arg_value, capacity_for, mean_latency_ms, Table};
+use curb_consensus::CoreKind;
+use curb_core::{CurbConfig, CurbNetwork};
+use curb_graph::internet2;
+use std::time::Duration;
+
+fn run(config: CurbConfig, rounds: usize) -> (f64, f64, f64) {
+    let topo = internet2();
+    let mut net = CurbNetwork::new(&topo, config).expect("feasible");
+    let report = net.run_rounds(rounds);
+    (
+        mean_latency_ms(&report),
+        report.mean_tps(),
+        report.mean_messages(),
+    )
+}
+
+fn run_lossy(loss: f64, rounds: usize) -> (f64, f64, f64) {
+    let topo = internet2();
+    let mut net = CurbNetwork::new(&topo, CurbConfig::default()).expect("feasible");
+    net.set_loss_rate(loss);
+    let report = net.run_rounds(rounds);
+    let asked: usize = report.rounds.iter().map(|r| r.requests).sum();
+    let served: usize = report.rounds.iter().map(|r| r.accepted).sum();
+    (
+        mean_latency_ms(&report),
+        report.mean_tps(),
+        if asked == 0 { 0.0 } else { 100.0 * served as f64 / asked as f64 },
+    )
+}
+
+fn main() {
+    let study = arg_value("study").unwrap_or_else(|| "all".to_string());
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let csv = arg_flag("csv");
+
+    if study == "batch" || study == "all" {
+        println!("# Ablation — leader batch window\n");
+        let mut t = Table::new("batch_window_ms", &["latency_ms", "tps", "msgs/round"]);
+        for ms in [1u64, 5, 20, 50, 100] {
+            let mut c = CurbConfig::default();
+            c.batch_window = Duration::from_millis(ms);
+            let (lat, tps, msgs) = run(c, rounds);
+            t.row(&ms.to_string(), &[lat, tps, msgs]);
+        }
+        t.print(csv);
+        println!();
+    }
+    if study == "block" || study == "all" {
+        println!("# Ablation — final-committee block window (non-parallel)\n");
+        let mut t = Table::new("block_window_ms", &["latency_ms", "tps", "msgs/round"]);
+        for ms in [50u64, 100, 200, 400, 800] {
+            let mut c = CurbConfig::default();
+            c.block_window = Duration::from_millis(ms);
+            let (lat, tps, msgs) = run(c, rounds);
+            t.row(&ms.to_string(), &[lat, tps, msgs]);
+        }
+        t.print(csv);
+        println!();
+    }
+    if study == "service" || study == "all" {
+        println!("# Ablation — controller service time (CPU model)\n");
+        let mut t = Table::new("service_us", &["latency_ms", "tps", "msgs/round"]);
+        for us in [0u64, 50, 100, 250, 500] {
+            let mut c = CurbConfig::default();
+            c.controller_service = Duration::from_micros(us);
+            let (lat, tps, msgs) = run(c, rounds);
+            t.row(&us.to_string(), &[lat, tps, msgs]);
+        }
+        t.print(csv);
+        println!();
+    }
+    if study == "signing" || study == "all" {
+        println!("# Ablation — request signatures\n");
+        let mut t = Table::new("signing", &["latency_ms", "tps", "bytes/round"]);
+        for signed in [false, true] {
+            let topo = internet2();
+            let mut c = CurbConfig::default();
+            c.sign_requests = signed;
+            let mut net = CurbNetwork::new(&topo, c).expect("feasible");
+            let report = net.run_rounds(rounds);
+            let bytes: u64 = report.rounds.iter().map(|r| r.bytes).sum::<u64>()
+                / rounds.max(1) as u64;
+            t.row(
+                if signed { "on" } else { "off" },
+                &[mean_latency_ms(&report), report.mean_tps(), bytes as f64],
+            );
+        }
+        t.print(csv);
+        println!();
+    }
+    if study == "core" || study == "all" {
+        println!("# Ablation — consensus engine (PBFT vs HotStuff)\n");
+        let mut t = Table::new("f / engine", &["latency_ms", "tps", "msgs/round"]);
+        for f in [1usize, 4] {
+            for kind in [CoreKind::Pbft, CoreKind::HotStuff, CoreKind::Tendermint] {
+                let mut c = CurbConfig::default().with_f(f).with_core(kind);
+                c.controller_capacity = capacity_for(f, 34, 16);
+                c.timeout = Duration::from_millis(500) * f as u32;
+                let (lat, tps, msgs) = run(c, rounds);
+                t.row(&format!("f={f} {kind:?}"), &[lat, tps, msgs]);
+            }
+        }
+        t.print(csv);
+        println!();
+    }
+    if study == "loss" || study == "all" {
+        println!("# Ablation — packet loss (quorum redundancy)\n");
+        let mut t = Table::new("loss_%", &["latency_ms", "tps", "served_%"]);
+        for loss in [0.0f64, 0.01, 0.02, 0.05, 0.10] {
+            let (lat, tps, served) = run_lossy(loss, rounds);
+            t.row(&format!("{:.0}", loss * 100.0), &[lat, tps, served]);
+        }
+        t.print(csv);
+    }
+}

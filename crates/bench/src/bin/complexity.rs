@@ -1,0 +1,55 @@
+//! Theorem 1 — message complexity of Curb versus a flat BFT control
+//! plane.
+//!
+//! Counts the protocol messages of one round as the controller count
+//! `N` grows (with `2N` switches, on synthetic topologies). Curb's
+//! per-round total should grow linearly in `N`; the flat baseline
+//! (one PBFT quorum over all `N` controllers) quadratically.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin complexity --
+//! [--rounds 3] [--csv]`
+
+use curb_bench::{arg_flag, arg_value, complexity_breakdown, complexity_sweep, Table};
+
+const N_VALUES: [usize; 4] = [8, 16, 32, 64];
+
+fn main() {
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let csv = arg_flag("csv");
+    if arg_flag("detail") {
+        println!("# Message breakdown per steady round (Theorem 1 decomposition)\n");
+        for n in N_VALUES {
+            println!("N = {n} (switches = {}):", 2 * n);
+            for (category, count) in complexity_breakdown(n) {
+                println!("  {category:<12} {count:>8}");
+            }
+            println!();
+        }
+        return;
+    }
+    println!("# Theorem 1 — per-round messages vs controller count N\n");
+    let rows = complexity_sweep(&N_VALUES, rounds);
+    let mut table = Table::new(
+        "N",
+        &["curb_msgs", "flat_msgs", "curb_per_n", "flat_per_n"],
+    );
+    for (n, curb, flat) in &rows {
+        table.row(
+            &n.to_string(),
+            &[*curb, *flat, curb / *n as f64, flat / *n as f64],
+        );
+    }
+    table.print(csv);
+    // Growth factors between first and last N.
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let n_ratio = last.0 as f64 / first.0 as f64;
+        println!(
+            "\nN grew {:.0}x; curb messages grew {:.1}x (linear ⇒ ~{:.0}x), flat grew {:.1}x (quadratic ⇒ ~{:.0}x)",
+            n_ratio,
+            last.1 / first.1,
+            n_ratio,
+            last.2 / first.2,
+            n_ratio * n_ratio,
+        );
+    }
+}

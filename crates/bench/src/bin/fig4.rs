@@ -1,0 +1,57 @@
+//! Fig. 4 — byzantine resilience.
+//!
+//! * `--exp 1`: one silent (crash) group leader; Curb detects it by
+//!   miss strikes and reassigns (paper Fig. 4(a)).
+//! * `--exp 2`: three silent controllers in different groups, removed
+//!   by one reassignment (paper Fig. 4(b)).
+//! * `--exp 3`: three lazy (200–500 ms) leaders, tolerated for the lazy
+//!   patience then removed; run in both non-parallel and parallel
+//!   pipelines (paper Fig. 4(c)).
+//!
+//! Usage: `cargo run --release -p curb-bench --bin fig4 -- --exp 1
+//! [--rounds 10] [--csv]`
+
+use curb_bench::{arg_flag, arg_value, byzantine_rounds, Table};
+
+fn main() {
+    let exp: u8 = arg_value("exp").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let csv = arg_flag("csv");
+
+    println!("# Fig. 4 — byzantine resilience, experiment {exp}\n");
+    if exp == 3 {
+        for parallel in [false, true] {
+            let mode = if parallel { "parallel" } else { "non-parallel" };
+            println!("## {mode} pipeline");
+            run_one(exp, parallel, rounds, csv);
+            println!();
+        }
+    } else {
+        run_one(exp, false, rounds, csv);
+    }
+}
+
+fn run_one(exp: u8, parallel: bool, rounds: usize, csv: bool) {
+    let report = byzantine_rounds(exp, parallel, rounds);
+    let mut table = Table::new(
+        "round",
+        &["latency_ms", "throughput_tps", "reassigned", "removed_total"],
+    );
+    for r in &report.rounds {
+        table.row(
+            &r.round.to_string(),
+            &[
+                r.avg_latency.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+                r.throughput_tps,
+                r.reassignments as f64,
+                r.removed_controllers.len() as f64,
+            ],
+        );
+    }
+    table.print(csv);
+    if let Some(round) = report.first_reassignment_round() {
+        println!("\nbyzantine controllers removed in round {round}");
+    } else {
+        println!("\nno reassignment happened within {rounds} rounds");
+    }
+}

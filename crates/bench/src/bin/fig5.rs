@@ -1,0 +1,46 @@
+//! Fig. 5 — performance of handling PACKET_IN requests.
+//!
+//! * `--panel a`: latency vs number of switches (4..34);
+//! * `--panel b`: throughput vs number of switches, non-parallel and
+//!   parallel pipelines;
+//! * `--panel c`: latency vs `f` (1..4);
+//! * `--panel d`: throughput vs `f`;
+//! * no `--panel`: all four.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin fig5 -- [--panel a]
+//! [--rounds 5] [--csv]`
+
+use curb_bench::{arg_flag, arg_value, pktin_sweep_f, pktin_sweep_switches, Table};
+
+const SWITCH_COUNTS: [usize; 7] = [4, 9, 14, 19, 24, 29, 34];
+const F_VALUES: [usize; 4] = [1, 2, 3, 4];
+
+fn main() {
+    let panel = arg_value("panel").unwrap_or_else(|| "all".to_string());
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let csv = arg_flag("csv");
+
+    if panel == "a" || panel == "b" || panel == "all" {
+        println!("# Fig. 5(a)/(b) — PKT-IN performance vs number of switches\n");
+        let plain = pktin_sweep_switches(&SWITCH_COUNTS, false, rounds);
+        let parallel = pktin_sweep_switches(&SWITCH_COUNTS, true, rounds);
+        let mut table = Table::new(
+            "switches",
+            &["latency_ms", "tps", "latency_ms(par)", "tps(par)"],
+        );
+        for (row, prow) in plain.iter().zip(&parallel) {
+            table.row(&row.0.to_string(), &[row.1, row.2, prow.1, prow.2]);
+        }
+        table.print(csv);
+        println!();
+    }
+    if panel == "c" || panel == "d" || panel == "all" {
+        println!("# Fig. 5(c)/(d) — PKT-IN performance vs f\n");
+        let rows = pktin_sweep_f(&F_VALUES, false, rounds);
+        let mut table = Table::new("f", &["group_size", "latency_ms", "tps"]);
+        for (f, lat, tps) in rows {
+            table.row(&f.to_string(), &[(3 * f + 1) as f64, lat, tps]);
+        }
+        table.print(csv);
+    }
+}

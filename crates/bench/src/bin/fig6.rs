@@ -1,0 +1,50 @@
+//! Fig. 6 — OP solve time versus `D_c,s`, for TCR/LCR with and without
+//! the leader (C2.6) and C2C (C2.4) constraints.
+//!
+//! Expected shapes (Section IV-B1 of the paper): the leader constraint
+//! is nearly free; the quadratic C2C constraint dominates the solve
+//! time; TCR is at most as expensive as LCR; `D_c,s` itself has no
+//! clear effect on solve time.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin fig6 -- [--csv]
+//! [--d-cc 10]`
+
+use curb_assign::Objective;
+use curb_bench::{arg_flag, arg_value, reassignment_op, OpCombo, Table};
+
+/// `D_c,s` sweep values (ms); the Internet2 CAP is infeasible below 12.
+pub const D_CS_VALUES: [f64; 5] = [12.0, 14.0, 16.0, 20.0, 25.0];
+
+fn combos(d_cc: f64) -> Vec<OpCombo> {
+    let mut out = Vec::new();
+    for objective in [Objective::Tcr, Objective::Lcr] {
+        for leader_pins in [false, true] {
+            for cc in [None, Some(d_cc)] {
+                out.push(OpCombo {
+                    objective,
+                    leader_pins,
+                    cc_threshold: cc,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let csv = arg_flag("csv");
+    let d_cc: f64 = arg_value("d-cc").and_then(|v| v.parse().ok()).unwrap_or(10.0);
+    let combos = combos(d_cc);
+    println!("# Fig. 6 — OP solve time (ms) vs D_c,s (D_c,c = {d_cc} ms)\n");
+    let labels: Vec<String> = combos.iter().map(OpCombo::label).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut table = Table::new("D_c,s (ms)", &label_refs);
+    for &d in &D_CS_VALUES {
+        let values: Vec<f64> = combos
+            .iter()
+            .map(|c| reassignment_op(d, c).map(|r| r.elapsed_ms).unwrap_or(f64::NAN))
+            .collect();
+        table.row(&format!("{d}"), &values);
+    }
+    table.print(csv);
+}

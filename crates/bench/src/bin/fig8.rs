@@ -1,0 +1,38 @@
+//! Fig. 8 — percentage of dynamic links (PDL) versus `D_c,s`.
+//!
+//! Expected shapes: PDL grows with `D_c,s` (fewer controllers ⇒ more
+//! links each ⇒ substituting one moves more links); LCR beats TCR; the
+//! leader constraint lowers PDL.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin fig8 -- [--csv]`
+
+use curb_assign::Objective;
+use curb_bench::{arg_flag, reassignment_op, OpCombo, Table};
+
+const D_CS_VALUES: [f64; 5] = [12.0, 14.0, 16.0, 20.0, 25.0];
+
+fn main() {
+    let csv = arg_flag("csv");
+    let combos = [
+        OpCombo { objective: Objective::Tcr, leader_pins: false, cc_threshold: None },
+        OpCombo { objective: Objective::Lcr, leader_pins: false, cc_threshold: None },
+        OpCombo { objective: Objective::Tcr, leader_pins: true, cc_threshold: None },
+        OpCombo { objective: Objective::Lcr, leader_pins: true, cc_threshold: None },
+    ];
+    println!("# Fig. 8 — PDL (%) vs D_c,s\n");
+    let labels: Vec<String> = combos.iter().map(OpCombo::label).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut table = Table::new("D_c,s (ms)", &label_refs);
+    for &d in &D_CS_VALUES {
+        let values: Vec<f64> = combos
+            .iter()
+            .map(|c| {
+                reassignment_op(d, c)
+                    .map(|r| r.pdl * 100.0)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        table.row(&format!("{d}"), &values);
+    }
+    table.print(csv);
+}

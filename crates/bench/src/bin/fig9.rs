@@ -1,0 +1,66 @@
+//! Fig. 9 — performance of handling RE_ASSIGNMENT requests.
+//!
+//! Every switch issues a RE-ASS request per round; the group leaders
+//! solve the OP (TCR or LCR — the solve time is charged as simulated
+//! computation) and the result flows through both consensus stages.
+//!
+//! * `--panel a`: latency vs number of switches, TCR vs LCR;
+//! * `--panel b`: latency vs `f`, TCR vs LCR;
+//! * `--panel c`: throughput vs number of switches and vs `f`;
+//! * no `--panel`: all.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin fig9 -- [--panel a]
+//! [--rounds 3] [--csv]`
+
+use curb_assign::Objective;
+use curb_bench::{arg_flag, arg_value, reass_sweep_f, reass_sweep_switches, Table};
+
+const SWITCH_COUNTS: [usize; 5] = [10, 16, 22, 28, 34];
+const F_VALUES: [usize; 4] = [1, 2, 3, 4];
+
+fn main() {
+    let panel = arg_value("panel").unwrap_or_else(|| "all".to_string());
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let csv = arg_flag("csv");
+
+    if panel == "a" || panel == "all" {
+        println!("# Fig. 9(a) — RE-ASS latency vs number of switches\n");
+        let tcr = reass_sweep_switches(&SWITCH_COUNTS, Objective::Tcr, rounds);
+        let lcr = reass_sweep_switches(&SWITCH_COUNTS, Objective::Lcr, rounds);
+        let mut table = Table::new("switches", &["TCR_latency_ms", "LCR_latency_ms"]);
+        for (t, l) in tcr.iter().zip(&lcr) {
+            table.row(&t.0.to_string(), &[t.1, l.1]);
+        }
+        table.print(csv);
+        println!();
+    }
+    if panel == "b" || panel == "all" {
+        println!("# Fig. 9(b) — RE-ASS latency vs f\n");
+        let tcr = reass_sweep_f(&F_VALUES, Objective::Tcr, rounds);
+        let lcr = reass_sweep_f(&F_VALUES, Objective::Lcr, rounds);
+        let mut table = Table::new("f", &["TCR_latency_ms", "LCR_latency_ms"]);
+        for (t, l) in tcr.iter().zip(&lcr) {
+            table.row(&t.0.to_string(), &[t.1, l.1]);
+        }
+        table.print(csv);
+        println!();
+    }
+    if panel == "c" || panel == "all" {
+        println!("# Fig. 9(c) — RE-ASS throughput\n");
+        let tcr_s = reass_sweep_switches(&SWITCH_COUNTS, Objective::Tcr, rounds);
+        let lcr_s = reass_sweep_switches(&SWITCH_COUNTS, Objective::Lcr, rounds);
+        let mut table = Table::new("switches", &["TCR_tps", "LCR_tps"]);
+        for (t, l) in tcr_s.iter().zip(&lcr_s) {
+            table.row(&t.0.to_string(), &[t.2, l.2]);
+        }
+        table.print(csv);
+        println!();
+        let tcr_f = reass_sweep_f(&F_VALUES, Objective::Tcr, rounds);
+        let lcr_f = reass_sweep_f(&F_VALUES, Objective::Lcr, rounds);
+        let mut table = Table::new("f", &["TCR_tps", "LCR_tps"]);
+        for (t, l) in tcr_f.iter().zip(&lcr_f) {
+            table.row(&t.0.to_string(), &[t.2, l.2]);
+        }
+        table.print(csv);
+    }
+}

@@ -1,0 +1,29 @@
+//! Renders the live control plane to a self-contained HTML file — the
+//! Rust counterpart of the paper's HTML topology viewer.
+//!
+//! Usage: `cargo run --release -p curb-bench --bin visualize --
+//! [--out results/topology.html] [--byzantine] [--rounds 8]`
+
+use curb_bench::{arg_flag, arg_value, render_html};
+use curb_core::{ControllerBehavior, CurbConfig, CurbNetwork};
+use curb_graph::internet2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = arg_value("out").unwrap_or_else(|| "results/topology.html".to_string());
+    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let topo = internet2();
+    let mut net = CurbNetwork::new(&topo, CurbConfig::default())?;
+    if arg_flag("byzantine") {
+        let victim = net.epoch().groups[0].leader();
+        println!("injecting a silent byzantine leader: c{victim}");
+        net.set_controller_behavior(victim, ControllerBehavior::Silent);
+    }
+    let report = net.run_rounds(rounds);
+    let html = render_html(&topo, &net, Some(&report));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&out, html)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Experiment harness for the Curb reproduction.
+//!
+//! One binary per paper figure (`fig4` … `fig9`, plus `complexity` for
+//! Theorem 1); this library holds the shared pieces: the scenario
+//! runners, sweep definitions and a plain-text table printer. Binaries
+//! accept `--csv` to emit machine-readable output instead.
+//!
+//! Run them with, for example:
+//!
+//! ```text
+//! cargo run --release -p curb-bench --bin fig5 -- --panel a
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+pub mod table;
+pub mod viz;
+
+pub use scenarios::*;
+pub use table::Table;
+pub use viz::render_html;
+
+/// Returns the value following `--name` in the process arguments.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Returns whether `--name` appears in the process arguments.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}

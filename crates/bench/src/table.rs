@@ -1,0 +1,125 @@
+//! Plain-text / CSV result tables.
+
+/// A simple result table: one label column plus numeric data columns.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_bench::Table;
+///
+/// let mut t = Table::new("D_c,s (ms)", &["TCR", "LCR"]);
+/// t.row("6", &[1.2, 1.4]);
+/// let text = t.render();
+/// assert!(text.contains("TCR"));
+/// assert!(text.contains("1.40"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    label_header: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates a table with the given label-column header and data
+    /// column names.
+    pub fn new(label_header: &str, columns: &[&str]) -> Self {
+        Table {
+            label_header: label_header.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn row(&mut self, label: &str, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "column count mismatch");
+        self.rows.push((label.to_string(), values.to_vec()));
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths = vec![self.label_header.len()];
+        widths.extend(self.columns.iter().map(|c| c.len().max(10)));
+        for (label, _) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<w$}", self.label_header, w = widths[0]));
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", c, w = widths[i + 1]));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * self.columns.len()));
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{:<w$}", label, w = widths[0]));
+            for (i, v) in values.iter().enumerate() {
+                out.push_str(&format!("  {:>w$.2}", v, w = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.label_header.replace(',', ";"));
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.replace(',', ";"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&label.replace(',', ";"));
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints text or CSV depending on the `--csv` flag.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_includes_values() {
+        let mut t = Table::new("x", &["alpha", "b"]);
+        t.row("long-label", &[1.0, 2.5]);
+        t.row("s", &[10.25, -3.0]);
+        let text = t.render();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("10.25"));
+        assert!(text.contains("long-label"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut t = Table::new("x", &["a"]);
+        t.row("r1", &[0.5]);
+        assert_eq!(t.render_csv(), "x,a\nr1,0.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        Table::new("x", &["a", "b"]).row("r", &[1.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Self-contained HTML/SVG visualisation of a Curb deployment.
+//!
+//! The paper's artifact ships an HTML viewer for the Internet2 topology
+//! (Fig. 3: controllers as blue points, switches as yellow points).
+//! This module renders the same picture — plus the live controller
+//! assignment and a round-report table — into a single dependency-free
+//! HTML file.
+
+use curb_core::{CurbNetwork, Report, SwitchId};
+use curb_graph::{Internet2, Role};
+use std::fmt::Write as _;
+
+/// Projects (lat, lon) onto SVG coordinates inside `width × height`.
+fn project(topo: &Internet2, width: f64, height: f64) -> impl Fn(f64, f64) -> (f64, f64) + '_ {
+    let lats: Vec<f64> = topo.sites.iter().map(|s| s.lat).collect();
+    let lons: Vec<f64> = topo.sites.iter().map(|s| s.lon).collect();
+    let (lat_min, lat_max) = (
+        lats.iter().cloned().fold(f64::INFINITY, f64::min),
+        lats.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (lon_min, lon_max) = (
+        lons.iter().cloned().fold(f64::INFINITY, f64::min),
+        lons.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let margin = 40.0;
+    move |lat: f64, lon: f64| {
+        let x = margin + (lon - lon_min) / (lon_max - lon_min).max(1e-9) * (width - 2.0 * margin);
+        let y = margin
+            + (lat_max - lat) / (lat_max - lat_min).max(1e-9) * (height - 2.0 * margin);
+        (x, y)
+    }
+}
+
+/// Categorical palette for controller groups.
+const GROUP_COLORS: [&str; 10] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+    "#9c6b4e", "#9498a0",
+];
+
+/// Renders the deployment as a complete HTML document: the topology
+/// map (paper Fig. 3 style), switch-to-group assignment edges, the
+/// final committee, and an optional round-report table.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_bench::render_html;
+/// use curb_core::{CurbConfig, CurbNetwork};
+/// use curb_graph::internet2;
+///
+/// let topo = internet2();
+/// let net = CurbNetwork::new(&topo, CurbConfig::default()).unwrap();
+/// let html = render_html(&topo, &net, None);
+/// assert!(html.contains("<svg"));
+/// assert!(html.contains("Seattle"));
+/// ```
+pub fn render_html(topo: &Internet2, net: &CurbNetwork, report: Option<&Report>) -> String {
+    let (width, height) = (1080.0, 640.0);
+    let to_xy = project(topo, width, height);
+    let controller_sites: Vec<usize> = topo.controllers().collect();
+    let switch_sites: Vec<usize> = topo.switches().collect();
+
+    let mut svg = String::new();
+    // Physical links.
+    for (a, b, _) in topo.graph.edges() {
+        let (x1, y1) = to_xy(topo.sites[a].lat, topo.sites[a].lon);
+        let (x2, y2) = to_xy(topo.sites[b].lat, topo.sites[b].lon);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#d0d0d8" stroke-width="1"/>"##
+        );
+    }
+    // Assignment edges: switch -> its controllers, coloured by group.
+    let epoch = net.epoch();
+    for (i, &site) in switch_sites.iter().enumerate() {
+        let gid = epoch.group_of(SwitchId(i)).0;
+        let color = GROUP_COLORS[gid % GROUP_COLORS.len()];
+        let (x1, y1) = to_xy(topo.sites[site].lat, topo.sites[site].lon);
+        for &c in epoch.ctrl_list(SwitchId(i)) {
+            let csite = controller_sites[c];
+            let (x2, y2) = to_xy(topo.sites[csite].lat, topo.sites[csite].lon);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="0.7" stroke-opacity="0.55"/>"##
+            );
+        }
+    }
+    // Sites: blue controllers, yellow switches (the paper's colours).
+    for (idx, site) in topo.sites.iter().enumerate() {
+        let (x, y) = to_xy(site.lat, site.lon);
+        let (fill, r) = match site.role {
+            Role::Controller => ("#2457c5", 7.0),
+            Role::Switch => ("#f2c14e", 5.0),
+        };
+        // Removed controllers are hollowed out; committee members get a
+        // ring.
+        let mut extra = String::new();
+        if site.role == Role::Controller {
+            let c = controller_sites
+                .iter()
+                .position(|&s| s == idx)
+                .expect("controller site");
+            if epoch.in_final_com(c) {
+                let _ = write!(
+                    extra,
+                    r##"<circle cx="{x:.1}" cy="{y:.1}" r="11" fill="none" stroke="#2457c5" stroke-width="1.5"/>"##
+                );
+            }
+            if epoch.removed.get(c).copied().unwrap_or(false) {
+                let _ = write!(
+                    extra,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#c0392b" stroke-width="2.5"/>"##,
+                    x - 8.0,
+                    y - 8.0,
+                    x + 8.0,
+                    y + 8.0
+                );
+            }
+        }
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{fill}" stroke="#333" stroke-width="0.8"><title>{}</title></circle>{extra}
+<text x="{x:.1}" y="{:.1}" font-size="9" text-anchor="middle" fill="#555">{}</text>"##,
+            site.name,
+            y - 10.0,
+            site.name
+        );
+    }
+
+    let mut rows = String::new();
+    if let Some(report) = report {
+        for r in &report.rounds {
+            let _ = writeln!(
+                rows,
+                "<tr><td>{}</td><td>{}/{}</td><td>{:.1} ms</td><td>{:.1}</td><td>{}</td><td>{:?}</td></tr>",
+                r.round,
+                r.accepted,
+                r.requests,
+                r.avg_latency.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+                r.throughput_tps,
+                r.chain_height,
+                r.removed_controllers,
+            );
+        }
+    }
+    let table = if rows.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<h2>Rounds</h2><table><tr><th>round</th><th>served</th><th>latency</th>\
+             <th>TPS</th><th>chain height</th><th>removed</th></tr>{rows}</table>"
+        )
+    };
+
+    format!(
+        r##"<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Curb control plane</title>
+<style>
+body {{ font-family: system-ui, sans-serif; margin: 24px; color: #222; }}
+table {{ border-collapse: collapse; margin-top: 8px; }}
+td, th {{ border: 1px solid #ccc; padding: 4px 10px; font-size: 13px; }}
+.legend span {{ margin-right: 18px; font-size: 13px; }}
+.dot {{ display: inline-block; width: 10px; height: 10px; border-radius: 50%; margin-right: 4px; }}
+</style></head><body>
+<h1>Curb — {controllers} controllers, {switches} switches, {groups} groups</h1>
+<p class="legend">
+<span><span class="dot" style="background:#2457c5"></span>controller</span>
+<span><span class="dot" style="background:#f2c14e"></span>switch</span>
+<span>◎ final committee</span>
+<span style="color:#c0392b">╱ removed</span>
+<span>coloured edges: controller groups</span>
+</p>
+<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}">
+{svg}</svg>
+{table}
+</body></html>
+"##,
+        controllers = net.n_controllers(),
+        switches = net.n_switches(),
+        groups = epoch.group_count(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_core::CurbConfig;
+    use curb_graph::internet2;
+
+    #[test]
+    fn renders_complete_document() {
+        let topo = internet2();
+        let net = CurbNetwork::new(&topo, CurbConfig::default()).unwrap();
+        let html = render_html(&topo, &net, None);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<svg"));
+        // Every site is labelled.
+        for site in &topo.sites {
+            assert!(html.contains(site.name.as_str()), "{}", site.name);
+        }
+        // No report => no table.
+        assert!(!html.contains("<table>"));
+    }
+
+    #[test]
+    fn report_table_included_when_given() {
+        let topo = internet2();
+        let mut net = CurbNetwork::new(&topo, CurbConfig::default()).unwrap();
+        let report = net.run_rounds(1);
+        let html = render_html(&topo, &net, Some(&report));
+        assert!(html.contains("<table>"));
+        assert!(html.contains("<td>1</td>"));
+    }
+
+    #[test]
+    fn committee_rings_present() {
+        let topo = internet2();
+        let net = CurbNetwork::new(&topo, CurbConfig::default()).unwrap();
+        let html = render_html(&topo, &net, None);
+        // One ring per committee member.
+        let rings = html.matches(r##"r="11""##).count();
+        assert_eq!(rings, net.epoch().final_com.len());
+    }
+}

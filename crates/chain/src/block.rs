@@ -1,0 +1,157 @@
+//! Blocks and block headers.
+
+use crate::merkle::merkle_root;
+use crate::transaction::Transaction;
+use curb_crypto::sha256::{digest_parts, Digest};
+
+/// A block header: the hash-linked, Merkle-committed part of a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the previous block's header ([`Digest::ZERO`] for
+    /// genesis).
+    pub prev_hash: Digest,
+    /// Merkle root over the block body's transaction ids.
+    pub merkle_root: Digest,
+    /// Simulation timestamp (nanoseconds) at which the block was cut.
+    pub timestamp_ns: u64,
+}
+
+impl BlockHeader {
+    /// The header hash, linking the next block to this one.
+    pub fn hash(&self) -> Digest {
+        digest_parts(&[
+            b"curb-block",
+            &self.height.to_be_bytes(),
+            &self.prev_hash.0,
+            &self.merkle_root.0,
+            &self.timestamp_ns.to_be_bytes(),
+        ])
+    }
+}
+
+/// A block: header plus the ordered transaction body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The hash-linked header.
+    pub header: BlockHeader,
+    /// Ordered transactions confirmed by this block.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// Builds the genesis block from initialisation data (the paper's
+    /// Step 0 records the initial assignment and final committee here).
+    pub fn genesis(init_record: &[u8]) -> Block {
+        let tx = Transaction::new(
+            crate::transaction::RequestKind::Init,
+            0,
+            0,
+            init_record.to_vec(),
+        );
+        let txs = vec![tx];
+        let header = BlockHeader {
+            height: 0,
+            prev_hash: Digest::ZERO,
+            merkle_root: merkle_root(&[txs[0].id()]),
+            timestamp_ns: 0,
+        };
+        Block { header, txs }
+    }
+
+    /// Builds the successor of `parent` containing `txs`.
+    pub fn next(parent: &Block, txs: Vec<Transaction>, timestamp_ns: u64) -> Block {
+        let ids: Vec<Digest> = txs.iter().map(Transaction::id).collect();
+        let header = BlockHeader {
+            height: parent.header.height + 1,
+            prev_hash: parent.header.hash(),
+            merkle_root: merkle_root(&ids),
+            timestamp_ns,
+        };
+        Block { header, txs }
+    }
+
+    /// Recomputes the Merkle root from the body and compares it with the
+    /// header commitment.
+    pub fn body_matches_header(&self) -> bool {
+        let ids: Vec<Digest> = self.txs.iter().map(Transaction::id).collect();
+        merkle_root(&ids) == self.header.merkle_root
+    }
+
+    /// The block's own hash (its header hash).
+    pub fn hash(&self) -> Digest {
+        self.header.hash()
+    }
+
+    /// Approximate wire size: header (104 bytes) plus transactions.
+    pub fn wire_size(&self) -> usize {
+        104 + self.txs.iter().map(Transaction::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::RequestKind;
+
+    fn tx(n: u64) -> Transaction {
+        Transaction::new(RequestKind::PacketIn, n, n + 1, vec![n as u8])
+    }
+
+    #[test]
+    fn genesis_is_height_zero_with_zero_prev() {
+        let g = Block::genesis(b"init");
+        assert_eq!(g.header.height, 0);
+        assert_eq!(g.header.prev_hash, Digest::ZERO);
+        assert!(g.body_matches_header());
+        assert_eq!(g.txs.len(), 1);
+        assert_eq!(g.txs[0].kind, RequestKind::Init);
+    }
+
+    #[test]
+    fn next_links_to_parent() {
+        let g = Block::genesis(b"init");
+        let b = Block::next(&g, vec![tx(1), tx(2)], 500);
+        assert_eq!(b.header.height, 1);
+        assert_eq!(b.header.prev_hash, g.hash());
+        assert!(b.body_matches_header());
+    }
+
+    #[test]
+    fn tampered_body_detected() {
+        let g = Block::genesis(b"init");
+        let mut b = Block::next(&g, vec![tx(1)], 500);
+        b.txs[0].config = vec![0xFF];
+        assert!(!b.body_matches_header());
+    }
+
+    #[test]
+    fn header_hash_covers_all_fields() {
+        let g = Block::genesis(b"init");
+        let b = Block::next(&g, vec![tx(1)], 500);
+        let base = b.hash();
+        let mut h = b.header.clone();
+        h.height += 1;
+        assert_ne!(h.hash(), base);
+        let mut h = b.header.clone();
+        h.timestamp_ns += 1;
+        assert_ne!(h.hash(), base);
+        let mut h = b.header.clone();
+        h.prev_hash = Digest::ZERO;
+        assert_ne!(h.hash(), base);
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let g = Block::genesis(b"init");
+        let b = Block::next(&g, vec![], 1);
+        assert!(b.body_matches_header());
+        assert_eq!(b.wire_size(), 104);
+    }
+
+    #[test]
+    fn distinct_genesis_records_distinct_hashes() {
+        assert_ne!(Block::genesis(b"a").hash(), Block::genesis(b"b").hash());
+    }
+}

@@ -1,0 +1,96 @@
+//! Merkle-root computation over transaction ids.
+
+use curb_crypto::sha256::{digest_parts, Digest};
+
+/// Computes the Merkle root of an ordered list of leaf digests.
+///
+/// Odd nodes at any level are paired with themselves (Bitcoin-style).
+/// The root of an empty list is defined as the digest of the empty
+/// domain tag, so an empty block still has a well-defined root distinct
+/// from any non-empty block.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_chain::merkle_root;
+/// use curb_crypto::sha256::digest;
+///
+/// let leaves = vec![digest(b"a"), digest(b"b"), digest(b"c")];
+/// let root = merkle_root(&leaves);
+/// assert_ne!(root, merkle_root(&leaves[..2]));
+/// ```
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        return digest_parts(&[b"curb-merkle-empty"]);
+    }
+    let mut level: Vec<Digest> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let right = pair.get(1).unwrap_or(&pair[0]);
+            next.push(digest_parts(&[b"curb-merkle-node", &pair[0].0, &right.0]));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_crypto::sha256::digest;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| digest(&[i as u8])).collect()
+    }
+
+    #[test]
+    fn empty_root_is_stable_and_distinct() {
+        assert_eq!(merkle_root(&[]), merkle_root(&[]));
+        assert_ne!(merkle_root(&[]), merkle_root(&leaves(1)));
+    }
+
+    #[test]
+    fn single_leaf_root_is_the_leaf() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn order_matters() {
+        let l = leaves(2);
+        let swapped = vec![l[1], l[0]];
+        assert_ne!(merkle_root(&l), merkle_root(&swapped));
+    }
+
+    #[test]
+    fn any_leaf_change_changes_root() {
+        let l = leaves(7);
+        let base = merkle_root(&l);
+        for i in 0..7 {
+            let mut mutated = l.clone();
+            mutated[i] = digest(b"mutant");
+            assert_ne!(merkle_root(&mutated), base, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn odd_counts_are_handled() {
+        // 1..=9 leaves must all produce distinct, stable roots.
+        let roots: Vec<Digest> = (1..=9).map(|n| merkle_root(&leaves(n))).collect();
+        for i in 0..roots.len() {
+            for j in (i + 1)..roots.len() {
+                assert_ne!(roots[i], roots[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_leaf_attack_prevented_at_root_level() {
+        // [a, b] and [a, b, b] must differ (the classic CVE-2012-2459
+        // shape); our domain-tagged nodes still distinguish them.
+        let l2 = leaves(2);
+        let l3 = vec![l2[0], l2[1], l2[1]];
+        assert_ne!(merkle_root(&l2), merkle_root(&l3));
+    }
+}

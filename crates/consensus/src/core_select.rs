@@ -1,0 +1,285 @@
+//! Pluggable consensus cores.
+//!
+//! Curb treats its BFT engine as a subroutine; this module lets the
+//! embedding pick the engine per instance — classic PBFT (quadratic
+//! messages, one round-trip fewer) or HotStuff (linear messages, one
+//! phase more) — behind one uniform, sans-I/O interface.
+
+use crate::hotstuff::{HotStuffMsg, HotStuffReplica, HsOutbound};
+use crate::messages::{Dest, Outbound, PbftMsg};
+use crate::payload::Payload;
+use crate::replica::{Behavior, NotLeader, Replica, ReplicaId, Seq};
+use crate::tendermint::{TendermintMsg, TendermintReplica, TmOutbound};
+
+/// Which consensus engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreKind {
+    /// Practical byzantine fault tolerance (the paper's choice).
+    #[default]
+    Pbft,
+    /// HotStuff with linear communication (the paper's named
+    /// alternative).
+    HotStuff,
+    /// Tendermint with rotating proposers and nil votes (the paper's
+    /// other named alternative).
+    Tendermint,
+}
+
+/// A message of either engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreMsg<P> {
+    /// A PBFT message.
+    Pbft(PbftMsg<P>),
+    /// A HotStuff message.
+    HotStuff(HotStuffMsg<P>),
+    /// A Tendermint message.
+    Tendermint(TendermintMsg<P>),
+}
+
+impl<P: Payload> CoreMsg<P> {
+    /// Category label for message accounting.
+    pub fn category(&self) -> &'static str {
+        match self {
+            CoreMsg::Pbft(m) => m.category(),
+            CoreMsg::HotStuff(m) => m.category(),
+            CoreMsg::Tendermint(m) => m.category(),
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            CoreMsg::Pbft(m) => m.wire_size(),
+            CoreMsg::HotStuff(m) => m.wire_size(),
+            CoreMsg::Tendermint(m) => m.wire_size(),
+        }
+    }
+}
+
+/// A replica of either engine, with the uniform interface the Curb
+/// protocol embeds.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_consensus::{BftCore, BytesPayload, CoreKind};
+///
+/// let mut leader = BftCore::<BytesPayload>::new(CoreKind::HotStuff, 0, 4);
+/// assert!(leader.is_leader());
+/// let out = leader.propose(BytesPayload(vec![1])).unwrap();
+/// assert!(!out.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub enum BftCore<P> {
+    /// A PBFT replica.
+    Pbft(Replica<P>),
+    /// A HotStuff replica.
+    HotStuff(HotStuffReplica<P>),
+    /// A Tendermint replica.
+    Tendermint(TendermintReplica<P>),
+}
+
+impl<P: Payload + Default> BftCore<P> {
+    /// Creates replica `id` of a group of `n`, running `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n` or `n == 0`.
+    pub fn new(kind: CoreKind, id: ReplicaId, n: usize) -> Self {
+        match kind {
+            CoreKind::Pbft => BftCore::Pbft(Replica::new(id, n)),
+            CoreKind::HotStuff => BftCore::HotStuff(HotStuffReplica::new(id, n)),
+            CoreKind::Tendermint => BftCore::Tendermint(TendermintReplica::new(id, n)),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        match self {
+            BftCore::Pbft(r) => r.id(),
+            BftCore::HotStuff(r) => r.id(),
+            BftCore::Tendermint(r) => r.id(),
+        }
+    }
+
+    /// Whether this replica leads its current view.
+    pub fn is_leader(&self) -> bool {
+        match self {
+            BftCore::Pbft(r) => r.is_leader(),
+            BftCore::HotStuff(r) => r.is_leader(),
+            BftCore::Tendermint(r) => r.is_leader(),
+        }
+    }
+
+    /// Sets the fault-injection behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        match self {
+            BftCore::Pbft(r) => r.set_behavior(behavior),
+            BftCore::HotStuff(r) => r.set_behavior(behavior),
+            BftCore::Tendermint(r) => r.set_behavior(behavior),
+        }
+    }
+
+    /// Proposes `payload` (leader only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] if this replica does not lead the current
+    /// view.
+    pub fn propose(&mut self, payload: P) -> Result<Vec<(Dest, CoreMsg<P>)>, NotLeader> {
+        match self {
+            BftCore::Pbft(r) => Ok(r
+                .propose(payload)?
+                .into_iter()
+                .map(|Outbound { dest, msg }| (dest, CoreMsg::Pbft(msg)))
+                .collect()),
+            BftCore::HotStuff(r) => Ok(r
+                .propose(payload)?
+                .into_iter()
+                .map(|HsOutbound { dest, msg }| (dest, CoreMsg::HotStuff(msg)))
+                .collect()),
+            BftCore::Tendermint(r) => Ok(r
+                .propose(payload)?
+                .into_iter()
+                .map(|TmOutbound { dest, msg }| (dest, CoreMsg::Tendermint(msg)))
+                .collect()),
+        }
+    }
+
+    /// Handles a message from `from`. Messages of the other engine are
+    /// ignored (they cannot arise in a consistently-configured
+    /// deployment, but a byzantine sender could fabricate them).
+    pub fn on_message(&mut self, from: ReplicaId, msg: CoreMsg<P>) -> Vec<(Dest, CoreMsg<P>)> {
+        match (self, msg) {
+            (BftCore::Pbft(r), CoreMsg::Pbft(m)) => r
+                .on_message(from, m)
+                .into_iter()
+                .map(|Outbound { dest, msg }| (dest, CoreMsg::Pbft(msg)))
+                .collect(),
+            (BftCore::HotStuff(r), CoreMsg::HotStuff(m)) => {
+                // Implicit pacemaker: a proposal from a later view
+                // synchronises the follower into it.
+                if let HotStuffMsg::Prepare { view, .. } = &m {
+                    r.sync_view(*view);
+                }
+                r.on_message(from, m)
+                    .into_iter()
+                    .map(|HsOutbound { dest, msg }| (dest, CoreMsg::HotStuff(msg)))
+                    .collect()
+            }
+            (BftCore::Tendermint(r), CoreMsg::Tendermint(m)) => r
+                .on_message(from, m)
+                .into_iter()
+                .map(|TmOutbound { dest, msg }| (dest, CoreMsg::Tendermint(msg)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Starts a view change (timer-driven).
+    pub fn start_view_change(&mut self) -> Vec<(Dest, CoreMsg<P>)> {
+        match self {
+            BftCore::Pbft(r) => r
+                .start_view_change()
+                .into_iter()
+                .map(|Outbound { dest, msg }| (dest, CoreMsg::Pbft(msg)))
+                .collect(),
+            BftCore::HotStuff(r) => r
+                .start_view_change()
+                .into_iter()
+                .map(|HsOutbound { dest, msg }| (dest, CoreMsg::HotStuff(msg)))
+                .collect(),
+            BftCore::Tendermint(r) => r
+                .start_view_change()
+                .into_iter()
+                .map(|TmOutbound { dest, msg }| (dest, CoreMsg::Tendermint(msg)))
+                .collect(),
+        }
+    }
+
+    /// Drains decisions in sequence order, exactly once.
+    pub fn take_decisions(&mut self) -> Vec<(Seq, P)> {
+        match self {
+            BftCore::Pbft(r) => r.take_decisions(),
+            BftCore::HotStuff(r) => r.take_decisions(),
+            BftCore::Tendermint(r) => r.take_decisions(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::BytesPayload;
+    use std::collections::VecDeque;
+
+    /// Minimal bus: drives a homogeneous BftCore group to quiescence.
+    fn drive(kind: CoreKind, n: usize, payload: &[u8]) -> (Vec<Vec<(Seq, BytesPayload)>>, u64) {
+        let mut replicas: Vec<BftCore<BytesPayload>> =
+            (0..n).map(|i| BftCore::new(kind, i, n)).collect();
+        let mut logs = vec![Vec::new(); n];
+        let mut queue: VecDeque<(usize, usize, CoreMsg<BytesPayload>)> = VecDeque::new();
+        let mut sent = 0u64;
+        let mut push = |queue: &mut VecDeque<_>, sent: &mut u64, from: usize, out: Vec<(Dest, CoreMsg<BytesPayload>)>| {
+            for (dest, msg) in out {
+                match dest {
+                    Dest::Broadcast => {
+                        for to in 0..n {
+                            if to != from {
+                                *sent += 1;
+                                queue.push_back((from, to, msg.clone()));
+                            }
+                        }
+                    }
+                    Dest::To(to) => {
+                        *sent += 1;
+                        queue.push_back((from, to, msg));
+                    }
+                }
+            }
+        };
+        let out = replicas[0].propose(BytesPayload(payload.to_vec())).unwrap();
+        push(&mut queue, &mut sent, 0, out);
+        logs[0].extend(replicas[0].take_decisions());
+        while let Some((from, to, msg)) = queue.pop_front() {
+            let out = replicas[to].on_message(from, msg);
+            push(&mut queue, &mut sent, to, out);
+            logs[to].extend(replicas[to].take_decisions());
+        }
+        (logs, sent)
+    }
+
+    #[test]
+    fn both_engines_decide_through_the_uniform_interface() {
+        for kind in [CoreKind::Pbft, CoreKind::HotStuff, CoreKind::Tendermint] {
+            let (logs, _) = drive(kind, 4, b"value");
+            for (r, log) in logs.iter().enumerate() {
+                assert_eq!(log.len(), 1, "{kind:?} replica {r}");
+                assert_eq!(log[0].1 .0, b"value".to_vec(), "{kind:?} replica {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotstuff_uses_fewer_messages_at_scale() {
+        let (_, pbft) = drive(CoreKind::Pbft, 13, b"v");
+        let (_, hs) = drive(CoreKind::HotStuff, 13, b"v");
+        assert!(hs * 2 < pbft, "HotStuff {hs} vs PBFT {pbft}");
+    }
+
+    #[test]
+    fn cross_engine_messages_ignored() {
+        let mut pbft = BftCore::<BytesPayload>::new(CoreKind::Pbft, 1, 4);
+        let hs_msg = CoreMsg::HotStuff(HotStuffMsg::Prepare {
+            view: 0,
+            seq: 1,
+            payload: BytesPayload(vec![1]),
+        });
+        assert!(pbft.on_message(0, hs_msg).is_empty());
+    }
+
+    #[test]
+    fn default_kind_is_pbft() {
+        assert_eq!(CoreKind::default(), CoreKind::Pbft);
+    }
+}

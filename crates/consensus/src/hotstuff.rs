@@ -1,0 +1,873 @@
+//! A HotStuff-style BFT core with linear communication.
+//!
+//! The paper notes that "Curb can be implemented with other BFT
+//! protocols including Tendermint and HotStuff". This module provides
+//! that alternative: the basic (non-chained) HotStuff pattern —
+//! four leader-driven phases (`PREPARE → PRE-COMMIT → COMMIT →
+//! DECIDE`), with replicas voting *to the leader only*, so a decision
+//! costs `O(n)` messages instead of PBFT's `O(n²)`.
+//!
+//! Simplifications relative to the full protocol (documented per the
+//! repository's reproduction ground rules):
+//!
+//! * quorum certificates are vote *sets* rather than threshold
+//!   signatures (the simulation does not need aggregate crypto);
+//! * instances are per-sequence one-shot rather than chained;
+//! * the view-change carries locked payloads explicitly, like this
+//!   crate's PBFT view change, rather than `prepareQC` justification.
+//!
+//! Safety characteristics are preserved for the fault models exercised
+//! here: a replica *locks* a value when it sees the `COMMIT` phase and
+//! refuses conflicting proposals for that sequence afterwards, and any
+//! new leader learns locked values from the `2f + 1` NEW-VIEW quorum.
+
+use crate::payload::Payload;
+use crate::replica::{Behavior, NotLeader, ReplicaId, Seq, View};
+use curb_crypto::sha256::Digest;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a HotStuff message should be delivered (mirrors
+/// [`crate::Dest`], re-declared to keep the modules self-contained).
+pub use crate::messages::Dest;
+
+/// A HotStuff protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HotStuffMsg<P> {
+    /// Phase 1, leader → all: the proposal.
+    Prepare {
+        /// View of the instance.
+        view: View,
+        /// Sequence number.
+        seq: Seq,
+        /// Proposed value.
+        payload: P,
+    },
+    /// Phase vote, replica → leader. `phase` is 1 (prepare), 2
+    /// (pre-commit) or 3 (commit).
+    Vote {
+        /// View of the instance.
+        view: View,
+        /// Sequence number.
+        seq: Seq,
+        /// Digest being voted for.
+        digest: Digest,
+        /// Which phase this vote belongs to.
+        phase: u8,
+    },
+    /// Phase 2/3 announcement, leader → all, after collecting a `2f+1`
+    /// quorum for the previous phase. `phase` is 2 or 3.
+    Advance {
+        /// View of the instance.
+        view: View,
+        /// Sequence number.
+        seq: Seq,
+        /// Digest that gathered the quorum.
+        digest: Digest,
+        /// The phase being entered.
+        phase: u8,
+    },
+    /// Phase 4, leader → all: the decision (payload included so a
+    /// replica that missed the proposal still decides).
+    Decide {
+        /// View of the instance.
+        view: View,
+        /// Sequence number.
+        seq: Seq,
+        /// The decided value.
+        payload: P,
+    },
+    /// View-change vote, replica → the *next* leader, carrying locked
+    /// values.
+    NewView {
+        /// The view being requested.
+        new_view: View,
+        /// Locked `(seq, payload)` pairs that must be re-proposed.
+        locked: Vec<(Seq, P)>,
+    },
+}
+
+impl<P: Payload> HotStuffMsg<P> {
+    /// Category label for message accounting.
+    pub fn category(&self) -> &'static str {
+        match self {
+            HotStuffMsg::Prepare { .. } => "HS-PREPARE",
+            HotStuffMsg::Vote { .. } => "HS-VOTE",
+            HotStuffMsg::Advance { .. } => "HS-ADVANCE",
+            HotStuffMsg::Decide { .. } => "HS-DECIDE",
+            HotStuffMsg::NewView { .. } => "HS-NEW-VIEW",
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            HotStuffMsg::Prepare { payload, .. } | HotStuffMsg::Decide { payload, .. } => {
+                24 + payload.wire_size()
+            }
+            HotStuffMsg::Vote { .. } | HotStuffMsg::Advance { .. } => 56,
+            HotStuffMsg::NewView { locked, .. } => {
+                16 + locked.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// An outbound HotStuff message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HsOutbound<P> {
+    /// Destination.
+    pub dest: Dest,
+    /// The message.
+    pub msg: HotStuffMsg<P>,
+}
+
+#[derive(Debug, Clone)]
+struct HsInstance<P> {
+    view: View,
+    payload: Option<P>,
+    digest: Option<Digest>,
+    /// Leader-side vote tallies per phase (1, 2, 3).
+    votes: [BTreeSet<ReplicaId>; 3],
+    /// Highest phase announced by the leader that this replica has
+    /// voted in (replica side).
+    voted_phase: u8,
+    /// Set once the replica saw the COMMIT phase: it will not vote for
+    /// a conflicting payload in later views.
+    locked: Option<(Digest, P)>,
+    decided: bool,
+    /// Leader-side: phases already announced (avoid duplicates).
+    announced: u8,
+}
+
+impl<P> Default for HsInstance<P> {
+    fn default() -> Self {
+        HsInstance {
+            view: 0,
+            payload: None,
+            digest: None,
+            votes: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+            voted_phase: 0,
+            locked: None,
+            decided: false,
+            announced: 1,
+        }
+    }
+}
+
+/// A HotStuff replica: same sans-I/O shape as [`crate::Replica`], with
+/// linear message complexity.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_consensus::hotstuff::{HotStuffReplica, HsCluster};
+/// use curb_consensus::BytesPayload;
+///
+/// let mut cluster = HsCluster::<BytesPayload>::new(4);
+/// cluster.propose(BytesPayload(b"value".to_vec()));
+/// cluster.run_to_quiescence();
+/// for r in 0..4 {
+///     assert_eq!(cluster.decisions(r).len(), 1);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotStuffReplica<P> {
+    id: ReplicaId,
+    n: usize,
+    f: usize,
+    view: View,
+    next_seq: Seq,
+    next_deliver: Seq,
+    instances: BTreeMap<Seq, HsInstance<P>>,
+    ready: BTreeMap<Seq, P>,
+    behavior: Behavior,
+    new_view_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<(Seq, P)>>>,
+    voted_view: View,
+}
+
+impl<P: Payload + Default> HotStuffReplica<P> {
+    /// Creates replica `id` of a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n` or `n == 0`.
+    pub fn new(id: ReplicaId, n: usize) -> Self {
+        assert!(n > 0, "group must be non-empty");
+        assert!(id < n, "replica id out of range");
+        HotStuffReplica {
+            id,
+            n,
+            f: (n - 1) / 3,
+            view: 0,
+            next_seq: 1,
+            next_deliver: 1,
+            instances: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            behavior: Behavior::Honest,
+            new_view_votes: BTreeMap::new(),
+            voted_view: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Leader of view `v`.
+    pub fn leader_of(&self, v: View) -> ReplicaId {
+        (v % self.n as u64) as ReplicaId
+    }
+
+    /// Whether this replica leads the current view.
+    pub fn is_leader(&self) -> bool {
+        self.leader_of(self.view) == self.id
+    }
+
+    /// Sets the fault-injection behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Proposes `payload` at the next sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] if this replica does not lead the current
+    /// view.
+    pub fn propose(&mut self, payload: P) -> Result<Vec<HsOutbound<P>>, NotLeader> {
+        if !self.is_leader() {
+            return Err(NotLeader {
+                leader: self.leader_of(self.view),
+            });
+        }
+        if self.behavior == Behavior::Silent {
+            return Ok(Vec::new());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Ok(self.lead_proposal(seq, payload))
+    }
+
+    fn lead_proposal(&mut self, seq: Seq, payload: P) -> Vec<HsOutbound<P>> {
+        let digest = payload.digest();
+        let view = self.view;
+        let id = self.id;
+        let inst = self.instances.entry(seq).or_default();
+        inst.view = view;
+        inst.payload = Some(payload.clone());
+        inst.digest = Some(digest);
+        inst.announced = 1;
+        // The leader's own prepare vote.
+        inst.votes[0].insert(id);
+        let mut out = vec![HsOutbound {
+            dest: Dest::Broadcast,
+            msg: HotStuffMsg::Prepare { view, seq, payload },
+        }];
+        out.extend(self.check_quorums(seq));
+        out
+    }
+
+    /// Handles a message from `from`.
+    pub fn on_message(&mut self, from: ReplicaId, msg: HotStuffMsg<P>) -> Vec<HsOutbound<P>> {
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        match msg {
+            HotStuffMsg::Prepare { view, seq, payload } => {
+                self.on_prepare(from, view, seq, payload)
+            }
+            HotStuffMsg::Vote { view, seq, digest, phase } => {
+                self.on_vote(from, view, seq, digest, phase)
+            }
+            HotStuffMsg::Advance { view, seq, digest, phase } => {
+                self.on_advance(from, view, seq, digest, phase)
+            }
+            HotStuffMsg::Decide { view, seq, payload } => self.on_decide(from, view, seq, payload),
+            HotStuffMsg::NewView { new_view, locked } => self.on_new_view(from, new_view, locked),
+        }
+    }
+
+    fn vote_digest(&self, digest: Digest) -> Digest {
+        if self.behavior == Behavior::VoteGarbage {
+            let mut d = digest;
+            d.0[0] ^= 0xFF;
+            d.0[31] ^= self.id as u8 ^ 0x5A;
+            d
+        } else {
+            digest
+        }
+    }
+
+    fn on_prepare(&mut self, from: ReplicaId, view: View, seq: Seq, payload: P) -> Vec<HsOutbound<P>> {
+        if view != self.view || from != self.leader_of(view) || seq < self.next_deliver {
+            return Vec::new();
+        }
+        let digest = payload.digest();
+        let inst = self.instances.entry(seq).or_default();
+        if inst.decided {
+            return Vec::new();
+        }
+        // Locking rule: never vote against a locked value.
+        if let Some((locked_digest, _)) = &inst.locked {
+            if *locked_digest != digest {
+                return Vec::new();
+            }
+        }
+        if inst.view == view && inst.digest.is_some_and(|d| d != digest) {
+            return Vec::new(); // equivocating leader: first proposal wins
+        }
+        inst.view = view;
+        inst.payload = Some(payload);
+        inst.digest = Some(digest);
+        inst.voted_phase = 1;
+        let vote = self.vote_digest(digest);
+        vec![HsOutbound {
+            dest: Dest::To(self.leader_of(view)),
+            msg: HotStuffMsg::Vote { view, seq, digest: vote, phase: 1 },
+        }]
+    }
+
+    fn on_vote(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        digest: Digest,
+        phase: u8,
+    ) -> Vec<HsOutbound<P>> {
+        if view != self.view || !self.is_leader() || !(1..=3).contains(&phase) {
+            return Vec::new();
+        }
+        let Some(inst) = self.instances.get_mut(&seq) else {
+            return Vec::new();
+        };
+        if inst.digest != Some(digest) || inst.decided {
+            return Vec::new(); // garbage or stale vote
+        }
+        inst.votes[(phase - 1) as usize].insert(from);
+        self.check_quorums(seq)
+    }
+
+    /// Leader: announce the next phase for every completed quorum.
+    fn check_quorums(&mut self, seq: Seq) -> Vec<HsOutbound<P>> {
+        let quorum = self.quorum();
+        let view = self.view;
+        let id = self.id;
+        let Some(inst) = self.instances.get_mut(&seq) else {
+            return Vec::new();
+        };
+        let Some(digest) = inst.digest else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        // Phase 1 quorum → announce PRE-COMMIT (phase 2); phase 2 quorum
+        // → announce COMMIT (phase 3); phase 3 quorum → DECIDE.
+        for phase in 2..=3u8 {
+            if inst.announced < phase && inst.votes[(phase - 2) as usize].len() >= quorum {
+                inst.announced = phase;
+                // The leader participates in the new phase itself.
+                inst.votes[(phase - 1) as usize].insert(id);
+                if phase == 3 {
+                    // Leader reaches the commit phase: it locks too.
+                    inst.locked = Some((digest, inst.payload.clone().expect("digest implies payload")));
+                }
+                out.push(HsOutbound {
+                    dest: Dest::Broadcast,
+                    msg: HotStuffMsg::Advance { view, seq, digest, phase },
+                });
+            }
+        }
+        if !inst.decided && inst.votes[2].len() >= quorum {
+            inst.decided = true;
+            let payload = inst.payload.clone().expect("digest implies payload");
+            self.ready.insert(seq, payload.clone());
+            out.push(HsOutbound {
+                dest: Dest::Broadcast,
+                msg: HotStuffMsg::Decide { view, seq, payload },
+            });
+        }
+        out
+    }
+
+    fn on_advance(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        digest: Digest,
+        phase: u8,
+    ) -> Vec<HsOutbound<P>> {
+        if view != self.view || from != self.leader_of(view) || !(2..=3).contains(&phase) {
+            return Vec::new();
+        }
+        let vote = self.vote_digest(digest);
+        let leader = self.leader_of(view);
+        let Some(inst) = self.instances.get_mut(&seq) else {
+            return Vec::new();
+        };
+        if inst.digest != Some(digest) || inst.decided || inst.voted_phase >= phase {
+            return Vec::new();
+        }
+        inst.voted_phase = phase;
+        if phase == 3 {
+            // Seeing the COMMIT phase locks the value.
+            inst.locked = Some((digest, inst.payload.clone().expect("digest implies payload")));
+        }
+        vec![HsOutbound {
+            dest: Dest::To(leader),
+            msg: HotStuffMsg::Vote { view, seq, digest: vote, phase },
+        }]
+    }
+
+    fn on_decide(&mut self, from: ReplicaId, view: View, seq: Seq, payload: P) -> Vec<HsOutbound<P>> {
+        if from != self.leader_of(view) || seq < self.next_deliver {
+            return Vec::new();
+        }
+        let inst = self.instances.entry(seq).or_default();
+        if inst.decided {
+            return Vec::new();
+        }
+        // Trust requires the commit-phase lock: an honest leader only
+        // sends DECIDE after a commit quorum, which this replica joined
+        // (or will accept here if it missed the middle phases — the
+        // quorum implies 2f+1 replicas hold the lock).
+        inst.decided = true;
+        self.ready.insert(seq, payload);
+        Vec::new()
+    }
+
+    /// Initiates a view change to `view + 1` (timer-driven).
+    pub fn start_view_change(&mut self) -> Vec<HsOutbound<P>> {
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        let target = self.view + 1;
+        self.vote_new_view(target)
+    }
+
+    fn vote_new_view(&mut self, target: View) -> Vec<HsOutbound<P>> {
+        if target <= self.voted_view {
+            return Vec::new();
+        }
+        self.voted_view = target;
+        let locked: Vec<(Seq, P)> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| !i.decided)
+            .filter_map(|(&seq, i)| i.locked.as_ref().map(|(_, p)| (seq, p.clone())))
+            .collect();
+        self.new_view_votes
+            .entry(target)
+            .or_default()
+            .insert(self.id, locked.clone());
+        let next_leader = self.leader_of(target);
+        let mut out = vec![HsOutbound {
+            dest: Dest::To(next_leader),
+            msg: HotStuffMsg::NewView { new_view: target, locked },
+        }];
+        out.extend(self.maybe_enter_view(target));
+        out
+    }
+
+    fn on_new_view(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        locked: Vec<(Seq, P)>,
+    ) -> Vec<HsOutbound<P>> {
+        if new_view <= self.view || self.leader_of(new_view) != self.id {
+            return Vec::new();
+        }
+        self.new_view_votes
+            .entry(new_view)
+            .or_default()
+            .insert(from, locked);
+        self.maybe_enter_view(new_view)
+    }
+
+    /// The incoming leader with a `2f+1` NEW-VIEW quorum enters the view
+    /// and re-proposes locked payloads (no-ops fill holes).
+    fn maybe_enter_view(&mut self, target: View) -> Vec<HsOutbound<P>> {
+        if target <= self.view || self.leader_of(target) != self.id {
+            return Vec::new();
+        }
+        let Some(votes) = self.new_view_votes.get(&target) else {
+            return Vec::new();
+        };
+        if votes.len() < self.quorum() {
+            return Vec::new();
+        }
+        let mut carried: BTreeMap<Seq, P> = BTreeMap::new();
+        for locked in votes.values() {
+            for (seq, p) in locked {
+                carried.entry(*seq).or_insert_with(|| p.clone());
+            }
+        }
+        self.enter_view(target);
+        let max_carried = carried.keys().max().copied().unwrap_or(0);
+        let mut out = Vec::new();
+        for seq in self.next_deliver..=max_carried {
+            if self.instances.get(&seq).is_some_and(|i| i.decided) {
+                continue;
+            }
+            let payload = carried.remove(&seq).unwrap_or_default();
+            // Reset per-view instance state before leading it again.
+            if let Some(inst) = self.instances.get_mut(&seq) {
+                inst.votes = [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+                inst.voted_phase = 0;
+                inst.announced = 1;
+            }
+            out.extend(self.lead_proposal(seq, payload));
+            self.next_seq = self.next_seq.max(seq + 1);
+        }
+        out
+    }
+
+    fn enter_view(&mut self, view: View) {
+        self.view = view;
+        self.voted_view = self.voted_view.max(view);
+        self.new_view_votes.retain(|&v, _| v > view);
+        // Followers' per-instance vote state resets with the view.
+        for inst in self.instances.values_mut() {
+            if !inst.decided {
+                inst.view = view;
+                inst.votes = [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+                inst.voted_phase = 0;
+                inst.announced = 1;
+            }
+        }
+    }
+
+    /// Followers entering a new view on seeing the new leader's
+    /// proposal: HotStuff's implicit view synchronisation. Called by the
+    /// embedding when a `Prepare` for a later view arrives.
+    pub fn sync_view(&mut self, view: View) {
+        if view > self.view {
+            self.enter_view(view);
+        }
+    }
+
+    /// Drains decided payloads in sequence order, exactly once.
+    pub fn take_decisions(&mut self) -> Vec<(Seq, P)> {
+        let mut out = Vec::new();
+        while let Some(p) = self.ready.remove(&self.next_deliver) {
+            out.push((self.next_deliver, p));
+            self.instances.remove(&self.next_deliver);
+            self.next_deliver += 1;
+        }
+        out
+    }
+}
+
+/// Synchronous in-memory harness for HotStuff groups, mirroring
+/// [`crate::Cluster`].
+#[derive(Debug, Clone)]
+pub struct HsCluster<P: Payload> {
+    replicas: Vec<HotStuffReplica<P>>,
+    queue: std::collections::VecDeque<(ReplicaId, ReplicaId, HotStuffMsg<P>)>,
+    logs: Vec<Vec<(Seq, P)>>,
+    sent: BTreeMap<&'static str, u64>,
+}
+
+impl<P: Payload + Default> HsCluster<P> {
+    /// Creates a cluster of `n` honest replicas.
+    pub fn new(n: usize) -> Self {
+        HsCluster {
+            replicas: (0..n).map(|i| HotStuffReplica::new(i, n)).collect(),
+            queue: std::collections::VecDeque::new(),
+            logs: vec![Vec::new(); n],
+            sent: BTreeMap::new(),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Sets replica `r`'s behaviour.
+    pub fn set_behavior(&mut self, r: ReplicaId, behavior: Behavior) {
+        self.replicas[r].set_behavior(behavior);
+    }
+
+    /// Access to replica `r`.
+    pub fn replica(&self, r: ReplicaId) -> &HotStuffReplica<P> {
+        &self.replicas[r]
+    }
+
+    /// Proposes at the current leader.
+    pub fn propose(&mut self, payload: P) {
+        let view = self.replicas.iter().map(|r| r.view()).max().expect("non-empty");
+        let leader = (view % self.n() as u64) as ReplicaId;
+        if let Ok(out) = self.replicas[leader].propose(payload) {
+            self.enqueue(leader, out);
+        }
+        self.drain(leader);
+    }
+
+    /// Triggers a view change at replica `r`.
+    pub fn trigger_view_change(&mut self, r: ReplicaId) {
+        let out = self.replicas[r].start_view_change();
+        self.enqueue(r, out);
+    }
+
+    /// Delivers all queued messages (FIFO). Returns the count.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut delivered = 0;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            delivered += 1;
+            // Implicit view synchronisation on higher-view proposals.
+            if let HotStuffMsg::Prepare { view, .. } = &msg {
+                self.replicas[to].sync_view(*view);
+            }
+            let out = self.replicas[to].on_message(from, msg);
+            self.enqueue(to, out);
+            self.drain(to);
+        }
+        delivered
+    }
+
+    /// The decision log of replica `r`.
+    pub fn decisions(&self, r: ReplicaId) -> &[(Seq, P)] {
+        &self.logs[r]
+    }
+
+    /// Total messages sent.
+    pub fn total_messages(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Messages sent under `category`.
+    pub fn message_count(&self, category: &str) -> u64 {
+        self.sent.get(category).copied().unwrap_or(0)
+    }
+
+    /// PBFT-style agreement check over honest replicas.
+    pub fn agreement_holds(&self) -> bool {
+        for seq in 0..64u64 {
+            let mut value: Option<&P> = None;
+            for r in 0..self.n() {
+                if self.replicas[r].behavior() != Behavior::Honest {
+                    continue;
+                }
+                if let Some((_, p)) = self.logs[r].iter().find(|(s, _)| *s == seq) {
+                    match value {
+                        None => value = Some(p),
+                        Some(v) if v == p => {}
+                        Some(_) => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn enqueue(&mut self, from: ReplicaId, out: Vec<HsOutbound<P>>) {
+        for HsOutbound { dest, msg } in out {
+            *self.sent.entry(msg.category()).or_insert(0) += match dest {
+                Dest::Broadcast => (self.n() - 1) as u64,
+                Dest::To(_) => 1,
+            };
+            match dest {
+                Dest::Broadcast => {
+                    for to in 0..self.n() {
+                        if to != from {
+                            self.queue.push_back((from, to, msg.clone()));
+                        }
+                    }
+                }
+                Dest::To(to) => self.queue.push_back((from, to, msg)),
+            }
+        }
+    }
+
+    fn drain(&mut self, r: ReplicaId) {
+        let decided = self.replicas[r].take_decisions();
+        self.logs[r].extend(decided);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::BytesPayload;
+
+    fn p(b: &[u8]) -> BytesPayload {
+        BytesPayload(b.to_vec())
+    }
+
+    #[test]
+    fn four_honest_replicas_decide() {
+        let mut c = HsCluster::new(4);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in 0..4 {
+            assert_eq!(c.decisions(r), &[(1, p(b"v"))], "replica {r}");
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn sequences_decide_in_order() {
+        let mut c = HsCluster::new(7);
+        for i in 0..4u8 {
+            c.propose(p(&[i]));
+        }
+        c.run_to_quiescence();
+        for r in 0..7 {
+            let seqs: Vec<Seq> = c.decisions(r).iter().map(|(s, _)| *s).collect();
+            assert_eq!(seqs, vec![1, 2, 3, 4], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_linear() {
+        // HotStuff should use far fewer messages than PBFT as the group
+        // grows. One decision at n = 16:
+        let mut hs = HsCluster::new(16);
+        hs.propose(p(b"v"));
+        hs.run_to_quiescence();
+        let hs_msgs = hs.total_messages();
+        let mut pbft = crate::Cluster::<BytesPayload>::new(16);
+        pbft.propose(p(b"v"));
+        pbft.run_to_quiescence();
+        let pbft_msgs = pbft.total_messages();
+        assert!(
+            hs_msgs * 3 < pbft_msgs,
+            "HotStuff {hs_msgs} vs PBFT {pbft_msgs}"
+        );
+        // Votes flow leader-ward only: per phase at most n-1 votes.
+        assert!(hs.message_count("HS-VOTE") <= 3 * 15 + 3);
+    }
+
+    #[test]
+    fn f_silent_backups_tolerated() {
+        let mut c = HsCluster::new(4);
+        c.set_behavior(3, Behavior::Silent);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in 0..3 {
+            assert_eq!(c.decisions(r).len(), 1, "replica {r}");
+        }
+    }
+
+    #[test]
+    fn garbage_voters_tolerated() {
+        let mut c = HsCluster::new(7);
+        c.set_behavior(2, Behavior::VoteGarbage);
+        c.set_behavior(4, Behavior::VoteGarbage);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in [0usize, 1, 3, 5, 6] {
+            assert_eq!(c.decisions(r).len(), 1, "replica {r}");
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn more_than_f_silent_stalls_safely() {
+        let mut c = HsCluster::new(4);
+        c.set_behavior(1, Behavior::Silent);
+        c.set_behavior(2, Behavior::Silent);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in 0..4 {
+            assert!(c.decisions(r).is_empty(), "replica {r}");
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn silent_leader_recovered_by_view_change() {
+        let mut c = HsCluster::new(4);
+        c.set_behavior(0, Behavior::Silent);
+        for r in 1..4 {
+            c.trigger_view_change(r);
+        }
+        c.run_to_quiescence();
+        // Only the new leader enters the view eagerly; followers sync
+        // implicitly on its first proposal (HotStuff pacemaker style).
+        assert_eq!(c.replica(1).view(), 1);
+        c.propose(p(b"after"));
+        c.run_to_quiescence();
+        for r in 1..4 {
+            assert_eq!(c.replica(r).view(), 1, "replica {r} synced");
+            assert_eq!(c.decisions(r), &[(1, p(b"after"))], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn locked_value_survives_view_change() {
+        let mut c = HsCluster::new(4);
+        c.propose(p(b"locked"));
+        // Deliver until the COMMIT phase has been announced and voted
+        // (replicas are locked) but the DECIDE is not yet out: stop
+        // right before quiescence by bounding deliveries.
+        // Phases: prepare(3) + votes(3) + advance2(3) + votes(3) +
+        // advance3(3) + votes(3) => after ~18 deliveries replicas are
+        // locked; drop the rest.
+        for _ in 0..18 {
+            if let Some((from, to, msg)) = c.queue.pop_front() {
+                if let HotStuffMsg::Prepare { view, .. } = &msg {
+                    c.replicas[to].sync_view(*view);
+                }
+                let out = c.replicas[to].on_message(from, msg);
+                c.enqueue(to, out);
+                c.drain(to);
+            }
+        }
+        c.queue.clear();
+        let locked_somewhere = (0..4).any(|r| {
+            c.replicas[r]
+                .instances
+                .get(&1)
+                .is_some_and(|i| i.locked.is_some())
+        });
+        assert!(locked_somewhere, "test setup: someone must be locked");
+        for r in 1..4 {
+            c.trigger_view_change(r);
+        }
+        c.run_to_quiescence();
+        // The locked payload must be what gets decided in view 1.
+        for r in 1..4 {
+            if let Some((_, v)) = c.decisions(r).first() {
+                assert_eq!(v, &p(b"locked"), "replica {r}");
+            }
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn not_leader_rejected() {
+        let mut r = HotStuffReplica::<BytesPayload>::new(1, 4);
+        assert!(r.propose(p(b"x")).is_err());
+    }
+
+    #[test]
+    fn single_replica_group() {
+        let mut c = HsCluster::new(1);
+        c.propose(p(b"solo"));
+        c.run_to_quiescence();
+        assert_eq!(c.decisions(0), &[(1, p(b"solo"))]);
+    }
+}

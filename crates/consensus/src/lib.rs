@@ -1,0 +1,56 @@
+//! PBFT consensus core for the Curb control plane.
+//!
+//! Curb runs the practical byzantine fault tolerance algorithm twice per
+//! round: once *inside* every controller group (intra-group consensus,
+//! Algorithm 3 lines 1–12) and once across the final committee (final
+//! consensus, lines 13–25). Both instances use this crate.
+//!
+//! The implementation is a **sans-I/O state machine** ([`Replica`]):
+//! feeding it a message returns the messages it wants to send, so it
+//! embeds equally well in the deterministic network simulator
+//! (`curb-sim`), in the synchronous test harness ([`Cluster`]), or in a
+//! real transport. It provides:
+//!
+//! * the three normal-case phases (pre-prepare → prepare → commit) with
+//!   standard quorums (`2f` matching prepares, `2f + 1` commits),
+//! * view changes with prepared-payload carry-over and new-view
+//!   re-proposal,
+//! * exactly-once, in-order decision delivery per sequence number,
+//! * watermark-based garbage collection of decided instances, and
+//! * byzantine [`Behavior`] injection (silent, lazy, equivocating
+//!   leaders) used by the paper's resilience experiments.
+//!
+//! # Examples
+//!
+//! Four honest replicas deciding a value through the synchronous
+//! harness:
+//!
+//! ```rust
+//! use curb_consensus::{Cluster, BytesPayload};
+//!
+//! let mut cluster = Cluster::<BytesPayload>::new(4);
+//! cluster.propose(BytesPayload(b"flow update".to_vec()));
+//! cluster.run_to_quiescence();
+//! for r in 0..4 {
+//!     assert_eq!(cluster.decisions(r), &[(1, BytesPayload(b"flow update".to_vec()))]);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod core_select;
+pub mod hotstuff;
+mod messages;
+mod payload;
+mod replica;
+pub mod tendermint;
+
+pub use cluster::Cluster;
+pub use core_select::{BftCore, CoreKind, CoreMsg};
+pub use hotstuff::{HotStuffMsg, HotStuffReplica, HsCluster, HsOutbound};
+pub use messages::{Dest, Outbound, PbftMsg};
+pub use payload::{BytesPayload, Payload};
+pub use replica::{Behavior, NotLeader, Replica, ReplicaId, Seq, View};
+pub use tendermint::{TendermintMsg, TendermintReplica, TmCluster, TmOutbound};

@@ -1,0 +1,54 @@
+//! The payload abstraction: what PBFT agrees on.
+
+use curb_crypto::sha256::{digest_parts, Digest};
+
+/// A value replicas can reach consensus on.
+///
+/// Curb instantiates this with transaction lists (intra-group consensus)
+/// and blocks (final consensus).
+pub trait Payload: Clone + PartialEq {
+    /// Collision-resistant digest of the payload; prepares and commits
+    /// reference this rather than the full payload.
+    fn digest(&self) -> Digest;
+
+    /// Approximate wire size in bytes, for delay/byte accounting.
+    fn wire_size(&self) -> usize;
+}
+
+/// A trivial byte-vector payload, used by tests and benchmarks. The
+/// [`Default`] value (empty bytes) doubles as the no-op filler that view
+/// changes use for sequence holes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BytesPayload(pub Vec<u8>);
+
+impl Payload for BytesPayload {
+    fn digest(&self) -> Digest {
+        digest_parts(&[b"bytes-payload", &self.0])
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_content_addressed() {
+        assert_eq!(
+            BytesPayload(vec![1, 2]).digest(),
+            BytesPayload(vec![1, 2]).digest()
+        );
+        assert_ne!(
+            BytesPayload(vec![1, 2]).digest(),
+            BytesPayload(vec![2, 1]).digest()
+        );
+    }
+
+    #[test]
+    fn wire_size_is_length() {
+        assert_eq!(BytesPayload(vec![0; 17]).wire_size(), 17);
+    }
+}

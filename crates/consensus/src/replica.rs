@@ -1,0 +1,755 @@
+//! The PBFT replica state machine.
+
+use crate::messages::{Outbound, PbftMsg};
+use crate::payload::Payload;
+use curb_crypto::sha256::Digest;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a replica within its consensus group (`0..n`).
+pub type ReplicaId = usize;
+/// Sequence number of a consensus instance (first instance is 1).
+pub type Seq = u64;
+/// View number (view `v` is led by replica `v mod n`).
+pub type View = u64;
+
+/// Fault-injection behaviour of a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Crash-like: never sends anything and ignores all input.
+    Silent,
+    /// Byzantine: votes (prepares/commits) carry a corrupted digest, so
+    /// its votes never contribute to honest quorums.
+    VoteGarbage,
+}
+
+/// Error returned by [`Replica::propose`] when the caller is not the
+/// current leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotLeader {
+    /// The replica that is the leader of the current view.
+    pub leader: ReplicaId,
+}
+
+impl core::fmt::Display for NotLeader {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "only the leader (replica {}) may propose", self.leader)
+    }
+}
+
+impl std::error::Error for NotLeader {}
+
+/// Per-sequence consensus bookkeeping.
+#[derive(Debug, Clone)]
+struct Instance<P> {
+    view: View,
+    payload: Option<P>,
+    digest: Option<Digest>,
+    /// Votes per digest (byzantine replicas may vote for garbage).
+    prepares: BTreeMap<Digest, BTreeSet<ReplicaId>>,
+    commits: BTreeMap<Digest, BTreeSet<ReplicaId>>,
+    sent_commit: bool,
+    decided: bool,
+}
+
+impl<P> Instance<P> {
+    fn new(view: View) -> Self {
+        Instance {
+            view,
+            payload: None,
+            digest: None,
+            prepares: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            sent_commit: false,
+            decided: false,
+        }
+    }
+}
+
+/// A PBFT replica: a deterministic, sans-I/O state machine.
+///
+/// Feed it protocol messages with [`Replica::on_message`]; it returns
+/// the messages it wants delivered. Decisions are queued and retrieved
+/// in sequence order with [`Replica::take_decisions`].
+///
+/// The group has `n` replicas and tolerates `f = ⌊(n-1)/3⌋` byzantine
+/// members. The leader of view `v` is replica `v mod n`.
+#[derive(Debug, Clone)]
+pub struct Replica<P> {
+    id: ReplicaId,
+    n: usize,
+    f: usize,
+    view: View,
+    next_seq: Seq,
+    next_deliver: Seq,
+    instances: BTreeMap<Seq, Instance<P>>,
+    ready: BTreeMap<Seq, P>,
+    behavior: Behavior,
+    /// `new_view -> voter -> carried prepared payloads`.
+    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<(Seq, P)>>>,
+    /// Highest view this replica has voted to change to.
+    voted_view: View,
+}
+
+impl<P: Payload + Default> Replica<P> {
+    /// Creates replica `id` of a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n` or `n == 0`.
+    pub fn new(id: ReplicaId, n: usize) -> Self {
+        assert!(n > 0, "group must be non-empty");
+        assert!(id < n, "replica id out of range");
+        Replica {
+            id,
+            n,
+            f: (n - 1) / 3,
+            view: 0,
+            next_seq: 1,
+            next_deliver: 1,
+            instances: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            behavior: Behavior::Honest,
+            view_change_votes: BTreeMap::new(),
+            voted_view: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault tolerance: the maximum number of byzantine replicas.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Leader of view `v`.
+    pub fn leader_of(&self, v: View) -> ReplicaId {
+        (v % self.n as u64) as ReplicaId
+    }
+
+    /// Whether this replica leads the current view.
+    pub fn is_leader(&self) -> bool {
+        self.leader_of(self.view) == self.id
+    }
+
+    /// Sets the fault-injection behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Next sequence number that will be delivered.
+    pub fn next_deliver(&self) -> Seq {
+        self.next_deliver
+    }
+
+    /// Proposes `payload` at the next sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] if this replica does not lead the current
+    /// view.
+    pub fn propose(&mut self, payload: P) -> Result<Vec<Outbound<P>>, NotLeader> {
+        if !self.is_leader() {
+            return Err(NotLeader {
+                leader: self.leader_of(self.view),
+            });
+        }
+        if self.behavior == Behavior::Silent {
+            return Ok(Vec::new());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let digest = payload.digest();
+        let msg = PbftMsg::PrePrepare {
+            view: self.view,
+            seq,
+            digest,
+            payload: payload.clone(),
+        };
+        // The leader's pre-prepare doubles as its prepare vote.
+        let view = self.view;
+        let id = self.id;
+        let inst = self.instance(seq, view);
+        inst.payload = Some(payload);
+        inst.digest = Some(digest);
+        inst.prepares.entry(digest).or_default().insert(id);
+        let mut out = vec![Outbound::broadcast(msg)];
+        out.extend(self.check_progress(seq));
+        Ok(out)
+    }
+
+    /// Byzantine leader: proposes `a` to even-numbered replicas and `b`
+    /// to odd-numbered ones for the same sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] if this replica does not lead the current
+    /// view.
+    pub fn propose_equivocating(
+        &mut self,
+        a: P,
+        b: P,
+    ) -> Result<Vec<Outbound<P>>, NotLeader> {
+        if !self.is_leader() {
+            return Err(NotLeader {
+                leader: self.leader_of(self.view),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut out = Vec::new();
+        for r in 0..self.n {
+            if r == self.id {
+                continue;
+            }
+            let payload = if r % 2 == 0 { a.clone() } else { b.clone() };
+            out.push(Outbound::to(
+                r,
+                PbftMsg::PrePrepare {
+                    view: self.view,
+                    seq,
+                    digest: payload.digest(),
+                    payload,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Handles a protocol message from `from`, returning the responses
+    /// to deliver.
+    pub fn on_message(&mut self, from: ReplicaId, msg: PbftMsg<P>) -> Vec<Outbound<P>> {
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        match msg {
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                payload,
+            } => self.on_pre_prepare(from, view, seq, digest, payload),
+            PbftMsg::Prepare { view, seq, digest } => self.on_prepare(from, view, seq, digest),
+            PbftMsg::Commit { view, seq, digest } => self.on_commit(from, view, seq, digest),
+            PbftMsg::ViewChange { new_view, prepared } => {
+                self.on_view_change(from, new_view, prepared)
+            }
+            PbftMsg::NewView { view, reproposals } => self.on_new_view(from, view, reproposals),
+        }
+    }
+
+    /// Initiates a view change to `view + 1` (called by the embedding
+    /// layer on timeout). Returns the `VIEW-CHANGE` broadcast.
+    pub fn start_view_change(&mut self) -> Vec<Outbound<P>> {
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        let target = self.view + 1;
+        self.vote_view_change(target)
+    }
+
+    /// Drains decided payloads, in sequence order, exactly once.
+    pub fn take_decisions(&mut self) -> Vec<(Seq, P)> {
+        let mut out = Vec::new();
+        while let Some(p) = self.ready.remove(&self.next_deliver) {
+            out.push((self.next_deliver, p));
+            // Garbage-collect the decided instance.
+            self.instances.remove(&self.next_deliver);
+            self.next_deliver += 1;
+        }
+        out
+    }
+
+    fn instance(&mut self, seq: Seq, view: View) -> &mut Instance<P> {
+        let inst = self
+            .instances
+            .entry(seq)
+            .or_insert_with(|| Instance::new(view));
+        if inst.view < view && !inst.decided {
+            // A new view supersedes the undecided instance; votes from
+            // the old view are discarded.
+            *inst = Instance::new(view);
+        }
+        inst
+    }
+
+    fn corrupt(&self, digest: Digest) -> Digest {
+        let mut d = digest;
+        d.0[0] ^= 0xFF;
+        d.0[31] ^= self.id as u8 ^ 0xA5;
+        d
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        digest: Digest,
+        payload: P,
+    ) -> Vec<Outbound<P>> {
+        if view != self.view || from != self.leader_of(view) || seq < self.next_deliver {
+            return Vec::new();
+        }
+        if payload.digest() != digest {
+            return Vec::new(); // malformed proposal
+        }
+        {
+            let inst = self.instance(seq, view);
+            if inst.decided {
+                return Vec::new();
+            }
+            if let Some(existing) = inst.digest {
+                if existing != digest {
+                    // Leader equivocation: keep the first proposal.
+                    return Vec::new();
+                }
+            }
+            inst.payload = Some(payload);
+            inst.digest = Some(digest);
+        }
+        // Count the leader's implicit prepare and our own.
+        let vote_digest = if self.behavior == Behavior::VoteGarbage {
+            self.corrupt(digest)
+        } else {
+            digest
+        };
+        {
+            let leader = self.leader_of(view);
+            let id = self.id;
+            let inst = self.instance(seq, view);
+            inst.prepares.entry(digest).or_default().insert(leader);
+            inst.prepares.entry(vote_digest).or_default().insert(id);
+        }
+        let mut out = vec![Outbound::broadcast(PbftMsg::Prepare {
+            view,
+            seq,
+            digest: vote_digest,
+        })];
+        out.extend(self.check_progress(seq));
+        out
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        digest: Digest,
+    ) -> Vec<Outbound<P>> {
+        if view != self.view || seq < self.next_deliver {
+            return Vec::new();
+        }
+        self.instance(seq, view)
+            .prepares
+            .entry(digest)
+            .or_default()
+            .insert(from);
+        self.check_progress(seq)
+    }
+
+    fn on_commit(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        digest: Digest,
+    ) -> Vec<Outbound<P>> {
+        if view != self.view || seq < self.next_deliver {
+            return Vec::new();
+        }
+        self.instance(seq, view)
+            .commits
+            .entry(digest)
+            .or_default()
+            .insert(from);
+        self.check_progress(seq)
+    }
+
+    /// Advances the prepare→commit→decide pipeline for `seq`.
+    fn check_progress(&mut self, seq: Seq) -> Vec<Outbound<P>> {
+        let prepare_quorum = 2 * self.f + 1;
+        let commit_quorum = 2 * self.f + 1;
+        let id = self.id;
+        let garbage = self.behavior == Behavior::VoteGarbage;
+        let view = self.view;
+
+        let Some(inst) = self.instances.get_mut(&seq) else {
+            return Vec::new();
+        };
+        if inst.decided || inst.view != view {
+            return Vec::new();
+        }
+        let Some(digest) = inst.digest else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let prepared = inst
+            .prepares
+            .get(&digest)
+            .is_some_and(|s| s.len() >= prepare_quorum);
+        if prepared && !inst.sent_commit {
+            inst.sent_commit = true;
+            let vote_digest = if garbage {
+                let mut d = digest;
+                d.0[0] ^= 0xFF;
+                d.0[31] ^= id as u8 ^ 0xA5;
+                d
+            } else {
+                digest
+            };
+            inst.commits.entry(vote_digest).or_default().insert(id);
+            out.push(Outbound::broadcast(PbftMsg::Commit {
+                view,
+                seq,
+                digest: vote_digest,
+            }));
+        }
+        let committed = inst
+            .commits
+            .get(&digest)
+            .is_some_and(|s| s.len() >= commit_quorum);
+        if committed && inst.sent_commit && !inst.decided {
+            inst.decided = true;
+            let payload = inst.payload.clone().expect("digest implies payload");
+            self.ready.insert(seq, payload);
+        }
+        out
+    }
+
+    fn vote_view_change(&mut self, target: View) -> Vec<Outbound<P>> {
+        if target <= self.voted_view {
+            return Vec::new();
+        }
+        self.voted_view = target;
+        // Carry prepared-but-undecided payloads forward.
+        let prepared: Vec<(Seq, P)> = self
+            .instances
+            .iter()
+            .filter(|(_, inst)| !inst.decided)
+            .filter_map(|(&seq, inst)| {
+                let digest = inst.digest?;
+                let votes = inst.prepares.get(&digest)?;
+                if votes.len() > 2 * self.f {
+                    Some((seq, inst.payload.clone()?))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        self.view_change_votes
+            .entry(target)
+            .or_default()
+            .insert(self.id, prepared.clone());
+        let mut out = vec![Outbound::broadcast(PbftMsg::ViewChange {
+            new_view: target,
+            prepared,
+        })];
+        out.extend(self.maybe_activate_view(target));
+        out
+    }
+
+    fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        prepared: Vec<(Seq, P)>,
+    ) -> Vec<Outbound<P>> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        self.view_change_votes
+            .entry(new_view)
+            .or_default()
+            .insert(from, prepared);
+        let mut out = Vec::new();
+        // Amplification: join the view change once f+1 peers demand it.
+        let votes = self.view_change_votes[&new_view].len();
+        if votes > self.f && self.voted_view < new_view {
+            out.extend(self.vote_view_change(new_view));
+        }
+        out.extend(self.maybe_activate_view(new_view));
+        out
+    }
+
+    /// If this replica leads `target` and holds a `2f+1` view-change
+    /// quorum, broadcast NEW-VIEW and enter the view.
+    fn maybe_activate_view(&mut self, target: View) -> Vec<Outbound<P>> {
+        if target <= self.view || self.leader_of(target) != self.id {
+            return Vec::new();
+        }
+        let Some(votes) = self.view_change_votes.get(&target) else {
+            return Vec::new();
+        };
+        if votes.len() < 2 * self.f + 1 {
+            return Vec::new();
+        }
+        // Union of carried payloads: any prepared payload is safe to
+        // re-propose (PBFT safety: conflicting payloads cannot both
+        // gather prepare quorums in any view).
+        let mut carried: BTreeMap<Seq, P> = BTreeMap::new();
+        for prepared in votes.values() {
+            for (seq, p) in prepared {
+                carried.entry(*seq).or_insert_with(|| p.clone());
+            }
+        }
+        // Fill holes between the delivery pointer and the highest
+        // carried sequence with no-op (default) payloads so delivery
+        // never stalls.
+        let max_carried = carried.keys().max().copied().unwrap_or(0);
+        let mut reproposals: Vec<(Seq, P)> = Vec::new();
+        for seq in self.next_deliver..=max_carried {
+            if self.instances.get(&seq).is_some_and(|i| i.decided) {
+                continue;
+            }
+            let payload = carried.remove(&seq).unwrap_or_default();
+            reproposals.push((seq, payload));
+        }
+        self.enter_view(target);
+        self.next_seq = self.next_seq.max(max_carried + 1);
+        let mut out = vec![Outbound::broadcast(PbftMsg::NewView {
+            view: target,
+            reproposals: reproposals.clone(),
+        })];
+        // Process the re-proposals locally as leader.
+        for (seq, payload) in reproposals {
+            let digest = payload.digest();
+            let view = self.view;
+            let id = self.id;
+            let inst = self.instance(seq, view);
+            inst.payload = Some(payload);
+            inst.digest = Some(digest);
+            inst.prepares.entry(digest).or_default().insert(id);
+            out.extend(self.check_progress(seq));
+        }
+        out
+    }
+
+    fn on_new_view(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        reproposals: Vec<(Seq, P)>,
+    ) -> Vec<Outbound<P>> {
+        if view <= self.view || from != self.leader_of(view) {
+            return Vec::new();
+        }
+        self.enter_view(view);
+        let mut out = Vec::new();
+        let leader = from;
+        for (seq, payload) in reproposals {
+            if seq < self.next_deliver {
+                continue;
+            }
+            let digest = payload.digest();
+            let vote_digest = if self.behavior == Behavior::VoteGarbage {
+                self.corrupt(digest)
+            } else {
+                digest
+            };
+            {
+                let id = self.id;
+                let inst = self.instance(seq, view);
+                if inst.decided {
+                    continue;
+                }
+                inst.payload = Some(payload);
+                inst.digest = Some(digest);
+                inst.prepares.entry(digest).or_default().insert(leader);
+                inst.prepares.entry(vote_digest).or_default().insert(id);
+            }
+            out.push(Outbound::broadcast(PbftMsg::Prepare {
+                view,
+                seq,
+                digest: vote_digest,
+            }));
+            out.extend(self.check_progress(seq));
+            self.next_seq = self.next_seq.max(seq + 1);
+        }
+        out
+    }
+
+    fn enter_view(&mut self, view: View) {
+        self.view = view;
+        self.voted_view = self.voted_view.max(view);
+        self.view_change_votes.retain(|&v, _| v > view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Dest;
+    use crate::payload::BytesPayload;
+
+    fn payload(b: &[u8]) -> BytesPayload {
+        BytesPayload(b.to_vec())
+    }
+
+    #[test]
+    fn new_validates_arguments() {
+        let r = Replica::<BytesPayload>::new(0, 4);
+        assert_eq!(r.f(), 1);
+        assert_eq!(r.n(), 4);
+        assert!(r.is_leader());
+        assert_eq!(Replica::<BytesPayload>::new(0, 7).f(), 2);
+        assert_eq!(Replica::<BytesPayload>::new(0, 1).f(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_id_panics() {
+        Replica::<BytesPayload>::new(4, 4);
+    }
+
+    #[test]
+    fn non_leader_cannot_propose() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        assert_eq!(r.propose(payload(b"x")), Err(NotLeader { leader: 0 }));
+    }
+
+    #[test]
+    fn leader_pre_prepare_broadcast() {
+        let mut r = Replica::<BytesPayload>::new(0, 4);
+        let out = r.propose(payload(b"x")).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, Dest::Broadcast);
+        assert!(matches!(out[0].msg, PbftMsg::PrePrepare { seq: 1, view: 0, .. }));
+    }
+
+    #[test]
+    fn single_replica_group_decides_instantly() {
+        let mut r = Replica::<BytesPayload>::new(0, 1);
+        let _ = r.propose(payload(b"solo")).unwrap();
+        assert_eq!(r.take_decisions(), vec![(1, payload(b"solo"))]);
+        assert_eq!(r.take_decisions(), vec![], "decisions are exactly-once");
+    }
+
+    #[test]
+    fn backup_rejects_pre_prepare_from_non_leader() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        let p = payload(b"x");
+        let out = r.on_message(
+            2, // not the leader of view 0
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: p.digest(),
+                payload: p,
+            },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn backup_rejects_mismatched_digest() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        let out = r.on_message(
+            0,
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: payload(b"other").digest(),
+                payload: payload(b"x"),
+            },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn equivocating_leader_first_proposal_sticks() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        let a = payload(b"a");
+        let b = payload(b"b");
+        let out1 = r.on_message(
+            0,
+            PbftMsg::PrePrepare { view: 0, seq: 1, digest: a.digest(), payload: a.clone() },
+        );
+        assert_eq!(out1.len(), 1, "prepare for the first proposal");
+        let out2 = r.on_message(
+            0,
+            PbftMsg::PrePrepare { view: 0, seq: 1, digest: b.digest(), payload: b },
+        );
+        assert!(out2.is_empty(), "conflicting proposal ignored");
+    }
+
+    #[test]
+    fn silent_replica_outputs_nothing() {
+        let mut r = Replica::<BytesPayload>::new(0, 4);
+        r.set_behavior(Behavior::Silent);
+        assert!(r.propose(payload(b"x")).unwrap().is_empty());
+        assert!(r.start_view_change().is_empty());
+        let p = payload(b"y");
+        assert!(r
+            .on_message(1, PbftMsg::Prepare { view: 0, seq: 1, digest: p.digest() })
+            .is_empty());
+    }
+
+    #[test]
+    fn vote_garbage_sends_corrupted_digest() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        r.set_behavior(Behavior::VoteGarbage);
+        let p = payload(b"x");
+        let out = r.on_message(
+            0,
+            PbftMsg::PrePrepare { view: 0, seq: 1, digest: p.digest(), payload: p.clone() },
+        );
+        match &out[0].msg {
+            PbftMsg::Prepare { digest, .. } => assert_ne!(*digest, p.digest()),
+            other => panic!("expected prepare, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn view_change_vote_is_idempotent() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        let first = r.start_view_change();
+        assert_eq!(first.len(), 1);
+        assert!(r.start_view_change().is_empty(), "no duplicate votes");
+    }
+
+    #[test]
+    fn old_view_messages_ignored_after_view_change() {
+        // Replica 1 moves to view 1; pre-prepares from view 0 must be
+        // rejected.
+        let mut r = Replica::<BytesPayload>::new(2, 4);
+        // Deliver NEW-VIEW from replica 1 (leader of view 1).
+        let out = r.on_message(1, PbftMsg::NewView { view: 1, reproposals: vec![] });
+        assert!(out.is_empty());
+        assert_eq!(r.view(), 1);
+        let p = payload(b"late");
+        let out = r.on_message(
+            0,
+            PbftMsg::PrePrepare { view: 0, seq: 1, digest: p.digest(), payload: p },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn new_view_only_accepted_from_its_leader() {
+        let mut r = Replica::<BytesPayload>::new(2, 4);
+        let out = r.on_message(3, PbftMsg::NewView { view: 1, reproposals: vec![] });
+        assert!(out.is_empty());
+        assert_eq!(r.view(), 0, "NEW-VIEW from wrong leader rejected");
+    }
+}

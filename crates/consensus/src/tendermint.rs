@@ -1,0 +1,782 @@
+//! A Tendermint-style BFT core.
+//!
+//! The paper's second named alternative engine ("Curb can be
+//! implemented with other BFT protocols including Tendermint and
+//! HotStuff"). Tendermint's shape differs from both PBFT and HotStuff:
+//! per-height *rounds* with a rotating proposer, two all-to-all voting
+//! phases (prevote, precommit), explicit **nil votes** on timeout, and
+//! the polka locking rule.
+//!
+//! Simplifications (per the repository's reproduction ground rules):
+//! single-shot instances per sequence number (no chained blocks), vote
+//! sets instead of signed vote aggregation, and timeout scheduling
+//! delegated to the embedding (`start_view_change` = "my timeout
+//! fired": prevote/precommit nil so the round can advance).
+
+use crate::payload::Payload;
+use crate::replica::{Behavior, NotLeader, ReplicaId, Seq};
+use curb_crypto::sha256::Digest;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use crate::messages::Dest;
+
+/// A Tendermint round number within one height (sequence).
+pub type Round = u64;
+
+/// A Tendermint protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TendermintMsg<P> {
+    /// The round's proposer announces a value.
+    Proposal {
+        /// Height (sequence number).
+        seq: Seq,
+        /// Round within the height.
+        round: Round,
+        /// Proposed value.
+        payload: P,
+    },
+    /// First voting phase; `None` is a nil prevote.
+    Prevote {
+        /// Height.
+        seq: Seq,
+        /// Round.
+        round: Round,
+        /// Digest voted for, or nil.
+        digest: Option<Digest>,
+    },
+    /// Second voting phase; `None` is a nil precommit.
+    Precommit {
+        /// Height.
+        seq: Seq,
+        /// Round.
+        round: Round,
+        /// Digest voted for, or nil.
+        digest: Option<Digest>,
+    },
+}
+
+impl<P: Payload> TendermintMsg<P> {
+    /// Category label for message accounting.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TendermintMsg::Proposal { .. } => "TM-PROPOSAL",
+            TendermintMsg::Prevote { .. } => "TM-PREVOTE",
+            TendermintMsg::Precommit { .. } => "TM-PRECOMMIT",
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            TendermintMsg::Proposal { payload, .. } => 24 + payload.wire_size(),
+            TendermintMsg::Prevote { .. } | TendermintMsg::Precommit { .. } => 56,
+        }
+    }
+}
+
+/// An outbound Tendermint message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TmOutbound<P> {
+    /// Destination.
+    pub dest: Dest,
+    /// The message.
+    pub msg: TendermintMsg<P>,
+}
+
+#[derive(Debug, Clone)]
+struct TmInstance<P> {
+    round: Round,
+    /// The proposal seen for the current round.
+    proposal: Option<(Digest, P)>,
+    /// Any payload ever seen for this height (lets a later-round
+    /// proposer re-propose even if it never locked).
+    known: Option<(Digest, P)>,
+    /// Polka lock: `(digest, payload, round)`.
+    locked: Option<(Digest, P, Round)>,
+    /// `(round, digest|nil) -> voters`, per phase.
+    prevotes: BTreeMap<(Round, Option<Digest>), BTreeSet<ReplicaId>>,
+    precommits: BTreeMap<(Round, Option<Digest>), BTreeSet<ReplicaId>>,
+    sent_prevote: bool,
+    sent_precommit: bool,
+    decided: bool,
+}
+
+impl<P> Default for TmInstance<P> {
+    fn default() -> Self {
+        TmInstance {
+            round: 0,
+            proposal: None,
+            known: None,
+            locked: None,
+            prevotes: BTreeMap::new(),
+            precommits: BTreeMap::new(),
+            sent_prevote: false,
+            sent_precommit: false,
+            decided: false,
+        }
+    }
+}
+
+/// A Tendermint replica with the same sans-I/O shape as
+/// [`crate::Replica`].
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_consensus::tendermint::TmCluster;
+/// use curb_consensus::BytesPayload;
+///
+/// let mut cluster = TmCluster::<BytesPayload>::new(4);
+/// cluster.propose(BytesPayload(b"value".to_vec()));
+/// cluster.run_to_quiescence();
+/// for r in 0..4 {
+///     assert_eq!(cluster.decisions(r).len(), 1);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TendermintReplica<P> {
+    id: ReplicaId,
+    n: usize,
+    f: usize,
+    next_seq: Seq,
+    next_deliver: Seq,
+    instances: BTreeMap<Seq, TmInstance<P>>,
+    ready: BTreeMap<Seq, P>,
+    behavior: Behavior,
+}
+
+impl<P: Payload + Default> TendermintReplica<P> {
+    /// Creates replica `id` of a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n` or `n == 0`.
+    pub fn new(id: ReplicaId, n: usize) -> Self {
+        assert!(n > 0, "group must be non-empty");
+        assert!(id < n, "replica id out of range");
+        TendermintReplica {
+            id,
+            n,
+            f: (n - 1) / 3,
+            next_seq: 1,
+            next_deliver: 1,
+            instances: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            behavior: Behavior::Honest,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Proposer of `round` (rotates round-robin; round 0 belongs to
+    /// replica 0, the designated leader in a Curb group).
+    pub fn proposer_of(&self, round: Round) -> ReplicaId {
+        (round % self.n as u64) as ReplicaId
+    }
+
+    /// The active round of the next undecided height.
+    fn active_round(&self) -> Round {
+        self.instances
+            .get(&self.next_deliver)
+            .map(|i| i.round)
+            .unwrap_or(0)
+    }
+
+    /// Whether this replica proposes at the next undecided height's
+    /// current round.
+    pub fn is_leader(&self) -> bool {
+        self.proposer_of(self.active_round()) == self.id
+    }
+
+    /// Sets the fault-injection behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    fn vote_digest(&self, digest: Digest) -> Option<Digest> {
+        if self.behavior == Behavior::VoteGarbage {
+            let mut d = digest;
+            d.0[0] ^= 0xFF;
+            d.0[31] ^= self.id as u8 ^ 0x3C;
+            Some(d)
+        } else {
+            Some(digest)
+        }
+    }
+
+    /// Proposes `payload` at the next sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotLeader`] if this replica is not the proposer of the
+    /// active round.
+    pub fn propose(&mut self, payload: P) -> Result<Vec<TmOutbound<P>>, NotLeader> {
+        let round = self.active_round();
+        if self.proposer_of(round) != self.id {
+            return Err(NotLeader {
+                leader: self.proposer_of(round),
+            });
+        }
+        if self.behavior == Behavior::Silent {
+            return Ok(Vec::new());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Ok(self.lead_round(seq, payload))
+    }
+
+    fn lead_round(&mut self, seq: Seq, payload: P) -> Vec<TmOutbound<P>> {
+        let digest = payload.digest();
+        let round = self
+            .instances
+            .get(&seq)
+            .map(|i| i.round)
+            .unwrap_or(0);
+        {
+            let inst = self.instances.entry(seq).or_default();
+            inst.proposal = Some((digest, payload.clone()));
+            inst.known = Some((digest, payload.clone()));
+            inst.sent_prevote = true;
+            inst.prevotes
+                .entry((round, Some(digest)))
+                .or_default()
+                .insert(self.id);
+        }
+        let mut out = vec![
+            TmOutbound {
+                dest: Dest::Broadcast,
+                msg: TendermintMsg::Proposal { seq, round, payload },
+            },
+            TmOutbound {
+                dest: Dest::Broadcast,
+                msg: TendermintMsg::Prevote { seq, round, digest: Some(digest) },
+            },
+        ];
+        out.extend(self.check_tallies(seq));
+        out
+    }
+
+    /// Handles a message from `from`.
+    pub fn on_message(&mut self, from: ReplicaId, msg: TendermintMsg<P>) -> Vec<TmOutbound<P>> {
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        match msg {
+            TendermintMsg::Proposal { seq, round, payload } => {
+                self.on_proposal(from, seq, round, payload)
+            }
+            TendermintMsg::Prevote { seq, round, digest } => {
+                self.on_prevote(from, seq, round, digest)
+            }
+            TendermintMsg::Precommit { seq, round, digest } => {
+                self.on_precommit(from, seq, round, digest)
+            }
+        }
+    }
+
+    fn on_proposal(
+        &mut self,
+        from: ReplicaId,
+        seq: Seq,
+        round: Round,
+        payload: P,
+    ) -> Vec<TmOutbound<P>> {
+        if from != self.proposer_of(round) || seq < self.next_deliver {
+            return Vec::new();
+        }
+        let digest = payload.digest();
+        // Tendermint prevote rule: vote for the proposal unless locked
+        // on a different value.
+        let vote = {
+            let inst = self.instances.entry(seq).or_default();
+            if inst.decided || round < inst.round || inst.sent_prevote && round == inst.round {
+                return Vec::new();
+            }
+            if round > inst.round {
+                // Catch up to the proposal's round.
+                inst.round = round;
+                inst.sent_prevote = false;
+                inst.sent_precommit = false;
+                inst.proposal = None;
+            }
+            inst.proposal = Some((digest, payload.clone()));
+            inst.known = Some((digest, payload));
+            inst.sent_prevote = true;
+            match &inst.locked {
+                Some((locked_digest, _, _)) if *locked_digest != digest => None, // nil
+                _ => Some(digest),
+            }
+        };
+        let vote = match vote {
+            Some(d) => self.vote_digest(d),
+            None => None,
+        };
+        // Record own prevote.
+        let id = self.id;
+        let inst = self.instances.get_mut(&seq).expect("created above");
+        inst.prevotes.entry((round, vote)).or_default().insert(id);
+        let mut out = vec![TmOutbound {
+            dest: Dest::Broadcast,
+            msg: TendermintMsg::Prevote { seq, round, digest: vote },
+        }];
+        out.extend(self.check_tallies(seq));
+        out
+    }
+
+    fn on_prevote(
+        &mut self,
+        from: ReplicaId,
+        seq: Seq,
+        round: Round,
+        digest: Option<Digest>,
+    ) -> Vec<TmOutbound<P>> {
+        if seq < self.next_deliver {
+            return Vec::new();
+        }
+        let inst = self.instances.entry(seq).or_default();
+        inst.prevotes.entry((round, digest)).or_default().insert(from);
+        self.check_tallies(seq)
+    }
+
+    fn on_precommit(
+        &mut self,
+        from: ReplicaId,
+        seq: Seq,
+        round: Round,
+        digest: Option<Digest>,
+    ) -> Vec<TmOutbound<P>> {
+        if seq < self.next_deliver {
+            return Vec::new();
+        }
+        let inst = self.instances.entry(seq).or_default();
+        inst.precommits.entry((round, digest)).or_default().insert(from);
+        self.check_tallies(seq)
+    }
+
+    /// Applies the polka/decide/advance rules after any tally change.
+    fn check_tallies(&mut self, seq: Seq) -> Vec<TmOutbound<P>> {
+        let quorum = self.quorum();
+        let id = self.id;
+        let garbage = self.behavior == Behavior::VoteGarbage;
+        let mut out = Vec::new();
+        loop {
+            let Some(inst) = self.instances.get_mut(&seq) else {
+                return out;
+            };
+            if inst.decided {
+                return out;
+            }
+            let round = inst.round;
+            // Polka → precommit (+ lock).
+            if !inst.sent_precommit {
+                let polka: Option<Option<Digest>> = inst
+                    .prevotes
+                    .iter()
+                    .find(|(&(r, _), voters)| r == round && voters.len() >= quorum)
+                    .map(|(&(_, d), _)| d);
+                if let Some(polka_digest) = polka {
+                    inst.sent_precommit = true;
+                    let vote = match polka_digest {
+                        Some(d) => {
+                            // Lock if we actually hold the value.
+                            if let Some((kd, kp)) = inst.known.clone() {
+                                if kd == d {
+                                    inst.locked = Some((kd, kp, round));
+                                }
+                            }
+                            if garbage {
+                                let mut g = d;
+                                g.0[0] ^= 0xFF;
+                                g.0[31] ^= id as u8 ^ 0x3C;
+                                Some(g)
+                            } else {
+                                Some(d)
+                            }
+                        }
+                        None => None,
+                    };
+                    inst.precommits.entry((round, vote)).or_default().insert(id);
+                    out.push(TmOutbound {
+                        dest: Dest::Broadcast,
+                        msg: TendermintMsg::Precommit { seq, round, digest: vote },
+                    });
+                    continue; // tallies changed
+                }
+            }
+            // Decide on 2f+1 precommits for a value we hold.
+            let decided_digest: Option<Digest> = inst
+                .precommits
+                .iter()
+                .find(|(&(r, d), voters)| r == round && d.is_some() && voters.len() >= quorum)
+                .and_then(|(&(_, d), _)| d);
+            if let Some(d) = decided_digest {
+                if let Some((kd, kp)) = inst.known.clone() {
+                    if kd == d {
+                        inst.decided = true;
+                        self.ready.insert(seq, kp);
+                        return out;
+                    }
+                }
+            }
+            // Advance round on 2f+1 nil precommits.
+            let nil_quorum = inst
+                .precommits
+                .get(&(round, None))
+                .is_some_and(|v| v.len() >= quorum);
+            if nil_quorum {
+                inst.round += 1;
+                inst.sent_prevote = false;
+                inst.sent_precommit = false;
+                inst.proposal = None;
+                let new_round = inst.round;
+                // The next proposer re-proposes the locked (or any
+                // known) value.
+                let repropose = inst
+                    .locked
+                    .clone()
+                    .map(|(_, p, _)| p)
+                    .or_else(|| inst.known.clone().map(|(_, p)| p));
+                let i_propose = (new_round % self.n as u64) as ReplicaId == id;
+                if i_propose {
+                    if let Some(p) = repropose {
+                        out.extend(self.lead_round(seq, p));
+                    }
+                }
+                continue;
+            }
+            return out;
+        }
+    }
+
+    /// Timeout: precommit nil for the active round of every undecided
+    /// height, so the round can advance past a faulty proposer.
+    pub fn start_view_change(&mut self) -> Vec<TmOutbound<P>> {
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        let id = self.id;
+        let seqs: Vec<Seq> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| !i.decided)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut out = Vec::new();
+        for seq in seqs {
+            let inst = self.instances.get_mut(&seq).expect("listed above");
+            if inst.sent_precommit {
+                continue;
+            }
+            let round = inst.round;
+            inst.sent_precommit = true;
+            inst.sent_prevote = true;
+            inst.precommits.entry((round, None)).or_default().insert(id);
+            out.push(TmOutbound {
+                dest: Dest::Broadcast,
+                msg: TendermintMsg::Precommit { seq, round, digest: None },
+            });
+            out.extend(self.check_tallies(seq));
+        }
+        out
+    }
+
+    /// Drains decided payloads in sequence order, exactly once.
+    pub fn take_decisions(&mut self) -> Vec<(Seq, P)> {
+        let mut out = Vec::new();
+        while let Some(p) = self.ready.remove(&self.next_deliver) {
+            out.push((self.next_deliver, p));
+            self.instances.remove(&self.next_deliver);
+            self.next_deliver += 1;
+        }
+        out
+    }
+}
+
+/// Synchronous harness for Tendermint groups, mirroring
+/// [`crate::Cluster`].
+#[derive(Debug, Clone)]
+pub struct TmCluster<P: Payload> {
+    replicas: Vec<TendermintReplica<P>>,
+    queue: std::collections::VecDeque<(ReplicaId, ReplicaId, TendermintMsg<P>)>,
+    logs: Vec<Vec<(Seq, P)>>,
+    sent: BTreeMap<&'static str, u64>,
+}
+
+impl<P: Payload + Default> TmCluster<P> {
+    /// Creates a cluster of `n` honest replicas.
+    pub fn new(n: usize) -> Self {
+        TmCluster {
+            replicas: (0..n).map(|i| TendermintReplica::new(i, n)).collect(),
+            queue: std::collections::VecDeque::new(),
+            logs: vec![Vec::new(); n],
+            sent: BTreeMap::new(),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Sets replica `r`'s behaviour.
+    pub fn set_behavior(&mut self, r: ReplicaId, behavior: Behavior) {
+        self.replicas[r].set_behavior(behavior);
+    }
+
+    /// Access to replica `r`.
+    pub fn replica(&self, r: ReplicaId) -> &TendermintReplica<P> {
+        &self.replicas[r]
+    }
+
+    /// Proposes at whichever replica currently holds proposer duty.
+    /// (A silent fault-injected proposer produces nothing; the next
+    /// candidate is tried, mirroring how every Curb controller checks
+    /// its own leadership independently.)
+    pub fn propose(&mut self, payload: P) {
+        for r in 0..self.n() {
+            if !self.replicas[r].is_leader() {
+                continue;
+            }
+            if let Ok(out) = self.replicas[r].propose(payload.clone()) {
+                if !out.is_empty() {
+                    self.enqueue(r, out);
+                    self.drain(r);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Fires replica `r`'s timeout.
+    pub fn trigger_timeout(&mut self, r: ReplicaId) {
+        let out = self.replicas[r].start_view_change();
+        self.enqueue(r, out);
+        self.drain(r);
+    }
+
+    /// Delivers all queued messages (FIFO). Returns the count.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut delivered = 0;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            delivered += 1;
+            let out = self.replicas[to].on_message(from, msg);
+            self.enqueue(to, out);
+            self.drain(to);
+        }
+        delivered
+    }
+
+    /// The decision log of replica `r`.
+    pub fn decisions(&self, r: ReplicaId) -> &[(Seq, P)] {
+        &self.logs[r]
+    }
+
+    /// Total messages sent.
+    pub fn total_messages(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Agreement over honest replicas.
+    pub fn agreement_holds(&self) -> bool {
+        for seq in 0..64u64 {
+            let mut value: Option<&P> = None;
+            for r in 0..self.n() {
+                if self.replicas[r].behavior() != Behavior::Honest {
+                    continue;
+                }
+                if let Some((_, p)) = self.logs[r].iter().find(|(s, _)| *s == seq) {
+                    match value {
+                        None => value = Some(p),
+                        Some(v) if v == p => {}
+                        Some(_) => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn enqueue(&mut self, from: ReplicaId, out: Vec<TmOutbound<P>>) {
+        for TmOutbound { dest, msg } in out {
+            *self.sent.entry(msg.category()).or_insert(0) += match dest {
+                Dest::Broadcast => (self.n() - 1) as u64,
+                Dest::To(_) => 1,
+            };
+            match dest {
+                Dest::Broadcast => {
+                    for to in 0..self.n() {
+                        if to != from {
+                            self.queue.push_back((from, to, msg.clone()));
+                        }
+                    }
+                }
+                Dest::To(to) => self.queue.push_back((from, to, msg)),
+            }
+        }
+    }
+
+    fn drain(&mut self, r: ReplicaId) {
+        let decided = self.replicas[r].take_decisions();
+        self.logs[r].extend(decided);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::BytesPayload;
+
+    fn p(b: &[u8]) -> BytesPayload {
+        BytesPayload(b.to_vec())
+    }
+
+    #[test]
+    fn four_honest_replicas_decide() {
+        let mut c = TmCluster::new(4);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in 0..4 {
+            assert_eq!(c.decisions(r), &[(1, p(b"v"))], "replica {r}");
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn sequences_decide_in_order() {
+        let mut c = TmCluster::new(7);
+        for i in 0..4u8 {
+            c.propose(p(&[i]));
+        }
+        c.run_to_quiescence();
+        for r in 0..7 {
+            let seqs: Vec<Seq> = c.decisions(r).iter().map(|(s, _)| *s).collect();
+            assert_eq!(seqs, vec![1, 2, 3, 4], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn f_silent_backups_tolerated() {
+        let mut c = TmCluster::new(4);
+        c.set_behavior(2, Behavior::Silent);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in [0usize, 1, 3] {
+            assert_eq!(c.decisions(r).len(), 1, "replica {r}");
+        }
+    }
+
+    #[test]
+    fn garbage_voters_tolerated() {
+        let mut c = TmCluster::new(7);
+        c.set_behavior(3, Behavior::VoteGarbage);
+        c.set_behavior(6, Behavior::VoteGarbage);
+        c.propose(p(b"v"));
+        c.run_to_quiescence();
+        for r in [0usize, 1, 2, 4, 5] {
+            assert_eq!(c.decisions(r).len(), 1, "replica {r}");
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn silent_proposer_rotated_past_by_nil_round() {
+        let mut c = TmCluster::new(4);
+        c.set_behavior(0, Behavior::Silent);
+        // Give every honest replica an instance to time out on: the
+        // embedding would have seen the request; here we simulate the
+        // timeout directly (nil precommits for round 0 of height 1).
+        for r in 1..4 {
+            // Create the instance implicitly via a nil prevote exchange:
+            // replicas time out without ever seeing a proposal.
+            c.replicas[r].instances.entry(1).or_default();
+            c.trigger_timeout(r);
+        }
+        c.run_to_quiescence();
+        // Nil quorum advanced everyone to round 1, whose proposer is
+        // replica 1.
+        for r in 1..4 {
+            assert_eq!(c.replicas[r].instances[&1].round, 1, "replica {r}");
+        }
+        assert!(c.replicas[1].is_leader());
+        // Replica 1 now proposes and the group decides.
+        c.propose(p(b"recovered"));
+        c.run_to_quiescence();
+        for r in 1..4 {
+            assert_eq!(c.decisions(r), &[(1, p(b"recovered"))], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn locked_value_survives_round_change() {
+        let mut c = TmCluster::new(4);
+        c.propose(p(b"locked"));
+        // Deliver proposals + prevotes so a polka forms and replicas
+        // precommit/lock, then drop the precommit deliveries.
+        for _ in 0..12 {
+            if let Some((from, to, msg)) = c.queue.pop_front() {
+                let out = c.replicas[to].on_message(from, msg);
+                c.enqueue(to, out);
+                c.drain(to);
+            }
+        }
+        c.queue.clear();
+        let locked_somewhere = (0..4).any(|r| {
+            c.replicas[r]
+                .instances
+                .get(&1)
+                .is_some_and(|i| i.locked.is_some())
+        });
+        assert!(locked_somewhere, "setup: a lock must exist");
+        // Time everyone out; round advances; the next proposer must
+        // re-propose the locked value.
+        for r in 0..4 {
+            c.trigger_timeout(r);
+        }
+        c.run_to_quiescence();
+        for r in 0..4 {
+            if let Some((_, v)) = c.decisions(r).first() {
+                assert_eq!(v, &p(b"locked"), "replica {r}");
+            }
+        }
+        assert!(c.agreement_holds());
+    }
+
+    #[test]
+    fn proposer_rotates_with_rounds() {
+        let r = TendermintReplica::<BytesPayload>::new(0, 4);
+        assert_eq!(r.proposer_of(0), 0);
+        assert_eq!(r.proposer_of(1), 1);
+        assert_eq!(r.proposer_of(5), 1);
+    }
+
+    #[test]
+    fn non_proposer_rejected() {
+        let mut r = TendermintReplica::<BytesPayload>::new(2, 4);
+        assert!(r.propose(p(b"x")).is_err());
+    }
+
+    #[test]
+    fn single_replica_group() {
+        let mut c = TmCluster::new(1);
+        c.propose(p(b"solo"));
+        c.run_to_quiescence();
+        assert_eq!(c.decisions(0), &[(1, p(b"solo"))]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Protocol configuration.
+
+use core::time::Duration;
+use curb_assign::Objective;
+use curb_consensus::CoreKind;
+
+/// How the control plane is organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneMode {
+    /// The Curb group-based control plane (the paper's contribution):
+    /// intra-group consensus per controller group plus a final
+    /// committee.
+    Grouped {
+        /// Pipelined mode: the final committee cuts a block as soon as a
+        /// group's transaction list is certified, letting final
+        /// consensus overlap other groups' intra-group consensus.
+        /// Non-parallel mode waits for every active group's list before
+        /// cutting one block per round (Fig. 4(c)).
+        parallel: bool,
+    },
+    /// Flat BFT baseline (SimpleBFT/BeaconBFT-style, reference \[1\] of
+    /// the paper): all `N` controllers form one PBFT quorum and every
+    /// switch is governed by all of them. Used by the message-complexity
+    /// comparison of Theorem 1.
+    Flat,
+}
+
+/// Configuration of a [`crate::CurbNetwork`] simulation.
+///
+/// Defaults mirror the paper's evaluation setup: `f = 1` (groups of 4),
+/// 500 ms timeout, 5-round lazy patience, TCR reassignment, parallel
+/// pipeline off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurbConfig {
+    /// Per-group byzantine tolerance `f`; group size is `3f + 1`.
+    pub f: usize,
+    /// Request timeout (paper: 500 ms). A controller that has not
+    /// replied by then earns a miss strike; an unserved request is
+    /// retried and the group's followers start a view change.
+    pub timeout: Duration,
+    /// Consecutive miss strikes before a switch accuses a controller in
+    /// a RE-ASS request (Fig. 4(a): detection in round 5).
+    pub suspect_threshold: u32,
+    /// Rounds a "lazy" (slow but in-time) controller is tolerated
+    /// before being treated as byzantine (paper: 5).
+    pub lazy_patience: u32,
+    /// Replies arriving this long after quorum formation earn a lazy
+    /// strike.
+    pub lazy_margin: Duration,
+    /// Control-plane organisation.
+    pub mode: PlaneMode,
+    /// The BFT engine both consensus stages run: PBFT (the paper's
+    /// choice) or HotStuff (its named alternative, with linear message
+    /// complexity per group).
+    pub consensus_core: CoreKind,
+    /// `D_c,s` threshold in ms for the OP solver.
+    pub max_cs_delay_ms: f64,
+    /// `D_c,c` threshold in ms; `None` drops C1.4/C2.4 (the paper's
+    /// default in all protocol experiments).
+    pub max_cc_delay_ms: Option<f64>,
+    /// Objective used when a RE-ASS triggers the OP solver.
+    pub reassign_objective: Objective,
+    /// Pin current group leaders during reassignment (constraint C2.6).
+    pub pin_leaders: bool,
+    /// Per-controller load capacity `C_j`, in switches. The paper's
+    /// Internet2 setup needs 16 controllers for 34 switches, i.e. a
+    /// capacity that forces several controller groups.
+    pub controller_capacity: u32,
+    /// Message service time of a controller: per-message processing
+    /// cost including signature verification (the paper's Ryu/Python
+    /// controllers pay ~ms per message; 250 µs models a faster native
+    /// stack). Creates queueing, so latency grows with load and group
+    /// size — the paper's Fig. 5 trends.
+    pub controller_service: Duration,
+    /// Message service time of a switch.
+    pub switch_service: Duration,
+    /// Leader batch window: after the first buffered request the leader
+    /// waits this long to batch more before launching Intra-PBFT.
+    pub batch_window: Duration,
+    /// Non-parallel pipeline only: how long the final-committee leader
+    /// waits for the remaining groups' transaction lists before cutting
+    /// a partial block anyway. Parallel mode cuts immediately.
+    pub block_window: Duration,
+    /// Fresh flows injected per switch per round (1 everywhere in the
+    /// paper except the saturation/parallel comparisons).
+    pub requests_per_switch: usize,
+    /// Injection is staggered uniformly over this window at the start
+    /// of each round ([`Duration::ZERO`] = all at once).
+    pub inject_window: Duration,
+    /// Master seed for key generation, workloads and tie-breaking.
+    pub seed: u64,
+    /// Require signatures on requests/transactions (slower but
+    /// exercises the crypto path end to end).
+    pub sign_requests: bool,
+}
+
+impl Default for CurbConfig {
+    fn default() -> Self {
+        CurbConfig {
+            f: 1,
+            timeout: Duration::from_millis(500),
+            suspect_threshold: 5,
+            lazy_patience: 5,
+            lazy_margin: Duration::from_millis(300),
+            mode: PlaneMode::Grouped { parallel: false },
+            consensus_core: CoreKind::Pbft,
+            max_cs_delay_ms: 30.0,
+            max_cc_delay_ms: None,
+            reassign_objective: Objective::Tcr,
+            pin_leaders: false,
+            controller_capacity: 11,
+            controller_service: Duration::from_micros(250),
+            switch_service: Duration::from_micros(50),
+            batch_window: Duration::from_millis(20),
+            block_window: Duration::from_millis(400),
+            requests_per_switch: 1,
+            inject_window: Duration::ZERO,
+            seed: 0xC0FFEE,
+            sign_requests: false,
+        }
+    }
+}
+
+impl CurbConfig {
+    /// Group size `3f + 1`.
+    pub fn group_size(&self) -> usize {
+        3 * self.f + 1
+    }
+
+    /// Returns a copy with the parallel pipeline enabled/disabled
+    /// (builder style).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.mode = PlaneMode::Grouped { parallel };
+        self
+    }
+
+    /// Returns a copy configured as the flat-BFT baseline.
+    pub fn flat(mut self) -> Self {
+        self.mode = PlaneMode::Flat;
+        self
+    }
+
+    /// Returns a copy with a different `f` (builder style).
+    pub fn with_f(mut self, f: usize) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Returns a copy with a different seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy running the given consensus engine (builder
+    /// style).
+    pub fn with_core(mut self, core: CoreKind) -> Self {
+        self.consensus_core = core;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CurbConfig::default();
+        assert_eq!(c.f, 1);
+        assert_eq!(c.group_size(), 4);
+        assert_eq!(c.timeout, Duration::from_millis(500));
+        assert_eq!(c.lazy_patience, 5);
+        assert_eq!(c.mode, PlaneMode::Grouped { parallel: false });
+    }
+
+    #[test]
+    fn builders() {
+        let c = CurbConfig::default().with_f(4).with_parallel(true).with_seed(9);
+        assert_eq!(c.group_size(), 13);
+        assert_eq!(c.mode, PlaneMode::Grouped { parallel: true });
+        assert_eq!(c.seed, 9);
+        assert_eq!(CurbConfig::default().flat().mode, PlaneMode::Flat);
+        assert_eq!(
+            CurbConfig::default().with_core(CoreKind::HotStuff).consensus_core,
+            CoreKind::HotStuff
+        );
+    }
+}

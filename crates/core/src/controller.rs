@@ -1,0 +1,947 @@
+//! The controller actor: Algorithm 2 (utilities) and Algorithm 3 (event
+//! handlers) of the paper.
+//!
+//! A controller may belong to several controller groups; it runs one
+//! PBFT replica per group, plus (if elected) a replica in the final
+//! committee. The normal-case flow is:
+//!
+//! 1. a switch request arrives → the group leader buffers it and, after
+//!    the batch window, packs a transaction list and launches
+//!    Intra-PBFT; followers arm a watchdog that triggers a view change
+//!    if the request does not commit within the timeout;
+//! 2. on intra-group decision every member certifies the list to the
+//!    final committee (`AGREE`);
+//! 3. the final-committee leader packs certified lists into a block and
+//!    launches Final-PBFT; on decision members announce `FINAL-AGREE`
+//!    to all controllers;
+//! 4. every controller appends the block after `f + 1` matching
+//!    announcements and replies to the switches it governs.
+
+use crate::config::PlaneMode;
+use crate::epoch::Epoch;
+use crate::ids::{ControllerId, GroupId};
+use crate::msg::CurbMsg;
+use crate::payload::{
+    BlockPayload, ConfigData, ProtoTx, ReqKind, RequestKey, RequestRecord, SignedRequest,
+    TxListPayload,
+};
+use crate::shared::{ControllerBehavior, Shared};
+use curb_assign::solve;
+use curb_chain::{Block, Blockchain};
+use curb_consensus::{BftCore, CoreMsg, Dest, Payload};
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::Digest;
+use curb_crypto::KeyPair;
+use curb_sim::{Actor, Context, NodeId, TimerTag};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Timer-tag kinds (encoded in the top byte of the tag).
+const TAG_BATCH: u64 = 1 << 56;
+const TAG_WATCH: u64 = 2 << 56;
+const TAG_BLOCK: u64 = 3 << 56;
+const TAG_PROPOSE: u64 = 4 << 56;
+const TAG_MASK: u64 = 0xFF << 56;
+
+/// Per-group consensus state.
+#[derive(Debug)]
+struct GroupState {
+    members: Vec<usize>,
+    replica: BftCore<TxListPayload>,
+    /// Requests received but not yet committed (kept by every member so
+    /// a post-view-change leader can re-handle them).
+    pending: VecDeque<RequestRecord>,
+    /// Requests that completed intra-group consensus and now await the
+    /// final committee; the group's watchdog must not view-change for
+    /// these (the group already did its part).
+    intra_done: HashSet<RequestKey>,
+    /// Requests this controller has proposed and whose instance is
+    /// still running — they must not be re-batched every batch window
+    /// while consensus is in flight.
+    proposed: HashSet<RequestKey>,
+    batch_timer_set: bool,
+}
+
+impl GroupState {
+    fn new(kind: curb_consensus::CoreKind, members: Vec<usize>, me: usize) -> Self {
+        let idx = members
+            .iter()
+            .position(|&m| m == me)
+            .expect("controller must be a group member");
+        let n = members.len().max(1);
+        GroupState {
+            members,
+            replica: BftCore::new(kind, idx, n),
+            pending: VecDeque::new(),
+            intra_done: HashSet::new(),
+            proposed: HashSet::new(),
+            batch_timer_set: false,
+        }
+    }
+
+    fn my_index(&self) -> usize {
+        self.replica.id()
+    }
+
+    fn i_am_leader(&self) -> bool {
+        self.replica.is_leader()
+    }
+}
+
+/// The controller actor.
+pub struct ControllerActor {
+    id: usize,
+    shared: Arc<Shared>,
+    epoch: Arc<Epoch>,
+    #[allow(dead_code)] // identity key; used when transaction signing is on
+    keys: KeyPair,
+    rng: DetRng,
+    behavior: ControllerBehavior,
+    groups: BTreeMap<usize, GroupState>,
+    final_replica: Option<BftCore<BlockPayload>>,
+    /// Final committee: certified lists awaiting block inclusion.
+    block_buffer: Vec<TxListPayload>,
+    /// Groups whose certified list has been seen this round (drives the
+    /// non-parallel "all groups reported" block cut).
+    groups_seen: HashSet<usize>,
+    /// `AGREE` votes per transaction-list digest.
+    agree_votes: HashMap<Digest, (TxListPayload, BTreeSet<usize>)>,
+    /// Digests already moved into a block proposal.
+    buffered_lists: HashSet<Digest>,
+    block_timer_set: bool,
+    chain: Blockchain,
+    /// Requests already committed on chain (reqBuffer dedup).
+    committed: HashSet<RequestKey>,
+    /// Controllers accused by RE-ASS transactions committed on chain;
+    /// every later OP solve excludes them, so simultaneous accusations
+    /// from different groups converge.
+    accused_on_chain: BTreeSet<usize>,
+    /// `FINAL-AGREE` votes per block hash (for non-committee members).
+    final_agree_votes: HashMap<Digest, (Block, BTreeSet<usize>)>,
+    /// Blocks certified but not yet appendable (height gap).
+    pending_blocks: BTreeMap<u64, Block>,
+    /// Transaction lists computed but whose (simulated) computation
+    /// time has not yet elapsed, per group.
+    staged_proposals: BTreeMap<usize, Vec<ProtoTx>>,
+    /// Height of our in-flight block proposal, if above the chain tip.
+    last_proposed_height: u64,
+    /// Watchdog bookkeeping: timer id → (group, request, attempt).
+    watch_seq: u64,
+    watches: HashMap<u64, (usize, RequestKey, u32)>,
+}
+
+impl std::fmt::Debug for ControllerActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerActor")
+            .field("id", &self.id)
+            .field("groups", &self.groups.len())
+            .field("chain_height", &self.chain.height())
+            .field("behavior", &self.behavior)
+            .finish()
+    }
+}
+
+impl ControllerActor {
+    /// Creates controller `id` in the given epoch.
+    pub fn new(
+        id: usize,
+        shared: Arc<Shared>,
+        epoch: Arc<Epoch>,
+        keys: KeyPair,
+        rng: DetRng,
+        genesis_record: &[u8],
+    ) -> Self {
+        let chain = Blockchain::with_genesis(genesis_record);
+        let mut actor = ControllerActor {
+            id,
+            shared,
+            epoch: epoch.clone(),
+            keys,
+            rng,
+            behavior: ControllerBehavior::Honest,
+            groups: BTreeMap::new(),
+            final_replica: None,
+            block_buffer: Vec::new(),
+            groups_seen: HashSet::new(),
+            agree_votes: HashMap::new(),
+            buffered_lists: HashSet::new(),
+            block_timer_set: false,
+            chain,
+            committed: HashSet::new(),
+            accused_on_chain: BTreeSet::new(),
+            final_agree_votes: HashMap::new(),
+            pending_blocks: BTreeMap::new(),
+            staged_proposals: BTreeMap::new(),
+            last_proposed_height: 0,
+            watch_seq: 0,
+            watches: HashMap::new(),
+        };
+        actor.install_epoch(epoch);
+        actor
+    }
+
+    /// Controller id.
+    pub fn id(&self) -> ControllerId {
+        ControllerId(self.id)
+    }
+
+    /// This controller's view of the blockchain.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// Sets the fault-injection behaviour.
+    pub fn set_behavior(&mut self, behavior: ControllerBehavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> ControllerBehavior {
+        self.behavior
+    }
+
+    /// Installs a new epoch (after a committed reassignment): rebuilds
+    /// group replicas. In-flight uncommitted requests are dropped — the
+    /// issuing switch simply re-requests under the new assignment —
+    /// which also retires their watchdogs, so the old epoch's view
+    /// churn cannot leak into the new one.
+    pub fn install_epoch(&mut self, epoch: Arc<Epoch>) {
+        self.groups.clear();
+        self.watches.clear();
+        self.epoch = epoch;
+        let kind = self.shared.config.consensus_core;
+        for gid in self.epoch.groups_of_controller(self.id) {
+            let members = self.epoch.groups[gid.0].members.clone();
+            let state = GroupState::new(kind, members, self.id);
+            self.groups.insert(gid.0, state);
+        }
+        self.final_replica = self
+            .epoch
+            .final_replica_index(self.id)
+            .map(|idx| BftCore::new(kind, idx, self.epoch.final_com.len().max(1)));
+        self.block_buffer.clear();
+        self.groups_seen.clear();
+        self.agree_votes.clear();
+        self.buffered_lists.clear();
+        self.block_timer_set = false;
+        self.staged_proposals.clear();
+        self.last_proposed_height = 0;
+    }
+
+    /// Starts a new protocol round: consensus instances are
+    /// round-scoped, so replicas reset to the *designated* leaders (the
+    /// paper fixes leader positions, constraint C2.6). A byzantine
+    /// designated leader therefore degrades every round until a
+    /// reassignment removes it — the behaviour of the paper's Fig. 4.
+    pub fn begin_round(&mut self) {
+        let epoch = self.epoch.clone();
+        self.install_epoch(epoch);
+    }
+
+    /// State transfer (the blockchain equivalent of PBFT's checkpoint
+    /// sync): adopts missing blocks from the honest majority chain. A
+    /// controller that missed FINAL-AGREE announcements in a chaotic
+    /// round would otherwise stay behind forever — fatal if it later
+    /// becomes the final-committee leader.
+    pub fn catch_up(&mut self, blocks: &[Block]) {
+        for block in blocks {
+            if block.header.height != self.chain.height() + 1 {
+                continue;
+            }
+            let protos: Vec<ProtoTx> =
+                block.txs.iter().filter_map(ProtoTx::from_chain_tx).collect();
+            if self.chain.append(block.clone()).is_err() {
+                return;
+            }
+            for tx in protos {
+                self.committed.insert(tx.record.key);
+                if let ReqKind::ReAss { accused } = &tx.record.kind {
+                    self.accused_on_chain.extend(accused.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Behaviour-aware send: lazy controllers add a uniform extra delay
+    /// to every outgoing message.
+    fn send(&mut self, ctx: &mut Context<'_, CurbMsg>, to: NodeId, msg: CurbMsg) {
+        match self.behavior {
+            ControllerBehavior::Honest => ctx.send(to, msg),
+            ControllerBehavior::Silent => {}
+            ControllerBehavior::Lazy { min, max } => {
+                let span = max.saturating_sub(min).as_nanos() as u64;
+                let extra = min
+                    + core::time::Duration::from_nanos(if span == 0 {
+                        0
+                    } else {
+                        self.rng.next_below(span)
+                    });
+                ctx.send_delayed(to, msg, extra);
+            }
+        }
+    }
+
+    fn controller_node(&self, c: usize) -> NodeId {
+        self.shared.plan.controller_node(ControllerId(c))
+    }
+
+    fn switch_node(&self, s: crate::ids::SwitchId) -> NodeId {
+        self.shared.plan.switch_node(s)
+    }
+
+    /// Routes intra-group consensus outbounds onto the simulated
+    /// network.
+    fn route_group(
+        &mut self,
+        ctx: &mut Context<'_, CurbMsg>,
+        gid: usize,
+        outs: Vec<(Dest, CoreMsg<TxListPayload>)>,
+    ) {
+        let members = match self.groups.get(&gid) {
+            Some(g) => g.members.clone(),
+            None => return,
+        };
+        for (dest, msg) in outs {
+            match dest {
+                Dest::Broadcast => {
+                    for &m in &members {
+                        if m != self.id {
+                            self.send(
+                                ctx,
+                                self.controller_node(m),
+                                CurbMsg::IntraPbft {
+                                    group: GroupId(gid),
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                Dest::To(idx) => {
+                    if let Some(&m) = members.get(idx) {
+                        if m != self.id {
+                            self.send(
+                                ctx,
+                                self.controller_node(m),
+                                CurbMsg::IntraPbft {
+                                    group: GroupId(gid),
+                                    msg,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes final-committee consensus outbounds.
+    fn route_final(
+        &mut self,
+        ctx: &mut Context<'_, CurbMsg>,
+        outs: Vec<(Dest, CoreMsg<BlockPayload>)>,
+    ) {
+        let members = self.epoch.final_com.clone();
+        for (dest, msg) in outs {
+            match dest {
+                Dest::Broadcast => {
+                    for &m in &members {
+                        if m != self.id {
+                            self.send(
+                                ctx,
+                                self.controller_node(m),
+                                CurbMsg::FinalPbft { msg: msg.clone() },
+                            );
+                        }
+                    }
+                }
+                Dest::To(idx) => {
+                    if let Some(&m) = members.get(idx) {
+                        if m != self.id {
+                            self.send(ctx, self.controller_node(m), CurbMsg::FinalPbft { msg });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `HandleRequest` of Algorithm 2.
+    fn on_request(&mut self, ctx: &mut Context<'_, CurbMsg>, req: SignedRequest) {
+        if self.shared.config.sign_requests && !req.verify() {
+            return;
+        }
+        let record = req.record;
+        let key = record.key;
+        if self.committed.contains(&key) {
+            return; // duplicate of an already-settled request
+        }
+        let gid = self.epoch.group_of(key.switch);
+        let Some(state) = self.groups.get_mut(&gid.0) else {
+            return; // not a member of the governing group
+        };
+        if state.pending.iter().any(|r| r.key == key) {
+            return; // duplicate of an in-flight request
+        }
+        state.pending.push_back(record);
+        if state.i_am_leader() {
+            if !state.batch_timer_set {
+                state.batch_timer_set = true;
+                ctx.set_timer(self.shared.config.batch_window, TAG_BATCH | gid.0 as u64);
+            }
+        } else {
+            // Follower watchdog: if the request does not commit within
+            // the timeout, demand a view change.
+            self.watch_seq += 1;
+            let watch = self.watch_seq;
+            self.watches.insert(watch, (gid.0, key, 0));
+            ctx.set_timer(self.shared.config.timeout, TAG_WATCH | watch);
+        }
+    }
+
+    /// `ComputeConfig` of Algorithm 2. Returns the configuration and
+    /// the computation cost, which the leader spends as simulated time
+    /// before proposing (an OP solve is not free — Fig. 6 and Fig. 9 of
+    /// the paper measure exactly this).
+    fn compute_config(&mut self, record: &RequestRecord) -> Option<(ConfigData, Duration)> {
+        match &record.kind {
+            ReqKind::PktIn { dst_host } => {
+                let dst_switch = self.shared.dst_switch(*dst_host);
+                let port = self.shared.next_hop_port[record.key.switch.0][dst_switch.0];
+                Some((
+                    ConfigData::FlowRules(vec![crate::payload::FlowRuleSpec {
+                        priority: 10,
+                        dst_host: *dst_host,
+                        out_port: port,
+                    }]),
+                    Duration::ZERO,
+                ))
+            }
+            ReqKind::ReAss { accused } => {
+                let mut accused: Vec<usize> = accused.clone();
+                accused.extend(self.accused_on_chain.iter().copied());
+                let accused = &accused;
+                let leader_pins: Vec<Option<usize>> = (0..self.shared.plan.n_switches)
+                    .map(|i| {
+                        let g = self.epoch.group_of(crate::ids::SwitchId(i));
+                        let leader = self.epoch.groups[g.0].leader();
+                        if accused.contains(&leader) {
+                            None
+                        } else {
+                            Some(leader)
+                        }
+                    })
+                    .collect();
+                let (model, options) = self.shared.reassignment_problem(
+                    &self.epoch.removed,
+                    accused,
+                    &leader_pins,
+                    &self.epoch.assignment,
+                );
+                let solution = solve(&model, &options).ok()?;
+                let groups: Vec<Vec<usize>> = (0..self.shared.plan.n_switches)
+                    .map(|i| solution.assignment.group(i).iter().copied().collect())
+                    .collect();
+                // Deterministic cost model instead of wall-clock time:
+                // the simulation must not depend on host speed or build
+                // profile. Coefficients approximate the release-build
+                // solver (~1 µs per branch-and-bound node, ~150 µs per
+                // assignment subproblem).
+                let cost = Duration::from_micros(
+                    solution.stats.nodes + 150 * solution.stats.leaf_evals,
+                );
+                Some((ConfigData::NewAssignment { groups }, cost))
+            }
+        }
+    }
+
+    /// Leader batch-window expiry: pack pending requests into a txList
+    /// and launch Intra-PBFT.
+    fn on_batch_timer(&mut self, ctx: &mut Context<'_, CurbMsg>, gid: usize) {
+        let Some(state) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        state.batch_timer_set = false;
+        if !state.i_am_leader() {
+            return;
+        }
+        let records: Vec<RequestRecord> = state
+            .pending
+            .iter()
+            .filter(|r| !state.intra_done.contains(&r.key) && !state.proposed.contains(&r.key))
+            .cloned()
+            .collect();
+        if records.is_empty() {
+            return;
+        }
+        let mut txs = Vec::new();
+        let mut compute_cost = Duration::ZERO;
+        // Identical accusation sets in one batch share a single OP solve
+        // (the paper's experiment ❷: three byzantine nodes removed "by
+        // calculating OP once").
+        let mut reass_cache: HashMap<Vec<usize>, Option<(ConfigData, Duration)>> = HashMap::new();
+        for record in records {
+            if self.committed.contains(&record.key) {
+                continue;
+            }
+            let computed = match &record.kind {
+                ReqKind::ReAss { accused } => {
+                    let mut sorted = accused.clone();
+                    sorted.sort_unstable();
+                    match reass_cache.get(&sorted) {
+                        Some(cached) => cached.clone().map(|(c, _)| (c, Duration::ZERO)),
+                        None => {
+                            let computed = self.compute_config(&record);
+                            reass_cache.insert(sorted, computed.clone());
+                            computed
+                        }
+                    }
+                }
+                ReqKind::PktIn { .. } => self.compute_config(&record),
+            };
+            if let Some((config, cost)) = computed {
+                compute_cost += cost;
+                txs.push(ProtoTx {
+                    record,
+                    handled_by: self.id,
+                    config,
+                });
+            }
+        }
+        if txs.is_empty() {
+            return;
+        }
+        if compute_cost.is_zero() {
+            self.propose_txs(ctx, gid, txs);
+        } else {
+            // The computation occupies simulated time; propose when it
+            // completes.
+            self.staged_proposals.entry(gid).or_default().extend(txs);
+            ctx.set_timer(compute_cost, TAG_PROPOSE | gid as u64);
+        }
+    }
+
+    /// Launches Intra-PBFT over `txs` if this controller (still) leads
+    /// the group.
+    fn propose_txs(&mut self, ctx: &mut Context<'_, CurbMsg>, gid: usize, txs: Vec<ProtoTx>) {
+        let txs: Vec<ProtoTx> = txs
+            .into_iter()
+            .filter(|t| !self.committed.contains(&t.record.key))
+            .collect();
+        if txs.is_empty() {
+            return;
+        }
+        let Some(state) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        for tx in &txs {
+            state.proposed.insert(tx.record.key);
+        }
+        if let Ok(outs) = state.replica.propose(TxListPayload(txs)) {
+            self.route_group(ctx, gid, outs);
+            self.pump_group(ctx, gid);
+        }
+    }
+
+    /// Staged-proposal timer: the simulated computation finished.
+    fn on_propose_timer(&mut self, ctx: &mut Context<'_, CurbMsg>, gid: usize) {
+        if let Some(txs) = self.staged_proposals.remove(&gid) {
+            self.propose_txs(ctx, gid, txs);
+        }
+    }
+
+    /// Follower watchdog expiry.
+    fn on_watch_timer(&mut self, ctx: &mut Context<'_, CurbMsg>, watch: u64) {
+        let Some((gid, key, attempt)) = self.watches.remove(&watch) else {
+            return;
+        };
+        if self.committed.contains(&key) {
+            return;
+        }
+        let Some(state) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        if !state.pending.iter().any(|r| r.key == key) {
+            return;
+        }
+        let outs = if state.intra_done.contains(&key) {
+            Vec::new() // waiting on final consensus; the group is fine
+        } else {
+            state.replica.start_view_change()
+        };
+        self.route_group(ctx, gid, outs);
+        // Re-arm with exponential backoff so repeated escalations do
+        // not congest the group.
+        self.watch_seq += 1;
+        let next = self.watch_seq;
+        let attempt = (attempt + 1).min(3);
+        self.watches.insert(next, (gid, key, attempt));
+        ctx.set_timer(self.shared.config.timeout * (1 << attempt), TAG_WATCH | next);
+        self.pump_group(ctx, gid);
+    }
+
+    /// Post-processing after any group-replica interaction: drain
+    /// decisions and let a (possibly new) leader propose pending work.
+    fn pump_group(&mut self, ctx: &mut Context<'_, CurbMsg>, gid: usize) {
+        // Drain decisions.
+        let decided: Vec<TxListPayload> = {
+            let Some(state) = self.groups.get_mut(&gid) else {
+                return;
+            };
+            state
+                .replica
+                .take_decisions()
+                .into_iter()
+                .map(|(_, p)| p)
+                .collect()
+        };
+        for list in decided {
+            if list.0.is_empty() {
+                continue; // view-change no-op
+            }
+            if let Some(state) = self.groups.get_mut(&gid) {
+                for tx in &list.0 {
+                    state.intra_done.insert(tx.record.key);
+                }
+            }
+            self.on_intra_decided(ctx, gid, list);
+        }
+        // A leader (possibly newly elected by a view change) with
+        // pending work arms the batch timer.
+        let Some(state) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        // Only requests that still need intra-group consensus warrant a
+        // new proposal; in-flight and intra-decided ones are someone
+        // else's job now.
+        let uncommitted = state.pending.iter().any(|r| {
+            !self.committed.contains(&r.key)
+                && !state.intra_done.contains(&r.key)
+                && !state.proposed.contains(&r.key)
+        });
+        if state.i_am_leader() && uncommitted && !state.batch_timer_set {
+            state.batch_timer_set = true;
+            ctx.set_timer(self.shared.config.batch_window, TAG_BATCH | gid as u64);
+        }
+    }
+
+    /// Intra-group consensus completed for `list` (Algorithm 3, line
+    /// 11-12): certify to the final committee, or — in the flat
+    /// baseline — finalise directly.
+    fn on_intra_decided(&mut self, ctx: &mut Context<'_, CurbMsg>, gid: usize, list: TxListPayload) {
+        match self.shared.config.mode {
+            PlaneMode::Grouped { .. } => {
+                let members = self.epoch.final_com.clone();
+                for m in members {
+                    if m == self.id {
+                        // Deliver the AGREE to myself directly.
+                        self.on_agree(ctx, self.id, GroupId(gid), list.clone());
+                    } else {
+                        self.send(
+                            ctx,
+                            self.controller_node(m),
+                            CurbMsg::Agree {
+                                group: GroupId(gid),
+                                txs: list.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            PlaneMode::Flat => {
+                // SimpleBFT-style: one consensus level; every member
+                // appends an identical locally-built block.
+                let txs: Vec<ProtoTx> = list
+                    .0
+                    .iter()
+                    .filter(|t| !self.committed.contains(&t.record.key))
+                    .cloned()
+                    .collect();
+                if txs.is_empty() {
+                    return;
+                }
+                let chain_txs = txs.iter().map(ProtoTx::to_chain_tx).collect();
+                // Deterministic timestamp: flat blocks are ordered by
+                // the shared PBFT sequence, so height alone suffices.
+                let block = Block::next(self.chain.tip(), chain_txs, self.chain.height() + 1);
+                if self.chain.append(block).is_ok() {
+                    self.settle_txs(ctx, &txs);
+                }
+            }
+        }
+    }
+
+    /// `AGREE` handling (final committee members).
+    fn on_agree(
+        &mut self,
+        ctx: &mut Context<'_, CurbMsg>,
+        from: usize,
+        group: GroupId,
+        txs: TxListPayload,
+    ) {
+        if self.final_replica.is_none() {
+            return;
+        }
+        let Some(g) = self.epoch.groups.get(group.0) else {
+            return;
+        };
+        if !g.members.contains(&from) {
+            return; // AGREE must come from a member of the claimed group
+        }
+        let digest = txs.digest();
+        if self.buffered_lists.contains(&digest) {
+            return;
+        }
+        let entry = self
+            .agree_votes
+            .entry(digest)
+            .or_insert_with(|| (txs, BTreeSet::new()));
+        entry.1.insert(from);
+        if entry.1.len() > self.shared.config.f {
+            let (list, _) = self
+                .agree_votes
+                .remove(&digest)
+                .expect("entry exists");
+            self.buffered_lists.insert(digest);
+            self.groups_seen.insert(group.0);
+            self.block_buffer.push(list);
+            self.maybe_cut_block(ctx, false);
+        }
+    }
+
+    /// Final-committee leader: decide whether to cut a block now.
+    fn maybe_cut_block(&mut self, ctx: &mut Context<'_, CurbMsg>, timer_fired: bool) {
+        let Some(replica) = &self.final_replica else {
+            return;
+        };
+        if !replica.is_leader() || self.block_buffer.is_empty() {
+            return;
+        }
+        if self.last_proposed_height > self.chain.height() {
+            return; // a proposal of ours is still in flight
+        }
+        let parallel = matches!(
+            self.shared.config.mode,
+            PlaneMode::Grouped { parallel: true }
+        );
+        // "Every group reported this round": counts groups, not lists,
+        // so a straggler block cuts as soon as the last group arrives.
+        let all_groups_in = self.groups_seen.len() >= self.epoch.group_count();
+        if parallel || all_groups_in || timer_fired {
+            self.cut_block(ctx);
+        } else if !self.block_timer_set {
+            self.block_timer_set = true;
+            ctx.set_timer(self.shared.config.block_window, TAG_BLOCK);
+        }
+    }
+
+    fn cut_block(&mut self, ctx: &mut Context<'_, CurbMsg>) {
+        let lists = std::mem::take(&mut self.block_buffer);
+        let mut chain_txs = Vec::new();
+        let mut seen = HashSet::new();
+        for list in lists {
+            for tx in list.0 {
+                if self.committed.contains(&tx.record.key) || !seen.insert(tx.record.key) {
+                    continue;
+                }
+                chain_txs.push(tx.to_chain_tx());
+            }
+        }
+        if chain_txs.is_empty() {
+            return;
+        }
+        let parent = self.chain.tip();
+        let block = Block::next(parent, chain_txs, ctx.now().as_nanos());
+        self.last_proposed_height = block.header.height;
+        let outs = {
+            let replica = self.final_replica.as_mut().expect("checked in caller");
+            match replica.propose(BlockPayload(Some(block))) {
+                Ok(outs) => outs,
+                Err(_) => return,
+            }
+        };
+        self.route_final(ctx, outs);
+        self.pump_final(ctx);
+    }
+
+    /// Post-processing after final-replica interaction.
+    fn pump_final(&mut self, ctx: &mut Context<'_, CurbMsg>) {
+        let decided: Vec<BlockPayload> = match &mut self.final_replica {
+            Some(r) => r.take_decisions().into_iter().map(|(_, p)| p).collect(),
+            None => return,
+        };
+        for payload in decided {
+            let Some(block) = payload.0 else {
+                continue; // view-change no-op
+            };
+            self.accept_block(ctx, block.clone());
+            // Announce to every controller (Algorithm 3 line 25).
+            for c in 0..self.shared.plan.n_controllers {
+                if c != self.id {
+                    self.send(
+                        ctx,
+                        self.controller_node(c),
+                        CurbMsg::FinalAgree {
+                            block: block.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        // A new final leader (after a view change) may have buffered
+        // lists to cut.
+        self.maybe_cut_block(ctx, false);
+    }
+
+    /// `FINAL-AGREE` handling at every controller: append after `f + 1`
+    /// matching announcements from committee members. Committee members
+    /// normally append on their own decision, but this path also lets a
+    /// member that missed a decision (e.g. across a round boundary)
+    /// catch up instead of falling behind for good.
+    fn on_final_agree(&mut self, ctx: &mut Context<'_, CurbMsg>, from: usize, block: Block) {
+        if !self.epoch.final_com.contains(&from) {
+            return;
+        }
+        let hash = block.hash();
+        if block.header.height <= self.chain.height() {
+            return; // already have it
+        }
+        let entry = self
+            .final_agree_votes
+            .entry(hash)
+            .or_insert_with(|| (block, BTreeSet::new()));
+        entry.1.insert(from);
+        if entry.1.len() > self.shared.config.f {
+            let (block, _) = self.final_agree_votes.remove(&hash).expect("entry exists");
+            self.pending_blocks.insert(block.header.height, block);
+            self.drain_pending_blocks(ctx);
+        }
+    }
+
+    fn drain_pending_blocks(&mut self, ctx: &mut Context<'_, CurbMsg>) {
+        while let Some(block) = self.pending_blocks.remove(&(self.chain.height() + 1)) {
+            self.accept_block(ctx, block);
+        }
+    }
+
+    /// Validates and appends a block, then replies to governed switches
+    /// (Algorithm 3 lines 26-31).
+    fn accept_block(&mut self, ctx: &mut Context<'_, CurbMsg>, block: Block) {
+        let protos: Vec<ProtoTx> = block.txs.iter().filter_map(ProtoTx::from_chain_tx).collect();
+        if self.chain.append(block).is_err() {
+            return;
+        }
+        self.settle_txs(ctx, &protos);
+    }
+
+    /// Marks transactions committed and replies to the switches this
+    /// controller governs.
+    fn settle_txs(&mut self, ctx: &mut Context<'_, CurbMsg>, txs: &[ProtoTx]) {
+        for tx in txs {
+            let key = tx.record.key;
+            self.committed.insert(key);
+            if let ReqKind::ReAss { accused } = &tx.record.kind {
+                self.accused_on_chain.extend(accused.iter().copied());
+            }
+            for state in self.groups.values_mut() {
+                state.pending.retain(|r| r.key != key);
+                state.intra_done.remove(&key);
+                state.proposed.remove(&key);
+            }
+            if self.epoch.ctrl_list(key.switch).contains(&self.id) {
+                self.send(
+                    ctx,
+                    self.switch_node(key.switch),
+                    CurbMsg::Reply {
+                        controller: self.id,
+                        key,
+                        config: tx.config.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Actor<CurbMsg> for ControllerActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, CurbMsg>, from: NodeId, msg: CurbMsg) {
+        if self.behavior == ControllerBehavior::Silent {
+            return;
+        }
+        match msg {
+            CurbMsg::Request(req) => self.on_request(ctx, req),
+            CurbMsg::IntraPbft { group, msg } => {
+                let sender = match self.shared.plan.entity(from) {
+                    crate::ids::Entity::Controller(c) => c.0,
+                    crate::ids::Entity::Switch(_) => return,
+                };
+                let gid = group.0;
+                let outs = {
+                    let Some(state) = self.groups.get_mut(&gid) else {
+                        return;
+                    };
+                    let Some(idx) = state.members.iter().position(|&m| m == sender) else {
+                        return;
+                    };
+                    if idx == state.my_index() {
+                        return;
+                    }
+                    state.replica.on_message(idx, msg)
+                };
+                self.route_group(ctx, gid, outs);
+                self.pump_group(ctx, gid);
+            }
+            CurbMsg::Agree { group, txs } => {
+                let sender = match self.shared.plan.entity(from) {
+                    crate::ids::Entity::Controller(c) => c.0,
+                    crate::ids::Entity::Switch(_) => return,
+                };
+                self.on_agree(ctx, sender, group, txs);
+            }
+            CurbMsg::FinalPbft { msg } => {
+                let sender = match self.shared.plan.entity(from) {
+                    crate::ids::Entity::Controller(c) => c.0,
+                    crate::ids::Entity::Switch(_) => return,
+                };
+                let outs = {
+                    let Some(idx) = self.epoch.final_replica_index(sender) else {
+                        return;
+                    };
+                    let Some(replica) = &mut self.final_replica else {
+                        return;
+                    };
+                    replica.on_message(idx, msg)
+                };
+                self.route_final(ctx, outs);
+                self.pump_final(ctx);
+            }
+            CurbMsg::FinalAgree { block } => {
+                let sender = match self.shared.plan.entity(from) {
+                    crate::ids::Entity::Controller(c) => c.0,
+                    crate::ids::Entity::Switch(_) => return,
+                };
+                self.on_final_agree(ctx, sender, block);
+            }
+            CurbMsg::HostPacket { .. } | CurbMsg::Reply { .. } | CurbMsg::TriggerReassign { .. } => {
+                // Not addressed to controllers; ignore.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, CurbMsg>, tag: TimerTag) {
+        if self.behavior == ControllerBehavior::Silent {
+            return;
+        }
+        match tag & TAG_MASK {
+            TAG_BATCH => self.on_batch_timer(ctx, (tag & !TAG_MASK) as usize),
+            TAG_PROPOSE => self.on_propose_timer(ctx, (tag & !TAG_MASK) as usize),
+            TAG_WATCH => self.on_watch_timer(ctx, tag & !TAG_MASK),
+            TAG_BLOCK => {
+                self.block_timer_set = false;
+                self.maybe_cut_block(ctx, true);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Epoch state: the controller grouping derived from an assignment.
+//!
+//! An *epoch* is the period between two reassignments. It fixes, for
+//! every switch, its controller group; for every group, its member list
+//! and leader; and the final committee (Section III-C, Step 0 of the
+//! paper). All of this is a deterministic function of the assignment
+//! and the controllers' public keys, so every honest node derives the
+//! identical epoch from the blockchain.
+
+use crate::ids::{GroupId, SwitchId};
+use curb_assign::Assignment;
+use curb_crypto::PublicKey;
+use std::collections::BTreeSet;
+
+/// One controller group: a deduplicated controller set shared by one or
+/// more switches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Member controller indices; `members[0]` is the group leader.
+    pub members: Vec<usize>,
+}
+
+impl Group {
+    /// The group leader.
+    pub fn leader(&self) -> usize {
+        self.members[0]
+    }
+
+    /// Position of `controller` within the group (its PBFT replica
+    /// index), if it is a member.
+    pub fn replica_index(&self, controller: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == controller)
+    }
+}
+
+/// The grouping state of one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch {
+    /// The underlying assignment (`A_ij`).
+    pub assignment: Assignment,
+    /// Deduplicated groups, ordered by group identity number (the
+    /// smallest member id).
+    pub groups: Vec<Group>,
+    /// Which group governs each switch.
+    pub group_of_switch: Vec<GroupId>,
+    /// Which switches each group governs.
+    pub switches_of_group: Vec<Vec<SwitchId>>,
+    /// Final committee member controllers; index 0 is the committee
+    /// leader (the highest ID, per the paper).
+    pub final_com: Vec<usize>,
+    /// Controllers removed from the network by past reassignments.
+    pub removed: Vec<bool>,
+}
+
+impl Epoch {
+    /// Derives the epoch from an assignment.
+    ///
+    /// * Groups are the distinct controller sets of the assignment,
+    ///   ordered by their smallest member id (the "group identity
+    ///   number").
+    /// * Each group's leader is its member with the highest public-key
+    ///   ID, matching the paper's final-committee leader rule.
+    /// * The final committee has `3f + 1` members drawn from the first
+    ///   groups in identity order, each group electing one member not
+    ///   already elected (wrapping around if there are fewer groups than
+    ///   seats, and capping at the number of distinct controllers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment references controllers without keys.
+    pub fn build(
+        assignment: Assignment,
+        keys: &[PublicKey],
+        f: usize,
+        removed: Vec<bool>,
+    ) -> Epoch {
+        let n_switches = assignment.n_switches();
+        assert!(
+            assignment.used_controllers().iter().all(|&j| j < keys.len()),
+            "assignment references unknown controllers"
+        );
+        // Deduplicate controller sets.
+        let mut sets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut group_of_switch = Vec::with_capacity(n_switches);
+        for i in 0..n_switches {
+            let set = assignment.group(i).clone();
+            let gid = match sets.iter().position(|s| *s == set) {
+                Some(g) => g,
+                None => {
+                    sets.push(set);
+                    sets.len() - 1
+                }
+            };
+            group_of_switch.push(gid);
+        }
+        // Order groups by identity number (smallest member).
+        let mut order: Vec<usize> = (0..sets.len()).collect();
+        order.sort_by_key(|&g| sets[g].iter().next().copied().unwrap_or(usize::MAX));
+        let mut remap = vec![0usize; sets.len()];
+        for (new_gid, &old_gid) in order.iter().enumerate() {
+            remap[old_gid] = new_gid;
+        }
+        let group_of_switch: Vec<GroupId> =
+            group_of_switch.into_iter().map(|g| GroupId(remap[g])).collect();
+        let groups: Vec<Group> = order
+            .iter()
+            .map(|&old| {
+                let set = &sets[old];
+                let leader = set
+                    .iter()
+                    .copied()
+                    .max_by_key(|&j| keys[j].as_scalar())
+                    .expect("groups are non-empty");
+                let mut members = vec![leader];
+                members.extend(set.iter().copied().filter(|&j| j != leader));
+                Group { members }
+            })
+            .collect();
+        let mut switches_of_group: Vec<Vec<SwitchId>> = vec![Vec::new(); groups.len()];
+        for (i, gid) in group_of_switch.iter().enumerate() {
+            switches_of_group[gid.0].push(SwitchId(i));
+        }
+        // Final committee election.
+        let committee_size = 3 * f + 1;
+        let mut final_com: Vec<usize> = Vec::new();
+        let mut elected: BTreeSet<usize> = BTreeSet::new();
+        let distinct: BTreeSet<usize> = groups.iter().flat_map(|g| g.members.iter().copied()).collect();
+        let target = committee_size.min(distinct.len());
+        'outer: loop {
+            let before = final_com.len();
+            for group in &groups {
+                if final_com.len() >= target {
+                    break 'outer;
+                }
+                if let Some(&m) = group.members.iter().find(|&&m| !elected.contains(&m)) {
+                    elected.insert(m);
+                    final_com.push(m);
+                }
+            }
+            if final_com.len() == before {
+                break; // no progress: every member already elected
+            }
+        }
+        // Committee leader: highest ID first.
+        final_com.sort_by_key(|&j| std::cmp::Reverse(keys[j].as_scalar()));
+        Epoch {
+            assignment,
+            groups,
+            group_of_switch,
+            switches_of_group,
+            final_com,
+            removed,
+        }
+    }
+
+    /// The group governing `switch`.
+    pub fn group_of(&self, switch: SwitchId) -> GroupId {
+        self.group_of_switch[switch.0]
+    }
+
+    /// The controller list of `switch` (its `ctrList_s`).
+    pub fn ctrl_list(&self, switch: SwitchId) -> &[usize] {
+        &self.groups[self.group_of(switch).0].members
+    }
+
+    /// Group ids that `controller` belongs to.
+    pub fn groups_of_controller(&self, controller: usize) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.members.contains(&controller))
+            .map(|(i, _)| GroupId(i))
+            .collect()
+    }
+
+    /// Whether `controller` sits on the final committee.
+    pub fn in_final_com(&self, controller: usize) -> bool {
+        self.final_com.contains(&controller)
+    }
+
+    /// The final-committee leader.
+    pub fn final_leader(&self) -> usize {
+        self.final_com[0]
+    }
+
+    /// Position of `controller` within the final committee (its replica
+    /// index in the final PBFT instance).
+    pub fn final_replica_index(&self, controller: usize) -> Option<usize> {
+        self.final_com.iter().position(|&m| m == controller)
+    }
+
+    /// Number of groups (`k` in the complexity analysis).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_crypto::rng::DetRng;
+    use curb_crypto::KeyPair;
+
+    fn keys(n: usize) -> Vec<PublicKey> {
+        let mut rng = DetRng::new(777);
+        (0..n).map(|_| KeyPair::generate(&mut rng).public()).collect()
+    }
+
+    fn epoch_from(groups: Vec<Vec<usize>>, n_ctrl: usize, f: usize) -> Epoch {
+        let assignment = Assignment::from_groups(groups, n_ctrl);
+        Epoch::build(assignment, &keys(n_ctrl), f, vec![false; n_ctrl])
+    }
+
+    #[test]
+    fn identical_sets_share_a_group() {
+        let e = epoch_from(
+            vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+            8,
+            1,
+        );
+        assert_eq!(e.group_count(), 2);
+        assert_eq!(e.group_of(SwitchId(0)), e.group_of(SwitchId(1)));
+        assert_ne!(e.group_of(SwitchId(0)), e.group_of(SwitchId(2)));
+        assert_eq!(e.switches_of_group[0], vec![SwitchId(0), SwitchId(1)]);
+    }
+
+    #[test]
+    fn groups_ordered_by_identity_number() {
+        let e = epoch_from(vec![vec![4, 5, 6, 7], vec![0, 1, 2, 3]], 8, 1);
+        // Group containing 0 must be group 0 despite appearing second.
+        assert!(e.groups[0].members.contains(&0));
+        assert_eq!(e.group_of(SwitchId(1)), GroupId(0));
+    }
+
+    #[test]
+    fn leader_is_highest_key() {
+        let ks = keys(4);
+        let e = Epoch::build(
+            Assignment::from_groups(vec![vec![0, 1, 2, 3]], 4),
+            &ks,
+            1,
+            vec![false; 4],
+        );
+        let leader = e.groups[0].leader();
+        let max_key = (0..4).max_by_key(|&j| ks[j].as_scalar()).unwrap();
+        assert_eq!(leader, max_key);
+        assert_eq!(e.groups[0].replica_index(leader), Some(0));
+    }
+
+    #[test]
+    fn final_committee_has_3f_plus_1_distinct_members() {
+        // 5 disjoint groups of 4 => committee of 4 from the first 4
+        // groups.
+        let groups: Vec<Vec<usize>> = (0..5).map(|g| (4 * g..4 * g + 4).collect()).collect();
+        let e = epoch_from(groups, 20, 1);
+        assert_eq!(e.final_com.len(), 4);
+        let distinct: BTreeSet<usize> = e.final_com.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+        // One member per group, from groups 0..4.
+        for (g, _) in e.groups.iter().enumerate().take(4) {
+            assert_eq!(
+                e.final_com
+                    .iter()
+                    .filter(|&&m| e.groups[g].members.contains(&m))
+                    .count(),
+                1,
+                "group {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn final_committee_wraps_when_few_groups() {
+        // A single group of 6 must still yield a committee of 4.
+        let e = epoch_from(vec![vec![0, 1, 2, 3, 4, 5]], 6, 1);
+        assert_eq!(e.final_com.len(), 4);
+        let distinct: BTreeSet<usize> = e.final_com.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn final_committee_caps_at_distinct_controllers() {
+        let e = epoch_from(vec![vec![0, 1]], 2, 1); // only 2 controllers
+        assert_eq!(e.final_com.len(), 2);
+    }
+
+    #[test]
+    fn final_leader_is_highest_key() {
+        let ks = keys(8);
+        let e = Epoch::build(
+            Assignment::from_groups(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], 8),
+            &ks,
+            1,
+            vec![false; 8],
+        );
+        let leader = e.final_leader();
+        for &m in &e.final_com {
+            assert!(ks[leader].as_scalar() >= ks[m].as_scalar());
+        }
+        assert_eq!(e.final_replica_index(leader), Some(0));
+    }
+
+    #[test]
+    fn controller_group_membership_lookup() {
+        let e = epoch_from(vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5]], 6, 1);
+        assert_eq!(e.groups_of_controller(2).len(), 2);
+        assert_eq!(e.groups_of_controller(0).len(), 1);
+        let outside = e.groups_of_controller(5).len() + e.groups_of_controller(4).len();
+        assert_eq!(outside, 2);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = epoch_from(vec![vec![0, 1, 2, 3], vec![1, 2, 3, 4]], 5, 1);
+        let b = epoch_from(vec![vec![0, 1, 2, 3], vec![1, 2, 3, 4]], 5, 1);
+        assert_eq!(a, b);
+    }
+}

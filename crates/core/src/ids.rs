@@ -1,0 +1,111 @@
+//! Protocol-level identifiers.
+//!
+//! Controllers and switches are indexed separately at the protocol
+//! level; [`NodePlan`] maps them onto the flat node space of the
+//! discrete-event simulator (controllers first, then switches).
+
+use core::fmt;
+use curb_sim::NodeId;
+
+/// Index of a controller (`0..n_controllers`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ControllerId(pub usize);
+
+/// Index of a switch (`0..n_switches`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub usize);
+
+/// Index of a controller group (groups are deduplicated controller
+/// sets; multiple switches may share a group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub usize);
+
+impl fmt::Display for ControllerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Layout of protocol entities in the simulator's node space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePlan {
+    /// Number of controllers.
+    pub n_controllers: usize,
+    /// Number of switches.
+    pub n_switches: usize,
+}
+
+impl NodePlan {
+    /// Simulator node of a controller.
+    pub fn controller_node(&self, c: ControllerId) -> NodeId {
+        debug_assert!(c.0 < self.n_controllers);
+        NodeId(c.0)
+    }
+
+    /// Simulator node of a switch.
+    pub fn switch_node(&self, s: SwitchId) -> NodeId {
+        debug_assert!(s.0 < self.n_switches);
+        NodeId(self.n_controllers + s.0)
+    }
+
+    /// Reverse mapping: what protocol entity lives on `node`?
+    pub fn entity(&self, node: NodeId) -> Entity {
+        if node.0 < self.n_controllers {
+            Entity::Controller(ControllerId(node.0))
+        } else {
+            Entity::Switch(SwitchId(node.0 - self.n_controllers))
+        }
+    }
+
+    /// Total number of simulator nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.n_controllers + self.n_switches
+    }
+}
+
+/// A protocol entity resolved from a simulator node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entity {
+    /// The node hosts a controller.
+    Controller(ControllerId),
+    /// The node hosts a switch (s-agent).
+    Switch(SwitchId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_roundtrip() {
+        let plan = NodePlan {
+            n_controllers: 16,
+            n_switches: 34,
+        };
+        assert_eq!(plan.total_nodes(), 50);
+        assert_eq!(plan.controller_node(ControllerId(3)), NodeId(3));
+        assert_eq!(plan.switch_node(SwitchId(0)), NodeId(16));
+        assert_eq!(plan.entity(NodeId(3)), Entity::Controller(ControllerId(3)));
+        assert_eq!(plan.entity(NodeId(16)), Entity::Switch(SwitchId(0)));
+        assert_eq!(plan.entity(NodeId(49)), Entity::Switch(SwitchId(33)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ControllerId(2).to_string(), "c2");
+        assert_eq!(SwitchId(5).to_string(), "s5");
+        assert_eq!(GroupId(1).to_string(), "g1");
+    }
+}

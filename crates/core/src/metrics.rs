@@ -1,0 +1,127 @@
+//! Round-level metrics, matching the quantities plotted in the paper's
+//! evaluation (latency, throughput, message counts, PDL).
+
+use core::time::Duration;
+
+/// Measurements for one protocol round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Requests issued by switches this round (PKT-IN and RE-ASS).
+    pub requests: usize,
+    /// Requests that reached `f + 1` matching replies.
+    pub accepted: usize,
+    /// Transactions committed to the blockchain this round.
+    pub committed_txs: usize,
+    /// Mean request latency over accepted requests.
+    pub avg_latency: Option<Duration>,
+    /// Accepted requests per second of simulated time.
+    pub throughput_tps: f64,
+    /// Protocol messages sent this round.
+    pub messages: u64,
+    /// Protocol bytes sent this round.
+    pub bytes: u64,
+    /// Reassignment requests accepted this round.
+    pub reassignments: usize,
+    /// Controllers removed from the control plane so far (cumulative).
+    pub removed_controllers: Vec<usize>,
+    /// PDL of this round's reassignment, if one was applied.
+    pub pdl: Option<f64>,
+    /// Blockchain height at round end.
+    pub chain_height: u64,
+    /// Simulated wall time the round spanned.
+    pub duration: Duration,
+}
+
+/// Measurements for a sequence of rounds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Per-round measurements.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl Report {
+    /// Mean of per-round average latencies (rounds with no accepted
+    /// requests are skipped).
+    pub fn mean_latency(&self) -> Option<Duration> {
+        let latencies: Vec<Duration> = self.rounds.iter().filter_map(|r| r.avg_latency).collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        Some(latencies.iter().sum::<Duration>() / latencies.len() as u32)
+    }
+
+    /// Mean per-round throughput.
+    pub fn mean_tps(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.throughput_tps).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// Total protocol messages across all rounds.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Mean messages per round.
+    pub fn mean_messages(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.total_messages() as f64 / self.rounds.len() as f64
+    }
+
+    /// First round in which a reassignment was applied, if any.
+    pub fn first_reassignment_round(&self) -> Option<usize> {
+        self.rounds.iter().find(|r| r.reassignments > 0).map(|r| r.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(n: usize, latency_ms: Option<u64>, tps: f64, reass: usize) -> RoundReport {
+        RoundReport {
+            round: n,
+            requests: 10,
+            accepted: 10,
+            committed_txs: 10,
+            avg_latency: latency_ms.map(Duration::from_millis),
+            throughput_tps: tps,
+            messages: 100,
+            bytes: 1000,
+            reassignments: reass,
+            removed_controllers: vec![],
+            pdl: None,
+            chain_height: n as u64,
+            duration: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let report = Report {
+            rounds: vec![
+                round(1, Some(100), 50.0, 0),
+                round(2, None, 0.0, 0),
+                round(3, Some(300), 70.0, 1),
+            ],
+        };
+        assert_eq!(report.mean_latency(), Some(Duration::from_millis(200)));
+        assert!((report.mean_tps() - 40.0).abs() < 1e-9);
+        assert_eq!(report.total_messages(), 300);
+        assert_eq!(report.mean_messages(), 100.0);
+        assert_eq!(report.first_reassignment_round(), Some(3));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = Report::default();
+        assert_eq!(report.mean_latency(), None);
+        assert_eq!(report.mean_tps(), 0.0);
+        assert_eq!(report.first_reassignment_round(), None);
+    }
+}

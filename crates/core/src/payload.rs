@@ -1,0 +1,547 @@
+//! Protocol payloads: requests, configurations, transactions, and the
+//! two consensus payload types (transaction lists and blocks).
+
+use crate::ids::SwitchId;
+use curb_chain::{Block, RequestKind, Transaction};
+use curb_consensus::Payload;
+use curb_crypto::sha256::{digest_parts, Digest};
+use curb_crypto::{PublicKey, Signature};
+
+/// Uniquely identifies a request: issuing switch plus its local
+/// sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestKey {
+    /// Issuing switch.
+    pub switch: SwitchId,
+    /// Switch-local sequence number.
+    pub seq: u64,
+}
+
+/// What a request asks for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// `PKT-IN`: the switch needs flow entries for packets to `dst_host`.
+    PktIn {
+        /// Destination host the table-missed packet was addressed to.
+        dst_host: u32,
+    },
+    /// `RE-ASS`: the switch accuses controllers of byzantine behaviour
+    /// and requests a reassignment.
+    ReAss {
+        /// Accused controller indices.
+        accused: Vec<usize>,
+    },
+}
+
+impl ReqKind {
+    /// The blockchain-level request kind.
+    pub fn chain_kind(&self) -> RequestKind {
+        match self {
+            ReqKind::PktIn { .. } => RequestKind::PacketIn,
+            ReqKind::ReAss { .. } => RequestKind::Reassign,
+        }
+    }
+}
+
+/// A request as stored and deduplicated by controllers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestRecord {
+    /// Unique key (dedup handle, `⟨·, reqMsg, s, c, ·⟩ ∈ reqBuffer`).
+    pub key: RequestKey,
+    /// The request content.
+    pub kind: ReqKind,
+}
+
+/// Reads a big-endian integer from the front of `buf`, advancing it.
+fn take<const N: usize>(buf: &mut &[u8]) -> Option<[u8; N]> {
+    if buf.len() < N {
+        return None;
+    }
+    let (head, rest) = buf.split_at(N);
+    *buf = rest;
+    head.try_into().ok()
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    take::<8>(buf).map(u64::from_be_bytes)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    take::<4>(buf).map(u32::from_be_bytes)
+}
+
+fn take_u16(buf: &mut &[u8]) -> Option<u16> {
+    take::<2>(buf).map(u16::from_be_bytes)
+}
+
+fn take_u8(buf: &mut &[u8]) -> Option<u8> {
+    take::<1>(buf).map(|b| b[0])
+}
+
+impl RequestRecord {
+    /// Canonical, self-delimiting bytes; also what the switch signs.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.key.switch.0 as u64).to_be_bytes());
+        out.extend_from_slice(&self.key.seq.to_be_bytes());
+        match &self.kind {
+            ReqKind::PktIn { dst_host } => {
+                out.push(0);
+                out.extend_from_slice(&dst_host.to_be_bytes());
+            }
+            ReqKind::ReAss { accused } => {
+                out.push(1);
+                out.extend_from_slice(&(accused.len() as u32).to_be_bytes());
+                for a in accused {
+                    out.extend_from_slice(&(*a as u64).to_be_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a record from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> Option<RequestRecord> {
+        let switch = take_u64(buf)? as usize;
+        let seq = take_u64(buf)?;
+        let kind = match take_u8(buf)? {
+            0 => ReqKind::PktIn {
+                dst_host: take_u32(buf)?,
+            },
+            1 => {
+                let n = take_u32(buf)? as usize;
+                if n > 1_000_000 {
+                    return None;
+                }
+                let mut accused = Vec::with_capacity(n);
+                for _ in 0..n {
+                    accused.push(take_u64(buf)? as usize);
+                }
+                ReqKind::ReAss { accused }
+            }
+            _ => return None,
+        };
+        Some(RequestRecord {
+            key: RequestKey {
+                switch: SwitchId(switch),
+                seq,
+            },
+            kind,
+        })
+    }
+}
+
+/// A request plus its (optional) signature, as sent on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedRequest {
+    /// The request.
+    pub record: RequestRecord,
+    /// Signature by the issuing switch, when request signing is on.
+    pub signature: Option<(PublicKey, Signature)>,
+}
+
+impl SignedRequest {
+    /// Verifies the signature if present (unsigned requests pass).
+    pub fn verify(&self) -> bool {
+        match &self.signature {
+            Some((pk, sig)) => pk.verify(&self.record.signing_bytes(), sig),
+            None => true,
+        }
+    }
+}
+
+/// One installable flow rule, in serialisable form (the `config` of a
+/// PKT-IN transaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowRuleSpec {
+    /// Rule priority.
+    pub priority: u16,
+    /// Destination host the rule matches.
+    pub dst_host: u32,
+    /// Egress port to forward matching packets to.
+    pub out_port: u16,
+}
+
+/// The configuration a controller computes for a request
+/// (`ComputeConfig` in Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConfigData {
+    /// New flow entries for the requesting switch.
+    FlowRules(Vec<FlowRuleSpec>),
+    /// A full controller-assignment: `groups[i]` is switch `i`'s new
+    /// controller list.
+    NewAssignment {
+        /// Per-switch controller groups.
+        groups: Vec<Vec<usize>>,
+    },
+}
+
+impl ConfigData {
+    /// Canonical byte encoding (recorded in blockchain transactions).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ConfigData::FlowRules(rules) => {
+                out.push(0);
+                out.extend_from_slice(&(rules.len() as u32).to_be_bytes());
+                for r in rules {
+                    out.extend_from_slice(&r.priority.to_be_bytes());
+                    out.extend_from_slice(&r.dst_host.to_be_bytes());
+                    out.extend_from_slice(&r.out_port.to_be_bytes());
+                }
+            }
+            ConfigData::NewAssignment { groups } => {
+                out.push(1);
+                out.extend_from_slice(&(groups.len() as u32).to_be_bytes());
+                for g in groups {
+                    out.extend_from_slice(&(g.len() as u32).to_be_bytes());
+                    for &j in g {
+                        out.extend_from_slice(&(j as u32).to_be_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a configuration from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> Option<ConfigData> {
+        match take_u8(buf)? {
+            0 => {
+                let n = take_u32(buf)? as usize;
+                if n > 1_000_000 {
+                    return None;
+                }
+                let mut rules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rules.push(FlowRuleSpec {
+                        priority: take_u16(buf)?,
+                        dst_host: take_u32(buf)?,
+                        out_port: take_u16(buf)?,
+                    });
+                }
+                Some(ConfigData::FlowRules(rules))
+            }
+            1 => {
+                let n = take_u32(buf)? as usize;
+                if n > 1_000_000 {
+                    return None;
+                }
+                let mut groups = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = take_u32(buf)? as usize;
+                    if k > 1_000_000 {
+                        return None;
+                    }
+                    let mut g = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        g.push(take_u32(buf)? as usize);
+                    }
+                    groups.push(g);
+                }
+                Some(ConfigData::NewAssignment { groups })
+            }
+            _ => None,
+        }
+    }
+
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// One protocol transaction: a handled request with its computed
+/// configuration (`⟨TX, reqMsg, s, c, config⟩`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProtoTx {
+    /// The handled request.
+    pub record: RequestRecord,
+    /// The controller that handled it (the group leader).
+    pub handled_by: usize,
+    /// The computed configuration.
+    pub config: ConfigData,
+}
+
+impl ProtoTx {
+    /// Canonical, self-delimiting bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.record.signing_bytes();
+        out.extend_from_slice(&(self.handled_by as u64).to_be_bytes());
+        out.extend_from_slice(&self.config.encode());
+        out
+    }
+
+    /// Parses a protocol transaction back from [`ProtoTx::encode`]
+    /// output.
+    pub fn decode(bytes: &[u8]) -> Option<ProtoTx> {
+        let mut buf = bytes;
+        let record = RequestRecord::decode(&mut buf)?;
+        let handled_by = take_u64(&mut buf)? as usize;
+        let config = ConfigData::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return None;
+        }
+        Some(ProtoTx {
+            record,
+            handled_by,
+            config,
+        })
+    }
+
+    /// Converts to a blockchain transaction; the full protocol
+    /// transaction is recorded as the chain transaction's config bytes,
+    /// so it can be reconstructed with [`ProtoTx::from_chain_tx`].
+    pub fn to_chain_tx(&self) -> Transaction {
+        Transaction::new(
+            self.record.kind.chain_kind(),
+            self.record.key.switch.0 as u64,
+            self.handled_by as u64,
+            self.encode(),
+        )
+    }
+
+    /// Reconstructs the protocol transaction from a chain transaction
+    /// produced by [`ProtoTx::to_chain_tx`]. Returns `None` for foreign
+    /// transactions (e.g. the genesis init record).
+    pub fn from_chain_tx(tx: &Transaction) -> Option<ProtoTx> {
+        if tx.kind == RequestKind::Init {
+            return None;
+        }
+        ProtoTx::decode(&tx.config)
+    }
+}
+
+/// The intra-group consensus payload: an ordered transaction list
+/// (`txList` in Algorithm 3). The [`Default`] empty list serves as the
+/// view-change no-op.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxListPayload(pub Vec<ProtoTx>);
+
+impl Payload for TxListPayload {
+    fn digest(&self) -> Digest {
+        let encoded: Vec<Vec<u8>> = self.0.iter().map(ProtoTx::encode).collect();
+        let parts: Vec<&[u8]> = std::iter::once(&b"curb-txlist"[..])
+            .chain(encoded.iter().map(Vec::as_slice))
+            .collect();
+        digest_parts(&parts)
+    }
+
+    fn wire_size(&self) -> usize {
+        16 + self.0.iter().map(|t| t.encode().len()).sum::<usize>()
+    }
+}
+
+/// The final consensus payload: a proposed block. The [`Default`]
+/// (`None`) is the view-change no-op.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BlockPayload(pub Option<Block>);
+
+impl Payload for BlockPayload {
+    fn digest(&self) -> Digest {
+        match &self.0 {
+            Some(b) => b.hash(),
+            None => digest_parts(&[b"curb-empty-block"]),
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match &self.0 {
+            Some(b) => b.wire_size(),
+            None => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_crypto::rng::DetRng;
+    use curb_crypto::KeyPair;
+
+    fn record(seq: u64) -> RequestRecord {
+        RequestRecord {
+            key: RequestKey {
+                switch: SwitchId(3),
+                seq,
+            },
+            kind: ReqKind::PktIn { dst_host: 77 },
+        }
+    }
+
+    #[test]
+    fn signed_request_verification() {
+        let mut rng = DetRng::new(5);
+        let keys = KeyPair::generate(&mut rng);
+        let rec = record(1);
+        let sig = keys.sign(&rec.signing_bytes(), &mut rng);
+        let ok = SignedRequest {
+            record: rec.clone(),
+            signature: Some((keys.public(), sig)),
+        };
+        assert!(ok.verify());
+        let mut tampered = ok.clone();
+        tampered.record.key.seq = 2;
+        assert!(!tampered.verify());
+        let unsigned = SignedRequest {
+            record: rec,
+            signature: None,
+        };
+        assert!(unsigned.verify());
+    }
+
+    #[test]
+    fn config_encoding_distinguishes_variants() {
+        let flow = ConfigData::FlowRules(vec![FlowRuleSpec {
+            priority: 10,
+            dst_host: 7,
+            out_port: 2,
+        }]);
+        let assign = ConfigData::NewAssignment {
+            groups: vec![vec![0, 1]],
+        };
+        assert_ne!(flow.encode(), assign.encode());
+        assert_eq!(flow.encode(), flow.clone().encode());
+        assert!(flow.wire_size() > 0);
+    }
+
+    #[test]
+    fn config_encoding_is_injective_on_rules() {
+        let a = ConfigData::FlowRules(vec![FlowRuleSpec {
+            priority: 1,
+            dst_host: 2,
+            out_port: 3,
+        }]);
+        let b = ConfigData::FlowRules(vec![FlowRuleSpec {
+            priority: 1,
+            dst_host: 2,
+            out_port: 4,
+        }]);
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn txlist_digest_depends_on_content_and_order() {
+        let tx1 = ProtoTx {
+            record: record(1),
+            handled_by: 0,
+            config: ConfigData::FlowRules(vec![]),
+        };
+        let tx2 = ProtoTx {
+            record: record(2),
+            handled_by: 0,
+            config: ConfigData::FlowRules(vec![]),
+        };
+        let ab = TxListPayload(vec![tx1.clone(), tx2.clone()]);
+        let ba = TxListPayload(vec![tx2, tx1]);
+        assert_ne!(ab.digest(), ba.digest());
+        assert_ne!(ab.digest(), TxListPayload::default().digest());
+    }
+
+    #[test]
+    fn chain_tx_roundtrip_fields() {
+        let tx = ProtoTx {
+            record: record(9),
+            handled_by: 4,
+            config: ConfigData::FlowRules(vec![]),
+        };
+        let chain_tx = tx.to_chain_tx();
+        assert_eq!(chain_tx.switch, 3);
+        assert_eq!(chain_tx.controller, 4);
+        assert_eq!(chain_tx.kind, RequestKind::PacketIn);
+        // Distinct request seqs yield distinct chain transactions even
+        // with identical configs.
+        let tx2 = ProtoTx {
+            record: record(10),
+            handled_by: 4,
+            config: ConfigData::FlowRules(vec![]),
+        };
+        assert_ne!(chain_tx.id(), tx2.to_chain_tx().id());
+    }
+
+    #[test]
+    fn block_payload_digests() {
+        let none = BlockPayload::default();
+        let block = BlockPayload(Some(Block::genesis(b"x")));
+        assert_ne!(none.digest(), block.digest());
+        assert!(none.wire_size() < block.wire_size());
+    }
+
+    #[test]
+    fn proto_tx_roundtrips_through_chain() {
+        for kind in [
+            ReqKind::PktIn { dst_host: 123 },
+            ReqKind::ReAss { accused: vec![1, 5, 9] },
+            ReqKind::ReAss { accused: vec![] },
+        ] {
+            let tx = ProtoTx {
+                record: RequestRecord {
+                    key: RequestKey { switch: SwitchId(7), seq: 42 },
+                    kind,
+                },
+                handled_by: 3,
+                config: ConfigData::NewAssignment {
+                    groups: vec![vec![0, 2], vec![], vec![1]],
+                },
+            };
+            let chain_tx = tx.to_chain_tx();
+            assert_eq!(ProtoTx::from_chain_tx(&chain_tx), Some(tx.clone()));
+            assert_eq!(ProtoTx::decode(&tx.encode()), Some(tx));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(ProtoTx::decode(&[]), None);
+        assert_eq!(ProtoTx::decode(&[0xFF; 7]), None);
+        let valid = ProtoTx {
+            record: record(1),
+            handled_by: 0,
+            config: ConfigData::FlowRules(vec![]),
+        }
+        .encode();
+        // Trailing garbage is rejected.
+        let mut padded = valid.clone();
+        padded.push(0);
+        assert_eq!(ProtoTx::decode(&padded), None);
+        // Truncation is rejected.
+        assert_eq!(ProtoTx::decode(&valid[..valid.len() - 1]), None);
+    }
+
+    #[test]
+    fn genesis_tx_is_not_a_proto_tx() {
+        let genesis_tx = curb_chain::Transaction::new(RequestKind::Init, 0, 0, vec![1, 2, 3]);
+        assert_eq!(ProtoTx::from_chain_tx(&genesis_tx), None);
+    }
+
+    #[test]
+    fn config_decode_roundtrip() {
+        let configs = vec![
+            ConfigData::FlowRules(vec![
+                FlowRuleSpec { priority: 1, dst_host: 2, out_port: 3 },
+                FlowRuleSpec { priority: 9, dst_host: 8, out_port: 7 },
+            ]),
+            ConfigData::FlowRules(vec![]),
+            ConfigData::NewAssignment { groups: vec![vec![5; 3]; 2] },
+        ];
+        for c in configs {
+            let bytes = c.encode();
+            let mut buf = bytes.as_slice();
+            assert_eq!(ConfigData::decode(&mut buf), Some(c));
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn reass_signing_bytes_cover_accused() {
+        let a = RequestRecord {
+            key: RequestKey { switch: SwitchId(1), seq: 1 },
+            kind: ReqKind::ReAss { accused: vec![3] },
+        };
+        let b = RequestRecord {
+            key: RequestKey { switch: SwitchId(1), seq: 1 },
+            kind: ReqKind::ReAss { accused: vec![4] },
+        };
+        assert_ne!(a.signing_bytes(), b.signing_bytes());
+    }
+}

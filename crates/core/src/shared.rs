@@ -1,0 +1,206 @@
+//! Static shared state and controller fault behaviours.
+
+use crate::config::{CurbConfig, PlaneMode};
+use crate::ids::{NodePlan, SwitchId};
+use curb_assign::{Assignment, CapModel, Objective, SolveOptions};
+use curb_crypto::PublicKey;
+use core::time::Duration;
+
+/// Fault-injection behaviour of a controller (the byzantine models of
+/// the paper's Section IV-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControllerBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Experiment ❶/❷: does not respond to requests within the timeout
+    /// (modelled as fully crash-silent).
+    Silent,
+    /// Experiment ❸: "lazy" — responds, but with an artificial delay
+    /// drawn uniformly from `[min, max]` added to every message.
+    Lazy {
+        /// Minimum extra delay.
+        min: Duration,
+        /// Maximum extra delay.
+        max: Duration,
+    },
+}
+
+impl ControllerBehavior {
+    /// The paper's lazy profile: 200–500 ms response time.
+    pub fn paper_lazy() -> Self {
+        ControllerBehavior::Lazy {
+            min: Duration::from_millis(200),
+            max: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Immutable state shared by every actor: configuration, identities,
+/// delay matrices and the routing table.
+#[derive(Debug)]
+pub struct Shared {
+    /// Protocol configuration.
+    pub config: CurbConfig,
+    /// Node layout.
+    pub plan: NodePlan,
+    /// Controller identities (public keys broadcast in Step 0).
+    pub keys: Vec<PublicKey>,
+    /// Controller-to-switch shortest-path delay in ms,
+    /// `[switch][controller]`.
+    pub cs_delay_ms: Vec<Vec<f64>>,
+    /// Controller-to-controller shortest-path delay in ms.
+    pub cc_delay_ms: Vec<Vec<f64>>,
+    /// Routing table: `next_hop_port[switch][dst_switch]` is the egress
+    /// port toward `dst_switch` (port 0 is the local host port).
+    pub next_hop_port: Vec<Vec<u16>>,
+}
+
+impl Shared {
+    /// The switch hosting a (synthetic) host id: hosts are numbered so
+    /// that `host % n_switches` is their edge switch.
+    pub fn dst_switch(&self, host: u32) -> SwitchId {
+        SwitchId(host as usize % self.plan.n_switches)
+    }
+
+    /// Quorum parameter for switch-side reply matching (`f + 1`
+    /// identical configs): the per-group `f` under grouped mode, the
+    /// global `⌊(N−1)/3⌋` under the flat baseline.
+    pub fn accept_f(&self) -> usize {
+        match self.config.mode {
+            PlaneMode::Grouped { .. } => self.config.f,
+            PlaneMode::Flat => (self.plan.n_controllers.saturating_sub(1)) / 3,
+        }
+    }
+
+    /// Builds the CAP model for a reassignment: current exclusions plus
+    /// newly accused controllers, optional leader pins, LCR previous
+    /// assignment.
+    pub fn reassignment_problem(
+        &self,
+        removed: &[bool],
+        accused: &[usize],
+        leader_pins: &[Option<usize>],
+        previous: &Assignment,
+    ) -> (CapModel, SolveOptions) {
+        let mut model = self.base_model();
+        for (j, &r) in removed.iter().enumerate() {
+            if r {
+                model.exclude(j);
+            }
+        }
+        for &a in accused {
+            if a < self.plan.n_controllers {
+                model.exclude(a);
+            }
+        }
+        if self.config.pin_leaders {
+            for (i, pin) in leader_pins.iter().enumerate() {
+                if let Some(l) = *pin {
+                    if !model.excluded[l] && model.cs_delay[i][l] <= model.max_cs_delay {
+                        model.pin_leader(i, l);
+                    }
+                }
+            }
+        }
+        let options = SolveOptions {
+            objective: self.config.reassign_objective,
+            previous: Some(previous.clone()),
+            // In-protocol solves run inside a live round: bound the
+            // search (anytime best-found), like a time-limited Gurobi.
+            node_limit: 50_000,
+            seed: self.config.seed,
+        };
+        (model, options)
+    }
+
+    /// The base CAP model (initial assignment, `[O1/C1.1–C1.4]`).
+    pub fn base_model(&self) -> CapModel {
+        let mut model = CapModel::new(self.plan.n_switches, self.plan.n_controllers);
+        model
+            .set_fault_tolerance(self.config.f)
+            .set_cs_delay(self.cs_delay_ms.clone())
+            .set_cc_delay(self.cc_delay_ms.clone())
+            .set_max_cs_delay(self.config.max_cs_delay_ms)
+            .set_max_cc_delay(self.config.max_cc_delay_ms);
+        model.capacity = vec![self.config.controller_capacity; self.plan.n_controllers];
+        model
+    }
+
+    /// Solve options for the initial assignment.
+    pub fn initial_options(&self) -> SolveOptions {
+        SolveOptions {
+            objective: Objective::Tcr,
+            previous: None,
+            node_limit: 0,
+            seed: self.config.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::field_reassign_with_default)]
+    fn shared(mode: PlaneMode) -> Shared {
+        let mut config = CurbConfig::default();
+        config.mode = mode;
+        Shared {
+            config,
+            plan: NodePlan {
+                n_controllers: 7,
+                n_switches: 3,
+            },
+            keys: Vec::new(),
+            cs_delay_ms: vec![vec![1.0; 7]; 3],
+            cc_delay_ms: vec![vec![1.0; 7]; 7],
+            next_hop_port: vec![vec![0; 3]; 3],
+        }
+    }
+
+    #[test]
+    fn dst_switch_wraps() {
+        let s = shared(PlaneMode::Grouped { parallel: false });
+        assert_eq!(s.dst_switch(0), SwitchId(0));
+        assert_eq!(s.dst_switch(4), SwitchId(1));
+    }
+
+    #[test]
+    fn accept_quorum_depends_on_mode() {
+        assert_eq!(shared(PlaneMode::Grouped { parallel: false }).accept_f(), 1);
+        assert_eq!(shared(PlaneMode::Flat).accept_f(), 2); // (7-1)/3
+    }
+
+    #[test]
+    fn reassignment_model_excludes_accused_and_removed() {
+        let s = shared(PlaneMode::Grouped { parallel: false });
+        let mut removed = vec![false; 7];
+        removed[2] = true;
+        let prev = Assignment::from_groups(vec![vec![0, 1, 2, 3]; 3], 7);
+        let (model, opts) = s.reassignment_problem(&removed, &[5], &[None; 3], &prev);
+        assert!(model.excluded[2]);
+        assert!(model.excluded[5]);
+        assert!(!model.excluded[0]);
+        assert!(opts.previous.is_some());
+    }
+
+    #[test]
+    fn base_model_uses_config() {
+        let s = shared(PlaneMode::Grouped { parallel: false });
+        let m = s.base_model();
+        assert_eq!(m.group_size, vec![4; 3]);
+        assert_eq!(m.capacity, vec![11; 7]);
+    }
+
+    #[test]
+    fn paper_lazy_range() {
+        match ControllerBehavior::paper_lazy() {
+            ControllerBehavior::Lazy { min, max } => {
+                assert_eq!(min, Duration::from_millis(200));
+                assert_eq!(max, Duration::from_millis(500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! The s-agent (switch proxy): Algorithm 1 of the paper, plus the
+//! byzantine-detection rules of Step 4.
+//!
+//! A switch forwards data-plane packets using its flow table; on a
+//! table miss it buffers the packet and broadcasts a `PKT-IN` request to
+//! its controller group. A configuration is accepted once `f + 1`
+//! identical replies arrive; the flow table (or, for `RE-ASS`, the
+//! controller list) is then updated. The s-agent also watches its
+//! controllers:
+//!
+//! * a controller that fails to reply before the timeout earns a *miss
+//!   strike* (accused after `suspect_threshold` strikes);
+//! * a reply that contradicts the accepted `f + 1` majority triggers an
+//!   *immediate* accusation;
+//! * a reply arriving long after the quorum formed earns a *lazy
+//!   strike* (accused after `lazy_patience` strikes — the paper's
+//!   experiment ❸).
+
+use crate::ids::SwitchId;
+use crate::msg::CurbMsg;
+use crate::payload::{ConfigData, ReqKind, RequestKey, RequestRecord, SignedRequest};
+use crate::shared::Shared;
+use curb_crypto::rng::DetRng;
+use curb_crypto::KeyPair;
+use curb_sdn::flow::{FlowAction, FlowEntry, FlowMatch, FlowTable};
+use curb_sdn::{FlowMod, HostId, Packet, PortId};
+use curb_sim::{Actor, Context, NodeId, SimTime, TimerTag};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of one request, for metrics collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqOutcome {
+    /// The request.
+    pub key: RequestKey,
+    /// Whether it was a `RE-ASS`.
+    pub is_reassignment: bool,
+    /// When the request was broadcast.
+    pub sent_at: SimTime,
+    /// When `f + 1` matching replies arrived (`None` = never).
+    pub accepted_at: Option<SimTime>,
+}
+
+/// One in-flight request.
+#[derive(Debug)]
+struct Pending {
+    record: RequestRecord,
+    sent_at: SimTime,
+    /// `R_s`: replies received, `(controller, config, time)`.
+    replies: Vec<(usize, ConfigData, SimTime)>,
+    accepted: Option<(ConfigData, SimTime)>,
+    /// Buffered data packet awaiting the flow rule (PKT-IN only).
+    buffered_packet: Option<Packet>,
+    /// Timeout bookkeeping already performed.
+    audited: bool,
+}
+
+/// The switch actor.
+pub struct SwitchActor {
+    id: SwitchId,
+    shared: std::sync::Arc<Shared>,
+    /// `ctrList_s`: the switch's current controller group.
+    ctrl_list: Vec<usize>,
+    keys: Option<KeyPair>,
+    rng: DetRng,
+    flow_table: FlowTable,
+    next_seq: u64,
+    outstanding: BTreeMap<u64, Pending>,
+    /// Miss strikes per controller.
+    strikes: BTreeMap<usize, u32>,
+    /// Lazy strikes per controller.
+    lazy_strikes: BTreeMap<usize, u32>,
+    /// Controllers already accused (no duplicate RE-ASS).
+    accused: BTreeSet<usize>,
+    /// Data-plane packets successfully forwarded.
+    forwarded: u64,
+    /// Completed request outcomes, drained by the orchestrator.
+    outcomes: Vec<ReqOutcome>,
+}
+
+impl std::fmt::Debug for SwitchActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchActor")
+            .field("id", &self.id)
+            .field("ctrl_list", &self.ctrl_list)
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+impl SwitchActor {
+    /// Creates switch `id` with its initial controller list.
+    pub fn new(
+        id: SwitchId,
+        shared: std::sync::Arc<Shared>,
+        ctrl_list: Vec<usize>,
+        keys: Option<KeyPair>,
+        rng: DetRng,
+    ) -> Self {
+        SwitchActor {
+            id,
+            shared,
+            ctrl_list,
+            keys,
+            rng,
+            flow_table: FlowTable::with_table_miss(),
+            next_seq: 0,
+            outstanding: BTreeMap::new(),
+            strikes: BTreeMap::new(),
+            lazy_strikes: BTreeMap::new(),
+            accused: BTreeSet::new(),
+            forwarded: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Switch id.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// Current controller list.
+    pub fn ctrl_list(&self) -> &[usize] {
+        &self.ctrl_list
+    }
+
+    /// Replaces the controller list (used by the orchestrator when a
+    /// reassignment epoch is installed; normally the switch updates
+    /// itself from an accepted `RE-ASS` config).
+    pub fn set_ctrl_list(&mut self, list: Vec<usize>) {
+        self.adopt_ctrl_list(list);
+    }
+
+    /// Applies a (possibly identical) controller list with detection
+    /// bookkeeping:
+    ///
+    /// * miss-strike tallies always persist (a returning controller
+    ///   resumes its record);
+    /// * laziness tallies reset only when the list actually changed —
+    ///   the old epoch's congestion is gone, so stragglers start fresh.
+    ///   When a reassignment left the list *unchanged* (e.g. concurrent
+    ///   conflicting reassignments cancelled out), the observations are
+    ///   still valid and the next audit can re-accuse immediately;
+    /// * controllers that remain in (or return to) the list become
+    ///   accusable again.
+    fn adopt_ctrl_list(&mut self, list: Vec<usize>) {
+        if list != self.ctrl_list {
+            self.lazy_strikes.clear();
+        }
+        self.accused.retain(|c| !list.contains(c));
+        self.ctrl_list = list;
+    }
+
+    /// The switch's flow table.
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.flow_table
+    }
+
+    /// Number of data-plane packets forwarded so far.
+    pub fn forwarded_packets(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Drains completed request outcomes. Outstanding requests are
+    /// closed as unaccepted if `close_all` is set (round boundary).
+    pub fn drain_outcomes(&mut self, close_all: bool) -> Vec<ReqOutcome> {
+        if close_all {
+            let keys: Vec<u64> = self.outstanding.keys().copied().collect();
+            for seq in keys {
+                let p = self.outstanding.remove(&seq).expect("key exists");
+                self.outcomes.push(ReqOutcome {
+                    key: p.record.key,
+                    is_reassignment: matches!(p.record.kind, ReqKind::ReAss { .. }),
+                    sent_at: p.sent_at,
+                    accepted_at: p.accepted.as_ref().map(|(_, t)| *t),
+                });
+            }
+        }
+        std::mem::take(&mut self.outcomes)
+    }
+
+    fn broadcast_request(&mut self, ctx: &mut Context<'_, CurbMsg>, kind: ReqKind, packet: Option<Packet>) {
+        self.next_seq += 1;
+        let record = RequestRecord {
+            key: RequestKey {
+                switch: self.id,
+                seq: self.next_seq,
+            },
+            kind,
+        };
+        let signature = match (&self.keys, self.shared.config.sign_requests) {
+            (Some(keys), true) => {
+                let sig = keys.sign(&record.signing_bytes(), &mut self.rng);
+                Some((keys.public(), sig))
+            }
+            _ => None,
+        };
+        let req = SignedRequest {
+            record: record.clone(),
+            signature,
+        };
+        for &c in &self.ctrl_list {
+            let node = self.shared.plan.controller_node(crate::ids::ControllerId(c));
+            ctx.send(node, CurbMsg::Request(req.clone()));
+        }
+        self.outstanding.insert(
+            record.key.seq,
+            Pending {
+                record,
+                sent_at: ctx.now(),
+                replies: Vec::new(),
+                accepted: None,
+                buffered_packet: packet,
+                audited: false,
+            },
+        );
+        ctx.set_timer(self.shared.config.timeout, self.next_seq);
+    }
+
+    /// Data-plane packet arrival: forward on a table hit, or buffer and
+    /// raise `PKT-IN` on a miss.
+    fn on_host_packet(&mut self, ctx: &mut Context<'_, CurbMsg>, packet: Packet) {
+        match self.flow_table.apply(&packet).map(<[FlowAction]>::first) {
+            Some(Some(FlowAction::Output(_))) => {
+                self.forwarded += 1;
+            }
+            Some(Some(FlowAction::Drop)) => {}
+            _ => {
+                // Table miss (or explicit punt): Step 1.
+                let dst_host = packet.dst.0;
+                self.broadcast_request(ctx, ReqKind::PktIn { dst_host }, Some(packet));
+            }
+        }
+    }
+
+    /// REPLY arrival (Algorithm 1, lines 3-13).
+    fn on_reply(
+        &mut self,
+        ctx: &mut Context<'_, CurbMsg>,
+        controller: usize,
+        key: RequestKey,
+        config: ConfigData,
+    ) {
+        if key.switch != self.id || !self.ctrl_list.contains(&controller) {
+            return;
+        }
+        let accept_quorum = self.shared.accept_f() + 1;
+        let now = ctx.now();
+        // A controller that responds is not "missing": miss strikes are
+        // consecutive, so any reply clears the tally — even when the
+        // request has already been closed out.
+        self.strikes.remove(&controller);
+        let Some(pending) = self.outstanding.get_mut(&key.seq) else {
+            return;
+        };
+        if pending.replies.iter().any(|(c, _, _)| *c == controller) {
+            return; // one vote per controller
+        }
+        pending.replies.push((controller, config.clone(), now));
+        let straggler = pending.audited
+            && pending.accepted.as_ref().is_some_and(|(_, at)| {
+                now.saturating_since(*at) > self.shared.config.lazy_margin
+            });
+        if pending.accepted.is_none() {
+            let matching = pending
+                .replies
+                .iter()
+                .filter(|(_, c, _)| *c == config)
+                .count();
+            if matching >= accept_quorum {
+                pending.accepted = Some((config.clone(), now));
+                let packet = pending.buffered_packet.take();
+                let contradictors: Vec<usize> = pending
+                    .replies
+                    .iter()
+                    .filter(|(_, c, _)| *c != config)
+                    .map(|(c, _, _)| *c)
+                    .collect();
+                self.apply_config(&config, packet, now);
+                // Immediate accusation of contradicting controllers.
+                self.accuse(ctx, contradictors);
+            }
+        } else if let Some((accepted, _)) = &pending.accepted {
+            if *accepted != config {
+                // Late contradiction.
+                self.accuse(ctx, vec![controller]);
+            }
+        }
+        if straggler {
+            // Post-timeout straggler: worse than "lazy within the
+            // timeout" — give it a lazy strike.
+            let threshold = self.shared.config.lazy_patience;
+            let tally = self.lazy_strikes.entry(controller).or_insert(0);
+            *tally += 1;
+            if *tally >= threshold {
+                self.accuse(ctx, vec![controller]);
+            }
+        }
+    }
+
+    /// Applies an accepted configuration (Step 4).
+    fn apply_config(&mut self, config: &ConfigData, packet: Option<Packet>, now: SimTime) {
+        match config {
+            ConfigData::FlowRules(rules) => {
+                // Install through FLOW_MOD commands, as a PACKET_OUT
+                // carrying flow modifications would.
+                for r in rules {
+                    let command = FlowMod::add(FlowEntry::new(
+                        r.priority,
+                        FlowMatch::dst_host(HostId(r.dst_host)),
+                        vec![FlowAction::Output(PortId(r.out_port))],
+                    ));
+                    command.apply(&mut self.flow_table, now.as_nanos());
+                }
+                if let Some(p) = packet {
+                    // PACKET_OUT: release the buffered packet through the
+                    // fresh rule.
+                    if matches!(
+                        self.flow_table.apply(&p).map(<[FlowAction]>::first),
+                        Some(Some(FlowAction::Output(_)))
+                    ) {
+                        self.forwarded += 1;
+                    }
+                }
+            }
+            ConfigData::NewAssignment { groups } => {
+                if let Some(list) = groups.get(self.id.0) {
+                    self.adopt_ctrl_list(list.clone());
+                }
+            }
+        }
+    }
+
+    /// Request-timeout audit: miss strikes, lazy strikes, accusations.
+    fn on_request_timeout(&mut self, ctx: &mut Context<'_, CurbMsg>, seq: u64) {
+        let config = &self.shared.config;
+        let (suspects, lazies) = {
+            let Some(pending) = self.outstanding.get_mut(&seq) else {
+                return;
+            };
+            if pending.audited {
+                return;
+            }
+            pending.audited = true;
+            let mut suspects = Vec::new();
+            let mut lazies = Vec::new();
+            let mut prompt = Vec::new();
+            for &c in &self.ctrl_list {
+                match pending.replies.iter().find(|(rc, _, _)| *rc == c) {
+                    None => suspects.push(c),
+                    Some((_, _, t)) => {
+                        if let Some((_, accepted_at)) = &pending.accepted {
+                            if t.saturating_since(*accepted_at) > config.lazy_margin {
+                                lazies.push(c);
+                            } else {
+                                prompt.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            (suspects, (lazies, prompt))
+        };
+        let (lazies, _prompt) = lazies;
+        let mut to_accuse = Vec::new();
+        for c in suspects {
+            let s = self.strikes.entry(c).or_insert(0);
+            *s += 1;
+            if *s >= config.suspect_threshold {
+                to_accuse.push(c);
+            }
+        }
+        for c in lazies {
+            let s = self.lazy_strikes.entry(c).or_insert(0);
+            *s += 1;
+            if *s >= config.lazy_patience {
+                to_accuse.push(c);
+            }
+        }
+        self.accuse(ctx, to_accuse);
+    }
+
+    /// Issues a `RE-ASS` accusing `controllers` (deduplicated).
+    fn accuse(&mut self, ctx: &mut Context<'_, CurbMsg>, controllers: Vec<usize>) {
+        let fresh: Vec<usize> = controllers
+            .into_iter()
+            .filter(|c| !self.accused.contains(c))
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        for &c in &fresh {
+            self.accused.insert(c);
+        }
+        self.broadcast_request(ctx, ReqKind::ReAss { accused: fresh }, None);
+    }
+
+}
+
+impl Actor<CurbMsg> for SwitchActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, CurbMsg>, _from: NodeId, msg: CurbMsg) {
+        match msg {
+            CurbMsg::HostPacket { packet } => self.on_host_packet(ctx, packet),
+            CurbMsg::TriggerReassign { accused } => {
+                self.broadcast_request(ctx, ReqKind::ReAss { accused }, None);
+            }
+            CurbMsg::Reply {
+                controller,
+                key,
+                config,
+            } => self.on_reply(ctx, controller, key, config),
+            _ => {
+                // Control-plane internals are not addressed to switches.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, CurbMsg>, tag: TimerTag) {
+        self.on_request_timeout(ctx, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CurbConfig;
+    use crate::ids::NodePlan;
+    use crate::payload::FlowRuleSpec;
+    use curb_sim::Simulation;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// How a scripted controller answers requests.
+    #[derive(Debug, Clone)]
+    enum Script {
+        /// Reply with the given flow rule after the delay.
+        Reply { port: u16, delay: Duration },
+        /// Never reply.
+        Silent,
+    }
+
+    /// Test node: one real switch plus scripted controllers.
+    #[derive(Debug)]
+    enum TestNode {
+        Switch(Box<SwitchActor>),
+        Controller { id: usize, script: Script },
+    }
+
+    impl curb_sim::Actor<CurbMsg> for TestNode {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, CurbMsg>,
+            from: NodeId,
+            msg: CurbMsg,
+        ) {
+            match self {
+                TestNode::Switch(s) => s.on_message(ctx, from, msg),
+                TestNode::Controller { id, script } => {
+                    if let CurbMsg::Request(req) = msg {
+                        if let Script::Reply { port, delay } = script {
+                            let config = ConfigData::FlowRules(vec![FlowRuleSpec {
+                                priority: 10,
+                                dst_host: match req.record.kind {
+                                    ReqKind::PktIn { dst_host } => dst_host,
+                                    ReqKind::ReAss { .. } => 0,
+                                },
+                                out_port: *port,
+                            }]);
+                            ctx.send_delayed(
+                                from,
+                                CurbMsg::Reply {
+                                    controller: *id,
+                                    key: req.record.key,
+                                    config,
+                                },
+                                *delay,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, CurbMsg>, tag: curb_sim::TimerTag) {
+            if let TestNode::Switch(s) = self {
+                s.on_timer(ctx, tag);
+            }
+        }
+    }
+
+    fn shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            config: CurbConfig::default(),
+            plan: NodePlan {
+                n_controllers: 4,
+                n_switches: 1,
+            },
+            keys: Vec::new(),
+            cs_delay_ms: vec![vec![1.0; 4]],
+            cc_delay_ms: vec![vec![1.0; 4]; 4],
+            next_hop_port: vec![vec![0]],
+        })
+    }
+
+    /// Builds a 5-node sim: controllers 0..4 with the given scripts,
+    /// the switch at node 4.
+    fn harness(scripts: [Script; 4]) -> Simulation<CurbMsg, TestNode> {
+        let shared = shared();
+        let mut actors: Vec<TestNode> = scripts
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(id, script)| TestNode::Controller { id, script })
+            .collect();
+        actors.push(TestNode::Switch(Box::new(SwitchActor::new(
+            SwitchId(0),
+            shared,
+            vec![0, 1, 2, 3],
+            None,
+            curb_crypto::rng::DetRng::new(1),
+        ))));
+        let mut sim = Simulation::new(actors);
+        sim.set_uniform_delay(Duration::from_millis(5));
+        sim
+    }
+
+    fn switch(sim: &Simulation<CurbMsg, TestNode>) -> &SwitchActor {
+        match sim.actor(NodeId(4)) {
+            TestNode::Switch(s) => s,
+            TestNode::Controller { .. } => unreachable!("node 4 is the switch"),
+        }
+    }
+
+    /// Injects a packet to a fresh destination (guaranteed table miss).
+    fn inject_packet(sim: &mut Simulation<CurbMsg, TestNode>, dst: u32) {
+        let packet = Packet::new(HostId(0), HostId(dst));
+        sim.post(NodeId(4), NodeId(4), CurbMsg::HostPacket { packet });
+    }
+
+    fn fast(port: u16) -> Script {
+        Script::Reply {
+            port,
+            delay: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn quorum_of_matching_replies_installs_the_rule() {
+        let mut sim = harness([fast(3), fast(3), fast(3), fast(3)]);
+        inject_packet(&mut sim, 7);
+        sim.run_to_quiescence();
+        let sw = switch(&sim);
+        // Table-miss + the installed rule.
+        assert_eq!(sw.flow_table().len(), 2);
+        // The buffered packet was released through the new rule.
+        assert_eq!(sw.forwarded_packets(), 1);
+    }
+
+    #[test]
+    fn one_matching_reply_is_not_enough() {
+        // accept quorum is f+1 = 2; only controller 0 replies.
+        let mut sim = harness([fast(3), Script::Silent, Script::Silent, Script::Silent]);
+        inject_packet(&mut sim, 7);
+        sim.run_to_quiescence();
+        let sw = switch(&sim);
+        assert_eq!(sw.flow_table().len(), 1, "only the table-miss entry");
+        assert_eq!(sw.forwarded_packets(), 0);
+    }
+
+    #[test]
+    fn contradicting_controller_is_accused_immediately() {
+        // Three agree on port 3; controller 1 contradicts with port 9
+        // and must be accused once the quorum forms.
+        let mut sim = harness([
+            fast(3),
+            Script::Reply {
+                port: 9,
+                delay: Duration::ZERO,
+            },
+            fast(3),
+            fast(3),
+        ]);
+        inject_packet(&mut sim, 7);
+        sim.run_to_quiescence();
+        // The accusation is a RE-ASS request on the wire.
+        assert!(sim.stats().count("RE-ASS") >= 4, "broadcast to the group");
+        let sw = switch(&sim);
+        assert!(sw.flow_table().len() >= 2, "majority config still applied");
+    }
+
+    #[test]
+    fn silent_controller_earns_miss_strikes_and_accusation() {
+        let mut sim = harness([fast(3), fast(3), fast(3), Script::Silent]);
+        // suspect_threshold = 5 one-per-round requests, each to a fresh
+        // destination so every round raises a PKT-IN.
+        for dst in 0..5 {
+            inject_packet(&mut sim, dst);
+            sim.run_to_quiescence();
+        }
+        assert!(
+            sim.stats().count("RE-ASS") >= 4,
+            "5 consecutive misses must trigger an accusation"
+        );
+    }
+
+    #[test]
+    fn responsive_controllers_are_never_accused() {
+        let mut sim = harness([fast(3), fast(3), fast(3), fast(3)]);
+        for dst in 0..8 {
+            inject_packet(&mut sim, dst);
+            sim.run_to_quiescence();
+        }
+        assert_eq!(sim.stats().count("RE-ASS"), 0);
+        assert_eq!(switch(&sim).forwarded_packets(), 8);
+    }
+
+    #[test]
+    fn straggler_within_margin_not_accused() {
+        // Controller 3 is slower than the quorum but within the lazy
+        // margin (300 ms): no accusation even after many rounds.
+        let mut sim = harness([
+            fast(3),
+            fast(3),
+            fast(3),
+            Script::Reply {
+                port: 3,
+                delay: Duration::from_millis(100),
+            },
+        ]);
+        for dst in 0..8 {
+            inject_packet(&mut sim, dst);
+            sim.run_to_quiescence();
+        }
+        assert_eq!(sim.stats().count("RE-ASS"), 0);
+    }
+
+    #[test]
+    fn lazy_controller_beyond_margin_eventually_accused() {
+        // 400 ms behind the quorum, beyond the 300 ms margin: lazy
+        // strikes accumulate to the patience threshold (5).
+        let mut sim = harness([
+            fast(3),
+            fast(3),
+            fast(3),
+            Script::Reply {
+                port: 3,
+                delay: Duration::from_millis(400),
+            },
+        ]);
+        for dst in 0..6 {
+            inject_packet(&mut sim, dst);
+            sim.run_to_quiescence();
+        }
+        assert!(sim.stats().count("RE-ASS") >= 4);
+    }
+
+    #[test]
+    fn reassignment_config_updates_ctrl_list() {
+        let mut sim = harness([fast(3), fast(3), fast(3), fast(3)]);
+        // Deliver a NewAssignment reply pair directly.
+        let key = RequestKey {
+            switch: SwitchId(0),
+            seq: 1,
+        };
+        // Issue the request first so the key exists.
+        sim.post(
+            NodeId(4),
+            NodeId(4),
+            CurbMsg::TriggerReassign { accused: vec![3] },
+        );
+        sim.run_until(curb_sim::SimTime::from_nanos(1_000_000)); // deliver request only
+        let config = ConfigData::NewAssignment {
+            groups: vec![vec![0, 1, 2]],
+        };
+        for c in [0usize, 1] {
+            sim.post(
+                NodeId(c),
+                NodeId(4),
+                CurbMsg::Reply {
+                    controller: c,
+                    key,
+                    config: config.clone(),
+                },
+            );
+        }
+        sim.run_to_quiescence();
+        assert_eq!(switch(&sim).ctrl_list(), &[0, 1, 2]);
+    }
+}

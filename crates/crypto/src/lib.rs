@@ -1,0 +1,47 @@
+//! Cryptographic substrate for the Curb control plane.
+//!
+//! The Curb paper signs every request, reply and transaction with a
+//! public-key signature scheme (pure-Python ECDSA in the original
+//! artifact). This crate rebuilds that substrate from scratch:
+//!
+//! * [`sha256`] — a FIPS 180-4 SHA-256 implementation, validated against
+//!   the NIST test vectors.
+//! * [`u256`] — fixed-width 256-bit unsigned integer arithmetic
+//!   (with a 512-bit widening product) used by the signature scheme.
+//! * [`schnorr`] — Schnorr signatures over the multiplicative group of a
+//!   256-bit prime field.
+//! * [`rng`] — a small deterministic RNG so that whole-network simulations
+//!   are reproducible from a single seed.
+//!
+//! # Security note
+//!
+//! The discrete-log group used by [`schnorr`] is a *simulation-grade*
+//! group: it is structurally a real Schnorr scheme (key generation,
+//! signing, verification, tamper detection) but the group parameters are
+//! not hardened, so it must not be used against a real adversary. This
+//! substitution is documented in the repository's `DESIGN.md`.
+//!
+//! # Examples
+//!
+//! ```rust
+//! use curb_crypto::{KeyPair, sha256::Digest};
+//!
+//! let mut rng = curb_crypto::rng::DetRng::new(42);
+//! let keys = KeyPair::generate(&mut rng);
+//! let sig = keys.sign(b"flow rule update", &mut rng);
+//! assert!(keys.public().verify(b"flow rule update", &sig));
+//! assert!(!keys.public().verify(b"tampered", &sig));
+//! let _digest: Digest = curb_crypto::sha256::digest(b"abc");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod schnorr;
+pub mod sha256;
+pub mod u256;
+
+pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
+pub use sha256::Digest;
+pub use u256::U256;

@@ -1,0 +1,319 @@
+//! Schnorr signatures over the multiplicative group of a 256-bit prime
+//! field.
+//!
+//! Every Curb controller generates a key pair at initialisation (Step 0
+//! of the protocol) and broadcasts its public key as its identity; every
+//! request, reply and transaction is signed. This module provides that
+//! scheme:
+//!
+//! * **Group**: `Z_p^*` with `p` the secp256k1 field prime
+//!   (`2^256 - 2^32 - 977`) and generator `g = 5`. Exponents live in
+//!   `Z_{p-1}`.
+//! * **Sign**: sample nonce `k`, compute `R = g^k`,
+//!   `e = H(R ‖ pk ‖ m) mod (p-1)`, `s = k + e·x mod (p-1)`.
+//! * **Verify**: recompute `e` and check `g^s = R · y^e (mod p)`.
+//!
+//! This is structurally a textbook Schnorr scheme; the group is
+//! simulation-grade (see the crate-level security note).
+
+use crate::rng::DetRng;
+use crate::sha256::digest_parts;
+use crate::u256::U256;
+use core::fmt;
+
+/// The field prime `p = 2^256 - 2^32 - 977` (the secp256k1 base-field
+/// prime, reused here as a convenient 256-bit prime).
+pub fn modulus() -> U256 {
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .expect("valid hex constant")
+}
+
+/// The exponent modulus `p - 1`.
+pub fn group_order() -> U256 {
+    modulus().wrapping_sub(&U256::ONE)
+}
+
+/// The group generator, `g = 5`.
+pub fn generator() -> U256 {
+    U256::from_u64(5)
+}
+
+/// A secret signing key (an exponent in `Z_{p-1}`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey(U256);
+
+/// A public verification key (`g^x mod p`), doubling as a node identity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(U256);
+
+/// A Schnorr signature `(R, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The nonce commitment `R = g^k mod p`.
+    pub r: U256,
+    /// The response `s = k + e·x mod (p-1)`.
+    pub s: U256,
+}
+
+/// A secret/public key pair.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_crypto::{KeyPair, rng::DetRng};
+///
+/// let mut rng = DetRng::new(1);
+/// let kp = KeyPair::generate(&mut rng);
+/// let sig = kp.sign(b"msg", &mut rng);
+/// assert!(kp.public().verify(b"msg", &sig));
+/// ```
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+fn random_exponent(rng: &mut DetRng) -> U256 {
+    // Rejection-sample a uniform exponent in [1, p-2].
+    let order = group_order();
+    loop {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        let v = U256::from_be_bytes(&bytes);
+        if !v.is_zero() && v < order {
+            return v;
+        }
+    }
+}
+
+/// Fiat–Shamir challenge `e = H(R ‖ pk ‖ m) mod (p-1)`.
+fn challenge(r: &U256, public: &PublicKey, message: &[u8]) -> U256 {
+    let d = digest_parts(&[&r.to_be_bytes(), &public.0.to_be_bytes(), message]);
+    U256::from_be_bytes(d.as_bytes()).rem(&group_order())
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair from the given RNG.
+    pub fn generate(rng: &mut DetRng) -> Self {
+        let x = random_exponent(rng);
+        let y = generator().pow_mod(&x, &modulus());
+        KeyPair {
+            secret: SecretKey(x),
+            public: PublicKey(y),
+        }
+    }
+
+    /// Returns the public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message` with a nonce drawn from `rng`.
+    pub fn sign(&self, message: &[u8], rng: &mut DetRng) -> Signature {
+        let p = modulus();
+        let order = group_order();
+        let k = random_exponent(rng);
+        let r = generator().pow_mod(&k, &p);
+        let e = challenge(&r, &self.public, message);
+        // s = k + e*x mod (p-1)
+        let ex = e.mul_mod(&self.secret.0, &order);
+        let s = k.add_mod(&ex, &order);
+        Signature { r, s }
+    }
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `message`.
+    ///
+    /// Returns `false` for any tampered message, signature or key.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        let p = modulus();
+        if sig.r.is_zero() || sig.r >= p {
+            return false;
+        }
+        let e = challenge(&sig.r, self, message);
+        // g^s == R * y^e (mod p)
+        let lhs = generator().pow_mod(&sig.s, &p);
+        let rhs = sig.r.mul_mod(&self.0.pow_mod(&e, &p), &p);
+        lhs == rhs
+    }
+
+    /// Returns the key as a scalar, used for deterministic ordering
+    /// (e.g. final-committee leader = highest ID).
+    pub fn as_scalar(&self) -> U256 {
+        self.0
+    }
+
+    /// Serialises the key to 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Reads a key back from [`PublicKey::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        PublicKey(U256::from_be_bytes(bytes))
+    }
+}
+
+impl Signature {
+    /// Serialises the signature to 64 bytes (`R ‖ s`).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Reads a signature back from [`Signature::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let r = U256::from_be_bytes(bytes[..32].try_into().expect("32 bytes"));
+        let s = U256::from_be_bytes(bytes[32..].try_into().expect("32 bytes"));
+        Signature { r, s }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(redacted)")
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", self.0)
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyPair(pk={})", self.public.0)
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature(r={}, s={})", self.r, self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = DetRng::new(100);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"packet-in request", &mut rng);
+        assert!(kp.public().verify(b"packet-in request", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = DetRng::new(101);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"original", &mut rng);
+        assert!(!kp.public().verify(b"forged", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = DetRng::new(102);
+        let kp1 = KeyPair::generate(&mut rng);
+        let kp2 = KeyPair::generate(&mut rng);
+        let sig = kp1.sign(b"msg", &mut rng);
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = DetRng::new(103);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"msg", &mut rng);
+        let bad_s = Signature {
+            r: sig.r,
+            s: sig.s.add_mod(&U256::ONE, &group_order()),
+        };
+        assert!(!kp.public().verify(b"msg", &bad_s));
+        let bad_r = Signature {
+            r: sig.r.add_mod(&U256::ONE, &modulus()),
+            s: sig.s,
+        };
+        assert!(!kp.public().verify(b"msg", &bad_r));
+    }
+
+    #[test]
+    fn zero_r_rejected() {
+        let mut rng = DetRng::new(104);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = Signature {
+            r: U256::ZERO,
+            s: U256::from_u64(7),
+        };
+        assert!(!kp.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn signatures_are_nonce_randomised() {
+        let mut rng = DetRng::new(105);
+        let kp = KeyPair::generate(&mut rng);
+        let s1 = kp.sign(b"msg", &mut rng);
+        let s2 = kp.sign(b"msg", &mut rng);
+        assert_ne!(s1, s2, "distinct nonces must yield distinct signatures");
+        assert!(kp.public().verify(b"msg", &s1));
+        assert!(kp.public().verify(b"msg", &s2));
+    }
+
+    #[test]
+    fn key_and_signature_serialisation_roundtrip() {
+        let mut rng = DetRng::new(106);
+        let kp = KeyPair::generate(&mut rng);
+        let pk2 = PublicKey::from_bytes(&kp.public().to_bytes());
+        assert_eq!(pk2, kp.public());
+        let sig = kp.sign(b"serial", &mut rng);
+        let sig2 = Signature::from_bytes(&sig.to_bytes());
+        assert_eq!(sig, sig2);
+        assert!(pk2.verify(b"serial", &sig2));
+    }
+
+    #[test]
+    fn deterministic_keygen_from_seed() {
+        let mut a = DetRng::new(55);
+        let mut b = DetRng::new(55);
+        assert_eq!(
+            KeyPair::generate(&mut a).public(),
+            KeyPair::generate(&mut b).public()
+        );
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let mut rng = DetRng::new(107);
+        let kp = KeyPair::generate(&mut rng);
+        assert_eq!(format!("{:?}", kp.secret), "SecretKey(redacted)");
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let mut rng = DetRng::new(108);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"", &mut rng);
+        assert!(kp.public().verify(b"", &sig));
+        assert!(!kp.public().verify(b"x", &sig));
+    }
+
+    #[test]
+    fn group_parameters_consistent() {
+        assert_eq!(group_order().wrapping_add(&U256::ONE), modulus());
+        // g must not be the identity and must be < p.
+        assert!(generator() > U256::ONE);
+        assert!(generator() < modulus());
+    }
+}

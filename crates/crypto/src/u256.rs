@@ -1,0 +1,881 @@
+//! Fixed-width 256-bit unsigned integer arithmetic.
+//!
+//! [`U256`] is the scalar type underlying the [`crate::schnorr`]
+//! signature scheme: modular exponentiation over a 256-bit prime field
+//! needs full-width multiplication (via the internal 512-bit
+//! intermediate [`U512`]) and division with remainder.
+//!
+//! The representation is four little-endian `u64` limbs. All operations
+//! are implemented from scratch — no external big-integer crate.
+
+
+#![allow(clippy::needless_range_loop)]
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, BitAnd, BitOr, BitXor, Shl, Shr, Sub};
+
+/// A 256-bit unsigned integer (four little-endian 64-bit limbs).
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_crypto::U256;
+///
+/// let a = U256::from_u64(10);
+/// let b = U256::from_u64(32);
+/// assert_eq!(a + b, U256::from_u64(42));
+/// assert_eq!((b - a).to_u64(), Some(22));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub(crate) [u64; 4]);
+
+/// A 512-bit unsigned integer, used as the widening-multiplication
+/// intermediate for modular reduction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U512(pub(crate) [u64; 8]);
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a value from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Creates a value from explicit little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Converts to `u64` if the value fits, `None` otherwise.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `u128` if the value fits, `None` otherwise.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0] as u128 | ((self.0[1] as u128) << 64))
+        } else {
+            None
+        }
+    }
+
+    /// Parses a big-endian hexadecimal string (no `0x` prefix, up to 64
+    /// hex digits).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for empty input, input longer than 64 digits, or
+    /// non-hexadecimal characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut v = U256::ZERO;
+        for ch in s.chars() {
+            let d = ch.to_digit(16)? as u64;
+            v = v.checked_shl(4)?;
+            v.0[0] |= d;
+        }
+        Some(v)
+    }
+
+    /// Reads a value from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[(3 - i) * 8..(4 - i) * 8]);
+            *limb = u64::from_be_bytes(b);
+        }
+        U256(limbs)
+    }
+
+    /// Writes the value as 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of bits required to represent the value (`0` for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Addition returning the wrapped value and a carry flag.
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Subtraction returning the wrapped value and a borrow flag.
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Addition modulo `2^256`.
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Subtraction modulo `2^256`.
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Addition returning `None` on overflow.
+    pub fn checked_add(&self, rhs: &U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Subtraction returning `None` on underflow.
+    pub fn checked_sub(&self, rhs: &U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Left shift returning `None` if bits are shifted out.
+    pub fn checked_shl(&self, n: u32) -> Option<U256> {
+        if n as usize >= 256 {
+            return if self.is_zero() { Some(*self) } else { None };
+        }
+        if self.bits() + n as usize > 256 {
+            return None;
+        }
+        Some(self.wrapping_shl(n))
+    }
+
+    /// Left shift modulo `2^256`.
+    pub fn wrapping_shl(&self, n: u32) -> U256 {
+        let n = n as usize;
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let lo = self.0[i - limb_shift] << bit_shift;
+            let hi = if bit_shift > 0 && i > limb_shift {
+                self.0[i - limb_shift - 1] >> (64 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+        U256(out)
+    }
+
+    /// Logical right shift.
+    pub fn wrapping_shr(&self, n: u32) -> U256 {
+        let n = n as usize;
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in 0..(4 - limb_shift) {
+            let lo = self.0[i + limb_shift] >> bit_shift;
+            let hi = if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                self.0[i + limb_shift + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+        U256(out)
+    }
+
+    /// Full 256×256 → 512-bit schoolbook multiplication.
+    pub fn widening_mul(&self, rhs: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = out[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+
+    /// Multiplication returning `None` if the product exceeds 256 bits.
+    pub fn checked_mul(&self, rhs: &U256) -> Option<U256> {
+        let wide = self.widening_mul(rhs);
+        if wide.0[4..].iter().any(|&l| l != 0) {
+            None
+        } else {
+            let mut limbs = [0u64; 4];
+            limbs.copy_from_slice(&wide.0[..4]);
+            Some(U256(limbs))
+        }
+    }
+
+    /// Division with remainder (binary long division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, *self);
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut quotient = U256::ZERO;
+        let mut remainder = *self;
+        let mut shifted = divisor.wrapping_shl(shift as u32);
+        for i in (0..=shift).rev() {
+            if remainder >= shifted {
+                remainder = remainder.wrapping_sub(&shifted);
+                quotient.0[i / 64] |= 1 << (i % 64);
+            }
+            shifted = shifted.wrapping_shr(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// `self mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem(&self, modulus: &U256) -> U256 {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular addition: `(self + rhs) mod modulus`.
+    ///
+    /// Both operands must already be reduced below `modulus`.
+    pub fn add_mod(&self, rhs: &U256, modulus: &U256) -> U256 {
+        debug_assert!(self < modulus && rhs < modulus);
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || &sum >= modulus {
+            sum.wrapping_sub(modulus)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction: `(self - rhs) mod modulus`.
+    ///
+    /// Both operands must already be reduced below `modulus`.
+    pub fn sub_mod(&self, rhs: &U256, modulus: &U256) -> U256 {
+        debug_assert!(self < modulus && rhs < modulus);
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.wrapping_add(modulus)
+        } else {
+            diff
+        }
+    }
+
+    /// Modular multiplication: `(self * rhs) mod modulus` via the 512-bit
+    /// widening product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mul_mod(&self, rhs: &U256, modulus: &U256) -> U256 {
+        self.widening_mul(rhs).rem_u256(modulus)
+    }
+
+    /// Modular multiplicative inverse: the `x` with
+    /// `self · x ≡ 1 (mod modulus)`, or `None` when
+    /// `gcd(self, modulus) ≠ 1`.
+    ///
+    /// Implemented as the extended Euclidean algorithm with signs
+    /// tracked separately (the values stay non-negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or one.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// use curb_crypto::U256;
+    ///
+    /// let m = U256::from_u64(97);
+    /// let inv = U256::from_u64(31).mod_inverse(&m).unwrap();
+    /// assert_eq!(U256::from_u64(31).mul_mod(&inv, &m), U256::ONE);
+    /// assert!(U256::from_u64(0).mod_inverse(&m).is_none());
+    /// ```
+    pub fn mod_inverse(&self, modulus: &U256) -> Option<U256> {
+        assert!(modulus > &U256::ONE, "modulus must exceed one");
+        let mut r0 = *modulus;
+        let mut r1 = self.rem(modulus);
+        if r1.is_zero() {
+            return None;
+        }
+        // Coefficients of `self` in each remainder, with explicit sign.
+        let mut t0 = (U256::ZERO, false);
+        let mut t1 = (U256::ONE, false);
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1 (signed)
+            let qt1 = q.checked_mul(&t1.0).expect("coefficients stay below modulus^2");
+            let t2 = signed_sub(t0, (qt1, t1.1));
+            r0 = r1;
+            r1 = r;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != U256::ONE {
+            return None; // not coprime
+        }
+        let (mag, neg) = t0;
+        let reduced = mag.rem(modulus);
+        Some(if neg && !reduced.is_zero() {
+            modulus.wrapping_sub(&reduced)
+        } else {
+            reduced
+        })
+    }
+
+    /// Modular exponentiation: `self^exp mod modulus` by square and
+    /// multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn pow_mod(&self, exp: &U256, modulus: &U256) -> U256 {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus == &U256::ONE {
+            return U256::ZERO;
+        }
+        let mut result = U256::ONE;
+        let mut base = self.rem(modulus);
+        let nbits = exp.bits();
+        for i in 0..nbits {
+            if exp.bit(i) {
+                result = result.mul_mod(&base, modulus);
+            }
+            if i + 1 < nbits {
+                base = base.mul_mod(&base, modulus);
+            }
+        }
+        result
+    }
+}
+
+/// `a - b` on sign-magnitude pairs `(magnitude, is_negative)`.
+fn signed_sub(a: (U256, bool), b: (U256, bool)) -> (U256, bool) {
+    match (a.1, b.1) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) | (true, false) => {
+            (a.0.checked_add(&b.0).expect("magnitudes bounded"), a.1)
+        }
+        // same sign: subtract magnitudes
+        _ => {
+            if a.0 >= b.0 {
+                (a.0.wrapping_sub(&b.0), a.1)
+            } else {
+                (b.0.wrapping_sub(&a.0), !a.1)
+            }
+        }
+    }
+}
+
+impl U512 {
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 8]
+    }
+
+    /// Number of bits required to represent the value.
+    pub fn bits(&self) -> usize {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Reduces the 512-bit value modulo a 256-bit modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem_u256(&self, modulus: &U256) -> U256 {
+        assert!(!modulus.is_zero(), "division by zero");
+        // Binary reduction: feed one bit at a time into a 256+1-bit
+        // accumulator kept below `modulus`.
+        let mut acc = U256::ZERO;
+        for i in (0..self.bits()).rev() {
+            // acc = acc*2 + bit, then conditionally subtract modulus.
+            let carry = acc.bit(255);
+            acc = acc.wrapping_shl(1);
+            if self.bit(i) {
+                acc.0[0] |= 1;
+            }
+            if carry || &acc >= modulus {
+                acc = acc.wrapping_sub(modulus);
+            }
+        }
+        acc
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+
+    /// # Panics
+    ///
+    /// Panics on overflow; use [`U256::wrapping_add`] or
+    /// [`U256::checked_add`] for explicit overflow handling.
+    fn add(self, rhs: U256) -> U256 {
+        self.checked_add(&rhs).expect("U256 addition overflow")
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`U256::wrapping_sub`] or
+    /// [`U256::checked_sub`] for explicit underflow handling.
+    fn sub(self, rhs: U256) -> U256 {
+        self.checked_sub(&rhs).expect("U256 subtraction underflow")
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, n: u32) -> U256 {
+        self.wrapping_shl(n)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, n: u32) -> U256 {
+        self.wrapping_shr(n)
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hexadecimal without leading zeros; decimal conversion is not
+        // needed anywhere in the workspace.
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        let mut started = false;
+        for limb in self.0.iter().rev() {
+            if started {
+                write!(f, "{limb:016x}")?;
+            } else if *limb != 0 {
+                write!(f, "{limb:x}")?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(0x")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u128) -> U256 {
+        U256::from_u128(v)
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(u(10) + u(32), u(42));
+        assert_eq!(u(42) - u(10), u(32));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        let (s, c) = a.overflowing_add(&U256::ONE);
+        assert!(!c);
+        assert_eq!(s, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_overflow_detected() {
+        let (v, c) = U256::MAX.overflowing_add(&U256::ONE);
+        assert!(c);
+        assert_eq!(v, U256::ZERO);
+        assert!(U256::MAX.checked_add(&U256::ONE).is_none());
+    }
+
+    #[test]
+    fn sub_borrow_detected() {
+        let (v, b) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(b);
+        assert_eq!(v, U256::MAX);
+        assert!(U256::ZERO.checked_sub(&U256::ONE).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_operator_panics_on_overflow() {
+        let _ = U256::MAX + U256::ONE;
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let v = u(0xDEAD_BEEF_CAFE_BABE);
+        assert_eq!(v.wrapping_shl(100).wrapping_shr(100), v);
+        assert_eq!(v.wrapping_shl(256), U256::ZERO);
+        assert_eq!(v.wrapping_shr(256), U256::ZERO);
+        assert_eq!(v.wrapping_shl(0), v);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(u(0x8000_0000_0000_0000).bits(), 64);
+        assert_eq!(U256::MAX.bits(), 256);
+        assert!(u(0b100).bit(2));
+        assert!(!u(0b100).bit(1));
+    }
+
+    #[test]
+    fn widening_mul_matches_u128() {
+        let a = u(0xFFFF_FFFF_FFFF_FFFF);
+        let b = u(0xFFFF_FFFF_FFFF_FFFF);
+        let wide = a.widening_mul(&b);
+        let expected = 0xFFFF_FFFF_FFFF_FFFFu128 * 0xFFFF_FFFF_FFFF_FFFFu128;
+        assert_eq!(wide.0[0], expected as u64);
+        assert_eq!(wide.0[1], (expected >> 64) as u64);
+        assert!(wide.0[2..].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn mul_max_by_max() {
+        // (2^256-1)^2 = 2^512 - 2^257 + 1
+        let wide = U256::MAX.widening_mul(&U256::MAX);
+        assert_eq!(wide.0[0], 1);
+        assert_eq!(wide.0[1], 0);
+        assert_eq!(wide.0[4], u64::MAX - 1);
+        assert_eq!(wide.0[7], u64::MAX);
+    }
+
+    #[test]
+    fn checked_mul_overflow() {
+        assert!(U256::MAX.checked_mul(&u(2)).is_none());
+        assert_eq!(u(6).checked_mul(&u(7)), Some(u(42)));
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let (q, r) = u(100).div_rem(&u(7));
+        assert_eq!(q, u(14));
+        assert_eq!(r, u(2));
+        let (q, r) = u(5).div_rem(&u(100));
+        assert_eq!(q, U256::ZERO);
+        assert_eq!(r, u(5));
+        let (q, r) = u(100).div_rem(&u(100));
+        assert_eq!(q, U256::ONE);
+        assert_eq!(r, U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_wide_values() {
+        // (MAX / 3) * 3 + MAX % 3 == MAX
+        let three = u(3);
+        let (q, r) = U256::MAX.div_rem(&three);
+        let back = q.checked_mul(&three).unwrap().checked_add(&r).unwrap();
+        assert_eq!(back, U256::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = u(1).div_rem(&U256::ZERO);
+    }
+
+    #[test]
+    fn rem_u512() {
+        let a = u(u128::MAX);
+        let wide = a.widening_mul(&a);
+        let m = u(1_000_000_007);
+        let got = wide.rem_u256(&m);
+        // Compute expected via u128 arithmetic: (2^128-1)^2 mod p
+        let p = 1_000_000_007u128;
+        let x = u128::MAX % p;
+        let expected = (x * x) % p;
+        assert_eq!(got, u(expected));
+    }
+
+    #[test]
+    fn mod_arithmetic() {
+        let m = u(97);
+        assert_eq!(u(50).add_mod(&u(60), &m), u(13));
+        assert_eq!(u(10).sub_mod(&u(20), &m), u(87));
+        assert_eq!(u(12).mul_mod(&u(34), &m), u(12 * 34 % 97));
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem: a^(p-1) = 1 mod p for prime p.
+        let p = u(1_000_000_007);
+        let a = u(123_456_789);
+        assert_eq!(a.pow_mod(&u(1_000_000_006), &p), U256::ONE);
+        assert_eq!(a.pow_mod(&U256::ZERO, &p), U256::ONE);
+        assert_eq!(a.pow_mod(&U256::ONE, &p), a);
+    }
+
+    #[test]
+    fn pow_mod_modulus_one() {
+        assert_eq!(u(5).pow_mod(&u(3), &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn mod_inverse_small_field() {
+        let p = u(97);
+        for a in 1..97u128 {
+            let inv = u(a).mod_inverse(&p).expect("field element invertible");
+            assert_eq!(u(a).mul_mod(&inv, &p), U256::ONE, "a = {a}");
+        }
+        assert!(U256::ZERO.mod_inverse(&p).is_none());
+        assert!(u(97).mod_inverse(&p).is_none(), "0 mod p");
+    }
+
+    #[test]
+    fn mod_inverse_composite_modulus() {
+        let m = u(12);
+        assert_eq!(u(5).mod_inverse(&m), Some(u(5))); // 5*5=25=1 mod 12
+        assert!(u(4).mod_inverse(&m).is_none()); // gcd 4
+        assert!(u(6).mod_inverse(&m).is_none()); // gcd 6
+    }
+
+    #[test]
+    fn mod_inverse_large_prime() {
+        // secp256k1 field prime.
+        let p = U256::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        )
+        .unwrap();
+        let a = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap();
+        let inv = a.mod_inverse(&p).expect("prime field");
+        assert_eq!(a.mul_mod(&inv, &p), U256::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must exceed one")]
+    fn mod_inverse_tiny_modulus_panics() {
+        let _ = u(3).mod_inverse(&U256::ONE);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        assert_eq!(format!("{v:x}"), "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+        assert_eq!(U256::from_hex("0"), Some(U256::ZERO));
+        assert_eq!(U256::from_hex("ff"), Some(u(255)));
+        assert!(U256::from_hex("").is_none());
+        assert!(U256::from_hex("xyz").is_none());
+        assert!(U256::from_hex(&"f".repeat(65)).is_none());
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+        let one_bytes = U256::ONE.to_be_bytes();
+        assert_eq!(one_bytes[31], 1);
+        assert!(one_bytes[..31].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(U256::ZERO < U256::ONE);
+        assert!(U256::ONE < U256::MAX);
+        assert!(U256([0, 1, 0, 0]) > U256([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", U256::ZERO), "0x0");
+        assert_eq!(format!("{}", u(255)), "0xff");
+        assert!(format!("{:?}", U256::ONE).starts_with("U256(0x"));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(u(0b1100) & u(0b1010), u(0b1000));
+        assert_eq!(u(0b1100) | u(0b1010), u(0b1110));
+        assert_eq!(u(0b1100) ^ u(0b1010), u(0b0110));
+    }
+}

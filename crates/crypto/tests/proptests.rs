@@ -1,0 +1,142 @@
+//! Property-based tests for the crypto substrate: U256 algebra against a
+//! u128 oracle, division invariants, hashing consistency, and signature
+//! soundness.
+
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::{digest, Sha256};
+use curb_crypto::u256::U256;
+use curb_crypto::KeyPair;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = U256::from_u64(a).wrapping_add(&U256::from_u64(b));
+        prop_assert_eq!(sum, U256::from_u128(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let diff = U256::from_u128(hi).checked_sub(&U256::from_u128(lo)).unwrap();
+        prop_assert_eq!(diff, U256::from_u128(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U256::from_u64(a).checked_mul(&U256::from_u64(b)).unwrap();
+        prop_assert_eq!(prod, U256::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn add_is_commutative(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let x = U256::from_limbs(a);
+        let y = U256::from_limbs(b);
+        prop_assert_eq!(x.wrapping_add(&y), y.wrapping_add(&x));
+    }
+
+    #[test]
+    fn add_is_associative(a in any::<[u64; 4]>(), b in any::<[u64; 4]>(), c in any::<[u64; 4]>()) {
+        let (x, y, z) = (U256::from_limbs(a), U256::from_limbs(b), U256::from_limbs(c));
+        prop_assert_eq!(
+            x.wrapping_add(&y).wrapping_add(&z),
+            x.wrapping_add(&y.wrapping_add(&z))
+        );
+    }
+
+    #[test]
+    fn sub_undoes_add(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let x = U256::from_limbs(a);
+        let y = U256::from_limbs(b);
+        prop_assert_eq!(x.wrapping_add(&y).wrapping_sub(&y), x);
+    }
+
+    #[test]
+    fn div_rem_invariant(n in any::<[u64; 4]>(), d in any::<[u64; 4]>()) {
+        let n = U256::from_limbs(n);
+        let d = U256::from_limbs(d);
+        prop_assume!(!d.is_zero());
+        let (q, r) = n.div_rem(&d);
+        prop_assert!(r < d);
+        let back = q.checked_mul(&d).and_then(|qd| qd.checked_add(&r));
+        prop_assert_eq!(back, Some(n));
+    }
+
+    #[test]
+    fn rem512_matches_divrem(a in any::<[u64; 4]>(), m in 1u64..) {
+        // For products that fit 256 bits when reduced, compare the binary
+        // 512-bit reduction against 256-bit div_rem on a small operand.
+        let a = U256::from_limbs(a);
+        let m = U256::from_u64(m);
+        let wide = a.widening_mul(&U256::ONE);
+        prop_assert_eq!(wide.rem_u256(&m), a.rem(&m));
+    }
+
+    #[test]
+    fn mul_mod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u128..) {
+        let got = U256::from_u64(a).mul_mod(&U256::from_u64(b), &U256::from_u128(m));
+        prop_assert_eq!(got, U256::from_u128((a as u128 * b as u128) % m));
+    }
+
+    #[test]
+    fn pow_mod_matches_naive(base in any::<u64>(), exp in 0u32..64, m in 2u64..) {
+        let m256 = U256::from_u64(m);
+        let got = U256::from_u64(base).pow_mod(&U256::from_u64(exp as u64), &m256);
+        // Naive square-free oracle in u128.
+        let mut acc: u128 = 1;
+        for _ in 0..exp {
+            acc = acc * (base as u128 % m as u128) % m as u128;
+        }
+        prop_assert_eq!(got, U256::from_u128(acc));
+    }
+
+    #[test]
+    fn pow_mod_laws(a in any::<u64>(), x in any::<u32>(), y in any::<u32>(), m in 2u64..) {
+        // a^(x+y) == a^x * a^y (mod m)
+        let m256 = U256::from_u64(m);
+        let a256 = U256::from_u64(a);
+        let lhs = a256.pow_mod(&U256::from_u64(x as u64 + y as u64), &m256);
+        let rhs = a256
+            .pow_mod(&U256::from_u64(x as u64), &m256)
+            .mul_mod(&a256.pow_mod(&U256::from_u64(y as u64), &m256), &m256);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(limbs in any::<[u64; 4]>()) {
+        let v = U256::from_limbs(limbs);
+        prop_assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(limbs in any::<[u64; 2]>(), n in 0u32..128) {
+        let v = U256::from_limbs([limbs[0], limbs[1], 0, 0]);
+        prop_assert_eq!(v.wrapping_shl(n).wrapping_shr(n), v);
+    }
+
+    #[test]
+    fn sha_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+        let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), digest(&data));
+    }
+
+    #[test]
+    fn sha_distinct_inputs_distinct_digests(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_message(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64), other in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut rng = DetRng::new(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(&msg, &mut rng);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        if other != msg {
+            prop_assert!(!kp.public().verify(&other, &sig));
+        }
+    }
+}

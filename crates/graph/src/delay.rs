@@ -1,0 +1,106 @@
+//! The paper's link-delay model.
+//!
+//! Section IV of the Curb paper fixes the velocity of light in cables at
+//! `2 × 10⁸ m/s` and the link bandwidth at `100 Mbps`; together with the
+//! great-circle path lengths this determines the delay of any path in
+//! the Internet2 topology.
+
+use core::time::Duration;
+
+/// Computes link and path delays from distance and message size.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_graph::DelayModel;
+///
+/// let model = DelayModel::paper_default();
+/// // 200 km of cable at 2e8 m/s is exactly 1 ms of propagation.
+/// assert_eq!(model.propagation(200.0), std::time::Duration::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Signal velocity in km/s (paper: 2×10⁵ km/s = 2×10⁸ m/s).
+    pub speed_km_per_s: f64,
+    /// Link bandwidth in bits per second (paper: 100 Mbps).
+    pub bandwidth_bps: f64,
+}
+
+impl DelayModel {
+    /// The configuration used throughout the paper's evaluation.
+    pub fn paper_default() -> Self {
+        DelayModel {
+            speed_km_per_s: 200_000.0,
+            bandwidth_bps: 100_000_000.0,
+        }
+    }
+
+    /// Propagation delay over `km` kilometres of cable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `km` is negative or non-finite.
+    pub fn propagation(&self, km: f64) -> Duration {
+        assert!(km.is_finite() && km >= 0.0, "distance must be non-negative");
+        Duration::from_secs_f64(km / self.speed_km_per_s)
+    }
+
+    /// Serialization (transmission) delay for a message of `bytes`.
+    pub fn transmission(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Total one-way delay for a message of `bytes` over `km` of cable:
+    /// propagation plus serialization.
+    pub fn link_delay(&self, km: f64, bytes: usize) -> Duration {
+        self.propagation(km) + self.transmission(bytes)
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_matches_physics() {
+        let m = DelayModel::paper_default();
+        // 2000 km / 200_000 km/s = 10 ms
+        assert_eq!(m.propagation(2000.0), Duration::from_millis(10));
+        assert_eq!(m.propagation(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn transmission_matches_bandwidth() {
+        let m = DelayModel::paper_default();
+        // 12_500_000 bytes = 100 Mbit => 1 s at 100 Mbps
+        assert_eq!(m.transmission(12_500_000), Duration::from_secs(1));
+        // 1250 bytes = 10_000 bits => 100 µs
+        assert_eq!(m.transmission(1250), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn link_delay_is_sum() {
+        let m = DelayModel::paper_default();
+        assert_eq!(
+            m.link_delay(2000.0, 1250),
+            Duration::from_millis(10) + Duration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(DelayModel::default(), DelayModel::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics() {
+        DelayModel::paper_default().propagation(-1.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Weighted undirected graphs and shortest-path algorithms.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a node within a [`Graph`].
+pub type NodeIdx = usize;
+
+/// A weighted undirected graph stored as adjacency lists.
+///
+/// Edge weights are non-negative `f64` values (kilometres in the Curb
+/// topology).
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_graph::Graph;
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// let (dist, path) = g.shortest_path(0, 2).unwrap();
+/// assert_eq!(dist, 3.0);
+/// assert_eq!(path, vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    adjacency: Vec<Vec<(NodeIdx, f64)>>,
+    edge_count: usize,
+}
+
+/// Max-heap entry ordered by *smallest* distance first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeIdx,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap pops the smallest distance; ties broken
+        // by node index for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a new isolated node and returns its index.
+    pub fn add_node(&mut self) -> NodeIdx {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Adds an undirected edge of weight `w` between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, if `a == b`, or if the
+    /// weight is negative or non-finite.
+    pub fn add_edge(&mut self, a: NodeIdx, b: NodeIdx, w: f64) {
+        assert!(a < self.node_count() && b < self.node_count(), "node out of range");
+        assert!(a != b, "self-loops are not allowed");
+        assert!(w.is_finite() && w >= 0.0, "weight must be finite and non-negative");
+        self.adjacency[a].push((b, w));
+        self.adjacency[b].push((a, w));
+        self.edge_count += 1;
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeIdx) -> impl Iterator<Item = (NodeIdx, f64)> + '_ {
+        self.adjacency[node].iter().copied()
+    }
+
+    /// Iterates over all undirected edges as `(a, b, w)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeIdx, NodeIdx, f64)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(a, adj)| {
+            adj.iter()
+                .filter(move |(b, _)| a < *b)
+                .map(move |&(b, w)| (a, b, w))
+        })
+    }
+
+    /// Single-source shortest paths (Dijkstra).
+    ///
+    /// Returns `(dist, prev)` where `dist[v]` is the distance from `src`
+    /// (`f64::INFINITY` if unreachable) and `prev[v]` is the predecessor
+    /// on a shortest path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn dijkstra(&self, src: NodeIdx) -> (Vec<f64>, Vec<Option<NodeIdx>>) {
+        assert!(src < self.node_count(), "source out of range");
+        let n = self.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(HeapEntry { dist: 0.0, node: src });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for (v, w) in self.neighbors(u) {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some(u);
+                    heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Shortest path from `src` to `dst` as `(distance, node sequence)`,
+    /// or `None` if `dst` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn shortest_path(&self, src: NodeIdx, dst: NodeIdx) -> Option<(f64, Vec<NodeIdx>)> {
+        assert!(dst < self.node_count(), "destination out of range");
+        let (dist, prev) = self.dijkstra(src);
+        if dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], src);
+        Some((dist[dst], path))
+    }
+
+    /// All-pairs shortest distances: `table[u][v]` is the distance from
+    /// `u` to `v` (`f64::INFINITY` if unreachable).
+    pub fn all_pairs(&self) -> Vec<Vec<f64>> {
+        (0..self.node_count()).map(|u| self.dijkstra(u).0).collect()
+    }
+
+    /// Single-source shortest paths by Bellman–Ford. Slower than
+    /// [`Graph::dijkstra`]; retained as an independent oracle for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bellman_ford(&self, src: NodeIdx) -> Vec<f64> {
+        assert!(src < self.node_count(), "source out of range");
+        let n = self.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[src] = 0.0;
+        for _ in 0..n.saturating_sub(1) {
+            let mut changed = false;
+            for (a, b, w) in self.edges().collect::<Vec<_>>() {
+                if dist[a] + w < dist[b] {
+                    dist[b] = dist[a] + w;
+                    changed = true;
+                }
+                if dist[b] + w < dist[a] {
+                    dist[a] = dist[b] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
+    /// Returns `true` if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let (dist, _) = self.dijkstra(0);
+        dist.iter().all(|d| d.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -0.5- 3
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 3.0);
+        g.add_edge(2, 3, 0.5);
+        g
+    }
+
+    #[test]
+    fn dijkstra_picks_cheapest_route() {
+        let g = diamond();
+        let (d, path) = g.shortest_path(0, 3).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(path, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn dijkstra_distances_complete() {
+        let g = diamond();
+        let (dist, _) = g.dijkstra(0);
+        assert_eq!(dist, vec![0.0, 1.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(g.shortest_path(0, 2).is_none());
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let g = diamond();
+        let (d, path) = g.shortest_path(2, 2).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(path, vec![2]);
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = diamond();
+        let table = g.all_pairs();
+        for (u, row) in table.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                assert_eq!(d, table[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    fn bellman_ford_agrees_with_dijkstra() {
+        let g = diamond();
+        for src in 0..4 {
+            assert_eq!(g.dijkstra(src).0, g.bellman_ford(src));
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_allowed() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1, 0.0);
+        assert_eq!(g.shortest_path(0, 1).unwrap().0, 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_once() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Graph::with_nodes(1);
+        let n = g.add_node();
+        assert_eq!(n, 1);
+        g.add_edge(0, 1, 2.0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::with_nodes(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        Graph::with_nodes(2).add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        Graph::with_nodes(2).add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::with_nodes(0).is_connected());
+        assert!(Graph::with_nodes(1).is_connected());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths; Dijkstra must pick the same one each run.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let first = g.shortest_path(0, 3).unwrap();
+        for _ in 0..10 {
+            assert_eq!(g.shortest_path(0, 3).unwrap(), first);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The Internet2-style evaluation topology.
+//!
+//! Fig. 3 of the Curb paper simulates an Internet2 network with 16
+//! controller sites and 34 switch sites. The exact node list is not
+//! published, so this module reconstructs a faithful equivalent: 50 real
+//! US cities on the Internet2 footprint, connected by a backbone-style
+//! mesh, with the 16 major exchange hubs hosting controllers. Link
+//! lengths are great-circle (haversine) distances, matching the paper's
+//! "determined by geographic distances" rule.
+
+use crate::graph::{Graph, NodeIdx};
+
+/// Whether a site hosts a controller or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// A control-plane site (blue points in the paper's Fig. 3).
+    Controller,
+    /// A data-plane site (yellow points in the paper's Fig. 3).
+    Switch,
+}
+
+/// One site in the topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Site name (unique within the topology).
+    pub name: String,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Controller or switch.
+    pub role: Role,
+}
+
+/// The full evaluation topology: sites plus the distance-weighted graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Internet2 {
+    /// All sites; `graph` node indices correspond to positions here.
+    pub sites: Vec<Site>,
+    /// Distance-weighted (km) connectivity between sites.
+    pub graph: Graph,
+}
+
+impl Internet2 {
+    /// Indices of all controller sites.
+    pub fn controllers(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role == Role::Controller)
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of all switch sites.
+    pub fn switches(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role == Role::Switch)
+            .map(|(i, _)| i)
+    }
+
+    /// Looks up a site index by city name.
+    pub fn site_by_name(&self, name: &str) -> Option<NodeIdx> {
+        self.sites.iter().position(|s| s.name == name)
+    }
+
+    /// Great-circle distance in km between two sites.
+    ///
+    /// This is the *direct* distance; use `graph.shortest_path` for the
+    /// in-network cable distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn direct_km(&self, a: NodeIdx, b: NodeIdx) -> f64 {
+        let (sa, sb) = (&self.sites[a], &self.sites[b]);
+        haversine_km(sa.lat, sa.lon, sb.lat, sb.lon)
+    }
+
+    /// A reduced copy keeping all controllers but only the first
+    /// `n_switches` switch sites (used by the paper's sweeps over
+    /// 4..34 switches). Links whose endpoints survive are kept; the
+    /// result is re-checked for connectivity by the caller's constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_switches` exceeds the number of switch sites.
+    pub fn with_switch_count(&self, n_switches: usize) -> Internet2 {
+        let switches: Vec<NodeIdx> = self.switches().collect();
+        assert!(n_switches <= switches.len(), "not enough switch sites");
+        let keep: Vec<NodeIdx> = self
+            .controllers()
+            .chain(switches.into_iter().take(n_switches))
+            .collect();
+        let mut index_map = vec![None; self.sites.len()];
+        let mut sites = Vec::with_capacity(keep.len());
+        for (new_idx, &old_idx) in keep.iter().enumerate() {
+            index_map[old_idx] = Some(new_idx);
+            sites.push(self.sites[old_idx].clone());
+        }
+        let mut graph = Graph::with_nodes(sites.len());
+        for (a, b, w) in self.graph.edges() {
+            if let (Some(na), Some(nb)) = (index_map[a], index_map[b]) {
+                graph.add_edge(na, nb, w);
+            }
+        }
+        // Dropping sites can disconnect the mesh (removed cities carried
+        // transit links). Reconnect components with direct great-circle
+        // links, modelling leased lines between the surviving sites.
+        loop {
+            let (dist, _) = graph.dijkstra(0);
+            let Some(orphan) = dist.iter().position(|d| d.is_infinite()) else {
+                break;
+            };
+            let (nearest, km) = (0..sites.len())
+                .filter(|&other| dist[other].is_finite())
+                .map(|other| {
+                    (
+                        other,
+                        haversine_km(
+                            sites[orphan].lat,
+                            sites[orphan].lon,
+                            sites[other].lat,
+                            sites[other].lon,
+                        ),
+                    )
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("main component is non-empty");
+            graph.add_edge(orphan, nearest, km.max(1.0));
+        }
+        Internet2 { sites, graph }
+    }
+}
+
+/// Great-circle distance between two lat/lon points, in kilometres.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_graph::haversine_km;
+///
+/// // New York to Los Angeles is roughly 3940 km.
+/// let d = haversine_km(40.71, -74.01, 34.05, -118.24);
+/// assert!((3900.0..4000.0).contains(&d));
+/// ```
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const EARTH_RADIUS_KM: f64 = 6371.0;
+    let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+    let dp = (lat2 - lat1).to_radians();
+    let dl = (lon2 - lon1).to_radians();
+    let a = (dp / 2.0).sin().powi(2) + p1.cos() * p2.cos() * (dl / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+}
+
+use Role::{Controller, Switch};
+
+/// `(name, lat, lon, role)` for the 50 sites: 16 controllers, 34 switches.
+const SITES: [(&str, f64, f64, Role); 50] = [
+    ("Seattle", 47.61, -122.33, Controller),
+    ("Portland", 45.52, -122.68, Switch),
+    ("Sacramento", 38.58, -121.49, Switch),
+    ("Sunnyvale", 37.37, -122.04, Controller),
+    ("Los Angeles", 34.05, -118.24, Controller),
+    ("San Diego", 32.72, -117.16, Switch),
+    ("Las Vegas", 36.17, -115.14, Switch),
+    ("Phoenix", 33.45, -112.07, Switch),
+    ("Tucson", 32.22, -110.97, Switch),
+    ("Albuquerque", 35.08, -106.65, Switch),
+    ("El Paso", 31.76, -106.49, Controller),
+    ("Salt Lake City", 40.76, -111.89, Controller),
+    ("Boise", 43.62, -116.20, Switch),
+    ("Denver", 39.74, -104.99, Controller),
+    ("Cheyenne", 41.14, -104.82, Switch),
+    ("Kansas City", 39.10, -94.58, Controller),
+    ("Tulsa", 36.15, -95.99, Switch),
+    ("Dallas", 32.78, -96.80, Controller),
+    ("Houston", 29.76, -95.37, Controller),
+    ("San Antonio", 29.42, -98.49, Switch),
+    ("Baton Rouge", 30.45, -91.19, Switch),
+    ("Jackson", 32.30, -90.18, Switch),
+    ("Memphis", 35.15, -90.05, Switch),
+    ("Nashville", 36.16, -86.78, Switch),
+    ("Atlanta", 33.75, -84.39, Controller),
+    ("Jacksonville", 30.33, -81.66, Switch),
+    ("Miami", 25.76, -80.19, Switch),
+    ("Tampa", 27.95, -82.46, Switch),
+    ("Charlotte", 35.23, -80.84, Switch),
+    ("Raleigh", 35.78, -78.64, Switch),
+    ("Washington DC", 38.91, -77.04, Controller),
+    ("Philadelphia", 39.95, -75.17, Switch),
+    ("New York", 40.71, -74.01, Controller),
+    ("Hartford", 41.77, -72.67, Switch),
+    ("Boston", 42.36, -71.06, Controller),
+    ("Albany", 42.65, -73.75, Switch),
+    ("Buffalo", 42.89, -78.88, Switch),
+    ("Cleveland", 41.50, -81.69, Controller),
+    ("Pittsburgh", 40.44, -79.99, Switch),
+    ("Columbus", 39.96, -83.00, Switch),
+    ("Cincinnati", 39.10, -84.51, Switch),
+    ("Louisville", 38.25, -85.76, Switch),
+    ("Indianapolis", 39.77, -86.16, Switch),
+    ("Chicago", 41.88, -87.63, Controller),
+    ("Milwaukee", 43.04, -87.91, Switch),
+    ("Minneapolis", 44.98, -93.27, Controller),
+    ("Madison", 43.07, -89.40, Switch),
+    ("St Louis", 38.63, -90.20, Switch),
+    ("Missoula", 46.87, -113.99, Switch),
+    ("Billings", 45.78, -108.50, Switch),
+];
+
+/// Backbone links as `(site name, site name)` pairs.
+const LINKS: [(&str, &str); 58] = [
+    ("Seattle", "Portland"),
+    ("Seattle", "Boise"),
+    ("Seattle", "Missoula"),
+    ("Portland", "Sacramento"),
+    ("Sacramento", "Sunnyvale"),
+    ("Sacramento", "Salt Lake City"),
+    ("Sunnyvale", "Los Angeles"),
+    ("Los Angeles", "San Diego"),
+    ("Los Angeles", "Las Vegas"),
+    ("Las Vegas", "Salt Lake City"),
+    ("Las Vegas", "Phoenix"),
+    ("San Diego", "Phoenix"),
+    ("Phoenix", "Tucson"),
+    ("Phoenix", "Albuquerque"),
+    ("Tucson", "El Paso"),
+    ("Albuquerque", "El Paso"),
+    ("Albuquerque", "Denver"),
+    ("El Paso", "San Antonio"),
+    ("San Antonio", "Houston"),
+    ("San Antonio", "Dallas"),
+    ("Houston", "Dallas"),
+    ("Houston", "Baton Rouge"),
+    ("Baton Rouge", "Jackson"),
+    ("Jackson", "Memphis"),
+    ("Memphis", "Nashville"),
+    ("Memphis", "St Louis"),
+    ("Nashville", "Atlanta"),
+    ("Nashville", "Louisville"),
+    ("Atlanta", "Jacksonville"),
+    ("Atlanta", "Charlotte"),
+    ("Jacksonville", "Tampa"),
+    ("Tampa", "Miami"),
+    ("Charlotte", "Raleigh"),
+    ("Raleigh", "Washington DC"),
+    ("Washington DC", "Philadelphia"),
+    ("Washington DC", "Pittsburgh"),
+    ("Philadelphia", "New York"),
+    ("New York", "Hartford"),
+    ("New York", "Albany"),
+    ("Hartford", "Boston"),
+    ("Boston", "Albany"),
+    ("Albany", "Buffalo"),
+    ("Buffalo", "Cleveland"),
+    ("Cleveland", "Pittsburgh"),
+    ("Cleveland", "Columbus"),
+    ("Cleveland", "Chicago"),
+    ("Pittsburgh", "Columbus"),
+    ("Columbus", "Cincinnati"),
+    ("Cincinnati", "Louisville"),
+    ("Louisville", "Indianapolis"),
+    ("Indianapolis", "Chicago"),
+    ("Indianapolis", "St Louis"),
+    ("St Louis", "Kansas City"),
+    ("Kansas City", "Denver"),
+    ("Kansas City", "Tulsa"),
+    ("Kansas City", "Chicago"),
+    ("Tulsa", "Dallas"),
+    ("Denver", "Cheyenne"),
+];
+
+/// Extra links completing the northern loop and the Rockies.
+const LINKS_EXTRA: [(&str, &str); 7] = [
+    ("Cheyenne", "Salt Lake City"),
+    ("Salt Lake City", "Boise"),
+    ("Salt Lake City", "Denver"),
+    ("Boise", "Missoula"),
+    ("Missoula", "Billings"),
+    ("Billings", "Minneapolis"),
+    ("Minneapolis", "Madison"),
+];
+
+/// Final links around the Great Lakes.
+const LINKS_LAKES: [(&str, &str); 3] = [
+    ("Madison", "Milwaukee"),
+    ("Milwaukee", "Chicago"),
+    ("Minneapolis", "Chicago"),
+];
+
+/// Builds the Internet2-style evaluation topology used throughout the
+/// paper's experiments: 16 controllers, 34 switches, 68 distance-weighted
+/// links.
+pub fn internet2() -> Internet2 {
+    let sites: Vec<Site> = SITES
+        .iter()
+        .map(|&(name, lat, lon, role)| Site {
+            name: name.to_string(),
+            lat,
+            lon,
+            role,
+        })
+        .collect();
+    let mut graph = Graph::with_nodes(sites.len());
+    let index = |name: &str| {
+        sites
+            .iter()
+            .position(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown site {name}"))
+    };
+    for (a, b) in LINKS.iter().chain(&LINKS_EXTRA).chain(&LINKS_LAKES) {
+        let (ia, ib) = (index(a), index(b));
+        let km = haversine_km(sites[ia].lat, sites[ia].lon, sites[ib].lat, sites[ib].lon);
+        graph.add_edge(ia, ib, km);
+    }
+    Internet2 { sites, graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let t = internet2();
+        assert_eq!(t.sites.len(), 50);
+        assert_eq!(t.controllers().count(), 16);
+        assert_eq!(t.switches().count(), 34);
+        assert_eq!(t.graph.edge_count(), 68);
+    }
+
+    #[test]
+    fn topology_is_connected() {
+        assert!(internet2().graph.is_connected());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let t = internet2();
+        for (i, s) in t.sites.iter().enumerate() {
+            assert_eq!(t.site_by_name(&s.name), Some(i), "duplicate site {}", s.name);
+        }
+        assert!(t.site_by_name("Gotham").is_none());
+    }
+
+    #[test]
+    fn link_lengths_are_plausible() {
+        let t = internet2();
+        for (a, b, km) in t.graph.edges() {
+            assert!(
+                (50.0..2000.0).contains(&km),
+                "implausible link {} - {}: {km} km",
+                t.sites[a].name,
+                t.sites[b].name
+            );
+        }
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // Seattle–Portland ≈ 233 km
+        let d = haversine_km(47.61, -122.33, 45.52, -122.68);
+        assert!((220.0..250.0).contains(&d), "got {d}");
+        // Same point = 0
+        assert_eq!(haversine_km(40.0, -100.0, 40.0, -100.0), 0.0);
+    }
+
+    #[test]
+    fn coast_to_coast_routes_through_backbone() {
+        let t = internet2();
+        let (km, path) = t
+            .graph
+            .shortest_path(
+                t.site_by_name("Sunnyvale").unwrap(),
+                t.site_by_name("New York").unwrap(),
+            )
+            .unwrap();
+        assert!(km > 3500.0, "cable route must exceed direct distance");
+        assert!(path.len() >= 4);
+    }
+
+    #[test]
+    fn with_switch_count_keeps_controllers() {
+        let t = internet2();
+        let small = t.with_switch_count(4);
+        assert_eq!(small.controllers().count(), 16);
+        assert_eq!(small.switches().count(), 4);
+        assert_eq!(small.sites.len(), 20);
+    }
+
+    #[test]
+    fn with_switch_count_full_is_identity_sized() {
+        let t = internet2();
+        let full = t.with_switch_count(34);
+        assert_eq!(full.sites.len(), t.sites.len());
+        assert_eq!(full.graph.edge_count(), t.graph.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough switch sites")]
+    fn with_switch_count_too_large_panics() {
+        internet2().with_switch_count(35);
+    }
+
+    #[test]
+    fn direct_km_matches_haversine() {
+        let t = internet2();
+        let a = t.site_by_name("Seattle").unwrap();
+        let b = t.site_by_name("Boston").unwrap();
+        let d = t.direct_km(a, b);
+        assert!((3800.0..4200.0).contains(&d), "got {d}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Graph substrate for the Curb control plane.
+//!
+//! The Curb paper uses NetworkX to compute shortest paths (which become
+//! the flow rules controllers install) and the public Internet2 topology
+//! as the simulated network. This crate rebuilds both:
+//!
+//! * [`graph`] — a weighted undirected graph with Dijkstra /
+//!   Bellman–Ford shortest paths and an all-pairs table.
+//! * [`delay`] — the paper's delay model: propagation at
+//!   2×10⁸ m/s in cable plus serialization at 100 Mbps.
+//! * [`internet2()`] — the Internet2-style topology with 16 controller
+//!   sites and 34 switch sites placed at real US city coordinates
+//!   (link lengths by great-circle distance).
+//!
+//! # Examples
+//!
+//! ```rust
+//! use curb_graph::internet2;
+//!
+//! let topo = internet2();
+//! assert_eq!(topo.controllers().count(), 16);
+//! assert_eq!(topo.switches().count(), 34);
+//! let seattle = topo.site_by_name("Seattle").unwrap();
+//! let miami = topo.site_by_name("Miami").unwrap();
+//! let (km, path) = topo.graph.shortest_path(seattle, miami).unwrap();
+//! assert!(km > 4000.0 && path.len() > 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod graph;
+mod internet2;
+mod synthetic;
+
+pub use delay::DelayModel;
+pub use graph::{Graph, NodeIdx};
+pub use internet2::{haversine_km, internet2, Internet2, Role, Site};
+pub use synthetic::synthetic;

@@ -1,0 +1,174 @@
+//! Synthetic edge-network topologies for scalability sweeps.
+//!
+//! The paper's evaluation is fixed at the Internet2 scale (16
+//! controllers, 34 switches); validating the `O(N)` message-complexity
+//! claim of Theorem 1 needs networks whose controller count grows. This
+//! module generates Internet2-*like* topologies of arbitrary size:
+//! sites scattered over a continental-US-sized region, connected to
+//! their nearest neighbours plus a connectivity backbone.
+
+use crate::graph::Graph;
+use crate::internet2::{haversine_km, Internet2, Role, Site};
+
+/// SplitMix64, locally seeded (this crate has no RNG dependency).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform(state: &mut u64, lo: f64, hi: f64) -> f64 {
+    let unit = (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64;
+    lo + unit * (hi - lo)
+}
+
+/// Generates a random connected topology with `n_controllers`
+/// controller sites and `n_switches` switch sites, reproducible per
+/// `seed`.
+///
+/// Sites are placed uniformly over the continental-US bounding box
+/// (latitudes 26–48, longitudes −123–−68) and joined to their three
+/// nearest neighbours; a chain over the site order guarantees
+/// connectivity. Controller sites are spread evenly through the site
+/// list so they interleave geographically with switches, like the
+/// paper's Fig. 3.
+///
+/// # Panics
+///
+/// Panics if either count is zero.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_graph::synthetic;
+///
+/// let topo = synthetic(32, 68, 7);
+/// assert_eq!(topo.controllers().count(), 32);
+/// assert_eq!(topo.switches().count(), 68);
+/// assert!(topo.graph.is_connected());
+/// ```
+pub fn synthetic(n_controllers: usize, n_switches: usize, seed: u64) -> Internet2 {
+    assert!(n_controllers > 0 && n_switches > 0, "counts must be positive");
+    let total = n_controllers + n_switches;
+    let mut state = seed ^ 0xCB_5EED;
+    // Controller positions in the site list: evenly spaced.
+    let is_controller = |i: usize| -> bool {
+        // i * n_controllers / total increments exactly n_controllers
+        // times over i = 0..total.
+        (i * n_controllers) / total != ((i + 1) * n_controllers) / total
+    };
+    let mut c_idx = 0;
+    let mut s_idx = 0;
+    let mut sites = Vec::with_capacity(total);
+    for i in 0..total {
+        let lat = uniform(&mut state, 26.0, 48.0);
+        let lon = uniform(&mut state, -123.0, -68.0);
+        let (name, role) = if is_controller(i) {
+            c_idx += 1;
+            (format!("ctrl-{}", c_idx - 1), Role::Controller)
+        } else {
+            s_idx += 1;
+            (format!("sw-{}", s_idx - 1), Role::Switch)
+        };
+        sites.push(Site { name, lat, lon, role });
+    }
+    debug_assert_eq!(c_idx, n_controllers);
+    debug_assert_eq!(s_idx, n_switches);
+
+    let mut graph = Graph::with_nodes(total);
+    let mut have_edge = std::collections::HashSet::new();
+    let mut add = |graph: &mut Graph, a: usize, b: usize| {
+        let key = (a.min(b), a.max(b));
+        if a != b && have_edge.insert(key) {
+            let km = haversine_km(sites[a].lat, sites[a].lon, sites[b].lat, sites[b].lon);
+            graph.add_edge(a, b, km.max(1.0));
+        }
+    };
+    // Three nearest neighbours per site.
+    for a in 0..total {
+        let mut by_distance: Vec<(f64, usize)> = (0..total)
+            .filter(|&b| b != a)
+            .map(|b| {
+                (
+                    haversine_km(sites[a].lat, sites[a].lon, sites[b].lat, sites[b].lon),
+                    b,
+                )
+            })
+            .collect();
+        by_distance.sort_by(|x, y| x.partial_cmp(y).expect("finite distances"));
+        for &(_, b) in by_distance.iter().take(3) {
+            add(&mut graph, a, b);
+        }
+    }
+    // Connectivity backbone: chain sites in longitude order.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by(|&a, &b| {
+        sites[a]
+            .lon
+            .partial_cmp(&sites[b].lon)
+            .expect("finite longitudes")
+    });
+    for w in order.windows(2) {
+        add(&mut graph, w[0], w[1]);
+    }
+    Internet2 { sites, graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requested_counts_and_connectivity() {
+        for (c, s) in [(4, 8), (16, 34), (40, 80)] {
+            let t = synthetic(c, s, 1);
+            assert_eq!(t.controllers().count(), c, "{c}x{s}");
+            assert_eq!(t.switches().count(), s, "{c}x{s}");
+            assert!(t.graph.is_connected(), "{c}x{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(synthetic(8, 16, 42), synthetic(8, 16, 42));
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(synthetic(8, 16, 1), synthetic(8, 16, 2));
+    }
+
+    #[test]
+    fn names_unique() {
+        let t = synthetic(10, 20, 3);
+        for (i, s) in t.sites.iter().enumerate() {
+            assert_eq!(t.site_by_name(&s.name), Some(i));
+        }
+    }
+
+    #[test]
+    fn controllers_interleave() {
+        // Controllers must not all cluster at the front of the site
+        // list (they should be spread for geographic coverage).
+        let t = synthetic(5, 45, 4);
+        let first_controller = t.controllers().next().unwrap();
+        let last_controller = t.controllers().last().unwrap();
+        assert!(last_controller - first_controller > 20);
+    }
+
+    #[test]
+    fn edge_weights_positive_finite() {
+        let t = synthetic(6, 12, 5);
+        for (_, _, w) in t.graph.edges() {
+            assert!(w.is_finite() && w >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_controllers_panics() {
+        synthetic(0, 5, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the graph substrate: Dijkstra against the
+//! Bellman–Ford oracle on random graphs, path validity, and topology
+//! generator invariants.
+
+use curb_graph::{synthetic, Graph};
+use proptest::prelude::*;
+
+/// Builds a random connected graph from a proptest-generated edge list.
+fn random_graph(n: usize, extra_edges: &[(usize, usize, u32)]) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    let mut seen = std::collections::HashSet::new();
+    // Spanning chain guarantees connectivity.
+    for i in 1..n {
+        g.add_edge(i - 1, i, 1.0 + (i % 7) as f64);
+        seen.insert((i - 1, i));
+    }
+    for &(a, b, w) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        let (a, b) = (a.min(b), a.max(b));
+        if a != b && seen.insert((a, b)) {
+            g.add_edge(a, b, 0.5 + (w % 100) as f64);
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn dijkstra_matches_bellman_ford(
+        n in 2usize..24,
+        edges in proptest::collection::vec((any::<usize>(), any::<usize>(), any::<u32>()), 0..40),
+        src_pick in any::<prop::sample::Index>(),
+    ) {
+        let g = random_graph(n, &edges);
+        let src = src_pick.index(n);
+        let d = g.dijkstra(src).0;
+        let bf = g.bellman_ford(src);
+        for v in 0..n {
+            prop_assert!((d[v] - bf[v]).abs() < 1e-9, "node {v}: {} vs {}", d[v], bf[v]);
+        }
+    }
+
+    #[test]
+    fn shortest_paths_are_valid_walks(
+        n in 2usize..20,
+        edges in proptest::collection::vec((any::<usize>(), any::<usize>(), any::<u32>()), 0..30),
+        src_pick in any::<prop::sample::Index>(),
+        dst_pick in any::<prop::sample::Index>(),
+    ) {
+        let g = random_graph(n, &edges);
+        let (src, dst) = (src_pick.index(n), dst_pick.index(n));
+        let (dist, path) = g.shortest_path(src, dst).expect("connected graph");
+        prop_assert_eq!(path[0], src);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        // The path's edge weights must sum to the reported distance.
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let weight = g
+                .neighbors(w[0])
+                .find(|&(to, _)| to == w[1])
+                .map(|(_, wt)| wt)
+                .expect("path edges exist");
+            total += weight;
+        }
+        prop_assert!((total - dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_on_all_pairs(
+        n in 2usize..16,
+        edges in proptest::collection::vec((any::<usize>(), any::<usize>(), any::<u32>()), 0..24),
+    ) {
+        let g = random_graph(n, &edges);
+        let table = g.all_pairs();
+        for a in 0..n {
+            prop_assert_eq!(table[a][a], 0.0);
+            for b in 0..n {
+                prop_assert!((table[a][b] - table[b][a]).abs() < 1e-9, "symmetry {a},{b}");
+                for c in 0..n {
+                    prop_assert!(
+                        table[a][c] <= table[a][b] + table[b][c] + 1e-9,
+                        "triangle {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_topologies_always_well_formed(
+        n_c in 1usize..16,
+        n_s in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let t = synthetic(n_c, n_s, seed);
+        prop_assert_eq!(t.controllers().count(), n_c);
+        prop_assert_eq!(t.switches().count(), n_s);
+        prop_assert!(t.graph.is_connected());
+        for (_, _, w) in t.graph.edges() {
+            prop_assert!(w.is_finite() && w >= 1.0);
+        }
+        // Coordinates stay in the configured box.
+        for s in &t.sites {
+            prop_assert!((26.0..=48.0).contains(&s.lat));
+            prop_assert!((-123.0..=-68.0).contains(&s.lon));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! OpenFlow-style SDN data-plane substrate.
+//!
+//! The Curb paper drives Open vSwitch through Ryu and the OpenFlow
+//! protocol; the protocol messages it actually relies on are
+//! `PACKET_IN`, `PACKET_OUT` and `FLOW_MOD`, plus per-switch flow
+//! tables. This crate rebuilds that layer:
+//!
+//! * [`packet`] — a compact packet/header model for simulated hosts.
+//! * [`flow`] — matches, actions, flow entries and the flow table with
+//!   OpenFlow semantics (priority ordering, table-miss, timeouts,
+//!   FLOW_MOD add/modify/delete).
+//! * [`messages`] — the typed southbound messages exchanged between
+//!   switches and controllers.
+//!
+//! # Examples
+//!
+//! ```rust
+//! use curb_sdn::flow::{FlowAction, FlowEntry, FlowMatch, FlowTable};
+//! use curb_sdn::packet::{HostId, Packet, PortId};
+//!
+//! let mut table = FlowTable::new();
+//! table.add(FlowEntry::new(
+//!     10,
+//!     FlowMatch::dst_host(HostId(7)),
+//!     vec![FlowAction::Output(PortId(3))],
+//! ));
+//! let pkt = Packet::new(HostId(1), HostId(7));
+//! let actions = table.lookup(&pkt).unwrap();
+//! assert_eq!(actions, &[FlowAction::Output(PortId(3))]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod messages;
+pub mod packet;
+
+pub use flow::{FlowAction, FlowEntry, FlowMatch, FlowTable};
+pub use messages::{FlowMod, FlowModCommand, PacketIn, PacketOut};
+pub use packet::{HostId, Packet, PortId};

@@ -1,0 +1,156 @@
+//! Typed southbound messages (the OpenFlow subset Curb uses).
+
+use crate::flow::{FlowAction, FlowEntry, FlowMatch};
+use crate::packet::Packet;
+
+/// FLOW_MOD sub-command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowModCommand {
+    /// Install a new entry (replacing an identical-priority/match one).
+    Add,
+    /// Rewrite the actions of covered entries.
+    Modify,
+    /// Remove covered entries.
+    Delete,
+}
+
+/// A flow-table modification command sent by a controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMod {
+    /// What to do.
+    pub command: FlowModCommand,
+    /// The entry to add, or the match/actions for modify/delete.
+    pub entry: FlowEntry,
+}
+
+impl FlowMod {
+    /// Convenience constructor for an ADD command.
+    pub fn add(entry: FlowEntry) -> Self {
+        FlowMod {
+            command: FlowModCommand::Add,
+            entry,
+        }
+    }
+
+    /// Convenience constructor for a DELETE of everything covered by
+    /// `matcher`.
+    pub fn delete(matcher: FlowMatch) -> Self {
+        FlowMod {
+            command: FlowModCommand::Delete,
+            entry: FlowEntry::new(0, matcher, Vec::new()),
+        }
+    }
+
+    /// Applies this command to `table` at simulation time `now_ns`.
+    /// Returns the number of entries affected.
+    pub fn apply(&self, table: &mut crate::flow::FlowTable, now_ns: u64) -> usize {
+        match self.command {
+            FlowModCommand::Add => {
+                table.add_at(self.entry.clone(), now_ns);
+                1
+            }
+            FlowModCommand::Modify => table.modify(&self.entry.matcher, &self.entry.actions),
+            FlowModCommand::Delete => table.delete(&self.entry.matcher),
+        }
+    }
+
+    /// Approximate wire size in bytes (OpenFlow 1.3 flow_mod is 56 bytes
+    /// plus match/instructions; we charge a flat 80 bytes per command).
+    pub fn wire_size(&self) -> usize {
+        80
+    }
+}
+
+/// A switch-to-controller PACKET_IN: a packet that missed (or was
+/// explicitly punted) together with the buffer slot holding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketIn {
+    /// Slot in the switch's packet buffer where the full packet waits.
+    pub buffer_id: u32,
+    /// The offending packet's header.
+    pub packet: Packet,
+}
+
+impl PacketIn {
+    /// Approximate wire size: OpenFlow packet_in header (32 bytes) plus
+    /// the first 128 bytes of the packet, per common miss-send-len
+    /// configuration.
+    pub fn wire_size(&self) -> usize {
+        32 + (self.packet.wire_size()).min(128)
+    }
+}
+
+/// A controller-to-switch PACKET_OUT: actions to apply to a buffered
+/// packet, usually accompanied by FLOW_MOD commands installing the rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketOut {
+    /// Buffer slot the actions apply to.
+    pub buffer_id: u32,
+    /// Actions for the buffered packet.
+    pub actions: Vec<FlowAction>,
+    /// Flow-table updates to install alongside.
+    pub flow_mods: Vec<FlowMod>,
+}
+
+impl PacketOut {
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        24 + 8 * self.actions.len() + self.flow_mods.iter().map(FlowMod::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowTable;
+    use crate::packet::{HostId, PortId};
+
+    #[test]
+    fn flow_mod_add_and_delete_roundtrip() {
+        let mut table = FlowTable::new();
+        let entry = FlowEntry::new(
+            7,
+            FlowMatch::dst_host(HostId(4)),
+            vec![FlowAction::Output(PortId(2))],
+        );
+        assert_eq!(FlowMod::add(entry).apply(&mut table, 0), 1);
+        assert_eq!(table.len(), 1);
+        assert_eq!(
+            FlowMod::delete(FlowMatch::dst_host(HostId(4))).apply(&mut table, 0),
+            1
+        );
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn flow_mod_modify() {
+        let mut table = FlowTable::new();
+        table.add(FlowEntry::new(
+            7,
+            FlowMatch::dst_host(HostId(4)),
+            vec![FlowAction::Drop],
+        ));
+        let m = FlowMod {
+            command: FlowModCommand::Modify,
+            entry: FlowEntry::new(0, FlowMatch::any(), vec![FlowAction::ToController]),
+        };
+        assert_eq!(m.apply(&mut table, 0), 1);
+        let pkt = Packet::new(HostId(0), HostId(4));
+        assert_eq!(table.lookup(&pkt), Some(&[FlowAction::ToController][..]));
+    }
+
+    #[test]
+    fn wire_sizes_are_positive_and_bounded() {
+        let pi = PacketIn {
+            buffer_id: 1,
+            packet: Packet::new(HostId(0), HostId(1)).with_payload_len(9000),
+        };
+        assert_eq!(pi.wire_size(), 32 + 128); // capped at miss-send-len
+        let po = PacketOut {
+            buffer_id: 1,
+            actions: vec![FlowAction::Output(PortId(1))],
+            flow_mods: vec![FlowMod::delete(FlowMatch::any())],
+        };
+        assert_eq!(po.wire_size(), 24 + 8 + 80);
+    }
+}

@@ -1,0 +1,96 @@
+//! The simulated packet model.
+
+use core::fmt;
+
+/// Identifier of an end host (device) attached to the network edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// A switch port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A data-plane packet: the header fields switches match on, plus a
+/// payload length used for delay accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Ingress port at the current switch (set on arrival).
+    pub in_port: Option<PortId>,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+}
+
+impl Packet {
+    /// Creates a packet with a default 512-byte payload and no ingress
+    /// port.
+    pub fn new(src: HostId, dst: HostId) -> Self {
+        Packet {
+            src,
+            dst,
+            in_port: None,
+            payload_len: 512,
+        }
+    }
+
+    /// Sets the ingress port (builder style).
+    pub fn with_in_port(mut self, port: PortId) -> Self {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Sets the payload length (builder style).
+    pub fn with_payload_len(mut self, len: u16) -> Self {
+        self.payload_len = len;
+        self
+    }
+
+    /// Wire size: 24-byte simulated header plus payload.
+    pub fn wire_size(&self) -> usize {
+        24 + self.payload_len as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let p = Packet::new(HostId(1), HostId(2))
+            .with_in_port(PortId(4))
+            .with_payload_len(100);
+        assert_eq!(p.src, HostId(1));
+        assert_eq!(p.dst, HostId(2));
+        assert_eq!(p.in_port, Some(PortId(4)));
+        assert_eq!(p.wire_size(), 124);
+    }
+
+    #[test]
+    fn default_payload() {
+        let p = Packet::new(HostId(0), HostId(0));
+        assert_eq!(p.payload_len, 512);
+        assert_eq!(p.in_port, None);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(format!("{}", HostId(3)), "h3");
+        assert_eq!(format!("{}", PortId(9)), "p9");
+    }
+}

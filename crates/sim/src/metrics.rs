@@ -1,0 +1,139 @@
+//! Message metering.
+//!
+//! The O(N) message-complexity claim (Theorem 1 of the paper) is
+//! validated empirically by counting every protocol message the
+//! simulation delivers, bucketed by category.
+
+use std::collections::BTreeMap;
+
+/// Counters of messages sent through the simulated network.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_sim::MessageStats;
+///
+/// let mut stats = MessageStats::default();
+/// stats.record("AGREE", 512);
+/// stats.record("AGREE", 512);
+/// assert_eq!(stats.count("AGREE"), 2);
+/// assert_eq!(stats.total_messages(), 2);
+/// assert_eq!(stats.total_bytes(), 1024);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    by_category: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl MessageStats {
+    /// Records one message of `bytes` size under `category`.
+    pub fn record(&mut self, category: &'static str, bytes: usize) {
+        let entry = self.by_category.entry(category).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += bytes as u64;
+    }
+
+    /// Number of messages recorded under `category`.
+    pub fn count(&self, category: &str) -> u64 {
+        self.by_category.get(category).map_or(0, |(c, _)| *c)
+    }
+
+    /// Bytes recorded under `category`.
+    pub fn bytes(&self, category: &str) -> u64 {
+        self.by_category.get(category).map_or(0, |(_, b)| *b)
+    }
+
+    /// Total messages across all categories.
+    pub fn total_messages(&self) -> u64 {
+        self.by_category.values().map(|(c, _)| c).sum()
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.by_category.values().map(|(_, b)| b).sum()
+    }
+
+    /// Iterates `(category, count, bytes)` in category order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.by_category.iter().map(|(k, (c, b))| (*k, *c, *b))
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.by_category.clear();
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &MessageStats) {
+        for (k, (c, b)) in &other.by_category {
+            let entry = self.by_category.entry(k).or_insert((0, 0));
+            entry.0 += c;
+            entry.1 += b;
+        }
+    }
+
+    /// Difference of total message counts since `baseline` (which must
+    /// be an earlier snapshot of the same counters).
+    pub fn messages_since(&self, baseline: &MessageStats) -> u64 {
+        self.total_messages() - baseline.total_messages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MessageStats::default();
+        s.record("PKT-IN", 100);
+        s.record("PKT-IN", 50);
+        s.record("REPLY", 10);
+        assert_eq!(s.count("PKT-IN"), 2);
+        assert_eq!(s.bytes("PKT-IN"), 150);
+        assert_eq!(s.count("REPLY"), 1);
+        assert_eq!(s.count("missing"), 0);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 160);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_category() {
+        let mut s = MessageStats::default();
+        s.record("b", 1);
+        s.record("a", 1);
+        let cats: Vec<_> = s.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(cats, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MessageStats::default();
+        a.record("x", 1);
+        let mut b = MessageStats::default();
+        b.record("x", 2);
+        b.record("y", 3);
+        a.merge(&b);
+        assert_eq!(a.count("x"), 2);
+        assert_eq!(a.bytes("x"), 3);
+        assert_eq!(a.count("y"), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = MessageStats::default();
+        s.record("x", 1);
+        s.clear();
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn messages_since_snapshot() {
+        let mut s = MessageStats::default();
+        s.record("x", 1);
+        let snap = s.clone();
+        s.record("x", 1);
+        s.record("y", 1);
+        assert_eq!(s.messages_since(&snap), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The deterministic event queue.
+
+use crate::simulation::{NodeId, TimerTag};
+use crate::time::SimTime;
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventPayload<M> {
+    /// A message from `from` is delivered to the event's target node.
+    Deliver {
+        /// Originating node.
+        from: NodeId,
+        /// The message itself.
+        msg: M,
+    },
+    /// A timer set by the target node expires.
+    Timer {
+        /// The tag the node attached when setting the timer.
+        tag: TimerTag,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Global insertion sequence number; breaks ties deterministically.
+    pub seq: u64,
+    /// Node the event is addressed to.
+    pub target: NodeId,
+    /// Message delivery or timer expiry.
+    pub payload: EventPayload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of [`Event`]s with deterministic tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for `target` at `time`.
+    pub fn schedule(&mut self, time: SimTime, target: NodeId, payload: EventPayload<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[allow(dead_code)] // part of the queue's natural API surface
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::time::Duration;
+
+    fn deliver(n: u32) -> EventPayload<u32> {
+        EventPayload::Deliver {
+            from: NodeId(0),
+            msg: n,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO + Duration::from_millis(3), NodeId(1), deliver(3));
+        q.schedule(SimTime::ZERO + Duration::from_millis(1), NodeId(1), deliver(1));
+        q.schedule(SimTime::ZERO + Duration::from_millis(2), NodeId(1), deliver(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + Duration::from_millis(1);
+        for i in 0..10 {
+            q.schedule(t, NodeId(0), deliver(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn peek_time_and_len() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_nanos(5), NodeId(0), EventPayload::Timer { tag: 7 });
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+    }
+}

@@ -1,0 +1,783 @@
+//! The simulation engine: actors, contexts and the event loop.
+
+use crate::metrics::MessageStats;
+use crate::queue::{EventPayload, EventQueue};
+use crate::time::SimTime;
+use core::fmt;
+use core::time::Duration;
+use std::collections::HashSet;
+
+/// Identifier of a node (actor) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Tag attached to a timer when it is set, returned when it fires.
+pub type TimerTag = u64;
+
+/// A message that can travel through the simulated network.
+///
+/// `size_bytes` feeds the serialization-delay model and the byte
+/// counters; `category` buckets the message for complexity accounting.
+pub trait Message: Clone {
+    /// Wire size of this message in bytes.
+    fn size_bytes(&self) -> usize;
+    /// Short category label, e.g. `"PRE-PREPARE"` or `"AGREE"`.
+    fn category(&self) -> &'static str;
+}
+
+/// Protocol logic attached to a node.
+pub trait Actor<M: Message> {
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: TimerTag) {}
+}
+
+/// Side effects an actor may request while handling an event.
+#[derive(Debug)]
+enum Effect<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        extra_delay: Duration,
+    },
+    Timer {
+        delay: Duration,
+        tag: TimerTag,
+    },
+}
+
+/// Handle through which an actor interacts with the simulation during a
+/// single event callback.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    effects: &'a mut Vec<Effect<M>>,
+}
+
+impl<M> Context<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this callback is running on.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to`; it arrives after the link delay.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay: Duration::ZERO,
+        });
+    }
+
+    /// Sends `msg` to `to` with an additional artificial delay on top of
+    /// the link delay. Used to model "lazy" byzantine controllers that
+    /// respond slowly but within the timeout.
+    pub fn send_delayed(&mut self, to: NodeId, msg: M, extra_delay: Duration) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay,
+        });
+    }
+
+    /// Schedules [`Actor::on_timer`] on this node after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, tag: TimerTag) {
+        self.effects.push(Effect::Timer { delay, tag });
+    }
+}
+
+/// How propagation delay between node pairs is determined.
+#[derive(Debug, Clone)]
+enum DelayStrategy {
+    Uniform(Duration),
+    Matrix(Vec<Vec<Duration>>),
+}
+
+/// The discrete-event simulation: a set of actors, a virtual clock and a
+/// network with delays and fault injection.
+///
+/// See the crate-level docs for a complete example.
+pub struct Simulation<M: Message, A: Actor<M>> {
+    actors: Vec<A>,
+    queue: EventQueue<M>,
+    clock: SimTime,
+    delays: DelayStrategy,
+    bandwidth_bps: Option<f64>,
+    down: Vec<bool>,
+    blocked: HashSet<(usize, usize)>,
+    stats: MessageStats,
+    max_events: u64,
+    processed: u64,
+    /// Per-node message service time: a node processes one message at a
+    /// time, each occupying it for this long (models CPU cost and
+    /// creates realistic queueing under load).
+    service_time: Vec<Duration>,
+    busy_until: Vec<SimTime>,
+    /// Probability that any delivery is silently dropped (deterministic
+    /// per seed); 0 disables loss.
+    loss_rate: f64,
+    loss_rng: u64,
+    dropped: u64,
+}
+
+impl<M: Message + fmt::Debug, A: Actor<M>> fmt::Debug for Simulation<M, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("actors", &self.actors.len())
+            .field("clock", &self.clock)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<M: Message, A: Actor<M>> Simulation<M, A> {
+    /// Creates a simulation over the given actors. Node `i` runs
+    /// `actors[i]`. Link delay defaults to zero; set it with
+    /// [`Simulation::set_uniform_delay`] or
+    /// [`Simulation::set_delay_matrix`].
+    pub fn new(actors: Vec<A>) -> Self {
+        let n = actors.len();
+        Simulation {
+            actors,
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            delays: DelayStrategy::Uniform(Duration::ZERO),
+            bandwidth_bps: None,
+            down: vec![false; n],
+            blocked: HashSet::new(),
+            stats: MessageStats::default(),
+            max_events: 100_000_000,
+            processed: 0,
+            service_time: vec![Duration::ZERO; n],
+            busy_until: vec![SimTime::ZERO; n],
+            loss_rate: 0.0,
+            loss_rng: 0x10551055,
+            dropped: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Uses the same propagation delay for every link.
+    pub fn set_uniform_delay(&mut self, d: Duration) {
+        self.delays = DelayStrategy::Uniform(d);
+    }
+
+    /// Uses a full per-pair propagation delay matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `n × n` for `n` nodes.
+    pub fn set_delay_matrix(&mut self, m: Vec<Vec<Duration>>) {
+        let n = self.actors.len();
+        assert_eq!(m.len(), n, "delay matrix must be n x n");
+        assert!(m.iter().all(|row| row.len() == n), "delay matrix must be n x n");
+        self.delays = DelayStrategy::Matrix(m);
+    }
+
+    /// Adds a serialization delay of `size_bytes * 8 / bps` to every
+    /// message. `None` (the default) disables serialization delay.
+    pub fn set_bandwidth_bps(&mut self, bps: Option<f64>) {
+        if let Some(b) = bps {
+            assert!(b > 0.0, "bandwidth must be positive");
+        }
+        self.bandwidth_bps = bps;
+    }
+
+    /// Caps the number of events processed by a single `run_*` call;
+    /// guards against protocol bugs that generate unbounded traffic.
+    pub fn set_max_events(&mut self, cap: u64) {
+        self.max_events = cap;
+    }
+
+    /// Makes every delivery fail independently with probability `p`
+    /// (a lossy network). The loss pattern is deterministic per
+    /// simulation (seeded internally), so runs stay reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn set_loss_rate(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss rate must be in [0, 1)");
+        self.loss_rate = p;
+    }
+
+    /// Number of deliveries dropped by the loss model so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped
+    }
+
+    fn lose(&mut self) -> bool {
+        if self.loss_rate == 0.0 {
+            return false;
+        }
+        // SplitMix64 step; uniform in [0, 1).
+        self.loss_rng = self.loss_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.loss_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < self.loss_rate {
+            self.dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sets the message service time of `node`: the node handles one
+    /// message at a time, each occupying it for `d`. Messages arriving
+    /// while it is busy queue up (approximately FIFO), so latency grows
+    /// naturally with load. Timers are local and never queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_service_time(&mut self, node: NodeId, d: Duration) {
+        self.service_time[node.0] = d;
+    }
+
+    /// Marks a node as crashed (`true`): pending and future deliveries
+    /// and timers for it are discarded until it is brought back up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        self.down[node.0] = down;
+    }
+
+    /// Returns whether a node is currently marked down.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.down[node.0]
+    }
+
+    /// Blocks the (bidirectional) link between `a` and `b`; messages in
+    /// either direction are silently dropped at delivery time.
+    pub fn block_link(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.insert(ordered(a.0, b.0));
+    }
+
+    /// Removes a block installed by [`Simulation::block_link`].
+    pub fn unblock_link(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&ordered(a.0, b.0));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Clears the message counters (e.g. between experiment rounds).
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Immutable access to the actor on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn actor(&self, node: NodeId) -> &A {
+        &self.actors[node.0]
+    }
+
+    /// Mutable access to the actor on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.actors[node.0]
+    }
+
+    /// Iterates over all actors.
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.actors.iter()
+    }
+
+    /// Injects a message from outside the actor set (e.g. a host handing
+    /// a packet to a switch); it is delivered after the usual link delay.
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.post_at(self.clock, from, to, msg);
+    }
+
+    /// Injects a message that *departs* at `time` (must not be in the
+    /// simulated past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current virtual time.
+    pub fn post_at(&mut self, time: SimTime, from: NodeId, to: NodeId, msg: M) {
+        assert!(time >= self.clock, "cannot post into the past");
+        let arrival = time + self.link_delay(from, to, msg.size_bytes());
+        self.stats.record(msg.category(), msg.size_bytes());
+        self.queue
+            .schedule(arrival, to, EventPayload::Deliver { from, msg });
+    }
+
+    /// Schedules a timer on `node` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current virtual time.
+    pub fn schedule_timer_at(&mut self, time: SimTime, node: NodeId, tag: TimerTag) {
+        assert!(time >= self.clock, "cannot schedule into the past");
+        self.queue.schedule(time, node, EventPayload::Timer { tag });
+    }
+
+    fn link_delay(&self, from: NodeId, to: NodeId, bytes: usize) -> Duration {
+        let prop = if from == to {
+            Duration::ZERO
+        } else {
+            match &self.delays {
+                DelayStrategy::Uniform(d) => *d,
+                DelayStrategy::Matrix(m) => m[from.0][to.0],
+            }
+        };
+        let ser = match self.bandwidth_bps {
+            Some(bps) => Duration::from_secs_f64(bytes as f64 * 8.0 / bps),
+            None => Duration::ZERO,
+        };
+        prop + ser
+    }
+
+    /// Runs until no events remain (or the event cap is hit). Returns
+    /// the number of events processed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_while(|_| true)
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `deadline`. The clock never advances past `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let n = self.run_while(|t| t <= deadline);
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+        n
+    }
+
+    fn run_while(&mut self, keep_going: impl Fn(SimTime) -> bool) -> u64 {
+        let mut processed = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if !keep_going(t) {
+                break;
+            }
+            if processed >= self.max_events {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            debug_assert!(event.time >= self.clock, "time must be monotone");
+            self.clock = event.time;
+            processed += 1;
+            self.processed += 1;
+            let target = event.target;
+            if self.down[target.0] {
+                continue;
+            }
+            let mut effects = Vec::new();
+            {
+                let mut ctx = Context {
+                    now: self.clock,
+                    self_id: target,
+                    effects: &mut effects,
+                };
+                match event.payload {
+                    EventPayload::Deliver { from, msg } => {
+                        if self.blocked.contains(&ordered(from.0, target.0)) {
+                            continue;
+                        }
+                        if self.lose() {
+                            continue;
+                        }
+                        // Service-time model: a busy node defers the
+                        // message until it frees up.
+                        if self.busy_until[target.0] > event.time {
+                            let at = self.busy_until[target.0];
+                            self.queue
+                                .schedule(at, target, EventPayload::Deliver { from, msg });
+                            continue;
+                        }
+                        let service = self.service_time[target.0];
+                        if !service.is_zero() {
+                            self.busy_until[target.0] = event.time + service;
+                        }
+                        self.actors[target.0].on_message(&mut ctx, from, msg);
+                    }
+                    EventPayload::Timer { tag } => {
+                        self.actors[target.0].on_timer(&mut ctx, tag);
+                    }
+                }
+            }
+            for effect in effects {
+                match effect {
+                    Effect::Send { to, msg, extra_delay } => {
+                        let arrival =
+                            self.clock + self.link_delay(target, to, msg.size_bytes()) + extra_delay;
+                        self.stats.record(msg.category(), msg.size_bytes());
+                        self.queue
+                            .schedule(arrival, to, EventPayload::Deliver { from: target, msg });
+                    }
+                    Effect::Timer { delay, tag } => {
+                        self.queue
+                            .schedule(self.clock + delay, target, EventPayload::Timer { tag });
+                    }
+                }
+            }
+        }
+        processed
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(u64);
+
+    impl Message for Num {
+        fn size_bytes(&self) -> usize {
+            100
+        }
+        fn category(&self) -> &'static str {
+            "num"
+        }
+    }
+
+    /// Records every delivery with its arrival time; replies once.
+    struct Recorder {
+        log: Vec<(SimTime, NodeId, u64)>,
+        reply: bool,
+    }
+
+    impl Recorder {
+        fn new(reply: bool) -> Self {
+            Recorder { log: Vec::new(), reply }
+        }
+    }
+
+    impl Actor<Num> for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: NodeId, msg: Num) {
+            self.log.push((ctx.now(), from, msg.0));
+            if self.reply {
+                ctx.send(from, Num(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, Num>, tag: TimerTag) {
+            self.log.push((ctx.now(), ctx.self_id(), 1_000_000 + tag));
+        }
+    }
+
+    fn two_nodes(reply: bool) -> Simulation<Num, Recorder> {
+        let mut sim = Simulation::new(vec![Recorder::new(reply), Recorder::new(false)]);
+        sim.set_uniform_delay(Duration::from_millis(10));
+        sim
+    }
+
+    #[test]
+    fn delivery_respects_link_delay() {
+        let mut sim = two_nodes(false);
+        sim.post(NodeId(0), NodeId(1), Num(7));
+        sim.run_to_quiescence();
+        let log = &sim.actor(NodeId(1)).log;
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, SimTime::ZERO + Duration::from_millis(10));
+        assert_eq!(log[0].2, 7);
+    }
+
+    #[test]
+    fn reply_arrives_after_round_trip() {
+        let mut sim = two_nodes(false);
+        sim.actor_mut(NodeId(1)).reply = true;
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.run_to_quiescence();
+        let log = &sim.actor(NodeId(0)).log;
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, SimTime::ZERO + Duration::from_millis(20));
+        assert_eq!(log[0].2, 2);
+    }
+
+    #[test]
+    fn serialization_delay_adds_to_propagation() {
+        let mut sim = two_nodes(false);
+        // 100 bytes = 800 bits at 100 Mbps = 8 µs
+        sim.set_bandwidth_bps(Some(100_000_000.0));
+        sim.post(NodeId(0), NodeId(1), Num(0));
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.actor(NodeId(1)).log[0].0,
+            SimTime::ZERO + Duration::from_millis(10) + Duration::from_micros(8)
+        );
+    }
+
+    #[test]
+    fn down_node_receives_nothing() {
+        let mut sim = two_nodes(false);
+        sim.set_node_down(NodeId(1), true);
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.run_to_quiescence();
+        assert!(sim.actor(NodeId(1)).log.is_empty());
+        // The message still counted as sent.
+        assert_eq!(sim.stats().count("num"), 1);
+    }
+
+    #[test]
+    fn node_recovers_after_up() {
+        let mut sim = two_nodes(false);
+        sim.set_node_down(NodeId(1), true);
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.run_to_quiescence();
+        sim.set_node_down(NodeId(1), false);
+        sim.post(NodeId(0), NodeId(1), Num(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(NodeId(1)).log.len(), 1);
+        assert_eq!(sim.actor(NodeId(1)).log[0].2, 2);
+    }
+
+    #[test]
+    fn blocked_link_drops_messages() {
+        let mut sim = two_nodes(false);
+        sim.block_link(NodeId(0), NodeId(1));
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.run_to_quiescence();
+        assert!(sim.actor(NodeId(1)).log.is_empty());
+        sim.unblock_link(NodeId(1), NodeId(0)); // order-insensitive
+        sim.post(NodeId(0), NodeId(1), Num(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(NodeId(1)).log.len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_at_requested_time() {
+        let mut sim = two_nodes(false);
+        sim.schedule_timer_at(SimTime::ZERO + Duration::from_millis(5), NodeId(0), 42);
+        sim.run_to_quiescence();
+        let log = &sim.actor(NodeId(0)).log;
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, SimTime::ZERO + Duration::from_millis(5));
+        assert_eq!(log[0].2, 1_000_042);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = two_nodes(false);
+        sim.post(NodeId(0), NodeId(1), Num(1)); // arrives at 10ms
+        let deadline = SimTime::ZERO + Duration::from_millis(5);
+        sim.run_until(deadline);
+        assert!(sim.actor(NodeId(1)).log.is_empty());
+        assert_eq!(sim.now(), deadline);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(NodeId(1)).log.len(), 1);
+    }
+
+    #[test]
+    fn delay_matrix_is_per_pair() {
+        let mut sim = Simulation::new(vec![
+            Recorder::new(false),
+            Recorder::new(false),
+            Recorder::new(false),
+        ]);
+        let z = Duration::ZERO;
+        let d01 = Duration::from_millis(1);
+        let d02 = Duration::from_millis(30);
+        sim.set_delay_matrix(vec![vec![z, d01, d02], vec![d01, z, z], vec![d02, z, z]]);
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.post(NodeId(0), NodeId(2), Num(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(NodeId(1)).log[0].0, SimTime::ZERO + d01);
+        assert_eq!(sim.actor(NodeId(2)).log[0].0, SimTime::ZERO + d02);
+    }
+
+    #[test]
+    fn self_send_has_no_propagation_delay() {
+        let mut sim = two_nodes(false);
+        sim.post(NodeId(0), NodeId(0), Num(9));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(NodeId(0)).log[0].0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stats_count_sends_by_category() {
+        let mut sim = two_nodes(true);
+        sim.post(NodeId(1), NodeId(0), Num(1));
+        sim.run_to_quiescence();
+        // original + reply
+        assert_eq!(sim.stats().count("num"), 2);
+        assert_eq!(sim.stats().total_bytes(), 200);
+        sim.reset_stats();
+        assert_eq!(sim.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn max_events_caps_runaway() {
+        // Node 0 replies to itself forever.
+        struct Loopy;
+        impl Actor<Num> for Loopy {
+            fn on_message(&mut self, ctx: &mut Context<'_, Num>, _from: NodeId, msg: Num) {
+                ctx.send(ctx.self_id(), Num(msg.0 + 1));
+            }
+        }
+        let mut sim = Simulation::new(vec![Loopy]);
+        sim.set_max_events(1000);
+        sim.post(NodeId(0), NodeId(0), Num(0));
+        let processed = sim.run_to_quiescence();
+        assert_eq!(processed, 1000);
+        assert!(sim.pending_events() > 0);
+    }
+
+    #[test]
+    fn service_time_queues_messages() {
+        let mut sim = two_nodes(false);
+        sim.set_service_time(NodeId(1), Duration::from_millis(5));
+        // Three messages all arrive at t=10ms; they must be served at
+        // 10, 15 and 20 ms.
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.post(NodeId(0), NodeId(1), Num(2));
+        sim.post(NodeId(0), NodeId(1), Num(3));
+        sim.run_to_quiescence();
+        let times: Vec<SimTime> = sim.actor(NodeId(1)).log.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::ZERO + Duration::from_millis(10),
+                SimTime::ZERO + Duration::from_millis(15),
+                SimTime::ZERO + Duration::from_millis(20),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_service_time_means_no_queueing() {
+        let mut sim = two_nodes(false);
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.post(NodeId(0), NodeId(1), Num(2));
+        sim.run_to_quiescence();
+        let times: Vec<SimTime> = sim.actor(NodeId(1)).log.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(times[0], times[1]);
+    }
+
+    #[test]
+    fn timers_bypass_service_queue() {
+        let mut sim = two_nodes(false);
+        sim.set_service_time(NodeId(1), Duration::from_millis(50));
+        sim.post(NodeId(0), NodeId(1), Num(1)); // served at 10..60ms
+        sim.schedule_timer_at(SimTime::ZERO + Duration::from_millis(12), NodeId(1), 9);
+        sim.run_to_quiescence();
+        let log = &sim.actor(NodeId(1)).log;
+        // Timer fires at 12ms even though the node is "busy".
+        assert!(log.iter().any(|&(t, _, v)| v == 1_000_009
+            && t == SimTime::ZERO + Duration::from_millis(12)));
+    }
+
+    #[test]
+    fn lossy_network_drops_deterministically() {
+        let run = || {
+            let mut sim = two_nodes(false);
+            sim.set_loss_rate(0.5);
+            for i in 0..100 {
+                sim.post(NodeId(0), NodeId(1), Num(i));
+            }
+            sim.run_to_quiescence();
+            (
+                sim.actor(NodeId(1)).log.len(),
+                sim.dropped_messages(),
+            )
+        };
+        let (delivered, dropped) = run();
+        assert_eq!(delivered as u64 + dropped, 100);
+        // Roughly half lost.
+        assert!((25..=75).contains(&delivered), "delivered {delivered}");
+        // And fully reproducible.
+        assert_eq!(run(), (delivered, dropped));
+    }
+
+    #[test]
+    fn zero_loss_rate_delivers_everything() {
+        let mut sim = two_nodes(false);
+        sim.set_loss_rate(0.0);
+        for i in 0..20 {
+            sim.post(NodeId(0), NodeId(1), Num(i));
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(NodeId(1)).log.len(), 20);
+        assert_eq!(sim.dropped_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in [0, 1)")]
+    fn invalid_loss_rate_panics() {
+        two_nodes(false).set_loss_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot post into the past")]
+    fn post_into_past_panics() {
+        let mut sim = two_nodes(false);
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        sim.run_to_quiescence();
+        sim.post_at(SimTime::ZERO, NodeId(0), NodeId(1), Num(2));
+    }
+
+    #[test]
+    fn send_delayed_adds_extra_latency() {
+        struct Lazy;
+        impl Actor<Num> for Lazy {
+            fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: NodeId, msg: Num) {
+                ctx.send_delayed(from, msg, Duration::from_millis(100));
+            }
+        }
+        let mut sim = Simulation::new(vec![Lazy, Lazy]);
+        sim.set_uniform_delay(Duration::from_millis(10));
+        sim.post(NodeId(0), NodeId(1), Num(1));
+        // 10ms arrive, +10ms link +100ms lazy = 120ms, then it keeps
+        // ping-ponging; cap events to observe the clock.
+        sim.set_max_events(2);
+        sim.run_to_quiescence();
+        assert_eq!(sim.now(), SimTime::ZERO + Duration::from_millis(120));
+    }
+}

@@ -1,0 +1,123 @@
+//! Virtual simulation time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use core::time::Duration;
+
+/// A point in virtual time, measured in nanoseconds since simulation
+/// start.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_duration(), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Converts to a [`Duration`] since simulation start.
+    pub const fn as_duration(&self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Elapsed time since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(&self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be later than `self`"),
+        )
+    }
+
+    /// Saturating version of [`SimTime::since`]: returns zero instead of
+    /// panicking.
+    pub fn saturating_since(&self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0 / 1_000;
+        write!(f, "{}.{:03}ms", us / 1_000, us % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_micros(1500);
+        assert_eq!(t.as_nanos(), 1_500_000);
+        assert_eq!(t - SimTime::ZERO, Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn since_and_saturating() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(250);
+        assert_eq!(b.since(a), Duration::from_nanos(150));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be later")]
+    fn since_panics_when_reversed() {
+        SimTime::from_nanos(1).since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn display_millis() {
+        let t = SimTime::ZERO + Duration::from_micros(12_345);
+        assert_eq!(format!("{t}"), "12.345ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+    }
+}

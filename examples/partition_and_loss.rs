@@ -1,0 +1,67 @@
+//! Fault injection beyond the paper: control-channel partitions and a
+//! lossy edge network.
+//!
+//! A byzantine *node* is not the only failure an edge deployment sees —
+//! the link between a switch and one of its controllers can die while
+//! both endpoints stay healthy. Curb's switch-side detection treats
+//! "never replies to me" identically in both cases, so the partitioned
+//! controller is reassigned away from that switch.
+//!
+//! ```text
+//! cargo run --release --example partition_and_loss
+//! ```
+
+#![allow(clippy::field_reassign_with_default)]
+use curb::core::{CurbConfig, CurbNetwork, SwitchId};
+use curb::graph::internet2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = internet2();
+
+    // ---- Part 1: a partitioned control channel -------------------------
+    let mut net = CurbNetwork::new(&topo, CurbConfig::default())?;
+    let switch = SwitchId(0);
+    let unreachable = net.epoch().ctrl_list(switch)[1]; // a follower of s0's group
+    println!("partitioning the s0 <-> c{unreachable} control channel\n");
+    net.set_control_channel_blocked(switch, unreachable, true);
+
+    println!("round  accepted  reassignments  s0 still lists c{unreachable}?");
+    for _ in 0..8 {
+        let r = net.run_round();
+        println!(
+            "{:>5}  {:>8}  {:>13}  {}",
+            r.round,
+            r.accepted,
+            r.reassignments,
+            net.switch(switch).ctrl_list().contains(&unreachable),
+        );
+    }
+    // Service never suffered: the group has 3 reachable members and the
+    // switch only needs f+1 = 2 matching replies.
+    println!();
+
+    // ---- Part 2: a lossy network ---------------------------------------
+    // Messages drop with 2% probability everywhere. PBFT quorums are
+    // naturally redundant (only 2f+1 of 3f+1 votes are needed) and the
+    // switch only needs f+1 of 3f+1 replies, so modest loss costs
+    // latency, not correctness.
+    let mut lossy = CurbNetwork::new(&topo, CurbConfig::default())?;
+    lossy.set_loss_rate(0.02);
+    let report = lossy.run_rounds(5);
+    println!("lossy network (2% drop): ");
+    for r in &report.rounds {
+        println!(
+            "  round {}: {}/{} accepted, latency {:?}",
+            r.round,
+            r.accepted,
+            r.requests,
+            r.avg_latency.unwrap_or_default(),
+        );
+    }
+    let served: usize = report.rounds.iter().map(|r| r.accepted).sum();
+    let asked: usize = report.rounds.iter().map(|r| r.requests).sum();
+    println!(
+        "\n{served}/{asked} requests served under loss; redundancy absorbs the rest"
+    );
+    Ok(())
+}

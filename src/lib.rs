@@ -1,0 +1,39 @@
+//! # Curb — trusted and scalable SDN control plane
+//!
+//! This is the facade crate of the Curb reproduction workspace. It
+//! re-exports the public APIs of every subsystem so that applications can
+//! depend on a single crate:
+//!
+//! * [`crypto`] — SHA-256, 256-bit integers and Schnorr signatures.
+//! * [`graph`] — weighted graphs, shortest paths and the Internet2 topology.
+//! * [`sim`] — deterministic discrete-event network simulator.
+//! * [`sdn`] — OpenFlow-style southbound messages and flow tables.
+//! * [`consensus`] — PBFT with byzantine fault injection.
+//! * [`chain`] — the permissioned blockchain component.
+//! * [`assign`] — the controller-assignment optimisation (OP) solver.
+//! * [`core`] — the Curb protocol itself (groups, rounds, reassignment).
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use curb::core::{CurbConfig, CurbNetwork};
+//! use curb::graph::internet2;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = internet2();
+//! let config = CurbConfig::default();
+//! let mut net = CurbNetwork::new(&topo, config)?;
+//! let report = net.run_rounds(3);
+//! assert!(report.rounds[0].committed_txs > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use curb_assign as assign;
+pub use curb_chain as chain;
+pub use curb_consensus as consensus;
+pub use curb_core as core;
+pub use curb_crypto as crypto;
+pub use curb_graph as graph;
+pub use curb_sdn as sdn;
+pub use curb_sim as sim;

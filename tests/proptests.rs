@@ -1,0 +1,131 @@
+//! Cross-crate property tests: protocol-level invariants on random
+//! topologies and fault placements.
+
+
+#![allow(clippy::field_reassign_with_default)]
+use curb::assign::{solve, CapModel, Objective, SolveOptions};
+use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork};
+use curb::graph::synthetic;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any connected synthetic topology with enough controllers serves
+    /// every request in steady state.
+    #[test]
+    fn random_topologies_serve_all_requests(seed in 0u64..1000, n_c in 6usize..12) {
+        let topo = synthetic(n_c, 2 * n_c, seed);
+        let mut config = CurbConfig::default();
+        config.max_cs_delay_ms = f64::INFINITY;
+        config.controller_capacity = 16;
+        let mut net = CurbNetwork::new(&topo, config).expect("feasible");
+        let report = net.run_rounds(2);
+        for r in &report.rounds {
+            prop_assert_eq!(r.accepted, r.requests, "round {}", r.round);
+        }
+    }
+
+    /// One silent follower anywhere never breaks service (the 3f+1
+    /// guarantee), and all honest chains stay identical.
+    #[test]
+    fn one_silent_follower_is_always_tolerated(seed in 0u64..1000, member in 1usize..4) {
+        let topo = synthetic(8, 16, seed);
+        let mut config = CurbConfig::default();
+        config.max_cs_delay_ms = f64::INFINITY;
+        config.controller_capacity = 16;
+        let mut net = CurbNetwork::new(&topo, config).expect("feasible");
+        let victim = net.epoch().groups[0].members[member];
+        net.set_controller_behavior(victim, ControllerBehavior::Silent);
+        let report = net.run_rounds(2);
+        for r in &report.rounds {
+            prop_assert_eq!(r.accepted, r.requests, "round {}", r.round);
+        }
+        let reference = net.controller(curb::core::ControllerId(0)).chain().tip().hash();
+        for c in 0..net.n_controllers() {
+            if c == victim {
+                continue;
+            }
+            let chain = net.controller(curb::core::ControllerId(c)).chain();
+            prop_assert!(chain.verify().is_ok());
+            prop_assert_eq!(chain.tip().hash(), reference);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The OP solver's output always satisfies the CAP constraints, on
+    /// random instances.
+    #[test]
+    fn solver_output_always_satisfies_constraints(
+        seed in 0u64..10_000,
+        n_s in 3usize..10,
+        n_c in 6usize..12,
+        f in 1usize..2,
+        capacity in 4u32..16,
+    ) {
+        let topo = synthetic(n_c, n_s, seed);
+        let model_delay = curb::graph::DelayModel::paper_default();
+        let km = topo.graph.all_pairs();
+        let controllers: Vec<usize> = topo.controllers().collect();
+        let switches: Vec<usize> = topo.switches().collect();
+        let ms = |a: usize, b: usize| model_delay.propagation(km[a][b]).as_secs_f64() * 1e3;
+        let mut model = CapModel::new(n_s, n_c);
+        model
+            .set_fault_tolerance(f)
+            .set_cs_delay(switches.iter().map(|&s| controllers.iter().map(|&c| ms(s, c)).collect()).collect())
+            .set_max_cs_delay(f64::INFINITY);
+        model.capacity = vec![capacity; n_c];
+        match solve(&model, &SolveOptions { seed, ..SolveOptions::default() }) {
+            Ok(solution) => {
+                prop_assert!(solution.assignment.check(&model).is_ok());
+                // Usage is at least one group's worth.
+                prop_assert!(solution.used > 3 * f);
+            }
+            Err(_) => {
+                // Infeasibility must be justified: total capacity below
+                // demand, or a switch with too few candidates.
+                let demand: u64 = (0..n_s).map(|_| (3 * f + 1) as u64).sum();
+                let cap: u64 = capacity as u64 * n_c as u64;
+                prop_assert!(cap < demand || n_c < 3 * f + 1,
+                    "solver claimed infeasible though capacity {cap} covers {demand}");
+            }
+        }
+    }
+
+    /// LCR never moves more links than TCR on the same reassignment.
+    #[test]
+    fn lcr_moves_at_most_tcr(seed in 0u64..10_000) {
+        let topo = synthetic(8, 12, seed);
+        let model_delay = curb::graph::DelayModel::paper_default();
+        let km = topo.graph.all_pairs();
+        let controllers: Vec<usize> = topo.controllers().collect();
+        let switches: Vec<usize> = topo.switches().collect();
+        let ms = |a: usize, b: usize| model_delay.propagation(km[a][b]).as_secs_f64() * 1e3;
+        let mut model = CapModel::new(12, 8);
+        model
+            .set_fault_tolerance(1)
+            .set_cs_delay(switches.iter().map(|&s| controllers.iter().map(|&c| ms(s, c)).collect()).collect())
+            .set_max_cs_delay(f64::INFINITY);
+        model.capacity = vec![12; 8];
+        let initial = solve(&model, &SolveOptions { seed, ..SolveOptions::default() })
+            .expect("feasible");
+        let victim = initial.assignment.used_controllers().into_iter().next().unwrap();
+        model.exclude(victim);
+        let run = |objective| {
+            solve(&model, &SolveOptions {
+                objective,
+                previous: Some(initial.assignment.clone()),
+                seed,
+                ..SolveOptions::default()
+            })
+        };
+        if let (Ok(tcr), Ok(lcr)) = (run(Objective::Tcr), run(Objective::Lcr)) {
+            let (tr, ta) = tcr.moves.expect("previous supplied");
+            let (lr, la) = lcr.moves.expect("previous supplied");
+            prop_assert!(lr + la <= tr + ta, "LCR moved {} > TCR {}", lr + la, tr + ta);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Theorem 1 integration test: message complexity of grouped Curb is
+//! near-linear in `N`, the flat baseline near-quadratic.
+
+
+#![allow(clippy::field_reassign_with_default)]
+use curb::core::{CurbConfig, CurbNetwork};
+use curb::graph::synthetic;
+
+fn messages_per_round(n_controllers: usize, flat: bool) -> f64 {
+    let topo = synthetic(n_controllers, 2 * n_controllers, 42);
+    let config = if flat {
+        CurbConfig::default().flat()
+    } else {
+        let mut c = CurbConfig::default();
+        c.controller_capacity =
+            (((2 * n_controllers * 4) as f64 / n_controllers as f64) * 1.05).ceil() as u32 + 1;
+        c.max_cs_delay_ms = f64::INFINITY;
+        c
+    };
+    let mut net = CurbNetwork::new(&topo, config).expect("synthetic feasible");
+    net.run_rounds(2).mean_messages()
+}
+
+#[test]
+fn curb_messages_grow_linearly() {
+    let small = messages_per_round(8, false);
+    let large = messages_per_round(32, false);
+    let growth = large / small;
+    // N grew 4x; linear growth with generous tolerance.
+    assert!(
+        (2.0..8.0).contains(&growth),
+        "expected ~4x growth, got {growth:.1}x ({small} -> {large})"
+    );
+}
+
+#[test]
+fn flat_messages_grow_quadratically() {
+    let small = messages_per_round(8, true);
+    let large = messages_per_round(32, true);
+    let growth = large / small;
+    // N grew 4x; quadratic growth is ~16x.
+    assert!(
+        growth > 8.0,
+        "expected ~16x growth, got {growth:.1}x ({small} -> {large})"
+    );
+}
+
+#[test]
+fn curb_beats_flat_at_scale() {
+    let curb = messages_per_round(32, false);
+    let flat = messages_per_round(32, true);
+    assert!(
+        flat / curb > 2.0,
+        "flat ({flat}) should dwarf grouped ({curb}) at N = 32"
+    );
+}

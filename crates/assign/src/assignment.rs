@@ -71,7 +71,11 @@ pub enum ConstraintViolation {
 impl core::fmt::Display for ConstraintViolation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ConstraintViolation::GroupTooSmall { switch, required, actual } => write!(
+            ConstraintViolation::GroupTooSmall {
+                switch,
+                required,
+                actual,
+            } => write!(
                 f,
                 "switch {switch}: group size {actual} below required {required}"
             ),
@@ -320,7 +324,11 @@ mod tests {
         let m = CapModel::new(2, 4); // default B_i = 4
         assert!(matches!(
             two_switch().check(&m),
-            Err(ConstraintViolation::GroupTooSmall { switch: 0, required: 4, actual: 2 })
+            Err(ConstraintViolation::GroupTooSmall {
+                switch: 0,
+                required: 4,
+                actual: 2
+            })
         ));
     }
 
@@ -343,7 +351,10 @@ mod tests {
             .set_max_cs_delay(5.0);
         assert!(matches!(
             two_switch().check(&m),
-            Err(ConstraintViolation::CsDelayExceeded { switch: 0, controller: 1 })
+            Err(ConstraintViolation::CsDelayExceeded {
+                switch: 0,
+                controller: 1
+            })
         ));
     }
 
@@ -357,7 +368,11 @@ mod tests {
         m.set_cc_delay(cc).set_max_cc_delay(Some(5.0));
         assert!(matches!(
             two_switch().check(&m),
-            Err(ConstraintViolation::CcDelayExceeded { switch: 0, a: 0, b: 1 })
+            Err(ConstraintViolation::CcDelayExceeded {
+                switch: 0,
+                a: 0,
+                b: 1
+            })
         ));
     }
 
@@ -379,7 +394,10 @@ mod tests {
         m.pin_leader(0, 3);
         assert!(matches!(
             two_switch().check(&m),
-            Err(ConstraintViolation::LeaderMissing { switch: 0, leader: 3 })
+            Err(ConstraintViolation::LeaderMissing {
+                switch: 0,
+                leader: 3
+            })
         ));
     }
 

@@ -61,7 +61,10 @@ impl MinCostFlow {
     ///
     /// Panics if an endpoint is out of range or capacity is negative.
     pub fn add_arc(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> ArcId {
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
         assert!(capacity >= 0, "capacity must be non-negative");
         let rev_from = self.graph[to].len();
         let rev_to = self.graph[from].len();

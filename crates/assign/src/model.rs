@@ -53,7 +53,10 @@ impl CapModel {
     ///
     /// Panics if either dimension is zero.
     pub fn new(n_switches: usize, n_controllers: usize) -> Self {
-        assert!(n_switches > 0 && n_controllers > 0, "dimensions must be positive");
+        assert!(
+            n_switches > 0 && n_controllers > 0,
+            "dimensions must be positive"
+        );
         CapModel {
             n_switches,
             n_controllers,
@@ -92,7 +95,10 @@ impl CapModel {
     /// Panics on dimension mismatch.
     pub fn set_cs_delay(&mut self, d: Vec<Vec<f64>>) -> &mut Self {
         assert_eq!(d.len(), self.n_switches, "cs_delay rows");
-        assert!(d.iter().all(|r| r.len() == self.n_controllers), "cs_delay cols");
+        assert!(
+            d.iter().all(|r| r.len() == self.n_controllers),
+            "cs_delay cols"
+        );
         self.cs_delay = d;
         self
     }
@@ -104,7 +110,10 @@ impl CapModel {
     /// Panics on dimension mismatch.
     pub fn set_cc_delay(&mut self, d: Vec<Vec<f64>>) -> &mut Self {
         assert_eq!(d.len(), self.n_controllers, "cc_delay rows");
-        assert!(d.iter().all(|r| r.len() == self.n_controllers), "cc_delay cols");
+        assert!(
+            d.iter().all(|r| r.len() == self.n_controllers),
+            "cc_delay cols"
+        );
         self.cc_delay = d;
         self
     }
@@ -139,7 +148,10 @@ impl CapModel {
     /// Panics if either index is out of range, or if `j` is excluded or
     /// out of `D_c,s` range of `i`.
     pub fn pin_leader(&mut self, i: usize, j: usize) -> &mut Self {
-        assert!(i < self.n_switches && j < self.n_controllers, "index out of range");
+        assert!(
+            i < self.n_switches && j < self.n_controllers,
+            "index out of range"
+        );
         assert!(!self.excluded[j], "cannot pin an excluded controller");
         assert!(
             self.cs_delay[i][j] <= self.max_cs_delay,

@@ -460,7 +460,11 @@ impl<'a> Search<'a> {
             Objective::Tcr => distance_cost,
             Objective::Lcr => {
                 let prev = self.options.previous.as_ref().expect("validated in solve");
-                let base = if prev.contains(i, j) { -1_000_000_000 } else { 1_000_000_000 };
+                let base = if prev.contains(i, j) {
+                    -1_000_000_000
+                } else {
+                    1_000_000_000
+                };
                 base + distance_cost
             }
         }

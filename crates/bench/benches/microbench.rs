@@ -11,7 +11,9 @@ use curb_crypto::KeyPair;
 
 fn bench_sha256(c: &mut Criterion) {
     let data = vec![0xABu8; 4096];
-    c.bench_function("sha256_4k", |b| b.iter(|| digest(std::hint::black_box(&data))));
+    c.bench_function("sha256_4k", |b| {
+        b.iter(|| digest(std::hint::black_box(&data)))
+    });
 }
 
 fn bench_schnorr(c: &mut Criterion) {
@@ -26,7 +28,10 @@ fn bench_schnorr(c: &mut Criterion) {
         )
     });
     c.bench_function("schnorr_verify", |b| {
-        b.iter(|| keys.public().verify(std::hint::black_box(b"benchmark message"), &sig))
+        b.iter(|| {
+            keys.public()
+                .verify(std::hint::black_box(b"benchmark message"), &sig)
+        })
     });
 }
 

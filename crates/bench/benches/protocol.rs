@@ -12,8 +12,8 @@ fn bench_round(c: &mut Criterion) {
         b.iter(|| net.run_round())
     });
     c.bench_function("curb_round_internet2_parallel", |b| {
-        let mut net = CurbNetwork::new(&topo, CurbConfig::default().with_parallel(true))
-            .expect("feasible");
+        let mut net =
+            CurbNetwork::new(&topo, CurbConfig::default().with_parallel(true)).expect("feasible");
         b.iter(|| net.run_round())
     });
     c.bench_function("flat_round_internet2", |b| {

@@ -44,13 +44,19 @@ fn run_lossy(loss: f64, rounds: usize) -> (f64, f64, f64) {
     (
         mean_latency_ms(&report),
         report.mean_tps(),
-        if asked == 0 { 0.0 } else { 100.0 * served as f64 / asked as f64 },
+        if asked == 0 {
+            0.0
+        } else {
+            100.0 * served as f64 / asked as f64
+        },
     )
 }
 
 fn main() {
     let study = arg_value("study").unwrap_or_else(|| "all".to_string());
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let csv = arg_flag("csv");
 
     if study == "batch" || study == "all" {
@@ -98,8 +104,8 @@ fn main() {
             c.sign_requests = signed;
             let mut net = CurbNetwork::new(&topo, c).expect("feasible");
             let report = net.run_rounds(rounds);
-            let bytes: u64 = report.rounds.iter().map(|r| r.bytes).sum::<u64>()
-                / rounds.max(1) as u64;
+            let bytes: u64 =
+                report.rounds.iter().map(|r| r.bytes).sum::<u64>() / rounds.max(1) as u64;
             t.row(
                 if signed { "on" } else { "off" },
                 &[mean_latency_ms(&report), report.mean_tps(), bytes as f64],

@@ -14,7 +14,9 @@ use curb_bench::{arg_flag, arg_value, complexity_breakdown, complexity_sweep, Ta
 const N_VALUES: [usize; 4] = [8, 16, 32, 64];
 
 fn main() {
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let csv = arg_flag("csv");
     if arg_flag("detail") {
         println!("# Message breakdown per steady round (Theorem 1 decomposition)\n");
@@ -29,10 +31,7 @@ fn main() {
     }
     println!("# Theorem 1 — per-round messages vs controller count N\n");
     let rows = complexity_sweep(&N_VALUES, rounds);
-    let mut table = Table::new(
-        "N",
-        &["curb_msgs", "flat_msgs", "curb_per_n", "flat_per_n"],
-    );
+    let mut table = Table::new("N", &["curb_msgs", "flat_msgs", "curb_per_n", "flat_per_n"]);
     for (n, curb, flat) in &rows {
         table.row(
             &n.to_string(),

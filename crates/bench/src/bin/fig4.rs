@@ -15,7 +15,9 @@ use curb_bench::{arg_flag, arg_value, byzantine_rounds, Table};
 
 fn main() {
     let exp: u8 = arg_value("exp").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let csv = arg_flag("csv");
 
     println!("# Fig. 4 — byzantine resilience, experiment {exp}\n");
@@ -35,7 +37,12 @@ fn run_one(exp: u8, parallel: bool, rounds: usize, csv: bool) {
     let report = byzantine_rounds(exp, parallel, rounds);
     let mut table = Table::new(
         "round",
-        &["latency_ms", "throughput_tps", "reassigned", "removed_total"],
+        &[
+            "latency_ms",
+            "throughput_tps",
+            "reassigned",
+            "removed_total",
+        ],
     );
     for r in &report.rounds {
         table.row(

@@ -17,7 +17,9 @@ const F_VALUES: [usize; 4] = [1, 2, 3, 4];
 
 fn main() {
     let panel = arg_value("panel").unwrap_or_else(|| "all".to_string());
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
     let csv = arg_flag("csv");
 
     if panel == "a" || panel == "b" || panel == "all" {

@@ -33,7 +33,9 @@ fn combos(d_cc: f64) -> Vec<OpCombo> {
 
 fn main() {
     let csv = arg_flag("csv");
-    let d_cc: f64 = arg_value("d-cc").and_then(|v| v.parse().ok()).unwrap_or(10.0);
+    let d_cc: f64 = arg_value("d-cc")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
     let combos = combos(d_cc);
     println!("# Fig. 6 — OP solve time (ms) vs D_c,s (D_c,c = {d_cc} ms)\n");
     let labels: Vec<String> = combos.iter().map(OpCombo::label).collect();
@@ -42,7 +44,11 @@ fn main() {
     for &d in &D_CS_VALUES {
         let values: Vec<f64> = combos
             .iter()
-            .map(|c| reassignment_op(d, c).map(|r| r.elapsed_ms).unwrap_or(f64::NAN))
+            .map(|c| {
+                reassignment_op(d, c)
+                    .map(|r| r.elapsed_ms)
+                    .unwrap_or(f64::NAN)
+            })
             .collect();
         table.row(&format!("{d}"), &values);
     }

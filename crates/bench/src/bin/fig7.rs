@@ -14,13 +14,35 @@ const D_CS_VALUES: [f64; 5] = [12.0, 14.0, 16.0, 20.0, 25.0];
 
 fn main() {
     let csv = arg_flag("csv");
-    let d_cc: f64 = arg_value("d-cc").and_then(|v| v.parse().ok()).unwrap_or(10.0);
+    let d_cc: f64 = arg_value("d-cc")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
     let combos = [
-        OpCombo { objective: Objective::Tcr, leader_pins: false, cc_threshold: None },
-        OpCombo { objective: Objective::Lcr, leader_pins: false, cc_threshold: None },
-        OpCombo { objective: Objective::Tcr, leader_pins: true, cc_threshold: None },
-        OpCombo { objective: Objective::Tcr, leader_pins: false, cc_threshold: Some(d_cc) },
-        OpCombo { objective: Objective::Lcr, leader_pins: false, cc_threshold: Some(d_cc) },
+        OpCombo {
+            objective: Objective::Tcr,
+            leader_pins: false,
+            cc_threshold: None,
+        },
+        OpCombo {
+            objective: Objective::Lcr,
+            leader_pins: false,
+            cc_threshold: None,
+        },
+        OpCombo {
+            objective: Objective::Tcr,
+            leader_pins: true,
+            cc_threshold: None,
+        },
+        OpCombo {
+            objective: Objective::Tcr,
+            leader_pins: false,
+            cc_threshold: Some(d_cc),
+        },
+        OpCombo {
+            objective: Objective::Lcr,
+            leader_pins: false,
+            cc_threshold: Some(d_cc),
+        },
     ];
     println!("# Fig. 7 — controllers used vs D_c,s (D_c,c = {d_cc} ms)\n");
     let labels: Vec<String> = combos.iter().map(OpCombo::label).collect();
@@ -29,7 +51,11 @@ fn main() {
     for &d in &D_CS_VALUES {
         let values: Vec<f64> = combos
             .iter()
-            .map(|c| reassignment_op(d, c).map(|r| r.used as f64).unwrap_or(f64::NAN))
+            .map(|c| {
+                reassignment_op(d, c)
+                    .map(|r| r.used as f64)
+                    .unwrap_or(f64::NAN)
+            })
             .collect();
         table.row(&format!("{d}"), &values);
     }

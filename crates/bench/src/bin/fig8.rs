@@ -14,10 +14,26 @@ const D_CS_VALUES: [f64; 5] = [12.0, 14.0, 16.0, 20.0, 25.0];
 fn main() {
     let csv = arg_flag("csv");
     let combos = [
-        OpCombo { objective: Objective::Tcr, leader_pins: false, cc_threshold: None },
-        OpCombo { objective: Objective::Lcr, leader_pins: false, cc_threshold: None },
-        OpCombo { objective: Objective::Tcr, leader_pins: true, cc_threshold: None },
-        OpCombo { objective: Objective::Lcr, leader_pins: true, cc_threshold: None },
+        OpCombo {
+            objective: Objective::Tcr,
+            leader_pins: false,
+            cc_threshold: None,
+        },
+        OpCombo {
+            objective: Objective::Lcr,
+            leader_pins: false,
+            cc_threshold: None,
+        },
+        OpCombo {
+            objective: Objective::Tcr,
+            leader_pins: true,
+            cc_threshold: None,
+        },
+        OpCombo {
+            objective: Objective::Lcr,
+            leader_pins: true,
+            cc_threshold: None,
+        },
     ];
     println!("# Fig. 8 — PDL (%) vs D_c,s\n");
     let labels: Vec<String> = combos.iter().map(OpCombo::label).collect();

@@ -1,0 +1,171 @@
+//! netbench — wall-clock throughput/latency of the networked runtime.
+//!
+//! Spins up an `n`-replica PBFT cluster where every replica is a real
+//! OS thread behind its own transport — localhost TCP sockets by
+//! default, in-memory loopback with `--loopback` — drives client
+//! proposals through the leader with a bounded pipeline window, and
+//! reports commit throughput plus p50/p99 proposal→commit latency as
+//! JSON.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p curb-bench --bin netbench -- \
+//!     [--n 4] [--proposals 200] [--payload 256] [--window 16] [--loopback]
+//! ```
+
+use curb_bench::{arg_flag, arg_value};
+use curb_consensus::{BytesPayload, Replica};
+use curb_net::{LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn spawn_tcp_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let transport = TcpTransport::bind(id, listener, addrs.clone(), TcpConfig::default())
+                .expect("bind transport");
+            NetRunner::spawn(Replica::new(id, n), transport, RunnerConfig::default())
+        })
+        .collect()
+}
+
+fn spawn_loopback_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
+    LoopbackTransport::<BytesPayload>::group(n)
+        .into_iter()
+        .enumerate()
+        .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, RunnerConfig::default()))
+        .collect()
+}
+
+fn main() {
+    let n: usize = arg_value("n").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let proposals: usize = arg_value("proposals")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let payload_size: usize = arg_value("payload")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let window: usize = arg_value("window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+        .max(1);
+    let loopback = arg_flag("loopback");
+    assert!((2..=64).contains(&n), "--n must be in 2..=64");
+    assert!(proposals > 0, "--proposals must be positive");
+
+    let handles = if loopback {
+        spawn_loopback_cluster(n)
+    } else {
+        spawn_tcp_cluster(n)
+    };
+    let leader = &handles[0];
+
+    // Pipeline proposals through the leader with at most `window`
+    // outstanding; latency is measured per sequence number from
+    // submission to the leader's own commit.
+    let mut submit_times: Vec<Instant> = Vec::with_capacity(proposals);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(proposals);
+    let started = Instant::now();
+    let mut submitted = 0usize;
+    let mut committed = 0usize;
+    while committed < proposals {
+        while submitted < proposals && submitted - committed < window {
+            let mut body = vec![0u8; payload_size];
+            body[..8.min(payload_size)]
+                .copy_from_slice(&(submitted as u64).to_be_bytes()[..8.min(payload_size)]);
+            submit_times.push(Instant::now());
+            assert!(leader.propose(BytesPayload(body)), "runner stopped early");
+            submitted += 1;
+        }
+        match leader.decisions.recv_timeout(Duration::from_secs(30)) {
+            Ok((seq, _)) => {
+                // Sequences are 1-based and commit in order.
+                let idx = (seq - 1) as usize;
+                if idx < submit_times.len() {
+                    latencies_ms.push(submit_times[idx].elapsed().as_secs_f64() * 1e3);
+                }
+                committed += 1;
+            }
+            Err(_) => {
+                eprintln!("timed out after {committed}/{proposals} commits");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Every replica must have committed the full prefix too.
+    let mut follower_commits = vec![0usize; n];
+    follower_commits[0] = committed;
+    for (r, h) in handles.iter().enumerate().skip(1) {
+        while h.decisions.recv_timeout(Duration::from_secs(10)).is_ok() {
+            follower_commits[r] += 1;
+            if follower_commits[r] == proposals {
+                break;
+            }
+        }
+    }
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
+    println!("{{");
+    println!("  \"bench\": \"netbench\",");
+    println!(
+        "  \"transport\": \"{}\",",
+        if loopback { "loopback" } else { "tcp" }
+    );
+    println!("  \"replicas\": {n},");
+    println!("  \"proposals\": {proposals},");
+    println!("  \"payload_bytes\": {payload_size},");
+    println!("  \"window\": {window},");
+    println!("  \"elapsed_s\": {elapsed:.4},");
+    println!(
+        "  \"throughput_commits_per_s\": {:.2},",
+        committed as f64 / elapsed
+    );
+    println!("  \"latency_ms\": {{");
+    println!("    \"mean\": {mean:.3},");
+    println!("    \"p50\": {:.3},", percentile(&latencies_ms, 0.50));
+    println!("    \"p99\": {:.3},", percentile(&latencies_ms, 0.99));
+    println!(
+        "    \"max\": {:.3}",
+        latencies_ms.last().copied().unwrap_or(0.0)
+    );
+    println!("  }},");
+    println!(
+        "  \"follower_commits\": [{}]",
+        follower_commits
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("}}");
+
+    let all_caught_up = follower_commits.iter().all(|&c| c == proposals);
+    for h in handles {
+        h.join();
+    }
+    if !all_caught_up {
+        eprintln!("warning: not every follower drained all {proposals} commits");
+        std::process::exit(2);
+    }
+}

@@ -10,7 +10,9 @@ use curb_graph::internet2;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = arg_value("out").unwrap_or_else(|| "results/topology.html".to_string());
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let topo = internet2();
     let mut net = CurbNetwork::new(&topo, CurbConfig::default())?;
     if arg_flag("byzantine") {

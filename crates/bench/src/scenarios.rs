@@ -1,7 +1,6 @@
 //! Scenario runners shared by the figure binaries and Criterion
 //! benches.
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb_assign::{solve, CapModel, Objective, SolveOptions};
 use curb_core::{ControllerBehavior, CurbConfig, CurbNetwork, Report};
@@ -292,11 +291,13 @@ pub fn pktin_sweep_f(values: &[usize], parallel: bool, rounds: usize) -> Vec<(us
 /// accuses the same (used, non-essential) controller, so the group
 /// leaders run a *real* OP re-solve whose cost — TCR versus LCR —
 /// flows into the request latency.
-fn measure_reassignment(
-    net: &mut CurbNetwork,
-    iteration: usize,
-) -> curb_core::RoundReport {
-    let used: Vec<usize> = net.epoch().assignment.used_controllers().into_iter().collect();
+fn measure_reassignment(net: &mut CurbNetwork, iteration: usize) -> curb_core::RoundReport {
+    let used: Vec<usize> = net
+        .epoch()
+        .assignment
+        .used_controllers()
+        .into_iter()
+        .collect();
     // Rotate the victim across iterations; avoid the final leader so
     // the committee stays live.
     let final_leader = net.epoch().final_leader();
@@ -339,7 +340,11 @@ pub fn reass_sweep_switches(
 
 /// Fig. 9(b)/(c): RE-ASS latency and throughput versus `f`. Each round
 /// runs on a fresh network.
-pub fn reass_sweep_f(values: &[usize], objective: Objective, rounds: usize) -> Vec<(usize, f64, f64)> {
+pub fn reass_sweep_f(
+    values: &[usize],
+    objective: Objective,
+    rounds: usize,
+) -> Vec<(usize, f64, f64)> {
     let topo = internet2();
     values
         .iter()
@@ -372,11 +377,8 @@ pub fn complexity_breakdown(n: usize) -> Vec<(&'static str, u64)> {
     let mut net = CurbNetwork::new(&topo, config).expect("synthetic topology feasible");
     // Warm-up round, then measure one steady round.
     net.run_round();
-    let before: Vec<(&'static str, u64)> = net
-        .message_stats()
-        .iter()
-        .map(|(k, c, _)| (k, c))
-        .collect();
+    let before: Vec<(&'static str, u64)> =
+        net.message_stats().iter().map(|(k, c, _)| (k, c)).collect();
     net.run_round();
     net.message_stats()
         .iter()

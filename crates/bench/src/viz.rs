@@ -25,8 +25,7 @@ fn project(topo: &Internet2, width: f64, height: f64) -> impl Fn(f64, f64) -> (f
     let margin = 40.0;
     move |lat: f64, lon: f64| {
         let x = margin + (lon - lon_min) / (lon_max - lon_min).max(1e-9) * (width - 2.0 * margin);
-        let y = margin
-            + (lat_max - lat) / (lat_max - lat_min).max(1e-9) * (height - 2.0 * margin);
+        let y = margin + (lat_max - lat) / (lat_max - lat_min).max(1e-9) * (height - 2.0 * margin);
         (x, y)
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::block::Block;
 use crate::transaction::{Transaction, TxId};
-use curb_crypto::sha256::Digest;
 use core::fmt;
+use curb_crypto::sha256::Digest;
 use std::collections::HashMap;
 
 /// Errors returned when appending or verifying blocks.
@@ -91,17 +91,17 @@ impl Blockchain {
         let mut tx_index = HashMap::new();
         for block in &blocks {
             for (i, tx) in block.txs.iter().enumerate() {
-                if tx_index
-                    .insert(tx.id(), (block.header.height, i))
-                    .is_some()
-                {
+                if tx_index.insert(tx.id(), (block.header.height, i)).is_some() {
                     return Err(ChainError::DuplicateTx(tx.id()));
                 }
             }
         }
         let chain = Blockchain { blocks, tx_index };
         if chain.blocks.is_empty() {
-            return Err(ChainError::WrongHeight { expected: 0, got: u64::MAX });
+            return Err(ChainError::WrongHeight {
+                expected: 0,
+                got: u64::MAX,
+            });
         }
         chain.verify()?;
         Ok(chain)
@@ -293,7 +293,10 @@ mod tests {
         b.header.height = 5;
         assert!(matches!(
             c.append(b),
-            Err(ChainError::WrongHeight { expected: 2, got: 5 })
+            Err(ChainError::WrongHeight {
+                expected: 2,
+                got: 5
+            })
         ));
         assert_eq!(c.height(), 1, "failed append must not change the chain");
     }
@@ -375,7 +378,8 @@ mod tests {
     #[test]
     fn per_switch_audit_trail() {
         let mut c = Blockchain::with_genesis(b"init");
-        c.append(Block::next(c.tip(), vec![tx(1), tx(2)], 1)).unwrap();
+        c.append(Block::next(c.tip(), vec![tx(1), tx(2)], 1))
+            .unwrap();
         c.append(Block::next(c.tip(), vec![tx(1)], 2)).unwrap_err(); // duplicate
         let mut t3 = tx(1);
         t3.config = vec![9]; // same switch, new content
@@ -391,7 +395,8 @@ mod tests {
     fn reassignment_history() {
         let mut c = Blockchain::with_genesis(b"init");
         let reass = Transaction::new(RequestKind::Reassign, 3, 0, vec![7]);
-        c.append(Block::next(c.tip(), vec![tx(1), reass], 1)).unwrap();
+        c.append(Block::next(c.tip(), vec![tx(1), reass], 1))
+            .unwrap();
         let history = c.reassignments();
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].1.switch, 3);
@@ -400,7 +405,10 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         let errors: Vec<ChainError> = vec![
-            ChainError::WrongHeight { expected: 1, got: 2 },
+            ChainError::WrongHeight {
+                expected: 1,
+                got: 2,
+            },
             ChainError::BrokenLink,
             ChainError::MerkleMismatch,
             ChainError::BadSignature(Digest::ZERO),

@@ -8,9 +8,9 @@
 use crate::block::{Block, BlockHeader};
 use crate::chain::{Blockchain, ChainError};
 use crate::transaction::{RequestKind, Transaction};
+use core::fmt;
 use curb_crypto::sha256::Digest;
 use curb_crypto::{PublicKey, Signature};
-use core::fmt;
 
 /// File magic: `CURBCHN` plus a format version byte.
 const MAGIC: &[u8; 8] = b"CURBCHN\x01";
@@ -41,12 +41,39 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-struct Reader<'a> {
+/// A cursor over a byte buffer with big-endian primitive accessors.
+///
+/// Used internally to decode persisted chains, and publicly by
+/// `curb-net` to decode consensus wire frames — both formats share the
+/// same primitive layout (big-endian integers, 32-byte digests,
+/// u32-length-prefixed byte strings).
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
     buf: &'a [u8],
 }
 
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+impl<'a> ByteReader<'a> {
+    /// Wraps `buf` for reading from its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.buf.len() < n {
             return Err(CodecError::Truncated);
         }
@@ -55,25 +82,55 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
-    fn digest(&mut self) -> Result<Digest, CodecError> {
+    /// Reads a 32-byte digest.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 32 bytes remain.
+    pub fn digest(&mut self) -> Result<Digest, CodecError> {
         let mut d = [0u8; 32];
         d.copy_from_slice(self.take(32)?);
         Ok(Digest(d))
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+    /// Reads a u32-length-prefixed byte string (capped at 64 MiB).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] on short input,
+    /// [`CodecError::Corrupt`] on an implausible length prefix.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
         let len = self.u32()? as usize;
         if len > 64 << 20 {
             return Err(CodecError::Corrupt("oversized byte field"));
@@ -82,7 +139,9 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+/// Appends a u32-length-prefixed byte string (the inverse of
+/// [`ByteReader::bytes`]).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     out.extend_from_slice(bytes);
 }
@@ -106,7 +165,7 @@ fn encode_tx(out: &mut Vec<u8>, tx: &Transaction) {
     }
 }
 
-fn decode_tx(r: &mut Reader<'_>) -> Result<Transaction, CodecError> {
+fn decode_tx(r: &mut ByteReader<'_>) -> Result<Transaction, CodecError> {
     let kind = match r.u8()? {
         0 => RequestKind::PacketIn,
         1 => RequestKind::Reassign,
@@ -159,7 +218,7 @@ impl Blockchain {
     /// Returns a [`CodecError`] on malformed input or if the decoded
     /// chain fails verification (e.g. the file was tampered with).
     pub fn from_bytes(bytes: &[u8]) -> Result<Blockchain, CodecError> {
-        let mut r = Reader { buf: bytes };
+        let mut r = ByteReader::new(bytes);
         if r.take(8)? != MAGIC {
             return Err(CodecError::BadMagic);
         }

@@ -30,12 +30,12 @@
 
 mod block;
 mod chain;
-mod codec;
+pub mod codec;
 mod merkle;
 mod transaction;
 
 pub use block::{Block, BlockHeader};
 pub use chain::{Blockchain, ChainError};
-pub use codec::CodecError;
+pub use codec::{put_bytes, ByteReader, CodecError};
 pub use merkle::merkle_root;
 pub use transaction::{RequestKind, Transaction, TxId};

@@ -1,8 +1,8 @@
 //! Transactions: the unit of recorded SDN operations.
 
+use core::fmt;
 use curb_crypto::sha256::{digest_parts, Digest};
 use curb_crypto::{PublicKey, Signature};
-use core::fmt;
 
 /// Identifier of a transaction (the digest of its canonical encoding,
 /// excluding the signature).
@@ -87,11 +87,7 @@ impl Transaction {
 
     /// Attaches a signature produced by `keys` over
     /// [`Transaction::signing_bytes`].
-    pub fn sign(
-        &mut self,
-        keys: &curb_crypto::KeyPair,
-        rng: &mut curb_crypto::rng::DetRng,
-    ) {
+    pub fn sign(&mut self, keys: &curb_crypto::KeyPair, rng: &mut curb_crypto::rng::DetRng) {
         let sig = keys.sign(&self.signing_bytes(), rng);
         self.signature = Some((keys.public(), sig));
     }

@@ -54,7 +54,12 @@ impl<P: Payload + Default> Cluster<P> {
     /// Proposes `payload` at the leader of the highest view currently
     /// held by any replica.
     pub fn propose(&mut self, payload: P) {
-        let view = self.replicas.iter().map(|r| r.view()).max().expect("non-empty");
+        let view = self
+            .replicas
+            .iter()
+            .map(|r| r.view())
+            .max()
+            .expect("non-empty");
         let leader = (view % self.n() as u64) as ReplicaId;
         self.propose_at(leader, payload);
     }
@@ -423,9 +428,7 @@ mod tests {
         }
         c.propose(p(b"big"));
         c.run_to_quiescence();
-        let deciders = (0..n)
-            .filter(|&r| !c.decisions(r).is_empty())
-            .count();
+        let deciders = (0..n).filter(|&r| !c.decisions(r).is_empty()).count();
         assert_eq!(deciders, n - 4);
         assert!(c.agreement_holds());
     }

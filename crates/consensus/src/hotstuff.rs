@@ -296,12 +296,18 @@ impl<P: Payload + Default> HotStuffReplica<P> {
             HotStuffMsg::Prepare { view, seq, payload } => {
                 self.on_prepare(from, view, seq, payload)
             }
-            HotStuffMsg::Vote { view, seq, digest, phase } => {
-                self.on_vote(from, view, seq, digest, phase)
-            }
-            HotStuffMsg::Advance { view, seq, digest, phase } => {
-                self.on_advance(from, view, seq, digest, phase)
-            }
+            HotStuffMsg::Vote {
+                view,
+                seq,
+                digest,
+                phase,
+            } => self.on_vote(from, view, seq, digest, phase),
+            HotStuffMsg::Advance {
+                view,
+                seq,
+                digest,
+                phase,
+            } => self.on_advance(from, view, seq, digest, phase),
             HotStuffMsg::Decide { view, seq, payload } => self.on_decide(from, view, seq, payload),
             HotStuffMsg::NewView { new_view, locked } => self.on_new_view(from, new_view, locked),
         }
@@ -318,7 +324,13 @@ impl<P: Payload + Default> HotStuffReplica<P> {
         }
     }
 
-    fn on_prepare(&mut self, from: ReplicaId, view: View, seq: Seq, payload: P) -> Vec<HsOutbound<P>> {
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        payload: P,
+    ) -> Vec<HsOutbound<P>> {
         if view != self.view || from != self.leader_of(view) || seq < self.next_deliver {
             return Vec::new();
         }
@@ -343,7 +355,12 @@ impl<P: Payload + Default> HotStuffReplica<P> {
         let vote = self.vote_digest(digest);
         vec![HsOutbound {
             dest: Dest::To(self.leader_of(view)),
-            msg: HotStuffMsg::Vote { view, seq, digest: vote, phase: 1 },
+            msg: HotStuffMsg::Vote {
+                view,
+                seq,
+                digest: vote,
+                phase: 1,
+            },
         }]
     }
 
@@ -389,11 +406,19 @@ impl<P: Payload + Default> HotStuffReplica<P> {
                 inst.votes[(phase - 1) as usize].insert(id);
                 if phase == 3 {
                     // Leader reaches the commit phase: it locks too.
-                    inst.locked = Some((digest, inst.payload.clone().expect("digest implies payload")));
+                    inst.locked = Some((
+                        digest,
+                        inst.payload.clone().expect("digest implies payload"),
+                    ));
                 }
                 out.push(HsOutbound {
                     dest: Dest::Broadcast,
-                    msg: HotStuffMsg::Advance { view, seq, digest, phase },
+                    msg: HotStuffMsg::Advance {
+                        view,
+                        seq,
+                        digest,
+                        phase,
+                    },
                 });
             }
         }
@@ -431,15 +456,29 @@ impl<P: Payload + Default> HotStuffReplica<P> {
         inst.voted_phase = phase;
         if phase == 3 {
             // Seeing the COMMIT phase locks the value.
-            inst.locked = Some((digest, inst.payload.clone().expect("digest implies payload")));
+            inst.locked = Some((
+                digest,
+                inst.payload.clone().expect("digest implies payload"),
+            ));
         }
         vec![HsOutbound {
             dest: Dest::To(leader),
-            msg: HotStuffMsg::Vote { view, seq, digest: vote, phase },
+            msg: HotStuffMsg::Vote {
+                view,
+                seq,
+                digest: vote,
+                phase,
+            },
         }]
     }
 
-    fn on_decide(&mut self, from: ReplicaId, view: View, seq: Seq, payload: P) -> Vec<HsOutbound<P>> {
+    fn on_decide(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: Seq,
+        payload: P,
+    ) -> Vec<HsOutbound<P>> {
         if from != self.leader_of(view) || seq < self.next_deliver {
             return Vec::new();
         }
@@ -483,7 +522,10 @@ impl<P: Payload + Default> HotStuffReplica<P> {
         let next_leader = self.leader_of(target);
         let mut out = vec![HsOutbound {
             dest: Dest::To(next_leader),
-            msg: HotStuffMsg::NewView { new_view: target, locked },
+            msg: HotStuffMsg::NewView {
+                new_view: target,
+                locked,
+            },
         }];
         out.extend(self.maybe_enter_view(target));
         out
@@ -617,7 +659,12 @@ impl<P: Payload + Default> HsCluster<P> {
 
     /// Proposes at the current leader.
     pub fn propose(&mut self, payload: P) {
-        let view = self.replicas.iter().map(|r| r.view()).max().expect("non-empty");
+        let view = self
+            .replicas
+            .iter()
+            .map(|r| r.view())
+            .max()
+            .expect("non-empty");
         let leader = (view % self.n() as u64) as ReplicaId;
         if let Ok(out) = self.replicas[leader].propose(payload) {
             self.enqueue(leader, out);

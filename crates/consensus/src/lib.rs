@@ -51,6 +51,6 @@ pub use cluster::Cluster;
 pub use core_select::{BftCore, CoreKind, CoreMsg};
 pub use hotstuff::{HotStuffMsg, HotStuffReplica, HsCluster, HsOutbound};
 pub use messages::{Dest, Outbound, PbftMsg};
-pub use payload::{BytesPayload, Payload};
+pub use payload::{BytesPayload, Payload, PayloadCodec};
 pub use replica::{Behavior, NotLeader, Replica, ReplicaId, Seq, View};
 pub use tendermint::{TendermintMsg, TendermintReplica, TmCluster, TmOutbound};

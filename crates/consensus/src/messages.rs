@@ -72,10 +72,16 @@ impl<P: Payload> PbftMsg<P> {
             PbftMsg::PrePrepare { payload, .. } => 56 + payload.wire_size(),
             PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 56,
             PbftMsg::ViewChange { prepared, .. } => {
-                24 + prepared.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+                24 + prepared
+                    .iter()
+                    .map(|(_, p)| 8 + p.wire_size())
+                    .sum::<usize>()
             }
             PbftMsg::NewView { reproposals, .. } => {
-                24 + reproposals.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+                24 + reproposals
+                    .iter()
+                    .map(|(_, p)| 8 + p.wire_size())
+                    .sum::<usize>()
             }
         }
     }
@@ -138,13 +144,26 @@ mod tests {
         let d = crate::Payload::digest(&p);
         let msgs: Vec<PbftMsg<BytesPayload>> = vec![
             pp(0),
-            PbftMsg::Prepare { view: 0, seq: 1, digest: d },
-            PbftMsg::Commit { view: 0, seq: 1, digest: d },
-            PbftMsg::ViewChange { new_view: 1, prepared: vec![] },
-            PbftMsg::NewView { view: 1, reproposals: vec![] },
+            PbftMsg::Prepare {
+                view: 0,
+                seq: 1,
+                digest: d,
+            },
+            PbftMsg::Commit {
+                view: 0,
+                seq: 1,
+                digest: d,
+            },
+            PbftMsg::ViewChange {
+                new_view: 1,
+                prepared: vec![],
+            },
+            PbftMsg::NewView {
+                view: 1,
+                reproposals: vec![],
+            },
         ];
-        let cats: std::collections::HashSet<&str> =
-            msgs.iter().map(|m| m.category()).collect();
+        let cats: std::collections::HashSet<&str> = msgs.iter().map(|m| m.category()).collect();
         assert_eq!(cats.len(), 5);
     }
 
@@ -152,7 +171,11 @@ mod tests {
     fn wire_size_scales_with_payload() {
         assert!(pp(1000).wire_size() > pp(10).wire_size());
         let d = crate::Payload::digest(&BytesPayload(vec![]));
-        let prepare: PbftMsg<BytesPayload> = PbftMsg::Prepare { view: 0, seq: 1, digest: d };
+        let prepare: PbftMsg<BytesPayload> = PbftMsg::Prepare {
+            view: 0,
+            seq: 1,
+            digest: d,
+        };
         assert_eq!(prepare.wire_size(), 56);
     }
 }

@@ -15,6 +15,24 @@ pub trait Payload: Clone + PartialEq {
     fn wire_size(&self) -> usize;
 }
 
+/// Payloads that can cross a real network boundary.
+///
+/// The sans-io consensus core never serialises payloads itself — the
+/// simulator and the synchronous [`Cluster`](crate::Cluster) pass them
+/// by value. A real transport (`curb-net`) additionally needs a byte
+/// representation; implementing this trait is the only hook a payload
+/// type must provide to run over TCP.
+pub trait PayloadCodec: Sized {
+    /// Appends this payload's byte representation to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Rebuilds a payload from the bytes written by
+    /// [`PayloadCodec::encode_payload`]. Returns `None` on malformed
+    /// input — implementations must never panic on attacker-controlled
+    /// bytes.
+    fn decode_payload(bytes: &[u8]) -> Option<Self>;
+}
+
 /// A trivial byte-vector payload, used by tests and benchmarks. The
 /// [`Default`] value (empty bytes) doubles as the no-op filler that view
 /// changes use for sequence holes.
@@ -28,6 +46,16 @@ impl Payload for BytesPayload {
 
     fn wire_size(&self) -> usize {
         self.0.len()
+    }
+}
+
+impl PayloadCodec for BytesPayload {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        Some(BytesPayload(bytes.to_vec()))
     }
 }
 
@@ -50,5 +78,17 @@ mod tests {
     #[test]
     fn wire_size_is_length() {
         assert_eq!(BytesPayload(vec![0; 17]).wire_size(), 17);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let p = BytesPayload(vec![1, 2, 3, 255, 0]);
+        let mut bytes = Vec::new();
+        p.encode_payload(&mut bytes);
+        assert_eq!(BytesPayload::decode_payload(&bytes), Some(p));
+        assert_eq!(
+            BytesPayload::decode_payload(&[]),
+            Some(BytesPayload::default())
+        );
     }
 }

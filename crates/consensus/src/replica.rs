@@ -205,11 +205,7 @@ impl<P: Payload + Default> Replica<P> {
     ///
     /// Returns [`NotLeader`] if this replica does not lead the current
     /// view.
-    pub fn propose_equivocating(
-        &mut self,
-        a: P,
-        b: P,
-    ) -> Result<Vec<Outbound<P>>, NotLeader> {
+    pub fn propose_equivocating(&mut self, a: P, b: P) -> Result<Vec<Outbound<P>>, NotLeader> {
         if !self.is_leader() {
             return Err(NotLeader {
                 leader: self.leader_of(self.view),
@@ -634,7 +630,14 @@ mod tests {
         let out = r.propose(payload(b"x")).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dest, Dest::Broadcast);
-        assert!(matches!(out[0].msg, PbftMsg::PrePrepare { seq: 1, view: 0, .. }));
+        assert!(matches!(
+            out[0].msg,
+            PbftMsg::PrePrepare {
+                seq: 1,
+                view: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -683,12 +686,22 @@ mod tests {
         let b = payload(b"b");
         let out1 = r.on_message(
             0,
-            PbftMsg::PrePrepare { view: 0, seq: 1, digest: a.digest(), payload: a.clone() },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: a.digest(),
+                payload: a.clone(),
+            },
         );
         assert_eq!(out1.len(), 1, "prepare for the first proposal");
         let out2 = r.on_message(
             0,
-            PbftMsg::PrePrepare { view: 0, seq: 1, digest: b.digest(), payload: b },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: b.digest(),
+                payload: b,
+            },
         );
         assert!(out2.is_empty(), "conflicting proposal ignored");
     }
@@ -701,7 +714,14 @@ mod tests {
         assert!(r.start_view_change().is_empty());
         let p = payload(b"y");
         assert!(r
-            .on_message(1, PbftMsg::Prepare { view: 0, seq: 1, digest: p.digest() })
+            .on_message(
+                1,
+                PbftMsg::Prepare {
+                    view: 0,
+                    seq: 1,
+                    digest: p.digest()
+                }
+            )
             .is_empty());
     }
 
@@ -712,7 +732,12 @@ mod tests {
         let p = payload(b"x");
         let out = r.on_message(
             0,
-            PbftMsg::PrePrepare { view: 0, seq: 1, digest: p.digest(), payload: p.clone() },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: p.digest(),
+                payload: p.clone(),
+            },
         );
         match &out[0].msg {
             PbftMsg::Prepare { digest, .. } => assert_ne!(*digest, p.digest()),
@@ -734,13 +759,24 @@ mod tests {
         // rejected.
         let mut r = Replica::<BytesPayload>::new(2, 4);
         // Deliver NEW-VIEW from replica 1 (leader of view 1).
-        let out = r.on_message(1, PbftMsg::NewView { view: 1, reproposals: vec![] });
+        let out = r.on_message(
+            1,
+            PbftMsg::NewView {
+                view: 1,
+                reproposals: vec![],
+            },
+        );
         assert!(out.is_empty());
         assert_eq!(r.view(), 1);
         let p = payload(b"late");
         let out = r.on_message(
             0,
-            PbftMsg::PrePrepare { view: 0, seq: 1, digest: p.digest(), payload: p },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: p.digest(),
+                payload: p,
+            },
         );
         assert!(out.is_empty());
     }
@@ -748,7 +784,13 @@ mod tests {
     #[test]
     fn new_view_only_accepted_from_its_leader() {
         let mut r = Replica::<BytesPayload>::new(2, 4);
-        let out = r.on_message(3, PbftMsg::NewView { view: 1, reproposals: vec![] });
+        let out = r.on_message(
+            3,
+            PbftMsg::NewView {
+                view: 1,
+                reproposals: vec![],
+            },
+        );
         assert!(out.is_empty());
         assert_eq!(r.view(), 0, "NEW-VIEW from wrong leader rejected");
     }

@@ -244,11 +244,7 @@ impl<P: Payload + Default> TendermintReplica<P> {
 
     fn lead_round(&mut self, seq: Seq, payload: P) -> Vec<TmOutbound<P>> {
         let digest = payload.digest();
-        let round = self
-            .instances
-            .get(&seq)
-            .map(|i| i.round)
-            .unwrap_or(0);
+        let round = self.instances.get(&seq).map(|i| i.round).unwrap_or(0);
         {
             let inst = self.instances.entry(seq).or_default();
             inst.proposal = Some((digest, payload.clone()));
@@ -262,11 +258,19 @@ impl<P: Payload + Default> TendermintReplica<P> {
         let mut out = vec![
             TmOutbound {
                 dest: Dest::Broadcast,
-                msg: TendermintMsg::Proposal { seq, round, payload },
+                msg: TendermintMsg::Proposal {
+                    seq,
+                    round,
+                    payload,
+                },
             },
             TmOutbound {
                 dest: Dest::Broadcast,
-                msg: TendermintMsg::Prevote { seq, round, digest: Some(digest) },
+                msg: TendermintMsg::Prevote {
+                    seq,
+                    round,
+                    digest: Some(digest),
+                },
             },
         ];
         out.extend(self.check_tallies(seq));
@@ -279,9 +283,11 @@ impl<P: Payload + Default> TendermintReplica<P> {
             return Vec::new();
         }
         match msg {
-            TendermintMsg::Proposal { seq, round, payload } => {
-                self.on_proposal(from, seq, round, payload)
-            }
+            TendermintMsg::Proposal {
+                seq,
+                round,
+                payload,
+            } => self.on_proposal(from, seq, round, payload),
             TendermintMsg::Prevote { seq, round, digest } => {
                 self.on_prevote(from, seq, round, digest)
             }
@@ -334,7 +340,11 @@ impl<P: Payload + Default> TendermintReplica<P> {
         inst.prevotes.entry((round, vote)).or_default().insert(id);
         let mut out = vec![TmOutbound {
             dest: Dest::Broadcast,
-            msg: TendermintMsg::Prevote { seq, round, digest: vote },
+            msg: TendermintMsg::Prevote {
+                seq,
+                round,
+                digest: vote,
+            },
         }];
         out.extend(self.check_tallies(seq));
         out
@@ -351,7 +361,10 @@ impl<P: Payload + Default> TendermintReplica<P> {
             return Vec::new();
         }
         let inst = self.instances.entry(seq).or_default();
-        inst.prevotes.entry((round, digest)).or_default().insert(from);
+        inst.prevotes
+            .entry((round, digest))
+            .or_default()
+            .insert(from);
         self.check_tallies(seq)
     }
 
@@ -366,7 +379,10 @@ impl<P: Payload + Default> TendermintReplica<P> {
             return Vec::new();
         }
         let inst = self.instances.entry(seq).or_default();
-        inst.precommits.entry((round, digest)).or_default().insert(from);
+        inst.precommits
+            .entry((round, digest))
+            .or_default()
+            .insert(from);
         self.check_tallies(seq)
     }
 
@@ -415,7 +431,11 @@ impl<P: Payload + Default> TendermintReplica<P> {
                     inst.precommits.entry((round, vote)).or_default().insert(id);
                     out.push(TmOutbound {
                         dest: Dest::Broadcast,
-                        msg: TendermintMsg::Precommit { seq, round, digest: vote },
+                        msg: TendermintMsg::Precommit {
+                            seq,
+                            round,
+                            digest: vote,
+                        },
                     });
                     continue; // tallies changed
                 }
@@ -490,7 +510,11 @@ impl<P: Payload + Default> TendermintReplica<P> {
             inst.precommits.entry((round, None)).or_default().insert(id);
             out.push(TmOutbound {
                 dest: Dest::Broadcast,
-                msg: TendermintMsg::Precommit { seq, round, digest: None },
+                msg: TendermintMsg::Precommit {
+                    seq,
+                    round,
+                    digest: None,
+                },
             });
             out.extend(self.check_tallies(seq));
         }

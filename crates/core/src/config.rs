@@ -176,13 +176,18 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = CurbConfig::default().with_f(4).with_parallel(true).with_seed(9);
+        let c = CurbConfig::default()
+            .with_f(4)
+            .with_parallel(true)
+            .with_seed(9);
         assert_eq!(c.group_size(), 13);
         assert_eq!(c.mode, PlaneMode::Grouped { parallel: true });
         assert_eq!(c.seed, 9);
         assert_eq!(CurbConfig::default().flat().mode, PlaneMode::Flat);
         assert_eq!(
-            CurbConfig::default().with_core(CoreKind::HotStuff).consensus_core,
+            CurbConfig::default()
+                .with_core(CoreKind::HotStuff)
+                .consensus_core,
             CoreKind::HotStuff
         );
     }

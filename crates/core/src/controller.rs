@@ -249,8 +249,11 @@ impl ControllerActor {
             if block.header.height != self.chain.height() + 1 {
                 continue;
             }
-            let protos: Vec<ProtoTx> =
-                block.txs.iter().filter_map(ProtoTx::from_chain_tx).collect();
+            let protos: Vec<ProtoTx> = block
+                .txs
+                .iter()
+                .filter_map(ProtoTx::from_chain_tx)
+                .collect();
             if self.chain.append(block.clone()).is_err() {
                 return;
             }
@@ -448,9 +451,8 @@ impl ControllerActor {
                 // profile. Coefficients approximate the release-build
                 // solver (~1 µs per branch-and-bound node, ~150 µs per
                 // assignment subproblem).
-                let cost = Duration::from_micros(
-                    solution.stats.nodes + 150 * solution.stats.leaf_evals,
-                );
+                let cost =
+                    Duration::from_micros(solution.stats.nodes + 150 * solution.stats.leaf_evals);
                 Some((ConfigData::NewAssignment { groups }, cost))
             }
         }
@@ -577,7 +579,10 @@ impl ControllerActor {
         let next = self.watch_seq;
         let attempt = (attempt + 1).min(3);
         self.watches.insert(next, (gid, key, attempt));
-        ctx.set_timer(self.shared.config.timeout * (1 << attempt), TAG_WATCH | next);
+        ctx.set_timer(
+            self.shared.config.timeout * (1 << attempt),
+            TAG_WATCH | next,
+        );
         self.pump_group(ctx, gid);
     }
 
@@ -629,7 +634,12 @@ impl ControllerActor {
     /// Intra-group consensus completed for `list` (Algorithm 3, line
     /// 11-12): certify to the final committee, or — in the flat
     /// baseline — finalise directly.
-    fn on_intra_decided(&mut self, ctx: &mut Context<'_, CurbMsg>, gid: usize, list: TxListPayload) {
+    fn on_intra_decided(
+        &mut self,
+        ctx: &mut Context<'_, CurbMsg>,
+        gid: usize,
+        list: TxListPayload,
+    ) {
         match self.shared.config.mode {
             PlaneMode::Grouped { .. } => {
                 let members = self.epoch.final_com.clone();
@@ -699,10 +709,7 @@ impl ControllerActor {
             .or_insert_with(|| (txs, BTreeSet::new()));
         entry.1.insert(from);
         if entry.1.len() > self.shared.config.f {
-            let (list, _) = self
-                .agree_votes
-                .remove(&digest)
-                .expect("entry exists");
+            let (list, _) = self.agree_votes.remove(&digest).expect("entry exists");
             self.buffered_lists.insert(digest);
             self.groups_seen.insert(group.0);
             self.block_buffer.push(list);
@@ -828,7 +835,11 @@ impl ControllerActor {
     /// Validates and appends a block, then replies to governed switches
     /// (Algorithm 3 lines 26-31).
     fn accept_block(&mut self, ctx: &mut Context<'_, CurbMsg>, block: Block) {
-        let protos: Vec<ProtoTx> = block.txs.iter().filter_map(ProtoTx::from_chain_tx).collect();
+        let protos: Vec<ProtoTx> = block
+            .txs
+            .iter()
+            .filter_map(ProtoTx::from_chain_tx)
+            .collect();
         if self.chain.append(block).is_err() {
             return;
         }
@@ -923,7 +934,9 @@ impl Actor<CurbMsg> for ControllerActor {
                 };
                 self.on_final_agree(ctx, sender, block);
             }
-            CurbMsg::HostPacket { .. } | CurbMsg::Reply { .. } | CurbMsg::TriggerReassign { .. } => {
+            CurbMsg::HostPacket { .. }
+            | CurbMsg::Reply { .. }
+            | CurbMsg::TriggerReassign { .. } => {
                 // Not addressed to controllers; ignore.
             }
         }

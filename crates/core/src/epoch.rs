@@ -76,7 +76,10 @@ impl Epoch {
     ) -> Epoch {
         let n_switches = assignment.n_switches();
         assert!(
-            assignment.used_controllers().iter().all(|&j| j < keys.len()),
+            assignment
+                .used_controllers()
+                .iter()
+                .all(|&j| j < keys.len()),
             "assignment references unknown controllers"
         );
         // Deduplicate controller sets.
@@ -100,8 +103,10 @@ impl Epoch {
         for (new_gid, &old_gid) in order.iter().enumerate() {
             remap[old_gid] = new_gid;
         }
-        let group_of_switch: Vec<GroupId> =
-            group_of_switch.into_iter().map(|g| GroupId(remap[g])).collect();
+        let group_of_switch: Vec<GroupId> = group_of_switch
+            .into_iter()
+            .map(|g| GroupId(remap[g]))
+            .collect();
         let groups: Vec<Group> = order
             .iter()
             .map(|&old| {
@@ -124,7 +129,10 @@ impl Epoch {
         let committee_size = 3 * f + 1;
         let mut final_com: Vec<usize> = Vec::new();
         let mut elected: BTreeSet<usize> = BTreeSet::new();
-        let distinct: BTreeSet<usize> = groups.iter().flat_map(|g| g.members.iter().copied()).collect();
+        let distinct: BTreeSet<usize> = groups
+            .iter()
+            .flat_map(|g| g.members.iter().copied())
+            .collect();
         let target = committee_size.min(distinct.len());
         'outer: loop {
             let before = final_com.len();
@@ -203,7 +211,9 @@ mod tests {
 
     fn keys(n: usize) -> Vec<PublicKey> {
         let mut rng = DetRng::new(777);
-        (0..n).map(|_| KeyPair::generate(&mut rng).public()).collect()
+        (0..n)
+            .map(|_| KeyPair::generate(&mut rng).public())
+            .collect()
     }
 
     fn epoch_from(groups: Vec<Vec<usize>>, n_ctrl: usize, f: usize) -> Epoch {

@@ -75,7 +75,10 @@ impl Report {
 
     /// First round in which a reassignment was applied, if any.
     pub fn first_reassignment_round(&self) -> Option<usize> {
-        self.rounds.iter().find(|r| r.reassignments > 0).map(|r| r.round)
+        self.rounds
+            .iter()
+            .find(|r| r.reassignments > 0)
+            .map(|r| r.round)
     }
 }
 

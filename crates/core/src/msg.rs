@@ -69,8 +69,7 @@ impl Message for CurbMsg {
         match self {
             CurbMsg::HostPacket { packet } => packet.wire_size(),
             CurbMsg::Request(req) => {
-                64 + req.record.signing_bytes().len()
-                    + if req.signature.is_some() { 96 } else { 0 }
+                64 + req.record.signing_bytes().len() + if req.signature.is_some() { 96 } else { 0 }
             }
             CurbMsg::Reply { config, .. } => 48 + config.wire_size(),
             CurbMsg::IntraPbft { msg, .. } => 8 + msg.wire_size(),

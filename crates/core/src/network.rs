@@ -161,10 +161,12 @@ impl CurbNetwork {
         }
 
         let mut rng = DetRng::new(config.seed);
-        let controller_keys: Vec<KeyPair> =
-            (0..plan.n_controllers).map(|_| KeyPair::generate(&mut rng)).collect();
-        let switch_keys: Vec<KeyPair> =
-            (0..plan.n_switches).map(|_| KeyPair::generate(&mut rng)).collect();
+        let controller_keys: Vec<KeyPair> = (0..plan.n_controllers)
+            .map(|_| KeyPair::generate(&mut rng))
+            .collect();
+        let switch_keys: Vec<KeyPair> = (0..plan.n_switches)
+            .map(|_| KeyPair::generate(&mut rng))
+            .collect();
         let public_keys = controller_keys.iter().map(|k| k.public()).collect();
 
         let shared = Arc::new(Shared {
@@ -180,8 +182,8 @@ impl CurbNetwork {
         let assignment = match shared.config.mode {
             PlaneMode::Grouped { .. } => {
                 let model = shared.base_model();
-                let solution = solve(&model, &shared.initial_options())
-                    .map_err(SetupError::Assignment)?;
+                let solution =
+                    solve(&model, &shared.initial_options()).map_err(SetupError::Assignment)?;
                 solution.assignment
             }
             PlaneMode::Flat => {
@@ -250,10 +252,7 @@ impl CurbNetwork {
             sim.set_service_time(NodeId(c), shared.config.controller_service);
         }
         for s in 0..plan.n_switches {
-            sim.set_service_time(
-                NodeId(plan.n_controllers + s),
-                shared.config.switch_service,
-            );
+            sim.set_service_time(NodeId(plan.n_controllers + s), shared.config.switch_service);
         }
 
         Ok(CurbNetwork {
@@ -331,7 +330,10 @@ impl CurbNetwork {
     /// The blockchain of the first honest controller.
     pub fn blockchain(&self) -> &Blockchain {
         let c = self.honest_controller();
-        match self.sim.actor(self.shared.plan.controller_node(ControllerId(c))) {
+        match self
+            .sim
+            .actor(self.shared.plan.controller_node(ControllerId(c)))
+        {
             CurbNode::Controller(actor) => actor.chain(),
             CurbNode::Switch(_) => unreachable!("node plan maps controllers first"),
         }
@@ -375,10 +377,12 @@ impl CurbNetwork {
     fn honest_controller(&self) -> usize {
         (0..self.shared.plan.n_controllers)
             .find(|&c| {
-                match self.sim.actor(self.shared.plan.controller_node(ControllerId(c))) {
+                match self
+                    .sim
+                    .actor(self.shared.plan.controller_node(ControllerId(c)))
+                {
                     CurbNode::Controller(actor) => {
-                        actor.behavior() == ControllerBehavior::Honest
-                            && !self.removed[c]
+                        actor.behavior() == ControllerBehavior::Honest && !self.removed[c]
                     }
                     CurbNode::Switch(_) => false,
                 }
@@ -603,10 +607,8 @@ impl CurbNetwork {
                             removed_so_far.extend(accused.iter().copied());
                         }
                         if let ConfigData::NewAssignment { groups } = proto.config {
-                            let uses_removed = groups
-                                .iter()
-                                .flatten()
-                                .any(|c| removed_so_far.contains(c));
+                            let uses_removed =
+                                groups.iter().flatten().any(|c| removed_so_far.contains(c));
                             if !uses_removed {
                                 latest = Some(groups);
                             }
@@ -676,17 +678,22 @@ impl CurbNetwork {
                 )
             })
             .max_by_key(|&c| {
-                match self.sim.actor(self.shared.plan.controller_node(ControllerId(c))) {
+                match self
+                    .sim
+                    .actor(self.shared.plan.controller_node(ControllerId(c)))
+                {
                     CurbNode::Controller(a) => a.chain().height(),
                     CurbNode::Switch(_) => 0,
                 }
             })
             .unwrap_or(0);
-        let reference: Vec<curb_chain::Block> =
-            match self.sim.actor(self.shared.plan.controller_node(ControllerId(best))) {
-                CurbNode::Controller(a) => a.chain().iter().cloned().collect(),
-                CurbNode::Switch(_) => return,
-            };
+        let reference: Vec<curb_chain::Block> = match self
+            .sim
+            .actor(self.shared.plan.controller_node(ControllerId(best)))
+        {
+            CurbNode::Controller(a) => a.chain().iter().cloned().collect(),
+            CurbNode::Switch(_) => return,
+        };
         let tip_height = reference.last().map_or(0, |b| b.header.height);
         for c in 0..self.shared.plan.n_controllers {
             let node = self.shared.plan.controller_node(ControllerId(c));

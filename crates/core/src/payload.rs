@@ -471,12 +471,17 @@ mod tests {
     fn proto_tx_roundtrips_through_chain() {
         for kind in [
             ReqKind::PktIn { dst_host: 123 },
-            ReqKind::ReAss { accused: vec![1, 5, 9] },
+            ReqKind::ReAss {
+                accused: vec![1, 5, 9],
+            },
             ReqKind::ReAss { accused: vec![] },
         ] {
             let tx = ProtoTx {
                 record: RequestRecord {
-                    key: RequestKey { switch: SwitchId(7), seq: 42 },
+                    key: RequestKey {
+                        switch: SwitchId(7),
+                        seq: 42,
+                    },
                     kind,
                 },
                 handled_by: 3,
@@ -518,11 +523,21 @@ mod tests {
     fn config_decode_roundtrip() {
         let configs = vec![
             ConfigData::FlowRules(vec![
-                FlowRuleSpec { priority: 1, dst_host: 2, out_port: 3 },
-                FlowRuleSpec { priority: 9, dst_host: 8, out_port: 7 },
+                FlowRuleSpec {
+                    priority: 1,
+                    dst_host: 2,
+                    out_port: 3,
+                },
+                FlowRuleSpec {
+                    priority: 9,
+                    dst_host: 8,
+                    out_port: 7,
+                },
             ]),
             ConfigData::FlowRules(vec![]),
-            ConfigData::NewAssignment { groups: vec![vec![5; 3]; 2] },
+            ConfigData::NewAssignment {
+                groups: vec![vec![5; 3]; 2],
+            },
         ];
         for c in configs {
             let bytes = c.encode();
@@ -535,11 +550,17 @@ mod tests {
     #[test]
     fn reass_signing_bytes_cover_accused() {
         let a = RequestRecord {
-            key: RequestKey { switch: SwitchId(1), seq: 1 },
+            key: RequestKey {
+                switch: SwitchId(1),
+                seq: 1,
+            },
             kind: ReqKind::ReAss { accused: vec![3] },
         };
         let b = RequestRecord {
-            key: RequestKey { switch: SwitchId(1), seq: 1 },
+            key: RequestKey {
+                switch: SwitchId(1),
+                seq: 1,
+            },
             kind: ReqKind::ReAss { accused: vec![4] },
         };
         assert_ne!(a.signing_bytes(), b.signing_bytes());

@@ -2,9 +2,9 @@
 
 use crate::config::{CurbConfig, PlaneMode};
 use crate::ids::{NodePlan, SwitchId};
+use core::time::Duration;
 use curb_assign::{Assignment, CapModel, Objective, SolveOptions};
 use curb_crypto::PublicKey;
-use core::time::Duration;
 
 /// Fault-injection behaviour of a controller (the byzantine models of
 /// the paper's Section IV-A1).

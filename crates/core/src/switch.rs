@@ -178,7 +178,12 @@ impl SwitchActor {
         std::mem::take(&mut self.outcomes)
     }
 
-    fn broadcast_request(&mut self, ctx: &mut Context<'_, CurbMsg>, kind: ReqKind, packet: Option<Packet>) {
+    fn broadcast_request(
+        &mut self,
+        ctx: &mut Context<'_, CurbMsg>,
+        kind: ReqKind,
+        packet: Option<Packet>,
+    ) {
         self.next_seq += 1;
         let record = RequestRecord {
             key: RequestKey {
@@ -199,7 +204,10 @@ impl SwitchActor {
             signature,
         };
         for &c in &self.ctrl_list {
-            let node = self.shared.plan.controller_node(crate::ids::ControllerId(c));
+            let node = self
+                .shared
+                .plan
+                .controller_node(crate::ids::ControllerId(c));
             ctx.send(node, CurbMsg::Request(req.clone()));
         }
         self.outstanding.insert(
@@ -257,9 +265,10 @@ impl SwitchActor {
         }
         pending.replies.push((controller, config.clone(), now));
         let straggler = pending.audited
-            && pending.accepted.as_ref().is_some_and(|(_, at)| {
-                now.saturating_since(*at) > self.shared.config.lazy_margin
-            });
+            && pending
+                .accepted
+                .as_ref()
+                .is_some_and(|(_, at)| now.saturating_since(*at) > self.shared.config.lazy_margin);
         if pending.accepted.is_none() {
             let matching = pending
                 .replies
@@ -393,7 +402,6 @@ impl SwitchActor {
         }
         self.broadcast_request(ctx, ReqKind::ReAss { accused: fresh }, None);
     }
-
 }
 
 impl Actor<CurbMsg> for SwitchActor {
@@ -446,12 +454,7 @@ mod tests {
     }
 
     impl curb_sim::Actor<CurbMsg> for TestNode {
-        fn on_message(
-            &mut self,
-            ctx: &mut Context<'_, CurbMsg>,
-            from: NodeId,
-            msg: CurbMsg,
-        ) {
+        fn on_message(&mut self, ctx: &mut Context<'_, CurbMsg>, from: NodeId, msg: CurbMsg) {
             match self {
                 TestNode::Switch(s) => s.on_message(ctx, from, msg),
                 TestNode::Controller { id, script } => {

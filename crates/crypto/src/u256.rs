@@ -8,7 +8,6 @@
 //! The representation is four little-endian `u64` limbs. All operations
 //! are implemented from scratch — no external big-integer crate.
 
-
 #![allow(clippy::needless_range_loop)]
 use core::cmp::Ordering;
 use core::fmt;
@@ -256,9 +255,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -382,7 +379,9 @@ impl U256 {
         while !r1.is_zero() {
             let (q, r) = r0.div_rem(&r1);
             // t2 = t0 - q * t1 (signed)
-            let qt1 = q.checked_mul(&t1.0).expect("coefficients stay below modulus^2");
+            let qt1 = q
+                .checked_mul(&t1.0)
+                .expect("coefficients stay below modulus^2");
             let t2 = signed_sub(t0, (qt1, t1.1));
             r0 = r1;
             r1 = r;
@@ -431,9 +430,7 @@ impl U256 {
 fn signed_sub(a: (U256, bool), b: (U256, bool)) -> (U256, bool) {
     match (a.1, b.1) {
         // a - (-b) = a + b ; (-a) - b = -(a + b)
-        (false, true) | (true, false) => {
-            (a.0.checked_add(&b.0).expect("magnitudes bounded"), a.1)
-        }
+        (false, true) | (true, false) => (a.0.checked_add(&b.0).expect("magnitudes bounded"), a.1),
         // same sign: subtract magnitudes
         _ => {
             if a.0 >= b.0 {
@@ -820,10 +817,8 @@ mod tests {
     #[test]
     fn mod_inverse_large_prime() {
         // secp256k1 field prime.
-        let p = U256::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
             .unwrap();
         let inv = a.mod_inverse(&p).expect("prime field");
@@ -840,7 +835,10 @@ mod tests {
     fn hex_roundtrip() {
         let v = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
             .unwrap();
-        assert_eq!(format!("{v:x}"), "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+        assert_eq!(
+            format!("{v:x}"),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+        );
         assert_eq!(U256::from_hex("0"), Some(U256::ZERO));
         assert_eq!(U256::from_hex("ff"), Some(u(255)));
         assert!(U256::from_hex("").is_none());

@@ -88,9 +88,15 @@ impl Graph {
     /// Panics if either endpoint is out of range, if `a == b`, or if the
     /// weight is negative or non-finite.
     pub fn add_edge(&mut self, a: NodeIdx, b: NodeIdx, w: f64) {
-        assert!(a < self.node_count() && b < self.node_count(), "node out of range");
+        assert!(
+            a < self.node_count() && b < self.node_count(),
+            "node out of range"
+        );
         assert!(a != b, "self-loops are not allowed");
-        assert!(w.is_finite() && w >= 0.0, "weight must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weight must be finite and non-negative"
+        );
         self.adjacency[a].push((b, w));
         self.adjacency[b].push((a, w));
         self.edge_count += 1;
@@ -130,7 +136,10 @@ impl Graph {
         let mut prev = vec![None; n];
         let mut heap = BinaryHeap::new();
         dist[src] = 0.0;
-        heap.push(HeapEntry { dist: 0.0, node: src });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: src,
+        });
         while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
             if d > dist[u] {
                 continue;

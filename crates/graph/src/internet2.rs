@@ -340,7 +340,12 @@ mod tests {
     fn names_are_unique() {
         let t = internet2();
         for (i, s) in t.sites.iter().enumerate() {
-            assert_eq!(t.site_by_name(&s.name), Some(i), "duplicate site {}", s.name);
+            assert_eq!(
+                t.site_by_name(&s.name),
+                Some(i),
+                "duplicate site {}",
+                s.name
+            );
         }
         assert!(t.site_by_name("Gotham").is_none());
     }

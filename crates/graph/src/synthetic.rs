@@ -50,7 +50,10 @@ fn uniform(state: &mut u64, lo: f64, hi: f64) -> f64 {
 /// assert!(topo.graph.is_connected());
 /// ```
 pub fn synthetic(n_controllers: usize, n_switches: usize, seed: u64) -> Internet2 {
-    assert!(n_controllers > 0 && n_switches > 0, "counts must be positive");
+    assert!(
+        n_controllers > 0 && n_switches > 0,
+        "counts must be positive"
+    );
     let total = n_controllers + n_switches;
     let mut state = seed ^ 0xCB_5EED;
     // Controller positions in the site list: evenly spaced.
@@ -72,7 +75,12 @@ pub fn synthetic(n_controllers: usize, n_switches: usize, seed: u64) -> Internet
             s_idx += 1;
             (format!("sw-{}", s_idx - 1), Role::Switch)
         };
-        sites.push(Site { name, lat, lon, role });
+        sites.push(Site {
+            name,
+            lat,
+            lon,
+            role,
+        });
     }
     debug_assert_eq!(c_idx, n_controllers);
     debug_assert_eq!(s_idx, n_switches);

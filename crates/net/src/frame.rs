@@ -1,0 +1,392 @@
+//! Wire format for PBFT messages: a self-delimiting body codec plus
+//! length-prefixed framing for stream transports.
+//!
+//! The body codec reuses the primitive layout of the chain persistence
+//! codec (`curb_chain::codec`): big-endian integers, raw 32-byte
+//! digests and u32-length-prefixed byte strings. Every decoder is
+//! total — truncated frames, oversized length prefixes and garbage
+//! bytes produce a [`WireError`], never a panic.
+//!
+//! ```text
+//! frame     := u32 body_len | body            (body_len <= max_frame)
+//! body      := u8 tag | fields
+//! tag 0     := PRE-PREPARE  view:u64 seq:u64 digest:[u8;32] payload
+//! tag 1     := PREPARE      view:u64 seq:u64 digest:[u8;32]
+//! tag 2     := COMMIT       view:u64 seq:u64 digest:[u8;32]
+//! tag 3     := VIEW-CHANGE  new_view:u64 count:u32 (seq:u64 payload)*
+//! tag 4     := NEW-VIEW     view:u64     count:u32 (seq:u64 payload)*
+//! payload   := u32 len | PayloadCodec bytes
+//! ```
+
+use curb_chain::codec::{put_bytes, ByteReader, CodecError};
+use curb_consensus::{PayloadCodec, PbftMsg};
+use std::io::{self, Read, Write};
+
+/// Default cap on the body size of a single frame (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Errors raised while decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended mid-structure.
+    Truncated,
+    /// A tag, count or length field carries an implausible value.
+    Corrupt(&'static str),
+    /// The payload bytes were rejected by [`PayloadCodec::decode_payload`].
+    BadPayload,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire message"),
+            WireError::Corrupt(what) => write!(f, "corrupt wire field: {what}"),
+            WireError::BadPayload => write!(f, "payload bytes failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => WireError::Truncated,
+            CodecError::Corrupt(what) => WireError::Corrupt(what),
+            // BadMagic/Invalid only arise from whole-chain decoding,
+            // which the frame codec never performs.
+            CodecError::BadMagic | CodecError::Invalid(_) => WireError::Corrupt("codec"),
+        }
+    }
+}
+
+const TAG_PRE_PREPARE: u8 = 0;
+const TAG_PREPARE: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_VIEW_CHANGE: u8 = 3;
+const TAG_NEW_VIEW: u8 = 4;
+
+/// Cap on the `(seq, payload)` list length in view-change messages;
+/// prevents a hostile length prefix from pre-allocating gigabytes.
+const MAX_CARRIED: u32 = 1 << 20;
+
+fn put_payload<P: PayloadCodec>(out: &mut Vec<u8>, payload: &P) {
+    let mut bytes = Vec::new();
+    payload.encode_payload(&mut bytes);
+    put_bytes(out, &bytes);
+}
+
+fn get_payload<P: PayloadCodec>(r: &mut ByteReader<'_>) -> Result<P, WireError> {
+    let bytes = r.bytes()?;
+    P::decode_payload(&bytes).ok_or(WireError::BadPayload)
+}
+
+fn put_carried<P: PayloadCodec>(out: &mut Vec<u8>, carried: &[(u64, P)]) {
+    out.extend_from_slice(&(carried.len() as u32).to_be_bytes());
+    for (seq, payload) in carried {
+        out.extend_from_slice(&seq.to_be_bytes());
+        put_payload(out, payload);
+    }
+}
+
+fn get_carried<P: PayloadCodec>(r: &mut ByteReader<'_>) -> Result<Vec<(u64, P)>, WireError> {
+    let count = r.u32()?;
+    if count > MAX_CARRIED {
+        return Err(WireError::Corrupt("carried-payload count"));
+    }
+    let mut out = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let seq = r.u64()?;
+        out.push((seq, get_payload(r)?));
+    }
+    Ok(out)
+}
+
+/// Serialises `msg` into a frame body (no length prefix).
+pub fn encode_msg<P: PayloadCodec>(msg: &PbftMsg<P>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        PbftMsg::PrePrepare {
+            view,
+            seq,
+            digest,
+            payload,
+        } => {
+            out.push(TAG_PRE_PREPARE);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(&digest.0);
+            put_payload(&mut out, payload);
+        }
+        PbftMsg::Prepare { view, seq, digest } => {
+            out.push(TAG_PREPARE);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(&digest.0);
+        }
+        PbftMsg::Commit { view, seq, digest } => {
+            out.push(TAG_COMMIT);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(&digest.0);
+        }
+        PbftMsg::ViewChange { new_view, prepared } => {
+            out.push(TAG_VIEW_CHANGE);
+            out.extend_from_slice(&new_view.to_be_bytes());
+            put_carried(&mut out, prepared);
+        }
+        PbftMsg::NewView { view, reproposals } => {
+            out.push(TAG_NEW_VIEW);
+            out.extend_from_slice(&view.to_be_bytes());
+            put_carried(&mut out, reproposals);
+        }
+    }
+    out
+}
+
+/// Rebuilds a message from a frame body.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn decode_msg<P: PayloadCodec>(body: &[u8]) -> Result<PbftMsg<P>, WireError> {
+    let mut r = ByteReader::new(body);
+    let tag = r.u8()?;
+    let msg = match tag {
+        TAG_PRE_PREPARE => {
+            let view = r.u64()?;
+            let seq = r.u64()?;
+            let digest = r.digest()?;
+            let payload = get_payload(&mut r)?;
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                payload,
+            }
+        }
+        TAG_PREPARE => {
+            let view = r.u64()?;
+            let seq = r.u64()?;
+            let digest = r.digest()?;
+            PbftMsg::Prepare { view, seq, digest }
+        }
+        TAG_COMMIT => {
+            let view = r.u64()?;
+            let seq = r.u64()?;
+            let digest = r.digest()?;
+            PbftMsg::Commit { view, seq, digest }
+        }
+        TAG_VIEW_CHANGE => {
+            let new_view = r.u64()?;
+            let prepared = get_carried(&mut r)?;
+            PbftMsg::ViewChange { new_view, prepared }
+        }
+        TAG_NEW_VIEW => {
+            let view = r.u64()?;
+            let reproposals = get_carried(&mut r)?;
+            PbftMsg::NewView { view, reproposals }
+        }
+        _ => return Err(WireError::Corrupt("message tag")),
+    };
+    if !r.is_empty() {
+        return Err(WireError::Corrupt("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+/// Writes one length-prefixed frame to a stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects bodies larger than `max_frame` with
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, body: &[u8], max_frame: usize) -> io::Result<()> {
+    if body.len() > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body {} exceeds cap {max_frame}", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from a stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including clean EOF as
+/// [`io::ErrorKind::UnexpectedEof`]); rejects length prefixes larger
+/// than `max_frame` with [`io::ErrorKind::InvalidData`] so a hostile
+/// peer cannot force an unbounded allocation.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_frame}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_consensus::{BytesPayload, Payload};
+    use curb_crypto::sha256::Digest;
+
+    fn p(b: &[u8]) -> BytesPayload {
+        BytesPayload(b.to_vec())
+    }
+
+    fn every_variant() -> Vec<PbftMsg<BytesPayload>> {
+        let payload = p(b"flow update");
+        let d = payload.digest();
+        vec![
+            PbftMsg::PrePrepare {
+                view: 3,
+                seq: 17,
+                digest: d,
+                payload: payload.clone(),
+            },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: p(b"").digest(),
+                payload: p(b""),
+            },
+            PbftMsg::Prepare {
+                view: u64::MAX,
+                seq: 0,
+                digest: d,
+            },
+            PbftMsg::Commit {
+                view: 9,
+                seq: u64::MAX,
+                digest: Digest([0xAB; 32]),
+            },
+            PbftMsg::ViewChange {
+                new_view: 2,
+                prepared: vec![],
+            },
+            PbftMsg::ViewChange {
+                new_view: 5,
+                prepared: vec![(1, p(b"a")), (9, p(b"bb")), (u64::MAX, p(b""))],
+            },
+            PbftMsg::NewView {
+                view: 7,
+                reproposals: vec![(4, payload)],
+            },
+            PbftMsg::NewView {
+                view: 1,
+                reproposals: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in every_variant() {
+            let body = encode_msg(&msg);
+            let back: PbftMsg<BytesPayload> = decode_msg(&body).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_always_errors_never_panics() {
+        for msg in every_variant() {
+            let body = encode_msg(&msg);
+            for cut in 0..body.len() {
+                assert!(
+                    decode_msg::<BytesPayload>(&body[..cut]).is_err(),
+                    "cut at {cut} of {}",
+                    body.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        for msg in every_variant() {
+            let mut body = encode_msg(&msg);
+            body.push(0);
+            assert_eq!(
+                decode_msg::<BytesPayload>(&body),
+                Err(WireError::Corrupt("trailing bytes"))
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        for tag in 5u8..=255 {
+            assert_eq!(
+                decode_msg::<BytesPayload>(&[tag]),
+                Err(WireError::Corrupt("message tag"))
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_carried_count_rejected_without_allocation() {
+        // VIEW-CHANGE claiming 2^32-1 carried payloads in a tiny body.
+        let mut body = vec![TAG_VIEW_CHANGE];
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            decode_msg::<BytesPayload>(&body),
+            Err(WireError::Corrupt("carried-payload count"))
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip_over_stream() {
+        let body = encode_msg(&every_variant()[0]);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &body, DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut stream, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), body);
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), b"");
+        // Clean EOF surfaces as UnexpectedEof.
+        let err = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut stream = std::io::Cursor::new((1u32 << 30).to_be_bytes().to_vec());
+        let err = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_body_refused_on_write() {
+        let err = write_frame(&mut Vec::new(), &[0u8; 64], 63).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in 0..256usize {
+            let body: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let _ = decode_msg::<BytesPayload>(&body); // must not panic
+        }
+    }
+}

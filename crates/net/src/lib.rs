@@ -1,0 +1,61 @@
+//! Networked runtime for the Curb control plane.
+//!
+//! Everything else in the reproduction runs inside the single-process
+//! discrete-event simulator; this crate is the missing substrate for
+//! running the same sans-io consensus code over **real sockets**:
+//!
+//! * [`frame`] — the wire codec: a tagged body format for
+//!   [`PbftMsg`](curb_consensus::PbftMsg) (reusing the primitive
+//!   layout of `curb_chain::codec`) plus u32-length-prefixed framing
+//!   with an explicit max-frame-size and total, panic-free decoding;
+//! * [`Transport`] — the channel abstraction, with two
+//!   implementations: [`TcpTransport`] (per-peer writer threads,
+//!   reader threads feeding one event queue, version/peer-id
+//!   handshake, capped exponential backoff reconnect) and
+//!   [`LoopbackTransport`] (in-memory, deterministic, still
+//!   round-trips every message through the codec);
+//! * [`NetRunner`] — the event loop that owns a
+//!   [`Replica`](curb_consensus::Replica), feeds it inbound messages,
+//!   sends its outbound ones and publishes committed decisions on a
+//!   channel.
+//!
+//! The same machinery is deliberately payload-generic: any type
+//! implementing [`Payload`](curb_consensus::Payload) +
+//! [`PayloadCodec`](curb_consensus::PayloadCodec) — bytes in tests,
+//! transaction batches in a full controller — runs over either
+//! transport unchanged, so `curb-core` controllers can reuse it as-is.
+//!
+//! # Example
+//!
+//! A four-replica cluster over in-memory transports:
+//!
+//! ```rust
+//! use curb_consensus::{BytesPayload, Replica};
+//! use curb_net::{LoopbackTransport, NetRunner, RunnerConfig};
+//! use std::time::Duration;
+//!
+//! let handles: Vec<_> = LoopbackTransport::<BytesPayload>::group(4)
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(id, t)| NetRunner::spawn(Replica::new(id, 4), t, RunnerConfig::default()))
+//!     .collect();
+//! handles[0].propose(BytesPayload(b"flow update".to_vec()));
+//! for h in &handles {
+//!     let (seq, p) = h.decisions.recv_timeout(Duration::from_secs(5)).unwrap();
+//!     assert_eq!((seq, p), (1, BytesPayload(b"flow update".to_vec())));
+//! }
+//! # for h in handles { h.join(); }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+mod runner;
+mod tcp;
+mod transport;
+
+pub use frame::{decode_msg, encode_msg, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME};
+pub use runner::{NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
+pub use tcp::{PeerManager, TcpConfig, TcpTransport, HANDSHAKE_MAGIC};
+pub use transport::{LoopbackTransport, NetEvent, Transport};

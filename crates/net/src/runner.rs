@@ -1,0 +1,253 @@
+//! The event loop that drives a sans-io [`Replica`] over a
+//! [`Transport`].
+//!
+//! [`NetRunner::spawn`] moves the replica onto its own thread. The
+//! loop translates inbound frames into [`Replica::on_message`] calls,
+//! pushes each resulting [`Outbound`] back through the transport, and
+//! publishes committed decisions — in sequence order, exactly once —
+//! on the [`RunnerHandle::decisions`] channel.
+//!
+//! Client proposals enter through [`RunnerHandle::propose`]. A replica
+//! that is not the current leader stashes proposals and submits them
+//! if it later becomes leader, so a caller may simply address the
+//! view-0 leader and let view changes re-route. An optional progress
+//! timeout ([`RunnerConfig::view_change_timeout`]) fires
+//! [`Replica::start_view_change`] when proposals are pending but
+//! nothing has committed — the networked equivalent of PBFT's request
+//! timer.
+
+use crate::transport::{NetEvent, Transport};
+use curb_consensus::{Dest, Outbound, Payload, Replica, Seq};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`NetRunner`].
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// How long each loop iteration waits for a transport event.
+    pub poll: Duration,
+    /// When `Some(t)`: if proposals are pending and nothing has been
+    /// decided for `t`, vote to change the view (leader-failure
+    /// recovery). `None` disables the timer.
+    pub view_change_timeout: Option<Duration>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            poll: Duration::from_millis(10),
+            view_change_timeout: None,
+        }
+    }
+}
+
+/// Final counters returned by [`RunnerHandle::join`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Messages received and fed to the replica.
+    pub inbound: u64,
+    /// Messages handed to the transport.
+    pub outbound: u64,
+    /// Decisions published.
+    pub decided: u64,
+    /// View changes this runner initiated on timeout.
+    pub view_changes_started: u64,
+}
+
+enum Command<P> {
+    Propose(P),
+    Shutdown,
+}
+
+/// Control surface for a spawned [`NetRunner`].
+pub struct RunnerHandle<P> {
+    commands: Sender<Command<P>>,
+    /// Committed `(seq, payload)` pairs, in sequence order.
+    pub decisions: Receiver<(Seq, P)>,
+    thread: JoinHandle<RunnerStats>,
+}
+
+impl<P> RunnerHandle<P> {
+    /// Submits a client proposal. Returns `false` if the runner has
+    /// already stopped.
+    pub fn propose(&self, payload: P) -> bool {
+        self.commands.send(Command::Propose(payload)).is_ok()
+    }
+
+    /// Stops the runner and returns its final counters.
+    pub fn join(self) -> RunnerStats {
+        let _ = self.commands.send(Command::Shutdown);
+        self.thread.join().expect("runner thread panicked")
+    }
+}
+
+/// Owns a [`Replica`] and a [`Transport`] and runs the glue loop.
+pub struct NetRunner<P: Payload, T> {
+    replica: Replica<P>,
+    transport: T,
+    cfg: RunnerConfig,
+    pending: VecDeque<P>,
+    stats: RunnerStats,
+    last_progress: Instant,
+}
+
+impl<P, T> NetRunner<P, T>
+where
+    P: Payload + Default + Send + 'static,
+    T: Transport<P> + 'static,
+{
+    /// Spawns the runner thread for `replica` over `transport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn the thread.
+    pub fn spawn(replica: Replica<P>, transport: T, cfg: RunnerConfig) -> RunnerHandle<P> {
+        let (commands_tx, commands_rx) = channel();
+        let (decisions_tx, decisions_rx) = channel();
+        let name = format!("curb-net-runner-{}", replica.id());
+        let runner = NetRunner {
+            replica,
+            transport,
+            cfg,
+            pending: VecDeque::new(),
+            stats: RunnerStats::default(),
+            last_progress: Instant::now(),
+        };
+        let thread = thread::Builder::new()
+            .name(name)
+            .spawn(move || runner.run(commands_rx, decisions_tx))
+            .expect("spawn runner thread");
+        RunnerHandle {
+            commands: commands_tx,
+            decisions: decisions_rx,
+            thread,
+        }
+    }
+
+    fn run(mut self, commands: Receiver<Command<P>>, decisions: Sender<(Seq, P)>) -> RunnerStats {
+        loop {
+            // 1. Drain client commands.
+            loop {
+                match commands.try_recv() {
+                    Ok(Command::Propose(payload)) => self.pending.push_back(payload),
+                    Ok(Command::Shutdown) => {
+                        self.transport.shutdown();
+                        return self.stats;
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        self.transport.shutdown();
+                        return self.stats;
+                    }
+                }
+            }
+            // 2. Submit pending proposals while we lead the view.
+            while self.replica.is_leader() {
+                let Some(payload) = self.pending.pop_front() else {
+                    break;
+                };
+                match self.replica.propose(payload) {
+                    Ok(out) => self.dispatch(out),
+                    Err(_) => break, // lost leadership mid-drain
+                }
+            }
+            // 3. Pump one transport event into the replica.
+            // PeerUp/PeerDown are connectivity telemetry; the replica
+            // state machine does not consume them.
+            if let Some(NetEvent::Inbound { from, msg }) =
+                self.transport.recv_timeout(self.cfg.poll)
+            {
+                self.stats.inbound += 1;
+                let out = self.replica.on_message(from, msg);
+                self.dispatch(out);
+            }
+            // 4. Publish freshly committed decisions.
+            for (seq, payload) in self.replica.take_decisions() {
+                self.stats.decided += 1;
+                self.last_progress = Instant::now();
+                if decisions.send((seq, payload)).is_err() {
+                    // Nobody is listening any more; stop serving.
+                    self.transport.shutdown();
+                    return self.stats;
+                }
+            }
+            // 5. Leader-failure recovery: demand a view change when
+            // work is pending but nothing commits.
+            if let Some(timeout) = self.cfg.view_change_timeout {
+                let starving = !self.pending.is_empty() && !self.replica.is_leader();
+                if starving && self.last_progress.elapsed() > timeout {
+                    self.stats.view_changes_started += 1;
+                    self.last_progress = Instant::now();
+                    let out = self.replica.start_view_change();
+                    self.dispatch(out);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, out: Vec<Outbound<P>>) {
+        for Outbound { dest, msg } in out {
+            self.stats.outbound += 1;
+            match dest {
+                Dest::Broadcast => self.transport.broadcast(&msg),
+                Dest::To(to) => self.transport.send(to, &msg),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LoopbackTransport;
+    use curb_consensus::BytesPayload;
+
+    fn spawn_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
+        LoopbackTransport::<BytesPayload>::group(n)
+            .into_iter()
+            .enumerate()
+            .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, RunnerConfig::default()))
+            .collect()
+    }
+
+    #[test]
+    fn four_runners_commit_a_proposal() {
+        let handles = spawn_cluster(4);
+        assert!(handles[0].propose(BytesPayload(b"networked".to_vec())));
+        for h in &handles {
+            let (seq, payload) = h
+                .decisions
+                .recv_timeout(Duration::from_secs(5))
+                .expect("decision");
+            assert_eq!(seq, 1);
+            assert_eq!(payload, BytesPayload(b"networked".to_vec()));
+        }
+        for h in handles {
+            let stats = h.join();
+            assert_eq!(stats.decided, 1);
+        }
+    }
+
+    #[test]
+    fn non_leader_stashes_until_it_leads() {
+        let handles = spawn_cluster(4);
+        // Replica 1 is not the view-0 leader; its proposal must wait.
+        assert!(handles[1].propose(BytesPayload(b"stashed".to_vec())));
+        assert!(handles[1]
+            .decisions
+            .recv_timeout(Duration::from_millis(200))
+            .is_err());
+        // Leader drives its own proposal through; the stash stays put.
+        assert!(handles[0].propose(BytesPayload(b"direct".to_vec())));
+        let (_, payload) = handles[1]
+            .decisions
+            .recv_timeout(Duration::from_secs(5))
+            .expect("decision");
+        assert_eq!(payload, BytesPayload(b"direct".to_vec()));
+        for h in handles {
+            h.join();
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! Real TCP transport: length-prefixed frames over `std::net`.
+//!
+//! Threading model (for a group of `n` replicas):
+//!
+//! * **one accept thread** owns the listener; every accepted connection
+//!   gets a **reader thread** that validates the handshake, decodes
+//!   frames and feeds the shared event queue;
+//! * **one writer thread per peer** ([`PeerManager`]) owns that peer's
+//!   outbound connection: it dials with capped exponential backoff,
+//!   sends the handshake, then drains a bounded frame queue. A failed
+//!   write drops the connection and re-dials, retrying the in-flight
+//!   frame — so a restarted peer rejoins cleanly and at most the
+//!   frames queued while it was down are lost (the queue is bounded;
+//!   overflow drops the newest frame, which PBFT's quorums tolerate).
+//!
+//! Connections are **unidirectional**: each ordered pair of replicas
+//! uses its own TCP connection (dialer writes, acceptor reads). This
+//! avoids simultaneous-connect tie-breaking entirely at the cost of
+//! `2·n·(n-1)` sockets per cluster — irrelevant at control-plane group
+//! sizes (`n ≤ 31` for `f ≤ 10`).
+//!
+//! The handshake is 24 bytes, dialer → acceptor:
+//! `"CURBNET\x01" | peer_id:u64 | group_size:u64`. A magic or version
+//! mismatch, an out-of-range id or a wrong group size closes the
+//! connection before any frame is read.
+
+use crate::frame::{decode_msg, encode_msg, DEFAULT_MAX_FRAME};
+use crate::transport::{NetEvent, Transport};
+use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Protocol magic plus a version byte; bump the last byte on any wire
+/// format change.
+pub const HANDSHAKE_MAGIC: &[u8; 8] = b"CURBNET\x01";
+
+/// Tuning knobs for [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum frame body size accepted or sent.
+    pub max_frame: usize,
+    /// First reconnect delay after a failed dial or dropped connection.
+    pub backoff_base: Duration,
+    /// Cap on the exponential reconnect delay.
+    pub backoff_max: Duration,
+    /// Per-peer outbound queue depth; the newest frame is dropped when
+    /// the queue is full (the peer is down or hopelessly slow).
+    pub queue_capacity: usize,
+    /// Timeout for a single dial attempt.
+    pub dial_timeout: Duration,
+    /// Granularity at which blocked threads re-check the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(2),
+            queue_capacity: 4096,
+            dial_timeout: Duration::from_millis(500),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating read timeouts so the
+/// thread can observe `shutdown`. Returns `false` when the transport
+/// shut down mid-read.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Outbound side: one writer thread per peer with its own bounded
+/// queue, connection establishment, handshake and capped exponential
+/// backoff reconnect.
+pub struct PeerManager {
+    queues: Vec<Option<SyncSender<Vec<u8>>>>,
+    connected: Arc<Vec<AtomicBool>>,
+    dropped: Arc<AtomicUsize>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PeerManager {
+    /// Spawns writer threads for every peer of `local` in `addrs`.
+    fn spawn(
+        local: ReplicaId,
+        addrs: &[SocketAddr],
+        cfg: &TcpConfig,
+        shutdown: Arc<AtomicBool>,
+    ) -> PeerManager {
+        let n = addrs.len();
+        let connected = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect::<Vec<_>>());
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let mut queues = Vec::with_capacity(n);
+        let mut workers = Vec::new();
+        for (peer, &addr) in addrs.iter().enumerate() {
+            if peer == local {
+                queues.push(None);
+                continue;
+            }
+            let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(cfg.queue_capacity);
+            queues.push(Some(tx));
+            let cfg = cfg.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let connected = Arc::clone(&connected);
+            let handle = thread::Builder::new()
+                .name(format!("curb-net-w{local}-{peer}"))
+                .spawn(move || writer_loop(local, peer, addr, rx, &cfg, &shutdown, &connected))
+                .expect("spawn writer thread");
+            workers.push(handle);
+        }
+        PeerManager {
+            queues,
+            connected,
+            dropped,
+            workers,
+        }
+    }
+
+    /// Queues an encoded frame for `to`; drops it (and counts the drop)
+    /// when the peer's queue is full or `to` is unknown/local.
+    fn enqueue(&self, to: ReplicaId, frame: Vec<u8>) {
+        let Some(Some(tx)) = self.queues.get(to) else {
+            return;
+        };
+        match tx.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of peers with a currently established outbound connection.
+    pub fn connected_count(&self) -> usize {
+        self.connected
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Frames dropped because a peer queue was full.
+    pub fn dropped_frames(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-peer writer thread body.
+fn writer_loop(
+    local: ReplicaId,
+    peer: ReplicaId,
+    addr: SocketAddr,
+    queue: Receiver<Vec<u8>>,
+    cfg: &TcpConfig,
+    shutdown: &AtomicBool,
+    connected: &[AtomicBool],
+) {
+    let mut conn: Option<TcpStream> = None;
+    let mut backoff = cfg.backoff_base;
+    let n = connected.len();
+    'frames: while !shutdown.load(Ordering::Relaxed) {
+        let frame = match queue.recv_timeout(cfg.poll_interval) {
+            Ok(frame) => frame,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        // Retry the in-flight frame across reconnects until it is on
+        // the wire or the transport shuts down.
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                break 'frames;
+            }
+            if conn.is_none() {
+                match dial(local, n, addr, cfg) {
+                    Ok(stream) => {
+                        backoff = cfg.backoff_base;
+                        connected[peer].store(true, Ordering::Relaxed);
+                        conn = Some(stream);
+                    }
+                    Err(_) => {
+                        thread::sleep(backoff.min(cfg.backoff_max));
+                        backoff = (backoff * 2).min(cfg.backoff_max);
+                        continue;
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("connection just established");
+            match crate::frame::write_frame(stream, &frame, cfg.max_frame) {
+                Ok(()) => continue 'frames,
+                Err(_) => {
+                    conn = None;
+                    connected[peer].store(false, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    connected[peer].store(false, Ordering::Relaxed);
+}
+
+/// Dials `addr` and performs the client half of the handshake.
+fn dial(local: ReplicaId, n: usize, addr: SocketAddr, cfg: &TcpConfig) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, cfg.dial_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut hello = Vec::with_capacity(24);
+    hello.extend_from_slice(HANDSHAKE_MAGIC);
+    hello.extend_from_slice(&(local as u64).to_be_bytes());
+    hello.extend_from_slice(&(n as u64).to_be_bytes());
+    stream.write_all(&hello)?;
+    stream.flush()?;
+    Ok(stream)
+}
+
+/// A [`Transport`] over real TCP sockets.
+///
+/// Bind each replica with [`TcpTransport::bind`], giving every replica
+/// the same ordered list of peer addresses (index = replica id).
+pub struct TcpTransport<P> {
+    id: ReplicaId,
+    n: usize,
+    peers: PeerManager,
+    events: Mutex<Receiver<NetEvent<P>>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
+    /// Starts the transport for replica `id` on `listener`.
+    ///
+    /// `peer_addrs[i]` must be where replica `i` listens;
+    /// `peer_addrs[id]` is this replica's own address. Writer threads
+    /// begin dialing peers immediately; peers that are not up yet are
+    /// retried with capped exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from configuring the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= peer_addrs.len()`.
+    pub fn bind(
+        id: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        cfg: TcpConfig,
+    ) -> io::Result<TcpTransport<P>> {
+        assert!(id < peer_addrs.len(), "replica id out of range");
+        let n = peer_addrs.len();
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (events_tx, events_rx) = channel();
+        let peers = PeerManager::spawn(id, &peer_addrs, &cfg, Arc::clone(&shutdown));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_cfg = cfg.clone();
+        let accept_thread = thread::Builder::new()
+            .name(format!("curb-net-accept-{id}"))
+            .spawn(move || accept_loop(listener, n, events_tx, &accept_cfg, &accept_shutdown))
+            .expect("spawn accept thread");
+        Ok(TcpTransport {
+            id,
+            n,
+            peers,
+            events: Mutex::new(events_rx),
+            shutdown,
+            accept_thread: Some(accept_thread),
+            local_addr,
+        })
+    }
+
+    /// The address this transport's listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Peers with an established outbound connection right now.
+    pub fn connected_peers(&self) -> usize {
+        self.peers.connected_count()
+    }
+
+    /// Frames dropped on full outbound queues since startup.
+    pub fn dropped_frames(&self) -> usize {
+        self.peers.dropped_frames()
+    }
+}
+
+impl<P: PayloadCodec + Send + 'static> Transport<P> for TcpTransport<P> {
+    fn local_id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn group_size(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, to: ReplicaId, msg: &PbftMsg<P>) {
+        if to == self.id {
+            return;
+        }
+        self.peers.enqueue(to, encode_msg(msg));
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<NetEvent<P>> {
+        self.events
+            .lock()
+            .expect("event queue poisoned")
+            .recv_timeout(timeout)
+            .ok()
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<P> Drop for TcpTransport<P> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Join the accept thread so the listening port is free for a
+        // restarted replica by the time `drop` returns; writer/reader
+        // threads notice the flag within one poll interval and exit on
+        // their own.
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.peers.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The accept-thread body: polls the non-blocking listener and spawns a
+/// reader thread per inbound connection.
+fn accept_loop<P: PayloadCodec + Send + 'static>(
+    listener: TcpListener,
+    n: usize,
+    events: Sender<NetEvent<P>>,
+    cfg: &TcpConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let events = events.clone();
+                let cfg = cfg.clone();
+                let shutdown = Arc::clone(shutdown);
+                let _ = thread::Builder::new()
+                    .name("curb-net-reader".to_string())
+                    .spawn(move || reader_loop(stream, n, events, &cfg, &shutdown));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(cfg.poll_interval);
+            }
+            Err(_) => thread::sleep(cfg.poll_interval),
+        }
+    }
+}
+
+/// The per-connection reader thread body: handshake, then frames until
+/// EOF, error or shutdown.
+fn reader_loop<P: PayloadCodec + Send + 'static>(
+    mut stream: TcpStream,
+    n: usize,
+    events: Sender<NetEvent<P>>,
+    cfg: &TcpConfig,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_nodelay(true).is_err()
+        || stream.set_read_timeout(Some(cfg.poll_interval)).is_err()
+    {
+        return;
+    }
+    // Handshake: magic/version, then the peer's claimed id and the
+    // group size it believes in. Any mismatch closes the connection.
+    let mut hello = [0u8; 24];
+    match read_full(&mut stream, &mut hello, shutdown) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return,
+    }
+    if &hello[..8] != HANDSHAKE_MAGIC {
+        return;
+    }
+    let from = u64::from_be_bytes(hello[8..16].try_into().expect("8 bytes")) as usize;
+    let peer_n = u64::from_be_bytes(hello[16..24].try_into().expect("8 bytes")) as usize;
+    if from >= n || peer_n != n {
+        return;
+    }
+    if events.send(NetEvent::PeerUp(from)).is_err() {
+        return;
+    }
+    let mut len_bytes = [0u8; 4];
+    while let Ok(true) = read_full(&mut stream, &mut len_bytes, shutdown) {
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > cfg.max_frame {
+            break; // hostile or corrupted length prefix
+        }
+        let mut body = vec![0u8; len];
+        match read_full(&mut stream, &mut body, shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        match decode_msg::<P>(&body) {
+            // A malformed frame is dropped but the connection survives:
+            // framing is still intact, so later frames decode fine.
+            Err(_) => continue,
+            Ok(msg) => {
+                if events.send(NetEvent::Inbound { from, msg }).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = events.send(NetEvent::PeerDown(from));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_consensus::{BytesPayload, Payload};
+
+    fn fast_cfg() -> TcpConfig {
+        TcpConfig {
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(100),
+            poll_interval: Duration::from_millis(5),
+            ..TcpConfig::default()
+        }
+    }
+
+    fn bind_group(n: usize, cfg: &TcpConfig) -> Vec<TcpTransport<BytesPayload>> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        listeners
+            .into_iter()
+            .enumerate()
+            .map(|(id, l)| {
+                TcpTransport::bind(id, l, addrs.clone(), cfg.clone()).expect("bind transport")
+            })
+            .collect()
+    }
+
+    fn p(b: &[u8]) -> BytesPayload {
+        BytesPayload(b.to_vec())
+    }
+
+    #[test]
+    fn two_nodes_exchange_messages() {
+        let group = bind_group(2, &fast_cfg());
+        let payload = p(b"over tcp");
+        let msg = PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            digest: payload.digest(),
+            payload,
+        };
+        group[0].send(1, &msg);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match group[1].recv_timeout(Duration::from_millis(100)) {
+                Some(NetEvent::Inbound { from, msg: got }) => {
+                    assert_eq!(from, 0);
+                    assert_eq!(got, msg);
+                    break;
+                }
+                Some(NetEvent::PeerUp(0)) => continue,
+                other => assert!(
+                    std::time::Instant::now() < deadline,
+                    "timed out waiting for message, last event {other:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn dial_backoff_recovers_when_peer_comes_up_late() {
+        // Reserve an address, then release it so node 1 starts down.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let late_addr = placeholder.local_addr().expect("addr");
+        drop(placeholder);
+
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("addr"), late_addr];
+        let cfg = fast_cfg();
+        let t0: TcpTransport<BytesPayload> =
+            TcpTransport::bind(0, l0, addrs.clone(), cfg.clone()).expect("bind transport");
+
+        let d = p(b"x").digest();
+        t0.send(
+            1,
+            &PbftMsg::Prepare {
+                view: 0,
+                seq: 1,
+                digest: d,
+            },
+        );
+        // Let several dial attempts fail first.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(t0.connected_peers(), 0);
+
+        let l1 = TcpListener::bind(late_addr).expect("rebind late addr");
+        let t1: TcpTransport<BytesPayload> =
+            TcpTransport::bind(1, l1, addrs, cfg).expect("bind transport");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match t1.recv_timeout(Duration::from_millis(100)) {
+                Some(NetEvent::Inbound {
+                    from: 0,
+                    msg: PbftMsg::Prepare { .. },
+                }) => break,
+                _ => assert!(
+                    std::time::Instant::now() < deadline,
+                    "retried frame never arrived after peer came up"
+                ),
+            }
+        }
+        assert_eq!(t0.connected_peers(), 1);
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic_and_bad_ids() {
+        let group = bind_group(2, &fast_cfg());
+        let addr = group[1].local_addr();
+
+        // Garbage magic: connection must be dropped without events.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"NOTCURB!\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0")
+            .expect("write");
+        // Out-of-range id.
+        let mut s2 = TcpStream::connect(addr).expect("connect");
+        let mut hello = Vec::new();
+        hello.extend_from_slice(HANDSHAKE_MAGIC);
+        hello.extend_from_slice(&7u64.to_be_bytes());
+        hello.extend_from_slice(&2u64.to_be_bytes());
+        s2.write_all(&hello).expect("write");
+        // Wrong group size.
+        let mut s3 = TcpStream::connect(addr).expect("connect");
+        let mut hello = Vec::new();
+        hello.extend_from_slice(HANDSHAKE_MAGIC);
+        hello.extend_from_slice(&0u64.to_be_bytes());
+        hello.extend_from_slice(&5u64.to_be_bytes());
+        s3.write_all(&hello).expect("write");
+
+        assert_eq!(group[1].recv_timeout(Duration::from_millis(200)), None);
+    }
+
+    #[test]
+    fn oversized_frame_closes_connection() {
+        let cfg = TcpConfig {
+            max_frame: 64,
+            ..fast_cfg()
+        };
+        let group = bind_group(2, &cfg);
+        let mut s = TcpStream::connect(group[1].local_addr()).expect("connect");
+        let mut hello = Vec::new();
+        hello.extend_from_slice(HANDSHAKE_MAGIC);
+        hello.extend_from_slice(&0u64.to_be_bytes());
+        hello.extend_from_slice(&2u64.to_be_bytes());
+        s.write_all(&hello).expect("write");
+        assert_eq!(
+            group[1].recv_timeout(Duration::from_secs(2)),
+            Some(NetEvent::PeerUp(0))
+        );
+        s.write_all(&(1u32 << 20).to_be_bytes())
+            .expect("write length");
+        assert_eq!(
+            group[1].recv_timeout(Duration::from_secs(2)),
+            Some(NetEvent::PeerDown(0))
+        );
+    }
+
+    #[test]
+    fn shutdown_frees_the_listening_port() {
+        let cfg = fast_cfg();
+        let group = bind_group(2, &cfg);
+        let addr = group[0].local_addr();
+        drop(group);
+        // The port must be rebindable immediately after drop.
+        TcpListener::bind(addr).expect("port released on drop");
+    }
+}

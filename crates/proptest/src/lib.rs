@@ -1,0 +1,467 @@
+//! An offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of proptest's surface that its test suites use:
+//! the [`proptest!`] macro, integer/range/array/tuple/vec strategies,
+//! [`sample::Index`], the `prop_assert*` / [`prop_assume!`] macros and
+//! [`ProptestConfig`]. Sampling is purely random (seeded
+//! deterministically per test from the test's module path, so runs are
+//! reproducible); there is **no shrinking** — a failure reports the
+//! case number and message, not a minimal counterexample.
+//!
+//! The number of cases per test defaults to [`DEFAULT_CASES`] and can
+//! be overridden per block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` or globally
+//! with the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeFrom};
+
+/// Default number of cases per property when no config is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Configuration for a `proptest!` block (subset of the real crate's
+/// `test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to run, honouring the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) => n,
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions (`prop_assume!`) were not met; it is
+    /// skipped without counting as a failure.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with `msg` as the report.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic splitmix64 generator used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (the test's path).
+    pub fn for_test(label: &str) -> Self {
+        // FNV-1a over the label gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for the full value range of `T` (`any::<T>()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        rng.next_u128()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX - self.start) as u64;
+                // `span` may be u64::MAX for 64-bit types; saturate the
+                // increment instead of overflowing.
+                let inc = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                self.start.saturating_add(inc as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_u128() % (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeFrom<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        let span = u128::MAX - self.start;
+        let inc = if span == u128::MAX {
+            rng.next_u128()
+        } else {
+            rng.next_u128() % (span + 1)
+        };
+        self.start.saturating_add(inc)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+/// Weighted index selection, mirroring `proptest::sample`.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use
+    /// time (`index.index(len)` maps it into `0..len`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Maps this index into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::sample::Index` etc. resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($lhs), stringify!($rhs), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($lhs), stringify!($rhs), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs against `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.effective_cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("property `{}` failed at case {case}:\n{msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = crate::TestRng::for_test("range");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = Strategy::sample(&prop::collection::vec(any::<u8>(), 3..7), &mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u64..100, b in any::<u32>(), idx in any::<prop::sample::Index>()) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b as u64, b as u64 + a);
+            prop_assert_ne!(a, 100, "a was {}", a);
+            let _ = idx.index(10);
+        }
+    }
+}

@@ -294,7 +294,10 @@ mod tests {
             FlowMatch::dst_host(HostId(2)),
             vec![FlowAction::Output(PortId(1))],
         ));
-        assert_eq!(t.lookup(&pkt(1, 2)), Some(&[FlowAction::Output(PortId(1))][..]));
+        assert_eq!(
+            t.lookup(&pkt(1, 2)),
+            Some(&[FlowAction::Output(PortId(1))][..])
+        );
         assert_eq!(t.lookup(&pkt(1, 3)), Some(&[FlowAction::Drop][..]));
     }
 
@@ -318,14 +321,25 @@ mod tests {
         t.add(FlowEntry::new(5, m, vec![FlowAction::Drop]));
         t.add(FlowEntry::new(5, m, vec![FlowAction::Output(PortId(2))]));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(&pkt(0, 1)), Some(&[FlowAction::Output(PortId(2))][..]));
+        assert_eq!(
+            t.lookup(&pkt(0, 1)),
+            Some(&[FlowAction::Output(PortId(2))][..])
+        );
     }
 
     #[test]
     fn equal_priority_earliest_wins() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(5, FlowMatch::dst_host(HostId(1)), vec![FlowAction::Drop]));
-        t.add(FlowEntry::new(5, FlowMatch::any(), vec![FlowAction::ToController]));
+        t.add(FlowEntry::new(
+            5,
+            FlowMatch::dst_host(HostId(1)),
+            vec![FlowAction::Drop],
+        ));
+        t.add(FlowEntry::new(
+            5,
+            FlowMatch::any(),
+            vec![FlowAction::ToController],
+        ));
         // Both match dst=1 at priority 5; the first-installed must win.
         assert_eq!(t.lookup(&pkt(0, 1)), Some(&[FlowAction::Drop][..]));
     }
@@ -333,18 +347,40 @@ mod tests {
     #[test]
     fn modify_rewrites_covered_entries() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(5, FlowMatch::pair(HostId(1), HostId(2)), vec![FlowAction::Drop]));
-        t.add(FlowEntry::new(5, FlowMatch::pair(HostId(3), HostId(2)), vec![FlowAction::Drop]));
-        let n = t.modify(&FlowMatch::dst_host(HostId(2)), &[FlowAction::Output(PortId(7))]);
+        t.add(FlowEntry::new(
+            5,
+            FlowMatch::pair(HostId(1), HostId(2)),
+            vec![FlowAction::Drop],
+        ));
+        t.add(FlowEntry::new(
+            5,
+            FlowMatch::pair(HostId(3), HostId(2)),
+            vec![FlowAction::Drop],
+        ));
+        let n = t.modify(
+            &FlowMatch::dst_host(HostId(2)),
+            &[FlowAction::Output(PortId(7))],
+        );
         assert_eq!(n, 2);
-        assert_eq!(t.lookup(&pkt(1, 2)), Some(&[FlowAction::Output(PortId(7))][..]));
+        assert_eq!(
+            t.lookup(&pkt(1, 2)),
+            Some(&[FlowAction::Output(PortId(7))][..])
+        );
     }
 
     #[test]
     fn delete_removes_covered_entries() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(5, FlowMatch::pair(HostId(1), HostId(2)), vec![FlowAction::Drop]));
-        t.add(FlowEntry::new(5, FlowMatch::pair(HostId(1), HostId(3)), vec![FlowAction::Drop]));
+        t.add(FlowEntry::new(
+            5,
+            FlowMatch::pair(HostId(1), HostId(2)),
+            vec![FlowAction::Drop],
+        ));
+        t.add(FlowEntry::new(
+            5,
+            FlowMatch::pair(HostId(1), HostId(3)),
+            vec![FlowAction::Drop],
+        ));
         assert_eq!(t.delete(&FlowMatch::dst_host(HostId(2))), 1);
         assert_eq!(t.len(), 1);
         assert!(t.lookup(&pkt(1, 2)).is_none());

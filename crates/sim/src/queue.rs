@@ -130,9 +130,21 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::ZERO + Duration::from_millis(3), NodeId(1), deliver(3));
-        q.schedule(SimTime::ZERO + Duration::from_millis(1), NodeId(1), deliver(1));
-        q.schedule(SimTime::ZERO + Duration::from_millis(2), NodeId(1), deliver(2));
+        q.schedule(
+            SimTime::ZERO + Duration::from_millis(3),
+            NodeId(1),
+            deliver(3),
+        );
+        q.schedule(
+            SimTime::ZERO + Duration::from_millis(1),
+            NodeId(1),
+            deliver(1),
+        );
+        q.schedule(
+            SimTime::ZERO + Duration::from_millis(2),
+            NodeId(1),
+            deliver(2),
+        );
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.payload {
                 EventPayload::Deliver { msg, .. } => msg,
@@ -163,7 +175,11 @@ mod tests {
         let mut q: EventQueue<u32> = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.schedule(SimTime::from_nanos(5), NodeId(0), EventPayload::Timer { tag: 7 });
+        q.schedule(
+            SimTime::from_nanos(5),
+            NodeId(0),
+            EventPayload::Timer { tag: 7 },
+        );
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
     }

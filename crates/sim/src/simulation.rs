@@ -189,7 +189,10 @@ impl<M: Message, A: Actor<M>> Simulation<M, A> {
     pub fn set_delay_matrix(&mut self, m: Vec<Vec<Duration>>) {
         let n = self.actors.len();
         assert_eq!(m.len(), n, "delay matrix must be n x n");
-        assert!(m.iter().all(|row| row.len() == n), "delay matrix must be n x n");
+        assert!(
+            m.iter().all(|row| row.len() == n),
+            "delay matrix must be n x n"
+        );
         self.delays = DelayStrategy::Matrix(m);
     }
 
@@ -436,16 +439,27 @@ impl<M: Message, A: Actor<M>> Simulation<M, A> {
             }
             for effect in effects {
                 match effect {
-                    Effect::Send { to, msg, extra_delay } => {
-                        let arrival =
-                            self.clock + self.link_delay(target, to, msg.size_bytes()) + extra_delay;
+                    Effect::Send {
+                        to,
+                        msg,
+                        extra_delay,
+                    } => {
+                        let arrival = self.clock
+                            + self.link_delay(target, to, msg.size_bytes())
+                            + extra_delay;
                         self.stats.record(msg.category(), msg.size_bytes());
-                        self.queue
-                            .schedule(arrival, to, EventPayload::Deliver { from: target, msg });
+                        self.queue.schedule(
+                            arrival,
+                            to,
+                            EventPayload::Deliver { from: target, msg },
+                        );
                     }
                     Effect::Timer { delay, tag } => {
-                        self.queue
-                            .schedule(self.clock + delay, target, EventPayload::Timer { tag });
+                        self.queue.schedule(
+                            self.clock + delay,
+                            target,
+                            EventPayload::Timer { tag },
+                        );
                     }
                 }
             }
@@ -496,7 +510,10 @@ mod tests {
 
     impl Recorder {
         fn new(reply: bool) -> Self {
-            Recorder { log: Vec::new(), reply }
+            Recorder {
+                log: Vec::new(),
+                reply,
+            }
         }
     }
 
@@ -680,7 +697,12 @@ mod tests {
         sim.post(NodeId(0), NodeId(1), Num(2));
         sim.post(NodeId(0), NodeId(1), Num(3));
         sim.run_to_quiescence();
-        let times: Vec<SimTime> = sim.actor(NodeId(1)).log.iter().map(|(t, _, _)| *t).collect();
+        let times: Vec<SimTime> = sim
+            .actor(NodeId(1))
+            .log
+            .iter()
+            .map(|(t, _, _)| *t)
+            .collect();
         assert_eq!(
             times,
             vec![
@@ -697,7 +719,12 @@ mod tests {
         sim.post(NodeId(0), NodeId(1), Num(1));
         sim.post(NodeId(0), NodeId(1), Num(2));
         sim.run_to_quiescence();
-        let times: Vec<SimTime> = sim.actor(NodeId(1)).log.iter().map(|(t, _, _)| *t).collect();
+        let times: Vec<SimTime> = sim
+            .actor(NodeId(1))
+            .log
+            .iter()
+            .map(|(t, _, _)| *t)
+            .collect();
         assert_eq!(times[0], times[1]);
     }
 
@@ -710,8 +737,9 @@ mod tests {
         sim.run_to_quiescence();
         let log = &sim.actor(NodeId(1)).log;
         // Timer fires at 12ms even though the node is "busy".
-        assert!(log.iter().any(|&(t, _, v)| v == 1_000_009
-            && t == SimTime::ZERO + Duration::from_millis(12)));
+        assert!(log
+            .iter()
+            .any(|&(t, _, v)| v == 1_000_009 && t == SimTime::ZERO + Duration::from_millis(12)));
     }
 
     #[test]
@@ -723,10 +751,7 @@ mod tests {
                 sim.post(NodeId(0), NodeId(1), Num(i));
             }
             sim.run_to_quiescence();
-            (
-                sim.actor(NodeId(1)).log.len(),
-                sim.dropped_messages(),
-            )
+            (sim.actor(NodeId(1)).log.len(), sim.dropped_messages())
         };
         let (delivered, dropped) = run();
         assert_eq!(delivered as u64 + dropped, 100);

@@ -11,7 +11,6 @@
 //! cargo run --release --example byzantine_takeover
 //! ```
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork, ProtoTx, ReqKind};
 use curb::graph::internet2;
@@ -46,20 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if let ReqKind::ReAss { accused } = &proto.record.kind {
                     println!(
                         "  block {}: switch s{} accused {:?}",
-                        block.header.height,
-                        proto.record.key.switch.0,
-                        accused
+                        block.header.height, proto.record.key.switch.0, accused
                     );
                 }
             }
         }
     }
 
-    let report_victim_removed = net
-        .run_round()
-        .removed_controllers
-        .contains(&victim);
-    assert!(report_victim_removed, "the byzantine controller must be gone");
-    println!("\ncontroller c{victim} was detected, accused and removed; the network is healthy again");
+    let report_victim_removed = net.run_round().removed_controllers.contains(&victim);
+    assert!(
+        report_victim_removed,
+        "the byzantine controller must be gone"
+    );
+    println!(
+        "\ncontroller c{victim} was detected, accused and removed; the network is healthy again"
+    );
     Ok(())
 }

@@ -60,8 +60,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let served: usize = report.rounds.iter().map(|r| r.accepted).sum();
     let asked: usize = report.rounds.iter().map(|r| r.requests).sum();
-    println!(
-        "\n{served}/{asked} requests served under loss; redundancy absorbs the rest"
-    );
+    println!("\n{served}/{asked} requests served under loss; redundancy absorbs the rest");
     Ok(())
 }

@@ -5,7 +5,6 @@
 //! cargo run --release --example quickstart
 //! ```
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{CurbConfig, CurbNetwork};
 use curb::graph::internet2;
@@ -30,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.epoch().final_com
     );
     for (i, group) in net.epoch().groups.iter().enumerate() {
-        println!("  group {i}: leader c{} members {:?}", group.leader(), group.members);
+        println!(
+            "  group {i}: leader c{} members {:?}",
+            group.leader(),
+            group.members
+        );
     }
 
     // Steps 1-4, five times: every switch raises one PKT-IN per round;

@@ -6,7 +6,6 @@
 //! cargo run --release --example scalability
 //! ```
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{CurbConfig, CurbNetwork};
 use curb::graph::synthetic;

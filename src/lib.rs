@@ -12,6 +12,8 @@
 //! * [`chain`] — the permissioned blockchain component.
 //! * [`assign`] — the controller-assignment optimisation (OP) solver.
 //! * [`core`] — the Curb protocol itself (groups, rounds, reassignment).
+//! * [`net`] — real TCP (and loopback) transport runtime for the
+//!   consensus core.
 //!
 //! ## Quickstart
 //!
@@ -35,5 +37,6 @@ pub use curb_consensus as consensus;
 pub use curb_core as core;
 pub use curb_crypto as crypto;
 pub use curb_graph as graph;
+pub use curb_net as net;
 pub use curb_sdn as sdn;
 pub use curb_sim as sim;

@@ -1,7 +1,6 @@
 //! Byzantine-resilience integration tests: detection, reassignment and
 //! recovery (the paper's Section IV-A1).
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork};
 use curb::graph::internet2;
@@ -22,7 +21,10 @@ fn silent_leader_is_detected_and_removed() {
         .expect("byzantine controller must be detected");
     // suspect_threshold = 5 strikes, so detection in round 5 (commit may
     // land in 5 or 6 depending on whether the victim led the group).
-    assert!((5..=6).contains(&detection), "detected in round {detection}");
+    assert!(
+        (5..=6).contains(&detection),
+        "detected in round {detection}"
+    );
     let last = report.rounds.last().expect("rounds ran");
     assert_eq!(last.removed_controllers, vec![victim]);
     // Performance recovered: final round at full acceptance.
@@ -120,7 +122,10 @@ fn multiple_byzantine_in_different_groups_all_removed() {
         let conflict = epoch.groups.iter().any(|other| {
             other.members.contains(&cand) && other.members.iter().any(|m| victims.contains(m))
         });
-        let committee = victims.iter().filter(|v| epoch.final_com.contains(v)).count();
+        let committee = victims
+            .iter()
+            .filter(|v| epoch.final_com.contains(v))
+            .count();
         if !victims.contains(&cand)
             && !conflict
             && (!epoch.final_com.contains(&cand) || committee == 0)

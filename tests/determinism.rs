@@ -1,7 +1,6 @@
 //! Reproducibility: the whole simulation is a deterministic function
 //! of its seed — a property the paper's Mininet testbed cannot offer.
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork};
 use curb::graph::{internet2, synthetic};

@@ -2,7 +2,6 @@
 //! topology — PKT-IN requests through intra-group consensus, the final
 //! committee, the blockchain, replies, and flow-table installation.
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{ControllerId, CurbConfig, CurbNetwork, SwitchId};
 use curb::graph::internet2;

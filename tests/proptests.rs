@@ -1,11 +1,12 @@
 //! Cross-crate property tests: protocol-level invariants on random
 //! topologies and fault placements.
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::assign::{solve, CapModel, Objective, SolveOptions};
+use curb::consensus::{BytesPayload, Payload, PbftMsg};
 use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork};
 use curb::graph::synthetic;
+use curb::net::{decode_msg, encode_msg};
 use proptest::prelude::*;
 
 proptest! {
@@ -127,5 +128,43 @@ proptest! {
             let (lr, la) = lcr.moves.expect("previous supplied");
             prop_assert!(lr + la <= tr + ta, "LCR moved {} > TCR {}", lr + la, tr + ta);
         }
+    }
+}
+
+proptest! {
+    /// The consensus wire codec round-trips every message variant, any
+    /// one-byte truncation is an error, and arbitrary garbage input
+    /// must error (never panic) — the transport feeds it raw peer
+    /// bytes.
+    #[test]
+    fn wire_codec_total_on_adversarial_input(
+        variant in 0u8..5,
+        view in any::<u64>(),
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        carried in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..16)),
+            0..4,
+        ),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let p = BytesPayload(body);
+        let list: Vec<(u64, BytesPayload)> = carried
+            .into_iter()
+            .map(|(s, b)| (s, BytesPayload(b)))
+            .collect();
+        let msg = match variant {
+            0 => PbftMsg::PrePrepare { view, seq, digest: p.digest(), payload: p },
+            1 => PbftMsg::Prepare { view, seq, digest: p.digest() },
+            2 => PbftMsg::Commit { view, seq, digest: p.digest() },
+            3 => PbftMsg::ViewChange { new_view: view, prepared: list },
+            _ => PbftMsg::NewView { view, reproposals: list },
+        };
+        let encoded = encode_msg(&msg);
+        let decoded = decode_msg::<BytesPayload>(&encoded);
+        prop_assert_eq!(decoded, Ok(msg));
+        prop_assert!(decode_msg::<BytesPayload>(&encoded[..encoded.len() - 1]).is_err());
+        // Totality: garbage may happen to decode, but must never panic.
+        let _ = decode_msg::<BytesPayload>(&garbage);
     }
 }

@@ -1,7 +1,6 @@
 //! Theorem 1 integration test: message complexity of grouped Curb is
 //! near-linear in `N`, the flat baseline near-quadratic.
 
-
 #![allow(clippy::field_reassign_with_default)]
 use curb::core::{CurbConfig, CurbNetwork};
 use curb::graph::synthetic;

@@ -2,20 +2,28 @@
 //!
 //! Spins up an `n`-replica PBFT cluster where every replica is a real
 //! OS thread behind its own transport — localhost TCP sockets by
-//! default, in-memory loopback with `--loopback` — drives client
-//! proposals through the leader with a bounded pipeline window, and
-//! reports commit throughput plus p50/p99 proposal→commit latency as
-//! JSON.
+//! default, in-memory loopback with `--loopback` — and drives client
+//! proposals through the leader with a bounded pipeline window. The
+//! run sweeps the runner's `max_batch` knob (`--batch`, comma
+//! separated) so the same process measures the unbatched baseline and
+//! the batched hot path side by side. All numbers are **per payload**,
+//! not per consensus instance: throughput in payloads/s plus p50/p99
+//! submission→commit latency.
+//!
+//! Results are printed as JSON and also written to a machine-readable
+//! report (`--out`, default `BENCH_net.json`) so the perf trajectory
+//! can be tracked across PRs.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p curb-bench --bin netbench -- \
-//!     [--n 4] [--proposals 200] [--payload 256] [--window 16] [--loopback]
+//!     [--n 4] [--proposals 500] [--payload 256] [--inflight 256] \
+//!     [--batch 1,16,64] [--window 0] [--loopback] [--out BENCH_net.json]
 //! ```
 
 use curb_bench::{arg_flag, arg_value};
-use curb_consensus::{BytesPayload, Replica};
+use curb_consensus::{Batch, BytesPayload, Replica};
 use curb_net::{LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
@@ -28,7 +36,19 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn spawn_tcp_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
+fn runner_cfg(max_batch: usize, window: Duration) -> RunnerConfig {
+    RunnerConfig {
+        max_batch,
+        batch_window: window,
+        ..RunnerConfig::default()
+    }
+}
+
+fn spawn_tcp_cluster(
+    n: usize,
+    max_batch: usize,
+    window: Duration,
+) -> Vec<RunnerHandle<BytesPayload>> {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
         .collect();
@@ -40,79 +60,111 @@ fn spawn_tcp_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
         .into_iter()
         .enumerate()
         .map(|(id, listener)| {
-            let transport = TcpTransport::bind(id, listener, addrs.clone(), TcpConfig::default())
-                .expect("bind transport");
-            NetRunner::spawn(Replica::new(id, n), transport, RunnerConfig::default())
+            let transport: TcpTransport<Batch<BytesPayload>> =
+                TcpTransport::bind(id, listener, addrs.clone(), TcpConfig::default())
+                    .expect("bind transport");
+            NetRunner::spawn(
+                Replica::new(id, n),
+                transport,
+                runner_cfg(max_batch, window),
+            )
         })
         .collect()
 }
 
-fn spawn_loopback_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
-    LoopbackTransport::<BytesPayload>::group(n)
+fn spawn_loopback_cluster(
+    n: usize,
+    max_batch: usize,
+    window: Duration,
+) -> Vec<RunnerHandle<BytesPayload>> {
+    LoopbackTransport::<Batch<BytesPayload>>::group(n)
         .into_iter()
         .enumerate()
-        .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, RunnerConfig::default()))
+        .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, runner_cfg(max_batch, window)))
         .collect()
 }
 
-fn main() {
-    let n: usize = arg_value("n").and_then(|v| v.parse().ok()).unwrap_or(4);
-    let proposals: usize = arg_value("proposals")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200);
-    let payload_size: usize = arg_value("payload")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256);
-    let window: usize = arg_value("window")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16)
-        .max(1);
-    let loopback = arg_flag("loopback");
-    assert!((2..=64).contains(&n), "--n must be in 2..=64");
-    assert!(proposals > 0, "--proposals must be positive");
+struct RunResult {
+    max_batch: usize,
+    elapsed_s: f64,
+    throughput: f64,
+    batches_decided: u64,
+    latencies_ms: Vec<f64>,
+    follower_commits: Vec<usize>,
+}
 
+fn run_once(
+    n: usize,
+    proposals: usize,
+    payload_size: usize,
+    inflight: usize,
+    max_batch: usize,
+    window: Duration,
+    loopback: bool,
+) -> RunResult {
     let handles = if loopback {
-        spawn_loopback_cluster(n)
+        spawn_loopback_cluster(n, max_batch, window)
     } else {
-        spawn_tcp_cluster(n)
+        spawn_tcp_cluster(n, max_batch, window)
     };
     let leader = &handles[0];
 
-    // Pipeline proposals through the leader with at most `window`
-    // outstanding; latency is measured per sequence number from
-    // submission to the leader's own commit.
+    // Each payload embeds its submission index in its first 8 bytes so
+    // per-payload order and latency survive batching.
+    let make_payload = |idx: u64| {
+        let mut body = vec![0u8; payload_size.max(8)];
+        body[..8].copy_from_slice(&idx.to_be_bytes());
+        BytesPayload(body)
+    };
+
+    // Warm up: one throwaway commit, observed on every replica, forces
+    // all TCP connections (and their reconnect backoff) through before
+    // the clock starts — the measured window is the steady-state hot
+    // path, not connection setup.
+    assert!(leader.propose(make_payload(0)), "runner stopped early");
+    for (r, h) in handles.iter().enumerate() {
+        h.decisions
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("replica {r} missed the warmup commit"));
+    }
+
+    // Pipeline proposals through the leader with at most `inflight`
+    // payloads outstanding.
     let mut submit_times: Vec<Instant> = Vec::with_capacity(proposals);
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(proposals);
     let started = Instant::now();
     let mut submitted = 0usize;
     let mut committed = 0usize;
     while committed < proposals {
-        while submitted < proposals && submitted - committed < window {
-            let mut body = vec![0u8; payload_size];
-            body[..8.min(payload_size)]
-                .copy_from_slice(&(submitted as u64).to_be_bytes()[..8.min(payload_size)]);
+        while submitted < proposals && submitted - committed < inflight {
             submit_times.push(Instant::now());
-            assert!(leader.propose(BytesPayload(body)), "runner stopped early");
+            assert!(
+                leader.propose(make_payload(1 + submitted as u64)),
+                "runner stopped early"
+            );
             submitted += 1;
         }
         match leader.decisions.recv_timeout(Duration::from_secs(30)) {
-            Ok((seq, _)) => {
-                // Sequences are 1-based and commit in order.
-                let idx = (seq - 1) as usize;
-                if idx < submit_times.len() {
-                    latencies_ms.push(submit_times[idx].elapsed().as_secs_f64() * 1e3);
-                }
+            Ok(d) => {
+                let idx = u64::from_be_bytes(d.payload.0[..8].try_into().expect("8-byte header"))
+                    as usize;
+                assert_eq!(
+                    idx,
+                    committed + 1,
+                    "deliveries must follow submission order"
+                );
+                latencies_ms.push(submit_times[idx - 1].elapsed().as_secs_f64() * 1e3);
                 committed += 1;
             }
             Err(_) => {
-                eprintln!("timed out after {committed}/{proposals} commits");
+                eprintln!("timed out after {committed}/{proposals} commits (batch {max_batch})");
                 std::process::exit(1);
             }
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
 
-    // Every replica must have committed the full prefix too.
+    // Every replica must deliver the full per-payload prefix too.
     let mut follower_commits = vec![0usize; n];
     follower_commits[0] = committed;
     for (r, h) in handles.iter().enumerate().skip(1) {
@@ -124,46 +176,135 @@ fn main() {
         }
     }
 
+    // All replicas decide the same batches; report the leader's count.
+    let batches_decided = handles
+        .into_iter()
+        .map(|h| h.join().decided)
+        .max()
+        .unwrap_or(0);
+
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
-    println!("{{");
-    println!("  \"bench\": \"netbench\",");
-    println!(
-        "  \"transport\": \"{}\",",
-        if loopback { "loopback" } else { "tcp" }
-    );
-    println!("  \"replicas\": {n},");
-    println!("  \"proposals\": {proposals},");
-    println!("  \"payload_bytes\": {payload_size},");
-    println!("  \"window\": {window},");
-    println!("  \"elapsed_s\": {elapsed:.4},");
-    println!(
-        "  \"throughput_commits_per_s\": {:.2},",
-        committed as f64 / elapsed
-    );
-    println!("  \"latency_ms\": {{");
-    println!("    \"mean\": {mean:.3},");
-    println!("    \"p50\": {:.3},", percentile(&latencies_ms, 0.50));
-    println!("    \"p99\": {:.3},", percentile(&latencies_ms, 0.99));
-    println!(
-        "    \"max\": {:.3}",
-        latencies_ms.last().copied().unwrap_or(0.0)
-    );
-    println!("  }},");
-    println!(
-        "  \"follower_commits\": [{}]",
-        follower_commits
+    RunResult {
+        max_batch,
+        elapsed_s: elapsed,
+        throughput: committed as f64 / elapsed,
+        batches_decided,
+        latencies_ms,
+        follower_commits,
+    }
+}
+
+fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String {
+    let mean = r.latencies_ms.iter().sum::<f64>() / r.latencies_ms.len().max(1) as f64;
+    let fill = r.follower_commits[0] as f64 / r.batches_decided.max(1) as f64;
+    let speedup = baseline
+        .map(|b| format!("{:.3}", r.throughput / b))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{indent}{{\n\
+         {indent}  \"max_batch\": {},\n\
+         {indent}  \"elapsed_s\": {:.4},\n\
+         {indent}  \"throughput_payloads_per_s\": {:.2},\n\
+         {indent}  \"batches_decided\": {},\n\
+         {indent}  \"avg_batch_fill\": {:.2},\n\
+         {indent}  \"speedup_vs_unbatched\": {},\n\
+         {indent}  \"latency_ms\": {{\n\
+         {indent}    \"mean\": {:.3},\n\
+         {indent}    \"p50\": {:.3},\n\
+         {indent}    \"p99\": {:.3},\n\
+         {indent}    \"max\": {:.3}\n\
+         {indent}  }},\n\
+         {indent}  \"follower_commits\": [{}]\n\
+         {indent}}}",
+        r.max_batch,
+        r.elapsed_s,
+        r.throughput,
+        r.batches_decided,
+        fill,
+        speedup,
+        mean,
+        percentile(&r.latencies_ms, 0.50),
+        percentile(&r.latencies_ms, 0.99),
+        r.latencies_ms.last().copied().unwrap_or(0.0),
+        r.follower_commits
             .iter()
             .map(|c| c.to_string())
             .collect::<Vec<_>>()
-            .join(", ")
-    );
-    println!("}}");
+            .join(", "),
+    )
+}
 
-    let all_caught_up = follower_commits.iter().all(|&c| c == proposals);
-    for h in handles {
-        h.join();
+fn main() {
+    let n: usize = arg_value("n").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let proposals: usize = arg_value("proposals")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let payload_size: usize = arg_value("payload")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let inflight: usize = arg_value("inflight")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+        .max(1);
+    let batches: Vec<usize> = arg_value("batch")
+        .unwrap_or_else(|| "1,16,64".to_string())
+        .split(',')
+        .filter_map(|b| b.trim().parse().ok())
+        .filter(|&b| b >= 1)
+        .collect();
+    let window = Duration::from_millis(
+        arg_value("window")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    );
+    let out_path = arg_value("out").unwrap_or_else(|| "BENCH_net.json".to_string());
+    let loopback = arg_flag("loopback");
+    assert!((2..=64).contains(&n), "--n must be in 2..=64");
+    assert!(proposals > 0, "--proposals must be positive");
+    assert!(!batches.is_empty(), "--batch must name at least one size");
+
+    let results: Vec<RunResult> = batches
+        .iter()
+        .map(|&b| {
+            eprintln!("netbench: running max_batch={b} …");
+            run_once(n, proposals, payload_size, inflight, b, window, loopback)
+        })
+        .collect();
+    let baseline = results
+        .iter()
+        .find(|r| r.max_batch == 1)
+        .map(|r| r.throughput);
+
+    let runs_json: Vec<String> = results
+        .iter()
+        .map(|r| render_run_json(r, baseline, "    "))
+        .collect();
+    let report = format!(
+        "{{\n\
+         \x20 \"bench\": \"netbench\",\n\
+         \x20 \"transport\": \"{}\",\n\
+         \x20 \"replicas\": {n},\n\
+         \x20 \"proposals\": {proposals},\n\
+         \x20 \"payload_bytes\": {},\n\
+         \x20 \"inflight\": {inflight},\n\
+         \x20 \"batch_window_ms\": {},\n\
+         \x20 \"runs\": [\n{}\n  ]\n\
+         }}",
+        if loopback { "loopback" } else { "tcp" },
+        payload_size.max(8),
+        window.as_millis(),
+        runs_json.join(",\n"),
+    );
+    println!("{report}");
+    if let Err(e) = std::fs::write(&out_path, format!("{report}\n")) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        eprintln!("netbench: report written to {out_path}");
     }
+
+    let all_caught_up = results
+        .iter()
+        .all(|r| r.follower_commits.iter().all(|&c| c == proposals));
     if !all_caught_up {
         eprintln!("warning: not every follower drained all {proposals} commits");
         std::process::exit(2);

@@ -1,0 +1,218 @@
+//! Batched payloads: one consensus instance amortised over many
+//! client proposals.
+//!
+//! PBFT's cost per decision is three broadcast rounds regardless of
+//! how much data the decision carries, so the throughput lever is to
+//! agree on *many* client payloads at once. [`Batch`] wraps an ordered
+//! `Vec<P>` and is itself a [`Payload`] (its digest covers the count
+//! and every member digest, so two batches with the same members in a
+//! different order have different digests) and a [`PayloadCodec`]
+//! (count-prefixed, each member length-prefixed, totally decoded).
+//!
+//! Delivery stays per-payload: [`Batch::unfold`] turns a decided
+//! `(seq, batch)` back into `(seq, index, payload)` triples in
+//! submission order, so consumers observe the same total order
+//! `(seq, index)` on every replica.
+
+use crate::payload::{Payload, PayloadCodec};
+use crate::replica::Seq;
+use curb_crypto::sha256::{digest_parts, Digest};
+
+/// Hard cap on the member count a decoded batch may claim; prevents a
+/// hostile count prefix from pre-allocating gigabytes.
+pub const MAX_BATCH_PAYLOADS: u32 = 1 << 20;
+
+/// An ordered list of payloads agreed on as a single consensus value.
+///
+/// The [`Default`] value (the empty batch) doubles as the no-op filler
+/// view changes use for sequence holes: it unfolds to zero deliveries,
+/// so holes commit without delivering anything.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Batch<P>(pub Vec<P>);
+
+impl<P> Default for Batch<P> {
+    fn default() -> Self {
+        Batch(Vec::new())
+    }
+}
+
+impl<P> Batch<P> {
+    /// A batch carrying exactly one payload.
+    pub fn single(payload: P) -> Self {
+        Batch(vec![payload])
+    }
+
+    /// Number of payloads in the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the batch carries no payloads (a no-op filler).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Unfolds a batch decided at `seq` into per-payload deliveries,
+    /// in submission order: `(seq, 0, p0), (seq, 1, p1), …`.
+    pub fn unfold(self, seq: Seq) -> impl Iterator<Item = (Seq, u32, P)> {
+        self.0
+            .into_iter()
+            .enumerate()
+            .map(move |(i, p)| (seq, i as u32, p))
+    }
+}
+
+impl<P: Payload> Payload for Batch<P> {
+    fn digest(&self) -> Digest {
+        let count = (self.0.len() as u32).to_be_bytes();
+        let member_digests: Vec<Digest> = self.0.iter().map(Payload::digest).collect();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(member_digests.len() + 2);
+        parts.push(b"curb-batch");
+        parts.push(&count);
+        for d in &member_digests {
+            parts.push(&d.0);
+        }
+        digest_parts(&parts)
+    }
+
+    fn wire_size(&self) -> usize {
+        4 + self.0.iter().map(|p| 4 + p.wire_size()).sum::<usize>()
+    }
+}
+
+impl<P: PayloadCodec> PayloadCodec for Batch<P> {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_be_bytes());
+        for p in &self.0 {
+            // Length prefix back-patched after encoding, so members
+            // encode straight into `out` without a scratch allocation.
+            let start = out.len();
+            out.extend_from_slice(&[0u8; 4]);
+            p.encode_payload(out);
+            let len = (out.len() - start - 4) as u32;
+            out[start..start + 4].copy_from_slice(&len.to_be_bytes());
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let count_bytes: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+        let count = u32::from_be_bytes(count_bytes);
+        let mut rest = bytes.get(4..)?;
+        // Every member needs at least its 4-byte length prefix, so a
+        // plausible count is bounded by the remaining bytes.
+        if count > MAX_BATCH_PAYLOADS || count as usize > rest.len() / 4 {
+            return None;
+        }
+        let mut payloads = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let len_bytes: [u8; 4] = rest.get(..4)?.try_into().ok()?;
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            rest = rest.get(4..)?;
+            payloads.push(P::decode_payload(rest.get(..len)?)?);
+            rest = rest.get(len..)?;
+        }
+        if !rest.is_empty() {
+            return None; // trailing garbage
+        }
+        Some(Batch(payloads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::BytesPayload;
+
+    fn batch(parts: &[&[u8]]) -> Batch<BytesPayload> {
+        Batch(parts.iter().map(|b| BytesPayload(b.to_vec())).collect())
+    }
+
+    fn roundtrip(b: &Batch<BytesPayload>) -> Option<Batch<BytesPayload>> {
+        let mut bytes = Vec::new();
+        b.encode_payload(&mut bytes);
+        Batch::decode_payload(&bytes)
+    }
+
+    #[test]
+    fn digest_depends_on_order_and_boundaries() {
+        assert_ne!(
+            batch(&[b"ab", b"c"]).digest(),
+            batch(&[b"a", b"bc"]).digest(),
+            "member boundaries must be digested"
+        );
+        assert_ne!(
+            batch(&[b"a", b"b"]).digest(),
+            batch(&[b"b", b"a"]).digest(),
+            "member order must be digested"
+        );
+        assert_eq!(batch(&[b"a", b"b"]).digest(), batch(&[b"a", b"b"]).digest());
+    }
+
+    #[test]
+    fn empty_batch_is_default_and_roundtrips() {
+        let empty = Batch::<BytesPayload>::default();
+        assert!(empty.is_empty());
+        assert_eq!(roundtrip(&empty), Some(empty.clone()));
+        assert_eq!(empty.unfold(7).count(), 0, "no-op filler delivers nothing");
+    }
+
+    #[test]
+    fn codec_roundtrips_including_empty_members() {
+        for b in [
+            batch(&[b"x"]),
+            batch(&[b"", b"", b""]),
+            batch(&[b"flow", b"", b"update", &[0xFF; 300]]),
+        ] {
+            assert_eq!(roundtrip(&b), Some(b.clone()));
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_submission_order() {
+        let unfolded: Vec<_> = batch(&[b"a", b"b", b"c"]).unfold(9).collect();
+        assert_eq!(
+            unfolded,
+            vec![
+                (9, 0, BytesPayload(b"a".to_vec())),
+                (9, 1, BytesPayload(b"b".to_vec())),
+                (9, 2, BytesPayload(b"c".to_vec())),
+            ]
+        );
+    }
+
+    #[test]
+    fn hostile_count_rejected_without_allocation() {
+        // Claims u32::MAX members in a 6-byte body.
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0, 0]);
+        assert_eq!(Batch::<BytesPayload>::decode_payload(&bytes), None);
+        // Claims exactly the cap + 1 with enough bytes per prefix to
+        // pass the plausibility check — still rejected by the cap.
+        let over = MAX_BATCH_PAYLOADS + 1;
+        let mut bytes = over.to_be_bytes().to_vec();
+        bytes.resize(4 + over as usize * 4, 0);
+        assert_eq!(Batch::<BytesPayload>::decode_payload(&bytes), None);
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_rejected() {
+        let b = batch(&[b"hello", b"world"]);
+        let mut bytes = Vec::new();
+        b.encode_payload(&mut bytes);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Batch::<BytesPayload>::decode_payload(&bytes[..cut]),
+                None,
+                "cut at {cut}"
+            );
+        }
+        bytes.push(0);
+        assert_eq!(Batch::<BytesPayload>::decode_payload(&bytes), None);
+    }
+
+    #[test]
+    fn wire_size_counts_prefixes() {
+        assert_eq!(batch(&[]).wire_size(), 4);
+        assert_eq!(batch(&[b"abc", b""]).wire_size(), 4 + (4 + 3) + 4);
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cluster;
 mod core_select;
 pub mod hotstuff;
@@ -47,6 +48,7 @@ mod payload;
 mod replica;
 pub mod tendermint;
 
+pub use batch::{Batch, MAX_BATCH_PAYLOADS};
 pub use cluster::Cluster;
 pub use core_select::{BftCore, CoreKind, CoreMsg};
 pub use hotstuff::{HotStuffMsg, HotStuffReplica, HsCluster, HsOutbound};

@@ -162,6 +162,12 @@ impl<P: Payload + Default> Replica<P> {
         self.next_deliver
     }
 
+    /// Instances this replica has assigned a sequence number to but
+    /// not yet delivered — the pipelining depth a leader is running at.
+    pub fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_deliver
+    }
+
     /// Proposes `payload` at the next sequence number.
     ///
     /// # Errors

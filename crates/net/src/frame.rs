@@ -18,7 +18,7 @@
 //! payload   := u32 len | PayloadCodec bytes
 //! ```
 
-use curb_chain::codec::{put_bytes, ByteReader, CodecError};
+use curb_chain::codec::{ByteReader, CodecError};
 use curb_consensus::{PayloadCodec, PbftMsg};
 use std::io::{self, Read, Write};
 
@@ -71,9 +71,14 @@ const TAG_NEW_VIEW: u8 = 4;
 const MAX_CARRIED: u32 = 1 << 20;
 
 fn put_payload<P: PayloadCodec>(out: &mut Vec<u8>, payload: &P) {
-    let mut bytes = Vec::new();
-    payload.encode_payload(&mut bytes);
-    put_bytes(out, &bytes);
+    // Encode straight into `out` and back-patch the length prefix, so
+    // the hot send path allocates nothing per payload. The layout is
+    // identical to `put_bytes` (u32 length, then the bytes).
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    payload.encode_payload(out);
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_be_bytes());
 }
 
 fn get_payload<P: PayloadCodec>(r: &mut ByteReader<'_>) -> Result<P, WireError> {
@@ -105,6 +110,14 @@ fn get_carried<P: PayloadCodec>(r: &mut ByteReader<'_>) -> Result<Vec<(u64, P)>,
 /// Serialises `msg` into a frame body (no length prefix).
 pub fn encode_msg<P: PayloadCodec>(msg: &PbftMsg<P>) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_msg_into(msg, &mut out);
+    out
+}
+
+/// Serialises `msg` into a frame body appended to `out`, reusing the
+/// buffer's capacity. The hot transport path calls this with a scratch
+/// buffer so steady-state sends allocate nothing for encoding.
+pub fn encode_msg_into<P: PayloadCodec>(msg: &PbftMsg<P>, out: &mut Vec<u8>) {
     match msg {
         PbftMsg::PrePrepare {
             view,
@@ -116,7 +129,7 @@ pub fn encode_msg<P: PayloadCodec>(msg: &PbftMsg<P>) -> Vec<u8> {
             out.extend_from_slice(&view.to_be_bytes());
             out.extend_from_slice(&seq.to_be_bytes());
             out.extend_from_slice(&digest.0);
-            put_payload(&mut out, payload);
+            put_payload(out, payload);
         }
         PbftMsg::Prepare { view, seq, digest } => {
             out.push(TAG_PREPARE);
@@ -133,15 +146,14 @@ pub fn encode_msg<P: PayloadCodec>(msg: &PbftMsg<P>) -> Vec<u8> {
         PbftMsg::ViewChange { new_view, prepared } => {
             out.push(TAG_VIEW_CHANGE);
             out.extend_from_slice(&new_view.to_be_bytes());
-            put_carried(&mut out, prepared);
+            put_carried(out, prepared);
         }
         PbftMsg::NewView { view, reproposals } => {
             out.push(TAG_NEW_VIEW);
             out.extend_from_slice(&view.to_be_bytes());
-            put_carried(&mut out, reproposals);
+            put_carried(out, reproposals);
         }
     }
-    out
 }
 
 /// Rebuilds a message from a frame body.

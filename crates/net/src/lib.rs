@@ -14,10 +14,14 @@
 //!   handshake, capped exponential backoff reconnect) and
 //!   [`LoopbackTransport`] (in-memory, deterministic, still
 //!   round-trips every message through the codec);
-//! * [`NetRunner`] — the event loop that owns a
-//!   [`Replica`](curb_consensus::Replica), feeds it inbound messages,
-//!   sends its outbound ones and publishes committed decisions on a
-//!   channel.
+//! * [`NetRunner`] — the batch-first event loop that owns a
+//!   [`Replica`](curb_consensus::Replica) over
+//!   [`Batch`](curb_consensus::Batch)ed payloads: it coalesces queued
+//!   client proposals into batches (one consensus round amortises over
+//!   up to [`RunnerConfig::max_batch`] payloads), pipelines multiple
+//!   instances, drains all ready transport events per iteration, and
+//!   unfolds committed batches back into per-payload `(seq, index)`
+//!   [`Delivery`] records on a channel.
 //!
 //! The same machinery is deliberately payload-generic: any type
 //! implementing [`Payload`](curb_consensus::Payload) +
@@ -30,19 +34,20 @@
 //! A four-replica cluster over in-memory transports:
 //!
 //! ```rust
-//! use curb_consensus::{BytesPayload, Replica};
+//! use curb_consensus::{Batch, BytesPayload, Replica};
 //! use curb_net::{LoopbackTransport, NetRunner, RunnerConfig};
 //! use std::time::Duration;
 //!
-//! let handles: Vec<_> = LoopbackTransport::<BytesPayload>::group(4)
+//! let handles: Vec<_> = LoopbackTransport::<Batch<BytesPayload>>::group(4)
 //!     .into_iter()
 //!     .enumerate()
 //!     .map(|(id, t)| NetRunner::spawn(Replica::new(id, 4), t, RunnerConfig::default()))
 //!     .collect();
 //! handles[0].propose(BytesPayload(b"flow update".to_vec()));
 //! for h in &handles {
-//!     let (seq, p) = h.decisions.recv_timeout(Duration::from_secs(5)).unwrap();
-//!     assert_eq!((seq, p), (1, BytesPayload(b"flow update".to_vec())));
+//!     let d = h.decisions.recv_timeout(Duration::from_secs(5)).unwrap();
+//!     assert_eq!((d.seq, d.index), (1, 0));
+//!     assert_eq!(d.payload, BytesPayload(b"flow update".to_vec()));
 //! }
 //! # for h in handles { h.join(); }
 //! ```
@@ -55,7 +60,9 @@ mod runner;
 mod tcp;
 mod transport;
 
-pub use frame::{decode_msg, encode_msg, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME};
-pub use runner::{NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
+pub use frame::{
+    decode_msg, encode_msg, encode_msg_into, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,
+};
+pub use runner::{Delivery, NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
 pub use tcp::{PeerManager, TcpConfig, TcpTransport, HANDSHAKE_MAGIC};
 pub use transport::{LoopbackTransport, NetEvent, Transport};

@@ -1,11 +1,21 @@
 //! The event loop that drives a sans-io [`Replica`] over a
-//! [`Transport`].
+//! [`Transport`] — batch-first and pipelined.
 //!
 //! [`NetRunner::spawn`] moves the replica onto its own thread. The
-//! loop translates inbound frames into [`Replica::on_message`] calls,
-//! pushes each resulting [`Outbound`] back through the transport, and
-//! publishes committed decisions — in sequence order, exactly once —
-//! on the [`RunnerHandle::decisions`] channel.
+//! consensus value is a [`Batch`] of client payloads: each loop
+//! iteration drains *all* queued client proposals, coalesces them into
+//! batches (up to [`RunnerConfig::max_batch`] payloads each, held back
+//! at most [`RunnerConfig::batch_window`] while a partial batch might
+//! still fill), and proposes them while the replica leads — with up to
+//! [`RunnerConfig::max_inflight`] consensus instances pipelined before
+//! the oldest decides. Inbound transport events are drained in bulk
+//! per iteration; the loop only blocks in
+//! [`Transport::recv_timeout`] when it made no progress at all.
+//!
+//! Committed batches are unfolded back into per-payload deliveries —
+//! published as [`Delivery`] records on [`RunnerHandle::decisions`] in
+//! `(seq, index)` order, exactly once, byte-identical on every
+//! replica.
 //!
 //! Client proposals enter through [`RunnerHandle::propose`]. A replica
 //! that is not the current leader stashes proposals and submits them
@@ -17,7 +27,7 @@
 //! timer.
 
 use crate::transport::{NetEvent, Transport};
-use curb_consensus::{Dest, Outbound, Payload, Replica, Seq};
+use curb_consensus::{Batch, Dest, Outbound, Payload, Replica, Seq};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::{self, JoinHandle};
@@ -26,12 +36,26 @@ use std::time::{Duration, Instant};
 /// Tuning knobs for [`NetRunner`].
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
-    /// How long each loop iteration waits for a transport event.
+    /// How long an idle loop iteration waits for a transport event.
     pub poll: Duration,
     /// When `Some(t)`: if proposals are pending and nothing has been
     /// decided for `t`, vote to change the view (leader-failure
     /// recovery). `None` disables the timer.
     pub view_change_timeout: Option<Duration>,
+    /// Maximum client payloads coalesced into one consensus batch.
+    /// `1` disables batching (every payload is its own instance).
+    pub max_batch: usize,
+    /// How long a leader holds a partial batch open for more payloads
+    /// before proposing it anyway. `ZERO` proposes immediately; a full
+    /// batch is always proposed regardless of the window. Mirrors the
+    /// in-simulator `batch_window` ablation knob.
+    pub batch_window: Duration,
+    /// Maximum consensus instances a leader keeps in flight (proposed
+    /// but not yet delivered) — the pipelining depth.
+    pub max_inflight: usize,
+    /// Fairness cap on transport events pumped per loop iteration
+    /// before client commands and decisions are serviced again.
+    pub max_events_per_tick: usize,
 }
 
 impl Default for RunnerConfig {
@@ -39,6 +63,10 @@ impl Default for RunnerConfig {
         RunnerConfig {
             poll: Duration::from_millis(10),
             view_change_timeout: None,
+            max_batch: 64,
+            batch_window: Duration::ZERO,
+            max_inflight: 64,
+            max_events_per_tick: 1024,
         }
     }
 }
@@ -48,10 +76,18 @@ impl Default for RunnerConfig {
 pub struct RunnerStats {
     /// Messages received and fed to the replica.
     pub inbound: u64,
-    /// Messages handed to the transport.
+    /// Frames actually handed to the transport: a broadcast counts as
+    /// `group_size - 1` frames, a unicast as one.
     pub outbound: u64,
-    /// Decisions published.
+    /// Broadcast messages sent (each fanned out to `group_size - 1`
+    /// frames, all counted in [`RunnerStats::outbound`]).
+    pub broadcasts: u64,
+    /// Consensus decisions (batches) this replica committed.
     pub decided: u64,
+    /// Client payloads delivered (batches unfolded).
+    pub delivered: u64,
+    /// Batches this runner proposed as leader.
+    pub batches_proposed: u64,
     /// View changes this runner initiated on timeout.
     pub view_changes_started: u64,
 }
@@ -61,11 +97,26 @@ enum Command<P> {
     Shutdown,
 }
 
+/// One client payload delivered from a decided batch.
+///
+/// `(seq, index)` is a total order identical on every replica: `seq`
+/// is the consensus instance that decided the enclosing batch, `index`
+/// the payload's position within it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Consensus sequence number of the enclosing batch.
+    pub seq: Seq,
+    /// Position of this payload within the batch.
+    pub index: u32,
+    /// The committed payload.
+    pub payload: P,
+}
+
 /// Control surface for a spawned [`NetRunner`].
 pub struct RunnerHandle<P> {
     commands: Sender<Command<P>>,
-    /// Committed `(seq, payload)` pairs, in sequence order.
-    pub decisions: Receiver<(Seq, P)>,
+    /// Committed payloads, in `(seq, index)` order.
+    pub decisions: Receiver<Delivery<P>>,
     thread: JoinHandle<RunnerStats>,
 }
 
@@ -83,27 +134,33 @@ impl<P> RunnerHandle<P> {
     }
 }
 
-/// Owns a [`Replica`] and a [`Transport`] and runs the glue loop.
+/// Owns a [`Replica`] (over [`Batch`]ed payloads) and a [`Transport`]
+/// and runs the glue loop.
 pub struct NetRunner<P: Payload, T> {
-    replica: Replica<P>,
+    replica: Replica<Batch<P>>,
     transport: T,
     cfg: RunnerConfig,
     pending: VecDeque<P>,
+    /// When the oldest pending payload arrived; drives `batch_window`.
+    pending_since: Option<Instant>,
     stats: RunnerStats,
     last_progress: Instant,
 }
 
 impl<P, T> NetRunner<P, T>
 where
-    P: Payload + Default + Send + 'static,
-    T: Transport<P> + 'static,
+    P: Payload + Send + 'static,
+    T: Transport<Batch<P>> + 'static,
 {
     /// Spawns the runner thread for `replica` over `transport`.
     ///
     /// # Panics
     ///
-    /// Panics if the OS refuses to spawn the thread.
-    pub fn spawn(replica: Replica<P>, transport: T, cfg: RunnerConfig) -> RunnerHandle<P> {
+    /// Panics if `cfg.max_batch` or `cfg.max_inflight` is zero, or if
+    /// the OS refuses to spawn the thread.
+    pub fn spawn(replica: Replica<Batch<P>>, transport: T, cfg: RunnerConfig) -> RunnerHandle<P> {
+        assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+        assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
         let (commands_tx, commands_rx) = channel();
         let (decisions_tx, decisions_rx) = channel();
         let name = format!("curb-net-runner-{}", replica.id());
@@ -112,6 +169,7 @@ where
             transport,
             cfg,
             pending: VecDeque::new(),
+            pending_since: None,
             stats: RunnerStats::default(),
             last_progress: Instant::now(),
         };
@@ -126,12 +184,29 @@ where
         }
     }
 
-    fn run(mut self, commands: Receiver<Command<P>>, decisions: Sender<(Seq, P)>) -> RunnerStats {
+    fn run(
+        mut self,
+        commands: Receiver<Command<P>>,
+        decisions: Sender<Delivery<P>>,
+    ) -> RunnerStats {
         loop {
-            // 1. Drain client commands.
+            let mut progressed = false;
+            // 1. Drain every queued client command.
             loop {
                 match commands.try_recv() {
-                    Ok(Command::Propose(payload)) => self.pending.push_back(payload),
+                    Ok(Command::Propose(payload)) => {
+                        if self.pending.is_empty() {
+                            // Empty -> non-empty: start the batch
+                            // window, and reset the starvation timer so
+                            // a long-idle replica does not fire a
+                            // spurious view change the instant work
+                            // arrives.
+                            self.pending_since = Some(Instant::now());
+                            self.last_progress = Instant::now();
+                        }
+                        self.pending.push_back(payload);
+                        progressed = true;
+                    }
                     Ok(Command::Shutdown) => {
                         self.transport.shutdown();
                         return self.stats;
@@ -143,35 +218,28 @@ where
                     }
                 }
             }
-            // 2. Submit pending proposals while we lead the view.
-            while self.replica.is_leader() {
-                let Some(payload) = self.pending.pop_front() else {
+            // 2. Coalesce pending proposals into batches while we lead.
+            progressed |= self.propose_batches();
+            // 3. Drain ready transport events in bulk (bounded for
+            // fairness). PeerUp/PeerDown are connectivity telemetry;
+            // the replica state machine does not consume them.
+            let mut pumped = 0;
+            while pumped < self.cfg.max_events_per_tick {
+                let Some(event) = self.transport.try_recv() else {
                     break;
                 };
-                match self.replica.propose(payload) {
-                    Ok(out) => self.dispatch(out),
-                    Err(_) => break, // lost leadership mid-drain
+                pumped += 1;
+                progressed = true;
+                if let NetEvent::Inbound { from, msg } = event {
+                    self.stats.inbound += 1;
+                    let out = self.replica.on_message(from, msg);
+                    self.dispatch(out);
                 }
             }
-            // 3. Pump one transport event into the replica.
-            // PeerUp/PeerDown are connectivity telemetry; the replica
-            // state machine does not consume them.
-            if let Some(NetEvent::Inbound { from, msg }) =
-                self.transport.recv_timeout(self.cfg.poll)
-            {
-                self.stats.inbound += 1;
-                let out = self.replica.on_message(from, msg);
-                self.dispatch(out);
-            }
-            // 4. Publish freshly committed decisions.
-            for (seq, payload) in self.replica.take_decisions() {
-                self.stats.decided += 1;
-                self.last_progress = Instant::now();
-                if decisions.send((seq, payload)).is_err() {
-                    // Nobody is listening any more; stop serving.
-                    self.transport.shutdown();
-                    return self.stats;
-                }
+            // 4. Publish freshly committed batches, unfolded into
+            // per-payload (seq, index) deliveries.
+            if !self.publish_decisions(&decisions, &mut progressed) {
+                return self.stats;
             }
             // 5. Leader-failure recovery: demand a view change when
             // work is pending but nothing commits.
@@ -184,15 +252,104 @@ where
                     self.dispatch(out);
                 }
             }
+            // 6. Only block when truly idle, and never past the point
+            // where a held-back partial batch becomes due.
+            if !progressed {
+                if let Some(NetEvent::Inbound { from, msg }) =
+                    self.transport.recv_timeout(self.idle_budget())
+                {
+                    self.stats.inbound += 1;
+                    let out = self.replica.on_message(from, msg);
+                    self.dispatch(out);
+                }
+            }
         }
     }
 
-    fn dispatch(&mut self, out: Vec<Outbound<P>>) {
+    /// How long the idle path may block: the poll interval, clamped to
+    /// the remaining batch window when a partial batch is being held.
+    fn idle_budget(&self) -> Duration {
+        match self.pending_since {
+            Some(since) if self.replica.is_leader() => self
+                .cfg
+                .poll
+                .min(self.cfg.batch_window.saturating_sub(since.elapsed())),
+            _ => self.cfg.poll,
+        }
+    }
+
+    /// Forms and proposes batches from the pending queue while this
+    /// replica leads, honouring `max_batch`, `batch_window` and
+    /// `max_inflight`. Returns whether anything was proposed.
+    fn propose_batches(&mut self) -> bool {
+        let mut proposed = false;
+        while self.replica.is_leader() && !self.pending.is_empty() {
+            if self.replica.in_flight() >= self.cfg.max_inflight as u64 {
+                break; // pipeline full; resume after decisions drain
+            }
+            let full = self.pending.len() >= self.cfg.max_batch;
+            let window_expired = self
+                .pending_since
+                .is_none_or(|since| since.elapsed() >= self.cfg.batch_window);
+            if !full && !window_expired {
+                break; // hold the partial batch open a little longer
+            }
+            let take = self.pending.len().min(self.cfg.max_batch);
+            let batch: Vec<P> = self.pending.drain(..take).collect();
+            self.pending_since = (!self.pending.is_empty()).then(Instant::now);
+            match self.replica.propose(Batch(batch)) {
+                Ok(out) => {
+                    self.stats.batches_proposed += 1;
+                    proposed = true;
+                    self.dispatch(out);
+                }
+                Err(_) => unreachable!("is_leader checked and nothing ran in between"),
+            }
+        }
+        proposed
+    }
+
+    /// Unfolds and publishes decided batches; returns `false` when the
+    /// decision consumer is gone and the runner should stop.
+    fn publish_decisions(
+        &mut self,
+        decisions: &Sender<Delivery<P>>,
+        progressed: &mut bool,
+    ) -> bool {
+        for (seq, batch) in self.replica.take_decisions() {
+            self.stats.decided += 1;
+            self.last_progress = Instant::now();
+            *progressed = true;
+            for (seq, index, payload) in batch.unfold(seq) {
+                self.stats.delivered += 1;
+                let delivery = Delivery {
+                    seq,
+                    index,
+                    payload,
+                };
+                if decisions.send(delivery).is_err() {
+                    // Nobody is listening any more; stop serving.
+                    self.transport.shutdown();
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, out: Vec<Outbound<Batch<P>>>) {
+        let fanout = self.transport.group_size().saturating_sub(1) as u64;
         for Outbound { dest, msg } in out {
-            self.stats.outbound += 1;
             match dest {
-                Dest::Broadcast => self.transport.broadcast(&msg),
-                Dest::To(to) => self.transport.send(to, &msg),
+                Dest::Broadcast => {
+                    self.stats.broadcasts += 1;
+                    self.stats.outbound += fanout;
+                    self.transport.broadcast(&msg);
+                }
+                Dest::To(to) => {
+                    self.stats.outbound += 1;
+                    self.transport.send(to, &msg);
+                }
             }
         }
     }
@@ -204,35 +361,36 @@ mod tests {
     use crate::transport::LoopbackTransport;
     use curb_consensus::BytesPayload;
 
-    fn spawn_cluster(n: usize) -> Vec<RunnerHandle<BytesPayload>> {
-        LoopbackTransport::<BytesPayload>::group(n)
+    fn spawn_cluster(n: usize, cfg: RunnerConfig) -> Vec<RunnerHandle<BytesPayload>> {
+        LoopbackTransport::<Batch<BytesPayload>>::group(n)
             .into_iter()
             .enumerate()
-            .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, RunnerConfig::default()))
+            .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, cfg.clone()))
             .collect()
     }
 
     #[test]
     fn four_runners_commit_a_proposal() {
-        let handles = spawn_cluster(4);
+        let handles = spawn_cluster(4, RunnerConfig::default());
         assert!(handles[0].propose(BytesPayload(b"networked".to_vec())));
         for h in &handles {
-            let (seq, payload) = h
+            let d = h
                 .decisions
                 .recv_timeout(Duration::from_secs(5))
                 .expect("decision");
-            assert_eq!(seq, 1);
-            assert_eq!(payload, BytesPayload(b"networked".to_vec()));
+            assert_eq!((d.seq, d.index), (1, 0));
+            assert_eq!(d.payload, BytesPayload(b"networked".to_vec()));
         }
         for h in handles {
             let stats = h.join();
             assert_eq!(stats.decided, 1);
+            assert_eq!(stats.delivered, 1);
         }
     }
 
     #[test]
     fn non_leader_stashes_until_it_leads() {
-        let handles = spawn_cluster(4);
+        let handles = spawn_cluster(4, RunnerConfig::default());
         // Replica 1 is not the view-0 leader; its proposal must wait.
         assert!(handles[1].propose(BytesPayload(b"stashed".to_vec())));
         assert!(handles[1]
@@ -241,13 +399,60 @@ mod tests {
             .is_err());
         // Leader drives its own proposal through; the stash stays put.
         assert!(handles[0].propose(BytesPayload(b"direct".to_vec())));
-        let (_, payload) = handles[1]
+        let d = handles[1]
             .decisions
             .recv_timeout(Duration::from_secs(5))
             .expect("decision");
-        assert_eq!(payload, BytesPayload(b"direct".to_vec()));
+        assert_eq!(d.payload, BytesPayload(b"direct".to_vec()));
         for h in handles {
             h.join();
         }
+    }
+
+    #[test]
+    fn broadcast_outbound_counts_fanout() {
+        let handles = spawn_cluster(4, RunnerConfig::default());
+        assert!(handles[0].propose(BytesPayload(b"count me".to_vec())));
+        for h in &handles {
+            h.decisions
+                .recv_timeout(Duration::from_secs(5))
+                .expect("decision");
+        }
+        let stats = handles.into_iter().next().expect("leader").join();
+        // Every broadcast expands to n-1 = 3 frames on the wire.
+        assert!(stats.broadcasts > 0);
+        assert_eq!(stats.outbound, 3 * stats.broadcasts);
+    }
+
+    #[test]
+    fn a_burst_is_coalesced_into_fewer_batches() {
+        const PROPOSALS: usize = 96;
+        let cfg = RunnerConfig {
+            max_batch: 16,
+            // Hold the first batch open long enough for the whole
+            // burst to arrive, so coalescing is deterministic.
+            batch_window: Duration::from_millis(100),
+            ..RunnerConfig::default()
+        };
+        let handles = spawn_cluster(4, cfg);
+        for i in 0..PROPOSALS {
+            assert!(handles[0].propose(BytesPayload(vec![i as u8])));
+        }
+        for h in &handles {
+            for i in 0..PROPOSALS {
+                let d = h
+                    .decisions
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("delivery");
+                assert_eq!(d.payload, BytesPayload(vec![i as u8]), "submission order");
+            }
+        }
+        let stats = handles.into_iter().next().expect("leader").join();
+        assert_eq!(stats.delivered, PROPOSALS as u64);
+        assert_eq!(
+            stats.batches_proposed,
+            (PROPOSALS / 16) as u64,
+            "96 payloads at max_batch=16 must form exactly 6 batches"
+        );
     }
 }

@@ -24,7 +24,7 @@
 //! mismatch, an out-of-range id or a wrong group size closes the
 //! connection before any frame is read.
 
-use crate::frame::{decode_msg, encode_msg, DEFAULT_MAX_FRAME};
+use crate::frame::{decode_msg, encode_msg_into, DEFAULT_MAX_FRAME};
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
 use std::io::{self, Read, Write};
@@ -55,6 +55,11 @@ pub struct TcpConfig {
     pub dial_timeout: Duration,
     /// Granularity at which blocked threads re-check the shutdown flag.
     pub poll_interval: Duration,
+    /// Writer coalescing limit: a writer thread drains its queue into
+    /// one contiguous buffer and stops growing it past this many
+    /// bytes, so a burst of small frames costs one `write` syscall
+    /// instead of one per frame.
+    pub coalesce_bytes: usize,
 }
 
 impl Default for TcpConfig {
@@ -66,6 +71,7 @@ impl Default for TcpConfig {
             queue_capacity: 4096,
             dial_timeout: Duration::from_millis(500),
             poll_interval: Duration::from_millis(50),
+            coalesce_bytes: 256 << 10,
         }
     }
 }
@@ -101,7 +107,9 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> i
 /// queue, connection establishment, handshake and capped exponential
 /// backoff reconnect.
 pub struct PeerManager {
-    queues: Vec<Option<SyncSender<Vec<u8>>>>,
+    // Frames are reference-counted so a broadcast encodes once and
+    // every peer queue shares the same bytes.
+    queues: Vec<Option<SyncSender<Arc<[u8]>>>>,
     connected: Arc<Vec<AtomicBool>>,
     dropped: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
@@ -125,7 +133,7 @@ impl PeerManager {
                 queues.push(None);
                 continue;
             }
-            let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(cfg.queue_capacity);
+            let (tx, rx) = mpsc::sync_channel::<Arc<[u8]>>(cfg.queue_capacity);
             queues.push(Some(tx));
             let cfg = cfg.clone();
             let shutdown = Arc::clone(&shutdown);
@@ -146,7 +154,7 @@ impl PeerManager {
 
     /// Queues an encoded frame for `to`; drops it (and counts the drop)
     /// when the peer's queue is full or `to` is unknown/local.
-    fn enqueue(&self, to: ReplicaId, frame: Vec<u8>) {
+    fn enqueue(&self, to: ReplicaId, frame: Arc<[u8]>) {
         let Some(Some(tx)) = self.queues.get(to) else {
             return;
         };
@@ -172,30 +180,53 @@ impl PeerManager {
     }
 }
 
+/// Appends `body` to `buf` as a length-prefixed frame.
+fn push_frame(buf: &mut Vec<u8>, body: &[u8]) {
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(body);
+}
+
 /// The per-peer writer thread body.
+///
+/// Each iteration blocks for one frame, then greedily drains every
+/// frame already queued (up to [`TcpConfig::coalesce_bytes`]) into one
+/// reused buffer and puts the whole burst on the wire with a single
+/// `write` call — under load a consensus round's worth of messages to
+/// a peer costs one syscall, not one per message.
 fn writer_loop(
     local: ReplicaId,
     peer: ReplicaId,
     addr: SocketAddr,
-    queue: Receiver<Vec<u8>>,
+    queue: Receiver<Arc<[u8]>>,
     cfg: &TcpConfig,
     shutdown: &AtomicBool,
     connected: &[AtomicBool],
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut backoff = cfg.backoff_base;
+    let mut buf: Vec<u8> = Vec::with_capacity(16 << 10);
     let n = connected.len();
-    'frames: while !shutdown.load(Ordering::Relaxed) {
-        let frame = match queue.recv_timeout(cfg.poll_interval) {
+    'bursts: while !shutdown.load(Ordering::Relaxed) {
+        let first = match queue.recv_timeout(cfg.poll_interval) {
             Ok(frame) => frame,
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
-        // Retry the in-flight frame across reconnects until it is on
-        // the wire or the transport shuts down.
+        buf.clear();
+        push_frame(&mut buf, &first);
+        while buf.len() < cfg.coalesce_bytes {
+            match queue.try_recv() {
+                Ok(frame) => push_frame(&mut buf, &frame),
+                Err(_) => break,
+            }
+        }
+        // Retry the in-flight burst across reconnects until it is on
+        // the wire or the transport shuts down. Re-sending the whole
+        // burst after a mid-write failure may duplicate frames the
+        // peer already read; PBFT message handling is idempotent.
         loop {
             if shutdown.load(Ordering::Relaxed) {
-                break 'frames;
+                break 'bursts;
             }
             if conn.is_none() {
                 match dial(local, n, addr, cfg) {
@@ -212,8 +243,8 @@ fn writer_loop(
                 }
             }
             let stream = conn.as_mut().expect("connection just established");
-            match crate::frame::write_frame(stream, &frame, cfg.max_frame) {
-                Ok(()) => continue 'frames,
+            match stream.write_all(&buf).and_then(|()| stream.flush()) {
+                Ok(()) => continue 'bursts,
                 Err(_) => {
                     conn = None;
                     connected[peer].store(false, Ordering::Relaxed);
@@ -244,8 +275,13 @@ fn dial(local: ReplicaId, n: usize, addr: SocketAddr, cfg: &TcpConfig) -> io::Re
 pub struct TcpTransport<P> {
     id: ReplicaId,
     n: usize,
+    cfg: TcpConfig,
     peers: PeerManager,
     events: Mutex<Receiver<NetEvent<P>>>,
+    // Scratch buffer for message encoding: reused across sends so the
+    // steady state allocates one shared `Arc<[u8]>` per message — not
+    // one `Vec` per message per peer.
+    encode_buf: Mutex<Vec<u8>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
@@ -288,12 +324,28 @@ impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
         Ok(TcpTransport {
             id,
             n,
+            cfg,
             peers,
             events: Mutex::new(events_rx),
+            encode_buf: Mutex::new(Vec::with_capacity(4 << 10)),
             shutdown,
             accept_thread: Some(accept_thread),
             local_addr,
         })
+    }
+
+    /// Encodes `msg` once, via the reusable scratch buffer, into a
+    /// frame body every peer queue can share. Returns `None` (and
+    /// counts a drop) when the body exceeds the frame cap.
+    fn encode_shared(&self, msg: &PbftMsg<P>) -> Option<Arc<[u8]>> {
+        let mut buf = self.encode_buf.lock().expect("encode buffer poisoned");
+        buf.clear();
+        encode_msg_into(msg, &mut buf);
+        if buf.len() > self.cfg.max_frame {
+            self.peers.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(Arc::from(buf.as_slice()))
     }
 
     /// The address this transport's listener is bound to.
@@ -325,7 +377,21 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for TcpTransport<P> {
         if to == self.id {
             return;
         }
-        self.peers.enqueue(to, encode_msg(msg));
+        if let Some(frame) = self.encode_shared(msg) {
+            self.peers.enqueue(to, frame);
+        }
+    }
+
+    fn broadcast(&self, msg: &PbftMsg<P>) {
+        // Encode once; all n-1 peer queues share the same bytes.
+        let Some(frame) = self.encode_shared(msg) else {
+            return;
+        };
+        for to in 0..self.n {
+            if to != self.id {
+                self.peers.enqueue(to, Arc::clone(&frame));
+            }
+        }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<NetEvent<P>> {
@@ -333,6 +399,14 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for TcpTransport<P> {
             .lock()
             .expect("event queue poisoned")
             .recv_timeout(timeout)
+            .ok()
+    }
+
+    fn try_recv(&self) -> Option<NetEvent<P>> {
+        self.events
+            .lock()
+            .expect("event queue poisoned")
+            .try_recv()
             .ok()
     }
 

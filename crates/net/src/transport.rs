@@ -62,6 +62,16 @@ pub trait Transport<P>: Send {
     /// Waits up to `timeout` for the next event.
     fn recv_timeout(&self, timeout: Duration) -> Option<NetEvent<P>>;
 
+    /// Returns the next event if one is already queued, without
+    /// blocking. The runner's drain loop uses this to pump every ready
+    /// event per iteration and only falls back to [`recv_timeout`]
+    /// when truly idle.
+    ///
+    /// [`recv_timeout`]: Transport::recv_timeout
+    fn try_recv(&self) -> Option<NetEvent<P>> {
+        self.recv_timeout(Duration::ZERO)
+    }
+
     /// Releases transport resources (threads, sockets). Idempotent.
     fn shutdown(&self);
 }
@@ -126,6 +136,14 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for LoopbackTransport<P> {
             .lock()
             .expect("event queue poisoned")
             .recv_timeout(timeout)
+            .ok()
+    }
+
+    fn try_recv(&self) -> Option<NetEvent<P>> {
+        self.events
+            .lock()
+            .expect("event queue poisoned")
+            .try_recv()
             .ok()
     }
 

@@ -1,11 +1,14 @@
 //! Integration tests for the networked runtime: the same `Replica`
 //! code path must commit identically over the in-memory loopback
-//! transport and over real localhost TCP sockets, and a TCP cluster
-//! must survive a replica being killed and rejoining.
+//! transport and over real localhost TCP sockets, a TCP cluster must
+//! survive a replica being killed and rejoining, batches must unfold
+//! into identical per-payload `(seq, index)` logs on every replica,
+//! and a cluster whose view-0 leader never starts must still commit
+//! via the timeout-driven view change.
 
-use curb::consensus::{BytesPayload, Replica, Seq};
+use curb::consensus::{Batch, BytesPayload, Replica, Seq};
 use curb::net::{
-    LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport,
+    Delivery, LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport,
 };
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
@@ -38,19 +41,24 @@ fn spawn_tcp_replica(
     id: usize,
     listener: TcpListener,
     addrs: &[SocketAddr],
+    cfg: RunnerConfig,
 ) -> RunnerHandle<BytesPayload> {
-    let transport: TcpTransport<BytesPayload> =
+    let transport: TcpTransport<Batch<BytesPayload>> =
         TcpTransport::bind(id, listener, addrs.to_vec(), fast_tcp_cfg()).expect("bind transport");
-    NetRunner::spawn(
-        Replica::new(id, addrs.len()),
-        transport,
-        RunnerConfig::default(),
-    )
+    NetRunner::spawn(Replica::new(id, addrs.len()), transport, cfg)
+}
+
+fn spawn_loopback_cluster(n: usize, cfg: RunnerConfig) -> Vec<RunnerHandle<BytesPayload>> {
+    LoopbackTransport::<Batch<BytesPayload>>::group(n)
+        .into_iter()
+        .enumerate()
+        .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, cfg.clone()))
+        .collect()
 }
 
 /// Proposes `count` payloads at replica 0 and returns every replica's
-/// ordered decision log.
-fn drive(handles: &[RunnerHandle<BytesPayload>], count: usize) -> Vec<Vec<(Seq, BytesPayload)>> {
+/// ordered delivery log.
+fn drive(handles: &[RunnerHandle<BytesPayload>], count: usize) -> Vec<Vec<Delivery<BytesPayload>>> {
     for i in 0..count {
         assert!(handles[0].propose(payload(i)), "runner stopped early");
     }
@@ -62,11 +70,31 @@ fn drive(handles: &[RunnerHandle<BytesPayload>], count: usize) -> Vec<Vec<(Seq, 
                 .map(|i| {
                     h.decisions
                         .recv_timeout(Duration::from_secs(30))
-                        .unwrap_or_else(|_| panic!("replica {r} missing decision {i}"))
+                        .unwrap_or_else(|_| panic!("replica {r} missing delivery {i}"))
                 })
                 .collect()
         })
         .collect()
+}
+
+/// Asserts the batch-delivery contract on a cluster's logs: every
+/// replica delivers the payloads in submission order, with strictly
+/// increasing `(seq, index)` identifiers, byte-identical across all
+/// replicas.
+fn assert_logs_consistent(logs: &[Vec<Delivery<BytesPayload>>], count: usize) {
+    for (r, log) in logs.iter().enumerate() {
+        assert_eq!(log.len(), count, "replica {r}");
+        for (i, d) in log.iter().enumerate() {
+            assert_eq!(d.payload, payload(i), "replica {r} out of submission order");
+        }
+        for pair in log.windows(2) {
+            assert!(
+                (pair[0].seq, pair[0].index) < (pair[1].seq, pair[1].index),
+                "replica {r}: (seq, index) must be strictly increasing"
+            );
+        }
+        assert_eq!(log, &logs[0], "replica {r} differs from replica 0");
+    }
 }
 
 #[test]
@@ -74,40 +102,108 @@ fn loopback_and_tcp_clusters_commit_identically() {
     const N: usize = 4;
     const PROPOSALS: usize = 100;
 
-    // Loopback cluster: 100 proposals, every replica commits all of
-    // them in sequence order.
-    let loopback: Vec<_> = LoopbackTransport::<BytesPayload>::group(N)
-        .into_iter()
-        .enumerate()
-        .map(|(id, t)| NetRunner::spawn(Replica::new(id, N), t, RunnerConfig::default()))
-        .collect();
+    // Loopback cluster: 100 proposals, every replica delivers all of
+    // them in submission order with identical (seq, index) logs.
+    let loopback = spawn_loopback_cluster(N, RunnerConfig::default());
     let loopback_logs = drive(&loopback, PROPOSALS);
     for h in loopback {
         h.join();
     }
-    for (r, log) in loopback_logs.iter().enumerate() {
-        assert_eq!(log.len(), PROPOSALS, "replica {r}");
-        for (i, (seq, p)) in log.iter().enumerate() {
-            assert_eq!(*seq, (i + 1) as Seq, "replica {r} out of order");
-            assert_eq!(p, &payload(i), "replica {r} wrong payload at seq {seq}");
-        }
-    }
+    assert_logs_consistent(&loopback_logs, PROPOSALS);
 
-    // Real-TCP cluster, same proposals: the logs must be identical —
-    // the transport must not change what the replica code commits.
+    // Real-TCP cluster, same proposals: the delivered payload sequence
+    // must be identical — the transport must not change what the
+    // replica code commits. (Batch boundaries, and therefore the exact
+    // (seq, index) identifiers, may differ between runs: batch
+    // formation depends on arrival timing.)
     let (listeners, addrs) = bind_listeners(N);
     let tcp: Vec<_> = listeners
         .into_iter()
         .enumerate()
-        .map(|(id, l)| spawn_tcp_replica(id, l, &addrs))
+        .map(|(id, l)| spawn_tcp_replica(id, l, &addrs, RunnerConfig::default()))
         .collect();
     let tcp_logs = drive(&tcp, PROPOSALS);
     for h in tcp {
         h.join();
     }
+    assert_logs_consistent(&tcp_logs, PROPOSALS);
+    let payloads = |logs: &[Vec<Delivery<BytesPayload>>]| -> Vec<BytesPayload> {
+        logs[0].iter().map(|d| d.payload.clone()).collect()
+    };
     assert_eq!(
-        tcp_logs, loopback_logs,
-        "transports must commit identically"
+        payloads(&tcp_logs),
+        payloads(&loopback_logs),
+        "transports must commit identical payload sequences"
+    );
+}
+
+#[test]
+fn batches_deliver_in_submission_order_across_replicas() {
+    const N: usize = 4;
+    const PROPOSALS: usize = 200;
+    // A long window plus a full-batch flush: every batch is proposed
+    // exactly when it fills, so the whole burst coalesces into
+    // multi-payload batches deterministically.
+    let cfg = RunnerConfig {
+        max_batch: 8,
+        batch_window: Duration::from_secs(2),
+        ..RunnerConfig::default()
+    };
+    let handles = spawn_loopback_cluster(N, cfg);
+    let logs = drive(&handles, PROPOSALS);
+    assert_logs_consistent(&logs, PROPOSALS);
+    assert!(
+        logs[0].iter().any(|d| d.index > 0),
+        "at least one batch must carry more than one payload"
+    );
+    let stats = handles.into_iter().next().expect("leader").join();
+    assert_eq!(stats.delivered, PROPOSALS as u64);
+    assert!(
+        stats.decided < PROPOSALS as u64,
+        "batching must use fewer consensus instances than payloads"
+    );
+}
+
+#[test]
+fn leaderless_cluster_commits_via_timeout_view_change() {
+    const N: usize = 4;
+    // The view-0 leader (replica 0) is never spawned: its transport is
+    // dropped on the floor. Replicas 1..=3 each hold a stashed
+    // proposal, starve, vote the view change, and replica 1 — leader
+    // of view 1 — drives the first batch through.
+    let cfg = RunnerConfig {
+        poll: Duration::from_millis(5),
+        view_change_timeout: Some(Duration::from_millis(300)),
+        ..RunnerConfig::default()
+    };
+    let mut transports = LoopbackTransport::<Batch<BytesPayload>>::group(N);
+    drop(transports.remove(0));
+    let handles: Vec<RunnerHandle<BytesPayload>> = transports
+        .into_iter()
+        .zip(1..)
+        .map(|(t, id)| NetRunner::spawn(Replica::new(id, N), t, cfg.clone()))
+        .collect();
+
+    for (i, h) in handles.iter().enumerate() {
+        assert!(h.propose(payload(i + 1)));
+    }
+    // Every live replica's first delivery is replica 1's proposal,
+    // committed in view 1 at seq 1 after the timeout-driven change.
+    for (r, h) in handles.iter().enumerate() {
+        let d = h
+            .decisions
+            .recv_timeout(Duration::from_secs(20))
+            .unwrap_or_else(|_| panic!("replica {} never committed", r + 1));
+        assert_eq!((d.seq, d.index), (1 as Seq, 0), "replica {}", r + 1);
+        assert_eq!(d.payload, payload(1), "replica {}", r + 1);
+    }
+    let view_changes: u64 = handles
+        .into_iter()
+        .map(|h| h.join().view_changes_started)
+        .sum();
+    assert!(
+        view_changes >= 1,
+        "at least one replica must have fired the view-change timer"
     );
 }
 
@@ -118,21 +214,24 @@ fn tcp_cluster_survives_kill_and_reconnect() {
     let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
         .into_iter()
         .enumerate()
-        .map(|(id, l)| Some(spawn_tcp_replica(id, l, &addrs)))
+        .map(|(id, l)| Some(spawn_tcp_replica(id, l, &addrs, RunnerConfig::default())))
         .collect();
 
+    // Proposals are submitted one at a time and confirmed before the
+    // next, so each forms its own singleton batch: seq advances by one
+    // per proposal and every delivery has index 0.
     let expect_commit =
         |handles: &[Option<RunnerHandle<BytesPayload>>], live: &[usize], seq: Seq, i: usize| {
             let leader = handles[0].as_ref().expect("leader alive");
             assert!(leader.propose(payload(i)));
             for &r in live {
                 let h = handles[r].as_ref().expect("live replica");
-                let (got_seq, got) = h
+                let d = h
                     .decisions
                     .recv_timeout(Duration::from_secs(30))
                     .unwrap_or_else(|_| panic!("replica {r} missing seq {seq}"));
-                assert_eq!(got_seq, seq, "replica {r}");
-                assert_eq!(got, payload(i), "replica {r}");
+                assert_eq!((d.seq, d.index), (seq, 0), "replica {r}");
+                assert_eq!(d.payload, payload(i), "replica {r}");
             }
         };
 
@@ -151,7 +250,12 @@ fn tcp_cluster_survives_kill_and_reconnect() {
     // state). Its listener port was freed when the old transport shut
     // down; peers reconnect via backoff.
     let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
-    handles[3] = Some(spawn_tcp_replica(3, listener, &addrs));
+    handles[3] = Some(spawn_tcp_replica(
+        3,
+        listener,
+        &addrs,
+        RunnerConfig::default(),
+    ));
 
     // Kill replica 2: commits now REQUIRE the restarted replica 3 in
     // the quorum, which proves it actually rejoined the group.

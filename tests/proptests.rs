@@ -3,7 +3,7 @@
 
 #![allow(clippy::field_reassign_with_default)]
 use curb::assign::{solve, CapModel, Objective, SolveOptions};
-use curb::consensus::{BytesPayload, Payload, PbftMsg};
+use curb::consensus::{Batch, BytesPayload, Payload, PayloadCodec, PbftMsg, MAX_BATCH_PAYLOADS};
 use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork};
 use curb::graph::synthetic;
 use curb::net::{decode_msg, encode_msg};
@@ -167,4 +167,44 @@ proptest! {
         // Totality: garbage may happen to decode, but must never panic.
         let _ = decode_msg::<BytesPayload>(&garbage);
     }
+
+    /// The batch codec round-trips any member list (including the empty
+    /// batch and empty members), rejects one-byte truncations, and is
+    /// total on garbage — batches travel inside PbftMsg payload slots,
+    /// so this is attacker-reachable surface.
+    #[test]
+    fn batch_codec_roundtrips_and_is_total(
+        members in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32),
+            0..12,
+        ),
+        garbage in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let b = Batch(members.into_iter().map(BytesPayload).collect::<Vec<_>>());
+        let mut bytes = Vec::new();
+        b.encode_payload(&mut bytes);
+        prop_assert_eq!(Batch::<BytesPayload>::decode_payload(&bytes), Some(b));
+        prop_assert_eq!(
+            Batch::<BytesPayload>::decode_payload(&bytes[..bytes.len() - 1]),
+            None
+        );
+        let _ = Batch::<BytesPayload>::decode_payload(&garbage);
+    }
+}
+
+/// The cap is the largest batch the codec accepts: a batch with exactly
+/// `MAX_BATCH_PAYLOADS` (empty) members round-trips, one more is
+/// rejected at decode time.
+#[test]
+fn batch_codec_accepts_exactly_the_member_cap() {
+    let max = Batch::<BytesPayload>(vec![BytesPayload::default(); MAX_BATCH_PAYLOADS as usize]);
+    let mut bytes = Vec::new();
+    max.encode_payload(&mut bytes);
+    let decoded = Batch::<BytesPayload>::decode_payload(&bytes).expect("cap-sized batch decodes");
+    assert_eq!(decoded.len(), MAX_BATCH_PAYLOADS as usize);
+    // Patch the count prefix to cap + 1 (body now too short anyway, but
+    // the cap check must fire first and reject the claim outright).
+    bytes[..4].copy_from_slice(&(MAX_BATCH_PAYLOADS + 1).to_be_bytes());
+    bytes.extend_from_slice(&[0u8; 4]);
+    assert_eq!(Batch::<BytesPayload>::decode_payload(&bytes), None);
 }

@@ -10,6 +10,15 @@
 //! not per consensus instance: throughput in payloads/s plus p50/p99
 //! submission→commit latency.
 //!
+//! With `--recovery` the run also measures **crash recovery**: it
+//! commits a prefix, kills the last replica, commits a second prefix
+//! without it, restarts it on its original address and times how long
+//! the rejoined replica takes to deliver the *entire* committed log
+//! (state-transfer catch-up plus reconnect). The result lands in the
+//! report as a `recovery` object (`recovery_ms`, recovered payload
+//! count, state-request/retry counters). TCP only — a loopback
+//! replica cannot be restarted.
+//!
 //! Results are printed as JSON and also written to a machine-readable
 //! report (`--out`, default `BENCH_net.json`) so the perf trajectory
 //! can be tracked across PRs.
@@ -19,7 +28,8 @@
 //! ```text
 //! cargo run --release -p curb-bench --bin netbench -- \
 //!     [--n 4] [--proposals 500] [--payload 256] [--inflight 256] \
-//!     [--batch 1,16,64] [--window 0] [--loopback] [--out BENCH_net.json]
+//!     [--batch 1,16,64] [--window 0] [--loopback] [--recovery] \
+//!     [--out BENCH_net.json]
 //! ```
 
 use curb_bench::{arg_flag, arg_value};
@@ -194,6 +204,148 @@ fn run_once(
     }
 }
 
+struct RecoveryResult {
+    /// Payloads the rejoined replica had to deliver (missed prefix +
+    /// live tail).
+    recovered_payloads: usize,
+    /// Wall-clock from respawn until its log reached the frontier.
+    recovery_ms: f64,
+    state_requests: u64,
+    state_retries: u64,
+}
+
+/// Commits `prefix` payloads with all `n` replicas, `prefix` more with
+/// the last replica killed, then restarts it and times how long it
+/// takes to deliver the full committed log. The measured window
+/// includes TCP reconnect backoff — this is end-to-end rejoin time as
+/// an operator would see it, not just the state-transfer RTT.
+fn run_recovery(
+    n: usize,
+    prefix: usize,
+    payload_size: usize,
+    max_batch: usize,
+    window: Duration,
+) -> RecoveryResult {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    let spawn = |id: usize, listener: TcpListener| {
+        let transport: TcpTransport<Batch<BytesPayload>> =
+            TcpTransport::bind(id, listener, addrs.clone(), TcpConfig::default())
+                .expect("bind transport");
+        NetRunner::spawn(
+            Replica::new(id, n),
+            transport,
+            runner_cfg(max_batch, window),
+        )
+    };
+    let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| Some(spawn(id, l)))
+        .collect();
+    let make_payload = |idx: u64| {
+        let mut body = vec![0u8; payload_size.max(8)];
+        body[..8].copy_from_slice(&idx.to_be_bytes());
+        BytesPayload(body)
+    };
+    let propose = |handles: &[Option<RunnerHandle<BytesPayload>>], idx: u64| {
+        let leader = handles[0].as_ref().expect("leader alive");
+        assert!(leader.propose(make_payload(idx)), "runner stopped early");
+    };
+    let drain = |h: &RunnerHandle<BytesPayload>, count: usize, who: &str| {
+        for i in 0..count {
+            h.decisions
+                .recv_timeout(Duration::from_secs(60))
+                .unwrap_or_else(|_| panic!("{who} missing delivery {i} of {count}"));
+        }
+    };
+
+    // Phase 1 — everyone commits the first prefix (payload 0 doubles
+    // as the connection warmup).
+    for idx in 0..prefix as u64 {
+        propose(&handles, idx);
+    }
+    for (r, h) in handles.iter().enumerate() {
+        drain(
+            h.as_ref().expect("replica"),
+            prefix,
+            &format!("replica {r}"),
+        );
+    }
+
+    // Phase 2 — the last replica is down; the rest keep committing.
+    handles[n - 1].take().expect("victim").join();
+    for idx in prefix as u64..2 * prefix as u64 {
+        propose(&handles, idx);
+    }
+    for (r, h) in handles.iter().enumerate().take(n - 1) {
+        drain(
+            h.as_ref().expect("replica"),
+            prefix,
+            &format!("replica {r}"),
+        );
+    }
+
+    // Phase 3 — restart on the original address and start the clock.
+    // Nudge proposals reveal the gap to the rejoined replica (a nudge
+    // sent before its peers reconnect can be lost to it, so keep
+    // nudging until its first delivery arrives); it must then deliver
+    // everything from seq 1.
+    let listener = TcpListener::bind(addrs[n - 1]).expect("rebind victim's port");
+    let clock = Instant::now();
+    handles[n - 1] = Some(spawn(n - 1, listener));
+    let mut nudges = 0usize;
+    loop {
+        propose(&handles, (2 * prefix + nudges) as u64);
+        nudges += 1;
+        drain(handles[0].as_ref().expect("leader"), 1, "leader");
+        let first = handles[n - 1]
+            .as_ref()
+            .expect("rejoined")
+            .decisions
+            .recv_timeout(Duration::from_millis(500));
+        if first.is_ok() {
+            break;
+        }
+        assert!(nudges < 120, "rejoined replica never started delivering");
+    }
+    let total = 2 * prefix + nudges;
+    drain(
+        handles[n - 1].as_ref().expect("rejoined"),
+        total - 1, // the first delivery was consumed by the nudge loop
+        "rejoined replica",
+    );
+    let recovery_ms = clock.elapsed().as_secs_f64() * 1e3;
+
+    let stats = handles[n - 1].take().expect("rejoined").join();
+    for h in handles.into_iter().flatten() {
+        h.join();
+    }
+    RecoveryResult {
+        recovered_payloads: total,
+        recovery_ms,
+        state_requests: stats.state_requests,
+        state_retries: stats.state_retries,
+    }
+}
+
+fn render_recovery_json(r: &RecoveryResult, indent: &str) -> String {
+    format!(
+        "{indent}{{\n\
+         {indent}  \"recovered_payloads\": {},\n\
+         {indent}  \"recovery_ms\": {:.3},\n\
+         {indent}  \"state_requests\": {},\n\
+         {indent}  \"state_retries\": {}\n\
+         {indent}}}",
+        r.recovered_payloads, r.recovery_ms, r.state_requests, r.state_retries,
+    )
+}
+
 fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String {
     let mean = r.latencies_ms.iter().sum::<f64>() / r.latencies_ms.len().max(1) as f64;
     let fill = r.follower_commits[0] as f64 / r.batches_decided.max(1) as f64;
@@ -259,9 +411,14 @@ fn main() {
     );
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_net.json".to_string());
     let loopback = arg_flag("loopback");
+    let recovery = arg_flag("recovery");
     assert!((2..=64).contains(&n), "--n must be in 2..=64");
     assert!(proposals > 0, "--proposals must be positive");
     assert!(!batches.is_empty(), "--batch must name at least one size");
+    assert!(
+        !(recovery && loopback),
+        "--recovery needs TCP: a loopback replica cannot be restarted"
+    );
 
     let results: Vec<RunResult> = batches
         .iter()
@@ -274,6 +431,18 @@ fn main() {
         .iter()
         .find(|r| r.max_batch == 1)
         .map(|r| r.throughput);
+
+    let recovery_json = if recovery {
+        eprintln!("netbench: measuring crash recovery …");
+        let r = run_recovery(n, proposals, payload_size, batches[0], window);
+        eprintln!(
+            "netbench: rejoined replica recovered {} payloads in {:.1} ms",
+            r.recovered_payloads, r.recovery_ms
+        );
+        render_recovery_json(&r, "  ").trim_start().to_string()
+    } else {
+        "null".to_string()
+    };
 
     let runs_json: Vec<String> = results
         .iter()
@@ -288,11 +457,13 @@ fn main() {
          \x20 \"payload_bytes\": {},\n\
          \x20 \"inflight\": {inflight},\n\
          \x20 \"batch_window_ms\": {},\n\
+         \x20 \"recovery\": {},\n\
          \x20 \"runs\": [\n{}\n  ]\n\
          }}",
         if loopback { "loopback" } else { "tcp" },
         payload_size.max(8),
         window.as_millis(),
+        recovery_json,
         runs_json.join(",\n"),
     );
     println!("{report}");

@@ -16,9 +16,15 @@
 //! * view changes with prepared-payload carry-over and new-view
 //!   re-proposal,
 //! * exactly-once, in-order decision delivery per sequence number,
-//! * watermark-based garbage collection of decided instances, and
+//! * watermark-based garbage collection of decided instances,
+//! * a state-transfer (catch-up) protocol: every replica retains its
+//!   committed log with [`CommitCert`] evidence and serves
+//!   [`PbftMsg::StateRequest`]s, so a rejoining replica can re-obtain
+//!   and *verify* the prefix it missed (see [`Replica::catch_up_gap`]),
+//!   and
 //! * byzantine [`Behavior`] injection (silent, lazy, equivocating
-//!   leaders) used by the paper's resilience experiments.
+//!   leaders, lying state servers) used by the paper's resilience
+//!   experiments.
 //!
 //! # Examples
 //!
@@ -52,7 +58,7 @@ pub use batch::{Batch, MAX_BATCH_PAYLOADS};
 pub use cluster::Cluster;
 pub use core_select::{BftCore, CoreKind, CoreMsg};
 pub use hotstuff::{HotStuffMsg, HotStuffReplica, HsCluster, HsOutbound};
-pub use messages::{Dest, Outbound, PbftMsg};
+pub use messages::{CertError, CommitCert, CommittedEntry, Dest, Outbound, PbftMsg};
 pub use payload::{BytesPayload, Payload, PayloadCodec};
-pub use replica::{Behavior, NotLeader, Replica, ReplicaId, Seq, View};
+pub use replica::{Behavior, NotLeader, Replica, ReplicaId, Seq, View, DEFAULT_STATE_CHUNK};
 pub use tendermint::{TendermintMsg, TendermintReplica, TmCluster, TmOutbound};

@@ -1,8 +1,98 @@
-//! PBFT wire messages.
+//! PBFT wire messages, including the state-transfer (catch-up)
+//! extension a rejoining replica uses to re-obtain the committed
+//! prefix it missed while down.
 
 use crate::payload::Payload;
 use crate::replica::{ReplicaId, Seq, View};
 use curb_crypto::sha256::Digest;
+
+/// A quorum certificate attesting that a payload with `digest`
+/// committed: `voters` are the replicas whose COMMIT votes for that
+/// digest were observed by the serving replica.
+///
+/// Verification ([`CommitCert::verify`]) checks that the certificate
+/// carries at least `2f + 1` *distinct, in-range* voters and that the
+/// digest matches the accompanying payload, so a state-transfer entry
+/// whose payload was swapped or whose quorum was fabricated from
+/// duplicate/out-of-range ids is rejected. Votes are not yet signed
+/// (signed wire frames are tracked on the roadmap), so a fully
+/// byzantine serving peer could still forge voter ids — the check
+/// bounds what a *lazy or buggy* peer can slip through and pins the
+/// payload bytes to the claimed digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitCert {
+    /// Digest the quorum committed.
+    pub digest: Digest,
+    /// Replicas whose COMMIT votes back the decision.
+    pub voters: Vec<ReplicaId>,
+}
+
+/// Why a [`CommitCert`] failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertError {
+    /// Fewer than `2f + 1` voters.
+    QuorumTooSmall,
+    /// The same replica id appears more than once.
+    DuplicateVoter,
+    /// A voter id is outside `0..n`.
+    VoterOutOfRange,
+    /// The payload's digest does not match the certificate's digest.
+    DigestMismatch,
+}
+
+impl core::fmt::Display for CertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CertError::QuorumTooSmall => write!(f, "commit certificate below quorum size"),
+            CertError::DuplicateVoter => write!(f, "duplicate voter in commit certificate"),
+            CertError::VoterOutOfRange => write!(f, "voter id out of range"),
+            CertError::DigestMismatch => write!(f, "payload does not match certificate digest"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl CommitCert {
+    /// Verifies this certificate against `payload` for a group of `n`
+    /// replicas (`f = ⌊(n-1)/3⌋`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CertError`] encountered; `Ok(())` means the
+    /// entry is safe to apply as committed.
+    pub fn verify<P: Payload>(&self, payload: &P, n: usize) -> Result<(), CertError> {
+        let f = (n.saturating_sub(1)) / 3;
+        if self.voters.len() < 2 * f + 1 {
+            return Err(CertError::QuorumTooSmall);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &v in &self.voters {
+            if v >= n {
+                return Err(CertError::VoterOutOfRange);
+            }
+            if !seen.insert(v) {
+                return Err(CertError::DuplicateVoter);
+            }
+        }
+        if payload.digest() != self.digest {
+            return Err(CertError::DigestMismatch);
+        }
+        Ok(())
+    }
+}
+
+/// One committed `(seq, payload)` with its commit-certificate
+/// evidence, as carried by [`PbftMsg::StateResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedEntry<P> {
+    /// Sequence number the payload committed at.
+    pub seq: Seq,
+    /// The committed payload.
+    pub payload: P,
+    /// Evidence that `payload` committed at `seq`.
+    pub cert: CommitCert,
+}
 
 /// A PBFT protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +142,22 @@ pub enum PbftMsg<P> {
         /// Instances the new leader re-proposes.
         reproposals: Vec<(Seq, P)>,
     },
+    /// A rejoining replica's request for the committed entries in
+    /// `from_seq ..= to_seq` (its detected gap below the live frontier).
+    StateRequest {
+        /// First missing sequence number (inclusive).
+        from_seq: Seq,
+        /// Last requested sequence number (inclusive).
+        to_seq: Seq,
+    },
+    /// A peer's answer to a [`PbftMsg::StateRequest`]: a chunk of the
+    /// committed prefix, each entry carrying commit-certificate
+    /// evidence. May cover less than the requested range (chunking) or
+    /// be empty (the peer has nothing useful).
+    StateResponse {
+        /// Committed entries in ascending sequence order.
+        entries: Vec<CommittedEntry<P>>,
+    },
 }
 
 impl<P: Payload> PbftMsg<P> {
@@ -63,6 +169,8 @@ impl<P: Payload> PbftMsg<P> {
             PbftMsg::Commit { .. } => "COMMIT",
             PbftMsg::ViewChange { .. } => "VIEW-CHANGE",
             PbftMsg::NewView { .. } => "NEW-VIEW",
+            PbftMsg::StateRequest { .. } => "STATE-REQUEST",
+            PbftMsg::StateResponse { .. } => "STATE-RESPONSE",
         }
     }
 
@@ -81,6 +189,13 @@ impl<P: Payload> PbftMsg<P> {
                 24 + reproposals
                     .iter()
                     .map(|(_, p)| 8 + p.wire_size())
+                    .sum::<usize>()
+            }
+            PbftMsg::StateRequest { .. } => 24,
+            PbftMsg::StateResponse { entries } => {
+                8 + entries
+                    .iter()
+                    .map(|e| 8 + e.payload.wire_size() + 36 + 8 * e.cert.voters.len())
                     .sum::<usize>()
             }
         }
@@ -162,9 +277,45 @@ mod tests {
                 view: 1,
                 reproposals: vec![],
             },
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 9,
+            },
+            PbftMsg::StateResponse { entries: vec![] },
         ];
         let cats: std::collections::HashSet<&str> = msgs.iter().map(|m| m.category()).collect();
-        assert_eq!(cats.len(), 5);
+        assert_eq!(cats.len(), 7);
+    }
+
+    #[test]
+    fn commit_cert_verification_rules() {
+        let p = BytesPayload(b"entry".to_vec());
+        let good = CommitCert {
+            digest: crate::Payload::digest(&p),
+            voters: vec![0, 1, 2],
+        };
+        assert_eq!(good.verify(&p, 4), Ok(()));
+        // Quorum too small: 2 voters < 2f + 1 = 3 for n = 4.
+        let small = CommitCert {
+            voters: vec![0, 1],
+            ..good.clone()
+        };
+        assert_eq!(small.verify(&p, 4), Err(CertError::QuorumTooSmall));
+        // Duplicate voters cannot fake a quorum.
+        let dup = CommitCert {
+            voters: vec![0, 1, 1],
+            ..good.clone()
+        };
+        assert_eq!(dup.verify(&p, 4), Err(CertError::DuplicateVoter));
+        // Out-of-range voter ids are rejected.
+        let oob = CommitCert {
+            voters: vec![0, 1, 7],
+            ..good.clone()
+        };
+        assert_eq!(oob.verify(&p, 4), Err(CertError::VoterOutOfRange));
+        // The payload bytes are pinned to the digest.
+        let other = BytesPayload(b"swapped".to_vec());
+        assert_eq!(good.verify(&other, 4), Err(CertError::DigestMismatch));
     }
 
     #[test]

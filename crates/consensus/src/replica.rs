@@ -1,9 +1,13 @@
 //! The PBFT replica state machine.
 
-use crate::messages::{Outbound, PbftMsg};
+use crate::messages::{CommitCert, CommittedEntry, Outbound, PbftMsg};
 use crate::payload::Payload;
 use curb_crypto::sha256::Digest;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Default cap on the entries served in one [`PbftMsg::StateResponse`]
+/// (tunable per replica with [`Replica::set_max_state_chunk`]).
+pub const DEFAULT_STATE_CHUNK: usize = 256;
 
 /// Index of a replica within its consensus group (`0..n`).
 pub type ReplicaId = usize;
@@ -23,6 +27,12 @@ pub enum Behavior {
     /// Byzantine: votes (prepares/commits) carry a corrupted digest, so
     /// its votes never contribute to honest quorums.
     VoteGarbage,
+    /// Byzantine state server: participates in consensus honestly but
+    /// answers [`PbftMsg::StateRequest`] with corrupted commit
+    /// certificates, so a rejoining replica that trusts it would apply
+    /// unverifiable history. Used to prove catch-up verification and
+    /// retry-against-another-peer work.
+    StateGarbage,
 }
 
 /// Error returned by [`Replica::propose`] when the caller is not the
@@ -91,6 +101,17 @@ pub struct Replica<P> {
     view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<(Seq, P)>>>,
     /// Highest view this replica has voted to change to.
     voted_view: View,
+    /// The full decision history with commit-certificate evidence:
+    /// every `(seq, payload)` this replica decided (or applied from a
+    /// verified state transfer), retained so it can serve catch-up
+    /// requests from rejoining peers. Curb's trust story requires each
+    /// controller replica to hold the complete verifiable history, so
+    /// nothing is pruned.
+    committed_log: BTreeMap<Seq, (P, CommitCert)>,
+    /// Cap on entries per outgoing `STATE-RESPONSE`.
+    max_state_chunk: usize,
+    /// State-transfer entries rejected by certificate verification.
+    state_rejections: u64,
 }
 
 impl<P: Payload + Default> Replica<P> {
@@ -114,6 +135,9 @@ impl<P: Payload + Default> Replica<P> {
             behavior: Behavior::Honest,
             view_change_votes: BTreeMap::new(),
             voted_view: 0,
+            committed_log: BTreeMap::new(),
+            max_state_chunk: DEFAULT_STATE_CHUNK,
+            state_rejections: 0,
         }
     }
 
@@ -166,6 +190,52 @@ impl<P: Payload + Default> Replica<P> {
     /// not yet delivered — the pipelining depth a leader is running at.
     pub fn in_flight(&self) -> u64 {
         self.next_seq - self.next_deliver
+    }
+
+    /// The committed-prefix hole blocking delivery, if any: a range
+    /// `(from, to)` of sequence numbers this replica has *not* decided
+    /// even though a later instance already has. A freshly restarted
+    /// replica decides live instances at high sequence numbers while
+    /// `next_deliver` is still at its restart point, so this is the
+    /// rejoin signal the embedding layer polls to drive state transfer.
+    /// The signal is backed by a local `2f + 1` commit quorum on the
+    /// later instance — a single byzantine peer cannot fabricate it.
+    pub fn catch_up_gap(&self) -> Option<(Seq, Seq)> {
+        // `ready` is sorted and holds only undelivered seqs; the first
+        // key above the consecutive run from `next_deliver` bounds the
+        // first hole. (Partial catch-up chunks can leave the hole in
+        // the middle of `ready`, not just before its first key.)
+        let mut expect = self.next_deliver;
+        for &seq in self.ready.keys() {
+            if seq > expect {
+                return Some((expect, seq - 1));
+            }
+            expect = seq + 1;
+        }
+        None
+    }
+
+    /// Caps the entries served per `STATE-RESPONSE` (chunking), so one
+    /// response never exceeds the transport's frame budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn set_max_state_chunk(&mut self, max: usize) {
+        assert!(max > 0, "state chunk must allow at least one entry");
+        self.max_state_chunk = max;
+    }
+
+    /// State-transfer entries this replica rejected because their
+    /// commit certificate failed verification.
+    pub fn state_rejections(&self) -> u64 {
+        self.state_rejections
+    }
+
+    /// Number of entries in the committed log (the verifiable decision
+    /// history retained for serving catch-up requests).
+    pub fn committed_log_len(&self) -> usize {
+        self.committed_log.len()
     }
 
     /// Proposes `payload` at the next sequence number.
@@ -257,6 +327,10 @@ impl<P: Payload + Default> Replica<P> {
                 self.on_view_change(from, new_view, prepared)
             }
             PbftMsg::NewView { view, reproposals } => self.on_new_view(from, view, reproposals),
+            PbftMsg::StateRequest { from_seq, to_seq } => {
+                self.on_state_request(from, from_seq, to_seq)
+            }
+            PbftMsg::StateResponse { entries } => self.on_state_response(entries),
         }
     }
 
@@ -434,9 +508,84 @@ impl<P: Payload + Default> Replica<P> {
         if committed && inst.sent_commit && !inst.decided {
             inst.decided = true;
             let payload = inst.payload.clone().expect("digest implies payload");
+            // Snapshot the commit quorum as this decision's certificate
+            // so the entry can later be served, with evidence, to a
+            // rejoining replica.
+            let voters: Vec<ReplicaId> = inst
+                .commits
+                .get(&digest)
+                .expect("committed implies votes")
+                .iter()
+                .copied()
+                .collect();
+            let cert = CommitCert { digest, voters };
+            self.committed_log.insert(seq, (payload.clone(), cert));
             self.ready.insert(seq, payload);
         }
         out
+    }
+
+    /// Serves a `STATE-REQUEST`: answers with the committed entries in
+    /// `from_seq ..= to_seq` (capped at `max_state_chunk`), each with
+    /// its commit certificate. An empty response tells the requester
+    /// this peer cannot help, so it can try another one immediately.
+    fn on_state_request(
+        &mut self,
+        from: ReplicaId,
+        from_seq: Seq,
+        to_seq: Seq,
+    ) -> Vec<Outbound<P>> {
+        if from == self.id || from >= self.n {
+            return Vec::new();
+        }
+        let lo = from_seq.max(1);
+        let mut entries = Vec::new();
+        if lo <= to_seq {
+            for (&seq, (payload, cert)) in self.committed_log.range(lo..=to_seq) {
+                if entries.len() >= self.max_state_chunk {
+                    break;
+                }
+                let mut cert = cert.clone();
+                if self.behavior == Behavior::StateGarbage {
+                    // The lying peer serves evidence that does not
+                    // match the payload; verification must catch it.
+                    cert.digest = self.corrupt(cert.digest);
+                }
+                entries.push(CommittedEntry {
+                    seq,
+                    payload: payload.clone(),
+                    cert,
+                });
+            }
+        }
+        vec![Outbound::to(from, PbftMsg::StateResponse { entries })]
+    }
+
+    /// Applies a `STATE-RESPONSE`: every entry is verified against its
+    /// commit certificate before being treated as decided. Processing
+    /// stops at the first invalid entry (the rest of that response is
+    /// suspect); the rejection is counted so the embedding layer can
+    /// retry against a different peer.
+    fn on_state_response(&mut self, entries: Vec<CommittedEntry<P>>) -> Vec<Outbound<P>> {
+        for entry in entries {
+            if entry.seq < self.next_deliver || self.committed_log.contains_key(&entry.seq) {
+                continue; // already delivered or already held
+            }
+            if entry.cert.verify(&entry.payload, self.n).is_err() {
+                self.state_rejections += 1;
+                break;
+            }
+            if let Some(inst) = self.instances.get_mut(&entry.seq) {
+                // A live instance for this seq may still gather votes;
+                // marking it decided prevents a second decision.
+                inst.decided = true;
+            }
+            self.ready.insert(entry.seq, entry.payload.clone());
+            self.committed_log
+                .insert(entry.seq, (entry.payload, entry.cert));
+            self.next_seq = self.next_seq.max(entry.seq + 1);
+        }
+        Vec::new()
     }
 
     fn vote_view_change(&mut self, target: View) -> Vec<Outbound<P>> {
@@ -799,5 +948,238 @@ mod tests {
         );
         assert!(out.is_empty());
         assert_eq!(r.view(), 0, "NEW-VIEW from wrong leader rejected");
+    }
+
+    /// Drives a full pre-prepare/prepare/commit round at `seq` on
+    /// replica `r` (id 1 of 4, leader 0), so it decides locally and
+    /// records the entry in its committed log.
+    fn decide_at(r: &mut Replica<BytesPayload>, seq: Seq, p: &BytesPayload) {
+        let d = p.digest();
+        r.on_message(
+            0,
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq,
+                digest: d,
+                payload: p.clone(),
+            },
+        );
+        for peer in [2, 3] {
+            r.on_message(
+                peer,
+                PbftMsg::Prepare {
+                    view: 0,
+                    seq,
+                    digest: d,
+                },
+            );
+        }
+        for peer in [0, 3] {
+            r.on_message(
+                peer,
+                PbftMsg::Commit {
+                    view: 0,
+                    seq,
+                    digest: d,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_recorded_with_commit_certificates() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        decide_at(&mut r, 1, &payload(b"first"));
+        assert_eq!(r.committed_log_len(), 1);
+        assert_eq!(r.take_decisions(), vec![(1, payload(b"first"))]);
+        // The log survives delivery (history is never pruned) and the
+        // recorded certificate verifies against the payload.
+        assert_eq!(r.committed_log_len(), 1);
+        let out = r.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 1,
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, Dest::To(3));
+        match &out[0].msg {
+            PbftMsg::StateResponse { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].seq, 1);
+                assert_eq!(entries[0].payload, payload(b"first"));
+                assert_eq!(entries[0].cert.verify(&entries[0].payload, 4), Ok(()));
+                assert!(entries[0].cert.voters.len() >= 3, "2f+1 voters recorded");
+            }
+            other => panic!("expected state response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catch_up_gap_signals_hole_below_live_frontier() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        assert_eq!(r.catch_up_gap(), None, "fresh replica has no gap");
+        // Replica decides seq 5 (live traffic) while 1..=4 never arrive.
+        decide_at(&mut r, 5, &payload(b"live"));
+        assert_eq!(r.catch_up_gap(), Some((1, 4)));
+        assert!(r.take_decisions().is_empty(), "hole blocks delivery");
+        // A verified state response closes the hole and delivery flows.
+        let mut donor = Replica::<BytesPayload>::new(2, 4);
+        for seq in 1..=4 {
+            decide_at(&mut donor, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        let out = donor.on_message(
+            1,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 4,
+            },
+        );
+        let PbftMsg::StateResponse { entries } = out[0].msg.clone() else {
+            panic!("expected state response");
+        };
+        r.on_message(2, PbftMsg::StateResponse { entries });
+        assert_eq!(r.catch_up_gap(), None);
+        let delivered = r.take_decisions();
+        assert_eq!(delivered.len(), 5);
+        assert_eq!(delivered[0], (1, payload(b"p1")));
+        assert_eq!(delivered[4], (5, payload(b"live")));
+        assert_eq!(r.next_deliver(), 6);
+    }
+
+    #[test]
+    fn state_entries_with_bad_certificates_are_rejected() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        decide_at(&mut r, 5, &payload(b"live"));
+        let forged = |voters: Vec<usize>, digest_of: &BytesPayload| CommittedEntry {
+            seq: 1,
+            payload: payload(b"evil"),
+            cert: CommitCert {
+                digest: digest_of.digest(),
+                voters,
+            },
+        };
+        // Digest mismatch, tiny quorum, duplicate voters, out-of-range
+        // voters: every forgery is rejected and counted, and the gap
+        // stays open.
+        let cases = vec![
+            forged(vec![0, 2, 3], &payload(b"other")),
+            forged(vec![0, 2], &payload(b"evil")),
+            forged(vec![0, 2, 2], &payload(b"evil")),
+            forged(vec![0, 2, 9], &payload(b"evil")),
+        ];
+        for (i, entry) in cases.into_iter().enumerate() {
+            r.on_message(
+                3,
+                PbftMsg::StateResponse {
+                    entries: vec![entry],
+                },
+            );
+            assert_eq!(r.state_rejections(), (i + 1) as u64);
+            assert_eq!(r.catch_up_gap(), Some((1, 4)), "case {i} must not apply");
+        }
+        assert!(r.take_decisions().is_empty());
+    }
+
+    #[test]
+    fn rejection_stops_mid_response_but_keeps_valid_prefix() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        decide_at(&mut r, 3, &payload(b"live"));
+        let mut donor = Replica::<BytesPayload>::new(2, 4);
+        for seq in 1..=2 {
+            decide_at(&mut donor, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        let out = donor.on_message(
+            1,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 2,
+            },
+        );
+        let PbftMsg::StateResponse { mut entries } = out[0].msg.clone() else {
+            panic!("expected state response");
+        };
+        // Corrupt the second entry's certificate only.
+        entries[1].cert.digest.0[0] ^= 0xFF;
+        r.on_message(2, PbftMsg::StateResponse { entries });
+        assert_eq!(r.state_rejections(), 1);
+        // Seq 1 applied; seq 2 still missing.
+        assert_eq!(r.catch_up_gap(), Some((2, 2)));
+        assert_eq!(r.take_decisions(), vec![(1, payload(b"p1"))]);
+    }
+
+    #[test]
+    fn state_garbage_peer_serves_unverifiable_entries() {
+        let mut liar = Replica::<BytesPayload>::new(2, 4);
+        decide_at(&mut liar, 1, &payload(b"truth"));
+        liar.set_behavior(Behavior::StateGarbage);
+        let out = liar.on_message(
+            1,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 1,
+            },
+        );
+        let PbftMsg::StateResponse { entries } = &out[0].msg else {
+            panic!("expected state response");
+        };
+        assert!(
+            entries[0].cert.verify(&entries[0].payload, 4).is_err(),
+            "the liar's certificate must fail verification"
+        );
+    }
+
+    #[test]
+    fn state_request_for_unknown_range_gets_empty_response() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        let out = r.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 100,
+            },
+        );
+        match &out[0].msg {
+            PbftMsg::StateResponse { entries } => assert!(entries.is_empty()),
+            other => panic!("expected empty state response, got {other:?}"),
+        }
+        // An inverted range must not panic.
+        let out = r.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 9,
+                to_seq: 2,
+            },
+        );
+        match &out[0].msg {
+            PbftMsg::StateResponse { entries } => assert!(entries.is_empty()),
+            other => panic!("expected empty state response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_chunking_respects_the_cap() {
+        let mut donor = Replica::<BytesPayload>::new(1, 4);
+        for seq in 1..=6 {
+            decide_at(&mut donor, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        donor.set_max_state_chunk(2);
+        let out = donor.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 6,
+            },
+        );
+        let PbftMsg::StateResponse { entries } = &out[0].msg else {
+            panic!("expected state response");
+        };
+        assert_eq!(entries.len(), 2, "chunk cap limits the response");
+        assert_eq!(
+            (entries[0].seq, entries[1].seq),
+            (1, 2),
+            "lowest seqs first"
+        );
     }
 }

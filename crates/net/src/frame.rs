@@ -15,11 +15,14 @@
 //! tag 2     := COMMIT       view:u64 seq:u64 digest:[u8;32]
 //! tag 3     := VIEW-CHANGE  new_view:u64 count:u32 (seq:u64 payload)*
 //! tag 4     := NEW-VIEW     view:u64     count:u32 (seq:u64 payload)*
+//! tag 5     := STATE-REQUEST  from_seq:u64 to_seq:u64
+//! tag 6     := STATE-RESPONSE count:u32 (seq:u64 payload cert)*
+//! cert      := digest:[u8;32] count:u32 (voter:u64)*
 //! payload   := u32 len | PayloadCodec bytes
 //! ```
 
 use curb_chain::codec::{ByteReader, CodecError};
-use curb_consensus::{PayloadCodec, PbftMsg};
+use curb_consensus::{CommitCert, CommittedEntry, PayloadCodec, PbftMsg};
 use std::io::{self, Read, Write};
 
 /// Default cap on the body size of a single frame (16 MiB).
@@ -65,10 +68,22 @@ const TAG_PREPARE: u8 = 1;
 const TAG_COMMIT: u8 = 2;
 const TAG_VIEW_CHANGE: u8 = 3;
 const TAG_NEW_VIEW: u8 = 4;
+const TAG_STATE_REQUEST: u8 = 5;
+const TAG_STATE_RESPONSE: u8 = 6;
 
 /// Cap on the `(seq, payload)` list length in view-change messages;
 /// prevents a hostile length prefix from pre-allocating gigabytes.
 const MAX_CARRIED: u32 = 1 << 20;
+
+/// Cap on the committed entries one `STATE-RESPONSE` frame may claim;
+/// serving replicas chunk well below this (`max_state_chunk`), so any
+/// larger claim is hostile.
+pub const MAX_STATE_ENTRIES: u32 = 1 << 12;
+
+/// Cap on the voter-list length of one commit certificate; real
+/// certificates hold at most `n` voters and control-plane groups are
+/// tiny, so any larger claim is hostile.
+pub const MAX_CERT_VOTERS: u32 = 1 << 10;
 
 fn put_payload<P: PayloadCodec>(out: &mut Vec<u8>, payload: &P) {
     // Encode straight into `out` and back-patch the length prefix, so
@@ -103,6 +118,53 @@ fn get_carried<P: PayloadCodec>(r: &mut ByteReader<'_>) -> Result<Vec<(u64, P)>,
     for _ in 0..count {
         let seq = r.u64()?;
         out.push((seq, get_payload(r)?));
+    }
+    Ok(out)
+}
+
+fn put_cert(out: &mut Vec<u8>, cert: &CommitCert) {
+    out.extend_from_slice(&cert.digest.0);
+    out.extend_from_slice(&(cert.voters.len() as u32).to_be_bytes());
+    for &voter in &cert.voters {
+        out.extend_from_slice(&(voter as u64).to_be_bytes());
+    }
+}
+
+fn get_cert(r: &mut ByteReader<'_>) -> Result<CommitCert, WireError> {
+    let digest = r.digest()?;
+    let count = r.u32()?;
+    if count > MAX_CERT_VOTERS {
+        return Err(WireError::Corrupt("cert voter count"));
+    }
+    let mut voters = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        voters.push(r.u64()? as usize);
+    }
+    Ok(CommitCert { digest, voters })
+}
+
+fn put_entries<P: PayloadCodec>(out: &mut Vec<u8>, entries: &[CommittedEntry<P>]) {
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for entry in entries {
+        out.extend_from_slice(&entry.seq.to_be_bytes());
+        put_payload(out, &entry.payload);
+        put_cert(out, &entry.cert);
+    }
+}
+
+fn get_entries<P: PayloadCodec>(
+    r: &mut ByteReader<'_>,
+) -> Result<Vec<CommittedEntry<P>>, WireError> {
+    let count = r.u32()?;
+    if count > MAX_STATE_ENTRIES {
+        return Err(WireError::Corrupt("state-entry count"));
+    }
+    let mut out = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let seq = r.u64()?;
+        let payload = get_payload(r)?;
+        let cert = get_cert(r)?;
+        out.push(CommittedEntry { seq, payload, cert });
     }
     Ok(out)
 }
@@ -153,6 +215,15 @@ pub fn encode_msg_into<P: PayloadCodec>(msg: &PbftMsg<P>, out: &mut Vec<u8>) {
             out.extend_from_slice(&view.to_be_bytes());
             put_carried(out, reproposals);
         }
+        PbftMsg::StateRequest { from_seq, to_seq } => {
+            out.push(TAG_STATE_REQUEST);
+            out.extend_from_slice(&from_seq.to_be_bytes());
+            out.extend_from_slice(&to_seq.to_be_bytes());
+        }
+        PbftMsg::StateResponse { entries } => {
+            out.push(TAG_STATE_RESPONSE);
+            put_entries(out, entries);
+        }
     }
 }
 
@@ -198,6 +269,15 @@ pub fn decode_msg<P: PayloadCodec>(body: &[u8]) -> Result<PbftMsg<P>, WireError>
             let view = r.u64()?;
             let reproposals = get_carried(&mut r)?;
             PbftMsg::NewView { view, reproposals }
+        }
+        TAG_STATE_REQUEST => {
+            let from_seq = r.u64()?;
+            let to_seq = r.u64()?;
+            PbftMsg::StateRequest { from_seq, to_seq }
+        }
+        TAG_STATE_RESPONSE => {
+            let entries = get_entries(&mut r)?;
+            PbftMsg::StateResponse { entries }
         }
         _ => return Err(WireError::Corrupt("message tag")),
     };
@@ -300,6 +380,31 @@ mod tests {
                 view: 1,
                 reproposals: vec![],
             },
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: u64::MAX,
+            },
+            PbftMsg::StateResponse { entries: vec![] },
+            PbftMsg::StateResponse {
+                entries: vec![
+                    CommittedEntry {
+                        seq: 1,
+                        payload: p(b"committed"),
+                        cert: CommitCert {
+                            digest: p(b"committed").digest(),
+                            voters: vec![0, 1, 3],
+                        },
+                    },
+                    CommittedEntry {
+                        seq: u64::MAX,
+                        payload: p(b""),
+                        cert: CommitCert {
+                            digest: Digest([0x5A; 32]),
+                            voters: vec![],
+                        },
+                    },
+                ],
+            },
         ]
     }
 
@@ -340,7 +445,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        for tag in 5u8..=255 {
+        for tag in 7u8..=255 {
             assert_eq!(
                 decode_msg::<BytesPayload>(&[tag]),
                 Err(WireError::Corrupt("message tag"))
@@ -357,6 +462,39 @@ mod tests {
         assert_eq!(
             decode_msg::<BytesPayload>(&body),
             Err(WireError::Corrupt("carried-payload count"))
+        );
+    }
+
+    #[test]
+    fn hostile_state_entry_count_rejected_without_allocation() {
+        // STATE-RESPONSE claiming 2^32-1 committed entries in a tiny body.
+        let mut body = vec![TAG_STATE_RESPONSE];
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            decode_msg::<BytesPayload>(&body),
+            Err(WireError::Corrupt("state-entry count"))
+        );
+        // One past the cap is also rejected.
+        let mut body = vec![TAG_STATE_RESPONSE];
+        body.extend_from_slice(&(MAX_STATE_ENTRIES + 1).to_be_bytes());
+        assert_eq!(
+            decode_msg::<BytesPayload>(&body),
+            Err(WireError::Corrupt("state-entry count"))
+        );
+    }
+
+    #[test]
+    fn hostile_cert_voter_count_rejected_without_allocation() {
+        // A single entry whose certificate claims 2^32-1 voters.
+        let mut body = vec![TAG_STATE_RESPONSE];
+        body.extend_from_slice(&1u32.to_be_bytes()); // one entry
+        body.extend_from_slice(&1u64.to_be_bytes()); // seq
+        body.extend_from_slice(&0u32.to_be_bytes()); // empty payload
+        body.extend_from_slice(&[0u8; 32]); // cert digest
+        body.extend_from_slice(&u32::MAX.to_be_bytes()); // voter count
+        assert_eq!(
+            decode_msg::<BytesPayload>(&body),
+            Err(WireError::Corrupt("cert voter count"))
         );
     }
 

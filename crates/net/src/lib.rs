@@ -21,7 +21,11 @@
 //!   up to [`RunnerConfig::max_batch`] payloads), pipelines multiple
 //!   instances, drains all ready transport events per iteration, and
 //!   unfolds committed batches back into per-payload `(seq, index)`
-//!   [`Delivery`] records on a channel.
+//!   [`Delivery`] records on a channel. It also runs the **catch-up
+//!   loop**: a restarted replica that detects a committed-prefix gap
+//!   requests verified, certificate-backed state chunks from its
+//!   peers one at a time (timeout + rotate on an unhelpful or lying
+//!   peer) until the hole closes and delivery resumes.
 //!
 //! The same machinery is deliberately payload-generic: any type
 //! implementing [`Payload`](curb_consensus::Payload) +
@@ -62,6 +66,7 @@ mod transport;
 
 pub use frame::{
     decode_msg, encode_msg, encode_msg_into, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,
+    MAX_CERT_VOTERS, MAX_STATE_ENTRIES,
 };
 pub use runner::{Delivery, NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
 pub use tcp::{PeerManager, TcpConfig, TcpTransport, HANDSHAKE_MAGIC};

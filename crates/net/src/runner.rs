@@ -25,9 +25,28 @@
 //! [`Replica::start_view_change`] when proposals are pending but
 //! nothing has committed — the networked equivalent of PBFT's request
 //! timer.
+//!
+//! # Catch-up (state transfer)
+//!
+//! A restarted replica rejoins with a hole below the live frontier: it
+//! decides new instances from live traffic but cannot deliver them
+//! because the committed prefix it missed is gone. The runner closes
+//! that hole with a wire-level catch-up loop. Each iteration it asks
+//! the replica for its gap ([`Replica::catch_up_gap`] — backed by the
+//! replica's *own* `2f + 1` commit quorums, so a byzantine peer cannot
+//! fake a gap) and, when one exists, unicasts a
+//! [`PbftMsg::StateRequest`] to one peer at a time, rotating from
+//! `(id + 1) % n`. The peer answers with a chunk of certificate-backed
+//! committed entries which the replica verifies before applying
+//! (`CommitCert::verify`). If the targeted peer does not shrink the
+//! gap — it timed out ([`RunnerConfig::catch_up_timeout`]), answered
+//! empty, or served entries whose certificates failed verification —
+//! the runner retries the next peer. Chunking means one request may
+//! close only part of the gap; the loop simply re-requests the rest
+//! until delivery resumes.
 
 use crate::transport::{NetEvent, Transport};
-use curb_consensus::{Batch, Dest, Outbound, Payload, Replica, Seq};
+use curb_consensus::{Batch, Dest, Outbound, Payload, PbftMsg, Replica, Seq, DEFAULT_STATE_CHUNK};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::{self, JoinHandle};
@@ -56,6 +75,13 @@ pub struct RunnerConfig {
     /// Fairness cap on transport events pumped per loop iteration
     /// before client commands and decisions are serviced again.
     pub max_events_per_tick: usize,
+    /// How long one outstanding [`PbftMsg::StateRequest`] may go
+    /// unanswered before the catch-up loop retries the next peer.
+    pub catch_up_timeout: Duration,
+    /// Most committed entries this replica packs into one
+    /// [`PbftMsg::StateResponse`] when *serving* a peer's catch-up
+    /// (forwarded to [`Replica::set_max_state_chunk`] at spawn).
+    pub max_state_chunk: usize,
 }
 
 impl Default for RunnerConfig {
@@ -67,6 +93,8 @@ impl Default for RunnerConfig {
             batch_window: Duration::ZERO,
             max_inflight: 64,
             max_events_per_tick: 1024,
+            catch_up_timeout: Duration::from_millis(500),
+            max_state_chunk: DEFAULT_STATE_CHUNK,
         }
     }
 }
@@ -90,6 +118,14 @@ pub struct RunnerStats {
     pub batches_proposed: u64,
     /// View changes this runner initiated on timeout.
     pub view_changes_started: u64,
+    /// Catch-up [`PbftMsg::StateRequest`]s this runner sent.
+    pub state_requests: u64,
+    /// Catch-up attempts abandoned (timeout or unhelpful/lying peer)
+    /// and retried against a different peer.
+    pub state_retries: u64,
+    /// State-transfer entries the replica rejected because their
+    /// commit certificates failed verification.
+    pub state_rejections: u64,
 }
 
 enum Command<P> {
@@ -134,6 +170,17 @@ impl<P> RunnerHandle<P> {
     }
 }
 
+/// One outstanding catch-up request.
+struct CatchUp {
+    /// Peer the [`PbftMsg::StateRequest`] was sent to.
+    target: usize,
+    /// When it was sent; drives `catch_up_timeout`.
+    requested_at: Instant,
+    /// Low edge of the gap at request time — the progress baseline: a
+    /// response that does not move the gap above this was useless.
+    gap_lo: Seq,
+}
+
 /// Owns a [`Replica`] (over [`Batch`]ed payloads) and a [`Transport`]
 /// and runs the glue loop.
 pub struct NetRunner<P: Payload, T> {
@@ -145,6 +192,10 @@ pub struct NetRunner<P: Payload, T> {
     pending_since: Option<Instant>,
     stats: RunnerStats,
     last_progress: Instant,
+    /// The in-flight catch-up request, if any.
+    catch_up: Option<CatchUp>,
+    /// Which peer the next catch-up request goes to (never self).
+    next_target: usize,
 }
 
 impl<P, T> NetRunner<P, T>
@@ -156,14 +207,21 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.max_batch` or `cfg.max_inflight` is zero, or if
-    /// the OS refuses to spawn the thread.
-    pub fn spawn(replica: Replica<Batch<P>>, transport: T, cfg: RunnerConfig) -> RunnerHandle<P> {
+    /// Panics if `cfg.max_batch`, `cfg.max_inflight` or
+    /// `cfg.max_state_chunk` is zero, or if the OS refuses to spawn
+    /// the thread.
+    pub fn spawn(
+        mut replica: Replica<Batch<P>>,
+        transport: T,
+        cfg: RunnerConfig,
+    ) -> RunnerHandle<P> {
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
+        replica.set_max_state_chunk(cfg.max_state_chunk);
         let (commands_tx, commands_rx) = channel();
         let (decisions_tx, decisions_rx) = channel();
         let name = format!("curb-net-runner-{}", replica.id());
+        let next_target = (replica.id() + 1) % transport.group_size().max(1);
         let runner = NetRunner {
             replica,
             transport,
@@ -172,6 +230,8 @@ where
             pending_since: None,
             stats: RunnerStats::default(),
             last_progress: Instant::now(),
+            catch_up: None,
+            next_target,
         };
         let thread = thread::Builder::new()
             .name(name)
@@ -207,15 +267,9 @@ where
                         self.pending.push_back(payload);
                         progressed = true;
                     }
-                    Ok(Command::Shutdown) => {
-                        self.transport.shutdown();
-                        return self.stats;
-                    }
+                    Ok(Command::Shutdown) => return self.finish(),
                     Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                        self.transport.shutdown();
-                        return self.stats;
-                    }
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => return self.finish(),
                 }
             }
             // 2. Coalesce pending proposals into batches while we lead.
@@ -231,17 +285,17 @@ where
                 pumped += 1;
                 progressed = true;
                 if let NetEvent::Inbound { from, msg } = event {
-                    self.stats.inbound += 1;
-                    let out = self.replica.on_message(from, msg);
-                    self.dispatch(out);
+                    self.handle_inbound(from, msg);
                 }
             }
             // 4. Publish freshly committed batches, unfolded into
             // per-payload (seq, index) deliveries.
             if !self.publish_decisions(&decisions, &mut progressed) {
-                return self.stats;
+                return self.finish();
             }
-            // 5. Leader-failure recovery: demand a view change when
+            // 5. Close any committed-prefix hole via state transfer.
+            self.drive_catch_up();
+            // 6. Leader-failure recovery: demand a view change when
             // work is pending but nothing commits.
             if let Some(timeout) = self.cfg.view_change_timeout {
                 let starving = !self.pending.is_empty() && !self.replica.is_leader();
@@ -252,18 +306,102 @@ where
                     self.dispatch(out);
                 }
             }
-            // 6. Only block when truly idle, and never past the point
+            // 7. Only block when truly idle, and never past the point
             // where a held-back partial batch becomes due.
             if !progressed {
                 if let Some(NetEvent::Inbound { from, msg }) =
                     self.transport.recv_timeout(self.idle_budget())
                 {
-                    self.stats.inbound += 1;
-                    let out = self.replica.on_message(from, msg);
-                    self.dispatch(out);
+                    self.handle_inbound(from, msg);
                 }
             }
         }
+    }
+
+    /// Feeds one inbound message to the replica and dispatches its
+    /// output. When the message is the state response we are waiting
+    /// on, judge the targeted peer immediately: a response that did
+    /// not shrink the gap (empty, stale, or failed certificate
+    /// verification) moves the catch-up loop to the next peer without
+    /// waiting out the timeout.
+    fn handle_inbound(&mut self, from: usize, msg: PbftMsg<Batch<P>>) {
+        self.stats.inbound += 1;
+        let awaited = matches!(msg, PbftMsg::StateResponse { .. })
+            && self.catch_up.as_ref().is_some_and(|c| c.target == from);
+        let out = self.replica.on_message(from, msg);
+        self.dispatch(out);
+        if awaited {
+            let baseline = self.catch_up.as_ref().map(|c| c.gap_lo);
+            match (self.replica.catch_up_gap(), baseline) {
+                (Some((lo, _)), Some(gap_lo)) if lo <= gap_lo => {
+                    // The peer answered but the gap did not move:
+                    // unhelpful or lying. Try the next one.
+                    self.stats.state_retries += 1;
+                    self.rotate_target();
+                }
+                _ => {} // gap shrank or closed — the chunk applied
+            }
+            // Either way the request is resolved; `drive_catch_up`
+            // re-requests whatever remains.
+            self.catch_up = None;
+        }
+    }
+
+    /// Catch-up driver: when the replica reports a committed-prefix
+    /// gap, keep exactly one [`PbftMsg::StateRequest`] outstanding,
+    /// rotating to the next peer whenever the current one times out.
+    fn drive_catch_up(&mut self) {
+        if self.transport.group_size() < 2 {
+            return; // nobody to ask
+        }
+        let Some((lo, hi)) = self.replica.catch_up_gap() else {
+            self.catch_up = None;
+            return;
+        };
+        if let Some(cu) = &self.catch_up {
+            if lo > cu.gap_lo {
+                // A chunk landed since the request went out; ask for
+                // the remainder right away.
+                self.catch_up = None;
+            } else if cu.requested_at.elapsed() >= self.cfg.catch_up_timeout {
+                self.stats.state_retries += 1;
+                self.rotate_target();
+                self.catch_up = None;
+            } else {
+                return; // request outstanding, still within budget
+            }
+        }
+        let target = self.next_target;
+        self.stats.state_requests += 1;
+        self.stats.outbound += 1;
+        self.transport.send(
+            target,
+            &PbftMsg::StateRequest {
+                from_seq: lo,
+                to_seq: hi,
+            },
+        );
+        self.catch_up = Some(CatchUp {
+            target,
+            requested_at: Instant::now(),
+            gap_lo: lo,
+        });
+    }
+
+    /// Advances the catch-up target to the next peer, skipping self.
+    fn rotate_target(&mut self) {
+        let n = self.transport.group_size();
+        self.next_target = (self.next_target + 1) % n;
+        if self.next_target == self.replica.id() {
+            self.next_target = (self.next_target + 1) % n;
+        }
+    }
+
+    /// Shuts the transport down and returns the final counters.
+    fn finish(mut self) -> RunnerStats {
+        self.transport.shutdown();
+        self.stats.state_rejections = self.replica.state_rejections();
+        self.stats
     }
 
     /// How long the idle path may block: the poll interval, clamped to
@@ -329,7 +467,6 @@ where
                 };
                 if decisions.send(delivery).is_err() {
                     // Nobody is listening any more; stop serving.
-                    self.transport.shutdown();
                     return false;
                 }
             }

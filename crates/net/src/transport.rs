@@ -10,6 +10,13 @@
 //! message through the wire codec ([`crate::frame`]), so a loopback
 //! cluster exercises the exact byte path a TCP cluster does — only the
 //! socket layer is skipped.
+//!
+//! State-transfer frames ride the same channel as every other
+//! [`PbftMsg`]: a `STATE-RESPONSE` must fit one frame, which is why
+//! serving replicas chunk responses
+//! ([`crate::RunnerConfig::max_state_chunk`], wire-capped at
+//! [`crate::frame::MAX_STATE_ENTRIES`]) instead of shipping an
+//! arbitrarily long committed prefix in one message.
 
 use crate::frame::{decode_msg, encode_msg};
 use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};

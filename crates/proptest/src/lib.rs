@@ -6,8 +6,13 @@
 //! [`sample::Index`], the `prop_assert*` / [`prop_assume!`] macros and
 //! [`ProptestConfig`]. Sampling is purely random (seeded
 //! deterministically per test from the test's module path, so runs are
-//! reproducible); there is **no shrinking** — a failure reports the
-//! case number and message, not a minimal counterexample.
+//! reproducible). Failures are **greedily shrunk**: every strategy can
+//! propose smaller variants of a failing value
+//! ([`Strategy::shrink`] — integers halve toward their lower bound,
+//! vectors truncate and shrink element-wise, tuples shrink one
+//! component at a time), and the runner repeatedly adopts the first
+//! variant that still fails until none does, reporting that local
+//! minimum alongside the original failure.
 //!
 //! The number of cases per test defaults to [`DEFAULT_CASES`] and can
 //! be overridden per block with
@@ -120,12 +125,26 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Proposes strictly "smaller" variants of a failing `value`, best
+    /// candidates first. The runner greedily adopts the first variant
+    /// that still fails the property, so candidates must make real
+    /// progress (each eventually exhausts) or shrinking would loop.
+    /// The default proposes nothing, which disables shrinking for the
+    /// strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 /// Types with a canonical "any value" strategy (see [`any`]).
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Smaller variants of `self` for shrinking (see
+    /// [`Strategy::shrink`]); empty by default.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// Strategy for the full value range of `T` (`any::<T>()`).
@@ -146,6 +165,29 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        Arbitrary::shrink(value)
+    }
+}
+
+/// Shrink candidates for an unsigned value above `floor`: the floor
+/// itself (biggest jump first), halfway down, and one step down.
+macro_rules! shrink_uint_toward {
+    ($v:expr, $floor:expr) => {{
+        let (v, floor) = ($v, $floor);
+        let mut out = Vec::new();
+        if v > floor {
+            out.push(floor);
+            let mid = floor + (v - floor) / 2;
+            if mid != floor && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != floor {
+                out.push(v - 1);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_arbitrary_uint {
@@ -153,6 +195,9 @@ macro_rules! impl_arbitrary_uint {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<$t> {
+                shrink_uint_toward!(*self, 0)
             }
         }
     )*};
@@ -163,11 +208,21 @@ impl Arbitrary for u128 {
     fn arbitrary(rng: &mut TestRng) -> u128 {
         rng.next_u128()
     }
+    fn shrink(&self) -> Vec<u128> {
+        shrink_uint_toward!(*self, 0)
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -190,6 +245,9 @@ macro_rules! impl_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + rng.below(span) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_uint_toward!(*value, self.start)
+            }
         }
         impl Strategy for RangeFrom<$t> {
             type Value = $t;
@@ -199,6 +257,9 @@ macro_rules! impl_range_strategy {
                 // increment instead of overflowing.
                 let inc = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
                 self.start.saturating_add(inc as $t)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_uint_toward!(*value, self.start)
             }
         }
     )*};
@@ -210,6 +271,9 @@ impl Strategy for Range<u128> {
     fn sample(&self, rng: &mut TestRng) -> u128 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.next_u128() % (self.end - self.start)
+    }
+    fn shrink(&self, value: &u128) -> Vec<u128> {
+        shrink_uint_toward!(*value, self.start)
     }
 }
 
@@ -224,14 +288,32 @@ impl Strategy for RangeFrom<u128> {
         };
         self.start.saturating_add(inc)
     }
+    fn shrink(&self, value: &u128) -> Vec<u128> {
+        shrink_uint_toward!(*value, self.start)
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident/$i:tt),+);)*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$i.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, keeping the rest fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$i.shrink(&value.$i) {
+                        let mut variant = value.clone();
+                        variant.$i = candidate;
+                        out.push(variant);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -270,6 +352,9 @@ pub mod sample {
         fn arbitrary(rng: &mut TestRng) -> Index {
             Index(rng.next_u64())
         }
+        fn shrink(&self) -> Vec<Index> {
+            Arbitrary::shrink(&self.0).into_iter().map(Index).collect()
+        }
     }
 }
 
@@ -290,11 +375,106 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.clone().sample(rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            if value.len() > min {
+                // Cut hard first (fast progress), then by one.
+                let half = min.max(value.len() / 2);
+                if half < value.len() - 1 {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Element-wise, each position in place.
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut variant = value.clone();
+                    variant[i] = candidate;
+                    out.push(variant);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Safety valve: greedy shrinking adopts at most this many successive
+/// smaller counterexamples before reporting whatever it reached.
+const MAX_SHRINK_STEPS: usize = 4096;
+
+/// Greedily shrinks a failing `value`: repeatedly asks `strategy` for
+/// smaller variants and adopts the first one on which `run` still
+/// fails, until no variant fails (a local minimum) or
+/// [`MAX_SHRINK_STEPS`] is hit. Returns the minimal value, its failure
+/// message and the number of shrink steps taken. Variants that pass or
+/// are rejected (`prop_assume!`) are simply not adopted.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    run: &mut F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0;
+    while steps < MAX_SHRINK_STEPS {
+        let mut advanced = false;
+        for candidate in strategy.shrink(&value) {
+            if let Err(TestCaseError::Fail(candidate_msg)) = run(candidate.clone()) {
+                value = candidate;
+                msg = candidate_msg;
+                steps += 1;
+                advanced = true;
+                break; // restart shrinking from the smaller value
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    (value, msg, steps)
+}
+
+/// Runs `cases` random samples of `strategy` through `run`, shrinking
+/// and panicking on the first failure. This is the engine behind the
+/// [`proptest!`] macro; it is public so tests can drive properties
+/// programmatically.
+///
+/// # Panics
+///
+/// Panics with the shrunk counterexample when a case fails.
+pub fn check<S, F>(name: &str, cases: u32, strategy: &S, mut run: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    for case in 0..cases {
+        let value = strategy.sample(&mut rng);
+        match run(value.clone()) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, minimal_msg, steps) = shrink_failure(strategy, value, msg, &mut run);
+                panic!(
+                    "property `{name}` failed at case {case}:\n{minimal_msg}\n\
+                     minimal counterexample ({steps} shrink steps): {minimal:?}"
+                );
+            }
         }
     }
 }
@@ -400,23 +580,17 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut rng =
-                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.effective_cases() {
-                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
-                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+            let strategy = ($(($strat),)+);
+            $crate::check(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.effective_cases(),
+                &strategy,
+                |($($arg,)+)| {
                     $body
                     #[allow(unreachable_code)]
                     ::core::result::Result::Ok(())
-                })();
-                match outcome {
-                    ::core::result::Result::Ok(()) => {}
-                    ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
-                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("property `{}` failed at case {case}:\n{msg}", stringify!($name));
-                    }
-                }
-            }
+                },
+            );
         }
     )*};
 }
@@ -463,5 +637,91 @@ mod tests {
             prop_assert_ne!(a, 100, "a was {}", a);
             let _ = idx.index(10);
         }
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_integer_counterexample() {
+        // Property: v < 10. Greedy shrinking from any failing start
+        // must land exactly on the boundary value 10 — halving jumps
+        // below 10 pass and are not adopted, so the walk converges.
+        let strategy = 0u64..1000;
+        let mut run = |v: u64| {
+            if v >= 10 {
+                Err(TestCaseError::fail(format!("{v} >= 10")))
+            } else {
+                Ok(())
+            }
+        };
+        for start in [10u64, 11, 77, 500, 999] {
+            let (minimal, msg, steps) =
+                crate::shrink_failure(&strategy, start, format!("{start} >= 10"), &mut run);
+            assert_eq!(minimal, 10, "from start {start}");
+            assert_eq!(msg, "10 >= 10", "message must track the adopted value");
+            assert_eq!(steps == 0, start == 10);
+        }
+    }
+
+    #[test]
+    fn shrinking_respects_the_range_lower_bound() {
+        // Everything fails: the minimum must be the range's start, not 0.
+        let strategy = 42u64..1000;
+        let mut run = |_: u64| Err(TestCaseError::fail("always"));
+        let (minimal, _, _) = crate::shrink_failure(&strategy, 700, String::new(), &mut run);
+        assert_eq!(minimal, 42);
+    }
+
+    #[test]
+    fn shrinking_minimises_vectors_in_length_and_elements() {
+        // Property: len < 3. The minimal counterexample is a length-3
+        // vector of zeros — truncation stops at the boundary, then
+        // element-wise shrinking zeroes the survivors.
+        let strategy = prop::collection::vec(any::<u8>(), 0..10);
+        let mut run = |v: Vec<u8>| {
+            if v.len() >= 3 {
+                Err(TestCaseError::fail(format!("len {}", v.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let start = vec![9u8, 9, 9, 9, 9, 9];
+        let (minimal, _, _) = crate::shrink_failure(&strategy, start, String::new(), &mut run);
+        assert_eq!(minimal, vec![0u8, 0, 0]);
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let strategy = (0u64..100, 0u64..100);
+        let mut run = |(a, b): (u64, u64)| {
+            if a + b >= 10 {
+                Err(TestCaseError::fail("sum too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = crate::shrink_failure(&strategy, (50, 60), String::new(), &mut run);
+        // A local minimum for a + b >= 10 keeps the sum exactly 10.
+        assert_eq!(minimal.0 + minimal.1, 10);
+    }
+
+    // Not a #[test]: invoked through catch_unwind below to check the
+    // panic message the macro produces on a failing property.
+    proptest! {
+        fn deliberately_failing_property(v in 0u64..1000) {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn macro_reports_shrunk_counterexample() {
+        let panic = std::panic::catch_unwind(deliberately_failing_property)
+            .expect_err("property must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(
+            msg.contains("minimal counterexample"),
+            "missing shrink report: {msg}"
+        );
+        assert!(msg.contains("(10,)"), "not shrunk to the boundary: {msg}");
     }
 }

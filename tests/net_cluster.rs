@@ -1,17 +1,45 @@
 //! Integration tests for the networked runtime: the same `Replica`
 //! code path must commit identically over the in-memory loopback
 //! transport and over real localhost TCP sockets, a TCP cluster must
-//! survive a replica being killed and rejoining, batches must unfold
+//! survive a replica being killed and rejoining — with the restarted
+//! replica recovering the **full committed prefix** via state
+//! transfer and then carrying quorum weight — batches must unfold
 //! into identical per-payload `(seq, index)` logs on every replica,
 //! and a cluster whose view-0 leader never starts must still commit
-//! via the timeout-driven view change.
+//! via the timeout-driven view change. Fault-injection tests cover
+//! catch-up racing continuous batched load and a lying state server
+//! whose bad certificates must be rejected.
 
-use curb::consensus::{Batch, BytesPayload, Replica, Seq};
+use curb::consensus::{Batch, Behavior, BytesPayload, Replica, Seq};
 use curb::net::{
     Delivery, LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport,
 };
 use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::RecvTimeoutError;
 use std::time::Duration;
+
+/// Runs `body` on a worker thread and panics if it does not finish
+/// within `limit`, so a deadlocked catch-up fails the test fast
+/// instead of hanging the whole job until the CI-level timeout.
+fn with_deadline<F: FnOnce() + Send + 'static>(limit: Duration, body: F) {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name("test-body".into())
+        .spawn(move || {
+            body();
+            let _ = done_tx.send(());
+        })
+        .expect("spawn test body");
+    match done_rx.recv_timeout(limit) {
+        // Finished or panicked: join and propagate any panic.
+        Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        Err(RecvTimeoutError::Timeout) => panic!("test exceeded its {limit:?} deadline"),
+    }
+}
 
 fn payload(i: usize) -> BytesPayload {
     BytesPayload(format!("proposal-{i}").into_bytes())
@@ -43,9 +71,21 @@ fn spawn_tcp_replica(
     addrs: &[SocketAddr],
     cfg: RunnerConfig,
 ) -> RunnerHandle<BytesPayload> {
+    spawn_tcp_replica_with(id, listener, addrs, cfg, Behavior::Honest)
+}
+
+fn spawn_tcp_replica_with(
+    id: usize,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+    cfg: RunnerConfig,
+    behavior: Behavior,
+) -> RunnerHandle<BytesPayload> {
     let transport: TcpTransport<Batch<BytesPayload>> =
         TcpTransport::bind(id, listener, addrs.to_vec(), fast_tcp_cfg()).expect("bind transport");
-    NetRunner::spawn(Replica::new(id, addrs.len()), transport, cfg)
+    let mut replica = Replica::new(id, addrs.len());
+    replica.set_behavior(behavior);
+    NetRunner::spawn(replica, transport, cfg)
 }
 
 fn spawn_loopback_cluster(n: usize, cfg: RunnerConfig) -> Vec<RunnerHandle<BytesPayload>> {
@@ -209,6 +249,10 @@ fn leaderless_cluster_commits_via_timeout_view_change() {
 
 #[test]
 fn tcp_cluster_survives_kill_and_reconnect() {
+    with_deadline(Duration::from_secs(180), tcp_kill_and_reconnect_body);
+}
+
+fn tcp_kill_and_reconnect_body() {
     const N: usize = 4;
     let (listeners, addrs) = bind_listeners(N);
     let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
@@ -258,14 +302,222 @@ fn tcp_cluster_survives_kill_and_reconnect() {
     ));
 
     // Kill replica 2: commits now REQUIRE the restarted replica 3 in
-    // the quorum, which proves it actually rejoined the group.
+    // the quorum, which proves it is load-bearing, not just connected.
     handles[2].take().expect("replica 2").join();
     for i in 10..15 {
-        // The restarted replica has a hole at seqs 1..=10, so it never
-        // delivers; assert progress on the replicas with full logs.
         expect_commit(&handles, &[0, 1], (i + 1) as Seq, i);
     }
 
+    // The restarted replica rejoined with a hole at seqs 1..=10. The
+    // first live decision above the hole reveals the gap; catch-up
+    // fetches the certificate-backed prefix from a peer and the
+    // replica must then deliver the ENTIRE committed log — the
+    // identical (seq, index, payload) stream the never-killed
+    // replicas delivered.
+    let h3 = handles[3].as_ref().expect("restarted replica");
+    for i in 0..15 {
+        let d = h3
+            .decisions
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("restarted replica missing delivery {i}"));
+        assert_eq!((d.seq, d.index), ((i + 1) as Seq, 0), "restarted replica");
+        assert_eq!(d.payload, payload(i), "restarted replica");
+    }
+    let stats = handles[3].take().expect("restarted replica").join();
+    assert!(
+        stats.state_requests >= 1,
+        "recovery must have used the state-transfer protocol"
+    );
+    assert_eq!(stats.delivered, 15, "full prefix plus live tail");
+
+    for h in handles.into_iter().flatten() {
+        h.join();
+    }
+}
+
+#[test]
+fn restarted_replica_catches_up_under_continuous_load() {
+    with_deadline(Duration::from_secs(180), catch_up_under_load_body);
+}
+
+/// Kills and restarts a replica while the cluster is under continuous
+/// batched load, so catch-up races live commits: by the time the first
+/// state chunk lands, new instances have already decided above it.
+fn catch_up_under_load_body() {
+    const N: usize = 4;
+    const PHASE: usize = 100; // payloads per phase, 3 phases
+    let cfg = RunnerConfig {
+        max_batch: 8,
+        batch_window: Duration::from_millis(5),
+        catch_up_timeout: Duration::from_millis(200),
+        ..RunnerConfig::default()
+    };
+    let (listeners, addrs) = bind_listeners(N);
+    let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| Some(spawn_tcp_replica(id, l, &addrs, cfg.clone())))
+        .collect();
+
+    let drain = |h: &RunnerHandle<BytesPayload>,
+                 r: usize,
+                 lo: usize,
+                 hi: usize|
+     -> Vec<Delivery<BytesPayload>> {
+        (lo..hi)
+            .map(|i| {
+                let d = h
+                    .decisions
+                    .recv_timeout(Duration::from_secs(30))
+                    .unwrap_or_else(|_| panic!("replica {r} missing delivery {i}"));
+                assert_eq!(d.payload, payload(i), "replica {r} out of submission order");
+                d
+            })
+            .collect()
+    };
+
+    // Phase 1 — all four replicas deliver the first burst.
+    let mut logs: Vec<Vec<Delivery<BytesPayload>>> = vec![Vec::new(); N];
+    for i in 0..PHASE {
+        assert!(handles[0].as_ref().expect("leader").propose(payload(i)));
+    }
+    for r in 0..N {
+        let chunk = drain(handles[r].as_ref().expect("replica"), r, 0, PHASE);
+        logs[r].extend(chunk);
+    }
+
+    // Phase 2 — replica 3 is down; the rest keep committing.
+    handles[3].take().expect("replica 3").join();
+    for i in PHASE..2 * PHASE {
+        assert!(handles[0].as_ref().expect("leader").propose(payload(i)));
+    }
+    for r in 0..3 {
+        let chunk = drain(handles[r].as_ref().expect("replica"), r, PHASE, 2 * PHASE);
+        logs[r].extend(chunk);
+    }
+
+    // Phase 3 — restart replica 3 and IMMEDIATELY pour on more load,
+    // so its state transfer runs concurrently with live consensus.
+    let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
+    handles[3] = Some(spawn_tcp_replica(3, listener, &addrs, cfg.clone()));
+    for i in 2 * PHASE..3 * PHASE {
+        assert!(handles[0].as_ref().expect("leader").propose(payload(i)));
+    }
+    for r in 0..3 {
+        let chunk = drain(
+            handles[r].as_ref().expect("replica"),
+            r,
+            2 * PHASE,
+            3 * PHASE,
+        );
+        logs[r].extend(chunk);
+    }
+    // The restarted replica must deliver the FULL history from seq 1:
+    // the prefix it missed (recovered and verified via catch-up) plus
+    // everything committed while it raced to rejoin.
+    let rejoined = drain(handles[3].as_ref().expect("replica 3"), 3, 0, 3 * PHASE);
+
+    // Byte-identical (seq, index, payload) streams everywhere.
+    for r in 1..3 {
+        assert_eq!(logs[r], logs[0], "replica {r} diverged");
+    }
+    assert_eq!(rejoined, logs[0], "rejoined replica's log diverged");
+
+    let stats = handles[3].take().expect("replica 3").join();
+    assert!(
+        stats.state_requests >= 1,
+        "recovery must use state transfer"
+    );
+    assert_eq!(stats.delivered, 3 * PHASE as u64);
+    for h in handles.into_iter().flatten() {
+        h.join();
+    }
+}
+
+#[test]
+fn lying_state_peer_is_rejected_and_another_peer_retried() {
+    with_deadline(Duration::from_secs(180), lying_state_peer_body);
+}
+
+/// Replica 0 leads view 0 honestly but serves state-transfer entries
+/// with corrupted commit certificates (`Behavior::StateGarbage`). The
+/// restarted replica's first catch-up request goes to replica 0 (the
+/// rotation starts at `(id + 1) % n = 0`), so recovery only succeeds
+/// if the bad certificates are rejected and the request is retried
+/// against an honest peer.
+fn lying_state_peer_body() {
+    const N: usize = 4;
+    let cfg = RunnerConfig {
+        catch_up_timeout: Duration::from_millis(200),
+        ..RunnerConfig::default()
+    };
+    let (listeners, addrs) = bind_listeners(N);
+    let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| {
+            let behavior = if id == 0 {
+                Behavior::StateGarbage
+            } else {
+                Behavior::Honest
+            };
+            Some(spawn_tcp_replica_with(id, l, &addrs, cfg.clone(), behavior))
+        })
+        .collect();
+
+    let expect_commit =
+        |handles: &[Option<RunnerHandle<BytesPayload>>], live: &[usize], seq: Seq, i: usize| {
+            let leader = handles[0].as_ref().expect("leader alive");
+            assert!(leader.propose(payload(i)));
+            for &r in live {
+                let h = handles[r].as_ref().expect("live replica");
+                let d = h
+                    .decisions
+                    .recv_timeout(Duration::from_secs(30))
+                    .unwrap_or_else(|_| panic!("replica {r} missing seq {seq}"));
+                assert_eq!((d.seq, d.index), (seq, 0), "replica {r}");
+                assert_eq!(d.payload, payload(i), "replica {r}");
+            }
+        };
+
+    // Commit a prefix with everyone up, then 5 more with replica 3
+    // down so it has something to miss.
+    for i in 0..5 {
+        expect_commit(&handles, &[0, 1, 2, 3], (i + 1) as Seq, i);
+    }
+    handles[3].take().expect("replica 3").join();
+    for i in 5..10 {
+        expect_commit(&handles, &[0, 1, 2], (i + 1) as Seq, i);
+    }
+
+    // Restart replica 3 and commit more: live traffic reveals the gap
+    // and triggers catch-up against the lying peer first.
+    let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
+    handles[3] = Some(spawn_tcp_replica(3, listener, &addrs, cfg.clone()));
+    for i in 10..15 {
+        expect_commit(&handles, &[0, 1, 2], (i + 1) as Seq, i);
+    }
+
+    // Despite the liar, the restarted replica recovers the full,
+    // verified prefix.
+    let h3 = handles[3].as_ref().expect("restarted replica");
+    for i in 0..15 {
+        let d = h3
+            .decisions
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("restarted replica missing delivery {i}"));
+        assert_eq!((d.seq, d.index), ((i + 1) as Seq, 0), "restarted replica");
+        assert_eq!(d.payload, payload(i), "restarted replica");
+    }
+    let stats = handles[3].take().expect("restarted replica").join();
+    assert!(
+        stats.state_rejections >= 1,
+        "the lying peer's certificates must have been rejected"
+    );
+    assert!(
+        stats.state_retries >= 1,
+        "catch-up must have moved on to another peer"
+    );
     for h in handles.into_iter().flatten() {
         h.join();
     }

@@ -3,10 +3,14 @@
 
 #![allow(clippy::field_reassign_with_default)]
 use curb::assign::{solve, CapModel, Objective, SolveOptions};
-use curb::consensus::{Batch, BytesPayload, Payload, PayloadCodec, PbftMsg, MAX_BATCH_PAYLOADS};
+use curb::consensus::{
+    Batch, BytesPayload, CommitCert, CommittedEntry, Payload, PayloadCodec, PbftMsg,
+    MAX_BATCH_PAYLOADS,
+};
 use curb::core::{ControllerBehavior, CurbConfig, CurbNetwork};
+use curb::crypto::sha256::Digest;
 use curb::graph::synthetic;
-use curb::net::{decode_msg, encode_msg};
+use curb::net::{decode_msg, encode_msg, MAX_CERT_VOTERS, MAX_STATE_ENTRIES};
 use proptest::prelude::*;
 
 proptest! {
@@ -190,6 +194,112 @@ proptest! {
         );
         let _ = Batch::<BytesPayload>::decode_payload(&garbage);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The state-transfer wire frames round-trip any request range and
+    /// any entry list, reject every one-byte truncation, and are total
+    /// on garbage — a catching-up replica feeds them raw peer bytes.
+    #[test]
+    fn state_transfer_codec_total_on_adversarial_input(
+        from_seq in any::<u64>(),
+        to_seq in any::<u64>(),
+        entries in proptest::collection::vec(
+            (
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 0..24),
+                any::<[u8; 32]>(),
+                proptest::collection::vec(any::<u64>(), 0..6),
+            ),
+            0..5,
+        ),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let request: PbftMsg<BytesPayload> = PbftMsg::StateRequest { from_seq, to_seq };
+        let encoded = encode_msg(&request);
+        prop_assert_eq!(decode_msg::<BytesPayload>(&encoded), Ok(request));
+        prop_assert!(decode_msg::<BytesPayload>(&encoded[..encoded.len() - 1]).is_err());
+
+        let response: PbftMsg<BytesPayload> = PbftMsg::StateResponse {
+            entries: entries
+                .into_iter()
+                .map(|(seq, body, digest, voters)| CommittedEntry {
+                    seq,
+                    payload: BytesPayload(body),
+                    cert: CommitCert {
+                        digest: Digest(digest),
+                        voters: voters.into_iter().map(|v| v as usize).collect(),
+                    },
+                })
+                .collect(),
+        };
+        let encoded = encode_msg(&response);
+        prop_assert_eq!(decode_msg::<BytesPayload>(&encoded), Ok(response));
+        prop_assert!(decode_msg::<BytesPayload>(&encoded[..encoded.len() - 1]).is_err());
+
+        // Totality: garbage may happen to decode, but must never panic.
+        let _ = decode_msg::<BytesPayload>(&garbage);
+    }
+}
+
+/// The caps are the largest claims the state-transfer decoder accepts:
+/// a response with exactly `MAX_STATE_ENTRIES` (empty-payload,
+/// zero-voter) entries round-trips and a certificate with exactly
+/// `MAX_CERT_VOTERS` voters round-trips, while claiming one more of
+/// either is rejected outright — before any allocation for the claimed
+/// body (mirrors `batch_codec_accepts_exactly_the_member_cap`).
+#[test]
+fn state_transfer_codec_accepts_exactly_the_caps() {
+    // Entry-count boundary.
+    let entry = |seq: u64| CommittedEntry {
+        seq,
+        payload: BytesPayload::default(),
+        cert: CommitCert {
+            digest: Digest([0; 32]),
+            voters: vec![],
+        },
+    };
+    let max: PbftMsg<BytesPayload> = PbftMsg::StateResponse {
+        entries: (0..MAX_STATE_ENTRIES as u64).map(entry).collect(),
+    };
+    let bytes = encode_msg(&max);
+    match decode_msg::<BytesPayload>(&bytes).expect("cap-sized response decodes") {
+        PbftMsg::StateResponse { entries } => {
+            assert_eq!(entries.len(), MAX_STATE_ENTRIES as usize)
+        }
+        other => panic!("wrong variant: {}", other.category()),
+    }
+    // Patch the count prefix (right after the tag byte) to cap + 1: the
+    // cap check must fire first and reject the claim outright.
+    let mut bytes = bytes;
+    bytes[1..5].copy_from_slice(&(MAX_STATE_ENTRIES + 1).to_be_bytes());
+    assert!(decode_msg::<BytesPayload>(&bytes).is_err());
+
+    // Voter-count boundary, on a single entry.
+    let max_cert: PbftMsg<BytesPayload> = PbftMsg::StateResponse {
+        entries: vec![CommittedEntry {
+            seq: 1,
+            payload: BytesPayload::default(),
+            cert: CommitCert {
+                digest: Digest([0; 32]),
+                voters: (0..MAX_CERT_VOTERS as usize).collect(),
+            },
+        }],
+    };
+    let bytes = encode_msg(&max_cert);
+    match decode_msg::<BytesPayload>(&bytes).expect("cap-sized certificate decodes") {
+        PbftMsg::StateResponse { entries } => {
+            assert_eq!(entries[0].cert.voters.len(), MAX_CERT_VOTERS as usize)
+        }
+        other => panic!("wrong variant: {}", other.category()),
+    }
+    // Voter count sits after tag(1) + count(4) + seq(8) + payload
+    // len(4, empty) + digest(32) = offset 49.
+    let mut bytes = bytes;
+    bytes[49..53].copy_from_slice(&(MAX_CERT_VOTERS + 1).to_be_bytes());
+    assert!(decode_msg::<BytesPayload>(&bytes).is_err());
 }
 
 /// The cap is the largest batch the codec accepts: a batch with exactly

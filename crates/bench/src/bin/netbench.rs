@@ -19,9 +19,15 @@
 //! count, state-request/retry counters). TCP only — a loopback
 //! replica cannot be restarted.
 //!
-//! Results are printed as JSON and also written to a machine-readable
-//! report (`--out`, default `BENCH_net.json`) so the perf trajectory
-//! can be tracked across PRs.
+//! With `--trace <path>` the run enables `curb-telemetry` span
+//! recording, writes every span (consensus phases, catch-up) to
+//! `<path>` as JSONL, and embeds a per-phase `phases_ns` percentile
+//! breakdown in each run's JSON. Feed the trace to the `tracedump`
+//! binary for the full per-phase table and per-seq critical path.
+//!
+//! Results are printed as JSON (`schema_version` 2) and also written
+//! to a machine-readable report (`--out`, default `BENCH_net.json`) so
+//! the perf trajectory can be tracked across PRs.
 //!
 //! Usage:
 //!
@@ -29,21 +35,27 @@
 //! cargo run --release -p curb-bench --bin netbench -- \
 //!     [--n 4] [--proposals 500] [--payload 256] [--inflight 256] \
 //!     [--batch 1,16,64] [--window 0] [--loopback] [--recovery] \
-//!     [--out BENCH_net.json]
+//!     [--trace trace.jsonl] [--out BENCH_net.json]
 //! ```
 
 use curb_bench::{arg_flag, arg_value};
 use curb_consensus::{Batch, BytesPayload, Replica};
 use curb_net::{LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport};
+use curb_telemetry::{Histogram, SpanRecord};
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Groups trace spans by name into one duration histogram each.
+fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
+    let mut by_name: BTreeMap<String, Histogram> = BTreeMap::new();
+    for s in spans {
+        by_name
+            .entry(s.name.to_string())
+            .or_default()
+            .record(s.dur_ns);
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    by_name.into_iter().collect()
 }
 
 fn runner_cfg(max_batch: usize, window: Duration) -> RunnerConfig {
@@ -99,8 +111,15 @@ struct RunResult {
     elapsed_s: f64,
     throughput: f64,
     batches_decided: u64,
-    latencies_ms: Vec<f64>,
+    /// Submission→commit latency, recorded in nanoseconds.
+    latency_ns: Histogram,
+    mean_latency_ms: f64,
     follower_commits: Vec<usize>,
+    /// Per-phase duration histograms from this run's trace spans
+    /// (empty unless `--trace` enabled tracing).
+    phases: Vec<(String, Histogram)>,
+    /// Raw trace spans drained after this run (empty without `--trace`).
+    spans: Vec<SpanRecord>,
 }
 
 fn run_once(
@@ -141,7 +160,8 @@ fn run_once(
     // Pipeline proposals through the leader with at most `inflight`
     // payloads outstanding.
     let mut submit_times: Vec<Instant> = Vec::with_capacity(proposals);
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(proposals);
+    let mut latency_ns = Histogram::new();
+    let mut latency_sum_ms = 0.0f64;
     let started = Instant::now();
     let mut submitted = 0usize;
     let mut committed = 0usize;
@@ -163,7 +183,9 @@ fn run_once(
                     committed + 1,
                     "deliveries must follow submission order"
                 );
-                latencies_ms.push(submit_times[idx - 1].elapsed().as_secs_f64() * 1e3);
+                let lat = submit_times[idx - 1].elapsed();
+                latency_ns.record(lat.as_nanos() as u64);
+                latency_sum_ms += lat.as_secs_f64() * 1e3;
                 committed += 1;
             }
             Err(_) => {
@@ -193,14 +215,24 @@ fn run_once(
         .max()
         .unwrap_or(0);
 
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // Joining the runners flushed their thread-local span buffers, so
+    // a drain here captures exactly this run's spans.
+    let spans = if curb_telemetry::enabled() {
+        curb_telemetry::drain()
+    } else {
+        Vec::new()
+    };
+    let phases = phase_histograms(&spans);
     RunResult {
         max_batch,
         elapsed_s: elapsed,
         throughput: committed as f64 / elapsed,
         batches_decided,
-        latencies_ms,
+        latency_ns,
+        mean_latency_ms: latency_sum_ms / committed.max(1) as f64,
         follower_commits,
+        phases,
+        spans,
     }
 }
 
@@ -346,12 +378,33 @@ fn render_recovery_json(r: &RecoveryResult, indent: &str) -> String {
     )
 }
 
+fn render_phases_json(phases: &[(String, Histogram)], indent: &str) -> String {
+    if phases.is_empty() {
+        return "null".to_string();
+    }
+    let entries: Vec<String> = phases
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "{indent}    \"{name}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \
+                 \"p99\": {}, \"max\": {}}}",
+                h.count(),
+                h.value_at_quantile(0.50),
+                h.value_at_quantile(0.90),
+                h.value_at_quantile(0.99),
+                h.max(),
+            )
+        })
+        .collect();
+    format!("{{\n{}\n{indent}  }}", entries.join(",\n"))
+}
+
 fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String {
-    let mean = r.latencies_ms.iter().sum::<f64>() / r.latencies_ms.len().max(1) as f64;
     let fill = r.follower_commits[0] as f64 / r.batches_decided.max(1) as f64;
     let speedup = baseline
         .map(|b| format!("{:.3}", r.throughput / b))
         .unwrap_or_else(|| "null".to_string());
+    let ms = |ns: u64| ns as f64 / 1e6;
     format!(
         "{indent}{{\n\
          {indent}  \"max_batch\": {},\n\
@@ -366,6 +419,7 @@ fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String
          {indent}    \"p99\": {:.3},\n\
          {indent}    \"max\": {:.3}\n\
          {indent}  }},\n\
+         {indent}  \"phases_ns\": {},\n\
          {indent}  \"follower_commits\": [{}]\n\
          {indent}}}",
         r.max_batch,
@@ -374,10 +428,11 @@ fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String
         r.batches_decided,
         fill,
         speedup,
-        mean,
-        percentile(&r.latencies_ms, 0.50),
-        percentile(&r.latencies_ms, 0.99),
-        r.latencies_ms.last().copied().unwrap_or(0.0),
+        r.mean_latency_ms,
+        ms(r.latency_ns.value_at_quantile(0.50)),
+        ms(r.latency_ns.value_at_quantile(0.99)),
+        ms(r.latency_ns.max()),
+        render_phases_json(&r.phases, indent),
         r.follower_commits
             .iter()
             .map(|c| c.to_string())
@@ -410,8 +465,12 @@ fn main() {
             .unwrap_or(0),
     );
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_net.json".to_string());
+    let trace_path = arg_value("trace");
     let loopback = arg_flag("loopback");
     let recovery = arg_flag("recovery");
+    if trace_path.is_some() {
+        curb_telemetry::enable();
+    }
     assert!((2..=64).contains(&n), "--n must be in 2..=64");
     assert!(proposals > 0, "--proposals must be positive");
     assert!(!batches.is_empty(), "--batch must name at least one size");
@@ -444,6 +503,16 @@ fn main() {
         "null".to_string()
     };
 
+    if let Some(path) = &trace_path {
+        let mut spans: Vec<SpanRecord> = results.iter().flat_map(|r| r.spans.clone()).collect();
+        // The recovery phase (if any) left its spans in the sink.
+        spans.extend(curb_telemetry::drain());
+        match curb_telemetry::write_jsonl(path, &spans) {
+            Ok(()) => eprintln!("netbench: {} trace spans written to {path}", spans.len()),
+            Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
+        }
+    }
+
     let runs_json: Vec<String> = results
         .iter()
         .map(|r| render_run_json(r, baseline, "    "))
@@ -451,18 +520,32 @@ fn main() {
     let report = format!(
         "{{\n\
          \x20 \"bench\": \"netbench\",\n\
+         \x20 \"schema_version\": 2,\n\
          \x20 \"transport\": \"{}\",\n\
          \x20 \"replicas\": {n},\n\
          \x20 \"proposals\": {proposals},\n\
          \x20 \"payload_bytes\": {},\n\
          \x20 \"inflight\": {inflight},\n\
+         \x20 \"batch_sizes\": [{}],\n\
          \x20 \"batch_window_ms\": {},\n\
+         \x20 \"coalesce_bytes\": {},\n\
+         \x20 \"trace\": {},\n\
          \x20 \"recovery\": {},\n\
          \x20 \"runs\": [\n{}\n  ]\n\
          }}",
         if loopback { "loopback" } else { "tcp" },
         payload_size.max(8),
+        batches
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
         window.as_millis(),
+        TcpConfig::default().coalesce_bytes,
+        trace_path
+            .as_deref()
+            .map(|p| format!("\"{p}\""))
+            .unwrap_or_else(|| "null".to_string()),
         recovery_json,
         runs_json.join(",\n"),
     );

@@ -1,0 +1,189 @@
+//! tracedump — per-phase latency breakdown of a curb-telemetry trace.
+//!
+//! Reads a JSONL span trace (as written by `netbench --trace` or any
+//! program using `curb_telemetry::write_jsonl`) and prints:
+//!
+//! 1. a per-phase table — count, p50/p90/p99/max duration in
+//!    milliseconds — one row per distinct span name;
+//! 2. a coverage line comparing the sum of the consensus phase p50s
+//!    (`pre_prepare + prepare + commit + deliver`) against the
+//!    end-to-end p50 — the phases tile the `consensus.e2e` span, so
+//!    the two should agree closely;
+//! 3. the per-seq critical path: the slowest consensus instances by
+//!    end-to-end latency, with their phase durations side by side.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p curb-bench --bin tracedump -- \
+//!     --trace trace.jsonl [--top 10] [--csv] \
+//!     [--require-phases consensus.pre_prepare,consensus.commit]
+//! ```
+//!
+//! `--require-phases` exits non-zero if any named span is absent from
+//! the trace — CI uses it to assert the instrumentation stays wired.
+
+use curb_bench::{arg_flag, arg_value, Table};
+use curb_telemetry::{Histogram, SpanRecord};
+use std::collections::BTreeMap;
+
+const CONSENSUS_PHASES: [&str; 4] = [
+    "consensus.pre_prepare",
+    "consensus.prepare",
+    "consensus.commit",
+    "consensus.deliver",
+];
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// One consensus instance reassembled from its phase spans, keyed by
+/// `(replica, seq)`.
+#[derive(Default)]
+struct Instance {
+    e2e_ns: u64,
+    phase_ns: [u64; 4],
+}
+
+fn main() {
+    let path = match arg_value("trace") {
+        Some(p) => p,
+        None => {
+            eprintln!(
+                "usage: tracedump --trace <spans.jsonl> [--top N] [--csv] [--require-phases a,b]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let top: usize = arg_value("top").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let csv = arg_flag("csv");
+    let spans: Vec<SpanRecord> = match curb_telemetry::read_jsonl(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tracedump: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if spans.is_empty() {
+        eprintln!("tracedump: {path} holds no spans");
+        std::process::exit(1);
+    }
+
+    // Per-phase histograms.
+    let mut by_name: BTreeMap<&str, Histogram> = BTreeMap::new();
+    for s in &spans {
+        by_name.entry(s.name.as_ref()).or_default().record(s.dur_ns);
+    }
+
+    if let Some(required) = arg_value("require-phases") {
+        let missing: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|r| !r.is_empty() && !by_name.contains_key(r))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "tracedump: required phases missing from {path}: {}",
+                missing.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
+
+    println!("tracedump: {} spans from {path}\n", spans.len());
+    let mut table = Table::new(
+        "phase",
+        &["count", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"],
+    );
+    for (name, h) in &by_name {
+        table.row(
+            name,
+            &[
+                h.count() as f64,
+                ms(h.value_at_quantile(0.50)),
+                ms(h.value_at_quantile(0.90)),
+                ms(h.value_at_quantile(0.99)),
+                ms(h.max()),
+            ],
+        );
+    }
+    table.print(csv);
+
+    // Reassemble consensus instances from their phase spans.
+    let mut instances: BTreeMap<(i64, i64), Instance> = BTreeMap::new();
+    for s in &spans {
+        if s.seq < 0 {
+            continue;
+        }
+        let inst = instances.entry((s.replica, s.seq)).or_default();
+        if s.name == "consensus.e2e" {
+            inst.e2e_ns = inst.e2e_ns.max(s.dur_ns);
+        } else if let Some(i) = CONSENSUS_PHASES.iter().position(|p| *p == s.name) {
+            inst.phase_ns[i] = inst.phase_ns[i].max(s.dur_ns);
+        }
+    }
+
+    // Coverage: per instance, the four phases tile the e2e span, so
+    // the distribution of phase sums should match the e2e distribution
+    // to within histogram bucket error. A larger gap means a phase is
+    // missing from (or double-counted in) the instrumentation.
+    let mut sum_hist = Histogram::new();
+    let mut e2e_hist = Histogram::new();
+    for inst in instances.values().filter(|i| i.e2e_ns > 0) {
+        sum_hist.record(inst.phase_ns.iter().sum());
+        e2e_hist.record(inst.e2e_ns);
+    }
+    if !e2e_hist.is_empty() {
+        let sum_p50 = sum_hist.value_at_quantile(0.50);
+        let e2e_p50 = e2e_hist.value_at_quantile(0.50);
+        let pct = if e2e_p50 > 0 {
+            sum_p50 as f64 / e2e_p50 as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "\nphase-sum p50 {:.3} ms vs e2e p50 {:.3} ms ({pct:.1}% coverage), \
+             p99 {:.3} ms vs {:.3} ms",
+            ms(sum_p50),
+            ms(e2e_p50),
+            ms(sum_hist.value_at_quantile(0.99)),
+            ms(e2e_hist.value_at_quantile(0.99)),
+        );
+    }
+
+    // Per-seq critical path: slowest instances by e2e duration.
+    let mut slowest: Vec<(&(i64, i64), &Instance)> =
+        instances.iter().filter(|(_, i)| i.e2e_ns > 0).collect();
+    slowest.sort_by(|a, b| b.1.e2e_ns.cmp(&a.1.e2e_ns));
+    slowest.truncate(top);
+    if !slowest.is_empty() {
+        println!(
+            "\ncritical path — {} slowest consensus instances:",
+            slowest.len()
+        );
+        let mut cp = Table::new(
+            "replica/seq",
+            &[
+                "e2e (ms)",
+                "pre_prep (ms)",
+                "prepare (ms)",
+                "commit (ms)",
+                "deliver (ms)",
+            ],
+        );
+        for ((replica, seq), inst) in slowest {
+            cp.row(
+                &format!("r{replica}/s{seq}"),
+                &[
+                    ms(inst.e2e_ns),
+                    ms(inst.phase_ns[0]),
+                    ms(inst.phase_ns[1]),
+                    ms(inst.phase_ns[2]),
+                    ms(inst.phase_ns[3]),
+                ],
+            );
+        }
+        cp.print(csv);
+    }
+}

@@ -51,6 +51,17 @@ impl core::fmt::Display for NotLeader {
 
 impl std::error::Error for NotLeader {}
 
+/// Current tracer time, or 0 when tracing is off — phase timestamps
+/// of 0 mean "not observed" and suppress span emission.
+#[inline]
+fn trace_now() -> u64 {
+    if curb_telemetry::enabled() {
+        curb_telemetry::now_nanos().max(1)
+    } else {
+        0
+    }
+}
+
 /// Per-sequence consensus bookkeeping.
 #[derive(Debug, Clone)]
 struct Instance<P> {
@@ -62,6 +73,14 @@ struct Instance<P> {
     commits: BTreeMap<Digest, BTreeSet<ReplicaId>>,
     sent_commit: bool,
     decided: bool,
+    /// Phase-boundary timestamps in tracer nanos (0 = not reached or
+    /// tracing off). Consecutive pairs bound the pre-prepare, prepare
+    /// and commit phase spans, so per-phase durations sum exactly to
+    /// the instance's end-to-end latency.
+    t_open: u64,
+    t_pre_prepare: u64,
+    t_prepared: u64,
+    t_decided: u64,
 }
 
 impl<P> Instance<P> {
@@ -74,6 +93,17 @@ impl<P> Instance<P> {
             commits: BTreeMap::new(),
             sent_commit: false,
             decided: false,
+            t_open: trace_now(),
+            t_pre_prepare: 0,
+            t_prepared: 0,
+            t_decided: 0,
+        }
+    }
+
+    /// Stamps the pre-prepare boundary (first digest assignment) once.
+    fn mark_pre_prepare(&mut self) {
+        if self.t_pre_prepare == 0 {
+            self.t_pre_prepare = trace_now();
         }
     }
 }
@@ -268,6 +298,7 @@ impl<P: Payload + Default> Replica<P> {
         let inst = self.instance(seq, view);
         inst.payload = Some(payload);
         inst.digest = Some(digest);
+        inst.mark_pre_prepare();
         inst.prepares.entry(digest).or_default().insert(id);
         let mut out = vec![Outbound::broadcast(msg)];
         out.extend(self.check_progress(seq));
@@ -348,9 +379,19 @@ impl<P: Payload + Default> Replica<P> {
     pub fn take_decisions(&mut self) -> Vec<(Seq, P)> {
         let mut out = Vec::new();
         while let Some(p) = self.ready.remove(&self.next_deliver) {
-            out.push((self.next_deliver, p));
+            let seq = self.next_deliver;
+            out.push((seq, p));
             // Garbage-collect the decided instance.
-            self.instances.remove(&self.next_deliver);
+            if let Some(inst) = self.instances.remove(&seq) {
+                // Entries applied via state transfer have no live phase
+                // timeline (t_decided == 0), so no spans are emitted.
+                if inst.t_decided > 0 && inst.t_open > 0 {
+                    let now = trace_now();
+                    let (r, s) = (self.id as i64, seq as i64);
+                    curb_telemetry::record_span("consensus.deliver", inst.t_decided, now, r, s);
+                    curb_telemetry::record_span("consensus.e2e", inst.t_open, now, r, s);
+                }
+            }
             self.next_deliver += 1;
         }
         out
@@ -403,6 +444,7 @@ impl<P: Payload + Default> Replica<P> {
             }
             inst.payload = Some(payload);
             inst.digest = Some(digest);
+            inst.mark_pre_prepare();
         }
         // Count the leader's implicit prepare and our own.
         let vote_digest = if self.behavior == Behavior::VoteGarbage {
@@ -486,6 +528,9 @@ impl<P: Payload + Default> Replica<P> {
             .is_some_and(|s| s.len() >= prepare_quorum);
         if prepared && !inst.sent_commit {
             inst.sent_commit = true;
+            if inst.t_prepared == 0 {
+                inst.t_prepared = trace_now();
+            }
             let vote_digest = if garbage {
                 let mut d = digest;
                 d.0[0] ^= 0xFF;
@@ -507,6 +552,31 @@ impl<P: Payload + Default> Replica<P> {
             .is_some_and(|s| s.len() >= commit_quorum);
         if committed && inst.sent_commit && !inst.decided {
             inst.decided = true;
+            inst.t_decided = trace_now();
+            if inst.t_decided > 0 && inst.t_open > 0 {
+                let (r, s) = (id as i64, seq as i64);
+                curb_telemetry::record_span(
+                    "consensus.pre_prepare",
+                    inst.t_open,
+                    inst.t_pre_prepare,
+                    r,
+                    s,
+                );
+                curb_telemetry::record_span(
+                    "consensus.prepare",
+                    inst.t_pre_prepare,
+                    inst.t_prepared,
+                    r,
+                    s,
+                );
+                curb_telemetry::record_span(
+                    "consensus.commit",
+                    inst.t_prepared,
+                    inst.t_decided,
+                    r,
+                    s,
+                );
+            }
             let payload = inst.payload.clone().expect("digest implies payload");
             // Snapshot the commit quorum as this decision's certificate
             // so the entry can later be served, with evidence, to a
@@ -571,7 +641,17 @@ impl<P: Payload + Default> Replica<P> {
             if entry.seq < self.next_deliver || self.committed_log.contains_key(&entry.seq) {
                 continue; // already delivered or already held
             }
-            if entry.cert.verify(&entry.payload, self.n).is_err() {
+            let t_verify = trace_now();
+            let verdict = entry.cert.verify(&entry.payload, self.n);
+            let t_verified = trace_now();
+            curb_telemetry::record_span(
+                "catchup.verify",
+                t_verify,
+                t_verified,
+                self.id as i64,
+                entry.seq as i64,
+            );
+            if verdict.is_err() {
                 self.state_rejections += 1;
                 break;
             }
@@ -580,10 +660,17 @@ impl<P: Payload + Default> Replica<P> {
                 // marking it decided prevents a second decision.
                 inst.decided = true;
             }
-            self.ready.insert(entry.seq, entry.payload.clone());
-            self.committed_log
-                .insert(entry.seq, (entry.payload, entry.cert));
-            self.next_seq = self.next_seq.max(entry.seq + 1);
+            let seq = entry.seq;
+            self.ready.insert(seq, entry.payload.clone());
+            self.committed_log.insert(seq, (entry.payload, entry.cert));
+            self.next_seq = self.next_seq.max(seq + 1);
+            curb_telemetry::record_span(
+                "catchup.apply",
+                t_verified,
+                trace_now(),
+                self.id as i64,
+                seq as i64,
+            );
         }
         Vec::new()
     }
@@ -690,6 +777,7 @@ impl<P: Payload + Default> Replica<P> {
             let inst = self.instance(seq, view);
             inst.payload = Some(payload);
             inst.digest = Some(digest);
+            inst.mark_pre_prepare();
             inst.prepares.entry(digest).or_default().insert(id);
             out.extend(self.check_progress(seq));
         }
@@ -726,6 +814,7 @@ impl<P: Payload + Default> Replica<P> {
                 }
                 inst.payload = Some(payload);
                 inst.digest = Some(digest);
+                inst.mark_pre_prepare();
                 inst.prepares.entry(digest).or_default().insert(leader);
                 inst.prepares.entry(vote_digest).or_default().insert(id);
             }
@@ -1156,6 +1245,101 @@ mod tests {
             PbftMsg::StateResponse { entries } => assert!(entries.is_empty()),
             other => panic!("expected empty state response, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracing_emits_contiguous_phase_spans() {
+        use curb_telemetry::VirtualClock;
+        use std::sync::{Arc, Mutex};
+        // The tracer is process-global; hold a lock so a second
+        // tracing test added later cannot interleave with this one.
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+
+        let vc = Arc::new(VirtualClock::new());
+        curb_telemetry::set_clock(vc.clone());
+        curb_telemetry::enable();
+        let _ = curb_telemetry::drain();
+
+        // Group of 40 (f = 13, quorum 27) with a replica id no other
+        // test uses, so concurrently running tests that also decide
+        // instances cannot collide with the spans asserted below.
+        let mut r = Replica::<BytesPayload>::new(33, 40);
+        let p = payload(b"traced");
+        let d = p.digest();
+        let prep = |seq, digest| PbftMsg::Prepare {
+            view: 0,
+            seq,
+            digest,
+        };
+        // t=1000: an early prepare vote opens the instance (peer 30 is
+        // outside the 1..=24 range used for the quorum below).
+        vc.set_nanos(1000);
+        r.on_message(30, prep(1, d));
+        // t=2000: the leader's pre-prepare arrives.
+        vc.set_nanos(2000);
+        r.on_message(
+            0,
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: d,
+                payload: p.clone(),
+            },
+        );
+        // t=3000: prepare quorum (implicit leader + own + peer 30 + 24).
+        vc.set_nanos(3000);
+        for peer in 1..=24 {
+            r.on_message(peer, prep(1, d));
+        }
+        // t=4000: commit quorum (own + 26 peers) → decided.
+        vc.set_nanos(4000);
+        for peer in 1..=26 {
+            r.on_message(
+                peer,
+                PbftMsg::Commit {
+                    view: 0,
+                    seq: 1,
+                    digest: d,
+                },
+            );
+        }
+        // t=5000: the embedding layer drains the decision.
+        vc.set_nanos(5000);
+        assert_eq!(r.take_decisions(), vec![(1, p)]);
+
+        let spans: Vec<_> = curb_telemetry::drain()
+            .into_iter()
+            .filter(|s| s.replica == 33)
+            .collect();
+        curb_telemetry::disable();
+        curb_telemetry::set_clock(Arc::new(curb_telemetry::MonotonicClock::new()));
+
+        let span = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span {name} in {spans:?}"))
+        };
+        let pre = span("consensus.pre_prepare");
+        let prepare = span("consensus.prepare");
+        let commit = span("consensus.commit");
+        let deliver = span("consensus.deliver");
+        let e2e = span("consensus.e2e");
+        assert_eq!((pre.start_ns, pre.dur_ns), (1000, 1000));
+        assert_eq!((prepare.start_ns, prepare.dur_ns), (2000, 1000));
+        assert_eq!((commit.start_ns, commit.dur_ns), (3000, 1000));
+        assert_eq!((deliver.start_ns, deliver.dur_ns), (4000, 1000));
+        assert_eq!((e2e.start_ns, e2e.dur_ns), (1000, 4000));
+        // Contiguity: the phases tile the end-to-end span exactly.
+        assert_eq!(
+            pre.dur_ns + prepare.dur_ns + commit.dur_ns + deliver.dur_ns,
+            e2e.dur_ns
+        );
+        assert!(spans.iter().all(|s| s.seq == 1));
     }
 
     #[test]

@@ -93,6 +93,56 @@ pub struct CurbNetwork {
     round: usize,
     chain_seen_height: u64,
     removed: Vec<bool>,
+    metrics: RoundMetrics,
+}
+
+/// Typed handles into the per-network [`curb_telemetry::Registry`].
+/// [`RoundReport`] remains the user-facing per-round view; the registry
+/// accumulates the same quantities across the whole run.
+#[derive(Clone)]
+struct RoundMetrics {
+    registry: curb_telemetry::Registry,
+    rounds: curb_telemetry::Counter,
+    requests: curb_telemetry::Counter,
+    accepted: curb_telemetry::Counter,
+    committed_txs: curb_telemetry::Counter,
+    reassignments: curb_telemetry::Counter,
+    messages: curb_telemetry::Counter,
+    bytes: curb_telemetry::Counter,
+    chain_height: curb_telemetry::Gauge,
+    request_latency_ns: curb_telemetry::HistogramHandle,
+}
+
+impl RoundMetrics {
+    fn new() -> Self {
+        let registry = curb_telemetry::Registry::new();
+        RoundMetrics {
+            rounds: registry.counter("core.rounds"),
+            requests: registry.counter("core.requests"),
+            accepted: registry.counter("core.accepted"),
+            committed_txs: registry.counter("core.committed_txs"),
+            reassignments: registry.counter("core.reassignments"),
+            messages: registry.counter("core.messages"),
+            bytes: registry.counter("core.bytes"),
+            chain_height: registry.gauge("core.chain_height"),
+            request_latency_ns: registry.histogram("core.request_latency_ns"),
+            registry,
+        }
+    }
+
+    fn publish(&self, report: &RoundReport, latencies: &[Duration]) {
+        self.rounds.inc();
+        self.requests.add(report.requests as u64);
+        self.accepted.add(report.accepted as u64);
+        self.committed_txs.add(report.committed_txs as u64);
+        self.reassignments.add(report.reassignments as u64);
+        self.messages.add(report.messages);
+        self.bytes.add(report.bytes);
+        self.chain_height.set(report.chain_height as i64);
+        for l in latencies {
+            self.request_latency_ns.record(l.as_nanos() as u64);
+        }
+    }
 }
 
 impl std::fmt::Debug for CurbNetwork {
@@ -263,6 +313,7 @@ impl CurbNetwork {
             round: 0,
             chain_seen_height: 0,
             removed,
+            metrics: RoundMetrics::new(),
         })
     }
 
@@ -366,6 +417,20 @@ impl CurbNetwork {
     /// Cumulative message statistics of the simulated network.
     pub fn message_stats(&self) -> &curb_sim::MessageStats {
         self.sim.stats()
+    }
+
+    /// Telemetry registry accumulating round metrics across the run
+    /// (`core.*` counters plus the `core.request_latency_ns`
+    /// histogram). Per-round [`RoundReport`]s are views over the same
+    /// quantities, scoped to one round.
+    pub fn registry(&self) -> &curb_telemetry::Registry {
+        &self.metrics.registry
+    }
+
+    /// Installs this simulation's virtual clock as the process-wide
+    /// telemetry clock, so trace spans carry simulated timestamps.
+    pub fn install_telemetry_clock(&self) {
+        self.sim.install_telemetry_clock();
     }
 
     /// Number of simulator events still queued (should stay small at
@@ -517,7 +582,7 @@ impl CurbNetwork {
             .map(|(c, _)| c)
             .collect();
 
-        RoundReport {
+        let report = RoundReport {
             round: self.round,
             requests,
             accepted,
@@ -531,7 +596,9 @@ impl CurbNetwork {
             pdl,
             chain_height,
             duration: self.sim.now().since(start),
-        }
+        };
+        self.metrics.publish(&report, &latencies);
+        report
     }
 
     /// Runs `n` rounds and aggregates the reports.
@@ -790,6 +857,42 @@ mod tests {
         let report = net.run_reassignment_round(Vec::new());
         assert_eq!(report.accepted, report.requests);
         assert!(report.reassignments > 0);
+    }
+
+    #[test]
+    fn registry_accumulates_round_metrics() {
+        let topo = synthetic(8, 12, 3);
+        let mut config = CurbConfig::default();
+        config.max_cs_delay_ms = f64::INFINITY;
+        config.controller_capacity = 16;
+        let mut net = CurbNetwork::new(&topo, config).unwrap();
+        let r1 = net.run_round();
+        let r2 = net.run_round();
+        let reg = net.registry();
+        assert_eq!(reg.counter("core.rounds").get(), 2);
+        assert_eq!(
+            reg.counter("core.requests").get(),
+            (r1.requests + r2.requests) as u64
+        );
+        assert_eq!(
+            reg.counter("core.accepted").get(),
+            (r1.accepted + r2.accepted) as u64
+        );
+        assert_eq!(
+            reg.counter("core.committed_txs").get(),
+            (r1.committed_txs + r2.committed_txs) as u64
+        );
+        assert_eq!(
+            reg.counter("core.messages").get(),
+            r1.messages + r2.messages
+        );
+        assert_eq!(reg.gauge("core.chain_height").get(), r2.chain_height as i64);
+        let hist = reg.histogram("core.request_latency_ns").snapshot();
+        assert_eq!(hist.count(), (r1.accepted + r2.accepted) as u64);
+        // The histogram and the report agree on the scale of latencies.
+        let mean_ns = (r1.avg_latency.unwrap() + r2.avg_latency.unwrap()).as_nanos() as f64 / 2.0;
+        assert!(hist.mean() > mean_ns / 4.0);
+        assert!(hist.mean() < mean_ns * 4.0);
     }
 
     #[test]

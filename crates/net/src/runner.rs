@@ -47,10 +47,21 @@
 
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{Batch, Dest, Outbound, Payload, PbftMsg, Replica, Seq, DEFAULT_STATE_CHUNK};
+use curb_telemetry::{Counter, Registry};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Current tracer time, or 0 when tracing is off.
+#[inline]
+fn trace_now() -> u64 {
+    if curb_telemetry::enabled() {
+        curb_telemetry::now_nanos().max(1)
+    } else {
+        0
+    }
+}
 
 /// Tuning knobs for [`NetRunner`].
 #[derive(Debug, Clone)]
@@ -99,7 +110,13 @@ impl Default for RunnerConfig {
     }
 }
 
-/// Final counters returned by [`RunnerHandle::join`].
+/// A point-in-time view of the runner's counters.
+///
+/// The counters live in a [`Registry`] (shared handles, updated as the
+/// runner works), so a snapshot taken with [`RunnerHandle::stats`] is
+/// current — including `state_rejections`, which tracks certificate
+/// failures the moment they are counted, not only at shutdown.
+/// [`RunnerHandle::join`] returns the final snapshot.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunnerStats {
     /// Messages received and fed to the replica.
@@ -128,6 +145,54 @@ pub struct RunnerStats {
     pub state_rejections: u64,
 }
 
+/// Typed [`Registry`] handles for the runner's counters.
+/// [`RunnerStats`] is a snapshot view over these.
+#[derive(Clone)]
+struct RunnerMetrics {
+    inbound: Counter,
+    outbound: Counter,
+    broadcasts: Counter,
+    decided: Counter,
+    delivered: Counter,
+    batches_proposed: Counter,
+    view_changes_started: Counter,
+    state_requests: Counter,
+    state_retries: Counter,
+    state_rejections: Counter,
+}
+
+impl RunnerMetrics {
+    fn new(registry: &Registry) -> Self {
+        RunnerMetrics {
+            inbound: registry.counter("runner.inbound"),
+            outbound: registry.counter("runner.outbound"),
+            broadcasts: registry.counter("runner.broadcasts"),
+            decided: registry.counter("runner.decided"),
+            delivered: registry.counter("runner.delivered"),
+            batches_proposed: registry.counter("runner.batches_proposed"),
+            view_changes_started: registry.counter("runner.view_changes_started"),
+            state_requests: registry.counter("runner.state_requests"),
+            state_retries: registry.counter("runner.state_retries"),
+            state_rejections: registry.counter("runner.state_rejections"),
+        }
+    }
+
+    fn snapshot(&self) -> RunnerStats {
+        RunnerStats {
+            inbound: self.inbound.get(),
+            outbound: self.outbound.get(),
+            broadcasts: self.broadcasts.get(),
+            decided: self.decided.get(),
+            delivered: self.delivered.get(),
+            batches_proposed: self.batches_proposed.get(),
+            view_changes_started: self.view_changes_started.get(),
+            state_requests: self.state_requests.get(),
+            state_retries: self.state_retries.get(),
+            state_rejections: self.state_rejections.get(),
+        }
+    }
+}
+
 enum Command<P> {
     Propose(P),
     Shutdown,
@@ -154,6 +219,8 @@ pub struct RunnerHandle<P> {
     /// Committed payloads, in `(seq, index)` order.
     pub decisions: Receiver<Delivery<P>>,
     thread: JoinHandle<RunnerStats>,
+    metrics: RunnerMetrics,
+    registry: Registry,
 }
 
 impl<P> RunnerHandle<P> {
@@ -161,6 +228,19 @@ impl<P> RunnerHandle<P> {
     /// already stopped.
     pub fn propose(&self, payload: P) -> bool {
         self.commands.send(Command::Propose(payload)).is_ok()
+    }
+
+    /// A live snapshot of the runner's counters — valid while the
+    /// runner is still executing, not just after [`RunnerHandle::join`].
+    pub fn stats(&self) -> RunnerStats {
+        self.metrics.snapshot()
+    }
+
+    /// The metric registry backing [`RunnerHandle::stats`]. Share it at
+    /// spawn time ([`NetRunner::spawn_with_registry`]) to aggregate the
+    /// runner's counters with transport metrics in one place.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Stops the runner and returns its final counters.
@@ -179,6 +259,9 @@ struct CatchUp {
     /// Low edge of the gap at request time — the progress baseline: a
     /// response that does not move the gap above this was useless.
     gap_lo: Seq,
+    /// Tracer timestamp at request time (0 = tracing off); bounds the
+    /// `catchup.request` span when the request resolves.
+    t_request: u64,
 }
 
 /// Owns a [`Replica`] (over [`Batch`]ed payloads) and a [`Transport`]
@@ -190,7 +273,10 @@ pub struct NetRunner<P: Payload, T> {
     pending: VecDeque<P>,
     /// When the oldest pending payload arrived; drives `batch_window`.
     pending_since: Option<Instant>,
-    stats: RunnerStats,
+    metrics: RunnerMetrics,
+    /// Replica rejection total already published to the registry; the
+    /// delta is published the moment new rejections are counted.
+    rejections_seen: u64,
     last_progress: Instant,
     /// The in-flight catch-up request, if any.
     catch_up: Option<CatchUp>,
@@ -210,10 +296,22 @@ where
     /// Panics if `cfg.max_batch`, `cfg.max_inflight` or
     /// `cfg.max_state_chunk` is zero, or if the OS refuses to spawn
     /// the thread.
-    pub fn spawn(
+    pub fn spawn(replica: Replica<Batch<P>>, transport: T, cfg: RunnerConfig) -> RunnerHandle<P> {
+        Self::spawn_with_registry(replica, transport, cfg, Registry::new())
+    }
+
+    /// Like [`NetRunner::spawn`], but publishes the runner's counters
+    /// into the caller's `registry` — share one registry between the
+    /// runner and its transport to aggregate all metrics per replica.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NetRunner::spawn`].
+    pub fn spawn_with_registry(
         mut replica: Replica<Batch<P>>,
         transport: T,
         cfg: RunnerConfig,
+        registry: Registry,
     ) -> RunnerHandle<P> {
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
@@ -222,13 +320,15 @@ where
         let (decisions_tx, decisions_rx) = channel();
         let name = format!("curb-net-runner-{}", replica.id());
         let next_target = (replica.id() + 1) % transport.group_size().max(1);
+        let metrics = RunnerMetrics::new(&registry);
         let runner = NetRunner {
             replica,
             transport,
             cfg,
             pending: VecDeque::new(),
             pending_since: None,
-            stats: RunnerStats::default(),
+            metrics: metrics.clone(),
+            rejections_seen: 0,
             last_progress: Instant::now(),
             catch_up: None,
             next_target,
@@ -241,6 +341,8 @@ where
             commands: commands_tx,
             decisions: decisions_rx,
             thread,
+            metrics,
+            registry,
         }
     }
 
@@ -300,7 +402,7 @@ where
             if let Some(timeout) = self.cfg.view_change_timeout {
                 let starving = !self.pending.is_empty() && !self.replica.is_leader();
                 if starving && self.last_progress.elapsed() > timeout {
-                    self.stats.view_changes_started += 1;
+                    self.metrics.view_changes_started.inc();
                     self.last_progress = Instant::now();
                     let out = self.replica.start_view_change();
                     self.dispatch(out);
@@ -325,18 +427,34 @@ where
     /// verification) moves the catch-up loop to the next peer without
     /// waiting out the timeout.
     fn handle_inbound(&mut self, from: usize, msg: PbftMsg<Batch<P>>) {
-        self.stats.inbound += 1;
-        let awaited = matches!(msg, PbftMsg::StateResponse { .. })
-            && self.catch_up.as_ref().is_some_and(|c| c.target == from);
+        self.metrics.inbound.inc();
+        let is_state_response = matches!(msg, PbftMsg::StateResponse { .. });
+        let awaited = is_state_response && self.catch_up.as_ref().is_some_and(|c| c.target == from);
         let out = self.replica.on_message(from, msg);
         self.dispatch(out);
+        if is_state_response {
+            // Publish newly counted certificate rejections immediately,
+            // so a live stats() snapshot sees them — not only join().
+            self.sync_rejections();
+        }
         if awaited {
+            if let Some(cu) = &self.catch_up {
+                if cu.t_request > 0 {
+                    curb_telemetry::record_span(
+                        "catchup.request",
+                        cu.t_request,
+                        curb_telemetry::now_nanos(),
+                        self.replica.id() as i64,
+                        cu.gap_lo as i64,
+                    );
+                }
+            }
             let baseline = self.catch_up.as_ref().map(|c| c.gap_lo);
             match (self.replica.catch_up_gap(), baseline) {
                 (Some((lo, _)), Some(gap_lo)) if lo <= gap_lo => {
                     // The peer answered but the gap did not move:
                     // unhelpful or lying. Try the next one.
-                    self.stats.state_retries += 1;
+                    self.metrics.state_retries.inc();
                     self.rotate_target();
                 }
                 _ => {} // gap shrank or closed — the chunk applied
@@ -344,6 +462,18 @@ where
             // Either way the request is resolved; `drive_catch_up`
             // re-requests whatever remains.
             self.catch_up = None;
+        }
+    }
+
+    /// Publishes the delta of replica-counted certificate rejections to
+    /// the registry counter.
+    fn sync_rejections(&mut self) {
+        let total = self.replica.state_rejections();
+        if total > self.rejections_seen {
+            self.metrics
+                .state_rejections
+                .add(total - self.rejections_seen);
+            self.rejections_seen = total;
         }
     }
 
@@ -364,7 +494,18 @@ where
                 // the remainder right away.
                 self.catch_up = None;
             } else if cu.requested_at.elapsed() >= self.cfg.catch_up_timeout {
-                self.stats.state_retries += 1;
+                if cu.t_request > 0 {
+                    // Close the span at timeout so abandoned requests
+                    // still show up in the trace with their full wait.
+                    curb_telemetry::record_span(
+                        "catchup.request",
+                        cu.t_request,
+                        curb_telemetry::now_nanos(),
+                        self.replica.id() as i64,
+                        cu.gap_lo as i64,
+                    );
+                }
+                self.metrics.state_retries.inc();
                 self.rotate_target();
                 self.catch_up = None;
             } else {
@@ -372,8 +513,8 @@ where
             }
         }
         let target = self.next_target;
-        self.stats.state_requests += 1;
-        self.stats.outbound += 1;
+        self.metrics.state_requests.inc();
+        self.metrics.outbound.inc();
         self.transport.send(
             target,
             &PbftMsg::StateRequest {
@@ -385,6 +526,7 @@ where
             target,
             requested_at: Instant::now(),
             gap_lo: lo,
+            t_request: trace_now(),
         });
     }
 
@@ -400,8 +542,11 @@ where
     /// Shuts the transport down and returns the final counters.
     fn finish(mut self) -> RunnerStats {
         self.transport.shutdown();
-        self.stats.state_rejections = self.replica.state_rejections();
-        self.stats
+        self.sync_rejections();
+        // This thread recorded consensus spans; push its tail of
+        // buffered spans to the global sink before the thread exits.
+        curb_telemetry::flush_thread();
+        self.metrics.snapshot()
     }
 
     /// How long the idle path may block: the poll interval, clamped to
@@ -437,7 +582,7 @@ where
             self.pending_since = (!self.pending.is_empty()).then(Instant::now);
             match self.replica.propose(Batch(batch)) {
                 Ok(out) => {
-                    self.stats.batches_proposed += 1;
+                    self.metrics.batches_proposed.inc();
                     proposed = true;
                     self.dispatch(out);
                 }
@@ -455,11 +600,11 @@ where
         progressed: &mut bool,
     ) -> bool {
         for (seq, batch) in self.replica.take_decisions() {
-            self.stats.decided += 1;
+            self.metrics.decided.inc();
             self.last_progress = Instant::now();
             *progressed = true;
             for (seq, index, payload) in batch.unfold(seq) {
-                self.stats.delivered += 1;
+                self.metrics.delivered.inc();
                 let delivery = Delivery {
                     seq,
                     index,
@@ -479,12 +624,12 @@ where
         for Outbound { dest, msg } in out {
             match dest {
                 Dest::Broadcast => {
-                    self.stats.broadcasts += 1;
-                    self.stats.outbound += fanout;
+                    self.metrics.broadcasts.inc();
+                    self.metrics.outbound.add(fanout);
                     self.transport.broadcast(&msg);
                 }
                 Dest::To(to) => {
-                    self.stats.outbound += 1;
+                    self.metrics.outbound.inc();
                     self.transport.send(to, &msg);
                 }
             }
@@ -559,6 +704,32 @@ mod tests {
         // Every broadcast expands to n-1 = 3 frames on the wire.
         assert!(stats.broadcasts > 0);
         assert_eq!(stats.outbound, 3 * stats.broadcasts);
+    }
+
+    #[test]
+    fn stats_are_live_before_join() {
+        let handles = spawn_cluster(4, RunnerConfig::default());
+        assert!(handles[0].propose(BytesPayload(b"live stats".to_vec())));
+        for h in &handles {
+            h.decisions
+                .recv_timeout(Duration::from_secs(5))
+                .expect("decision");
+        }
+        // Snapshot while the runner is still executing.
+        let live = handles[0].stats();
+        assert_eq!(live.decided, 1);
+        assert_eq!(live.delivered, 1);
+        assert_eq!(live.batches_proposed, 1);
+        assert!(live.broadcasts > 0);
+        // The registry backs the snapshot with the same values.
+        assert_eq!(
+            handles[0].registry().counter("runner.decided").get(),
+            live.decided
+        );
+        for h in handles {
+            let end = h.join();
+            assert_eq!(end.decided, 1);
+        }
     }
 
     #[test]

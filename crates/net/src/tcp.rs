@@ -27,13 +27,47 @@
 use crate::frame::{decode_msg, encode_msg_into, DEFAULT_MAX_FRAME};
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
+use curb_telemetry::{Counter, Gauge, HistogramHandle, Registry};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Transport-level metric handles, published into the [`Registry`]
+/// passed to [`TcpTransport::bind_with_registry`].
+///
+/// Latency histograms (`net.encode_ns`, `net.write_ns`, `net.read_ns`)
+/// only sample while telemetry is enabled (`curb_telemetry::enable`),
+/// so the disabled hot path pays no clock reads; the queue-depth gauge
+/// and reconnect counter are single relaxed atomics and always on.
+#[derive(Clone)]
+struct TcpMetrics {
+    /// Message → frame encoding latency.
+    encode_ns: HistogramHandle,
+    /// Latency of putting one coalesced burst on the wire.
+    write_ns: HistogramHandle,
+    /// Frame body read + decode latency on the reader side.
+    read_ns: HistogramHandle,
+    /// Frames currently queued across all peer writer queues.
+    queue_depth: Gauge,
+    /// Outbound connections re-established after a drop.
+    reconnects: Counter,
+}
+
+impl TcpMetrics {
+    fn new(registry: &Registry) -> Self {
+        TcpMetrics {
+            encode_ns: registry.histogram("net.encode_ns"),
+            write_ns: registry.histogram("net.write_ns"),
+            read_ns: registry.histogram("net.read_ns"),
+            queue_depth: registry.gauge("net.queue_depth"),
+            reconnects: registry.counter("net.reconnects"),
+        }
+    }
+}
 
 /// Protocol magic plus a version byte; bump the last byte on any wire
 /// format change.
@@ -113,6 +147,7 @@ pub struct PeerManager {
     connected: Arc<Vec<AtomicBool>>,
     dropped: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
+    metrics: TcpMetrics,
 }
 
 impl PeerManager {
@@ -122,6 +157,7 @@ impl PeerManager {
         addrs: &[SocketAddr],
         cfg: &TcpConfig,
         shutdown: Arc<AtomicBool>,
+        metrics: TcpMetrics,
     ) -> PeerManager {
         let n = addrs.len();
         let connected = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect::<Vec<_>>());
@@ -138,9 +174,12 @@ impl PeerManager {
             let cfg = cfg.clone();
             let shutdown = Arc::clone(&shutdown);
             let connected = Arc::clone(&connected);
+            let metrics = metrics.clone();
             let handle = thread::Builder::new()
                 .name(format!("curb-net-w{local}-{peer}"))
-                .spawn(move || writer_loop(local, peer, addr, rx, &cfg, &shutdown, &connected))
+                .spawn(move || {
+                    writer_loop(local, peer, addr, rx, &cfg, &shutdown, &connected, &metrics)
+                })
                 .expect("spawn writer thread");
             workers.push(handle);
         }
@@ -149,6 +188,7 @@ impl PeerManager {
             connected,
             dropped,
             workers,
+            metrics,
         }
     }
 
@@ -159,7 +199,7 @@ impl PeerManager {
             return;
         };
         match tx.try_send(frame) {
-            Ok(()) => {}
+            Ok(()) => self.metrics.queue_depth.add(1),
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
@@ -193,6 +233,7 @@ fn push_frame(buf: &mut Vec<u8>, body: &[u8]) {
 /// reused buffer and puts the whole burst on the wire with a single
 /// `write` call — under load a consensus round's worth of messages to
 /// a peer costs one syscall, not one per message.
+#[allow(clippy::too_many_arguments)]
 fn writer_loop(
     local: ReplicaId,
     peer: ReplicaId,
@@ -201,10 +242,12 @@ fn writer_loop(
     cfg: &TcpConfig,
     shutdown: &AtomicBool,
     connected: &[AtomicBool],
+    metrics: &TcpMetrics,
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut backoff = cfg.backoff_base;
     let mut buf: Vec<u8> = Vec::with_capacity(16 << 10);
+    let mut ever_connected = false;
     let n = connected.len();
     'bursts: while !shutdown.load(Ordering::Relaxed) {
         let first = match queue.recv_timeout(cfg.poll_interval) {
@@ -214,12 +257,17 @@ fn writer_loop(
         };
         buf.clear();
         push_frame(&mut buf, &first);
+        let mut drained = 1i64;
         while buf.len() < cfg.coalesce_bytes {
             match queue.try_recv() {
-                Ok(frame) => push_frame(&mut buf, &frame),
+                Ok(frame) => {
+                    push_frame(&mut buf, &frame);
+                    drained += 1;
+                }
                 Err(_) => break,
             }
         }
+        metrics.queue_depth.sub(drained);
         // Retry the in-flight burst across reconnects until it is on
         // the wire or the transport shuts down. Re-sending the whole
         // burst after a mid-write failure may duplicate frames the
@@ -233,6 +281,10 @@ fn writer_loop(
                     Ok(stream) => {
                         backoff = cfg.backoff_base;
                         connected[peer].store(true, Ordering::Relaxed);
+                        if ever_connected {
+                            metrics.reconnects.inc();
+                        }
+                        ever_connected = true;
                         conn = Some(stream);
                     }
                     Err(_) => {
@@ -243,8 +295,14 @@ fn writer_loop(
                 }
             }
             let stream = conn.as_mut().expect("connection just established");
+            let t_write = curb_telemetry::enabled().then(Instant::now);
             match stream.write_all(&buf).and_then(|()| stream.flush()) {
-                Ok(()) => continue 'bursts,
+                Ok(()) => {
+                    if let Some(t) = t_write {
+                        metrics.write_ns.record(t.elapsed().as_nanos() as u64);
+                    }
+                    continue 'bursts;
+                }
                 Err(_) => {
                     conn = None;
                     connected[peer].store(false, Ordering::Relaxed);
@@ -285,6 +343,7 @@ pub struct TcpTransport<P> {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
+    registry: Registry,
 }
 
 impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
@@ -308,18 +367,54 @@ impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
         peer_addrs: Vec<SocketAddr>,
         cfg: TcpConfig,
     ) -> io::Result<TcpTransport<P>> {
+        Self::bind_with_registry(id, listener, peer_addrs, cfg, Registry::new())
+    }
+
+    /// Like [`TcpTransport::bind`], but publishes transport metrics
+    /// (encode/write/read latency histograms, outbound queue depth,
+    /// reconnect count) into the caller's `registry` — share one
+    /// registry with [`NetRunner::spawn_with_registry`] to see runner
+    /// and transport metrics side by side.
+    ///
+    /// [`NetRunner::spawn_with_registry`]: crate::NetRunner::spawn_with_registry
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from configuring the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= peer_addrs.len()`.
+    pub fn bind_with_registry(
+        id: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        cfg: TcpConfig,
+        registry: Registry,
+    ) -> io::Result<TcpTransport<P>> {
         assert!(id < peer_addrs.len(), "replica id out of range");
         let n = peer_addrs.len();
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let (events_tx, events_rx) = channel();
-        let peers = PeerManager::spawn(id, &peer_addrs, &cfg, Arc::clone(&shutdown));
+        let metrics = TcpMetrics::new(&registry);
+        let peers = PeerManager::spawn(id, &peer_addrs, &cfg, Arc::clone(&shutdown), metrics);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_cfg = cfg.clone();
+        let accept_metrics = peers.metrics.clone();
         let accept_thread = thread::Builder::new()
             .name(format!("curb-net-accept-{id}"))
-            .spawn(move || accept_loop(listener, n, events_tx, &accept_cfg, &accept_shutdown))
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    n,
+                    events_tx,
+                    &accept_cfg,
+                    &accept_shutdown,
+                    accept_metrics,
+                )
+            })
             .expect("spawn accept thread");
         Ok(TcpTransport {
             id,
@@ -331,13 +426,20 @@ impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
             shutdown,
             accept_thread: Some(accept_thread),
             local_addr,
+            registry,
         })
+    }
+
+    /// The registry this transport publishes its metrics into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Encodes `msg` once, via the reusable scratch buffer, into a
     /// frame body every peer queue can share. Returns `None` (and
     /// counts a drop) when the body exceeds the frame cap.
     fn encode_shared(&self, msg: &PbftMsg<P>) -> Option<Arc<[u8]>> {
+        let t_encode = curb_telemetry::enabled().then(Instant::now);
         let mut buf = self.encode_buf.lock().expect("encode buffer poisoned");
         buf.clear();
         encode_msg_into(msg, &mut buf);
@@ -345,7 +447,14 @@ impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
             self.peers.dropped.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        Some(Arc::from(buf.as_slice()))
+        let frame: Arc<[u8]> = Arc::from(buf.as_slice());
+        if let Some(t) = t_encode {
+            self.peers
+                .metrics
+                .encode_ns
+                .record(t.elapsed().as_nanos() as u64);
+        }
+        Some(frame)
     }
 
     /// The address this transport's listener is bound to.
@@ -439,6 +548,7 @@ fn accept_loop<P: PayloadCodec + Send + 'static>(
     events: Sender<NetEvent<P>>,
     cfg: &TcpConfig,
     shutdown: &Arc<AtomicBool>,
+    metrics: TcpMetrics,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -446,9 +556,10 @@ fn accept_loop<P: PayloadCodec + Send + 'static>(
                 let events = events.clone();
                 let cfg = cfg.clone();
                 let shutdown = Arc::clone(shutdown);
+                let metrics = metrics.clone();
                 let _ = thread::Builder::new()
                     .name("curb-net-reader".to_string())
-                    .spawn(move || reader_loop(stream, n, events, &cfg, &shutdown));
+                    .spawn(move || reader_loop(stream, n, events, &cfg, &shutdown, &metrics));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(cfg.poll_interval);
@@ -466,6 +577,7 @@ fn reader_loop<P: PayloadCodec + Send + 'static>(
     events: Sender<NetEvent<P>>,
     cfg: &TcpConfig,
     shutdown: &AtomicBool,
+    metrics: &TcpMetrics,
 ) {
     if stream.set_nodelay(true).is_err()
         || stream.set_read_timeout(Some(cfg.poll_interval)).is_err()
@@ -496,12 +608,20 @@ fn reader_loop<P: PayloadCodec + Send + 'static>(
         if len > cfg.max_frame {
             break; // hostile or corrupted length prefix
         }
+        // Time from "length known" to "message decoded": the cost of
+        // pulling one frame off the wire, excluding idle waiting for
+        // the next frame to arrive.
+        let t_read = curb_telemetry::enabled().then(Instant::now);
         let mut body = vec![0u8; len];
         match read_full(&mut stream, &mut body, shutdown) {
             Ok(true) => {}
             Ok(false) | Err(_) => break,
         }
-        match decode_msg::<P>(&body) {
+        let decoded = decode_msg::<P>(&body);
+        if let Some(t) = t_read {
+            metrics.read_ns.record(t.elapsed().as_nanos() as u64);
+        }
+        match decoded {
             // A malformed frame is dropped but the connection survives:
             // framing is still intact, so later frames decode fine.
             Err(_) => continue,

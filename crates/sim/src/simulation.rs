@@ -5,7 +5,9 @@ use crate::queue::{EventPayload, EventQueue};
 use crate::time::SimTime;
 use core::fmt;
 use core::time::Duration;
+use curb_telemetry::VirtualClock;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Identifier of a node (actor) in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -132,6 +134,12 @@ pub struct Simulation<M: Message, A: Actor<M>> {
     loss_rate: f64,
     loss_rng: u64,
     dropped: u64,
+    /// Mirror of the virtual clock for the telemetry tracer: advanced
+    /// with every processed event, so spans recorded by actor code
+    /// (e.g. the consensus state machine) carry virtual-time stamps
+    /// once this clock is installed via
+    /// [`Simulation::install_telemetry_clock`].
+    telemetry_clock: Arc<VirtualClock>,
 }
 
 impl<M: Message + fmt::Debug, A: Actor<M>> fmt::Debug for Simulation<M, A> {
@@ -168,7 +176,22 @@ impl<M: Message, A: Actor<M>> Simulation<M, A> {
             loss_rate: 0.0,
             loss_rng: 0x10551055,
             dropped: 0,
+            telemetry_clock: Arc::new(VirtualClock::new()),
         }
+    }
+
+    /// Installs this simulation's virtual clock as the process-wide
+    /// telemetry clock, so tracing spans recorded by actor code carry
+    /// virtual timestamps instead of wall-clock ones. Call before
+    /// `curb_telemetry::enable()`; with several simulations alive, the
+    /// last installer wins (the tracer clock is process-global).
+    pub fn install_telemetry_clock(&self) {
+        curb_telemetry::set_clock(self.telemetry_clock.clone() as Arc<dyn curb_telemetry::Clock>);
+    }
+
+    /// The virtual-time mirror driven by this simulation's event loop.
+    pub fn telemetry_clock(&self) -> Arc<VirtualClock> {
+        self.telemetry_clock.clone()
     }
 
     /// Number of nodes.
@@ -381,6 +404,7 @@ impl<M: Message, A: Actor<M>> Simulation<M, A> {
         let n = self.run_while(|t| t <= deadline);
         if self.clock < deadline {
             self.clock = deadline;
+            self.telemetry_clock.set_nanos(self.clock.as_nanos());
         }
         n
     }
@@ -397,6 +421,7 @@ impl<M: Message, A: Actor<M>> Simulation<M, A> {
             let event = self.queue.pop().expect("peeked event exists");
             debug_assert!(event.time >= self.clock, "time must be monotone");
             self.clock = event.time;
+            self.telemetry_clock.set_nanos(self.clock.as_nanos());
             processed += 1;
             self.processed += 1;
             let target = event.target;
@@ -534,6 +559,22 @@ mod tests {
         let mut sim = Simulation::new(vec![Recorder::new(reply), Recorder::new(false)]);
         sim.set_uniform_delay(Duration::from_millis(10));
         sim
+    }
+
+    #[test]
+    fn telemetry_clock_tracks_virtual_time() {
+        use curb_telemetry::Clock;
+        let mut sim = two_nodes(false);
+        let tc = sim.telemetry_clock();
+        assert_eq!(tc.now_nanos(), 0);
+        sim.post(NodeId(0), NodeId(1), Num(7));
+        sim.run_to_quiescence();
+        // The delivery advanced virtual time to the 10 ms link delay.
+        assert_eq!(tc.now_nanos(), Duration::from_millis(10).as_nanos() as u64);
+        // run_until advances the mirror to the deadline even with an
+        // empty queue.
+        sim.run_until(SimTime::ZERO + Duration::from_millis(25));
+        assert_eq!(tc.now_nanos(), Duration::from_millis(25).as_nanos() as u64);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Log-bucketed latency histogram (HDR-style).
+//!
+//! Values are `u64` (by convention: nanoseconds). Small values
+//! (`< 32`) get exact unit buckets; above that, every power-of-two
+//! range `[2^k, 2^(k+1))` is split into 32 linear sub-buckets, so the
+//! relative quantile error is bounded by one part in 32 (~3.1%)
+//! everywhere. Recording is two shifts, a subtract and an increment —
+//! cheap enough for per-message hot paths — and the memory footprint
+//! is a fixed ~11 KiB regardless of how many values are recorded.
+//!
+//! Values above [`Histogram::MAX_TRACKABLE`] are clamped into the top
+//! bucket (saturation) rather than dropped or panicking.
+
+/// Number of linear sub-buckets per power-of-two range, as a power of
+/// two: 2^5 = 32 sub-buckets → ≤ 1/32 relative error.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Highest power-of-two exponent covered exactly; `2^(MAX_EXP+1) - 1`
+/// is the largest trackable value (≈ 3.26 days in nanoseconds).
+const MAX_EXP: u32 = 47;
+const BUCKETS: usize = (SUB_COUNT + (MAX_EXP as u64 - SUB_BITS as u64 + 1) * SUB_COUNT) as usize;
+
+/// A fixed-size log-bucketed histogram with bounded relative error.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.value_at_quantile(0.50);
+/// assert!((484..=516).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Largest value stored exactly bucketed; anything above is clamped
+    /// here (saturation).
+    pub const MAX_TRACKABLE: u64 = (1 << (MAX_EXP + 1)) - 1;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let k = 63 - value.leading_zeros(); // SUB_BITS <= k <= MAX_EXP
+        let shift = k - SUB_BITS;
+        let sub = (value >> shift) - SUB_COUNT; // in 0..SUB_COUNT
+        (SUB_COUNT + (k - SUB_BITS) as u64 * SUB_COUNT + sub) as usize
+    }
+
+    /// Highest value that maps to bucket `idx` (the estimate returned
+    /// for any value recorded into it).
+    fn bucket_upper(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUB_COUNT {
+            return idx;
+        }
+        let r = idx - SUB_COUNT;
+        let shift = r / SUB_COUNT; // k - SUB_BITS
+        let sub = r % SUB_COUNT;
+        let lower = (SUB_COUNT + sub) << shift;
+        lower + (1u64 << shift) - 1
+    }
+
+    /// Records one value (clamped to [`Histogram::MAX_TRACKABLE`]).
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let value = value.min(Self::MAX_TRACKABLE);
+        self.counts[Self::bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, after clamping (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): an upper bound
+    /// for the exact order statistic, off by at most one bucket width
+    /// (≤ 1/32 relative). Returns 0 when empty.
+    ///
+    /// Rank convention matches a sorted array: `q = 0` is the minimum,
+    /// `q = 1` the maximum.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                // Clamping to the observed extremes keeps the estimate
+                // inside the recorded range (p100 == max exactly).
+                return Self::bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`. Merging is commutative and
+    /// associative: any merge order yields identical histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        for q in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+            let exact = {
+                let rank = ((q * 32.0).ceil() as usize).clamp(1, 32);
+                (rank - 1) as u64
+            };
+            assert_eq!(h.value_at_quantile(q), exact, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut h = Histogram::new();
+        let mut values: Vec<u64> = (0..2000u64).map(|i| i * i * 37 + 5).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.value_at_quantile(q);
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                est <= exact + exact / 32 + 1,
+                "q={q}: est {est} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_values_saturate_at_max_trackable() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(Histogram::MAX_TRACKABLE + 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Histogram::MAX_TRACKABLE);
+        assert_eq!(h.value_at_quantile(1.0), Histogram::MAX_TRACKABLE);
+    }
+
+    #[test]
+    fn merge_accumulates_both_sides() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        a.record(1000);
+        b.record_n(500, 3);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+        let p50 = a.value_at_quantile(0.5);
+        assert!((500..=516).contains(&p50), "p50 was {p50}");
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.mean(), 200.0);
+    }
+
+    #[test]
+    fn bucket_round_trip_upper_bound_covers_value() {
+        for v in [0u64, 1, 31, 32, 33, 1000, 123_456_789, 1 << 40] {
+            let idx = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_upper(idx) >= v, "v={v}");
+            // The upper bound itself must map back to the same bucket.
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_upper(idx)), idx);
+        }
+    }
+}

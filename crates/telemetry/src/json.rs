@@ -1,0 +1,206 @@
+//! A minimal parser for *flat* JSON objects.
+//!
+//! The trace format ([`crate::read_jsonl`]) is one flat object per
+//! line — no nesting, no arrays — so a ~100-line recursive-descent
+//! parser covers it without pulling a JSON dependency into an
+//! otherwise zero-dependency crate. Nested values are rejected, not
+//! silently mis-parsed.
+
+use std::collections::BTreeMap;
+
+/// A scalar JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string.
+    String(String),
+    /// Any JSON number (integers are exact up to 2^53).
+    Number(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'"' => Some(JsonValue::String(self.string()?)),
+            b'-' | b'0'..=b'9' => Some(JsonValue::Number(self.number()?)),
+            b't' => self.literal("true").then_some(JsonValue::Bool(true)),
+            b'f' => self.literal("false").then_some(JsonValue::Bool(false)),
+            b'n' => self.literal("null").then_some(JsonValue::Null),
+            _ => None, // nested objects/arrays are out of scope
+        }
+    }
+}
+
+/// Parses one flat JSON object (scalar values only). Returns `None` on
+/// any syntax error, nesting, or trailing garbage.
+pub fn parse_flat_object(text: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut p = Parser::new(text);
+    p.eat(b'{')?;
+    let mut out = BTreeMap::new();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.eat(b':')?;
+            out.insert(key, p.value()?);
+            match p.peek()? {
+                b',' => p.pos += 1,
+                b'}' => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        let o = parse_flat_object(r#"{"s":"hi","n":-12.5,"i":42,"t":true,"f":false,"z":null}"#)
+            .expect("parses");
+        assert_eq!(o["s"], JsonValue::String("hi".into()));
+        assert_eq!(o["n"], JsonValue::Number(-12.5));
+        assert_eq!(o["i"], JsonValue::Number(42.0));
+        assert_eq!(o["t"], JsonValue::Bool(true));
+        assert_eq!(o["f"], JsonValue::Bool(false));
+        assert_eq!(o["z"], JsonValue::Null);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let o = parse_flat_object(r#"{"k":"a\"b\\c\ndAé"}"#).expect("parses");
+        assert_eq!(o["k"], JsonValue::String("a\"b\\c\ndAé".into()));
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_object() {
+        assert!(parse_flat_object("  { }  ").expect("parses").is_empty());
+        let o = parse_flat_object(" { \"a\" : 1 , \"b\" : 2 } ").expect("parses");
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn rejects_nesting_and_garbage() {
+        assert!(parse_flat_object(r#"{"a":{"b":1}}"#).is_none());
+        assert!(parse_flat_object(r#"{"a":[1]}"#).is_none());
+        assert!(parse_flat_object(r#"{"a":1} extra"#).is_none());
+        assert!(parse_flat_object(r#"{"a":1"#).is_none());
+        assert!(parse_flat_object("").is_none());
+    }
+}

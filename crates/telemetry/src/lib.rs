@@ -1,0 +1,40 @@
+//! # curb-telemetry
+//!
+//! Unified observability for the Curb control-plane reproduction:
+//! tracing spans, metrics and latency histograms behind one
+//! zero-dependency crate.
+//!
+//! Three pieces compose:
+//!
+//! * **Tracer** ([`record_span`], [`drain`], [`write_jsonl`]) — a
+//!   process-wide span recorder with cheap thread-local buffers. Time
+//!   comes from the installed [`Clock`] ([`set_clock`]): a
+//!   [`MonotonicClock`] in the networked runtime, a [`VirtualClock`]
+//!   driven by the discrete-event simulator. Off by default; when
+//!   built with the `disabled` feature every call compiles to a no-op.
+//! * **Histograms** ([`Histogram`]) — fixed-memory, log-bucketed
+//!   (HDR-style) latency histograms with ≤ 1/32 relative quantile
+//!   error. The single quantile code path for the whole workspace.
+//! * **Registry** ([`Registry`]) — named [`Counter`]s, [`Gauge`]s and
+//!   [`HistogramHandle`]s shared between the subsystem that updates
+//!   them and the view that reports them.
+//!
+//! Traces export as JSONL (one flat object per line); [`read_jsonl`]
+//! loads them back for offline analysis (`tracedump` in curb-bench).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod hist;
+pub mod json;
+mod registry;
+mod trace;
+
+pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use hist::Histogram;
+pub use registry::{Counter, Gauge, HistogramHandle, Registry};
+pub use trace::{
+    disable, drain, enable, enabled, flush_thread, now_nanos, read_jsonl, record_span, set_clock,
+    to_jsonl, write_jsonl, SpanRecord,
+};

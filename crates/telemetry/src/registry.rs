@@ -1,0 +1,270 @@
+//! The metric registry: named counters, gauges and histograms.
+//!
+//! A [`Registry`] is a cheap-to-clone handle to a shared metric store.
+//! Subsystems ask it for **typed handles** once ([`Registry::counter`],
+//! [`Registry::gauge`], [`Registry::histogram`]) and then update those
+//! handles lock-free (counters/gauges) or under a short per-histogram
+//! lock on their hot paths. Views — `RunnerStats` in `curb-net`, the
+//! round reports in `curb-core` — read the same handles, so a snapshot
+//! taken mid-run is always current, not a copy made at shutdown.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.lock().expect("histogram poisoned").record(v);
+    }
+
+    /// A point-in-time copy of the underlying histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().expect("histogram poisoned").clone()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, HistogramHandle>>,
+}
+
+/// A shared, clonable store of named metrics.
+///
+/// # Examples
+///
+/// ```rust
+/// use curb_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let sent = registry.counter("net.sent");
+/// sent.inc();
+/// sent.add(2);
+/// assert_eq!(registry.counter("net.sent").get(), 3, "same handle by name");
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters().len())
+            .field("gauges", &self.gauges().len())
+            .field("histograms", &self.histograms().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> HistogramHandle {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Snapshot of every counter, in name order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every gauge, in name order.
+    pub fn gauges(&self) -> Vec<(&'static str, i64)> {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, in name order.
+    pub fn histograms(&self) -> Vec<(&'static str, Histogram)> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.snapshot()))
+            .collect()
+    }
+
+    /// Renders every metric as one flat JSON object: counters and
+    /// gauges by name, histograms as `name{_count,_p50,_p99,_max}`
+    /// summaries — a live-export surface for dashboards or debugging.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<String> = Vec::new();
+        for (name, v) in self.counters() {
+            fields.push(format!("\"{name}\":{v}"));
+        }
+        for (name, v) in self.gauges() {
+            fields.push(format!("\"{name}\":{v}"));
+        }
+        for (name, h) in self.histograms() {
+            fields.push(format!("\"{name}_count\":{}", h.count()));
+            fields.push(format!("\"{name}_p50\":{}", h.value_at_quantile(0.5)));
+            fields.push(format!("\"{name}_p99\":{}", h.value_at_quantile(0.99)));
+            fields.push(format!("\"{name}_max\":{}", h.max()));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+        assert_eq!(r.counters(), vec![("x", 5)]);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(r.gauges(), vec![("depth", -2)]);
+    }
+
+    #[test]
+    fn histograms_record_through_the_registry() {
+        let r = Registry::new();
+        r.histogram("lat").record(100);
+        r.histogram("lat").record(300);
+        let h = r.histogram("lat").snapshot();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn clones_view_the_same_store() {
+        let r = Registry::new();
+        let view = r.clone();
+        r.counter("c").inc();
+        assert_eq!(view.counter("c").get(), 1);
+    }
+
+    #[test]
+    fn json_export_is_a_flat_parsable_object() {
+        let r = Registry::new();
+        r.counter("msgs").add(7);
+        r.gauge("depth").set(3);
+        r.histogram("lat").record(50);
+        let json = r.to_json();
+        let parsed = crate::json::parse_flat_object(&json).expect("valid JSON");
+        assert_eq!(parsed["msgs"], crate::json::JsonValue::Number(7.0));
+        assert_eq!(parsed["depth"], crate::json::JsonValue::Number(3.0));
+        assert_eq!(parsed["lat_count"], crate::json::JsonValue::Number(1.0));
+        assert_eq!(parsed["lat_p50"], crate::json::JsonValue::Number(50.0));
+    }
+}

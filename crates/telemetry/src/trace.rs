@@ -1,0 +1,383 @@
+//! The process-wide span tracer.
+//!
+//! Instrumented code calls [`now_nanos`] to timestamp phase boundaries
+//! and [`record_span`] to emit a completed span. Recording is designed
+//! to stay off the hot path:
+//!
+//! * **off by default** — until [`enable`] is called, [`record_span`]
+//!   is one relaxed atomic load and a branch (and with the `disabled`
+//!   cargo feature the whole call compiles to nothing);
+//! * **thread-local buffers** — spans accumulate in a per-thread `Vec`
+//!   and migrate to the process-wide sink only every
+//!   [`FLUSH_THRESHOLD`] records, so enabled-mode recording takes no
+//!   lock most of the time;
+//! * **explicit drain** — a harness calls [`drain`] (after worker
+//!   threads flushed, e.g. on shutdown) to collect everything, then
+//!   [`write_jsonl`] to persist the trace.
+//!
+//! Timestamps come from the installed [`Clock`]: the networked runtime
+//! leaves the default [`MonotonicClock`]; the discrete-event simulator
+//! installs a [`VirtualClock`](crate::VirtualClock) it advances with
+//! simulated time, so the same instrumentation yields virtual-time
+//! spans there.
+
+use crate::clock::{Clock, MonotonicClock};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// One completed span: a named phase with explicit start and duration,
+/// optionally labelled with the replica that recorded it and the
+/// consensus sequence number it belongs to (`-1` = unlabelled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"consensus.prepare"`.
+    pub name: Cow<'static, str>,
+    /// Start timestamp in clock nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording replica id, or `-1`.
+    pub replica: i64,
+    /// Consensus sequence number, or `-1`.
+    pub seq: i64,
+}
+
+/// Thread-local spans migrate to the global sink once this many have
+/// accumulated (or on [`flush_thread`]).
+pub const FLUSH_THRESHOLD: usize = 256;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global_clock() -> &'static RwLock<Arc<dyn Clock>> {
+    static CLOCK: OnceLock<RwLock<Arc<dyn Clock>>> = OnceLock::new();
+    CLOCK.get_or_init(|| RwLock::new(Arc::new(MonotonicClock::new())))
+}
+
+fn global_sink() -> &'static Mutex<Vec<SpanRecord>> {
+    static SINK: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_BUF: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Replaces the process-wide clock. Call before enabling tracing so
+/// all spans share one origin.
+pub fn set_clock(clock: Arc<dyn Clock>) {
+    *global_clock().write().expect("clock lock poisoned") = clock;
+}
+
+/// Nanoseconds on the installed clock (monotonic wall clock unless a
+/// virtual clock was installed).
+pub fn now_nanos() -> u64 {
+    global_clock()
+        .read()
+        .expect("clock lock poisoned")
+        .now_nanos()
+}
+
+/// Turns span recording on.
+#[cfg(not(feature = "disabled"))]
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// With the `disabled` feature, tracing cannot be turned on.
+#[cfg(feature = "disabled")]
+pub fn enable() {}
+
+/// Turns span recording off (already-buffered spans are kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded. Instrumentation should
+/// check this before doing any timestamping work.
+#[cfg(not(feature = "disabled"))]
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Compile-out mode: always `false`, so the optimizer deletes every
+/// `if enabled() { … }` instrumentation block.
+#[cfg(feature = "disabled")]
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Records a completed span. A no-op unless [`enabled`]. `end_ns`
+/// earlier than `start_ns` is recorded as zero duration rather than
+/// panicking (clock installs mid-span can produce that).
+#[inline]
+pub fn record_span(name: &'static str, start_ns: u64, end_ns: u64, replica: i64, seq: i64) {
+    if !enabled() {
+        return;
+    }
+    let record = SpanRecord {
+        name: Cow::Borrowed(name),
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        replica,
+        seq,
+    };
+    LOCAL_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.push(record);
+        if buf.len() >= FLUSH_THRESHOLD {
+            let drained: Vec<SpanRecord> = buf.drain(..).collect();
+            global_sink()
+                .lock()
+                .expect("trace sink poisoned")
+                .extend(drained);
+        }
+    });
+}
+
+/// Moves this thread's buffered spans to the process-wide sink. Worker
+/// threads must call this before exiting or their tail of spans is
+/// lost (the net runner does so on shutdown).
+pub fn flush_thread() {
+    LOCAL_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.is_empty() {
+            return;
+        }
+        let drained: Vec<SpanRecord> = buf.drain(..).collect();
+        global_sink()
+            .lock()
+            .expect("trace sink poisoned")
+            .extend(drained);
+    });
+}
+
+/// Flushes the calling thread and takes every span from the sink.
+/// Spans still buffered on *other* live threads are not included —
+/// join or flush them first.
+pub fn drain() -> Vec<SpanRecord> {
+    flush_thread();
+    std::mem::take(&mut *global_sink().lock().expect("trace sink poisoned"))
+}
+
+/// Renders spans as JSONL (one JSON object per line).
+pub fn to_jsonl(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for r in records {
+        render_line(&mut out, r);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_line(out: &mut String, r: &SpanRecord) {
+    out.push_str("{\"name\":\"");
+    for c in r.name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str(&format!(
+        "\",\"start_ns\":{},\"dur_ns\":{},\"replica\":{},\"seq\":{}}}",
+        r.start_ns, r.dur_ns, r.replica, r.seq
+    ));
+}
+
+/// Writes spans to `path` as JSONL.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_jsonl(path: impl AsRef<Path>, records: &[SpanRecord]) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut line = String::with_capacity(128);
+    for r in records {
+        line.clear();
+        render_line(&mut line, r);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a JSONL trace written by [`write_jsonl`] (or any file of flat
+/// JSON objects with the same keys). Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error for lines that do not parse as a
+/// span object, or any underlying I/O error.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<SpanRecord>> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_line(&line).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {} is not a span object: {line:?}", i + 1),
+            )
+        })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Parses one JSONL span line. Exposed for tools that stream traces.
+pub fn parse_line(line: &str) -> Option<SpanRecord> {
+    let object = crate::json::parse_flat_object(line)?;
+    let name = match object.get("name")? {
+        crate::json::JsonValue::String(s) => s.clone(),
+        _ => return None,
+    };
+    let int = |key: &str| -> Option<i64> {
+        match object.get(key)? {
+            crate::json::JsonValue::Number(n) => Some(*n as i64),
+            _ => None,
+        }
+    };
+    Some(SpanRecord {
+        name: Cow::Owned(name),
+        start_ns: int("start_ns")?.max(0) as u64,
+        dur_ns: int("dur_ns")?.max(0) as u64,
+        replica: int("replica")?,
+        seq: int("seq")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    /// Tracing state is process-global; tests that touch it must not
+    /// interleave.
+    pub(crate) fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _guard = trace_test_lock();
+        disable();
+        let _ = drain();
+        record_span("test.noop", 0, 10, 1, 1);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    #[cfg(not(feature = "disabled"))]
+    fn spans_round_trip_through_the_sink() {
+        let _guard = trace_test_lock();
+        enable();
+        let _ = drain();
+        record_span("test.phase", 100, 350, 2, 9);
+        record_span("test.phase", 400, 390, 2, 10); // end < start → 0
+        let spans = drain();
+        disable();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "test.phase");
+        assert_eq!(spans[0].start_ns, 100);
+        assert_eq!(spans[0].dur_ns, 250);
+        assert_eq!((spans[0].replica, spans[0].seq), (2, 9));
+        assert_eq!(spans[1].dur_ns, 0, "backwards span clamps to zero");
+    }
+
+    #[test]
+    #[cfg(not(feature = "disabled"))]
+    fn buffer_flushes_at_threshold() {
+        let _guard = trace_test_lock();
+        enable();
+        let _ = drain();
+        for i in 0..FLUSH_THRESHOLD {
+            record_span("test.bulk", i as u64, i as u64 + 1, 0, i as i64);
+        }
+        // The threshold flush moved everything to the global sink even
+        // without an explicit flush_thread().
+        let sink_len = global_sink().lock().unwrap().len();
+        assert_eq!(sink_len, FLUSH_THRESHOLD);
+        let spans = drain();
+        disable();
+        assert_eq!(spans.len(), FLUSH_THRESHOLD);
+    }
+
+    #[test]
+    fn virtual_clock_drives_timestamps() {
+        let _guard = trace_test_lock();
+        let vc = Arc::new(VirtualClock::new());
+        set_clock(vc.clone());
+        vc.set_nanos(12_345);
+        assert_eq!(now_nanos(), 12_345);
+        set_clock(Arc::new(MonotonicClock::new()));
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let records = vec![
+            SpanRecord {
+                name: Cow::Borrowed("consensus.prepare"),
+                start_ns: 17,
+                dur_ns: 400,
+                replica: 3,
+                seq: 12,
+            },
+            SpanRecord {
+                name: Cow::Owned("weird \"name\"\\with\nescapes".to_string()),
+                start_ns: 0,
+                dur_ns: 0,
+                replica: -1,
+                seq: -1,
+            },
+        ];
+        let text = to_jsonl(&records);
+        let parsed: Vec<SpanRecord> = text
+            .lines()
+            .map(|l| parse_line(l).expect("line parses"))
+            .collect();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn jsonl_file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("curb-telemetry-test-{}.jsonl", std::process::id()));
+        let records = vec![SpanRecord {
+            name: Cow::Borrowed("net.encode"),
+            start_ns: 5,
+            dur_ns: 6,
+            replica: 0,
+            seq: -1,
+        }];
+        write_jsonl(&path, &records).expect("write");
+        let read = read_jsonl(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("{\"name\":3}").is_none());
+        assert!(parse_line("{\"name\":\"x\"}").is_none(), "missing keys");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the log-bucketed latency histogram: quantile
+//! accuracy against a naive sorted oracle, merge algebra and
+//! saturation at the trackable ceiling.
+
+use curb_telemetry::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The oracle: exact rank-based percentile over the sorted values,
+/// with the same rank convention as `value_at_quantile`
+/// (`rank = ceil(q * count)` clamped into `1..=count`).
+fn naive_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QUANTILES: [f64; 6] = [0.0, 0.25, 0.50, 0.90, 0.99, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A reported quantile never undershoots the exact value and
+    /// overshoots by at most one sub-bucket width — a relative error
+    /// of 1/32 (plus one for integer rounding at small values).
+    #[test]
+    fn quantiles_match_sorted_oracle_within_bucket_error(
+        values in prop::collection::vec(0u64..Histogram::MAX_TRACKABLE, 1..200),
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = naive_quantile(&sorted, q);
+            let approx = h.value_at_quantile(q);
+            prop_assert!(
+                approx >= exact,
+                "q={q}: approx {approx} < exact {exact}"
+            );
+            prop_assert!(
+                approx <= exact + exact / 32 + 1,
+                "q={q}: approx {approx} above error bound for exact {exact}"
+            );
+        }
+    }
+
+    /// Merging is associative and commutative, and merging equals
+    /// recording the concatenation directly.
+    #[test]
+    fn merge_is_associative_and_order_free(
+        a in prop::collection::vec(0u64..u64::MAX, 0..60),
+        b in prop::collection::vec(0u64..u64::MAX, 0..60),
+        c in prop::collection::vec(0u64..u64::MAX, 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // c ∪ b ∪ a gives the same histogram.
+        let mut rev = hc.clone();
+        rev.merge(&hb);
+        rev.merge(&ha);
+        prop_assert_eq!(&left, &rev);
+
+        // Merging equals recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Values at or above the trackable ceiling saturate: they count,
+    /// but every reported statistic stays within `MAX_TRACKABLE`.
+    #[test]
+    fn saturation_clamps_to_the_trackable_ceiling(
+        small in prop::collection::vec(0u64..1_000_000, 0..40),
+        huge in prop::collection::vec(Histogram::MAX_TRACKABLE.., 1..40),
+    ) {
+        let mut values = small.clone();
+        values.extend(&huge);
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), Histogram::MAX_TRACKABLE);
+        prop_assert_eq!(h.value_at_quantile(1.0), Histogram::MAX_TRACKABLE);
+        for q in QUANTILES {
+            prop_assert!(h.value_at_quantile(q) <= Histogram::MAX_TRACKABLE);
+        }
+        // The saturated histogram is exactly the clamped one.
+        let clamped: Vec<u64> = values
+            .iter()
+            .map(|&v| v.min(Histogram::MAX_TRACKABLE))
+            .collect();
+        prop_assert_eq!(&h, &hist_of(&clamped));
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`core`] — the Curb protocol itself (groups, rounds, reassignment).
 //! * [`net`] — real TCP (and loopback) transport runtime for the
 //!   consensus core.
+//! * [`telemetry`] — unified tracing, metrics and latency histograms.
 //!
 //! ## Quickstart
 //!
@@ -40,3 +41,4 @@ pub use curb_graph as graph;
 pub use curb_net as net;
 pub use curb_sdn as sdn;
 pub use curb_sim as sim;
+pub use curb_telemetry as telemetry;

@@ -509,10 +509,22 @@ fn lying_state_peer_body() {
         assert_eq!((d.seq, d.index), ((i + 1) as Seq, 0), "restarted replica");
         assert_eq!(d.payload, payload(i), "restarted replica");
     }
+    // The rejection count must be visible in a live snapshot — it is
+    // published when the bad StateResponse is handled, not only when
+    // the runner is joined.
+    let live = handles[3].as_ref().expect("restarted replica").stats();
+    assert!(
+        live.state_rejections >= 1,
+        "live stats must already show the rejected certificates"
+    );
     let stats = handles[3].take().expect("restarted replica").join();
     assert!(
         stats.state_rejections >= 1,
         "the lying peer's certificates must have been rejected"
+    );
+    assert!(
+        stats.state_rejections >= live.state_rejections,
+        "final stats never go backwards from a live snapshot"
     );
     assert!(
         stats.state_retries >= 1,

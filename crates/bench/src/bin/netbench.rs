@@ -10,14 +10,22 @@
 //! not per consensus instance: throughput in payloads/s plus p50/p99
 //! submission→commit latency.
 //!
+//! `--transport {threaded,reactor,both}` selects which TCP transport
+//! implementation the cluster runs on: `threaded` is the
+//! two-threads-per-peer `TcpTransport`, `reactor` the one-event-loop
+//! epoll `ReactorTransport`. The default `both` sweeps every batch
+//! size under each transport and emits a `comparison` section with the
+//! reactor-vs-threaded throughput ratio per batch size — the
+//! baseline + optimized pair the perf trajectory tracks.
+//!
 //! With `--recovery` the run also measures **crash recovery**: it
 //! commits a prefix, kills the last replica, commits a second prefix
 //! without it, restarts it on its original address and times how long
 //! the rejoined replica takes to deliver the *entire* committed log
 //! (state-transfer catch-up plus reconnect). The result lands in the
 //! report as a `recovery` object (`recovery_ms`, recovered payload
-//! count, state-request/retry counters). TCP only — a loopback
-//! replica cannot be restarted.
+//! count, state-request/retry counters, the transport it ran under).
+//! TCP only — a loopback replica cannot be restarted.
 //!
 //! With `--trace <path>` the run enables `curb-telemetry` span
 //! recording, writes every span (consensus phases, catch-up) to
@@ -25,26 +33,47 @@
 //! breakdown in each run's JSON. Feed the trace to the `tracedump`
 //! binary for the full per-phase table and per-seq critical path.
 //!
-//! Results are printed as JSON (`schema_version` 2) and also written
-//! to a machine-readable report (`--out`, default `BENCH_net.json`) so
-//! the perf trajectory can be tracked across PRs.
+//! Results are printed as JSON (`schema_version` 3: every run records
+//! its `transport`) and also written to a machine-readable report
+//! (`--out`, default `BENCH_net.json`) so the perf trajectory can be
+//! tracked across PRs.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p curb-bench --bin netbench -- \
 //!     [--n 4] [--proposals 500] [--payload 256] [--inflight 256] \
-//!     [--batch 1,16,64] [--window 0] [--loopback] [--recovery] \
-//!     [--trace trace.jsonl] [--out BENCH_net.json]
+//!     [--batch 1,16,64] [--window 0] [--transport both] [--loopback] \
+//!     [--recovery] [--trace trace.jsonl] [--out BENCH_net.json]
 //! ```
 
 use curb_bench::{arg_flag, arg_value};
 use curb_consensus::{Batch, BytesPayload, Replica};
-use curb_net::{LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport};
+use curb_net::{
+    LoopbackTransport, NetRunner, ReactorConfig, ReactorTransport, RunnerConfig, RunnerHandle,
+    TcpConfig, TcpTransport, TransportKind,
+};
 use curb_telemetry::{Histogram, SpanRecord};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
+
+/// What a benchmark cluster runs on: loopback channels or one of the
+/// real TCP transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BenchTransport {
+    Loopback,
+    Tcp(TransportKind),
+}
+
+impl BenchTransport {
+    fn as_str(self) -> &'static str {
+        match self {
+            BenchTransport::Loopback => "loopback",
+            BenchTransport::Tcp(kind) => kind.as_str(),
+        }
+    }
+}
 
 /// Groups trace spans by name into one duration histogram each.
 fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
@@ -66,7 +95,9 @@ fn runner_cfg(max_batch: usize, window: Duration) -> RunnerConfig {
     }
 }
 
-fn spawn_tcp_cluster(
+/// Binds one listener per replica and spawns the cluster on `kind`.
+fn spawn_socket_cluster(
+    kind: TransportKind,
     n: usize,
     max_batch: usize,
     window: Duration,
@@ -82,16 +113,33 @@ fn spawn_tcp_cluster(
         .into_iter()
         .enumerate()
         .map(|(id, listener)| {
-            let transport: TcpTransport<Batch<BytesPayload>> =
-                TcpTransport::bind(id, listener, addrs.clone(), TcpConfig::default())
-                    .expect("bind transport");
-            NetRunner::spawn(
-                Replica::new(id, n),
-                transport,
-                runner_cfg(max_batch, window),
-            )
+            spawn_socket_replica(kind, id, listener, &addrs, runner_cfg(max_batch, window))
         })
         .collect()
+}
+
+fn spawn_socket_replica(
+    kind: TransportKind,
+    id: usize,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+    cfg: RunnerConfig,
+) -> RunnerHandle<BytesPayload> {
+    let n = addrs.len();
+    match kind {
+        TransportKind::Threaded => {
+            let transport: TcpTransport<Batch<BytesPayload>> =
+                TcpTransport::bind(id, listener, addrs.to_vec(), TcpConfig::default())
+                    .expect("bind transport");
+            NetRunner::spawn(Replica::new(id, n), transport, cfg)
+        }
+        TransportKind::Reactor => {
+            let transport: ReactorTransport<Batch<BytesPayload>> =
+                ReactorTransport::bind(id, listener, addrs.to_vec(), ReactorConfig::default())
+                    .expect("bind transport");
+            NetRunner::spawn(Replica::new(id, n), transport, cfg)
+        }
+    }
 }
 
 fn spawn_loopback_cluster(
@@ -107,6 +155,7 @@ fn spawn_loopback_cluster(
 }
 
 struct RunResult {
+    transport: BenchTransport,
     max_batch: usize,
     elapsed_s: f64,
     throughput: f64,
@@ -123,18 +172,17 @@ struct RunResult {
 }
 
 fn run_once(
+    transport: BenchTransport,
     n: usize,
     proposals: usize,
     payload_size: usize,
     inflight: usize,
     max_batch: usize,
     window: Duration,
-    loopback: bool,
 ) -> RunResult {
-    let handles = if loopback {
-        spawn_loopback_cluster(n, max_batch, window)
-    } else {
-        spawn_tcp_cluster(n, max_batch, window)
+    let handles = match transport {
+        BenchTransport::Loopback => spawn_loopback_cluster(n, max_batch, window),
+        BenchTransport::Tcp(kind) => spawn_socket_cluster(kind, n, max_batch, window),
     };
     let leader = &handles[0];
 
@@ -189,7 +237,11 @@ fn run_once(
                 committed += 1;
             }
             Err(_) => {
-                eprintln!("timed out after {committed}/{proposals} commits (batch {max_batch})");
+                eprintln!(
+                    "timed out after {committed}/{proposals} commits \
+                     (transport {}, batch {max_batch})",
+                    transport.as_str()
+                );
                 std::process::exit(1);
             }
         }
@@ -224,6 +276,7 @@ fn run_once(
     };
     let phases = phase_histograms(&spans);
     RunResult {
+        transport,
         max_batch,
         elapsed_s: elapsed,
         throughput: committed as f64 / elapsed,
@@ -237,6 +290,7 @@ fn run_once(
 }
 
 struct RecoveryResult {
+    transport: TransportKind,
     /// Payloads the rejoined replica had to deliver (missed prefix +
     /// live tail).
     recovered_payloads: usize,
@@ -252,6 +306,7 @@ struct RecoveryResult {
 /// includes TCP reconnect backoff — this is end-to-end rejoin time as
 /// an operator would see it, not just the state-transfer RTT.
 fn run_recovery(
+    kind: TransportKind,
     n: usize,
     prefix: usize,
     payload_size: usize,
@@ -266,14 +321,7 @@ fn run_recovery(
         .map(|l| l.local_addr().expect("local addr"))
         .collect();
     let spawn = |id: usize, listener: TcpListener| {
-        let transport: TcpTransport<Batch<BytesPayload>> =
-            TcpTransport::bind(id, listener, addrs.clone(), TcpConfig::default())
-                .expect("bind transport");
-        NetRunner::spawn(
-            Replica::new(id, n),
-            transport,
-            runner_cfg(max_batch, window),
-        )
+        spawn_socket_replica(kind, id, listener, &addrs, runner_cfg(max_batch, window))
     };
     let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
         .into_iter()
@@ -359,6 +407,7 @@ fn run_recovery(
         h.join();
     }
     RecoveryResult {
+        transport: kind,
         recovered_payloads: total,
         recovery_ms,
         state_requests: stats.state_requests,
@@ -369,12 +418,13 @@ fn run_recovery(
 fn render_recovery_json(r: &RecoveryResult, indent: &str) -> String {
     format!(
         "{indent}{{\n\
+         {indent}  \"transport\": \"{}\",\n\
          {indent}  \"recovered_payloads\": {},\n\
          {indent}  \"recovery_ms\": {:.3},\n\
          {indent}  \"state_requests\": {},\n\
          {indent}  \"state_retries\": {}\n\
          {indent}}}",
-        r.recovered_payloads, r.recovery_ms, r.state_requests, r.state_retries,
+        r.transport, r.recovered_payloads, r.recovery_ms, r.state_requests, r.state_retries,
     )
 }
 
@@ -407,6 +457,7 @@ fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String
     let ms = |ns: u64| ns as f64 / 1e6;
     format!(
         "{indent}{{\n\
+         {indent}  \"transport\": \"{}\",\n\
          {indent}  \"max_batch\": {},\n\
          {indent}  \"elapsed_s\": {:.4},\n\
          {indent}  \"throughput_payloads_per_s\": {:.2},\n\
@@ -422,6 +473,7 @@ fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String
          {indent}  \"phases_ns\": {},\n\
          {indent}  \"follower_commits\": [{}]\n\
          {indent}}}",
+        r.transport.as_str(),
         r.max_batch,
         r.elapsed_s,
         r.throughput,
@@ -439,6 +491,39 @@ fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String
             .collect::<Vec<_>>()
             .join(", "),
     )
+}
+
+/// Renders the threaded-vs-reactor throughput comparison: one entry
+/// per batch size that both transports ran.
+fn render_comparison_json(results: &[RunResult], indent: &str) -> String {
+    let find = |kind: TransportKind, batch: usize| {
+        results
+            .iter()
+            .find(|r| r.transport == BenchTransport::Tcp(kind) && r.max_batch == batch)
+    };
+    let mut batches: Vec<usize> = results.iter().map(|r| r.max_batch).collect();
+    batches.sort_unstable();
+    batches.dedup();
+    let entries: Vec<String> = batches
+        .iter()
+        .filter_map(|&b| {
+            let threaded = find(TransportKind::Threaded, b)?;
+            let reactor = find(TransportKind::Reactor, b)?;
+            Some(format!(
+                "{indent}{{\"max_batch\": {b}, \
+                 \"threaded_payloads_per_s\": {:.2}, \
+                 \"reactor_payloads_per_s\": {:.2}, \
+                 \"reactor_vs_threaded\": {:.3}}}",
+                threaded.throughput,
+                reactor.throughput,
+                reactor.throughput / threaded.throughput,
+            ))
+        })
+        .collect();
+    if entries.is_empty() {
+        return "null".to_string();
+    }
+    format!("[\n{}\n  ]", entries.join(",\n"))
 }
 
 fn main() {
@@ -468,6 +553,7 @@ fn main() {
     let trace_path = arg_value("trace");
     let loopback = arg_flag("loopback");
     let recovery = arg_flag("recovery");
+    let transport_arg = arg_value("transport").unwrap_or_else(|| "both".to_string());
     if trace_path.is_some() {
         curb_telemetry::enable();
     }
@@ -479,21 +565,50 @@ fn main() {
         "--recovery needs TCP: a loopback replica cannot be restarted"
     );
 
-    let results: Vec<RunResult> = batches
+    // Which clusters to sweep: loopback is its own mode; over TCP the
+    // `--transport` knob picks one implementation or `both`.
+    let transports: Vec<BenchTransport> = if loopback {
+        vec![BenchTransport::Loopback]
+    } else {
+        match transport_arg.as_str() {
+            "both" => vec![
+                BenchTransport::Tcp(TransportKind::Threaded),
+                BenchTransport::Tcp(TransportKind::Reactor),
+            ],
+            one => vec![BenchTransport::Tcp(one.parse().unwrap_or_else(|e| {
+                panic!("--transport: {e} (or \"both\")");
+            }))],
+        }
+    };
+
+    let results: Vec<RunResult> = transports
         .iter()
-        .map(|&b| {
-            eprintln!("netbench: running max_batch={b} …");
-            run_once(n, proposals, payload_size, inflight, b, window, loopback)
+        .flat_map(|&t| batches.iter().map(move |&b| (t, b)).collect::<Vec<_>>())
+        .map(|(t, b)| {
+            eprintln!("netbench: running transport={} max_batch={b} …", t.as_str());
+            run_once(t, n, proposals, payload_size, inflight, b, window)
         })
         .collect();
-    let baseline = results
-        .iter()
-        .find(|r| r.max_batch == 1)
-        .map(|r| r.throughput);
+    // The unbatched baseline is per transport: batching speedups never
+    // compare across transport implementations.
+    let baseline_for = |t: BenchTransport| {
+        results
+            .iter()
+            .find(|r| r.transport == t && r.max_batch == 1)
+            .map(|r| r.throughput)
+    };
 
     let recovery_json = if recovery {
-        eprintln!("netbench: measuring crash recovery …");
-        let r = run_recovery(n, proposals, payload_size, batches[0], window);
+        // Recovery runs on the first selected TCP transport.
+        let kind = transports
+            .iter()
+            .find_map(|t| match t {
+                BenchTransport::Tcp(kind) => Some(*kind),
+                BenchTransport::Loopback => None,
+            })
+            .expect("recovery requires a TCP transport");
+        eprintln!("netbench: measuring crash recovery ({kind}) …");
+        let r = run_recovery(kind, n, proposals, payload_size, batches[0], window);
         eprintln!(
             "netbench: rejoined replica recovered {} payloads in {:.1} ms",
             r.recovered_payloads, r.recovery_ms
@@ -515,13 +630,13 @@ fn main() {
 
     let runs_json: Vec<String> = results
         .iter()
-        .map(|r| render_run_json(r, baseline, "    "))
+        .map(|r| render_run_json(r, baseline_for(r.transport), "    "))
         .collect();
     let report = format!(
         "{{\n\
          \x20 \"bench\": \"netbench\",\n\
-         \x20 \"schema_version\": 2,\n\
-         \x20 \"transport\": \"{}\",\n\
+         \x20 \"schema_version\": 3,\n\
+         \x20 \"transports\": [{}],\n\
          \x20 \"replicas\": {n},\n\
          \x20 \"proposals\": {proposals},\n\
          \x20 \"payload_bytes\": {},\n\
@@ -531,9 +646,14 @@ fn main() {
          \x20 \"coalesce_bytes\": {},\n\
          \x20 \"trace\": {},\n\
          \x20 \"recovery\": {},\n\
+         \x20 \"comparison\": {},\n\
          \x20 \"runs\": [\n{}\n  ]\n\
          }}",
-        if loopback { "loopback" } else { "tcp" },
+        transports
+            .iter()
+            .map(|t| format!("\"{}\"", t.as_str()))
+            .collect::<Vec<_>>()
+            .join(", "),
         payload_size.max(8),
         batches
             .iter()
@@ -547,6 +667,7 @@ fn main() {
             .map(|p| format!("\"{p}\""))
             .unwrap_or_else(|| "null".to_string()),
         recovery_json,
+        render_comparison_json(&results, "    "),
         runs_json.join(",\n"),
     );
     println!("{report}");

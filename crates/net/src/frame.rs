@@ -287,6 +287,134 @@ pub fn decode_msg<P: PayloadCodec>(body: &[u8]) -> Result<PbftMsg<P>, WireError>
     Ok(msg)
 }
 
+/// Incremental decoder for length-prefixed frame streams.
+///
+/// Unlike [`read_frame`], which pulls bytes from a blocking `Read`,
+/// `FrameDecoder` is push-based: callers feed it whatever chunk a
+/// nonblocking socket happened to return — one byte, half a length
+/// prefix, three frames and a tail — and the decoder invokes a sink
+/// once per *complete* frame body, in order. This is the read path of
+/// the poll-based reactor transport, where a single thread multiplexes
+/// partial reads from many peers and must never block for the rest of
+/// a frame.
+///
+/// Frame boundaries are tracked across calls: the decoder buffers an
+/// incomplete frame (or a split length prefix) internally and resumes
+/// exactly where the previous chunk stopped. When a chunk contains
+/// complete frames and nothing is buffered, bodies are handed to the
+/// sink as slices of the input — the common case copies nothing.
+///
+/// A length prefix above `max_frame` is hostile or corrupt: [`feed`]
+/// returns [`WireError::Corrupt`] and the decoder **poisons itself** —
+/// every later call fails too, because a stream that desynced once can
+/// never be trusted to re-align. Callers drop the connection.
+///
+/// [`feed`]: FrameDecoder::feed
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: usize,
+    /// Split length prefix carried across chunks (`header_len` valid).
+    header: [u8; 4],
+    header_len: usize,
+    /// Partial body carried across chunks; `body_need` is the total
+    /// body length announced by the prefix.
+    body: Vec<u8>,
+    body_need: Option<usize>,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder enforcing `max_frame` as the body-size cap.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            max_frame,
+            header: [0; 4],
+            header_len: 0,
+            body: Vec::new(),
+            body_need: None,
+            poisoned: false,
+        }
+    }
+
+    /// Consumes `input` and calls `on_frame` once per completed frame
+    /// body, in stream order. Partial frames are buffered until a
+    /// later `feed` completes them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Corrupt`] on a length prefix above the
+    /// cap; the decoder is then poisoned and every subsequent call
+    /// errors as well.
+    pub fn feed(
+        &mut self,
+        mut input: &[u8],
+        mut on_frame: impl FnMut(&[u8]),
+    ) -> Result<(), WireError> {
+        if self.poisoned {
+            return Err(WireError::Corrupt("poisoned frame stream"));
+        }
+        while !input.is_empty() {
+            match self.body_need {
+                None => {
+                    // Assemble the 4-byte length prefix (possibly
+                    // split across chunks).
+                    let take = (4 - self.header_len).min(input.len());
+                    self.header[self.header_len..self.header_len + take]
+                        .copy_from_slice(&input[..take]);
+                    self.header_len += take;
+                    input = &input[take..];
+                    if self.header_len < 4 {
+                        break; // prefix still incomplete
+                    }
+                    let len = u32::from_be_bytes(self.header) as usize;
+                    self.header_len = 0;
+                    if len > self.max_frame {
+                        self.poisoned = true;
+                        return Err(WireError::Corrupt("frame length"));
+                    }
+                    self.body_need = Some(len);
+                    self.body.clear();
+                    // Fast path: the whole body is already in `input`
+                    // and nothing was buffered — no copy.
+                    if input.len() >= len {
+                        on_frame(&input[..len]);
+                        input = &input[len..];
+                        self.body_need = None;
+                    } else {
+                        self.body.reserve_exact(len);
+                    }
+                }
+                Some(need) => {
+                    let take = (need - self.body.len()).min(input.len());
+                    self.body.extend_from_slice(&input[..take]);
+                    input = &input[take..];
+                    if self.body.len() == need {
+                        on_frame(&self.body);
+                        self.body.clear();
+                        self.body_need = None;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the decoder sits exactly on a frame boundary (no
+    /// partial prefix or body buffered). A connection that closes
+    /// mid-frame ends in a non-aligned decoder.
+    pub fn is_aligned(&self) -> bool {
+        self.header_len == 0 && self.body_need.is_none() && !self.poisoned
+    }
+}
+
+/// Appends `body` to `buf` as a length-prefixed frame (no cap check:
+/// callers enforce `max_frame` at encode time). Both transports use
+/// this to coalesce many frames into one write burst.
+pub(crate) fn append_frame(buf: &mut Vec<u8>, body: &[u8]) {
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(body);
+}
+
 /// Writes one length-prefixed frame to a stream.
 ///
 /// # Errors
@@ -523,6 +651,82 @@ mod tests {
     fn oversized_body_refused_on_write() {
         let err = write_frame(&mut Vec::new(), &[0u8; 64], 63).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    /// Feeds `stream` to a decoder in `chunk`-byte pieces and returns
+    /// the decoded frame bodies.
+    fn decode_chunked(stream: &[u8], chunk: usize, max_frame: usize) -> Vec<Vec<u8>> {
+        let mut decoder = FrameDecoder::new(max_frame);
+        let mut frames = Vec::new();
+        for piece in stream.chunks(chunk.max(1)) {
+            decoder
+                .feed(piece, |body| frames.push(body.to_vec()))
+                .expect("valid stream");
+        }
+        assert!(decoder.is_aligned());
+        frames
+    }
+
+    #[test]
+    fn incremental_decoder_handles_any_chunking() {
+        let bodies: Vec<Vec<u8>> = vec![
+            encode_msg(&every_variant()[0]),
+            Vec::new(), // empty frame
+            encode_msg(&every_variant()[5]),
+            vec![0xEE; 300],
+        ];
+        let mut stream = Vec::new();
+        for body in &bodies {
+            write_frame(&mut stream, body, DEFAULT_MAX_FRAME).unwrap();
+        }
+        for chunk in [1, 2, 3, 4, 5, 7, 16, 301, stream.len()] {
+            assert_eq!(
+                decode_chunked(&stream, chunk, DEFAULT_MAX_FRAME),
+                bodies,
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_split_across_length_prefix() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abc", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut stream, b"defg", DEFAULT_MAX_FRAME).unwrap();
+        // Cut inside the second frame's length prefix (byte 7 + 2).
+        let cut = 4 + 3 + 2;
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut frames = Vec::new();
+        decoder
+            .feed(&stream[..cut], |b| frames.push(b.to_vec()))
+            .unwrap();
+        assert_eq!(frames, vec![b"abc".to_vec()]);
+        assert!(!decoder.is_aligned(), "mid-prefix is not a boundary");
+        decoder
+            .feed(&stream[cut..], |b| frames.push(b.to_vec()))
+            .unwrap();
+        assert_eq!(frames, vec![b"abc".to_vec(), b"defg".to_vec()]);
+        assert!(decoder.is_aligned());
+    }
+
+    #[test]
+    fn incremental_decoder_poisons_on_hostile_length() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"fine", 64).unwrap();
+        stream.extend_from_slice(&(65u32).to_be_bytes()); // over cap
+        stream.extend_from_slice(&[0u8; 65]);
+        let mut decoder = FrameDecoder::new(64);
+        let mut frames = Vec::new();
+        let err = decoder
+            .feed(&stream, |b| frames.push(b.to_vec()))
+            .unwrap_err();
+        assert_eq!(err, WireError::Corrupt("frame length"));
+        assert_eq!(frames, vec![b"fine".to_vec()], "good prefix still decoded");
+        // Once poisoned, always poisoned — even for valid input.
+        let mut good = Vec::new();
+        write_frame(&mut good, b"later", 64).unwrap();
+        assert!(decoder.feed(&good, |_| {}).is_err());
+        assert!(!decoder.is_aligned());
     }
 
     #[test]

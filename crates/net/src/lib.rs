@@ -8,12 +8,16 @@
 //!   [`PbftMsg`](curb_consensus::PbftMsg) (reusing the primitive
 //!   layout of `curb_chain::codec`) plus u32-length-prefixed framing
 //!   with an explicit max-frame-size and total, panic-free decoding;
-//! * [`Transport`] — the channel abstraction, with two
+//! * [`Transport`] — the channel abstraction, with three
 //!   implementations: [`TcpTransport`] (per-peer writer threads,
 //!   reader threads feeding one event queue, version/peer-id
-//!   handshake, capped exponential backoff reconnect) and
-//!   [`LoopbackTransport`] (in-memory, deterministic, still
-//!   round-trips every message through the codec);
+//!   handshake, capped exponential backoff reconnect),
+//!   [`ReactorTransport`] (same wire protocol, but every socket
+//!   multiplexed nonblocking onto **one** epoll event loop — the
+//!   scalable choice, selected with `--transport reactor` in the
+//!   benches and tests) and [`LoopbackTransport`] (in-memory,
+//!   deterministic, still round-trips every message through the
+//!   codec);
 //! * [`NetRunner`] — the batch-first event loop that owns a
 //!   [`Replica`](curb_consensus::Replica) over
 //!   [`Batch`](curb_consensus::Batch)ed payloads: it coalesces queued
@@ -56,18 +60,24 @@
 //! # for h in handles { h.join(); }
 //! ```
 
-#![forbid(unsafe_code)]
+// Everything except the epoll syscall shim is safe code; `sys` is the
+// single, audited exception (raw fds + a handful of libc externs).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;
+mod reactor;
 mod runner;
+#[allow(unsafe_code)]
+mod sys;
 mod tcp;
 mod transport;
 
 pub use frame::{
-    decode_msg, encode_msg, encode_msg_into, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,
-    MAX_CERT_VOTERS, MAX_STATE_ENTRIES,
+    decode_msg, encode_msg, encode_msg_into, read_frame, write_frame, FrameDecoder, WireError,
+    DEFAULT_MAX_FRAME, MAX_CERT_VOTERS, MAX_STATE_ENTRIES,
 };
+pub use reactor::{ReactorConfig, ReactorTransport};
 pub use runner::{Delivery, NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
-pub use tcp::{PeerManager, TcpConfig, TcpTransport, HANDSHAKE_MAGIC};
-pub use transport::{LoopbackTransport, NetEvent, Transport};
+pub use tcp::{PeerManager, TcpConfig, TcpTransport, HANDSHAKE_LEN, HANDSHAKE_MAGIC};
+pub use transport::{LoopbackTransport, NetEvent, Transport, TransportKind};

@@ -1,0 +1,1467 @@
+//! Poll-based reactor transport: thousands of peers, one event loop.
+//!
+//! [`TcpTransport`](crate::TcpTransport) spends two OS threads per
+//! peer (a reader and a writer), which caps a replica at a few hundred
+//! connections and makes per-message cost dominated by wakeups and
+//! context switches. [`ReactorTransport`] runs the same wire protocol
+//! — identical frames, identical 24-byte handshake, identical
+//! unidirectional-connection model — on **one** reactor thread that
+//! owns every socket in nonblocking mode behind a raw epoll shim
+//! ([`crate::sys`]):
+//!
+//! * **Reads** go through the incremental
+//!   [`FrameDecoder`](crate::frame::FrameDecoder): whatever bytes a
+//!   nonblocking read returns are consumed into complete frames, with
+//!   partial frames buffered across wakeups.
+//! * **Writes** drain per-peer outbound rings into one coalesced burst
+//!   (up to [`ReactorConfig::coalesce_bytes`]) per writable socket —
+//!   level-triggered `EPOLLOUT` is armed only while a peer has
+//!   pending bytes, so an idle cluster generates no wakeups at all.
+//! * **Backpressure** is a per-peer byte watermark
+//!   ([`ReactorConfig::high_watermark`]): a ring pushed past the high
+//!   mark is emptied, the drops are counted
+//!   (`net.backpressure_drops`), and the peer's connection is torn
+//!   down and re-dialed — a peer too slow to drain a full ring is
+//!   better served by a fresh connection than an ever-growing queue.
+//! * **Reconnects** reuse the capped-exponential-backoff policy of the
+//!   threaded transport, but as timer events on a coarse timing wheel
+//!   that also bounds the `epoll_wait` timeout — no sleeping threads.
+//!
+//! The runner talks to the reactor through the same [`Transport`]
+//! trait, so [`crate::NetRunner`] is oblivious to which transport it
+//! drives. Each transport costs exactly one networking thread; a
+//! process hosting many replicas (or, later, many per-group peer
+//! sets) scales by sharding peers across additional reactors rather
+//! than by spawning per-connection threads — the event loop itself is
+//! deliberately free of cross-thread state beyond the outbound rings.
+//!
+//! Observability: `net.poll_wait_ns` (time blocked in `epoll_wait`),
+//! `net.events_per_wake` (readiness batch size), `net.ready_queue_depth`
+//! (decoded events queued to the runner), `net.backpressure_drops`,
+//! plus the `net.encode_ns`/`net.read_ns`/`net.write_ns`/
+//! `net.queue_depth`/`net.reconnects` families shared with the
+//! threaded transport.
+
+use crate::frame::{append_frame, decode_msg, encode_msg_into, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::sys::{self, Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::tcp::{encode_hello, validate_hello, HANDSHAKE_LEN};
+use crate::transport::{NetEvent, Transport};
+use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
+use curb_telemetry::{Counter, Gauge, HistogramHandle, Registry};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ReactorTransport`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Maximum frame body size accepted or sent.
+    pub max_frame: usize,
+    /// First reconnect delay after a failed dial or dropped connection.
+    pub backoff_base: Duration,
+    /// Cap on the exponential reconnect delay.
+    pub backoff_max: Duration,
+    /// How long a nonblocking connect may sit half-open before the
+    /// attempt is abandoned and rescheduled with backoff.
+    pub dial_timeout: Duration,
+    /// Per-peer outbound ring watermark in bytes. Pushing a ring past
+    /// this mark empties it, counts the drops and tears the peer's
+    /// connection down for a fresh reconnect.
+    pub high_watermark: usize,
+    /// Write coalescing limit: pending frames are drained into one
+    /// contiguous burst of at most this many bytes per write wakeup.
+    pub coalesce_bytes: usize,
+    /// Timing-wheel slot granularity; timer deadlines are exact, the
+    /// granularity only bounds how early the wheel re-checks them.
+    pub tick: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(2),
+            dial_timeout: Duration::from_millis(500),
+            high_watermark: 8 << 20,
+            coalesce_bytes: 256 << 10,
+            tick: Duration::from_millis(4),
+        }
+    }
+}
+
+/// Number of slots in the timing wheel. With the default 4 ms tick the
+/// wheel spans ~2 s — one full lap covers the default `backoff_max`;
+/// longer deadlines park in the furthest slot and re-insert on expiry.
+const WHEEL_SLOTS: usize = 512;
+
+/// What a timer firing means to the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    /// Attempt a fresh dial to `peer` (scheduled with backoff).
+    Redial { peer: usize },
+    /// Abandon `peer`'s half-open connect if attempt `generation` is
+    /// still the current one.
+    DialDeadline { peer: usize, generation: u64 },
+}
+
+struct Timer {
+    deadline: Instant,
+    kind: TimerKind,
+}
+
+/// A coarse single-level timing wheel. Deadlines are kept exact inside
+/// each slot; the wheel only decides *when to look*, so a timer beyond
+/// the wheel's span is parked in the furthest slot and re-inserted
+/// when the cursor reaches it.
+struct TimerWheel {
+    slots: Vec<Vec<Timer>>,
+    granularity: Duration,
+    /// Start time of the slot under the cursor.
+    cursor_time: Instant,
+    cursor: usize,
+    len: usize,
+}
+
+impl TimerWheel {
+    fn new(granularity: Duration, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            cursor_time: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn schedule(&mut self, deadline: Instant, kind: TimerKind) {
+        let offset = (deadline
+            .saturating_duration_since(self.cursor_time)
+            .as_nanos()
+            / self.granularity.as_nanos()) as usize;
+        let slot = (self.cursor + offset.min(WHEEL_SLOTS - 1)) % WHEEL_SLOTS;
+        self.slots[slot].push(Timer { deadline, kind });
+        self.len += 1;
+    }
+
+    /// Milliseconds until the earliest scheduled timer could fire, or
+    /// `None` when the wheel is empty. Approximate from above only for
+    /// beyond-span timers (which re-insert on inspection).
+    fn next_timeout_ms(&self, now: Instant) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        for i in 0..WHEEL_SLOTS {
+            let slot = &self.slots[(self.cursor + i) % WHEEL_SLOTS];
+            if let Some(earliest) = slot.iter().map(|t| t.deadline).min() {
+                let wait = earliest.saturating_duration_since(now);
+                // Round up so we never wake a full tick early forever.
+                return Some(wait.as_millis() as u64 + 1);
+            }
+        }
+        None
+    }
+
+    /// Moves the cursor up to `now`, pushing every due timer into
+    /// `expired` (in wheel order) and re-inserting parked timers whose
+    /// deadline is still ahead.
+    fn advance(&mut self, now: Instant, expired: &mut Vec<TimerKind>) {
+        let mut reinsert: Vec<Timer> = Vec::new();
+        loop {
+            let slot_end = self.cursor_time + self.granularity;
+            let slot_past = slot_end <= now;
+            let slot = &mut self.slots[self.cursor];
+            if slot_past {
+                for t in slot.drain(..) {
+                    self.len -= 1;
+                    if t.deadline <= now {
+                        expired.push(t.kind);
+                    } else {
+                        reinsert.push(t);
+                    }
+                }
+                self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+                self.cursor_time = slot_end;
+            } else {
+                // Current slot: fire only what is already due.
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].deadline <= now {
+                        expired.push(slot.swap_remove(i).kind);
+                        self.len -= 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                break;
+            }
+        }
+        for t in reinsert {
+            self.schedule(t.deadline, t.kind);
+        }
+    }
+}
+
+/// Reactor metric handles (`net.*` names). Latency histograms sample
+/// only while telemetry is enabled; gauges and counters are relaxed
+/// atomics and always on.
+#[derive(Clone)]
+struct ReactorMetrics {
+    encode_ns: HistogramHandle,
+    write_ns: HistogramHandle,
+    read_ns: HistogramHandle,
+    /// Time the reactor spent blocked in `epoll_wait`.
+    poll_wait_ns: HistogramHandle,
+    /// Readiness events delivered per `epoll_wait` return.
+    events_per_wake: HistogramHandle,
+    /// Frames currently queued across all outbound rings.
+    queue_depth: Gauge,
+    /// Decoded events queued to the runner and not yet consumed.
+    ready_depth: Gauge,
+    /// Frames dropped because a ring crossed its high watermark.
+    backpressure_drops: Counter,
+    /// Outbound connections re-established after a drop.
+    reconnects: Counter,
+}
+
+impl ReactorMetrics {
+    fn new(registry: &Registry) -> Self {
+        ReactorMetrics {
+            encode_ns: registry.histogram("net.encode_ns"),
+            write_ns: registry.histogram("net.write_ns"),
+            read_ns: registry.histogram("net.read_ns"),
+            poll_wait_ns: registry.histogram("net.poll_wait_ns"),
+            events_per_wake: registry.histogram("net.events_per_wake"),
+            queue_depth: registry.gauge("net.queue_depth"),
+            ready_depth: registry.gauge("net.ready_queue_depth"),
+            backpressure_drops: registry.counter("net.backpressure_drops"),
+            reconnects: registry.counter("net.reconnects"),
+        }
+    }
+}
+
+/// One peer's outbound ring: encoded frames waiting for the reactor to
+/// put them on the wire. Lock order: a ring lock is always the
+/// innermost lock and never held across a syscall other than the
+/// nonblocking wake write.
+struct Ring {
+    frames: VecDeque<Arc<[u8]>>,
+    bytes: usize,
+    /// Set by the sender when the watermark was crossed; the reactor
+    /// answers by tearing the connection down for a fresh start.
+    overflowed: bool,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            frames: VecDeque::new(),
+            bytes: 0,
+            overflowed: false,
+        }
+    }
+}
+
+/// State shared between the runner-facing handle and the reactor
+/// thread.
+struct Shared {
+    rings: Vec<Mutex<Ring>>,
+    /// Peers whose ring changed since the reactor last looked.
+    dirty: Mutex<Vec<usize>>,
+    /// Whether a wake byte is already in flight (dedupes wake writes).
+    wake_pending: AtomicBool,
+    shutdown: AtomicBool,
+    connected: Vec<AtomicBool>,
+    /// Frames dropped: oversize at encode time or watermark overflow.
+    dropped: AtomicUsize,
+}
+
+/// Reserved epoll token: the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Reserved epoll token: the wake pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Reads per connection per wakeup before yielding to other sockets.
+const MAX_READS_PER_CONN: usize = 16;
+
+/// One registered connection inside the reactor.
+enum Conn {
+    /// Outbound connect in flight (`EINPROGRESS`); completion or
+    /// failure arrives as `EPOLLOUT`/`EPOLLERR`.
+    OutConnecting {
+        peer: usize,
+        stream: TcpStream,
+        generation: u64,
+    },
+    /// Established outbound connection. `wbuf[wpos..]` is the burst
+    /// currently going out (handshake first, then coalesced frames).
+    OutUp {
+        peer: usize,
+        stream: TcpStream,
+        wbuf: Vec<u8>,
+        wpos: usize,
+        /// Whether `EPOLLOUT` is currently registered.
+        armed: bool,
+    },
+    /// Inbound connection still reading its 24-byte handshake.
+    InHandshake {
+        stream: TcpStream,
+        hello: [u8; HANDSHAKE_LEN],
+        got: usize,
+    },
+    /// Inbound connection past the handshake, decoding frames.
+    InPeer {
+        stream: TcpStream,
+        from: ReplicaId,
+        decoder: FrameDecoder,
+    },
+}
+
+impl Conn {
+    fn fd(&self) -> i32 {
+        match self {
+            Conn::OutConnecting { stream, .. }
+            | Conn::OutUp { stream, .. }
+            | Conn::InHandshake { stream, .. }
+            | Conn::InPeer { stream, .. } => stream.as_raw_fd(),
+        }
+    }
+}
+
+/// The reactor thread: owns the epoll instance, every socket, the
+/// timing wheel and the connection slab.
+struct Reactor<P> {
+    id: ReplicaId,
+    n: usize,
+    cfg: ReactorConfig,
+    epoll: Epoll,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    shared: Arc<Shared>,
+    events_tx: Sender<NetEvent<P>>,
+    addrs: Vec<SocketAddr>,
+    /// Connection slab; epoll tokens are indices into it.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Per peer: token of its outbound connection, in any state.
+    out_token: Vec<Option<usize>>,
+    /// Per peer: next reconnect delay (doubles up to `backoff_max`).
+    backoff: Vec<Duration>,
+    /// Per peer: dial-attempt counter; guards stale dial deadlines.
+    generation: Vec<u64>,
+    /// Per peer: whether a connection ever succeeded (so the first
+    /// connect is not counted as a reconnect).
+    ever_connected: Vec<bool>,
+    wheel: TimerWheel,
+    metrics: ReactorMetrics,
+    /// Scratch read buffer shared by all connections.
+    scratch: Vec<u8>,
+}
+
+impl<P: PayloadCodec + Send + 'static> Reactor<P> {
+    fn alloc(&mut self, conn: Conn) -> usize {
+        if let Some(token) = self.free.pop() {
+            self.conns[token] = Some(conn);
+            token
+        } else {
+            self.conns.push(Some(conn));
+            self.conns.len() - 1
+        }
+    }
+
+    /// Removes and drops a connection, deregistering it from epoll
+    /// first (closing the fd would deregister implicitly, but being
+    /// explicit keeps the interest set honest if a stream is ever
+    /// handed out of the slab).
+    fn release(&mut self, token: usize) {
+        if let Some(conn) = self.conns[token].take() {
+            let _ = self.epoll.delete(conn.fd());
+            self.free.push(token);
+        }
+    }
+
+    fn run(mut self) {
+        for peer in 0..self.n {
+            if peer != self.id {
+                self.start_dial(peer);
+            }
+        }
+        let mut events = vec![EpollEvent::default(); 256];
+        let mut expired: Vec<TimerKind> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            // Sleep exactly until the next timer could fire (capped so
+            // a missed wake can never wedge the loop for long).
+            let timeout = self
+                .wheel
+                .next_timeout_ms(Instant::now())
+                .unwrap_or(1000)
+                .min(1000) as i32;
+            let t_wait = curb_telemetry::enabled().then(Instant::now);
+            let nev = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            if let Some(t) = t_wait {
+                self.metrics
+                    .poll_wait_ns
+                    .record(t.elapsed().as_nanos() as u64);
+                self.metrics.events_per_wake.record(nev as u64);
+            }
+            for &ev in events.iter().take(nev) {
+                // Copy out of the (packed) event before matching.
+                let token = ev.data;
+                let ready = ev.events;
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.wake_ready(),
+                    token => self.conn_ready(token as usize, ready),
+                }
+            }
+            expired.clear();
+            self.wheel.advance(Instant::now(), &mut expired);
+            for kind in expired.drain(..) {
+                match kind {
+                    TimerKind::Redial { peer } => {
+                        if self.out_token[peer].is_none() {
+                            self.start_dial(peer);
+                        }
+                    }
+                    TimerKind::DialDeadline { peer, generation } => {
+                        self.dial_deadline(peer, generation);
+                    }
+                }
+            }
+        }
+        // Dropping the slab, listener and epoll closes every fd, so
+        // the listening port is free the moment the thread exits.
+    }
+
+    // ---------------------------------------------------------------
+    // Outbound side: dial → handshake → coalesced bursts.
+    // ---------------------------------------------------------------
+
+    fn start_dial(&mut self, peer: usize) {
+        self.generation[peer] += 1;
+        let generation = self.generation[peer];
+        match sys::connect_nonblocking(&self.addrs[peer]) {
+            Ok((stream, immediate)) => {
+                let fd = stream.as_raw_fd();
+                let token = self.alloc(Conn::OutConnecting {
+                    peer,
+                    stream,
+                    generation,
+                });
+                self.out_token[peer] = Some(token);
+                if self.epoll.add(fd, EPOLLOUT, token as u64).is_err() {
+                    self.fail_dial(peer, token);
+                    return;
+                }
+                if immediate {
+                    self.finish_connect(token, peer);
+                } else {
+                    self.wheel.schedule(
+                        Instant::now() + self.cfg.dial_timeout,
+                        TimerKind::DialDeadline { peer, generation },
+                    );
+                }
+            }
+            Err(_) => self.schedule_redial(peer),
+        }
+    }
+
+    fn fail_dial(&mut self, peer: usize, token: usize) {
+        self.release(token);
+        self.out_token[peer] = None;
+        self.schedule_redial(peer);
+    }
+
+    fn schedule_redial(&mut self, peer: usize) {
+        let delay = self.backoff[peer];
+        self.backoff[peer] = (delay * 2).min(self.cfg.backoff_max);
+        self.wheel
+            .schedule(Instant::now() + delay, TimerKind::Redial { peer });
+    }
+
+    fn dial_deadline(&mut self, peer: usize, generation: u64) {
+        let Some(token) = self.out_token[peer] else {
+            return;
+        };
+        let stale = matches!(
+            &self.conns[token],
+            Some(Conn::OutConnecting { generation: g, .. }) if *g == generation
+        );
+        if stale {
+            self.fail_dial(peer, token);
+        }
+    }
+
+    /// Promotes a completed connect to an established connection: the
+    /// handshake bytes become the head of the write buffer and the
+    /// ring is drained behind them.
+    fn finish_connect(&mut self, token: usize, peer: usize) {
+        let Some(conn) = self.conns[token].take() else {
+            return;
+        };
+        let Conn::OutConnecting { stream, .. } = conn else {
+            self.conns[token] = Some(conn);
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        self.conns[token] = Some(Conn::OutUp {
+            peer,
+            stream,
+            wbuf: encode_hello(self.id, self.n).to_vec(),
+            wpos: 0,
+            armed: true,
+        });
+        self.backoff[peer] = self.cfg.backoff_base;
+        if self.ever_connected[peer] {
+            self.metrics.reconnects.inc();
+        }
+        self.ever_connected[peer] = true;
+        self.shared.connected[peer].store(true, Ordering::Relaxed);
+        self.flush_out(token);
+    }
+
+    /// Tears an outbound connection down and schedules a re-dial. Any
+    /// bytes in the in-flight burst are lost (at most one burst; PBFT
+    /// quorums tolerate the loss) — ring frames not yet drained into
+    /// the burst survive for the next connection.
+    fn teardown_out(&mut self, peer: usize) {
+        if let Some(token) = self.out_token[peer].take() {
+            self.release(token);
+        }
+        self.shared.connected[peer].store(false, Ordering::Relaxed);
+        self.schedule_redial(peer);
+    }
+
+    /// Writes as much pending outbound data to `token`'s socket as the
+    /// kernel will take, refilling the burst buffer from the peer's
+    /// ring (up to `coalesce_bytes`) whenever it drains. Arms
+    /// `EPOLLOUT` only while bytes remain — level-triggered readiness
+    /// demands disarming, or an idle writable socket spins the loop.
+    fn flush_out(&mut self, token: usize) {
+        let Some(Conn::OutUp { peer, .. }) = &self.conns[token] else {
+            return;
+        };
+        let peer = *peer;
+        loop {
+            // Refill the burst from the ring when it is fully written.
+            let mut drained: i64 = 0;
+            let mut overflowed = false;
+            {
+                let Some(Conn::OutUp { wbuf, wpos, .. }) = self.conns[token].as_mut() else {
+                    return;
+                };
+                if *wpos == wbuf.len() {
+                    wbuf.clear();
+                    *wpos = 0;
+                    let mut ring = self.shared.rings[peer].lock().expect("ring poisoned");
+                    if ring.overflowed {
+                        ring.overflowed = false;
+                        overflowed = true;
+                    } else {
+                        while wbuf.len() < self.cfg.coalesce_bytes {
+                            let Some(frame) = ring.frames.pop_front() else {
+                                break;
+                            };
+                            ring.bytes -= frame.len() + 4;
+                            append_frame(wbuf, &frame);
+                            drained += 1;
+                        }
+                    }
+                }
+            }
+            if overflowed {
+                // Watermark crossed while we were away: fresh start.
+                self.teardown_out(peer);
+                return;
+            }
+            if drained > 0 {
+                self.metrics.queue_depth.sub(drained);
+            }
+            let Some(Conn::OutUp {
+                stream,
+                wbuf,
+                wpos,
+                armed,
+                ..
+            }) = self.conns[token].as_mut()
+            else {
+                return;
+            };
+            if wbuf.is_empty() {
+                if *armed {
+                    *armed = false;
+                    let _ = self.epoll.modify(stream.as_raw_fd(), 0, token as u64);
+                }
+                return;
+            }
+            let t_write = curb_telemetry::enabled().then(Instant::now);
+            match stream.write(&wbuf[*wpos..]) {
+                Ok(0) => {
+                    self.teardown_out(peer);
+                    return;
+                }
+                Ok(written) => {
+                    *wpos += written;
+                    if let Some(t) = t_write {
+                        self.metrics.write_ns.record(t.elapsed().as_nanos() as u64);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !*armed {
+                        *armed = true;
+                        let _ = self
+                            .epoll
+                            .modify(stream.as_raw_fd(), EPOLLOUT, token as u64);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.teardown_out(peer);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Inbound side: accept → handshake → incremental frame decoding.
+    // ---------------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let fd = stream.as_raw_fd();
+                    let token = self.alloc(Conn::InHandshake {
+                        stream,
+                        hello: [0; HANDSHAKE_LEN],
+                        got: 0,
+                    });
+                    if self
+                        .epoll
+                        .add(fd, EPOLLIN | EPOLLRDHUP, token as u64)
+                        .is_err()
+                    {
+                        self.release(token);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Services readiness on an inbound connection: reads until
+    /// `WouldBlock` (bounded for fairness), feeding bytes through the
+    /// handshake validator and then the incremental frame decoder.
+    fn in_ready(&mut self, token: usize) {
+        // The connection is taken out of the slab while being
+        // serviced so the event channel and metrics can be borrowed
+        // freely; it is put back unless it closed.
+        let Some(mut conn) = self.conns[token].take() else {
+            return;
+        };
+        let mut close = false;
+        let mut peer_down: Option<ReplicaId> = None;
+        'reads: for _ in 0..MAX_READS_PER_CONN {
+            let stream = match &mut conn {
+                Conn::InHandshake { stream, .. } | Conn::InPeer { stream, .. } => stream,
+                _ => break,
+            };
+            let read = match stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    close = true;
+                    break;
+                }
+                Ok(read) => read,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            };
+            let mut chunk = 0usize;
+            // Handshake first; any bytes after it fall through to the
+            // frame decoder in the same pass.
+            if let Conn::InHandshake { hello, got, .. } = &mut conn {
+                let take = (HANDSHAKE_LEN - *got).min(read);
+                hello[*got..*got + take].copy_from_slice(&self.scratch[..take]);
+                *got += take;
+                chunk = take;
+                if *got < HANDSHAKE_LEN {
+                    continue;
+                }
+                let Some(from) = validate_hello(hello, self.n) else {
+                    // Bad magic/id/group: close before any frame, and
+                    // without a PeerDown (no PeerUp was sent).
+                    close = true;
+                    break;
+                };
+                conn = match conn {
+                    Conn::InHandshake { stream, .. } => {
+                        self.send_event(NetEvent::PeerUp(from));
+                        Conn::InPeer {
+                            stream,
+                            from,
+                            decoder: FrameDecoder::new(self.cfg.max_frame),
+                        }
+                    }
+                    other => other,
+                };
+            }
+            if let Conn::InPeer { from, decoder, .. } = &mut conn {
+                let from = *from;
+                let t_read = curb_telemetry::enabled().then(Instant::now);
+                let mut decoded = 0u64;
+                let events_tx = &self.events_tx;
+                let ready_depth = &self.metrics.ready_depth;
+                let fed = decoder.feed(&self.scratch[chunk..read], |body| {
+                    // A malformed body is dropped but the connection
+                    // survives: framing is still intact.
+                    if let Ok(msg) = decode_msg::<P>(body) {
+                        decoded += 1;
+                        if events_tx.send(NetEvent::Inbound { from, msg }).is_ok() {
+                            ready_depth.add(1);
+                        }
+                    }
+                });
+                if let (Some(t), true) = (t_read, decoded > 0) {
+                    // Amortised read+decode cost per decoded frame.
+                    let per_frame = t.elapsed().as_nanos() as u64 / decoded;
+                    for _ in 0..decoded {
+                        self.metrics.read_ns.record(per_frame);
+                    }
+                }
+                if fed.is_err() {
+                    // Hostile length prefix: the stream can never
+                    // re-align, drop the connection.
+                    peer_down = Some(from);
+                    close = true;
+                    break 'reads;
+                }
+            }
+        }
+        if close {
+            if peer_down.is_none() {
+                if let Conn::InPeer { from, .. } = &conn {
+                    peer_down = Some(*from);
+                }
+            }
+            let _ = self.epoll.delete(conn.fd());
+            drop(conn);
+            self.free.push(token);
+            if let Some(from) = peer_down {
+                self.send_event(NetEvent::PeerDown(from));
+            }
+        } else {
+            self.conns[token] = Some(conn);
+        }
+    }
+
+    fn send_event(&self, event: NetEvent<P>) {
+        if self.events_tx.send(event).is_ok() {
+            self.metrics.ready_depth.add(1);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Dispatch.
+    // ---------------------------------------------------------------
+
+    fn conn_ready(&mut self, token: usize, ready: u32) {
+        enum Action {
+            FailDial(usize),
+            CheckConnect(usize),
+            Teardown(usize),
+            Flush,
+            Read,
+            Nothing,
+        }
+        let action = match self.conns.get(token).and_then(|c| c.as_ref()) {
+            Some(Conn::OutConnecting { peer, .. }) => {
+                if ready & (EPOLLERR | EPOLLHUP) != 0 {
+                    Action::FailDial(*peer)
+                } else if ready & EPOLLOUT != 0 {
+                    Action::CheckConnect(*peer)
+                } else {
+                    Action::Nothing
+                }
+            }
+            Some(Conn::OutUp { peer, .. }) => {
+                if ready & (EPOLLERR | EPOLLHUP) != 0 {
+                    Action::Teardown(*peer)
+                } else if ready & EPOLLOUT != 0 {
+                    Action::Flush
+                } else {
+                    Action::Nothing
+                }
+            }
+            // Readable, peer-closed and error cases all funnel through
+            // the read loop, which sees EOF/errors itself.
+            Some(Conn::InHandshake { .. } | Conn::InPeer { .. }) => Action::Read,
+            None => Action::Nothing,
+        };
+        match action {
+            Action::FailDial(peer) => self.fail_dial(peer, token),
+            Action::CheckConnect(peer) => {
+                // Connect resolved: SO_ERROR says which way.
+                let result = match &self.conns[token] {
+                    Some(Conn::OutConnecting { stream, .. }) => stream.take_error(),
+                    _ => return,
+                };
+                match result {
+                    Ok(None) => self.finish_connect(token, peer),
+                    Ok(Some(_)) | Err(_) => self.fail_dial(peer, token),
+                }
+            }
+            Action::Teardown(peer) => self.teardown_out(peer),
+            Action::Flush => self.flush_out(token),
+            Action::Read => self.in_ready(token),
+            Action::Nothing => {}
+        }
+    }
+
+    /// Drains the wake pipe and services every dirty ring: overflow
+    /// tears the peer's connection down, fresh frames are flushed
+    /// directly (the hot path writes from the wake, not from a second
+    /// `EPOLLOUT` round trip).
+    fn wake_ready(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        self.shared.wake_pending.store(false, Ordering::SeqCst);
+        let dirty = {
+            let mut dirty = self.shared.dirty.lock().expect("dirty list poisoned");
+            std::mem::take(&mut *dirty)
+        };
+        for peer in dirty {
+            let overflowed = {
+                let ring = self.shared.rings[peer].lock().expect("ring poisoned");
+                ring.overflowed
+            };
+            match self.out_token[peer] {
+                Some(token) if overflowed => {
+                    self.shared.rings[peer]
+                        .lock()
+                        .expect("ring poisoned")
+                        .overflowed = false;
+                    if matches!(self.conns[token], Some(Conn::OutUp { .. })) {
+                        self.teardown_out(peer);
+                    }
+                }
+                Some(token) => {
+                    if matches!(self.conns[token], Some(Conn::OutUp { .. })) {
+                        self.flush_out(token);
+                    }
+                }
+                None if overflowed => {
+                    // Not connected: the ring was already emptied; the
+                    // pending redial is the reconnect.
+                    self.shared.rings[peer]
+                        .lock()
+                        .expect("ring poisoned")
+                        .overflowed = false;
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// A [`Transport`] over real TCP sockets, multiplexed by one epoll
+/// reactor thread instead of two threads per peer.
+///
+/// Wire-compatible with [`crate::TcpTransport`] — same frames, same
+/// handshake, same unidirectional connections — so the two transports
+/// interoperate in a mixed cluster. Bind each replica with
+/// [`ReactorTransport::bind`], giving every replica the same ordered
+/// list of peer addresses (index = replica id).
+pub struct ReactorTransport<P> {
+    id: ReplicaId,
+    n: usize,
+    cfg: ReactorConfig,
+    shared: Arc<Shared>,
+    wake_tx: UnixStream,
+    events: Mutex<Receiver<NetEvent<P>>>,
+    encode_buf: Mutex<Vec<u8>>,
+    metrics: ReactorMetrics,
+    thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+    registry: Registry,
+}
+
+impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
+    /// Starts the reactor transport for replica `id` on `listener`.
+    ///
+    /// `peer_addrs[i]` must be where replica `i` listens;
+    /// `peer_addrs[id]` is this replica's own address. The reactor
+    /// begins dialing peers immediately; peers that are not up yet are
+    /// retried with capped exponential backoff off the timer wheel.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from configuring the listener, the epoll
+    /// instance or the wake pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= peer_addrs.len()`.
+    pub fn bind(
+        id: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        cfg: ReactorConfig,
+    ) -> io::Result<ReactorTransport<P>> {
+        Self::bind_with_registry(id, listener, peer_addrs, cfg, Registry::new())
+    }
+
+    /// Like [`ReactorTransport::bind`], but publishes the reactor's
+    /// metrics into the caller's `registry` — share one registry with
+    /// [`NetRunner::spawn_with_registry`] to see runner and transport
+    /// metrics side by side.
+    ///
+    /// [`NetRunner::spawn_with_registry`]: crate::NetRunner::spawn_with_registry
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from configuring the listener, the epoll
+    /// instance or the wake pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= peer_addrs.len()`.
+    pub fn bind_with_registry(
+        id: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        cfg: ReactorConfig,
+        registry: Registry,
+    ) -> io::Result<ReactorTransport<P>> {
+        assert!(id < peer_addrs.len(), "replica id out of range");
+        let n = peer_addrs.len();
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+        let metrics = ReactorMetrics::new(&registry);
+        let shared = Arc::new(Shared {
+            rings: (0..n).map(|_| Mutex::new(Ring::new())).collect(),
+            dirty: Mutex::new(Vec::new()),
+            wake_pending: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            connected: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            dropped: AtomicUsize::new(0),
+        });
+        let (events_tx, events_rx) = channel();
+        let now = Instant::now();
+        let reactor = Reactor {
+            id,
+            n,
+            cfg: cfg.clone(),
+            epoll,
+            listener,
+            wake_rx,
+            shared: Arc::clone(&shared),
+            events_tx,
+            addrs: peer_addrs,
+            conns: Vec::new(),
+            free: Vec::new(),
+            out_token: vec![None; n],
+            backoff: vec![cfg.backoff_base; n],
+            generation: vec![0; n],
+            ever_connected: vec![false; n],
+            wheel: TimerWheel::new(cfg.tick, now),
+            metrics: metrics.clone(),
+            scratch: vec![0u8; 64 << 10],
+        };
+        let thread = thread::Builder::new()
+            .name(format!("curb-net-reactor-{id}"))
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
+        Ok(ReactorTransport {
+            id,
+            n,
+            cfg,
+            shared,
+            wake_tx,
+            events: Mutex::new(events_rx),
+            encode_buf: Mutex::new(Vec::with_capacity(4 << 10)),
+            metrics,
+            thread: Some(thread),
+            local_addr,
+            registry,
+        })
+    }
+
+    /// The registry this transport publishes its metrics into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The address this transport's listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Peers with an established outbound connection right now.
+    pub fn connected_peers(&self) -> usize {
+        self.shared
+            .connected
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Frames dropped since startup: encode-time oversize plus
+    /// watermark overflow.
+    pub fn dropped_frames(&self) -> usize {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Encodes `msg` once into a frame body all peer rings can share.
+    fn encode_shared(&self, msg: &PbftMsg<P>) -> Option<Arc<[u8]>> {
+        let t_encode = curb_telemetry::enabled().then(Instant::now);
+        let mut buf = self.encode_buf.lock().expect("encode buffer poisoned");
+        buf.clear();
+        encode_msg_into(msg, &mut buf);
+        if buf.len() > self.cfg.max_frame {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let frame: Arc<[u8]> = Arc::from(buf.as_slice());
+        if let Some(t) = t_encode {
+            self.metrics.encode_ns.record(t.elapsed().as_nanos() as u64);
+        }
+        Some(frame)
+    }
+
+    /// Queues `frame` on `to`'s ring, applying the watermark, and
+    /// wakes the reactor when it needs to look.
+    fn enqueue(&self, to: ReplicaId, frame: Arc<[u8]>) {
+        if to == self.id || to >= self.n {
+            return;
+        }
+        let wire_len = frame.len() + 4;
+        let notify = {
+            let mut ring = self.shared.rings[to].lock().expect("ring poisoned");
+            if ring.bytes + wire_len > self.cfg.high_watermark {
+                // Watermark crossed: empty the ring, count every
+                // casualty and ask the reactor for a fresh connection.
+                let casualties = (ring.frames.len() + 1) as u64;
+                self.metrics.queue_depth.sub(ring.frames.len() as i64);
+                ring.frames.clear();
+                ring.bytes = 0;
+                ring.overflowed = true;
+                self.shared
+                    .dropped
+                    .fetch_add(casualties as usize, Ordering::Relaxed);
+                self.metrics.backpressure_drops.add(casualties);
+                true
+            } else {
+                let was_empty = ring.frames.is_empty();
+                ring.frames.push_back(frame);
+                ring.bytes += wire_len;
+                self.metrics.queue_depth.add(1);
+                was_empty
+            }
+        };
+        if notify {
+            self.shared
+                .dirty
+                .lock()
+                .expect("dirty list poisoned")
+                .push(to);
+            self.wake();
+        }
+    }
+
+    /// Wakes the reactor thread, deduplicating the wake byte.
+    fn wake(&self) {
+        if !self.shared.wake_pending.swap(true, Ordering::SeqCst) {
+            // A full pipe still wakes the reactor; the byte loss is
+            // harmless because one is already buffered.
+            let _ = (&self.wake_tx).write(&[1]);
+        }
+    }
+}
+
+impl<P: PayloadCodec + Send + 'static> Transport<P> for ReactorTransport<P> {
+    fn local_id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn group_size(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, to: ReplicaId, msg: &PbftMsg<P>) {
+        if to == self.id {
+            return;
+        }
+        if let Some(frame) = self.encode_shared(msg) {
+            self.enqueue(to, frame);
+        }
+    }
+
+    fn broadcast(&self, msg: &PbftMsg<P>) {
+        // Encode once; all n-1 peer rings share the same bytes.
+        let Some(frame) = self.encode_shared(msg) else {
+            return;
+        };
+        for to in 0..self.n {
+            if to != self.id {
+                self.enqueue(to, Arc::clone(&frame));
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<NetEvent<P>> {
+        let event = self
+            .events
+            .lock()
+            .expect("event queue poisoned")
+            .recv_timeout(timeout)
+            .ok();
+        if event.is_some() {
+            self.metrics.ready_depth.sub(1);
+        }
+        event
+    }
+
+    fn try_recv(&self) -> Option<NetEvent<P>> {
+        let event = self
+            .events
+            .lock()
+            .expect("event queue poisoned")
+            .try_recv()
+            .ok();
+        if event.is_some() {
+            self.metrics.ready_depth.sub(1);
+        }
+        event
+    }
+
+    fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.wake();
+    }
+}
+
+impl<P> Drop for ReactorTransport<P> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if !self.shared.wake_pending.swap(true, Ordering::SeqCst) {
+            let _ = (&self.wake_tx).write(&[1]);
+        }
+        // Join the reactor so every socket (and the listening port) is
+        // closed by the time `drop` returns — a restarted replica can
+        // rebind immediately.
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+        // Frames still ringed at shutdown will never be written; drain
+        // them from the queue-depth gauge so it ends at zero.
+        for ring in self.shared.rings.iter() {
+            let mut ring = ring.lock().expect("ring poisoned");
+            self.metrics.queue_depth.sub(ring.frames.len() as i64);
+            ring.frames.clear();
+            ring.bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_consensus::{BytesPayload, Payload};
+
+    fn fast_cfg() -> ReactorConfig {
+        ReactorConfig {
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(100),
+            tick: Duration::from_millis(1),
+            ..ReactorConfig::default()
+        }
+    }
+
+    fn bind_group(n: usize, cfg: &ReactorConfig) -> Vec<ReactorTransport<BytesPayload>> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        listeners
+            .into_iter()
+            .enumerate()
+            .map(|(id, l)| {
+                ReactorTransport::bind(id, l, addrs.clone(), cfg.clone()).expect("bind transport")
+            })
+            .collect()
+    }
+
+    fn p(b: &[u8]) -> BytesPayload {
+        BytesPayload(b.to_vec())
+    }
+
+    #[test]
+    fn two_nodes_exchange_messages() {
+        let group = bind_group(2, &fast_cfg());
+        let payload = p(b"over epoll");
+        let msg = PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            digest: payload.digest(),
+            payload,
+        };
+        group[0].send(1, &msg);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match group[1].recv_timeout(Duration::from_millis(100)) {
+                Some(NetEvent::Inbound { from, msg: got }) => {
+                    assert_eq!(from, 0);
+                    assert_eq!(got, msg);
+                    break;
+                }
+                Some(NetEvent::PeerUp(0)) => continue,
+                other => assert!(
+                    Instant::now() < deadline,
+                    "timed out waiting for message, last event {other:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_peer() {
+        let group = bind_group(3, &fast_cfg());
+        let msg: PbftMsg<BytesPayload> = PbftMsg::Prepare {
+            view: 0,
+            seq: 7,
+            digest: p(b"x").digest(),
+        };
+        group[1].broadcast(&msg);
+        for r in [0usize, 2] {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match group[r].recv_timeout(Duration::from_millis(100)) {
+                    Some(NetEvent::Inbound { from: 1, msg: got }) => {
+                        assert_eq!(got, msg);
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => assert!(Instant::now() < deadline, "replica {r} never got broadcast"),
+                }
+            }
+        }
+        // Broadcast never loops back to the sender.
+        assert!(matches!(
+            group[1].recv_timeout(Duration::from_millis(50)),
+            None | Some(NetEvent::PeerUp(_))
+        ));
+    }
+
+    #[test]
+    fn dial_backoff_recovers_when_peer_comes_up_late() {
+        // Reserve an address, then release it so node 1 starts down.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let late_addr = placeholder.local_addr().expect("addr");
+        drop(placeholder);
+
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("addr"), late_addr];
+        let cfg = fast_cfg();
+        let t0: ReactorTransport<BytesPayload> =
+            ReactorTransport::bind(0, l0, addrs.clone(), cfg.clone()).expect("bind transport");
+
+        let d = p(b"x").digest();
+        t0.send(
+            1,
+            &PbftMsg::Prepare {
+                view: 0,
+                seq: 1,
+                digest: d,
+            },
+        );
+        // Let several dial attempts fail first.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(t0.connected_peers(), 0);
+
+        let l1 = TcpListener::bind(late_addr).expect("rebind late addr");
+        let t1: ReactorTransport<BytesPayload> =
+            ReactorTransport::bind(1, l1, addrs, cfg).expect("bind transport");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match t1.recv_timeout(Duration::from_millis(100)) {
+                Some(NetEvent::Inbound {
+                    from: 0,
+                    msg: PbftMsg::Prepare { .. },
+                }) => break,
+                _ => assert!(
+                    Instant::now() < deadline,
+                    "queued frame never arrived after peer came up"
+                ),
+            }
+        }
+        assert_eq!(t0.connected_peers(), 1);
+    }
+
+    /// A transport for replica 1 of a group of 2 whose peer 0 does not
+    /// exist, so the only inbound traffic is what the test injects.
+    fn lone_transport(cfg: ReactorConfig) -> ReactorTransport<BytesPayload> {
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead_addr = placeholder.local_addr().expect("addr");
+        drop(placeholder);
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![dead_addr, l1.local_addr().expect("addr")];
+        ReactorTransport::bind(1, l1, addrs, cfg).expect("bind transport")
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic_and_bad_ids() {
+        let t1 = lone_transport(fast_cfg());
+        let addr = t1.local_addr();
+
+        // Garbage magic: connection must be dropped without events.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"NOTCURB!\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0")
+            .expect("write");
+        // Out-of-range id.
+        let mut s2 = TcpStream::connect(addr).expect("connect");
+        s2.write_all(&encode_hello(7, 2)).expect("write");
+        // Wrong group size.
+        let mut s3 = TcpStream::connect(addr).expect("connect");
+        s3.write_all(&encode_hello(0, 5)).expect("write");
+
+        assert_eq!(t1.recv_timeout(Duration::from_millis(200)), None);
+    }
+
+    #[test]
+    fn oversized_frame_closes_connection() {
+        let t1 = lone_transport(ReactorConfig {
+            max_frame: 64,
+            ..fast_cfg()
+        });
+        let mut s = TcpStream::connect(t1.local_addr()).expect("connect");
+        s.write_all(&encode_hello(0, 2)).expect("write");
+        assert_eq!(
+            t1.recv_timeout(Duration::from_secs(2)),
+            Some(NetEvent::PeerUp(0))
+        );
+        s.write_all(&(1u32 << 20).to_be_bytes())
+            .expect("write length");
+        assert_eq!(
+            t1.recv_timeout(Duration::from_secs(2)),
+            Some(NetEvent::PeerDown(0))
+        );
+    }
+
+    #[test]
+    fn watermark_overflow_drops_and_counts() {
+        // Peer 1 never comes up, so frames pile into its ring until
+        // the tiny watermark trips.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead_addr = placeholder.local_addr().expect("addr");
+        drop(placeholder);
+        let l0 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![l0.local_addr().expect("addr"), dead_addr];
+        let cfg = ReactorConfig {
+            high_watermark: 256,
+            ..fast_cfg()
+        };
+        let registry = Registry::new();
+        let t0: ReactorTransport<BytesPayload> =
+            ReactorTransport::bind_with_registry(0, l0, addrs, cfg, registry.clone())
+                .expect("bind transport");
+        let payload = p(&[0xAB; 100]);
+        let msg = PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            digest: payload.digest(),
+            payload,
+        };
+        for _ in 0..8 {
+            t0.send(1, &msg);
+        }
+        assert!(
+            t0.dropped_frames() > 0,
+            "watermark must have tripped at least once"
+        );
+        assert!(
+            registry.counter("net.backpressure_drops").get() > 0,
+            "backpressure drops must be published to the registry"
+        );
+        // The gauge never exceeds what a ring may legally hold and
+        // always drains to zero with the transport.
+        drop(t0);
+        assert_eq!(registry.gauge("net.queue_depth").get(), 0);
+    }
+
+    #[test]
+    fn shutdown_frees_the_listening_port() {
+        let cfg = fast_cfg();
+        let group = bind_group(2, &cfg);
+        let addr = group[0].local_addr();
+        drop(group);
+        // The port must be rebindable immediately after drop.
+        TcpListener::bind(addr).expect("port released on drop");
+    }
+
+    #[test]
+    fn timer_wheel_orders_and_reinserts() {
+        let now = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(4), now);
+        assert_eq!(wheel.next_timeout_ms(now), None);
+        wheel.schedule(
+            now + Duration::from_millis(10),
+            TimerKind::Redial { peer: 1 },
+        );
+        wheel.schedule(
+            now + Duration::from_millis(3),
+            TimerKind::Redial { peer: 2 },
+        );
+        // A deadline far beyond the wheel span parks in the last slot.
+        wheel.schedule(now + Duration::from_secs(30), TimerKind::Redial { peer: 3 });
+        let timeout = wheel.next_timeout_ms(now).expect("not empty");
+        assert!(
+            timeout <= 5,
+            "earliest timer bounds the wait, got {timeout}"
+        );
+
+        let mut expired = Vec::new();
+        wheel.advance(now + Duration::from_millis(5), &mut expired);
+        assert_eq!(expired, vec![TimerKind::Redial { peer: 2 }]);
+        expired.clear();
+        wheel.advance(now + Duration::from_millis(20), &mut expired);
+        assert_eq!(expired, vec![TimerKind::Redial { peer: 1 }]);
+        // The far timer survives laps of the wheel without firing.
+        expired.clear();
+        wheel.advance(now + Duration::from_secs(5), &mut expired);
+        assert!(expired.is_empty(), "far timer must not fire early");
+        wheel.advance(now + Duration::from_secs(31), &mut expired);
+        assert_eq!(expired, vec![TimerKind::Redial { peer: 3 }]);
+        assert_eq!(wheel.next_timeout_ms(now), None, "wheel drained");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the incremental [`FrameDecoder`]: the reactor
+//! feeds it whatever byte spans nonblocking reads happen to return, so
+//! the decoder must produce the identical frame sequence under *every*
+//! chunking of the stream — including 1-byte reads and chunk
+//! boundaries that split the 4-byte length prefix — and must poison
+//! itself permanently the moment a hostile length prefix appears,
+//! no matter where in the stream (or mid-prefix) it lands.
+
+use curb_net::FrameDecoder;
+use proptest::prelude::*;
+
+/// Cap used throughout; small enough that hostile lengths are easy to
+/// construct, large enough for every generated frame.
+const MAX_FRAME: usize = 1 << 10;
+
+/// Encodes `bodies` as one contiguous length-prefixed stream.
+fn encode_stream(bodies: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for body in bodies {
+        stream.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        stream.extend_from_slice(body);
+    }
+    stream
+}
+
+/// Feeds `stream` to a fresh decoder in chunks whose sizes cycle
+/// through `cuts`, returning the decoded frames and the final decoder.
+fn decode_with_cuts(stream: &[u8], cuts: &[usize]) -> (Vec<Vec<u8>>, FrameDecoder) {
+    let mut decoder = FrameDecoder::new(MAX_FRAME);
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < stream.len() {
+        let take = cuts[i % cuts.len()].min(stream.len() - offset);
+        decoder
+            .feed(&stream[offset..offset + take], |frame| {
+                frames.push(frame.to_vec());
+            })
+            .expect("valid stream must decode");
+        offset += take;
+        i += 1;
+    }
+    (frames, decoder)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any chunking of a valid frame stream — adversarial cut sizes
+    /// from 1 byte up — decodes to exactly the encoded frame sequence,
+    /// and the decoder ends frame-aligned.
+    #[test]
+    fn any_chunking_decodes_identically(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8.., 0..200),
+            0..12,
+        ),
+        cuts in prop::collection::vec(1usize..40, 1..50),
+    ) {
+        let stream = encode_stream(&bodies);
+        let (frames, decoder) = decode_with_cuts(&stream, &cuts);
+        prop_assert_eq!(&frames, &bodies, "decoded frames differ from encoded");
+        prop_assert!(
+            decoder.is_aligned(),
+            "decoder must be frame-aligned after a whole stream"
+        );
+    }
+
+    /// Pure 1-byte reads — every length prefix split four ways — still
+    /// reconstruct the stream exactly.
+    #[test]
+    fn one_byte_reads_decode_identically(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8.., 0..64),
+            1..8,
+        ),
+    ) {
+        let stream = encode_stream(&bodies);
+        let (frames, decoder) = decode_with_cuts(&stream, &[1]);
+        prop_assert_eq!(&frames, &bodies);
+        prop_assert!(decoder.is_aligned());
+    }
+
+    /// A hostile length prefix planted after a run of valid frames
+    /// poisons the decoder at exactly that point, under any chunking:
+    /// every prior frame is delivered, the poisoned feed errors, and
+    /// the decoder refuses all further input.
+    #[test]
+    fn hostile_length_mid_stream_poisons_under_any_chunking(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8.., 0..100),
+            0..6,
+        ),
+        hostile_len in (MAX_FRAME as u32 + 1)..,
+        cuts in prop::collection::vec(1usize..16, 1..20),
+    ) {
+        let mut stream = encode_stream(&bodies);
+        stream.extend_from_slice(&hostile_len.to_be_bytes());
+        // Trailing garbage the decoder must never interpret.
+        stream.extend_from_slice(&[0xEE; 8]);
+
+        let mut decoder = FrameDecoder::new(MAX_FRAME);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut poisoned = false;
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < stream.len() {
+            let take = cuts[i % cuts.len()].min(stream.len() - offset);
+            let fed = decoder.feed(&stream[offset..offset + take], |frame| {
+                frames.push(frame.to_vec());
+            });
+            offset += take;
+            i += 1;
+            if fed.is_err() {
+                poisoned = true;
+                break;
+            }
+        }
+        prop_assert!(poisoned, "hostile length must surface as an error");
+        prop_assert_eq!(
+            &frames, &bodies,
+            "every frame before the hostile prefix must be delivered"
+        );
+        prop_assert!(!decoder.is_aligned(), "poisoned decoder is not aligned");
+        // Poisoning is permanent: even a perfectly valid frame is
+        // rejected afterwards.
+        let retry = decoder.feed(&encode_stream(&[vec![1, 2, 3]]), |_| {
+            panic!("poisoned decoder must not emit frames")
+        });
+        prop_assert!(retry.is_err(), "decoder must stay poisoned");
+    }
+}

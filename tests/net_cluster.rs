@@ -9,10 +9,16 @@
 //! via the timeout-driven view change. Fault-injection tests cover
 //! catch-up racing continuous batched load and a lying state server
 //! whose bad certificates must be rejected.
+//!
+//! Every socket-level scenario runs under **both** TCP transports —
+//! the thread-per-peer `TcpTransport` and the epoll `ReactorTransport`
+//! — via a [`TransportKind`] parameter; the test bodies are otherwise
+//! identical, which is the point: `NetRunner` cannot tell them apart.
 
 use curb::consensus::{Batch, Behavior, BytesPayload, Replica, Seq};
 use curb::net::{
-    Delivery, LoopbackTransport, NetRunner, RunnerConfig, RunnerHandle, TcpConfig, TcpTransport,
+    Delivery, LoopbackTransport, NetRunner, ReactorConfig, ReactorTransport, RunnerConfig,
+    RunnerHandle, TcpConfig, TcpTransport, TransportKind,
 };
 use std::net::{SocketAddr, TcpListener};
 use std::sync::mpsc::RecvTimeoutError;
@@ -54,6 +60,15 @@ fn fast_tcp_cfg() -> TcpConfig {
     }
 }
 
+fn fast_reactor_cfg() -> ReactorConfig {
+    ReactorConfig {
+        backoff_base: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(200),
+        tick: Duration::from_millis(2),
+        ..ReactorConfig::default()
+    }
+}
+
 fn bind_listeners(n: usize) -> (Vec<TcpListener>, Vec<SocketAddr>) {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
@@ -65,27 +80,43 @@ fn bind_listeners(n: usize) -> (Vec<TcpListener>, Vec<SocketAddr>) {
     (listeners, addrs)
 }
 
-fn spawn_tcp_replica(
+/// Spawns one replica over real sockets, on whichever transport
+/// implementation `kind` selects — the only line a test changes to run
+/// the exact same scenario over the threaded or the reactor transport.
+fn spawn_net_replica(
+    kind: TransportKind,
     id: usize,
     listener: TcpListener,
     addrs: &[SocketAddr],
     cfg: RunnerConfig,
 ) -> RunnerHandle<BytesPayload> {
-    spawn_tcp_replica_with(id, listener, addrs, cfg, Behavior::Honest)
+    spawn_net_replica_with(kind, id, listener, addrs, cfg, Behavior::Honest)
 }
 
-fn spawn_tcp_replica_with(
+fn spawn_net_replica_with(
+    kind: TransportKind,
     id: usize,
     listener: TcpListener,
     addrs: &[SocketAddr],
     cfg: RunnerConfig,
     behavior: Behavior,
 ) -> RunnerHandle<BytesPayload> {
-    let transport: TcpTransport<Batch<BytesPayload>> =
-        TcpTransport::bind(id, listener, addrs.to_vec(), fast_tcp_cfg()).expect("bind transport");
     let mut replica = Replica::new(id, addrs.len());
     replica.set_behavior(behavior);
-    NetRunner::spawn(replica, transport, cfg)
+    match kind {
+        TransportKind::Threaded => {
+            let transport: TcpTransport<Batch<BytesPayload>> =
+                TcpTransport::bind(id, listener, addrs.to_vec(), fast_tcp_cfg())
+                    .expect("bind transport");
+            NetRunner::spawn(replica, transport, cfg)
+        }
+        TransportKind::Reactor => {
+            let transport: ReactorTransport<Batch<BytesPayload>> =
+                ReactorTransport::bind(id, listener, addrs.to_vec(), fast_reactor_cfg())
+                    .expect("bind transport");
+            NetRunner::spawn(replica, transport, cfg)
+        }
+    }
 }
 
 fn spawn_loopback_cluster(n: usize, cfg: RunnerConfig) -> Vec<RunnerHandle<BytesPayload>> {
@@ -139,6 +170,15 @@ fn assert_logs_consistent(logs: &[Vec<Delivery<BytesPayload>>], count: usize) {
 
 #[test]
 fn loopback_and_tcp_clusters_commit_identically() {
+    loopback_vs_socket_body(TransportKind::Threaded);
+}
+
+#[test]
+fn loopback_and_reactor_clusters_commit_identically() {
+    loopback_vs_socket_body(TransportKind::Reactor);
+}
+
+fn loopback_vs_socket_body(kind: TransportKind) {
     const N: usize = 4;
     const PROPOSALS: usize = 100;
 
@@ -151,27 +191,27 @@ fn loopback_and_tcp_clusters_commit_identically() {
     }
     assert_logs_consistent(&loopback_logs, PROPOSALS);
 
-    // Real-TCP cluster, same proposals: the delivered payload sequence
-    // must be identical — the transport must not change what the
-    // replica code commits. (Batch boundaries, and therefore the exact
-    // (seq, index) identifiers, may differ between runs: batch
+    // Real-socket cluster, same proposals: the delivered payload
+    // sequence must be identical — the transport must not change what
+    // the replica code commits. (Batch boundaries, and therefore the
+    // exact (seq, index) identifiers, may differ between runs: batch
     // formation depends on arrival timing.)
     let (listeners, addrs) = bind_listeners(N);
-    let tcp: Vec<_> = listeners
+    let sockets: Vec<_> = listeners
         .into_iter()
         .enumerate()
-        .map(|(id, l)| spawn_tcp_replica(id, l, &addrs, RunnerConfig::default()))
+        .map(|(id, l)| spawn_net_replica(kind, id, l, &addrs, RunnerConfig::default()))
         .collect();
-    let tcp_logs = drive(&tcp, PROPOSALS);
-    for h in tcp {
+    let socket_logs = drive(&sockets, PROPOSALS);
+    for h in sockets {
         h.join();
     }
-    assert_logs_consistent(&tcp_logs, PROPOSALS);
+    assert_logs_consistent(&socket_logs, PROPOSALS);
     let payloads = |logs: &[Vec<Delivery<BytesPayload>>]| -> Vec<BytesPayload> {
         logs[0].iter().map(|d| d.payload.clone()).collect()
     };
     assert_eq!(
-        payloads(&tcp_logs),
+        payloads(&socket_logs),
         payloads(&loopback_logs),
         "transports must commit identical payload sequences"
     );
@@ -249,16 +289,33 @@ fn leaderless_cluster_commits_via_timeout_view_change() {
 
 #[test]
 fn tcp_cluster_survives_kill_and_reconnect() {
-    with_deadline(Duration::from_secs(180), tcp_kill_and_reconnect_body);
+    with_deadline(Duration::from_secs(180), || {
+        kill_and_reconnect_body(TransportKind::Threaded)
+    });
 }
 
-fn tcp_kill_and_reconnect_body() {
+#[test]
+fn reactor_cluster_survives_kill_and_reconnect() {
+    with_deadline(Duration::from_secs(180), || {
+        kill_and_reconnect_body(TransportKind::Reactor)
+    });
+}
+
+fn kill_and_reconnect_body(kind: TransportKind) {
     const N: usize = 4;
     let (listeners, addrs) = bind_listeners(N);
     let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
         .into_iter()
         .enumerate()
-        .map(|(id, l)| Some(spawn_tcp_replica(id, l, &addrs, RunnerConfig::default())))
+        .map(|(id, l)| {
+            Some(spawn_net_replica(
+                kind,
+                id,
+                l,
+                &addrs,
+                RunnerConfig::default(),
+            ))
+        })
         .collect();
 
     // Proposals are submitted one at a time and confirmed before the
@@ -294,7 +351,8 @@ fn tcp_kill_and_reconnect_body() {
     // state). Its listener port was freed when the old transport shut
     // down; peers reconnect via backoff.
     let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
-    handles[3] = Some(spawn_tcp_replica(
+    handles[3] = Some(spawn_net_replica(
+        kind,
         3,
         listener,
         &addrs,
@@ -337,13 +395,22 @@ fn tcp_kill_and_reconnect_body() {
 
 #[test]
 fn restarted_replica_catches_up_under_continuous_load() {
-    with_deadline(Duration::from_secs(180), catch_up_under_load_body);
+    with_deadline(Duration::from_secs(180), || {
+        catch_up_under_load_body(TransportKind::Threaded)
+    });
+}
+
+#[test]
+fn restarted_replica_catches_up_under_continuous_load_reactor() {
+    with_deadline(Duration::from_secs(180), || {
+        catch_up_under_load_body(TransportKind::Reactor)
+    });
 }
 
 /// Kills and restarts a replica while the cluster is under continuous
 /// batched load, so catch-up races live commits: by the time the first
 /// state chunk lands, new instances have already decided above it.
-fn catch_up_under_load_body() {
+fn catch_up_under_load_body(kind: TransportKind) {
     const N: usize = 4;
     const PHASE: usize = 100; // payloads per phase, 3 phases
     let cfg = RunnerConfig {
@@ -356,7 +423,7 @@ fn catch_up_under_load_body() {
     let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
         .into_iter()
         .enumerate()
-        .map(|(id, l)| Some(spawn_tcp_replica(id, l, &addrs, cfg.clone())))
+        .map(|(id, l)| Some(spawn_net_replica(kind, id, l, &addrs, cfg.clone())))
         .collect();
 
     let drain = |h: &RunnerHandle<BytesPayload>,
@@ -399,7 +466,7 @@ fn catch_up_under_load_body() {
     // Phase 3 — restart replica 3 and IMMEDIATELY pour on more load,
     // so its state transfer runs concurrently with live consensus.
     let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
-    handles[3] = Some(spawn_tcp_replica(3, listener, &addrs, cfg.clone()));
+    handles[3] = Some(spawn_net_replica(kind, 3, listener, &addrs, cfg.clone()));
     for i in 2 * PHASE..3 * PHASE {
         assert!(handles[0].as_ref().expect("leader").propose(payload(i)));
     }
@@ -436,7 +503,16 @@ fn catch_up_under_load_body() {
 
 #[test]
 fn lying_state_peer_is_rejected_and_another_peer_retried() {
-    with_deadline(Duration::from_secs(180), lying_state_peer_body);
+    with_deadline(Duration::from_secs(180), || {
+        lying_state_peer_body(TransportKind::Threaded)
+    });
+}
+
+#[test]
+fn lying_state_peer_is_rejected_and_another_peer_retried_reactor() {
+    with_deadline(Duration::from_secs(180), || {
+        lying_state_peer_body(TransportKind::Reactor)
+    });
 }
 
 /// Replica 0 leads view 0 honestly but serves state-transfer entries
@@ -445,7 +521,7 @@ fn lying_state_peer_is_rejected_and_another_peer_retried() {
 /// rotation starts at `(id + 1) % n = 0`), so recovery only succeeds
 /// if the bad certificates are rejected and the request is retried
 /// against an honest peer.
-fn lying_state_peer_body() {
+fn lying_state_peer_body(kind: TransportKind) {
     const N: usize = 4;
     let cfg = RunnerConfig {
         catch_up_timeout: Duration::from_millis(200),
@@ -461,7 +537,14 @@ fn lying_state_peer_body() {
             } else {
                 Behavior::Honest
             };
-            Some(spawn_tcp_replica_with(id, l, &addrs, cfg.clone(), behavior))
+            Some(spawn_net_replica_with(
+                kind,
+                id,
+                l,
+                &addrs,
+                cfg.clone(),
+                behavior,
+            ))
         })
         .collect();
 
@@ -493,7 +576,7 @@ fn lying_state_peer_body() {
     // Restart replica 3 and commit more: live traffic reveals the gap
     // and triggers catch-up against the lying peer first.
     let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
-    handles[3] = Some(spawn_tcp_replica(3, listener, &addrs, cfg.clone()));
+    handles[3] = Some(spawn_net_replica(kind, 3, listener, &addrs, cfg.clone()));
     for i in 10..15 {
         expect_commit(&handles, &[0, 1, 2], (i + 1) as Seq, i);
     }

@@ -1,0 +1,86 @@
+//! The reactor transport's scalability claim, measured: a 16-replica
+//! localhost cluster must run with at most 3 OS threads per replica
+//! spent on networking. The thread-per-peer `TcpTransport` would need
+//! ~31 networking threads per replica at this group size (one accept
+//! thread plus a reader and a writer per peer); the reactor needs
+//! exactly one.
+//!
+//! This test lives in its own integration binary on purpose: each
+//! integration test file is its own process, so `/proc/self/status`
+//! thread counts are not polluted by unrelated tests running
+//! concurrently in the same harness.
+
+use curb::consensus::{Batch, BytesPayload, Replica};
+use curb::net::{NetRunner, ReactorConfig, ReactorTransport, RunnerConfig, RunnerHandle};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// Reads this process's current OS thread count from
+/// `/proc/self/status` (the `Threads:` line).
+fn os_thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("Threads: line present")
+        .trim()
+        .parse()
+        .expect("thread count parses")
+}
+
+#[test]
+fn sixteen_replica_reactor_cluster_uses_one_net_thread_per_replica() {
+    const N: usize = 16;
+    const NET_THREAD_BUDGET_PER_REPLICA: usize = 3;
+
+    let baseline = os_thread_count();
+
+    let listeners: Vec<TcpListener> = (0..N)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    let handles: Vec<RunnerHandle<BytesPayload>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| {
+            let transport: ReactorTransport<Batch<BytesPayload>> =
+                ReactorTransport::bind(id, l, addrs.clone(), ReactorConfig::default())
+                    .expect("bind transport");
+            NetRunner::spawn(Replica::new(id, N), transport, RunnerConfig::default())
+        })
+        .collect();
+
+    // Commit through the full 16-replica group so the count below is
+    // taken with every connection (16·15 sockets) live and working,
+    // not with the cluster half-dialed.
+    for i in 0..5 {
+        let payload = BytesPayload(format!("scale-{i}").into_bytes());
+        assert!(handles[0].propose(payload.clone()), "runner stopped early");
+        for (r, h) in handles.iter().enumerate() {
+            let d = h
+                .decisions
+                .recv_timeout(Duration::from_secs(60))
+                .unwrap_or_else(|_| panic!("replica {r} missing delivery {i}"));
+            assert_eq!(d.payload, payload, "replica {r}");
+        }
+    }
+
+    let peak = os_thread_count();
+    // Each replica costs one runner thread (not networking) plus its
+    // networking threads; everything above the baseline is ours.
+    let spawned = peak.saturating_sub(baseline);
+    assert!(spawned >= N, "at least the {N} runner threads exist");
+    let net_threads = spawned - N;
+    assert!(
+        net_threads <= N * NET_THREAD_BUDGET_PER_REPLICA,
+        "{net_threads} networking threads for {N} replicas exceeds the \
+         budget of {NET_THREAD_BUDGET_PER_REPLICA} per replica"
+    );
+
+    for h in handles {
+        h.join();
+    }
+}

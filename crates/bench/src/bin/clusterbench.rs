@@ -1,0 +1,272 @@
+//! clusterbench — wall-clock round latency of the multi-group cluster
+//! runtime.
+//!
+//! Launches a full `curb-cluster` deployment on loopback TCP — every
+//! controller a real node hosting its group's PBFT instance plus the
+//! final committee, every switch a real s-agent TCP client — and
+//! drives a closed loop of PACKET_IN requests per switch. Each request
+//! traverses the whole 4-step Curb round: intra-group consensus,
+//! final-committee block append, then REPLY matching at the agent
+//! (`f + 1` identical replies). The reported latency is the agent's
+//! request→accept wall clock, i.e. what a switch would observe.
+//!
+//! With `--byzantine <controller>` one controller sends corrupted
+//! REPLYs; the run then also exercises the detection path (accept on
+//! the honest quorum, accuse the liar, live RE-ASS) while the bench
+//! keeps committing, and the report records how often each fired.
+//!
+//! With `--trace <path>` span recording is enabled and the
+//! `cluster.round` / `cluster.intra` / `cluster.final` breakdown is
+//! embedded as `phases_ns` (feed the file to `tracedump` for the full
+//! table).
+//!
+//! The JSON report (`schema_version` 4, shared `curb_bench::report`
+//! path with netbench) lands on stdout and in `--out`
+//! (default `BENCH_cluster.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p curb-bench --bin clusterbench -- \
+//!     [--controllers 8] [--switches 2] [--capacity 1] [--requests 20] \
+//!     [--seed 7] [--byzantine 2] [--pinned-groups 2] \
+//!     [--trace trace.jsonl] [--out BENCH_cluster.json]
+//! ```
+//!
+//! `--pinned-groups G` skips the CAP solver for the initial layout and
+//! deals the controllers into exactly `G` disjoint groups of `3f + 1`
+//! (switches round-robin) — a deterministic group structure for CI
+//! assertions. RE-ASS re-solves still run the real solver.
+
+use curb_bench::arg_value;
+use curb_bench::report::{self, Json};
+use curb_cluster::{bootstrap_pinned, AgentEvent, Cluster, ClusterConfig, NodeBehavior};
+use curb_core::SwitchId;
+use curb_graph::synthetic;
+use curb_telemetry::{Histogram, SpanRecord};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Groups trace spans by name into one duration histogram each.
+fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
+    let mut by_name: BTreeMap<String, Histogram> = BTreeMap::new();
+    for s in spans {
+        by_name
+            .entry(s.name.to_string())
+            .or_default()
+            .record(s.dur_ns);
+    }
+    by_name.into_iter().collect()
+}
+
+fn phases_json(phases: &[(String, Histogram)]) -> Json {
+    if phases.is_empty() {
+        return Json::Null;
+    }
+    Json::Obj(
+        phases
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::UInt(h.count())),
+                        ("p50", Json::UInt(h.value_at_quantile(0.50))),
+                        ("p90", Json::UInt(h.value_at_quantile(0.90))),
+                        ("p99", Json::UInt(h.value_at_quantile(0.99))),
+                        ("max", Json::UInt(h.max())),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let controllers: usize = arg_value("controllers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let switches: usize = arg_value("switches")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let capacity: u32 = arg_value("capacity")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let requests: usize = arg_value("requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let byzantine: Option<usize> = arg_value("byzantine").and_then(|v| v.parse().ok());
+    let pinned_groups: Option<usize> = arg_value("pinned-groups").and_then(|v| v.parse().ok());
+    let trace_path = arg_value("trace");
+    let out_path = arg_value("out").unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    assert!(
+        (4..=64).contains(&controllers),
+        "--controllers must be in 4..=64"
+    );
+    assert!((1..=16).contains(&switches), "--switches must be in 1..=16");
+    assert!(requests > 0, "--requests must be positive");
+    if let Some(b) = byzantine {
+        assert!(b < controllers, "--byzantine must name a controller id");
+    }
+    if trace_path.is_some() {
+        curb_telemetry::enable();
+    }
+
+    // A synthetic edge topology; the delay bounds are opened up so the
+    // CAP model stays feasible for any (controllers, switches, seed)
+    // combination — the bench measures the runtime, not the solver.
+    let topo = synthetic(controllers, switches, seed);
+    let mut cfg = ClusterConfig::default();
+    cfg.curb.seed = seed;
+    cfg.curb.controller_capacity = capacity;
+    cfg.curb.max_cs_delay_ms = 1e9;
+    cfg.curb.max_cc_delay_ms = None;
+    if let Some(liar) = byzantine {
+        cfg.behaviors = vec![NodeBehavior::Honest; controllers];
+        cfg.behaviors[liar] = NodeBehavior::Lying;
+    }
+
+    let cluster = match pinned_groups {
+        Some(g) => {
+            let boot = bootstrap_pinned(&topo, cfg.curb.clone(), g).expect("pinned bootstrap");
+            Cluster::launch_with(boot, &cfg)
+        }
+        None => Cluster::launch(&topo, cfg).expect("cluster bootstrap"),
+    };
+    let groups = cluster.epoch0.group_count();
+    eprintln!(
+        "clusterbench: {controllers} controllers in {groups} group(s), \
+         {switches} s-agent(s), {requests} requests per switch …"
+    );
+
+    // Closed loop, window of one request per switch: a switch's next
+    // PACKET_IN goes out when its previous one is accepted, so the
+    // latency histogram is never queueing-inflated.
+    let mut per_switch: Vec<Histogram> = (0..switches).map(|_| Histogram::new()).collect();
+    let mut accepted = vec![0usize; switches];
+    let mut byzantine_flagged = 0u64;
+    let mut reass_issued = 0u64;
+    let mut epochs_adopted = 0u64;
+    let started = Instant::now();
+    for s in 0..switches {
+        cluster.pkt_in(SwitchId(s), (s + 1) as u32);
+    }
+    let deadline = started + Duration::from_secs(120);
+    while accepted.iter().any(|&a| a < requests) {
+        if Instant::now() > deadline {
+            let heights: Vec<u64> = cluster
+                .nodes
+                .iter()
+                .map(|n| n.probe.height.load(std::sync::atomic::Ordering::Relaxed))
+                .collect();
+            let epochs: Vec<u64> = cluster
+                .nodes
+                .iter()
+                .map(|n| n.probe.epoch.load(std::sync::atomic::Ordering::Relaxed))
+                .collect();
+            eprintln!(
+                "clusterbench: timed out with {accepted:?} of {requests} accepted per switch \
+                 (node heights {heights:?}, epochs {epochs:?})"
+            );
+            std::process::exit(1);
+        }
+        let Ok((switch, event)) = cluster.events.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
+        match event {
+            AgentEvent::Accepted { latency_ns, .. } => {
+                // RE-ASS rounds also end in an accept; only PACKET_IN
+                // rounds count toward the quota, but both are real
+                // 4-step rounds, so both land in the histogram.
+                per_switch[switch.0].record(latency_ns);
+                if accepted[switch.0] < requests {
+                    accepted[switch.0] += 1;
+                    if accepted[switch.0] < requests {
+                        cluster.pkt_in(switch, (accepted[switch.0] + 1) as u32);
+                    }
+                }
+            }
+            AgentEvent::Byzantine { .. } => byzantine_flagged += 1,
+            AgentEvent::ReassIssued { .. } => reass_issued += 1,
+            AgentEvent::EpochAdopted { .. } => epochs_adopted += 1,
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total: usize = accepted.iter().sum();
+    let max_height = cluster.max_height();
+    let max_epoch = cluster.max_epoch();
+    cluster.shutdown();
+
+    // Joining the nodes flushed their span buffers; drain captures the
+    // whole run.
+    let spans = if curb_telemetry::enabled() {
+        curb_telemetry::drain()
+    } else {
+        Vec::new()
+    };
+    if let Some(path) = &trace_path {
+        match curb_telemetry::write_jsonl(path, &spans) {
+            Ok(()) => eprintln!(
+                "clusterbench: {} trace spans written to {path}",
+                spans.len()
+            ),
+            Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
+        }
+    }
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let switch_entries: Vec<Json> = per_switch
+        .iter()
+        .enumerate()
+        .map(|(s, h)| {
+            Json::obj(vec![
+                ("switch", Json::UInt(s as u64)),
+                ("accepted", Json::UInt(accepted[s] as u64)),
+                (
+                    "round_latency_ms",
+                    Json::obj(vec![
+                        ("p50", Json::Fixed(ms(h.value_at_quantile(0.50)), 3)),
+                        ("p99", Json::Fixed(ms(h.value_at_quantile(0.99)), 3)),
+                        ("max", Json::Fixed(ms(h.max()), 3)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+
+    let report = report::envelope(
+        "clusterbench",
+        groups,
+        vec![
+            ("controllers", Json::UInt(controllers as u64)),
+            ("switches", Json::UInt(switches as u64)),
+            ("controller_capacity", Json::UInt(capacity as u64)),
+            ("requests_per_switch", Json::UInt(requests as u64)),
+            ("seed", Json::UInt(seed)),
+            (
+                "byzantine",
+                byzantine
+                    .map(|b| Json::UInt(b as u64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("elapsed_s", Json::Fixed(elapsed, 4)),
+            (
+                "throughput_rounds_per_s",
+                Json::Fixed(total as f64 / elapsed, 2),
+            ),
+            ("max_height", Json::UInt(max_height)),
+            ("max_epoch", Json::UInt(max_epoch)),
+            ("byzantine_flagged", Json::UInt(byzantine_flagged)),
+            ("reass_issued", Json::UInt(reass_issued)),
+            ("epochs_adopted", Json::UInt(epochs_adopted)),
+            (
+                "trace",
+                trace_path.as_deref().map(Json::str).unwrap_or(Json::Null),
+            ),
+            ("phases_ns", phases_json(&phase_histograms(&spans))),
+            ("per_switch", Json::Arr(switch_entries)),
+        ],
+    );
+    report::emit("clusterbench", &out_path, &report);
+}

@@ -33,10 +33,13 @@
 //! breakdown in each run's JSON. Feed the trace to the `tracedump`
 //! binary for the full per-phase table and per-seq critical path.
 //!
-//! Results are printed as JSON (`schema_version` 3: every run records
-//! its `transport`) and also written to a machine-readable report
+//! Results are printed as JSON (`schema_version` 4: every report
+//! carries the controller `groups` count — always 1 here, netbench
+//! drives a single flat PBFT group; `clusterbench` covers the
+//! multi-group runtime) and also written to a machine-readable report
 //! (`--out`, default `BENCH_net.json`) so the perf trajectory can be
-//! tracked across PRs.
+//! tracked across PRs. Both benches emit through the shared
+//! `curb_bench::report` path.
 //!
 //! Usage:
 //!
@@ -47,6 +50,7 @@
 //!     [--recovery] [--trace trace.jsonl] [--out BENCH_net.json]
 //! ```
 
+use curb_bench::report::{self, Json};
 use curb_bench::{arg_flag, arg_value};
 use curb_consensus::{Batch, BytesPayload, Replica};
 use curb_net::{
@@ -415,87 +419,89 @@ fn run_recovery(
     }
 }
 
-fn render_recovery_json(r: &RecoveryResult, indent: &str) -> String {
-    format!(
-        "{indent}{{\n\
-         {indent}  \"transport\": \"{}\",\n\
-         {indent}  \"recovered_payloads\": {},\n\
-         {indent}  \"recovery_ms\": {:.3},\n\
-         {indent}  \"state_requests\": {},\n\
-         {indent}  \"state_retries\": {}\n\
-         {indent}}}",
-        r.transport, r.recovered_payloads, r.recovery_ms, r.state_requests, r.state_retries,
-    )
+fn recovery_json(r: &RecoveryResult) -> Json {
+    Json::obj(vec![
+        ("transport", Json::str(r.transport.as_str())),
+        (
+            "recovered_payloads",
+            Json::UInt(r.recovered_payloads as u64),
+        ),
+        ("recovery_ms", Json::Fixed(r.recovery_ms, 3)),
+        ("state_requests", Json::UInt(r.state_requests)),
+        ("state_retries", Json::UInt(r.state_retries)),
+    ])
 }
 
-fn render_phases_json(phases: &[(String, Histogram)], indent: &str) -> String {
+fn phases_json(phases: &[(String, Histogram)]) -> Json {
     if phases.is_empty() {
-        return "null".to_string();
+        return Json::Null;
     }
-    let entries: Vec<String> = phases
-        .iter()
-        .map(|(name, h)| {
-            format!(
-                "{indent}    \"{name}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \
-                 \"p99\": {}, \"max\": {}}}",
-                h.count(),
-                h.value_at_quantile(0.50),
-                h.value_at_quantile(0.90),
-                h.value_at_quantile(0.99),
-                h.max(),
-            )
-        })
-        .collect();
-    format!("{{\n{}\n{indent}  }}", entries.join(",\n"))
-}
-
-fn render_run_json(r: &RunResult, baseline: Option<f64>, indent: &str) -> String {
-    let fill = r.follower_commits[0] as f64 / r.batches_decided.max(1) as f64;
-    let speedup = baseline
-        .map(|b| format!("{:.3}", r.throughput / b))
-        .unwrap_or_else(|| "null".to_string());
-    let ms = |ns: u64| ns as f64 / 1e6;
-    format!(
-        "{indent}{{\n\
-         {indent}  \"transport\": \"{}\",\n\
-         {indent}  \"max_batch\": {},\n\
-         {indent}  \"elapsed_s\": {:.4},\n\
-         {indent}  \"throughput_payloads_per_s\": {:.2},\n\
-         {indent}  \"batches_decided\": {},\n\
-         {indent}  \"avg_batch_fill\": {:.2},\n\
-         {indent}  \"speedup_vs_unbatched\": {},\n\
-         {indent}  \"latency_ms\": {{\n\
-         {indent}    \"mean\": {:.3},\n\
-         {indent}    \"p50\": {:.3},\n\
-         {indent}    \"p99\": {:.3},\n\
-         {indent}    \"max\": {:.3}\n\
-         {indent}  }},\n\
-         {indent}  \"phases_ns\": {},\n\
-         {indent}  \"follower_commits\": [{}]\n\
-         {indent}}}",
-        r.transport.as_str(),
-        r.max_batch,
-        r.elapsed_s,
-        r.throughput,
-        r.batches_decided,
-        fill,
-        speedup,
-        r.mean_latency_ms,
-        ms(r.latency_ns.value_at_quantile(0.50)),
-        ms(r.latency_ns.value_at_quantile(0.99)),
-        ms(r.latency_ns.max()),
-        render_phases_json(&r.phases, indent),
-        r.follower_commits
+    Json::Obj(
+        phases
             .iter()
-            .map(|c| c.to_string())
-            .collect::<Vec<_>>()
-            .join(", "),
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::UInt(h.count())),
+                        ("p50", Json::UInt(h.value_at_quantile(0.50))),
+                        ("p90", Json::UInt(h.value_at_quantile(0.90))),
+                        ("p99", Json::UInt(h.value_at_quantile(0.99))),
+                        ("max", Json::UInt(h.max())),
+                    ]),
+                )
+            })
+            .collect(),
     )
 }
 
-/// Renders the threaded-vs-reactor throughput comparison: one entry
-/// per batch size that both transports ran.
-fn render_comparison_json(results: &[RunResult], indent: &str) -> String {
+fn run_json(r: &RunResult, baseline: Option<f64>) -> Json {
+    let fill = r.follower_commits[0] as f64 / r.batches_decided.max(1) as f64;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    Json::obj(vec![
+        ("transport", Json::str(r.transport.as_str())),
+        ("max_batch", Json::UInt(r.max_batch as u64)),
+        ("elapsed_s", Json::Fixed(r.elapsed_s, 4)),
+        ("throughput_payloads_per_s", Json::Fixed(r.throughput, 2)),
+        ("batches_decided", Json::UInt(r.batches_decided)),
+        ("avg_batch_fill", Json::Fixed(fill, 2)),
+        (
+            "speedup_vs_unbatched",
+            baseline
+                .map(|b| Json::Fixed(r.throughput / b, 3))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("mean", Json::Fixed(r.mean_latency_ms, 3)),
+                (
+                    "p50",
+                    Json::Fixed(ms(r.latency_ns.value_at_quantile(0.50)), 3),
+                ),
+                (
+                    "p99",
+                    Json::Fixed(ms(r.latency_ns.value_at_quantile(0.99)), 3),
+                ),
+                ("max", Json::Fixed(ms(r.latency_ns.max()), 3)),
+            ]),
+        ),
+        ("phases_ns", phases_json(&r.phases)),
+        (
+            "follower_commits",
+            Json::Arr(
+                r.follower_commits
+                    .iter()
+                    .map(|&c| Json::UInt(c as u64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The threaded-vs-reactor throughput comparison: one entry per batch
+/// size that both transports ran.
+fn comparison_json(results: &[RunResult]) -> Json {
     let find = |kind: TransportKind, batch: usize| {
         results
             .iter()
@@ -504,26 +510,30 @@ fn render_comparison_json(results: &[RunResult], indent: &str) -> String {
     let mut batches: Vec<usize> = results.iter().map(|r| r.max_batch).collect();
     batches.sort_unstable();
     batches.dedup();
-    let entries: Vec<String> = batches
+    let entries: Vec<Json> = batches
         .iter()
         .filter_map(|&b| {
             let threaded = find(TransportKind::Threaded, b)?;
             let reactor = find(TransportKind::Reactor, b)?;
-            Some(format!(
-                "{indent}{{\"max_batch\": {b}, \
-                 \"threaded_payloads_per_s\": {:.2}, \
-                 \"reactor_payloads_per_s\": {:.2}, \
-                 \"reactor_vs_threaded\": {:.3}}}",
-                threaded.throughput,
-                reactor.throughput,
-                reactor.throughput / threaded.throughput,
-            ))
+            Some(Json::obj(vec![
+                ("max_batch", Json::UInt(b as u64)),
+                (
+                    "threaded_payloads_per_s",
+                    Json::Fixed(threaded.throughput, 2),
+                ),
+                ("reactor_payloads_per_s", Json::Fixed(reactor.throughput, 2)),
+                (
+                    "reactor_vs_threaded",
+                    Json::Fixed(reactor.throughput / threaded.throughput, 3),
+                ),
+            ]))
         })
         .collect();
     if entries.is_empty() {
-        return "null".to_string();
+        Json::Null
+    } else {
+        Json::Arr(entries)
     }
-    format!("[\n{}\n  ]", entries.join(",\n"))
 }
 
 fn main() {
@@ -598,7 +608,7 @@ fn main() {
             .map(|r| r.throughput)
     };
 
-    let recovery_json = if recovery {
+    let recovery_value = if recovery {
         // Recovery runs on the first selected TCP transport.
         let kind = transports
             .iter()
@@ -613,9 +623,9 @@ fn main() {
             "netbench: rejoined replica recovered {} payloads in {:.1} ms",
             r.recovered_payloads, r.recovery_ms
         );
-        render_recovery_json(&r, "  ").trim_start().to_string()
+        recovery_json(&r)
     } else {
-        "null".to_string()
+        Json::Null
     };
 
     if let Some(path) = &trace_path {
@@ -628,54 +638,47 @@ fn main() {
         }
     }
 
-    let runs_json: Vec<String> = results
-        .iter()
-        .map(|r| render_run_json(r, baseline_for(r.transport), "    "))
-        .collect();
-    let report = format!(
-        "{{\n\
-         \x20 \"bench\": \"netbench\",\n\
-         \x20 \"schema_version\": 3,\n\
-         \x20 \"transports\": [{}],\n\
-         \x20 \"replicas\": {n},\n\
-         \x20 \"proposals\": {proposals},\n\
-         \x20 \"payload_bytes\": {},\n\
-         \x20 \"inflight\": {inflight},\n\
-         \x20 \"batch_sizes\": [{}],\n\
-         \x20 \"batch_window_ms\": {},\n\
-         \x20 \"coalesce_bytes\": {},\n\
-         \x20 \"trace\": {},\n\
-         \x20 \"recovery\": {},\n\
-         \x20 \"comparison\": {},\n\
-         \x20 \"runs\": [\n{}\n  ]\n\
-         }}",
-        transports
-            .iter()
-            .map(|t| format!("\"{}\"", t.as_str()))
-            .collect::<Vec<_>>()
-            .join(", "),
-        payload_size.max(8),
-        batches
-            .iter()
-            .map(|b| b.to_string())
-            .collect::<Vec<_>>()
-            .join(", "),
-        window.as_millis(),
-        TcpConfig::default().coalesce_bytes,
-        trace_path
-            .as_deref()
-            .map(|p| format!("\"{p}\""))
-            .unwrap_or_else(|| "null".to_string()),
-        recovery_json,
-        render_comparison_json(&results, "    "),
-        runs_json.join(",\n"),
+    // netbench drives one flat PBFT group, so `groups` is always 1 —
+    // clusterbench reports the multi-group counterpart.
+    let report = report::envelope(
+        "netbench",
+        1,
+        vec![
+            (
+                "transports",
+                Json::Arr(transports.iter().map(|t| Json::str(t.as_str())).collect()),
+            ),
+            ("replicas", Json::UInt(n as u64)),
+            ("proposals", Json::UInt(proposals as u64)),
+            ("payload_bytes", Json::UInt(payload_size.max(8) as u64)),
+            ("inflight", Json::UInt(inflight as u64)),
+            (
+                "batch_sizes",
+                Json::Arr(batches.iter().map(|&b| Json::UInt(b as u64)).collect()),
+            ),
+            ("batch_window_ms", Json::UInt(window.as_millis() as u64)),
+            (
+                "coalesce_bytes",
+                Json::UInt(TcpConfig::default().coalesce_bytes as u64),
+            ),
+            (
+                "trace",
+                trace_path.as_deref().map(Json::str).unwrap_or(Json::Null),
+            ),
+            ("recovery", recovery_value),
+            ("comparison", comparison_json(&results)),
+            (
+                "runs",
+                Json::Arr(
+                    results
+                        .iter()
+                        .map(|r| run_json(r, baseline_for(r.transport)))
+                        .collect(),
+                ),
+            ),
+        ],
     );
-    println!("{report}");
-    if let Err(e) = std::fs::write(&out_path, format!("{report}\n")) {
-        eprintln!("warning: could not write {out_path}: {e}");
-    } else {
-        eprintln!("netbench: report written to {out_path}");
-    }
+    report::emit("netbench", &out_path, &report);
 
     let all_caught_up = results
         .iter()

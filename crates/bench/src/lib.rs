@@ -14,10 +14,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod scenarios;
 pub mod table;
 pub mod viz;
 
+pub use report::{Json, SCHEMA_VERSION};
 pub use scenarios::*;
 pub use table::Table;
 pub use viz::render_html;

@@ -1,0 +1,931 @@
+//! A controller node: one OS-level process image of the Curb control
+//! plane, speaking real TCP in every direction.
+//!
+//! Each node hosts, over **one** shared [`MuxTransport`]:
+//!
+//! * one intra-group PBFT instance ([`NetRunner`] + `Replica`) per
+//!   controller group the node belongs to (a controller can serve
+//!   several groups under the CAP assignment),
+//! * one final-committee PBFT instance when the node sits on the final
+//!   committee,
+//! * the app lane for east-west [`ClusterMsg`] traffic (`AGREE`
+//!   hand-offs and block announcements).
+//!
+//! Southbound, the node accepts s-agent connections on a second
+//! listener and answers committed requests with [`SbMsg::Reply`].
+//!
+//! # Round workflow (paper Steps 1–4)
+//!
+//! 1. An s-agent broadcasts a request to every controller of its
+//!    group; the group leader computes the configuration (flow rules
+//!    via the shared routing table, reassignments via the CAP solver)
+//!    and proposes a transaction list on the group's lane.
+//! 2. The group commits the list (intra-group PBFT).
+//! 3. The group leader hands the committed list to the final-committee
+//!    leader, which cuts a block and proposes it on the final lane.
+//! 4. The committee commits and appends the block; every committee
+//!    member announces it; all assigned controllers REPLY to the
+//!    issuing s-agent, which accepts on `f + 1` identical configs.
+//!
+//! A committed `NewAssignment` rotates the epoch **live**: new lanes
+//! (epoch-scoped ids) and runners spin up immediately, while the old
+//! epoch's runners keep draining in-flight rounds until a grace
+//! deadline, then shut down — late frames for retired lanes are fenced
+//! by the transport's routing table.
+
+use crate::payload::CtrlPayload;
+use crate::wire::{ClusterMsg, SbMsg, ANNOUNCE_SEQ_BIT};
+use curb_assign::{solve, Assignment};
+use curb_chain::{Block, Blockchain};
+use curb_consensus::{Batch, Replica};
+use curb_core::{BlockPayload, FlowRuleSpec};
+use curb_core::{
+    ConfigData, Epoch, GroupId, ProtoTx, ReqKind, RequestKey, RequestRecord, Shared, SwitchId,
+    TxListPayload,
+};
+use curb_net::{FrameDecoder, Lane, MuxTransport, NetRunner, NodeId, RunnerConfig, RunnerHandle};
+use curb_telemetry::{now_nanos, record_span};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Lane-id stride between epochs: intra-group lanes of epoch `e` are
+/// `e * LANE_STRIDE + group`, the final-committee lane is
+/// `e * LANE_STRIDE + LANE_STRIDE - 1`. Epoch-scoped ids mean a
+/// retired epoch's frames can never reach a live instance.
+pub const LANE_STRIDE: u64 = 1 << 16;
+
+/// The consensus lane id of group `group` in epoch `epoch`.
+pub fn intra_lane(epoch: u64, group: usize) -> u64 {
+    debug_assert!((group as u64) < LANE_STRIDE - 1);
+    epoch * LANE_STRIDE + group as u64
+}
+
+/// The final-committee lane id of epoch `epoch`.
+pub fn final_lane(epoch: u64) -> u64 {
+    epoch * LANE_STRIDE + (LANE_STRIDE - 1)
+}
+
+/// Fault-injection behaviour of a cluster controller node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Byzantine: participates in consensus but sends **corrupted**
+    /// REPLY configurations to s-agents. Detected by the agents'
+    /// `f + 1` reply matching and excluded by live RE-ASS.
+    Lying,
+    /// Byzantine: never replies to s-agents (reply-silent). Detected
+    /// by the agents' request-timeout audit.
+    Silent,
+}
+
+/// Tuning knobs for a [`ControllerNode`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Per-lane consensus runner configuration.
+    pub runner: RunnerConfig,
+    /// Fault-injection behaviour.
+    pub behavior: NodeBehavior,
+    /// How long a retired epoch's runners keep draining in-flight
+    /// rounds before shutting down.
+    pub drain: Duration,
+    /// Idle main-loop sleep.
+    pub poll: Duration,
+    /// Maximum southbound frame size.
+    pub max_frame: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            runner: RunnerConfig::default(),
+            behavior: NodeBehavior::Honest,
+            drain: Duration::from_secs(2),
+            poll: Duration::from_millis(1),
+            max_frame: 1 << 20,
+        }
+    }
+}
+
+/// Live counters a test or benchmark can poll without locking the
+/// node.
+#[derive(Debug, Default)]
+pub struct NodeProbe {
+    /// Chain height (genesis = 0).
+    pub height: AtomicU64,
+    /// Current epoch number (initial assignment = 0).
+    pub epoch: AtomicU64,
+    /// Blocks this node appended.
+    pub blocks: AtomicU64,
+    /// Requests this node proposed as a group leader.
+    pub proposed: AtomicU64,
+}
+
+/// Control surface for a spawned [`ControllerNode`].
+pub struct NodeHandle {
+    /// The controller id.
+    pub id: usize,
+    /// Live counters.
+    pub probe: Arc<NodeProbe>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Signals shutdown and waits for the node thread to exit.
+    pub fn join(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One epoch's consensus instances on this node.
+struct EpochRuntime {
+    no: u64,
+    epoch: Arc<Epoch>,
+    /// `(group id, runner)` for every group this node belongs to.
+    intra: Vec<(GroupId, RunnerHandle<CtrlPayload>)>,
+    /// The final-committee runner, when this node is on the committee.
+    finalr: Option<RunnerHandle<CtrlPayload>>,
+}
+
+impl EpochRuntime {
+    fn join(self) {
+        for (_, r) in self.intra {
+            r.join();
+        }
+        if let Some(r) = self.finalr {
+            r.join();
+        }
+    }
+}
+
+/// Southbound events delivered from per-connection reader threads.
+enum SbEvent {
+    Request {
+        switch: usize,
+        record: RequestRecord,
+    },
+}
+
+/// The node state machine; owned by the node's main thread.
+pub struct ControllerNode {
+    id: usize,
+    shared: Arc<Shared>,
+    cfg: NodeConfig,
+    mux: MuxTransport<Batch<CtrlPayload>>,
+    chain: Blockchain,
+    active: EpochRuntime,
+    draining: Vec<(Instant, EpochRuntime)>,
+    removed: Vec<bool>,
+    /// Request keys already proposed (as leader) — at-most-once intake.
+    seen: HashSet<RequestKey>,
+    /// Group-leader spans: propose time per request key.
+    intra_start: HashMap<RequestKey, u64>,
+    /// Final-leader queue of intra-committed transactions.
+    pending_txs: Vec<ProtoTx>,
+    pending_keys: HashSet<RequestKey>,
+    block_in_flight: bool,
+    /// Final-leader span: (proposed block hash, propose time).
+    final_start: Option<([u8; 32], u64)>,
+    /// Block announcements from committee members, keyed by hash.
+    votes: BTreeMap<[u8; 32], (Block, BTreeSet<NodeId>)>,
+    /// Southbound reply sockets by switch id.
+    sb_conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    sb_rx: Receiver<SbEvent>,
+    probe: Arc<NodeProbe>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ControllerNode {
+    /// Spawns controller `id` on its own thread.
+    ///
+    /// `mux` must be bound to this node's slot in the cluster address
+    /// list; `southbound` is the s-agent-facing listener. `epoch` is
+    /// the Step-0 assignment every node starts from (epoch 0) and also
+    /// determines the genesis block, so all nodes boot with identical
+    /// chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the southbound listener cannot be configured or the
+    /// node thread cannot be spawned.
+    pub fn spawn(
+        id: usize,
+        shared: Arc<Shared>,
+        epoch: Arc<Epoch>,
+        mux: MuxTransport<Batch<CtrlPayload>>,
+        southbound: TcpListener,
+        cfg: NodeConfig,
+    ) -> NodeHandle {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let probe = Arc::new(NodeProbe::default());
+        let sb_conns: Arc<Mutex<HashMap<usize, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let (sb_tx, sb_rx) = channel();
+
+        southbound
+            .set_nonblocking(true)
+            .expect("southbound listener nonblocking");
+        {
+            let conns = Arc::clone(&sb_conns);
+            let flag = Arc::clone(&shutdown);
+            let poll = cfg.poll.max(Duration::from_millis(1));
+            let max_frame = cfg.max_frame;
+            thread::Builder::new()
+                .name(format!("curb-node-{id}-southbound"))
+                .spawn(move || {
+                    southbound_accept_loop(southbound, conns, sb_tx, flag, poll, max_frame)
+                })
+                .expect("spawn southbound acceptor");
+        }
+
+        let genesis_record = ConfigData::NewAssignment {
+            groups: (0..shared.plan.n_switches)
+                .map(|i| epoch.assignment.group(i).iter().copied().collect())
+                .collect(),
+        }
+        .encode();
+        let chain = Blockchain::with_genesis(&genesis_record);
+
+        let flag = Arc::clone(&shutdown);
+        let probe2 = Arc::clone(&probe);
+        let thread = thread::Builder::new()
+            .name(format!("curb-node-{id}"))
+            .spawn(move || {
+                let removed = epoch.removed.clone();
+                let active = build_runtime(id, 0, Arc::clone(&epoch), &mux, &cfg.runner);
+                let mut node = ControllerNode {
+                    id,
+                    shared,
+                    cfg,
+                    mux,
+                    chain,
+                    active,
+                    draining: Vec::new(),
+                    removed,
+                    seen: HashSet::new(),
+                    intra_start: HashMap::new(),
+                    pending_txs: Vec::new(),
+                    pending_keys: HashSet::new(),
+                    block_in_flight: false,
+                    final_start: None,
+                    votes: BTreeMap::new(),
+                    sb_conns,
+                    sb_rx,
+                    probe: probe2,
+                    shutdown: flag,
+                };
+                node.run();
+            })
+            .expect("spawn controller node");
+
+        NodeHandle {
+            id,
+            probe,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    fn run(&mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let mut progress = false;
+            while let Ok(SbEvent::Request { switch, record }) = self.sb_rx.try_recv() {
+                self.on_request(SwitchId(switch), record);
+                progress = true;
+            }
+            while let Some(ev) = self.mux.recv_app(Duration::ZERO) {
+                if let Some(msg) = ClusterMsg::decode(&ev.bytes) {
+                    self.on_cluster_msg(ev.from, msg);
+                    progress = true;
+                }
+            }
+            progress |= self.pump_decisions();
+            self.retire_drained();
+            self.try_propose_block();
+            if !progress {
+                thread::sleep(self.cfg.poll);
+            }
+        }
+        let epoch = Arc::clone(&self.active.epoch);
+        let active = std::mem::replace(
+            &mut self.active,
+            EpochRuntime {
+                no: u64::MAX,
+                epoch,
+                intra: Vec::new(),
+                finalr: None,
+            },
+        );
+        active.join();
+        for (_, rt) in self.draining.drain(..) {
+            rt.join();
+        }
+        self.mux.shutdown();
+        // This thread recorded cluster.intra/cluster.final spans into
+        // the thread-local buffer; hand them to the sink before exit.
+        curb_telemetry::flush_thread();
+    }
+
+    /// Step 1→2: a request arrived southbound; the group leader
+    /// computes the configuration and proposes it on the group's lane.
+    fn on_request(&mut self, switch: SwitchId, record: RequestRecord) {
+        if switch.0 >= self.shared.plan.n_switches || record.key.switch != switch {
+            return;
+        }
+        let epoch = Arc::clone(&self.active.epoch);
+        let gid = epoch.group_of(switch);
+        if epoch.groups[gid.0].leader() != self.id {
+            return; // followers act only through consensus
+        }
+        if !self.seen.insert(record.key) {
+            return;
+        }
+        let Some(config) = self.compute_config(&record) else {
+            return;
+        };
+        let tx = ProtoTx {
+            record,
+            handled_by: self.id,
+            config,
+        };
+        let key = tx.record.key;
+        if let Some((_, runner)) = self.active.intra.iter().find(|(g, _)| *g == gid) {
+            self.intra_start.insert(key, now_nanos());
+            if runner.propose(CtrlPayload::Txs(TxListPayload(vec![tx]))) {
+                self.probe.proposed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `ComputeConfig` (Algorithm 2): routing-table flow rules for
+    /// PKT-IN, a CAP re-solve with accused controllers excluded for
+    /// RE-ASS.
+    fn compute_config(&self, record: &RequestRecord) -> Option<ConfigData> {
+        let epoch = &self.active.epoch;
+        match &record.kind {
+            ReqKind::PktIn { dst_host } => {
+                let src = record.key.switch;
+                let dst = self.shared.dst_switch(*dst_host);
+                let out_port = self.shared.next_hop_port[src.0][dst.0];
+                Some(ConfigData::FlowRules(vec![FlowRuleSpec {
+                    priority: 10,
+                    dst_host: *dst_host,
+                    out_port,
+                }]))
+            }
+            ReqKind::ReAss { accused } => {
+                let accused: Vec<usize> = accused
+                    .iter()
+                    .copied()
+                    .filter(|&c| c < self.shared.plan.n_controllers)
+                    .collect();
+                let accused_set: BTreeSet<usize> = accused.iter().copied().collect();
+                let leader_pins: Vec<Option<usize>> = (0..self.shared.plan.n_switches)
+                    .map(|s| {
+                        let leader = epoch.groups[epoch.group_of(SwitchId(s)).0].leader();
+                        (!accused_set.contains(&leader)).then_some(leader)
+                    })
+                    .collect();
+                let (model, options) = self.shared.reassignment_problem(
+                    &epoch.removed,
+                    &accused,
+                    &leader_pins,
+                    &epoch.assignment,
+                );
+                let solution = solve(&model, &options).ok()?;
+                Some(ConfigData::NewAssignment {
+                    groups: (0..self.shared.plan.n_switches)
+                        .map(|i| solution.assignment.group(i).iter().copied().collect())
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    /// Polls every runner (active and draining) for decisions.
+    fn pump_decisions(&mut self) -> bool {
+        let mut progress = false;
+        // Collect first to end the borrow of the runtimes, then act.
+        let mut intra_committed: Vec<(u64, GroupId, TxListPayload)> = Vec::new();
+        let mut final_committed: Vec<(u64, BlockPayload)> = Vec::new();
+        {
+            let runtimes =
+                std::iter::once(&self.active).chain(self.draining.iter().map(|(_, rt)| rt));
+            for rt in runtimes {
+                for (gid, runner) in &rt.intra {
+                    while let Ok(d) = runner.decisions.try_recv() {
+                        if let CtrlPayload::Txs(txs) = d.payload {
+                            if !txs.0.is_empty() {
+                                intra_committed.push((rt.no, *gid, txs));
+                            }
+                        }
+                    }
+                }
+                if let Some(runner) = &rt.finalr {
+                    while let Ok(d) = runner.decisions.try_recv() {
+                        if let CtrlPayload::Block(b) = d.payload {
+                            final_committed.push((rt.no, b));
+                        }
+                    }
+                }
+            }
+        }
+        for (no, gid, txs) in intra_committed {
+            progress = true;
+            self.on_intra_commit(no, gid, txs);
+        }
+        for (no, block) in final_committed {
+            progress = true;
+            self.on_final_commit(no, block);
+        }
+        progress
+    }
+
+    /// Step 3: the group agreed on a transaction list. The group
+    /// leader hands it to the final-committee leader.
+    fn on_intra_commit(&mut self, epoch_no: u64, gid: GroupId, txs: TxListPayload) {
+        let rt_epoch = self
+            .runtime_epoch(epoch_no)
+            .unwrap_or_else(|| Arc::clone(&self.active.epoch));
+        let end = now_nanos();
+        for tx in &txs.0 {
+            if let Some(start) = self.intra_start.remove(&tx.record.key) {
+                record_span(
+                    "cluster.intra",
+                    start,
+                    end,
+                    self.id as i64,
+                    tx.record.key.seq as i64,
+                );
+            }
+        }
+        if rt_epoch.groups[gid.0].leader() != self.id {
+            return;
+        }
+        // Hand off to the *current* epoch's final leader: the final
+        // committee may have rotated while this round was in flight.
+        let target = self.active.epoch.final_leader();
+        let msg = ClusterMsg::Agree {
+            epoch: self.active.no,
+            group: gid.0 as u64,
+            txs,
+        };
+        if target == self.id {
+            self.on_cluster_msg(self.id, msg);
+        } else {
+            self.mux.send_app(target, &msg.encode());
+        }
+    }
+
+    fn on_cluster_msg(&mut self, from: NodeId, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::Agree { txs, .. } => {
+                if self.active.epoch.final_leader() != self.id {
+                    return;
+                }
+                for tx in txs.0 {
+                    if self.pending_keys.insert(tx.record.key) {
+                        self.pending_txs.push(tx);
+                    }
+                }
+                self.try_propose_block();
+            }
+            ClusterMsg::FinalBlock { epoch, block } => {
+                self.on_block_announcement(from, epoch, block);
+            }
+        }
+    }
+
+    /// Step 4a: the final-committee leader cuts the next block from
+    /// the queued transaction lists — one block in flight at a time so
+    /// blocks always extend the tip they were proposed against.
+    fn try_propose_block(&mut self) {
+        if self.block_in_flight
+            || self.pending_txs.is_empty()
+            || self.active.epoch.final_leader() != self.id
+        {
+            return;
+        }
+        let Some(runner) = &self.active.finalr else {
+            return;
+        };
+        let txs: Vec<_> = self
+            .pending_txs
+            .drain(..)
+            .map(|t| t.to_chain_tx())
+            .collect();
+        let block = Block::next(self.chain.tip(), txs, now_nanos());
+        self.final_start = Some((block.hash().0, now_nanos()));
+        self.block_in_flight = true;
+        runner.propose(CtrlPayload::Block(BlockPayload(Some(block))));
+    }
+
+    /// Step 4b: the final committee committed a block proposal.
+    fn on_final_commit(&mut self, epoch_no: u64, payload: BlockPayload) {
+        let is_leader_epoch =
+            epoch_no == self.active.no && self.active.epoch.final_leader() == self.id;
+        if is_leader_epoch {
+            // Leader or not, a decision un-blocks the pipeline: the
+            // next queued block can only build on the new tip.
+            self.block_in_flight = false;
+        }
+        let Some(block) = payload.0 else {
+            self.try_propose_block();
+            return;
+        };
+        if self.append_block(block.clone()) {
+            // Announce to nodes outside the committee (and re-assure
+            // those inside): f + 1 matching announcements let a
+            // non-member adopt the block without trusting any single
+            // controller.
+            self.mux.broadcast_app(
+                &ClusterMsg::FinalBlock {
+                    epoch: epoch_no,
+                    block,
+                }
+                .encode(),
+            );
+        }
+        self.try_propose_block();
+    }
+
+    fn on_block_announcement(&mut self, from: NodeId, epoch_no: u64, block: Block) {
+        let Some(epoch) = self.runtime_epoch(epoch_no) else {
+            return;
+        };
+        self.on_block_vote_with(&epoch.final_com, from, block);
+    }
+
+    fn on_block_vote_with(&mut self, committee: &[usize], from: NodeId, block: Block) {
+        if !committee.contains(&from) {
+            return;
+        }
+        if block.header.height <= self.chain.height() {
+            return;
+        }
+        let hash = block.hash().0;
+        let entry = self
+            .votes
+            .entry(hash)
+            .or_insert_with(|| (block, BTreeSet::new()));
+        entry.1.insert(from);
+        let quorum = self.shared.config.f + 1;
+        if entry.1.len() >= quorum {
+            let block = entry.0.clone();
+            if self.append_block(block) {
+                let height = self.chain.height();
+                self.votes.retain(|_, (b, _)| b.header.height > height);
+            }
+        }
+    }
+
+    /// Appends `block` if it extends the local tip; on success, runs
+    /// the post-commit duties (REPLY, epoch rotation).
+    fn append_block(&mut self, block: Block) -> bool {
+        if block.header.height != self.chain.height() + 1 {
+            return false;
+        }
+        if self.chain.append(block.clone()).is_err() {
+            return false;
+        }
+        self.probe
+            .height
+            .store(self.chain.height(), Ordering::Relaxed);
+        self.probe.blocks.fetch_add(1, Ordering::Relaxed);
+        if let Some((hash, start)) = self.final_start.take() {
+            if hash == block.hash().0 {
+                record_span(
+                    "cluster.final",
+                    start,
+                    now_nanos(),
+                    self.id as i64,
+                    block.header.height as i64,
+                );
+            } else {
+                self.final_start = Some((hash, start));
+            }
+        }
+        self.handle_committed(&block);
+        true
+    }
+
+    /// Post-commit: REPLY to the issuing s-agents and apply any
+    /// committed reassignment.
+    fn handle_committed(&mut self, block: &Block) {
+        let mut rotation: Option<(Vec<Vec<usize>>, Vec<usize>)> = None;
+        for chain_tx in &block.txs {
+            let Some(tx) = ProtoTx::from_chain_tx(chain_tx) else {
+                continue;
+            };
+            let switch = tx.record.key.switch;
+            if switch.0 < self.shared.plan.n_switches
+                && self.active.epoch.ctrl_list(switch).contains(&self.id)
+                && self.cfg.behavior != NodeBehavior::Silent
+            {
+                let config = match self.cfg.behavior {
+                    NodeBehavior::Lying => corrupt(&tx.config),
+                    _ => tx.config.clone(),
+                };
+                self.reply_to(switch, tx.record.key, config);
+            }
+            self.intra_start.remove(&tx.record.key);
+            if let ConfigData::NewAssignment { groups } = &tx.config {
+                let accused = match &tx.record.kind {
+                    ReqKind::ReAss { accused } => accused.clone(),
+                    _ => Vec::new(),
+                };
+                rotation = Some((groups.clone(), accused));
+            }
+        }
+        if let Some((groups, accused)) = rotation {
+            self.maybe_rotate(groups, accused);
+        }
+    }
+
+    fn reply_to(&self, switch: SwitchId, key: RequestKey, config: ConfigData) {
+        let msg = SbMsg::Reply {
+            controller: self.id as u64,
+            key,
+            config,
+        };
+        let mut conns = self.sb_conns.lock().expect("southbound registry poisoned");
+        if let Some(stream) = conns.get_mut(&switch.0) {
+            if write_sb_frame(stream, &msg).is_err() {
+                conns.remove(&switch.0);
+            }
+        }
+    }
+
+    /// Live RE-ASS: a committed `NewAssignment` rotates the epoch.
+    /// New lanes and runners start immediately; the old epoch's
+    /// runners drain in-flight rounds until the grace deadline.
+    fn maybe_rotate(&mut self, groups: Vec<Vec<usize>>, accused: Vec<usize>) {
+        let mut removed_changed = false;
+        for c in accused {
+            if c < self.removed.len() && !self.removed[c] {
+                self.removed[c] = true;
+                removed_changed = true;
+            }
+        }
+        let assignment = Assignment::from_groups(groups, self.shared.plan.n_controllers);
+        if !removed_changed && assignment == self.active.epoch.assignment {
+            return;
+        }
+        let epoch = Arc::new(Epoch::build(
+            assignment,
+            &self.shared.keys,
+            self.shared.config.f,
+            self.removed.clone(),
+        ));
+        let no = self.active.no + 1;
+        let fresh = build_runtime(self.id, no, Arc::clone(&epoch), &self.mux, &self.cfg.runner);
+        let old = std::mem::replace(&mut self.active, fresh);
+        let was_final_leader = old.epoch.final_leader() == self.id;
+        self.announce_assignment(&old.epoch, &epoch, no);
+        self.draining.push((Instant::now() + self.cfg.drain, old));
+        self.block_in_flight = false;
+        self.final_start = None;
+        self.probe.epoch.store(no, Ordering::Relaxed);
+        // Carry queued transactions across the boundary: if the final
+        // leadership moved, re-route them to the new leader.
+        if was_final_leader && !self.pending_txs.is_empty() {
+            let target = epoch.final_leader();
+            if target != self.id {
+                let txs = TxListPayload(self.pending_txs.drain(..).collect());
+                self.pending_keys.clear();
+                self.mux.send_app(
+                    target,
+                    &ClusterMsg::Agree {
+                        epoch: no,
+                        group: u64::MAX,
+                        txs,
+                    }
+                    .encode(),
+                );
+            }
+        }
+        self.try_propose_block();
+    }
+
+    /// Pushes a just-committed assignment to every switch this node
+    /// serves under the outgoing or the incoming epoch. A direct REPLY
+    /// only reaches the accusing agent (it alone holds a matching
+    /// pending request); every other switch learns the rotation from
+    /// these announcements, keyed `ANNOUNCE_SEQ_BIT | epoch` so all
+    /// controllers' copies match at the agent under the usual `f + 1`
+    /// rule.
+    fn announce_assignment(&self, old: &Epoch, new: &Epoch, no: u64) {
+        if self.cfg.behavior == NodeBehavior::Silent {
+            return;
+        }
+        let config = ConfigData::NewAssignment {
+            groups: (0..self.shared.plan.n_switches)
+                .map(|s| new.ctrl_list(SwitchId(s)).to_vec())
+                .collect(),
+        };
+        for s in 0..self.shared.plan.n_switches {
+            let switch = SwitchId(s);
+            if !old.ctrl_list(switch).contains(&self.id)
+                && !new.ctrl_list(switch).contains(&self.id)
+            {
+                continue;
+            }
+            let announced = match self.cfg.behavior {
+                NodeBehavior::Lying => corrupt(&config),
+                _ => config.clone(),
+            };
+            let key = RequestKey {
+                switch,
+                seq: ANNOUNCE_SEQ_BIT | no,
+            };
+            self.reply_to(switch, key, announced);
+        }
+    }
+
+    fn runtime_epoch(&self, no: u64) -> Option<Arc<Epoch>> {
+        if no == self.active.no {
+            return Some(Arc::clone(&self.active.epoch));
+        }
+        self.draining
+            .iter()
+            .find(|(_, rt)| rt.no == no)
+            .map(|(_, rt)| Arc::clone(&rt.epoch))
+    }
+
+    fn retire_drained(&mut self) {
+        let now = Instant::now();
+        let mut keep = Vec::new();
+        for (deadline, rt) in self.draining.drain(..) {
+            if now >= deadline {
+                rt.join();
+            } else {
+                keep.push((deadline, rt));
+            }
+        }
+        self.draining = keep;
+    }
+}
+
+/// A byzantine node's reply corruption: plausible-looking but wrong
+/// flow rules, whatever the committed configuration was.
+fn corrupt(_config: &ConfigData) -> ConfigData {
+    ConfigData::FlowRules(vec![FlowRuleSpec {
+        priority: 1,
+        dst_host: 0xBAD,
+        out_port: 0xBAD,
+    }])
+}
+
+/// Builds the consensus instances node `id` participates in for
+/// `epoch` (numbered `no`): one lane per owned group, plus the final
+/// lane for committee members. Lane member lists come from the epoch,
+/// so every node derives identical lane rosters independently.
+fn build_runtime(
+    id: usize,
+    no: u64,
+    epoch: Arc<Epoch>,
+    mux: &MuxTransport<Batch<CtrlPayload>>,
+    runner_cfg: &RunnerConfig,
+) -> EpochRuntime {
+    let mut intra = Vec::new();
+    for (gid, group) in epoch.groups.iter().enumerate() {
+        let Some(replica_index) = group.replica_index(id) else {
+            continue;
+        };
+        let lane: Lane<Batch<CtrlPayload>> = mux.lane(intra_lane(no, gid), group.members.clone());
+        let replica = Replica::new(replica_index, group.members.len());
+        intra.push((
+            GroupId(gid),
+            NetRunner::spawn(replica, lane, runner_cfg.clone()),
+        ));
+    }
+    let finalr = epoch.final_replica_index(id).map(|replica_index| {
+        let lane: Lane<Batch<CtrlPayload>> = mux.lane(final_lane(no), epoch.final_com.clone());
+        let replica = Replica::new(replica_index, epoch.final_com.len());
+        NetRunner::spawn(replica, lane, runner_cfg.clone())
+    });
+    EpochRuntime {
+        no,
+        epoch,
+        intra,
+        finalr,
+    }
+}
+
+/// Writes one southbound frame (u32 length prefix + body).
+pub(crate) fn write_sb_frame(stream: &mut TcpStream, msg: &SbMsg) -> std::io::Result<()> {
+    let body = msg.encode();
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&body);
+    stream.write_all(&frame)
+}
+
+fn southbound_accept_loop(
+    listener: TcpListener,
+    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    events: Sender<SbEvent>,
+    shutdown: Arc<AtomicBool>,
+    poll: Duration,
+    max_frame: usize,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conns = Arc::clone(&conns);
+                let events = events.clone();
+                let flag = Arc::clone(&shutdown);
+                let _ = thread::Builder::new()
+                    .name("curb-node-sb-reader".to_string())
+                    .spawn(move || southbound_reader(stream, conns, events, flag, max_frame));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(poll),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Per-connection southbound reader: a `Hello` registers the writer
+/// half for replies, then every `Request` is forwarded to the node's
+/// main loop. Anything malformed drops the connection.
+fn southbound_reader(
+    stream: TcpStream,
+    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    events: Sender<SbEvent>,
+    shutdown: Arc<AtomicBool>,
+    max_frame: usize,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut decoder = FrameDecoder::new(max_frame);
+    let mut buf = [0u8; 16 * 1024];
+    let mut registered: Option<usize> = None;
+    'outer: while !shutdown.load(Ordering::SeqCst) {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let mut frames = Vec::new();
+        if decoder
+            .feed(&buf[..n], |frame| frames.push(frame.to_vec()))
+            .is_err()
+        {
+            break;
+        }
+        for frame in frames {
+            match SbMsg::decode(&frame) {
+                Some(SbMsg::Hello { switch }) if registered.is_none() => {
+                    let switch = switch as usize;
+                    registered = Some(switch);
+                    conns
+                        .lock()
+                        .expect("southbound registry poisoned")
+                        .insert(switch, stream.try_clone().expect("clone sb stream"));
+                }
+                Some(SbMsg::Request(record)) => {
+                    if let Some(switch) = registered {
+                        if events.send(SbEvent::Request { switch, record }).is_err() {
+                            break 'outer;
+                        }
+                    }
+                }
+                _ => break 'outer, // protocol violation: drop the peer
+            }
+        }
+    }
+    if let Some(switch) = registered {
+        conns
+            .lock()
+            .expect("southbound registry poisoned")
+            .remove(&switch);
+    }
+}

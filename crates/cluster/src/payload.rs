@@ -1,0 +1,131 @@
+//! The one payload type every consensus lane of a controller node
+//! agrees on.
+//!
+//! A node multiplexes all of its consensus instances — one intra-group
+//! instance per controller group it belongs to, plus the final
+//! committee — over a single [`MuxTransport`]. The transport is generic
+//! over exactly one payload type, so the two Curb payloads
+//! ([`TxListPayload`] for intra-group rounds, [`BlockPayload`] for the
+//! final committee) are wrapped into [`CtrlPayload`]: lanes carrying
+//! transaction lists and lanes carrying blocks share wire plumbing
+//! without sharing consensus state.
+//!
+//! [`MuxTransport`]: curb_net::MuxTransport
+
+use curb_consensus::{Payload, PayloadCodec};
+use curb_core::{BlockPayload, TxListPayload};
+use curb_crypto::sha256::{digest_parts, Digest};
+
+/// Either Curb consensus payload, tagged so intra-group and final
+/// lanes can share one transport type.
+///
+/// The [`Default`] value is the empty transaction list — the no-op
+/// filler view changes commit into sequence holes, on either kind of
+/// lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlPayload {
+    /// An intra-group transaction list (Algorithm 3's `txList`).
+    Txs(TxListPayload),
+    /// A final-committee block proposal.
+    Block(BlockPayload),
+}
+
+impl Default for CtrlPayload {
+    fn default() -> Self {
+        CtrlPayload::Txs(TxListPayload::default())
+    }
+}
+
+impl Payload for CtrlPayload {
+    fn digest(&self) -> Digest {
+        // Domain-separate the variants so a transaction list can never
+        // collide with a block proposal in prepare/commit references.
+        match self {
+            CtrlPayload::Txs(txs) => digest_parts(&[b"ctrl-txs", &txs.digest().0]),
+            CtrlPayload::Block(block) => digest_parts(&[b"ctrl-block", &block.digest().0]),
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            CtrlPayload::Txs(txs) => txs.wire_size(),
+            CtrlPayload::Block(block) => block.wire_size(),
+        }
+    }
+}
+
+impl PayloadCodec for CtrlPayload {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            CtrlPayload::Txs(txs) => {
+                out.push(0);
+                txs.encode_payload(out);
+            }
+            CtrlPayload::Block(block) => {
+                out.push(1);
+                block.encode_payload(out);
+            }
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let (tag, rest) = bytes.split_first()?;
+        match tag {
+            0 => TxListPayload::decode_payload(rest).map(CtrlPayload::Txs),
+            1 => BlockPayload::decode_payload(rest).map(CtrlPayload::Block),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_chain::Block;
+    use curb_core::{ConfigData, ProtoTx, ReqKind, RequestKey, RequestRecord, SwitchId};
+
+    fn sample_tx() -> ProtoTx {
+        ProtoTx {
+            record: RequestRecord {
+                key: RequestKey {
+                    switch: SwitchId(2),
+                    seq: 7,
+                },
+                kind: ReqKind::PktIn { dst_host: 5 },
+            },
+            handled_by: 1,
+            config: ConfigData::FlowRules(vec![]),
+        }
+    }
+
+    #[test]
+    fn roundtrips_both_variants() {
+        let genesis = Block::genesis(b"init");
+        let block = Block::next(&genesis, vec![sample_tx().to_chain_tx()], 9);
+        let payloads = [
+            CtrlPayload::default(),
+            CtrlPayload::Txs(TxListPayload(vec![sample_tx()])),
+            CtrlPayload::Block(BlockPayload(None)),
+            CtrlPayload::Block(BlockPayload(Some(block))),
+        ];
+        for p in payloads {
+            let mut bytes = Vec::new();
+            p.encode_payload(&mut bytes);
+            assert_eq!(CtrlPayload::decode_payload(&bytes), Some(p));
+        }
+    }
+
+    #[test]
+    fn variants_never_collide_on_digest() {
+        let txs = CtrlPayload::Txs(TxListPayload::default());
+        let block = CtrlPayload::Block(BlockPayload(None));
+        assert_ne!(txs.digest(), block.digest());
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic() {
+        for bytes in [&[][..], &[9][..], &[0, 1][..], &[1, 1, 2, 3][..]] {
+            let _ = CtrlPayload::decode_payload(bytes);
+        }
+    }
+}

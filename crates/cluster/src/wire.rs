@@ -1,0 +1,281 @@
+//! Wire codecs for the two cluster-only protocols.
+//!
+//! * **Southbound** ([`SbMsg`]) — the s-agent ↔ controller protocol:
+//!   length-prefixed frames on a dedicated TCP connection per
+//!   (switch, controller) pair. An agent opens with [`SbMsg::Hello`],
+//!   broadcasts [`SbMsg::Request`] to every controller in its list, and
+//!   collects [`SbMsg::Reply`] until `f + 1` identical configurations
+//!   arrive (Algorithm 1's accept rule).
+//! * **East-west** ([`ClusterMsg`]) — controller ↔ controller messages
+//!   that are *not* consensus traffic, carried on the shared
+//!   transport's [`APP_LANE`]: the group leader's post-commit `AGREE`
+//!   hand-off to the final committee and the final committee's block
+//!   announcement to every node.
+//!
+//! Both codecs are total: any byte string decodes to `Some` or `None`,
+//! never a panic — a byzantine peer controls every byte.
+//!
+//! [`APP_LANE`]: curb_net::APP_LANE
+
+use curb_chain::Block;
+use curb_consensus::PayloadCodec;
+use curb_core::payload::{decode_block, encode_block};
+use curb_core::{ConfigData, RequestKey, RequestRecord, SwitchId, TxListPayload};
+
+/// High bit marking a synthetic [`RequestKey::seq`] used for
+/// controller-initiated REPLYs: when a reassignment commits, every
+/// controller serving a switch (under the outgoing or the incoming
+/// assignment) pushes the new assignment to it under
+/// `ANNOUNCE_SEQ_BIT | epoch` — only the accusing agent has a pending
+/// RE-ASS request to match a direct reply, the rest learn the rotation
+/// from these announcements, under the same `f + 1` identical-config
+/// accept rule. Agent-issued sequence numbers start at 1 and count up,
+/// so the bit cannot collide.
+pub const ANNOUNCE_SEQ_BIT: u64 = 1 << 63;
+
+/// A southbound frame body (agent ↔ controller).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SbMsg {
+    /// Agent → controller, first frame: identifies the issuing switch
+    /// so the controller can route replies for it onto this
+    /// connection.
+    Hello {
+        /// The switch this agent fronts.
+        switch: u64,
+    },
+    /// Agent → controller: a PKT-IN or RE-ASS request.
+    Request(RequestRecord),
+    /// Controller → agent: the configuration committed for `key`, as
+    /// claimed by `controller`. Agents accept on `f + 1` identical
+    /// configs and flag contradictors as byzantine evidence.
+    Reply {
+        /// The replying controller.
+        controller: u64,
+        /// The request this reply answers.
+        key: RequestKey,
+        /// The (claimed) committed configuration.
+        config: ConfigData,
+    },
+}
+
+impl SbMsg {
+    /// Encodes this message as one frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            SbMsg::Hello { switch } => {
+                out.push(0);
+                out.extend_from_slice(&switch.to_be_bytes());
+            }
+            SbMsg::Request(record) => {
+                out.push(1);
+                out.extend_from_slice(&record.signing_bytes());
+            }
+            SbMsg::Reply {
+                controller,
+                key,
+                config,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&controller.to_be_bytes());
+                out.extend_from_slice(&(key.switch.0 as u64).to_be_bytes());
+                out.extend_from_slice(&key.seq.to_be_bytes());
+                out.extend_from_slice(&config.encode());
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame body. `None` on malformed or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Option<SbMsg> {
+        let (tag, mut rest) = bytes.split_first()?;
+        let msg = match tag {
+            0 => SbMsg::Hello {
+                switch: take_u64(&mut rest)?,
+            },
+            1 => SbMsg::Request(RequestRecord::decode(&mut rest)?),
+            2 => {
+                let controller = take_u64(&mut rest)?;
+                let switch = take_u64(&mut rest)? as usize;
+                let seq = take_u64(&mut rest)?;
+                let config = ConfigData::decode(&mut rest)?;
+                SbMsg::Reply {
+                    controller,
+                    key: RequestKey {
+                        switch: SwitchId(switch),
+                        seq,
+                    },
+                    config,
+                }
+            }
+            _ => return None,
+        };
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// An east-west app-lane message between controller nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterMsg {
+    /// Group leader → final-committee leader after an intra-group
+    /// commit: the agreed transaction list, ready for block inclusion
+    /// (the paper's Step 3 hand-off).
+    Agree {
+        /// Epoch the intra-group instance belonged to.
+        epoch: u64,
+        /// The originating controller group.
+        group: u64,
+        /// The intra-group-committed transactions.
+        txs: TxListPayload,
+    },
+    /// Final-committee member → everyone after a final commit: the
+    /// appended block. Nodes outside the committee adopt a block once
+    /// `f + 1` distinct committee members announce the same one.
+    FinalBlock {
+        /// Epoch whose final committee certified the block.
+        epoch: u64,
+        /// The certified block.
+        block: Block,
+    },
+}
+
+impl ClusterMsg {
+    /// Encodes this message as one app-lane payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ClusterMsg::Agree { epoch, group, txs } => {
+                out.push(0);
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out.extend_from_slice(&group.to_be_bytes());
+                txs.encode_payload(&mut out);
+            }
+            ClusterMsg::FinalBlock { epoch, block } => {
+                out.push(1);
+                out.extend_from_slice(&epoch.to_be_bytes());
+                encode_block(&mut out, block);
+            }
+        }
+        out
+    }
+
+    /// Decodes one app-lane payload. `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<ClusterMsg> {
+        let (tag, mut rest) = bytes.split_first()?;
+        match tag {
+            0 => {
+                let epoch = take_u64(&mut rest)?;
+                let group = take_u64(&mut rest)?;
+                let txs = TxListPayload::decode_payload(rest)?;
+                Some(ClusterMsg::Agree { epoch, group, txs })
+            }
+            1 => {
+                let epoch = take_u64(&mut rest)?;
+                let block = decode_block(&mut rest)?;
+                if !rest.is_empty() {
+                    return None;
+                }
+                Some(ClusterMsg::FinalBlock { epoch, block })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Some(u64::from_be_bytes(head.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curb_core::{FlowRuleSpec, ProtoTx, ReqKind};
+
+    fn record(seq: u64) -> RequestRecord {
+        RequestRecord {
+            key: RequestKey {
+                switch: SwitchId(3),
+                seq,
+            },
+            kind: ReqKind::PktIn { dst_host: 12 },
+        }
+    }
+
+    #[test]
+    fn southbound_roundtrip() {
+        let msgs = [
+            SbMsg::Hello { switch: 9 },
+            SbMsg::Request(record(4)),
+            SbMsg::Request(RequestRecord {
+                key: RequestKey {
+                    switch: SwitchId(1),
+                    seq: 2,
+                },
+                kind: ReqKind::ReAss {
+                    accused: vec![0, 3],
+                },
+            }),
+            SbMsg::Reply {
+                controller: 2,
+                key: record(4).key,
+                config: ConfigData::FlowRules(vec![FlowRuleSpec {
+                    priority: 10,
+                    dst_host: 12,
+                    out_port: 3,
+                }]),
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(SbMsg::decode(&msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn east_west_roundtrip() {
+        let tx = ProtoTx {
+            record: record(1),
+            handled_by: 0,
+            config: ConfigData::FlowRules(vec![]),
+        };
+        let genesis = Block::genesis(b"init");
+        let block = Block::next(&genesis, vec![tx.to_chain_tx()], 77);
+        let msgs = [
+            ClusterMsg::Agree {
+                epoch: 1,
+                group: 0,
+                txs: TxListPayload(vec![tx]),
+            },
+            ClusterMsg::FinalBlock { epoch: 1, block },
+        ];
+        for msg in msgs {
+            assert_eq!(ClusterMsg::decode(&msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic() {
+        for bytes in [
+            &[][..],
+            &[7][..],
+            &[0][..],
+            &[1, 2, 3][..],
+            &[2, 0, 0][..],
+            &[0xFF; 40][..],
+        ] {
+            let _ = SbMsg::decode(bytes);
+            let _ = ClusterMsg::decode(bytes);
+        }
+        // Trailing garbage is rejected, not silently accepted.
+        let mut bytes = SbMsg::Hello { switch: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(SbMsg::decode(&bytes), None);
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end cluster tests: the full 4-step round workflow over real
+//! loopback TCP — PACKET_IN → intra-group PBFT → final-committee
+//! block → REPLY — including the lying-controller byzantine scenario
+//! and live RE-ASS.
+
+use curb_cluster::{AgentEvent, Cluster, ClusterConfig, NodeBehavior};
+use curb_core::{ConfigData, SwitchId};
+use curb_graph::synthetic;
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
+
+/// Watchdog: fail loudly instead of hanging CI if the cluster
+/// deadlocks.
+fn with_deadline<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("cluster test deadlocked");
+}
+
+/// A config whose CAP model is always feasible on a random synthetic
+/// topology (no delay bound surprises) and whose capacity forces the
+/// requested group structure.
+fn test_config(capacity: u32, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.curb.seed = seed;
+    cfg.curb.max_cs_delay_ms = 1e9;
+    cfg.curb.max_cc_delay_ms = None;
+    cfg.curb.controller_capacity = capacity;
+    cfg.request_timeout = Duration::from_secs(2);
+    cfg
+}
+
+/// Drains agent events without discarding them, so a milestone that
+/// raced ahead of the one currently waited on is still observable.
+struct EventLog<'a> {
+    rx: &'a Receiver<(SwitchId, AgentEvent)>,
+    seen: Vec<(SwitchId, AgentEvent)>,
+}
+
+impl<'a> EventLog<'a> {
+    fn new(cluster: &'a Cluster) -> Self {
+        EventLog {
+            rx: &cluster.events,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Waits until `pred` holds over everything seen so far; returns
+    /// whether it did before the deadline.
+    fn wait_until<F: FnMut(&[(SwitchId, AgentEvent)]) -> bool>(
+        &mut self,
+        secs: u64,
+        mut pred: F,
+    ) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        loop {
+            if pred(&self.seen) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            match self.rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(ev) => self.seen.push(ev),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return pred(&self.seen),
+            }
+        }
+    }
+
+    fn accepted_count(&self, switch: SwitchId) -> usize {
+        self.seen
+            .iter()
+            .filter(|(s, e)| *s == switch && matches!(e, AgentEvent::Accepted { .. }))
+            .count()
+    }
+}
+
+#[test]
+fn single_group_commits_flow_mods_end_to_end() {
+    with_deadline(60, || {
+        let topo = synthetic(4, 1, 11);
+        let cluster = Cluster::launch(&topo, test_config(4, 1)).expect("launch");
+        assert_eq!(cluster.epoch0.group_count(), 1);
+
+        cluster.pkt_in(SwitchId(0), 0);
+        let mut log = EventLog::new(&cluster);
+        assert!(
+            log.wait_until(30, |seen| seen
+                .iter()
+                .any(|(_, e)| matches!(e, AgentEvent::Accepted { .. }))),
+            "request must commit end-to-end"
+        );
+        let config = log
+            .seen
+            .iter()
+            .find_map(|(_, e)| match e {
+                AgentEvent::Accepted { config, .. } => Some(config.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(
+            matches!(config, ConfigData::FlowRules(ref rules) if !rules.is_empty()),
+            "PKT-IN must commit flow rules, got {config:?}"
+        );
+        // The flow rules were installed at the agent.
+        assert!(
+            cluster.agents[0]
+                .probe
+                .flows
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        // The round is on-chain on at least one node.
+        assert!(cluster.max_height() >= 1);
+        cluster.shutdown();
+    });
+}
+
+/// Satellite: the lying-controller scenario. One group member sends
+/// corrupted REPLYs; the agent still accepts on `f + 1` identical
+/// honest replies and records the liar as byzantine evidence.
+#[test]
+fn lying_controller_is_outvoted_and_recorded() {
+    with_deadline(60, || {
+        let topo = synthetic(4, 1, 13);
+        let mut cfg = test_config(4, 2);
+        let liar = 2;
+        cfg.behaviors = vec![NodeBehavior::Honest; 4];
+        cfg.behaviors[liar] = NodeBehavior::Lying;
+        let cluster = Cluster::launch(&topo, cfg).expect("launch");
+        assert!(
+            cluster.epoch0.ctrl_list(SwitchId(0)).contains(&liar),
+            "test premise: the liar serves the switch"
+        );
+
+        cluster.pkt_in(SwitchId(0), 0);
+        let mut log = EventLog::new(&cluster);
+        // f + 1 identical honest replies beat the liar, and the
+        // contradiction becomes byzantine evidence.
+        assert!(
+            log.wait_until(40, |seen| {
+                seen.iter()
+                    .any(|(_, e)| matches!(e, AgentEvent::Accepted { .. }))
+                    && seen
+                        .iter()
+                        .any(|(_, e)| matches!(e, AgentEvent::Byzantine { .. }))
+            }),
+            "honest quorum must accept and the liar must be flagged; saw {:?}",
+            log.seen
+        );
+        for (_, event) in &log.seen {
+            match event {
+                AgentEvent::Accepted { config, .. } => assert!(
+                    !matches!(config, ConfigData::FlowRules(rules)
+                        if rules.iter().any(|r| r.out_port == 0xBAD)),
+                    "the corrupted config must never be accepted"
+                ),
+                AgentEvent::Byzantine { accused } => assert_eq!(accused, &vec![liar]),
+                _ => {}
+            }
+        }
+        cluster.shutdown();
+    });
+}
+
+/// The tentpole acceptance scenario: two disjoint groups, a byzantine
+/// controller in one of them, live RE-ASS — the liar is excluded by a
+/// committed reassignment, agents re-home, and commits continue in
+/// the new epoch without halting the other group.
+#[test]
+fn multi_group_reass_excludes_liar_and_commits_continue() {
+    with_deadline(180, || {
+        // 12 controllers / capacity 1 force two disjoint groups of 4
+        // and leave spares for the reassignment to draw on.
+        let topo = synthetic(12, 2, 17);
+        let mut cfg = test_config(1, 3);
+        let cluster = Cluster::launch(&topo, cfg.clone()).expect("probe launch");
+        assert!(
+            cluster.epoch0.group_count() >= 2,
+            "need two distinct groups"
+        );
+        // Pick a *non-leader* member of switch 0's group as the liar
+        // (a lying leader is also detected, but a non-leader keeps
+        // this test focused on REPLY matching, not proposal duty).
+        let g0 = cluster.epoch0.ctrl_list(SwitchId(0)).to_vec();
+        let leader = cluster.epoch0.groups[cluster.epoch0.group_of(SwitchId(0)).0].leader();
+        let liar = *g0
+            .iter()
+            .find(|&&c| c != leader)
+            .expect("non-leader member");
+        cluster.shutdown();
+
+        cfg.behaviors = vec![NodeBehavior::Honest; 12];
+        cfg.behaviors[liar] = NodeBehavior::Lying;
+        let cluster = Cluster::launch(&topo, cfg).expect("launch");
+        let mut log = EventLog::new(&cluster);
+
+        // Round 1: both groups commit despite the liar, and the
+        // liar's contradictions trigger a live RE-ASS.
+        cluster.pkt_in(SwitchId(0), 1);
+        cluster.pkt_in(SwitchId(1), 0);
+        assert!(
+            log.wait_until(60, |seen| {
+                let a0 = seen
+                    .iter()
+                    .any(|(s, e)| s.0 == 0 && matches!(e, AgentEvent::Accepted { .. }));
+                let a1 = seen
+                    .iter()
+                    .any(|(s, e)| s.0 == 1 && matches!(e, AgentEvent::Accepted { .. }));
+                let reass = seen.iter().any(|(_, e)| {
+                    matches!(e, AgentEvent::ReassIssued { accused, .. }
+                        if accused.contains(&liar))
+                });
+                a0 && a1 && reass
+            }),
+            "both groups must commit and RE-ASS must fire against the liar; saw {:?}",
+            log.seen
+        );
+
+        // The committed NewAssignment re-homes switch 0's agent onto a
+        // group without the liar.
+        assert!(
+            log.wait_until(60, |seen| seen
+                .iter()
+                .any(|(s, e)| s.0 == 0 && matches!(e, AgentEvent::EpochAdopted { .. }))),
+            "the reassignment must commit and be adopted; saw {:?}",
+            log.seen
+        );
+        let ctrl_list = log
+            .seen
+            .iter()
+            .rev()
+            .find_map(|(s, e)| match e {
+                AgentEvent::EpochAdopted { ctrl_list } if s.0 == 0 => Some(ctrl_list.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(
+            !ctrl_list.contains(&liar),
+            "the committed reassignment must exclude the liar, got {ctrl_list:?}"
+        );
+        assert!(cluster.max_epoch() >= 1, "nodes must rotate the epoch");
+
+        // Commits continue across the epoch boundary, in both groups.
+        let height_before = cluster.max_height();
+        let (base0, base1) = (
+            log.accepted_count(SwitchId(0)),
+            log.accepted_count(SwitchId(1)),
+        );
+        cluster.pkt_in(SwitchId(0), 3);
+        cluster.pkt_in(SwitchId(1), 2);
+        assert!(
+            log.wait_until(90, |seen| {
+                let count = |sw: usize| {
+                    seen.iter()
+                        .filter(|(s, e)| s.0 == sw && matches!(e, AgentEvent::Accepted { .. }))
+                        .count()
+                };
+                count(0) > base0 && count(1) > base1
+            }),
+            "commits must continue after RE-ASS; saw {:?}",
+            log.seen
+        );
+        assert!(cluster.max_height() > height_before);
+        cluster.shutdown();
+    });
+}

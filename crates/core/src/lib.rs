@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod msg;
 pub mod network;
 pub mod payload;
+pub mod round;
 pub mod shared;
 pub mod switch;
 
@@ -63,6 +64,10 @@ pub use ids::{ControllerId, GroupId, NodePlan, SwitchId};
 pub use metrics::{Report, RoundReport};
 pub use msg::CurbMsg;
 pub use network::{CurbNetwork, CurbNode, SetupError};
-pub use payload::{ConfigData, ProtoTx, ReqKind, RequestKey, RequestRecord};
+pub use payload::{
+    decode_block, encode_block, BlockPayload, ConfigData, FlowRuleSpec, ProtoTx, ReqKind,
+    RequestKey, RequestRecord, SignedRequest, TxListPayload,
+};
+pub use round::{Audit, EvidenceBook, ReplyMatcher, ReplyOutcome};
 pub use shared::{ControllerBehavior, Shared};
 pub use switch::{ReqOutcome, SwitchActor};

@@ -2,8 +2,8 @@
 //! two consensus payload types (transaction lists and blocks).
 
 use crate::ids::SwitchId;
-use curb_chain::{Block, RequestKind, Transaction};
-use curb_consensus::Payload;
+use curb_chain::{Block, BlockHeader, RequestKind, Transaction};
+use curb_consensus::{Payload, PayloadCodec};
 use curb_crypto::sha256::{digest_parts, Digest};
 use curb_crypto::{PublicKey, Signature};
 
@@ -353,6 +353,162 @@ impl Payload for BlockPayload {
     }
 }
 
+/// Cap on list lengths decoded from the wire, so a hostile count can
+/// never trigger a huge allocation before the bytes run out.
+const MAX_WIRE_ITEMS: u32 = 1 << 20;
+
+fn put_len_prefixed(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn take_len_prefixed<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = take_u32(buf)? as usize;
+    if buf.len() < len {
+        return None;
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Some(head)
+}
+
+impl PayloadCodec for TxListPayload {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_be_bytes());
+        for tx in &self.0 {
+            put_len_prefixed(out, &tx.encode());
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let mut buf = bytes;
+        let n = take_u32(&mut buf)?;
+        if n > MAX_WIRE_ITEMS {
+            return None;
+        }
+        let mut txs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            txs.push(ProtoTx::decode(take_len_prefixed(&mut buf)?)?);
+        }
+        if !buf.is_empty() {
+            return None;
+        }
+        Some(TxListPayload(txs))
+    }
+}
+
+fn encode_chain_tx(out: &mut Vec<u8>, tx: &Transaction) {
+    out.push(match tx.kind {
+        RequestKind::PacketIn => 0,
+        RequestKind::Reassign => 1,
+        RequestKind::Init => 2,
+    });
+    out.extend_from_slice(&tx.switch.to_be_bytes());
+    out.extend_from_slice(&tx.controller.to_be_bytes());
+    put_len_prefixed(out, &tx.config);
+    match &tx.signature {
+        None => out.push(0),
+        Some((pk, sig)) => {
+            out.push(1);
+            out.extend_from_slice(&pk.to_bytes());
+            out.extend_from_slice(&sig.to_bytes());
+        }
+    }
+}
+
+fn decode_chain_tx(buf: &mut &[u8]) -> Option<Transaction> {
+    let kind = match take_u8(buf)? {
+        0 => RequestKind::PacketIn,
+        1 => RequestKind::Reassign,
+        2 => RequestKind::Init,
+        _ => return None,
+    };
+    let switch = take_u64(buf)?;
+    let controller = take_u64(buf)?;
+    let config = take_len_prefixed(buf)?.to_vec();
+    let mut tx = Transaction::new(kind, switch, controller, config);
+    match take_u8(buf)? {
+        0 => {}
+        1 => {
+            let pk = take::<32>(buf)?;
+            let sig = take::<64>(buf)?;
+            tx.signature = Some((PublicKey::from_bytes(&pk), Signature::from_bytes(&sig)));
+        }
+        _ => return None,
+    }
+    Some(tx)
+}
+
+/// Appends a full block (header plus transaction body) to `out`. The
+/// inverse of [`decode_block`]; used by [`BlockPayload`]'s wire codec.
+pub fn encode_block(out: &mut Vec<u8>, block: &Block) {
+    out.extend_from_slice(&block.header.height.to_be_bytes());
+    out.extend_from_slice(&block.header.prev_hash.0);
+    out.extend_from_slice(&block.header.merkle_root.0);
+    out.extend_from_slice(&block.header.timestamp_ns.to_be_bytes());
+    out.extend_from_slice(&(block.txs.len() as u32).to_be_bytes());
+    for tx in &block.txs {
+        encode_chain_tx(out, tx);
+    }
+}
+
+/// Parses a block from the front of `buf`, advancing it. Returns
+/// `None` on malformed input or if the body does not match the
+/// header's Merkle commitment — a decoded block is always internally
+/// consistent.
+pub fn decode_block(buf: &mut &[u8]) -> Option<Block> {
+    let height = take_u64(buf)?;
+    let prev_hash = Digest(take::<32>(buf)?);
+    let merkle_root = Digest(take::<32>(buf)?);
+    let timestamp_ns = take_u64(buf)?;
+    let n = take_u32(buf)?;
+    if n > MAX_WIRE_ITEMS {
+        return None;
+    }
+    let mut txs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        txs.push(decode_chain_tx(buf)?);
+    }
+    let block = Block {
+        header: BlockHeader {
+            height,
+            prev_hash,
+            merkle_root,
+            timestamp_ns,
+        },
+        txs,
+    };
+    if !block.body_matches_header() {
+        return None;
+    }
+    Some(block)
+}
+
+impl PayloadCodec for BlockPayload {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match &self.0 {
+            None => out.push(0),
+            Some(block) => {
+                out.push(1);
+                encode_block(out, block);
+            }
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let mut buf = bytes;
+        let inner = match take_u8(&mut buf)? {
+            0 => None,
+            1 => Some(decode_block(&mut buf)?),
+            _ => return None,
+        };
+        if !buf.is_empty() {
+            return None;
+        }
+        Some(BlockPayload(inner))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +701,93 @@ mod tests {
             assert_eq!(ConfigData::decode(&mut buf), Some(c));
             assert!(buf.is_empty());
         }
+    }
+
+    #[test]
+    fn txlist_payload_wire_roundtrip() {
+        let list = TxListPayload(vec![
+            ProtoTx {
+                record: record(1),
+                handled_by: 2,
+                config: ConfigData::FlowRules(vec![FlowRuleSpec {
+                    priority: 10,
+                    dst_host: 7,
+                    out_port: 2,
+                }]),
+            },
+            ProtoTx {
+                record: RequestRecord {
+                    key: RequestKey {
+                        switch: SwitchId(4),
+                        seq: 9,
+                    },
+                    kind: ReqKind::ReAss {
+                        accused: vec![1, 5],
+                    },
+                },
+                handled_by: 0,
+                config: ConfigData::NewAssignment {
+                    groups: vec![vec![0, 1, 2]],
+                },
+            },
+        ]);
+        let mut bytes = Vec::new();
+        list.encode_payload(&mut bytes);
+        assert_eq!(TxListPayload::decode_payload(&bytes), Some(list));
+        // Trailing garbage and truncation are rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(TxListPayload::decode_payload(&padded), None);
+        assert_eq!(
+            TxListPayload::decode_payload(&bytes[..bytes.len() - 1]),
+            None
+        );
+    }
+
+    #[test]
+    fn block_payload_wire_roundtrip() {
+        use curb_chain::Block;
+        let genesis = Block::genesis(b"init");
+        let tx = ProtoTx {
+            record: record(3),
+            handled_by: 1,
+            config: ConfigData::FlowRules(vec![]),
+        }
+        .to_chain_tx();
+        let mut signed_tx = tx.clone();
+        let mut rng = curb_crypto::rng::DetRng::new(7);
+        let keys = KeyPair::generate(&mut rng);
+        signed_tx.sign(&keys, &mut rng);
+        let block = Block::next(&genesis, vec![tx, signed_tx], 42);
+
+        for payload in [BlockPayload(None), BlockPayload(Some(block.clone()))] {
+            let mut bytes = Vec::new();
+            payload.encode_payload(&mut bytes);
+            assert_eq!(BlockPayload::decode_payload(&bytes), Some(payload));
+        }
+    }
+
+    #[test]
+    fn tampered_block_body_fails_decode() {
+        use curb_chain::Block;
+        let genesis = Block::genesis(b"init");
+        let tx = ProtoTx {
+            record: record(3),
+            handled_by: 1,
+            config: ConfigData::FlowRules(vec![]),
+        }
+        .to_chain_tx();
+        let block = Block::next(&genesis, vec![tx], 42);
+        let mut bytes = Vec::new();
+        BlockPayload(Some(block)).encode_payload(&mut bytes);
+        // Flip one byte of the transaction body: the Merkle commitment
+        // in the header no longer matches, so decode must refuse.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(BlockPayload::decode_payload(&bytes), None);
+        // Hostile random bytes never panic.
+        assert_eq!(BlockPayload::decode_payload(&[9, 9, 9]), None);
+        assert_eq!(BlockPayload::decode_payload(&[]), None);
     }
 
     #[test]

@@ -19,13 +19,14 @@
 use crate::ids::SwitchId;
 use crate::msg::CurbMsg;
 use crate::payload::{ConfigData, ReqKind, RequestKey, RequestRecord, SignedRequest};
+use crate::round::{EvidenceBook, ReplyMatcher};
 use crate::shared::Shared;
 use curb_crypto::rng::DetRng;
 use curb_crypto::KeyPair;
 use curb_sdn::flow::{FlowAction, FlowEntry, FlowMatch, FlowTable};
 use curb_sdn::{FlowMod, HostId, Packet, PortId};
 use curb_sim::{Actor, Context, NodeId, SimTime, TimerTag};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Outcome of one request, for metrics collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,13 +46,10 @@ pub struct ReqOutcome {
 struct Pending {
     record: RequestRecord,
     sent_at: SimTime,
-    /// `R_s`: replies received, `(controller, config, time)`.
-    replies: Vec<(usize, ConfigData, SimTime)>,
-    accepted: Option<(ConfigData, SimTime)>,
+    /// `R_s`: the shared reply-matching state machine.
+    matcher: ReplyMatcher,
     /// Buffered data packet awaiting the flow rule (PKT-IN only).
     buffered_packet: Option<Packet>,
-    /// Timeout bookkeeping already performed.
-    audited: bool,
 }
 
 /// The switch actor.
@@ -65,12 +63,9 @@ pub struct SwitchActor {
     flow_table: FlowTable,
     next_seq: u64,
     outstanding: BTreeMap<u64, Pending>,
-    /// Miss strikes per controller.
-    strikes: BTreeMap<usize, u32>,
-    /// Lazy strikes per controller.
-    lazy_strikes: BTreeMap<usize, u32>,
-    /// Controllers already accused (no duplicate RE-ASS).
-    accused: BTreeSet<usize>,
+    /// Strike tallies and the accused set (shared with the cluster
+    /// s-agent via [`crate::round`]).
+    evidence: EvidenceBook,
     /// Data-plane packets successfully forwarded.
     forwarded: u64,
     /// Completed request outcomes, drained by the orchestrator.
@@ -96,6 +91,8 @@ impl SwitchActor {
         keys: Option<KeyPair>,
         rng: DetRng,
     ) -> Self {
+        let evidence =
+            EvidenceBook::new(shared.config.suspect_threshold, shared.config.lazy_patience);
         SwitchActor {
             id,
             shared,
@@ -105,9 +102,7 @@ impl SwitchActor {
             flow_table: FlowTable::with_table_miss(),
             next_seq: 0,
             outstanding: BTreeMap::new(),
-            strikes: BTreeMap::new(),
-            lazy_strikes: BTreeMap::new(),
-            accused: BTreeSet::new(),
+            evidence,
             forwarded: 0,
             outcomes: Vec::new(),
         }
@@ -130,23 +125,10 @@ impl SwitchActor {
         self.adopt_ctrl_list(list);
     }
 
-    /// Applies a (possibly identical) controller list with detection
-    /// bookkeeping:
-    ///
-    /// * miss-strike tallies always persist (a returning controller
-    ///   resumes its record);
-    /// * laziness tallies reset only when the list actually changed —
-    ///   the old epoch's congestion is gone, so stragglers start fresh.
-    ///   When a reassignment left the list *unchanged* (e.g. concurrent
-    ///   conflicting reassignments cancelled out), the observations are
-    ///   still valid and the next audit can re-accuse immediately;
-    /// * controllers that remain in (or return to) the list become
-    ///   accusable again.
+    /// Applies a (possibly identical) controller list with the
+    /// detection bookkeeping of [`EvidenceBook::adopt_ctrl_list`].
     fn adopt_ctrl_list(&mut self, list: Vec<usize>) {
-        if list != self.ctrl_list {
-            self.lazy_strikes.clear();
-        }
-        self.accused.retain(|c| !list.contains(c));
+        self.evidence.adopt_ctrl_list(list != self.ctrl_list, &list);
         self.ctrl_list = list;
     }
 
@@ -171,7 +153,7 @@ impl SwitchActor {
                     key: p.record.key,
                     is_reassignment: matches!(p.record.kind, ReqKind::ReAss { .. }),
                     sent_at: p.sent_at,
-                    accepted_at: p.accepted.as_ref().map(|(_, t)| *t),
+                    accepted_at: p.matcher.accepted_at().map(SimTime::from_nanos),
                 });
             }
         }
@@ -210,15 +192,17 @@ impl SwitchActor {
                 .controller_node(crate::ids::ControllerId(c));
             ctx.send(node, CurbMsg::Request(req.clone()));
         }
+        let accept_quorum = self.shared.accept_f() + 1;
         self.outstanding.insert(
             record.key.seq,
             Pending {
                 record,
                 sent_at: ctx.now(),
-                replies: Vec::new(),
-                accepted: None,
+                matcher: ReplyMatcher::new(
+                    accept_quorum,
+                    self.shared.config.lazy_margin.as_nanos() as u64,
+                ),
                 buffered_packet: packet,
-                audited: false,
             },
         );
         ctx.set_timer(self.shared.config.timeout, self.next_seq);
@@ -251,56 +235,27 @@ impl SwitchActor {
         if key.switch != self.id || !self.ctrl_list.contains(&controller) {
             return;
         }
-        let accept_quorum = self.shared.accept_f() + 1;
         let now = ctx.now();
         // A controller that responds is not "missing": miss strikes are
         // consecutive, so any reply clears the tally — even when the
         // request has already been closed out.
-        self.strikes.remove(&controller);
+        self.evidence.clear_miss(controller);
         let Some(pending) = self.outstanding.get_mut(&key.seq) else {
             return;
         };
-        if pending.replies.iter().any(|(c, _, _)| *c == controller) {
-            return; // one vote per controller
+        let outcome = pending.matcher.on_reply(controller, config, now.as_nanos());
+        if let Some(config) = &outcome.newly_accepted {
+            let packet = pending.buffered_packet.take();
+            self.apply_config(&config.clone(), packet, now);
         }
-        pending.replies.push((controller, config.clone(), now));
-        let straggler = pending.audited
-            && pending
-                .accepted
-                .as_ref()
-                .is_some_and(|(_, at)| now.saturating_since(*at) > self.shared.config.lazy_margin);
-        if pending.accepted.is_none() {
-            let matching = pending
-                .replies
-                .iter()
-                .filter(|(_, c, _)| *c == config)
-                .count();
-            if matching >= accept_quorum {
-                pending.accepted = Some((config.clone(), now));
-                let packet = pending.buffered_packet.take();
-                let contradictors: Vec<usize> = pending
-                    .replies
-                    .iter()
-                    .filter(|(_, c, _)| *c != config)
-                    .map(|(c, _, _)| *c)
-                    .collect();
-                self.apply_config(&config, packet, now);
-                // Immediate accusation of contradicting controllers.
-                self.accuse(ctx, contradictors);
-            }
-        } else if let Some((accepted, _)) = &pending.accepted {
-            if *accepted != config {
-                // Late contradiction.
-                self.accuse(ctx, vec![controller]);
-            }
-        }
-        if straggler {
+        // Immediate accusation of contradicting controllers (either
+        // pre-quorum contradictors surfacing at acceptance, or a late
+        // reply disagreeing with the accepted config).
+        self.accuse(ctx, outcome.contradictors);
+        if outcome.straggler {
             // Post-timeout straggler: worse than "lazy within the
             // timeout" — give it a lazy strike.
-            let threshold = self.shared.config.lazy_patience;
-            let tally = self.lazy_strikes.entry(controller).or_insert(0);
-            *tally += 1;
-            if *tally >= threshold {
+            if self.evidence.lazy_strike(controller) {
                 self.accuse(ctx, vec![controller]);
             }
         }
@@ -341,47 +296,20 @@ impl SwitchActor {
 
     /// Request-timeout audit: miss strikes, lazy strikes, accusations.
     fn on_request_timeout(&mut self, ctx: &mut Context<'_, CurbMsg>, seq: u64) {
-        let config = &self.shared.config;
-        let (suspects, lazies) = {
-            let Some(pending) = self.outstanding.get_mut(&seq) else {
-                return;
-            };
-            if pending.audited {
-                return;
-            }
-            pending.audited = true;
-            let mut suspects = Vec::new();
-            let mut lazies = Vec::new();
-            let mut prompt = Vec::new();
-            for &c in &self.ctrl_list {
-                match pending.replies.iter().find(|(rc, _, _)| *rc == c) {
-                    None => suspects.push(c),
-                    Some((_, _, t)) => {
-                        if let Some((_, accepted_at)) = &pending.accepted {
-                            if t.saturating_since(*accepted_at) > config.lazy_margin {
-                                lazies.push(c);
-                            } else {
-                                prompt.push(c);
-                            }
-                        }
-                    }
-                }
-            }
-            (suspects, (lazies, prompt))
+        let Some(pending) = self.outstanding.get_mut(&seq) else {
+            return;
         };
-        let (lazies, _prompt) = lazies;
+        let Some(audit) = pending.matcher.audit(&self.ctrl_list) else {
+            return;
+        };
         let mut to_accuse = Vec::new();
-        for c in suspects {
-            let s = self.strikes.entry(c).or_insert(0);
-            *s += 1;
-            if *s >= config.suspect_threshold {
+        for c in audit.missing {
+            if self.evidence.miss_strike(c) {
                 to_accuse.push(c);
             }
         }
-        for c in lazies {
-            let s = self.lazy_strikes.entry(c).or_insert(0);
-            *s += 1;
-            if *s >= config.lazy_patience {
+        for c in audit.lazies {
+            if self.evidence.lazy_strike(c) {
                 to_accuse.push(c);
             }
         }
@@ -390,15 +318,9 @@ impl SwitchActor {
 
     /// Issues a `RE-ASS` accusing `controllers` (deduplicated).
     fn accuse(&mut self, ctx: &mut Context<'_, CurbMsg>, controllers: Vec<usize>) {
-        let fresh: Vec<usize> = controllers
-            .into_iter()
-            .filter(|c| !self.accused.contains(c))
-            .collect();
+        let fresh = self.evidence.fresh_accusations(controllers);
         if fresh.is_empty() {
             return;
-        }
-        for &c in &fresh {
-            self.accused.insert(c);
         }
         self.broadcast_request(ctx, ReqKind::ReAss { accused: fresh }, None);
     }

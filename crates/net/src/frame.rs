@@ -20,6 +20,15 @@
 //! cert      := digest:[u8;32] count:u32 (voter:u64)*
 //! payload   := u32 len | PayloadCodec bytes
 //! ```
+//!
+//! Multiplexed transports (the node-level mux in [`crate::mux`]) wrap
+//! each body in a *lane frame* so many consensus instances can share
+//! one socket pair:
+//!
+//! ```text
+//! lane_frame := lane:u64 | body                (lane != APP_LANE)
+//!             | APP_LANE:u64 | app bytes       (opaque to this codec)
+//! ```
 
 use curb_chain::codec::{ByteReader, CodecError};
 use curb_consensus::{CommitCert, CommittedEntry, PayloadCodec, PbftMsg};
@@ -285,6 +294,71 @@ pub fn decode_msg<P: PayloadCodec>(body: &[u8]) -> Result<PbftMsg<P>, WireError>
         return Err(WireError::Corrupt("trailing bytes"));
     }
     Ok(msg)
+}
+
+/// The lane id reserved for opaque application frames on a multiplexed
+/// connection. Cluster-level messages (AGREE, FINAL-AGREE, epoch
+/// control) ride this lane; consensus instances use ordinary lane ids.
+pub const APP_LANE: u64 = u64::MAX;
+
+/// A frame body read off a multiplexed connection: either a consensus
+/// message addressed to one lane, or opaque application bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaneFrame<P> {
+    /// A PBFT message for the consensus instance registered on `lane`.
+    Msg {
+        /// The destination lane (consensus-instance id within the mux).
+        lane: u64,
+        /// The decoded message.
+        msg: PbftMsg<P>,
+    },
+    /// Application bytes from the [`APP_LANE`], left undecoded: the
+    /// mux hands them to whatever app-level codec sits above it.
+    App(Vec<u8>),
+}
+
+/// Serialises `msg` as a lane frame body appended to `out`:
+/// `lane:u64 | body`.
+///
+/// # Panics
+///
+/// Panics if `lane == APP_LANE`, which is reserved for app bytes.
+pub fn encode_lane_msg_into<P: PayloadCodec>(lane: u64, msg: &PbftMsg<P>, out: &mut Vec<u8>) {
+    assert_ne!(lane, APP_LANE, "APP_LANE is reserved for app frames");
+    out.extend_from_slice(&lane.to_be_bytes());
+    encode_msg_into(msg, out);
+}
+
+/// Serialises opaque application bytes as a lane frame body appended
+/// to `out`: `APP_LANE:u64 | bytes`.
+pub fn encode_lane_app_into(bytes: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&APP_LANE.to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Rebuilds a [`LaneFrame`] from a frame body.
+///
+/// Any lane id decodes — the mux drops frames for lanes nobody
+/// registered (a stale epoch's traffic lands here and dies quietly),
+/// so an unknown lane is not a wire error. The message body after the
+/// lane prefix is validated exactly like [`decode_msg`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn decode_lane_frame<P: PayloadCodec>(body: &[u8]) -> Result<LaneFrame<P>, WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let lane = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+    let rest = &body[8..];
+    if lane == APP_LANE {
+        return Ok(LaneFrame::App(rest.to_vec()));
+    }
+    Ok(LaneFrame::Msg {
+        lane,
+        msg: decode_msg(rest)?,
+    })
 }
 
 /// Incremental decoder for length-prefixed frame streams.
@@ -727,6 +801,65 @@ mod tests {
         write_frame(&mut good, b"later", 64).unwrap();
         assert!(decoder.feed(&good, |_| {}).is_err());
         assert!(!decoder.is_aligned());
+    }
+
+    #[test]
+    fn lane_frame_roundtrip_every_variant() {
+        for msg in every_variant() {
+            for lane in [0u64, 1, 42, u64::MAX - 1] {
+                let mut body = Vec::new();
+                encode_lane_msg_into(lane, &msg, &mut body);
+                assert_eq!(
+                    decode_lane_frame::<BytesPayload>(&body).unwrap(),
+                    LaneFrame::Msg {
+                        lane,
+                        msg: msg.clone()
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_frame_app_roundtrip() {
+        for bytes in [&b""[..], b"x", &[0xFFu8; 300]] {
+            let mut body = Vec::new();
+            encode_lane_app_into(bytes, &mut body);
+            assert_eq!(
+                decode_lane_frame::<BytesPayload>(&body).unwrap(),
+                LaneFrame::App(bytes.to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn lane_frame_truncated_prefix_rejected() {
+        for cut in 0..8 {
+            assert_eq!(
+                decode_lane_frame::<BytesPayload>(&vec![0u8; cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "APP_LANE is reserved")]
+    fn lane_frame_rejects_reserved_lane_on_encode() {
+        let msg = every_variant().remove(0);
+        encode_lane_msg_into(APP_LANE, &msg, &mut Vec::new());
+    }
+
+    #[test]
+    fn lane_frame_bad_body_still_errors() {
+        // A valid lane prefix followed by garbage must fail like
+        // decode_msg, not panic.
+        let mut body = 3u64.to_be_bytes().to_vec();
+        body.push(99); // unknown tag
+        assert_eq!(
+            decode_lane_frame::<BytesPayload>(&body),
+            Err(WireError::Corrupt("message tag"))
+        );
     }
 
     #[test]

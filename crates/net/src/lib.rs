@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+mod mux;
 mod reactor;
 mod runner;
 #[allow(unsafe_code)]
@@ -74,10 +75,15 @@ mod tcp;
 mod transport;
 
 pub use frame::{
-    decode_msg, encode_msg, encode_msg_into, read_frame, write_frame, FrameDecoder, WireError,
+    decode_lane_frame, decode_msg, encode_lane_app_into, encode_lane_msg_into, encode_msg,
+    encode_msg_into, read_frame, write_frame, FrameDecoder, LaneFrame, WireError, APP_LANE,
     DEFAULT_MAX_FRAME, MAX_CERT_VOTERS, MAX_STATE_ENTRIES,
 };
+pub use mux::{AppEvent, Lane, MuxConfig, MuxTransport, NodeId};
 pub use reactor::{ReactorConfig, ReactorTransport};
 pub use runner::{Delivery, NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
-pub use tcp::{PeerManager, TcpConfig, TcpTransport, HANDSHAKE_LEN, HANDSHAKE_MAGIC};
+pub use tcp::{
+    encode_hello, validate_hello, PeerManager, TcpConfig, TcpTransport, HANDSHAKE_LEN,
+    HANDSHAKE_MAGIC,
+};
 pub use transport::{LoopbackTransport, NetEvent, Transport, TransportKind};

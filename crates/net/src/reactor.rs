@@ -81,6 +81,9 @@ pub struct ReactorConfig {
     /// Timing-wheel slot granularity; timer deadlines are exact, the
     /// granularity only bounds how early the wheel re-checks them.
     pub tick: Duration,
+    /// Consensus-instance id stamped into the handshake; peers carrying
+    /// a different id are rejected. Defaults to 0 for single-group use.
+    pub group_id: u64,
 }
 
 impl Default for ReactorConfig {
@@ -93,6 +96,7 @@ impl Default for ReactorConfig {
             high_watermark: 8 << 20,
             coalesce_bytes: 256 << 10,
             tick: Duration::from_millis(4),
+            group_id: 0,
         }
     }
 }
@@ -513,7 +517,7 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
         self.conns[token] = Some(Conn::OutUp {
             peer,
             stream,
-            wbuf: encode_hello(self.id, self.n).to_vec(),
+            wbuf: encode_hello(self.id, self.n, self.cfg.group_id).to_vec(),
             wpos: 0,
             armed: true,
         });
@@ -702,7 +706,7 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
                 if *got < HANDSHAKE_LEN {
                     continue;
                 }
-                let Some(from) = validate_hello(hello, self.n) else {
+                let Some(from) = validate_hello(hello, self.n, self.cfg.group_id) else {
                     // Bad magic/id/group: close before any frame, and
                     // without a PeerDown (no PeerUp was sent).
                     close = true;
@@ -1346,14 +1350,16 @@ mod tests {
 
         // Garbage magic: connection must be dropped without events.
         let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(b"NOTCURB!\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0")
-            .expect("write");
+        s.write_all(&[b'X'; HANDSHAKE_LEN]).expect("write");
         // Out-of-range id.
         let mut s2 = TcpStream::connect(addr).expect("connect");
-        s2.write_all(&encode_hello(7, 2)).expect("write");
+        s2.write_all(&encode_hello(7, 2, 0)).expect("write");
         // Wrong group size.
         let mut s3 = TcpStream::connect(addr).expect("connect");
-        s3.write_all(&encode_hello(0, 5)).expect("write");
+        s3.write_all(&encode_hello(0, 5, 0)).expect("write");
+        // Wrong group id.
+        let mut s4 = TcpStream::connect(addr).expect("connect");
+        s4.write_all(&encode_hello(0, 2, 3)).expect("write");
 
         assert_eq!(t1.recv_timeout(Duration::from_millis(200)), None);
     }
@@ -1365,7 +1371,7 @@ mod tests {
             ..fast_cfg()
         });
         let mut s = TcpStream::connect(t1.local_addr()).expect("connect");
-        s.write_all(&encode_hello(0, 2)).expect("write");
+        s.write_all(&encode_hello(0, 2, 0)).expect("write");
         assert_eq!(
             t1.recv_timeout(Duration::from_secs(2)),
             Some(NetEvent::PeerUp(0))

@@ -70,35 +70,46 @@ impl TcpMetrics {
 }
 
 /// Protocol magic plus a version byte; bump the last byte on any wire
-/// format change.
-pub const HANDSHAKE_MAGIC: &[u8; 8] = b"CURBNET\x01";
+/// format change. Version 2 extended the hello with a `group_id`, so a
+/// v1 peer is rejected at the handshake instead of desyncing later.
+pub const HANDSHAKE_MAGIC: &[u8; 8] = b"CURBNET\x02";
 
 /// Length of the dialer→acceptor handshake in bytes.
-pub const HANDSHAKE_LEN: usize = 24;
+pub const HANDSHAKE_LEN: usize = 32;
 
-/// Builds the 24-byte dialer→acceptor handshake:
-/// `magic+version | peer_id:u64 | group_size:u64`. Shared by the
-/// thread-per-peer transport and the poll-based reactor so both speak
-/// the identical wire prelude.
-pub fn encode_hello(local: ReplicaId, group_size: usize) -> [u8; HANDSHAKE_LEN] {
+/// Builds the 32-byte dialer→acceptor handshake:
+/// `magic+version | peer_id:u64 | group_size:u64 | group_id:u64`.
+/// Shared by the thread-per-peer transport, the poll-based reactor and
+/// the node-level mux so all three speak the identical wire prelude.
+/// `group_id` names the consensus instance (or, for the mux, the node
+/// backbone) this connection belongs to; peers on a different instance
+/// are rejected before any frame is exchanged.
+pub fn encode_hello(local: ReplicaId, group_size: usize, group_id: u64) -> [u8; HANDSHAKE_LEN] {
     let mut hello = [0u8; HANDSHAKE_LEN];
     hello[..8].copy_from_slice(HANDSHAKE_MAGIC);
     hello[8..16].copy_from_slice(&(local as u64).to_be_bytes());
     hello[16..24].copy_from_slice(&(group_size as u64).to_be_bytes());
+    hello[24..32].copy_from_slice(&group_id.to_be_bytes());
     hello
 }
 
 /// Validates a received handshake against the local `group_size` and
-/// returns the dialer's replica id, or `None` on a magic/version
-/// mismatch, an out-of-range id or a wrong group size — the acceptor
-/// closes the connection before reading any frame.
-pub fn validate_hello(hello: &[u8; HANDSHAKE_LEN], group_size: usize) -> Option<ReplicaId> {
+/// `group_id` and returns the dialer's replica id, or `None` on a
+/// magic/version mismatch, an out-of-range id, a wrong group size or a
+/// different group id — the acceptor closes the connection before
+/// reading any frame.
+pub fn validate_hello(
+    hello: &[u8; HANDSHAKE_LEN],
+    group_size: usize,
+    group_id: u64,
+) -> Option<ReplicaId> {
     if &hello[..8] != HANDSHAKE_MAGIC {
         return None;
     }
     let from = u64::from_be_bytes(hello[8..16].try_into().expect("8 bytes")) as usize;
     let peer_n = u64::from_be_bytes(hello[16..24].try_into().expect("8 bytes")) as usize;
-    (from < group_size && peer_n == group_size).then_some(from)
+    let peer_group = u64::from_be_bytes(hello[24..32].try_into().expect("8 bytes"));
+    (from < group_size && peer_n == group_size && peer_group == group_id).then_some(from)
 }
 
 /// Tuning knobs for [`TcpTransport`].
@@ -122,6 +133,11 @@ pub struct TcpConfig {
     /// bytes, so a burst of small frames costs one `write` syscall
     /// instead of one per frame.
     pub coalesce_bytes: usize,
+    /// Consensus-instance id stamped into the handshake. Peers whose
+    /// hello carries a different id are rejected, so two groups can
+    /// never cross-wire even when a misconfigured address list points
+    /// them at each other. Single-group deployments keep the default 0.
+    pub group_id: u64,
 }
 
 impl Default for TcpConfig {
@@ -134,14 +150,20 @@ impl Default for TcpConfig {
             dial_timeout: Duration::from_millis(500),
             poll_interval: Duration::from_millis(50),
             coalesce_bytes: 256 << 10,
+            group_id: 0,
         }
     }
 }
 
 /// Reads exactly `buf.len()` bytes, tolerating read timeouts so the
 /// thread can observe `shutdown`. Returns `false` when the transport
-/// shut down mid-read.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+/// shut down mid-read. Shared with the node-level mux (`crate::mux`),
+/// whose reader threads follow the same shutdown discipline.
+pub(crate) fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> io::Result<bool> {
     let mut filled = 0;
     while filled < buf.len() {
         if shutdown.load(Ordering::Relaxed) {
@@ -346,7 +368,7 @@ fn writer_loop(
 fn dial(local: ReplicaId, n: usize, addr: SocketAddr, cfg: &TcpConfig) -> io::Result<TcpStream> {
     let mut stream = TcpStream::connect_timeout(&addr, cfg.dial_timeout)?;
     stream.set_nodelay(true)?;
-    stream.write_all(&encode_hello(local, n))?;
+    stream.write_all(&encode_hello(local, n, cfg.group_id))?;
     stream.flush()?;
     Ok(stream)
 }
@@ -609,14 +631,15 @@ fn reader_loop<P: PayloadCodec + Send + 'static>(
     {
         return;
     }
-    // Handshake: magic/version, then the peer's claimed id and the
-    // group size it believes in. Any mismatch closes the connection.
+    // Handshake: magic/version, then the peer's claimed id, the group
+    // size it believes in and the group id it belongs to. Any mismatch
+    // closes the connection.
     let mut hello = [0u8; HANDSHAKE_LEN];
     match read_full(&mut stream, &mut hello, shutdown) {
         Ok(true) => {}
         Ok(false) | Err(_) => return,
     }
-    let Some(from) = validate_hello(&hello, n) else {
+    let Some(from) = validate_hello(&hello, n, cfg.group_id) else {
         return;
     };
     if events.send(NetEvent::PeerUp(from)).is_err() {
@@ -770,22 +793,25 @@ mod tests {
 
         // Garbage magic: connection must be dropped without events.
         let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(b"NOTCURB!\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0")
-            .expect("write");
+        s.write_all(&[b'X'; HANDSHAKE_LEN]).expect("write");
         // Out-of-range id.
         let mut s2 = TcpStream::connect(addr).expect("connect");
-        let mut hello = Vec::new();
-        hello.extend_from_slice(HANDSHAKE_MAGIC);
-        hello.extend_from_slice(&7u64.to_be_bytes());
-        hello.extend_from_slice(&2u64.to_be_bytes());
-        s2.write_all(&hello).expect("write");
+        s2.write_all(&encode_hello(7, 2, 0)).expect("write");
         // Wrong group size.
         let mut s3 = TcpStream::connect(addr).expect("connect");
-        let mut hello = Vec::new();
-        hello.extend_from_slice(HANDSHAKE_MAGIC);
-        hello.extend_from_slice(&0u64.to_be_bytes());
-        hello.extend_from_slice(&5u64.to_be_bytes());
-        s3.write_all(&hello).expect("write");
+        s3.write_all(&encode_hello(0, 5, 0)).expect("write");
+        // Wrong group id: a peer from another consensus instance.
+        let mut s4 = TcpStream::connect(addr).expect("connect");
+        s4.write_all(&encode_hello(0, 2, 9)).expect("write");
+        // Stale v1 handshake (24 bytes, old magic) followed by padding:
+        // the version bump must reject it at the magic check.
+        let mut s5 = TcpStream::connect(addr).expect("connect");
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"CURBNET\x01");
+        v1.extend_from_slice(&0u64.to_be_bytes());
+        v1.extend_from_slice(&2u64.to_be_bytes());
+        v1.extend_from_slice(&0u64.to_be_bytes()); // pad to HANDSHAKE_LEN
+        s5.write_all(&v1).expect("write");
 
         assert_eq!(group[1].recv_timeout(Duration::from_millis(200)), None);
     }
@@ -798,11 +824,7 @@ mod tests {
         };
         let group = bind_group(2, &cfg);
         let mut s = TcpStream::connect(group[1].local_addr()).expect("connect");
-        let mut hello = Vec::new();
-        hello.extend_from_slice(HANDSHAKE_MAGIC);
-        hello.extend_from_slice(&0u64.to_be_bytes());
-        hello.extend_from_slice(&2u64.to_be_bytes());
-        s.write_all(&hello).expect("write");
+        s.write_all(&encode_hello(0, 2, 0)).expect("write");
         assert_eq!(
             group[1].recv_timeout(Duration::from_secs(2)),
             Some(NetEvent::PeerUp(0))

@@ -6,7 +6,11 @@
 //! itself permanently the moment a hostile length prefix appears,
 //! no matter where in the stream (or mid-prefix) it lands.
 
-use curb_net::FrameDecoder;
+use curb_consensus::{BytesPayload, Payload, PbftMsg};
+use curb_net::{
+    decode_lane_frame, encode_hello, encode_lane_app_into, encode_lane_msg_into, validate_hello,
+    FrameDecoder, LaneFrame, APP_LANE, HANDSHAKE_LEN,
+};
 use proptest::prelude::*;
 
 /// Cap used throughout; small enough that hostile lengths are easy to
@@ -128,5 +132,100 @@ proptest! {
             panic!("poisoned decoder must not emit frames")
         });
         prop_assert!(retry.is_err(), "decoder must stay poisoned");
+    }
+
+    /// Any non-reserved lane id round-trips a consensus message
+    /// through the lane-frame codec unchanged.
+    #[test]
+    fn lane_frames_roundtrip_for_any_lane(
+        lane in 0u64..u64::MAX,
+        view in any::<u64>(),
+        seq in any::<u64>(),
+        payload in prop::collection::vec(0u8.., 0..128),
+    ) {
+        let payload = BytesPayload(payload);
+        let msg = PbftMsg::PrePrepare {
+            view,
+            seq,
+            digest: payload.digest(),
+            payload,
+        };
+        let mut body = Vec::new();
+        encode_lane_msg_into(lane, &msg, &mut body);
+        prop_assert_eq!(
+            decode_lane_frame::<BytesPayload>(&body).expect("valid lane frame"),
+            LaneFrame::Msg { lane, msg }
+        );
+    }
+
+    /// App frames (reserved lane) carry arbitrary bytes verbatim and
+    /// never collide with a consensus lane on decode.
+    #[test]
+    fn app_frames_roundtrip_any_bytes(bytes in prop::collection::vec(0u8.., 0..256)) {
+        let mut body = Vec::new();
+        encode_lane_app_into(&bytes, &mut body);
+        prop_assert_eq!(
+            decode_lane_frame::<BytesPayload>(&body).expect("valid app frame"),
+            LaneFrame::App(bytes)
+        );
+    }
+
+    /// Hostile lane frames — truncated prefixes, a valid lane followed
+    /// by garbage — error but never panic, and a hostile lane id alone
+    /// is not a wire error (unknown lanes are dropped by routing, not
+    /// the codec).
+    #[test]
+    fn hostile_lane_frames_never_panic(
+        body in prop::collection::vec(0u8.., 0..64),
+    ) {
+        let _ = decode_lane_frame::<BytesPayload>(&body);
+        if body.len() < 8 {
+            prop_assert!(decode_lane_frame::<BytesPayload>(&body).is_err());
+        }
+    }
+
+    /// The v2 hello round-trips exactly when (and only when) the
+    /// acceptor expects the same group size and group id and the peer
+    /// id is in range.
+    #[test]
+    fn hello_validates_iff_fields_match(
+        id in 0usize..64,
+        n in 1usize..64,
+        group in any::<u64>(),
+        other_group in any::<u64>(),
+    ) {
+        let hello = encode_hello(id, n, group);
+        prop_assert_eq!(hello.len(), HANDSHAKE_LEN);
+        let accepted = validate_hello(&hello, n, group);
+        if id < n {
+            prop_assert_eq!(accepted, Some(id));
+        } else {
+            prop_assert_eq!(accepted, None);
+        }
+        // A different expected group id always rejects.
+        if other_group != group {
+            prop_assert_eq!(validate_hello(&hello, n, other_group), None);
+        }
+        // A different group size always rejects.
+        prop_assert_eq!(validate_hello(&hello, n + 1, group), None);
+    }
+
+    /// Arbitrary bytes in the hello slot never panic the validator,
+    /// and anything not starting with the v2 magic is rejected.
+    #[test]
+    fn garbage_hello_never_validates(raw in prop::collection::vec(0u8.., HANDSHAKE_LEN..HANDSHAKE_LEN + 1)) {
+        let hello: [u8; HANDSHAKE_LEN] = raw.try_into().expect("sized vec");
+        let result = validate_hello(&hello, 4, 0);
+        if &hello[..8] != b"CURBNET\x02" {
+            prop_assert_eq!(result, None);
+        }
+    }
+
+    /// APP_LANE is the all-ones id — the panic guard in the encoder
+    /// plus this pin means no consensus instance can ever be assigned
+    /// the app lane by accident.
+    #[test]
+    fn app_lane_is_pinned(_x in 0u8..1) {
+        prop_assert_eq!(APP_LANE, u64::MAX);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`core`] — the Curb protocol itself (groups, rounds, reassignment).
 //! * [`net`] — real TCP (and loopback) transport runtime for the
 //!   consensus core.
+//! * [`cluster`] — the full multi-group Curb runtime over real
+//!   sockets: controller nodes, s-agents, final committee, live
+//!   RE-ASS.
 //! * [`telemetry`] — unified tracing, metrics and latency histograms.
 //!
 //! ## Quickstart
@@ -34,6 +37,7 @@
 
 pub use curb_assign as assign;
 pub use curb_chain as chain;
+pub use curb_cluster as cluster;
 pub use curb_consensus as consensus;
 pub use curb_core as core;
 pub use curb_crypto as crypto;

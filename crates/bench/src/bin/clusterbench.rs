@@ -15,12 +15,20 @@
 //! the honest quorum, accuse the liar, live RE-ASS) while the bench
 //! keeps committing, and the report records how often each fired.
 //!
-//! With `--trace <path>` span recording is enabled and the
-//! `cluster.round` / `cluster.intra` / `cluster.final` breakdown is
-//! embedded as `phases_ns` (feed the file to `tracedump` for the full
-//! table).
+//! `--shards` (comma separated, default `1`) sweeps the per-node
+//! backbone's reactor shard count: the entire workload runs once per
+//! listed value and the report gains a `shard_sweep` table with each
+//! run's throughput ratio over the first listed shard count. The
+//! top-level fields always describe the first (baseline) run so
+//! trajectory tooling keeps comparing like with like.
 //!
-//! The JSON report (`schema_version` 4, shared `curb_bench::report`
+//! Span recording is always on, so the `cluster.round` /
+//! `cluster.intra` / `cluster.final` breakdown is embedded as
+//! `phases_ns` in every report. With `--trace <path>` the raw spans
+//! are additionally written as JSONL (feed the file to `tracedump`
+//! for the full table).
+//!
+//! The JSON report (`schema_version` 5, shared `curb_bench::report`
 //! path with netbench) lands on stdout and in `--out`
 //! (default `BENCH_cluster.json`).
 //!
@@ -29,7 +37,7 @@
 //! ```text
 //! cargo run --release -p curb-bench --bin clusterbench -- \
 //!     [--controllers 8] [--switches 2] [--capacity 1] [--requests 20] \
-//!     [--seed 7] [--byzantine 2] [--pinned-groups 2] \
+//!     [--seed 7] [--byzantine 2] [--pinned-groups 2] [--shards 1,2] \
 //!     [--trace trace.jsonl] [--out BENCH_cluster.json]
 //! ```
 //!
@@ -82,52 +90,55 @@ fn phases_json(phases: &[(String, Histogram)]) -> Json {
     )
 }
 
-fn main() {
-    let controllers: usize = arg_value("controllers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    let switches: usize = arg_value("switches")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-    let capacity: u32 = arg_value("capacity")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    let requests: usize = arg_value("requests")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
-    let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
-    let byzantine: Option<usize> = arg_value("byzantine").and_then(|v| v.parse().ok());
-    let pinned_groups: Option<usize> = arg_value("pinned-groups").and_then(|v| v.parse().ok());
-    let trace_path = arg_value("trace");
-    let out_path = arg_value("out").unwrap_or_else(|| "BENCH_cluster.json".to_string());
-    assert!(
-        (4..=64).contains(&controllers),
-        "--controllers must be in 4..=64"
-    );
-    assert!((1..=16).contains(&switches), "--switches must be in 1..=16");
-    assert!(requests > 0, "--requests must be positive");
-    if let Some(b) = byzantine {
-        assert!(b < controllers, "--byzantine must name a controller id");
-    }
-    if trace_path.is_some() {
-        curb_telemetry::enable();
-    }
+/// Everything the shared workload knobs say, minus the shard count —
+/// one sweep runs this once per listed shard count.
+struct Workload {
+    controllers: usize,
+    switches: usize,
+    capacity: u32,
+    requests: usize,
+    seed: u64,
+    byzantine: Option<usize>,
+    pinned_groups: Option<usize>,
+}
 
+/// One complete closed-loop run and everything the report needs from it.
+struct ClusterRun {
+    shards: usize,
+    groups: usize,
+    elapsed_s: f64,
+    total: usize,
+    accepted: Vec<usize>,
+    per_switch: Vec<Histogram>,
+    /// All switches' round latencies in one histogram, for the sweep
+    /// comparison (per-run p50/p99 in one place).
+    round: Histogram,
+    byzantine_flagged: u64,
+    reass_issued: u64,
+    epochs_adopted: u64,
+    max_height: u64,
+    max_epoch: u64,
+    phases: Vec<(String, Histogram)>,
+    spans: Vec<SpanRecord>,
+}
+
+fn run_cluster(w: &Workload, shards: usize) -> ClusterRun {
     // A synthetic edge topology; the delay bounds are opened up so the
     // CAP model stays feasible for any (controllers, switches, seed)
     // combination — the bench measures the runtime, not the solver.
-    let topo = synthetic(controllers, switches, seed);
+    let topo = synthetic(w.controllers, w.switches, w.seed);
     let mut cfg = ClusterConfig::default();
-    cfg.curb.seed = seed;
-    cfg.curb.controller_capacity = capacity;
+    cfg.curb.seed = w.seed;
+    cfg.curb.controller_capacity = w.capacity;
     cfg.curb.max_cs_delay_ms = 1e9;
     cfg.curb.max_cc_delay_ms = None;
-    if let Some(liar) = byzantine {
-        cfg.behaviors = vec![NodeBehavior::Honest; controllers];
+    cfg.shards = shards;
+    if let Some(liar) = w.byzantine {
+        cfg.behaviors = vec![NodeBehavior::Honest; w.controllers];
         cfg.behaviors[liar] = NodeBehavior::Lying;
     }
 
-    let cluster = match pinned_groups {
+    let cluster = match w.pinned_groups {
         Some(g) => {
             let boot = bootstrap_pinned(&topo, cfg.curb.clone(), g).expect("pinned bootstrap");
             Cluster::launch_with(boot, &cfg)
@@ -136,20 +147,23 @@ fn main() {
     };
     let groups = cluster.epoch0.group_count();
     eprintln!(
-        "clusterbench: {controllers} controllers in {groups} group(s), \
-         {switches} s-agent(s), {requests} requests per switch …"
+        "clusterbench: {} controllers in {groups} group(s), {} s-agent(s), \
+         {} requests per switch, {shards} reactor shard(s) …",
+        w.controllers, w.switches, w.requests
     );
 
     // Closed loop, window of one request per switch: a switch's next
     // PACKET_IN goes out when its previous one is accepted, so the
     // latency histogram is never queueing-inflated.
-    let mut per_switch: Vec<Histogram> = (0..switches).map(|_| Histogram::new()).collect();
-    let mut accepted = vec![0usize; switches];
+    let requests = w.requests;
+    let mut per_switch: Vec<Histogram> = (0..w.switches).map(|_| Histogram::new()).collect();
+    let mut round = Histogram::new();
+    let mut accepted = vec![0usize; w.switches];
     let mut byzantine_flagged = 0u64;
     let mut reass_issued = 0u64;
     let mut epochs_adopted = 0u64;
     let started = Instant::now();
-    for s in 0..switches {
+    for s in 0..w.switches {
         cluster.pkt_in(SwitchId(s), (s + 1) as u32);
     }
     let deadline = started + Duration::from_secs(120);
@@ -180,6 +194,7 @@ fn main() {
                 // rounds count toward the quota, but both are real
                 // 4-step rounds, so both land in the histogram.
                 per_switch[switch.0].record(latency_ns);
+                round.record(latency_ns);
                 if accepted[switch.0] < requests {
                     accepted[switch.0] += 1;
                     if accepted[switch.0] < requests {
@@ -198,14 +213,86 @@ fn main() {
     let max_epoch = cluster.max_epoch();
     cluster.shutdown();
 
-    // Joining the nodes flushed their span buffers; drain captures the
-    // whole run.
-    let spans = if curb_telemetry::enabled() {
-        curb_telemetry::drain()
-    } else {
-        Vec::new()
+    // Joining the nodes flushed their span buffers; a drain here
+    // captures exactly this run's spans.
+    let spans = curb_telemetry::drain();
+    let phases = phase_histograms(&spans);
+    ClusterRun {
+        shards,
+        groups,
+        elapsed_s: elapsed,
+        total,
+        accepted,
+        per_switch,
+        round,
+        byzantine_flagged,
+        reass_issued,
+        epochs_adopted,
+        max_height,
+        max_epoch,
+        phases,
+        spans,
+    }
+}
+
+fn main() {
+    let controllers: usize = arg_value("controllers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let switches: usize = arg_value("switches")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let capacity: u32 = arg_value("capacity")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let requests: usize = arg_value("requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let byzantine: Option<usize> = arg_value("byzantine").and_then(|v| v.parse().ok());
+    let pinned_groups: Option<usize> = arg_value("pinned-groups").and_then(|v| v.parse().ok());
+    let shard_counts: Vec<usize> = arg_value("shards")
+        .unwrap_or_else(|| "1".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&s| s >= 1)
+        .collect();
+    let trace_path = arg_value("trace");
+    let out_path = arg_value("out").unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    assert!(
+        (4..=64).contains(&controllers),
+        "--controllers must be in 4..=64"
+    );
+    assert!((1..=16).contains(&switches), "--switches must be in 1..=16");
+    assert!(requests > 0, "--requests must be positive");
+    assert!(
+        !shard_counts.is_empty(),
+        "--shards must name at least one shard count"
+    );
+    if let Some(b) = byzantine {
+        assert!(b < controllers, "--byzantine must name a controller id");
+    }
+    // Span recording is always on so `phases_ns` is populated in every
+    // report; `--trace` only controls whether the raw spans are also
+    // written out as JSONL.
+    curb_telemetry::enable();
+
+    let workload = Workload {
+        controllers,
+        switches,
+        capacity,
+        requests,
+        seed,
+        byzantine,
+        pinned_groups,
     };
+    let runs: Vec<ClusterRun> = shard_counts
+        .iter()
+        .map(|&s| run_cluster(&workload, s))
+        .collect();
+
     if let Some(path) = &trace_path {
+        let spans: Vec<SpanRecord> = runs.iter().flat_map(|r| r.spans.clone()).collect();
         match curb_telemetry::write_jsonl(path, &spans) {
             Ok(()) => eprintln!(
                 "clusterbench: {} trace spans written to {path}",
@@ -215,14 +302,19 @@ fn main() {
         }
     }
 
+    // The top-level fields describe the baseline run (first listed
+    // shard count) so the perf trajectory stays comparable across
+    // PRs; the sweep table below carries the other configurations.
+    let base = &runs[0];
     let ms = |ns: u64| ns as f64 / 1e6;
-    let switch_entries: Vec<Json> = per_switch
+    let switch_entries: Vec<Json> = base
+        .per_switch
         .iter()
         .enumerate()
         .map(|(s, h)| {
             Json::obj(vec![
                 ("switch", Json::UInt(s as u64)),
-                ("accepted", Json::UInt(accepted[s] as u64)),
+                ("accepted", Json::UInt(base.accepted[s] as u64)),
                 (
                     "round_latency_ms",
                     Json::obj(vec![
@@ -235,9 +327,40 @@ fn main() {
         })
         .collect();
 
+    // The shards-vs-throughput comparison: one entry per run, each
+    // with its throughput ratio over the baseline shard count.
+    let base_throughput = base.total as f64 / base.elapsed_s;
+    let sweep_entries: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            let throughput = r.total as f64 / r.elapsed_s;
+            Json::obj(vec![
+                ("shards", Json::UInt(r.shards as u64)),
+                ("elapsed_s", Json::Fixed(r.elapsed_s, 4)),
+                ("throughput_rounds_per_s", Json::Fixed(throughput, 2)),
+                (
+                    "round_latency_ms",
+                    Json::obj(vec![
+                        ("p50", Json::Fixed(ms(r.round.value_at_quantile(0.50)), 3)),
+                        ("p99", Json::Fixed(ms(r.round.value_at_quantile(0.99)), 3)),
+                    ]),
+                ),
+                (
+                    "speedup_vs_baseline_shards",
+                    Json::Fixed(throughput / base_throughput, 3),
+                ),
+            ])
+        })
+        .collect();
+    let shard_sweep = if runs.len() < 2 {
+        Json::Null
+    } else {
+        Json::Arr(sweep_entries)
+    };
+
     let report = report::envelope(
         "clusterbench",
-        groups,
+        base.groups,
         vec![
             ("controllers", Json::UInt(controllers as u64)),
             ("switches", Json::UInt(switches as u64)),
@@ -250,21 +373,23 @@ fn main() {
                     .map(|b| Json::UInt(b as u64))
                     .unwrap_or(Json::Null),
             ),
-            ("elapsed_s", Json::Fixed(elapsed, 4)),
             (
-                "throughput_rounds_per_s",
-                Json::Fixed(total as f64 / elapsed, 2),
+                "shard_counts",
+                Json::Arr(shard_counts.iter().map(|&s| Json::UInt(s as u64)).collect()),
             ),
-            ("max_height", Json::UInt(max_height)),
-            ("max_epoch", Json::UInt(max_epoch)),
-            ("byzantine_flagged", Json::UInt(byzantine_flagged)),
-            ("reass_issued", Json::UInt(reass_issued)),
-            ("epochs_adopted", Json::UInt(epochs_adopted)),
+            ("elapsed_s", Json::Fixed(base.elapsed_s, 4)),
+            ("throughput_rounds_per_s", Json::Fixed(base_throughput, 2)),
+            ("max_height", Json::UInt(base.max_height)),
+            ("max_epoch", Json::UInt(base.max_epoch)),
+            ("byzantine_flagged", Json::UInt(base.byzantine_flagged)),
+            ("reass_issued", Json::UInt(base.reass_issued)),
+            ("epochs_adopted", Json::UInt(base.epochs_adopted)),
             (
                 "trace",
                 trace_path.as_deref().map(Json::str).unwrap_or(Json::Null),
             ),
-            ("phases_ns", phases_json(&phase_histograms(&spans))),
+            ("phases_ns", phases_json(&base.phases)),
+            ("shard_sweep", shard_sweep),
             ("per_switch", Json::Arr(switch_entries)),
         ],
     );

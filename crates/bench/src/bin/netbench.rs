@@ -27,13 +27,20 @@
 //! count, state-request/retry counters, the transport it ran under).
 //! TCP only — a loopback replica cannot be restarted.
 //!
-//! With `--trace <path>` the run enables `curb-telemetry` span
-//! recording, writes every span (consensus phases, catch-up) to
-//! `<path>` as JSONL, and embeds a per-phase `phases_ns` percentile
-//! breakdown in each run's JSON. Feed the trace to the `tracedump`
-//! binary for the full per-phase table and per-seq critical path.
+//! `--shards` (comma separated, default `1`) sweeps the reactor's
+//! event-loop shard count: each listed value runs the full batch sweep
+//! on a `ReactorTransport` whose peer sockets are partitioned across
+//! that many epoll threads, and the report gains a `shard_comparison`
+//! table with the throughput ratio vs. the first listed shard count.
+//! The threaded transport ignores the knob.
 //!
-//! Results are printed as JSON (`schema_version` 4: every report
+//! Span recording is always on, so every run embeds a per-phase
+//! `phases_ns` percentile breakdown in its JSON. With `--trace <path>`
+//! the raw spans (consensus phases, catch-up) are additionally written
+//! to `<path>` as JSONL — feed that to the `tracedump` binary for the
+//! full per-phase table and per-seq critical path.
+//!
+//! Results are printed as JSON (`schema_version` 5: every report
 //! carries the controller `groups` count — always 1 here, netbench
 //! drives a single flat PBFT group; `clusterbench` covers the
 //! multi-group runtime) and also written to a machine-readable report
@@ -46,8 +53,8 @@
 //! ```text
 //! cargo run --release -p curb-bench --bin netbench -- \
 //!     [--n 4] [--proposals 500] [--payload 256] [--inflight 256] \
-//!     [--batch 1,16,64] [--window 0] [--transport both] [--loopback] \
-//!     [--recovery] [--trace trace.jsonl] [--out BENCH_net.json]
+//!     [--batch 1,16,64] [--window 0] [--transport both] [--shards 1,2] \
+//!     [--loopback] [--recovery] [--trace trace.jsonl] [--out BENCH_net.json]
 //! ```
 
 use curb_bench::report::{self, Json};
@@ -57,7 +64,7 @@ use curb_net::{
     LoopbackTransport, NetRunner, ReactorConfig, ReactorTransport, RunnerConfig, RunnerHandle,
     TcpConfig, TcpTransport, TransportKind,
 };
-use curb_telemetry::{Histogram, SpanRecord};
+use curb_telemetry::{Histogram, Registry, SpanRecord};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
@@ -103,8 +110,10 @@ fn runner_cfg(max_batch: usize, window: Duration) -> RunnerConfig {
 fn spawn_socket_cluster(
     kind: TransportKind,
     n: usize,
+    shards: usize,
     max_batch: usize,
     window: Duration,
+    registry: &Registry,
 ) -> Vec<RunnerHandle<BytesPayload>> {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
@@ -117,17 +126,28 @@ fn spawn_socket_cluster(
         .into_iter()
         .enumerate()
         .map(|(id, listener)| {
-            spawn_socket_replica(kind, id, listener, &addrs, runner_cfg(max_batch, window))
+            spawn_socket_replica(
+                kind,
+                shards,
+                id,
+                listener,
+                &addrs,
+                runner_cfg(max_batch, window),
+                registry,
+            )
         })
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_socket_replica(
     kind: TransportKind,
+    shards: usize,
     id: usize,
     listener: TcpListener,
     addrs: &[SocketAddr],
     cfg: RunnerConfig,
+    registry: &Registry,
 ) -> RunnerHandle<BytesPayload> {
     let n = addrs.len();
     match kind {
@@ -138,9 +158,21 @@ fn spawn_socket_replica(
             NetRunner::spawn(Replica::new(id, n), transport, cfg)
         }
         TransportKind::Reactor => {
+            let reactor_cfg = ReactorConfig {
+                shards,
+                ..ReactorConfig::default()
+            };
+            // All replicas share the run's registry, so the reported
+            // net metrics aggregate the whole cluster's hot path.
             let transport: ReactorTransport<Batch<BytesPayload>> =
-                ReactorTransport::bind(id, listener, addrs.to_vec(), ReactorConfig::default())
-                    .expect("bind transport");
+                ReactorTransport::bind_with_registry(
+                    id,
+                    listener,
+                    addrs.to_vec(),
+                    reactor_cfg,
+                    registry.clone(),
+                )
+                .expect("bind transport");
             NetRunner::spawn(Replica::new(id, n), transport, cfg)
         }
     }
@@ -160,6 +192,9 @@ fn spawn_loopback_cluster(
 
 struct RunResult {
     transport: BenchTransport,
+    /// Reactor event-loop shards this run used (1 for every other
+    /// transport — they have no shard knob).
+    shards: usize,
     max_batch: usize,
     elapsed_s: f64,
     throughput: f64,
@@ -168,11 +203,14 @@ struct RunResult {
     latency_ns: Histogram,
     mean_latency_ms: f64,
     follower_commits: Vec<usize>,
-    /// Per-phase duration histograms from this run's trace spans
-    /// (empty unless `--trace` enabled tracing).
+    /// Per-phase duration histograms from this run's trace spans.
+    /// Span recording is always on, so this is always populated.
     phases: Vec<(String, Histogram)>,
-    /// Raw trace spans drained after this run (empty without `--trace`).
+    /// Raw trace spans drained after this run.
     spans: Vec<SpanRecord>,
+    /// The cluster-wide net metrics registry (reactor runs publish
+    /// `net.*` into it; empty for the threaded and loopback runs).
+    net_registry: Registry,
 }
 
 fn run_once(
@@ -181,12 +219,16 @@ fn run_once(
     proposals: usize,
     payload_size: usize,
     inflight: usize,
+    shards: usize,
     max_batch: usize,
     window: Duration,
 ) -> RunResult {
+    let net_registry = Registry::new();
     let handles = match transport {
         BenchTransport::Loopback => spawn_loopback_cluster(n, max_batch, window),
-        BenchTransport::Tcp(kind) => spawn_socket_cluster(kind, n, max_batch, window),
+        BenchTransport::Tcp(kind) => {
+            spawn_socket_cluster(kind, n, shards, max_batch, window, &net_registry)
+        }
     };
     let leader = &handles[0];
 
@@ -281,6 +323,7 @@ fn run_once(
     let phases = phase_histograms(&spans);
     RunResult {
         transport,
+        shards,
         max_batch,
         elapsed_s: elapsed,
         throughput: committed as f64 / elapsed,
@@ -290,6 +333,7 @@ fn run_once(
         follower_commits,
         phases,
         spans,
+        net_registry,
     }
 }
 
@@ -314,6 +358,7 @@ fn run_recovery(
     n: usize,
     prefix: usize,
     payload_size: usize,
+    shards: usize,
     max_batch: usize,
     window: Duration,
 ) -> RecoveryResult {
@@ -324,8 +369,17 @@ fn run_recovery(
         .iter()
         .map(|l| l.local_addr().expect("local addr"))
         .collect();
+    let registry = Registry::new();
     let spawn = |id: usize, listener: TcpListener| {
-        spawn_socket_replica(kind, id, listener, &addrs, runner_cfg(max_batch, window))
+        spawn_socket_replica(
+            kind,
+            shards,
+            id,
+            listener,
+            &addrs,
+            runner_cfg(max_batch, window),
+            &registry,
+        )
     };
     let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
         .into_iter()
@@ -455,11 +509,48 @@ fn phases_json(phases: &[(String, Histogram)]) -> Json {
     )
 }
 
+/// The reactor's cluster-wide `net.*` metrics for one run: the
+/// event-loop histograms CI budgets ride on plus the zero-copy
+/// counter. `Null` for transports that don't publish them (threaded,
+/// loopback).
+fn net_json(registry: &Registry) -> Json {
+    let hist = |name: &'static str| {
+        let h = registry.histogram(name).snapshot();
+        Json::obj(vec![
+            ("count", Json::UInt(h.count())),
+            ("p50", Json::UInt(h.value_at_quantile(0.50))),
+            ("p99", Json::UInt(h.value_at_quantile(0.99))),
+            ("max", Json::UInt(h.max())),
+        ])
+    };
+    if registry.histogram("net.write_ns").snapshot().count() == 0 {
+        return Json::Null;
+    }
+    Json::obj(vec![
+        ("write_ns", hist("net.write_ns")),
+        ("read_ns", hist("net.read_ns")),
+        ("poll_wait_ns", hist("net.poll_wait_ns")),
+        (
+            "decode_copy_bytes",
+            Json::UInt(registry.counter("net.decode_copy_bytes").get()),
+        ),
+        (
+            "backpressure_drops",
+            Json::UInt(registry.counter("net.backpressure_drops").get()),
+        ),
+        (
+            "reconnects",
+            Json::UInt(registry.counter("net.reconnects").get()),
+        ),
+    ])
+}
+
 fn run_json(r: &RunResult, baseline: Option<f64>) -> Json {
     let fill = r.follower_commits[0] as f64 / r.batches_decided.max(1) as f64;
     let ms = |ns: u64| ns as f64 / 1e6;
     Json::obj(vec![
         ("transport", Json::str(r.transport.as_str())),
+        ("shards", Json::UInt(r.shards as u64)),
         ("max_batch", Json::UInt(r.max_batch as u64)),
         ("elapsed_s", Json::Fixed(r.elapsed_s, 4)),
         ("throughput_payloads_per_s", Json::Fixed(r.throughput, 2)),
@@ -487,6 +578,7 @@ fn run_json(r: &RunResult, baseline: Option<f64>) -> Json {
             ]),
         ),
         ("phases_ns", phases_json(&r.phases)),
+        ("net", net_json(&r.net_registry)),
         (
             "follower_commits",
             Json::Arr(
@@ -500,12 +592,17 @@ fn run_json(r: &RunResult, baseline: Option<f64>) -> Json {
 }
 
 /// The threaded-vs-reactor throughput comparison: one entry per batch
-/// size that both transports ran.
-fn comparison_json(results: &[RunResult]) -> Json {
+/// size that both transports ran. When the shard sweep ran several
+/// reactor configurations, the comparison uses the baseline shard
+/// count (the first listed) so the ratio stays apples-to-apples
+/// across PRs.
+fn comparison_json(results: &[RunResult], baseline_shards: usize) -> Json {
     let find = |kind: TransportKind, batch: usize| {
-        results
-            .iter()
-            .find(|r| r.transport == BenchTransport::Tcp(kind) && r.max_batch == batch)
+        results.iter().find(|r| {
+            r.transport == BenchTransport::Tcp(kind)
+                && r.max_batch == batch
+                && (kind == TransportKind::Threaded || r.shards == baseline_shards)
+        })
     };
     let mut batches: Vec<usize> = results.iter().map(|r| r.max_batch).collect();
     batches.sort_unstable();
@@ -527,6 +624,54 @@ fn comparison_json(results: &[RunResult]) -> Json {
                     Json::Fixed(reactor.throughput / threaded.throughput, 3),
                 ),
             ]))
+        })
+        .collect();
+    if entries.is_empty() {
+        Json::Null
+    } else {
+        Json::Arr(entries)
+    }
+}
+
+/// The shards-vs-throughput comparison: one entry per (batch size,
+/// shard count) the reactor ran, each with its speedup over the
+/// baseline shard count (the first listed, normally 1) at the same
+/// batch size. `Null` unless the sweep covered at least two shard
+/// counts.
+fn shard_comparison_json(results: &[RunResult], shard_counts: &[usize]) -> Json {
+    if shard_counts.len() < 2 {
+        return Json::Null;
+    }
+    let baseline_shards = shard_counts[0];
+    let reactor_runs: Vec<&RunResult> = results
+        .iter()
+        .filter(|r| r.transport == BenchTransport::Tcp(TransportKind::Reactor))
+        .collect();
+    let baseline = |batch: usize| {
+        reactor_runs
+            .iter()
+            .find(|r| r.max_batch == batch && r.shards == baseline_shards)
+            .map(|r| r.throughput)
+    };
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let entries: Vec<Json> = reactor_runs
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("max_batch", Json::UInt(r.max_batch as u64)),
+                ("shards", Json::UInt(r.shards as u64)),
+                ("payloads_per_s", Json::Fixed(r.throughput, 2)),
+                (
+                    "p99_latency_ms",
+                    Json::Fixed(ms(r.latency_ns.value_at_quantile(0.99)), 3),
+                ),
+                (
+                    "speedup_vs_baseline_shards",
+                    baseline(r.max_batch)
+                        .map(|b| Json::Fixed(r.throughput / b, 3))
+                        .unwrap_or(Json::Null),
+                ),
+            ])
         })
         .collect();
     if entries.is_empty() {
@@ -559,17 +704,28 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
     );
+    let shard_counts: Vec<usize> = arg_value("shards")
+        .unwrap_or_else(|| "1".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&s| s >= 1)
+        .collect();
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_net.json".to_string());
     let trace_path = arg_value("trace");
     let loopback = arg_flag("loopback");
     let recovery = arg_flag("recovery");
     let transport_arg = arg_value("transport").unwrap_or_else(|| "both".to_string());
-    if trace_path.is_some() {
-        curb_telemetry::enable();
-    }
+    // Span recording is always on so `phases_ns` is populated in every
+    // report; `--trace` only controls whether the raw spans are also
+    // written out as JSONL.
+    curb_telemetry::enable();
     assert!((2..=64).contains(&n), "--n must be in 2..=64");
     assert!(proposals > 0, "--proposals must be positive");
     assert!(!batches.is_empty(), "--batch must name at least one size");
+    assert!(
+        !shard_counts.is_empty(),
+        "--shards must name at least one shard count"
+    );
     assert!(
         !(recovery && loopback),
         "--recovery needs TCP: a loopback replica cannot be restarted"
@@ -591,20 +747,38 @@ fn main() {
         }
     };
 
-    let results: Vec<RunResult> = transports
+    // The run matrix: every transport sweeps every batch size; only
+    // the reactor additionally sweeps the shard counts (the other
+    // transports have no shard knob and run once per batch size).
+    let matrix: Vec<(BenchTransport, usize, usize)> = transports
         .iter()
-        .flat_map(|&t| batches.iter().map(move |&b| (t, b)).collect::<Vec<_>>())
-        .map(|(t, b)| {
-            eprintln!("netbench: running transport={} max_batch={b} …", t.as_str());
-            run_once(t, n, proposals, payload_size, inflight, b, window)
+        .flat_map(|&t| {
+            let shard_axis: &[usize] = match t {
+                BenchTransport::Tcp(TransportKind::Reactor) => &shard_counts,
+                _ => &shard_counts[..1],
+            };
+            shard_axis
+                .iter()
+                .flat_map(|&s| batches.iter().map(move |&b| (t, s, b)))
+                .collect::<Vec<_>>()
         })
         .collect();
-    // The unbatched baseline is per transport: batching speedups never
-    // compare across transport implementations.
-    let baseline_for = |t: BenchTransport| {
+    let results: Vec<RunResult> = matrix
+        .into_iter()
+        .map(|(t, s, b)| {
+            eprintln!(
+                "netbench: running transport={} shards={s} max_batch={b} …",
+                t.as_str()
+            );
+            run_once(t, n, proposals, payload_size, inflight, s, b, window)
+        })
+        .collect();
+    // The unbatched baseline is per transport and shard count:
+    // batching speedups never compare across cluster configurations.
+    let baseline_for = |t: BenchTransport, shards: usize| {
         results
             .iter()
-            .find(|r| r.transport == t && r.max_batch == 1)
+            .find(|r| r.transport == t && r.shards == shards && r.max_batch == 1)
             .map(|r| r.throughput)
     };
 
@@ -618,7 +792,15 @@ fn main() {
             })
             .expect("recovery requires a TCP transport");
         eprintln!("netbench: measuring crash recovery ({kind}) …");
-        let r = run_recovery(kind, n, proposals, payload_size, batches[0], window);
+        let r = run_recovery(
+            kind,
+            n,
+            proposals,
+            payload_size,
+            shard_counts[0],
+            batches[0],
+            window,
+        );
         eprintln!(
             "netbench: rejoined replica recovered {} payloads in {:.1} ms",
             r.recovered_payloads, r.recovery_ms
@@ -656,6 +838,10 @@ fn main() {
                 "batch_sizes",
                 Json::Arr(batches.iter().map(|&b| Json::UInt(b as u64)).collect()),
             ),
+            (
+                "shard_counts",
+                Json::Arr(shard_counts.iter().map(|&s| Json::UInt(s as u64)).collect()),
+            ),
             ("batch_window_ms", Json::UInt(window.as_millis() as u64)),
             (
                 "coalesce_bytes",
@@ -666,13 +852,17 @@ fn main() {
                 trace_path.as_deref().map(Json::str).unwrap_or(Json::Null),
             ),
             ("recovery", recovery_value),
-            ("comparison", comparison_json(&results)),
+            ("comparison", comparison_json(&results, shard_counts[0])),
+            (
+                "shard_comparison",
+                shard_comparison_json(&results, &shard_counts),
+            ),
             (
                 "runs",
                 Json::Arr(
                     results
                         .iter()
-                        .map(|r| run_json(r, baseline_for(r.transport)))
+                        .map(|r| run_json(r, baseline_for(r.transport, r.shards)))
                         .collect(),
                 ),
             ),

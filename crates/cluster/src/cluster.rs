@@ -38,6 +38,9 @@ pub struct ClusterConfig {
     pub node: NodeConfig,
     /// Agent request timeout (drives the audit).
     pub request_timeout: Duration,
+    /// Reactor shards per node backbone: how many event-loop threads
+    /// each controller partitions its peer sockets across.
+    pub shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +50,7 @@ impl Default for ClusterConfig {
             behaviors: Vec::new(),
             node: NodeConfig::default(),
             request_timeout: Duration::from_secs(2),
+            shards: 1,
         }
     }
 }
@@ -246,6 +250,7 @@ impl Cluster {
             // nodes of a differently-seeded cluster are rejected at
             // the wire handshake.
             cluster_id: shared.config.seed,
+            shards: cfg.shards,
             ..MuxConfig::default()
         };
 

@@ -43,7 +43,7 @@ use curb_core::{
     ConfigData, Epoch, GroupId, ProtoTx, ReqKind, RequestKey, RequestRecord, Shared, SwitchId,
     TxListPayload,
 };
-use curb_net::{FrameDecoder, Lane, MuxTransport, NetRunner, NodeId, RunnerConfig, RunnerHandle};
+use curb_net::{Lane, MuxTransport, NetRunner, NodeId, RunnerConfig, RunnerHandle, SharedDecoder};
 use curb_telemetry::{now_nanos, record_span};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::io::{Read, Write};
@@ -879,11 +879,14 @@ fn southbound_reader(
         Err(_) => return,
     };
     let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut decoder = FrameDecoder::new(max_frame);
-    let mut buf = [0u8; 16 * 1024];
+    // Zero-copy decode: reads land straight in the decoder's shared
+    // block, and each frame is decoded from its in-place view. The
+    // message scratch vec is reused across reads.
+    let mut decoder = SharedDecoder::new(max_frame);
+    let mut msgs: Vec<Option<SbMsg>> = Vec::new();
     let mut registered: Option<usize> = None;
     'outer: while !shutdown.load(Ordering::SeqCst) {
-        let n = match reader.read(&mut buf) {
+        let n = match reader.read(decoder.writable()) {
             Ok(0) => break,
             Ok(n) => n,
             Err(e)
@@ -894,15 +897,15 @@ fn southbound_reader(
             }
             Err(_) => break,
         };
-        let mut frames = Vec::new();
+        msgs.clear();
         if decoder
-            .feed(&buf[..n], |frame| frames.push(frame.to_vec()))
+            .advance(n, |frame| msgs.push(SbMsg::decode(&frame)))
             .is_err()
         {
             break;
         }
-        for frame in frames {
-            match SbMsg::decode(&frame) {
+        for msg in msgs.drain(..) {
+            match msg {
                 Some(SbMsg::Hello { switch }) if registered.is_none() => {
                     let switch = switch as usize;
                     registered = Some(switch);

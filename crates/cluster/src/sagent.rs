@@ -22,7 +22,7 @@ use crate::wire::{SbMsg, ANNOUNCE_SEQ_BIT};
 use curb_core::{
     ConfigData, EvidenceBook, ReplyMatcher, ReqKind, RequestKey, RequestRecord, SwitchId,
 };
-use curb_net::FrameDecoder;
+use curb_net::SharedDecoder;
 use curb_sdn::{FlowAction, FlowEntry, FlowMatch, FlowMod, FlowTable, HostId, PortId};
 use curb_telemetry::{now_nanos, record_span};
 use std::collections::HashMap;
@@ -562,22 +562,24 @@ fn reply_reader(
     tx: Sender<(usize, SbMsg)>,
     max_frame: usize,
 ) {
-    let mut decoder = FrameDecoder::new(max_frame);
-    let mut buf = [0u8; 16 * 1024];
+    // Zero-copy decode: reads land straight in the decoder's shared
+    // block; the reply scratch vec is reused across reads.
+    let mut decoder = SharedDecoder::new(max_frame);
+    let mut msgs: Vec<Option<SbMsg>> = Vec::new();
     loop {
-        let n = match stream.read(&mut buf) {
+        let n = match stream.read(decoder.writable()) {
             Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
-        let mut frames = Vec::new();
+        msgs.clear();
         if decoder
-            .feed(&buf[..n], |frame| frames.push(frame.to_vec()))
+            .advance(n, |frame| msgs.push(SbMsg::decode(&frame)))
             .is_err()
         {
             return;
         }
-        for frame in frames {
-            match SbMsg::decode(&frame) {
+        for msg in msgs.drain(..) {
+            match msg {
                 Some(msg @ SbMsg::Reply { .. }) => {
                     if tx.send((controller, msg)).is_err() {
                         return;

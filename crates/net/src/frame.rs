@@ -33,6 +33,7 @@
 use curb_chain::codec::{ByteReader, CodecError};
 use curb_consensus::{CommitCert, CommittedEntry, PayloadCodec, PbftMsg};
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 /// Default cap on the body size of a single frame (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
@@ -313,8 +314,11 @@ pub enum LaneFrame<P> {
         msg: PbftMsg<P>,
     },
     /// Application bytes from the [`APP_LANE`], left undecoded: the
-    /// mux hands them to whatever app-level codec sits above it.
-    App(Vec<u8>),
+    /// mux hands them to whatever app-level codec sits above it. The
+    /// bytes are a [`FrameRef`] view into the read buffer — on the
+    /// zero-copy path they borrow the decoder block until the consumer
+    /// drops them.
+    App(FrameRef),
 }
 
 /// Serialises `msg` as a lane frame body appended to `out`:
@@ -353,11 +357,35 @@ pub fn decode_lane_frame<P: PayloadCodec>(body: &[u8]) -> Result<LaneFrame<P>, W
     let lane = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
     let rest = &body[8..];
     if lane == APP_LANE {
-        return Ok(LaneFrame::App(rest.to_vec()));
+        return Ok(LaneFrame::App(FrameRef::copied(rest)));
     }
     Ok(LaneFrame::Msg {
         lane,
         msg: decode_msg(rest)?,
+    })
+}
+
+/// Rebuilds a [`LaneFrame`] from a [`FrameRef`] without copying: a
+/// consensus body is decoded in place (the decoded message owns its
+/// fields, the ref drops immediately), and an [`APP_LANE`] frame is
+/// returned as a sub-view of the same shared buffer — the app bytes
+/// keep borrowing the decoder block instead of being `to_vec`'d.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed input; never panics.
+pub fn decode_lane_frame_ref<P: PayloadCodec>(frame: &FrameRef) -> Result<LaneFrame<P>, WireError> {
+    let body: &[u8] = frame;
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let lane = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+    if lane == APP_LANE {
+        return Ok(LaneFrame::App(frame.slice(8, body.len() - 8)));
+    }
+    Ok(LaneFrame::Msg {
+        lane,
+        msg: decode_msg(&body[8..])?,
     })
 }
 
@@ -481,6 +509,334 @@ impl FrameDecoder {
     }
 }
 
+/// A cheaply cloneable view of one frame body inside a shared read
+/// buffer.
+///
+/// [`SharedDecoder`] hands these out instead of copied `Vec<u8>`
+/// bodies: the view holds an `Arc` on the block the bytes were read
+/// into, so dispatch can outlive the decode loop without a per-frame
+/// `to_vec`. The block is recycled once every `FrameRef` into it has
+/// been dropped — holding a ref for a long time keeps (only) its block
+/// alive, it never blocks the decoder, which rotates to a fresh block
+/// instead.
+///
+/// Equality is byte-wise over the viewed range, so assertions against
+/// plain slices behave like they did with owned bodies.
+#[derive(Clone)]
+pub struct FrameRef {
+    buf: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl FrameRef {
+    /// Builds a standalone ref by copying `bytes` into a fresh
+    /// allocation. This is the compatibility constructor for paths
+    /// that still materialise owned bodies (blocking readers, tests).
+    pub fn copied(bytes: &[u8]) -> FrameRef {
+        FrameRef {
+            buf: Arc::from(bytes),
+            start: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Returns a sub-view of this ref sharing the same buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from + len` exceeds this ref's length.
+    pub fn slice(&self, from: usize, len: usize) -> FrameRef {
+        assert!(from + len <= self.len, "slice out of range");
+        FrameRef {
+            buf: Arc::clone(&self.buf),
+            start: self.start + from,
+            len,
+        }
+    }
+}
+
+impl std::ops::Deref for FrameRef {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for FrameRef {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for FrameRef {
+    fn from(bytes: Vec<u8>) -> FrameRef {
+        let len = bytes.len();
+        FrameRef {
+            buf: Arc::from(bytes),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameRef")
+            .field("len", &self.len)
+            .field("bytes", &&self[..])
+            .finish()
+    }
+}
+
+impl PartialEq for FrameRef {
+    fn eq(&self, other: &FrameRef) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for FrameRef {}
+
+impl PartialEq<[u8]> for FrameRef {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for FrameRef {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FrameRef {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+/// Default capacity of one [`SharedDecoder`] read block (256 KiB —
+/// matches the write-side coalesce budget, so one block absorbs a full
+/// inbound burst).
+pub const DEFAULT_DECODE_BLOCK: usize = 256 << 10;
+
+/// Zero-copy incremental decoder for length-prefixed frame streams.
+///
+/// Where [`FrameDecoder`] copies every buffered body into an owned
+/// `Vec`, `SharedDecoder` owns the read buffer itself: the caller asks
+/// for [`writable`] space, reads socket bytes straight into it, then
+/// calls [`advance`], which parses complete frames **in place** and
+/// emits [`FrameRef`] views into the block. On the steady-state path —
+/// frames dispatched and their refs dropped before the next read — no
+/// frame body byte is ever copied after the kernel wrote it.
+///
+/// The decoder never blocks on outstanding refs. If views into the
+/// current block are still alive when more space is needed, it rotates
+/// to a fresh block; only a partial frame tail spanning the rotation
+/// is copied. [`copied_bytes`] counts exactly those rescue copies
+/// (rotation tails, in-block compaction, oversize growth) — it is the
+/// `net.decode_copy_bytes` telemetry source and reads 0 when the hot
+/// path stays zero-copy. Bytes first read off the wire are never
+/// counted.
+///
+/// Poisoning matches [`FrameDecoder`]: a length prefix above
+/// `max_frame` fails the call and every call after it.
+///
+/// [`writable`]: SharedDecoder::writable
+/// [`advance`]: SharedDecoder::advance
+/// [`copied_bytes`]: SharedDecoder::copied_bytes
+#[derive(Debug)]
+pub struct SharedDecoder {
+    max_frame: usize,
+    block: Arc<[u8]>,
+    /// Start of the unparsed region within `block`.
+    consumed: usize,
+    /// End of valid (read) data within `block`.
+    pos: usize,
+    copied: u64,
+    poisoned: bool,
+}
+
+impl SharedDecoder {
+    /// Creates a decoder enforcing `max_frame`, with the default block
+    /// capacity.
+    pub fn new(max_frame: usize) -> SharedDecoder {
+        SharedDecoder::with_block_size(max_frame, DEFAULT_DECODE_BLOCK)
+    }
+
+    /// Creates a decoder with an explicit block capacity (tests use
+    /// tiny blocks to exercise rotation and growth).
+    pub fn with_block_size(max_frame: usize, block: usize) -> SharedDecoder {
+        SharedDecoder {
+            max_frame,
+            block: Arc::from(vec![0u8; block.max(8)]),
+            consumed: 0,
+            pos: 0,
+            copied: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Returns the writable tail of the read block; the caller reads
+    /// socket bytes into it and reports the count via [`advance`].
+    /// Never returns an empty slice — if the block is exhausted or
+    /// still referenced by live [`FrameRef`]s, the decoder rotates,
+    /// compacts or grows first (copying at most one partial frame
+    /// tail, which [`copied_bytes`] records).
+    ///
+    /// [`advance`]: SharedDecoder::advance
+    /// [`copied_bytes`]: SharedDecoder::copied_bytes
+    pub fn writable(&mut self) -> &mut [u8] {
+        let cap = self.block.len();
+        let tail = self.pos - self.consumed;
+        if Arc::get_mut(&mut self.block).is_none() {
+            // Live FrameRefs still view this block: rotate to a fresh
+            // one. Steady state reaches here with `tail == 0` (every
+            // complete frame already parsed), so nothing is copied —
+            // the old block is freed when its last ref drops.
+            let mut fresh = vec![0u8; cap];
+            fresh[..tail].copy_from_slice(&self.block[self.consumed..self.pos]);
+            self.copied += tail as u64;
+            self.block = Arc::from(fresh);
+            self.consumed = 0;
+            self.pos = tail;
+        } else if self.consumed == self.pos {
+            self.consumed = 0;
+            self.pos = 0;
+        }
+        // The block is uniquely owned now; make room if it is full.
+        if self.pos == self.block.len() {
+            let tail = self.pos - self.consumed;
+            if self.consumed > 0 {
+                // Partial frame stranded at the end of a full block:
+                // slide it to the front.
+                let consumed = self.consumed;
+                let block = Arc::get_mut(&mut self.block).expect("uniquely owned");
+                block.copy_within(consumed..consumed + tail, 0);
+                self.copied += tail as u64;
+                self.consumed = 0;
+                self.pos = tail;
+            } else {
+                // One frame larger than the whole block: grow it.
+                let cap = self.block.len();
+                let grown = (cap * 2).clamp(cap + 8, (self.max_frame + 8).max(cap + 8));
+                let mut fresh = vec![0u8; grown];
+                fresh[..tail].copy_from_slice(&self.block[..self.pos]);
+                self.copied += tail as u64;
+                self.block = Arc::from(fresh);
+            }
+        }
+        let pos = self.pos;
+        let block = Arc::get_mut(&mut self.block).expect("uniquely owned after rotation");
+        &mut block[pos..]
+    }
+
+    /// Records that `n` bytes were read into the slice returned by the
+    /// immediately preceding [`writable`] call, then parses every
+    /// complete frame now buffered, emitting each as a [`FrameRef`]
+    /// in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Corrupt`] on a length prefix above the
+    /// cap; the decoder is then poisoned and every subsequent call
+    /// errors as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the writable space reported by
+    /// [`writable`].
+    ///
+    /// [`writable`]: SharedDecoder::writable
+    pub fn advance(
+        &mut self,
+        n: usize,
+        mut on_frame: impl FnMut(FrameRef),
+    ) -> Result<(), WireError> {
+        if self.poisoned {
+            return Err(WireError::Corrupt("poisoned frame stream"));
+        }
+        assert!(
+            self.pos + n <= self.block.len(),
+            "advance past writable space"
+        );
+        self.pos += n;
+        loop {
+            let avail = self.pos - self.consumed;
+            if avail < 4 {
+                break;
+            }
+            let hdr = &self.block[self.consumed..self.consumed + 4];
+            let len = u32::from_be_bytes(hdr.try_into().expect("4 bytes")) as usize;
+            if len > self.max_frame {
+                self.poisoned = true;
+                return Err(WireError::Corrupt("frame length"));
+            }
+            if avail < 4 + len {
+                break; // frame incomplete; next read continues in place
+            }
+            on_frame(FrameRef {
+                buf: Arc::clone(&self.block),
+                start: self.consumed + 4,
+                len,
+            });
+            self.consumed += 4 + len;
+        }
+        if self.consumed == self.pos {
+            // Everything parsed: restart at the block head so `pos`
+            // never creeps toward the end between bursts. (Indices
+            // only — writers still go through `writable`, which
+            // rotates if refs are alive.)
+            self.consumed = 0;
+            self.pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Copies `input` into writable space and advances — the push-style
+    /// convenience used by tests and oracles. The copy *into* the
+    /// decoder stands in for a socket read and is not counted by
+    /// [`copied_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`advance`] errors (hostile length prefix, poisoned
+    /// stream).
+    ///
+    /// [`advance`]: SharedDecoder::advance
+    /// [`copied_bytes`]: SharedDecoder::copied_bytes
+    pub fn feed(
+        &mut self,
+        mut input: &[u8],
+        mut on_frame: impl FnMut(FrameRef),
+    ) -> Result<(), WireError> {
+        while !input.is_empty() {
+            let dst = self.writable();
+            let take = dst.len().min(input.len());
+            dst[..take].copy_from_slice(&input[..take]);
+            self.advance(take, &mut on_frame)?;
+            input = &input[take..];
+        }
+        Ok(())
+    }
+
+    /// Total frame-stream bytes rescued by copy (rotation tails,
+    /// compaction, oversize growth) since construction. 0 means every
+    /// frame was delivered zero-copy out of the block it was read
+    /// into.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied
+    }
+
+    /// Whether the decoder sits exactly on a frame boundary (no
+    /// partial prefix or body buffered). A connection that closes
+    /// mid-frame ends in a non-aligned decoder.
+    pub fn is_aligned(&self) -> bool {
+        self.consumed == self.pos && !self.poisoned
+    }
+}
+
 /// Appends `body` to `buf` as a length-prefixed frame (no cap check:
 /// callers enforce `max_frame` at encode time). Both transports use
 /// this to coalesce many frames into one write burst.
@@ -516,6 +872,29 @@ pub fn write_frame(w: &mut impl Write, body: &[u8], max_frame: usize) -> io::Res
 /// than `max_frame` with [`io::ErrorKind::InvalidData`] so a hostile
 /// peer cannot force an unbounded allocation.
 pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    read_frame_into(r, &mut body, max_frame)?;
+    Ok(body)
+}
+
+/// Reads one length-prefixed frame into `buf`, reusing its capacity —
+/// the scratch-buffer variant of [`read_frame`] for blocking reader
+/// loops that would otherwise allocate a fresh `Vec` per frame. The
+/// length prefix is validated against `max_frame` *before* any
+/// allocation, so a hostile length can never force one. On success
+/// `buf` holds exactly the frame body and its length is returned.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including clean EOF as
+/// [`io::ErrorKind::UnexpectedEof`]); rejects length prefixes larger
+/// than `max_frame` with [`io::ErrorKind::InvalidData`]. On error the
+/// contents of `buf` are unspecified.
+pub fn read_frame_into(
+    r: &mut impl Read,
+    buf: &mut Vec<u8>,
+    max_frame: usize,
+) -> io::Result<usize> {
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
     let len = u32::from_be_bytes(len_bytes) as usize;
@@ -525,9 +904,9 @@ pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Vec<u8>> {
             format!("frame length {len} exceeds cap {max_frame}"),
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(body)
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(len)
 }
 
 #[cfg(test)]
@@ -827,7 +1206,13 @@ mod tests {
             encode_lane_app_into(bytes, &mut body);
             assert_eq!(
                 decode_lane_frame::<BytesPayload>(&body).unwrap(),
-                LaneFrame::App(bytes.to_vec())
+                LaneFrame::App(FrameRef::copied(bytes))
+            );
+            // The zero-copy variant yields the same view as a
+            // sub-slice of the original frame.
+            assert_eq!(
+                decode_lane_frame_ref::<BytesPayload>(&FrameRef::copied(&body)).unwrap(),
+                LaneFrame::App(FrameRef::copied(bytes))
             );
         }
     }
@@ -860,6 +1245,149 @@ mod tests {
             decode_lane_frame::<BytesPayload>(&body),
             Err(WireError::Corrupt("message tag"))
         );
+    }
+
+    #[test]
+    fn shared_decoder_matches_copying_decoder() {
+        let bodies: Vec<Vec<u8>> = vec![
+            encode_msg(&every_variant()[0]),
+            Vec::new(),
+            encode_msg(&every_variant()[5]),
+            vec![0xEE; 300],
+        ];
+        let mut stream = Vec::new();
+        for body in &bodies {
+            write_frame(&mut stream, body, DEFAULT_MAX_FRAME).unwrap();
+        }
+        for chunk in [1, 2, 3, 5, 7, 16, 301, stream.len()] {
+            let mut decoder = SharedDecoder::with_block_size(DEFAULT_MAX_FRAME, 64);
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            for piece in stream.chunks(chunk) {
+                decoder
+                    .feed(piece, |frame| frames.push(frame.to_vec()))
+                    .expect("valid stream");
+            }
+            assert_eq!(frames, bodies, "chunk size {chunk}");
+            assert!(decoder.is_aligned());
+        }
+    }
+
+    #[test]
+    fn shared_decoder_steady_state_copies_nothing() {
+        // Refs dropped before the next read + bursts that fit the
+        // block: the whole stream decodes without a single rescue
+        // copy, whatever the read chunking.
+        let mut stream = Vec::new();
+        for i in 0..64 {
+            write_frame(&mut stream, &vec![i as u8; 100], DEFAULT_MAX_FRAME).unwrap();
+        }
+        for chunk in [1, 3, 104, 200, stream.len()] {
+            let mut decoder = SharedDecoder::new(DEFAULT_MAX_FRAME);
+            let mut n = 0;
+            for piece in stream.chunks(chunk) {
+                decoder.feed(piece, |_| n += 1).expect("valid stream");
+            }
+            assert_eq!(n, 64);
+            assert_eq!(decoder.copied_bytes(), 0, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn shared_decoder_rotates_when_refs_are_held() {
+        // Holding every FrameRef forces block rotation; the views must
+        // stay intact (backed by retired blocks) and, because each
+        // burst ends on a frame boundary, rotation still copies zero
+        // bytes.
+        let mut decoder = SharedDecoder::with_block_size(DEFAULT_MAX_FRAME, 32);
+        let mut held: Vec<FrameRef> = Vec::new();
+        let mut stream = Vec::new();
+        let bodies: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 20]).collect();
+        for body in &bodies {
+            stream.clear();
+            write_frame(&mut stream, body, DEFAULT_MAX_FRAME).unwrap();
+            decoder
+                .feed(&stream, |frame| held.push(frame))
+                .expect("valid stream");
+        }
+        assert_eq!(held.len(), bodies.len());
+        for (frame, body) in held.iter().zip(&bodies) {
+            assert_eq!(frame, body);
+        }
+        assert_eq!(decoder.copied_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_decoder_counts_rescue_copies_for_split_tails() {
+        // A frame split across a rotation (ref held mid-frame) must
+        // still decode correctly and charge exactly the carried tail
+        // to the copy counter.
+        let mut decoder = SharedDecoder::with_block_size(DEFAULT_MAX_FRAME, 64);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0xAA; 30], DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut stream, &[0xBB; 40], DEFAULT_MAX_FRAME).unwrap();
+        let mut held: Vec<FrameRef> = Vec::new();
+        // First feed ends mid-second-frame; the first frame's ref is
+        // held so the follow-up bytes force a rotation with a tail.
+        let cut = 4 + 30 + 4 + 10;
+        decoder
+            .feed(&stream[..cut], |f| held.push(f))
+            .expect("valid");
+        decoder
+            .feed(&stream[cut..], |f| held.push(f))
+            .expect("valid");
+        assert_eq!(held.len(), 2);
+        assert_eq!(held[0], &[0xAA; 30][..]);
+        assert_eq!(held[1], &[0xBB; 40][..]);
+        assert!(
+            decoder.copied_bytes() > 0 && decoder.copied_bytes() <= 44,
+            "only the split tail is rescued, got {}",
+            decoder.copied_bytes()
+        );
+    }
+
+    #[test]
+    fn shared_decoder_grows_for_frames_larger_than_the_block() {
+        let body = vec![0x5A; 500];
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &body, DEFAULT_MAX_FRAME).unwrap();
+        let mut decoder = SharedDecoder::with_block_size(1 << 10, 32);
+        let mut frames = Vec::new();
+        for piece in stream.chunks(9) {
+            decoder
+                .feed(piece, |f| frames.push(f.to_vec()))
+                .expect("valid stream");
+        }
+        assert_eq!(frames, vec![body]);
+        assert!(decoder.is_aligned());
+    }
+
+    #[test]
+    fn shared_decoder_poisons_on_hostile_length() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"fine", 64).unwrap();
+        stream.extend_from_slice(&65u32.to_be_bytes());
+        stream.extend_from_slice(&[0u8; 65]);
+        let mut decoder = SharedDecoder::with_block_size(64, 256);
+        let mut frames = Vec::new();
+        let err = decoder
+            .feed(&stream, |f| frames.push(f.to_vec()))
+            .unwrap_err();
+        assert_eq!(err, WireError::Corrupt("frame length"));
+        assert_eq!(frames, vec![b"fine".to_vec()], "good prefix still decoded");
+        let mut good = Vec::new();
+        write_frame(&mut good, b"later", 64).unwrap();
+        assert!(decoder.feed(&good, |_| {}).is_err());
+        assert!(!decoder.is_aligned());
+    }
+
+    #[test]
+    fn frame_ref_views_compare_and_slice() {
+        let r = FrameRef::copied(b"hello world");
+        assert_eq!(r, &b"hello world"[..]);
+        assert_eq!(r.slice(6, 5), &b"world"[..]);
+        assert_eq!(&r[..5], b"hello");
+        let from_vec: FrameRef = b"hello world".to_vec().into();
+        assert_eq!(r, from_vec);
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //!   reader threads feeding one event queue, version/peer-id
 //!   handshake, capped exponential backoff reconnect),
 //!   [`ReactorTransport`] (same wire protocol, but every socket
-//!   multiplexed nonblocking onto **one** epoll event loop — the
-//!   scalable choice, selected with `--transport reactor` in the
-//!   benches and tests) and [`LoopbackTransport`] (in-memory,
+//!   multiplexed nonblocking onto a small **pool of epoll shards**,
+//!   peers hash-pinned to shards with zero-copy frame decoding and
+//!   vectored writes — the scalable choice, selected with
+//!   `--transport reactor` in the benches and tests) and
+//!   [`LoopbackTransport`] (in-memory,
 //!   deterministic, still round-trips every message through the
 //!   codec);
 //! * [`NetRunner`] — the batch-first event loop that owns a
@@ -75,12 +77,13 @@ mod tcp;
 mod transport;
 
 pub use frame::{
-    decode_lane_frame, decode_msg, encode_lane_app_into, encode_lane_msg_into, encode_msg,
-    encode_msg_into, read_frame, write_frame, FrameDecoder, LaneFrame, WireError, APP_LANE,
+    decode_lane_frame, decode_lane_frame_ref, decode_msg, encode_lane_app_into,
+    encode_lane_msg_into, encode_msg, encode_msg_into, read_frame, read_frame_into, write_frame,
+    FrameDecoder, FrameRef, LaneFrame, SharedDecoder, WireError, APP_LANE, DEFAULT_DECODE_BLOCK,
     DEFAULT_MAX_FRAME, MAX_CERT_VOTERS, MAX_STATE_ENTRIES,
 };
 pub use mux::{AppEvent, Lane, MuxConfig, MuxTransport, NodeId};
-pub use reactor::{ReactorConfig, ReactorTransport};
+pub use reactor::{shard_for_peer, ReactorConfig, ReactorTransport, MAX_SHARDS};
 pub use runner::{Delivery, NetRunner, RunnerConfig, RunnerHandle, RunnerStats};
 pub use tcp::{
     encode_hello, validate_hello, PeerManager, TcpConfig, TcpTransport, HANDSHAKE_LEN,

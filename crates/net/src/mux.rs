@@ -7,10 +7,19 @@
 //! full mesh of sockets *per instance*. [`MuxTransport`] instead runs
 //! **one** listener and one connection pair per controller node and
 //! multiplexes every instance over it using the lane-frame codec
-//! ([`crate::frame::decode_lane_frame`]): each frame body carries a
-//! `lane:u64` prefix naming the instance, and the reserved
+//! ([`crate::frame::decode_lane_frame_ref`]): each frame body carries
+//! a `lane:u64` prefix naming the instance, and the reserved
 //! [`APP_LANE`](crate::frame::APP_LANE) carries opaque application
 //! bytes (the cluster's AGREE / FINAL-AGREE / epoch-control messages).
+//!
+//! Since the sharded-reactor rework the backbone is no longer a pile
+//! of blocking threads: all of a node's sockets — across **every**
+//! lane and peer — are serviced by one shared [`ShardPool`]
+//! ([`MuxConfig::shards`] event-loop threads, peers hash-pinned to
+//! shards). Inbound lane frames arrive as zero-copy
+//! [`FrameRef`] views over the shard's read buffer; [`AppEvent`]
+//! hands those views to the application untouched, and consensus
+//! messages decode straight out of them.
 //!
 //! Consensus code never sees the mux: [`MuxTransport::lane`] returns a
 //! [`Lane`] that implements [`Transport`] with *lane-local* replica
@@ -27,19 +36,18 @@
 //! rejected before any frame is exchanged.
 
 use crate::frame::{
-    append_frame, decode_lane_frame, encode_lane_app_into, encode_lane_msg_into, LaneFrame,
+    decode_lane_frame_ref, encode_lane_app_into, encode_lane_msg_into, FrameRef, LaneFrame,
     DEFAULT_MAX_FRAME,
 };
-use crate::tcp::{encode_hello, read_full, validate_hello, HANDSHAKE_LEN};
+use crate::reactor::{ReactorConfig, ShardPool, ShardSink};
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
+use curb_telemetry::Registry;
 use std::collections::HashMap;
-use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Index of a controller node (a process), as opposed to a
@@ -57,16 +65,21 @@ pub struct MuxConfig {
     pub backoff_max: Duration,
     /// Timeout for a single dial attempt.
     pub dial_timeout: Duration,
-    /// Granularity at which blocked threads re-check the shutdown flag.
+    /// Shard timer-wheel granularity (historically the blocking-thread
+    /// poll interval; the name is kept for configuration compat).
     pub poll_interval: Duration,
-    /// Per-peer outbound queue depth; the newest frame is dropped when
-    /// the queue is full.
+    /// Per-peer outbound queue depth. The byte watermark handed to the
+    /// shard pool is derived from this (`queue_capacity * 2 KiB`);
+    /// overflowing it drops the ring and reconnects.
     pub queue_capacity: usize,
-    /// Writer coalescing limit in bytes per write burst.
+    /// Writer coalescing limit in bytes per vectored write burst.
     pub coalesce_bytes: usize,
     /// Cluster instance id stamped into the handshake group-id field;
     /// nodes of a different cluster are rejected at the handshake.
     pub cluster_id: u64,
+    /// Number of reactor shards the node's sockets are partitioned
+    /// across (clamped to `1..=`[`crate::reactor::MAX_SHARDS`]).
+    pub shards: usize,
 }
 
 impl Default for MuxConfig {
@@ -76,15 +89,37 @@ impl Default for MuxConfig {
             backoff_base: Duration::from_millis(25),
             backoff_max: Duration::from_secs(2),
             dial_timeout: Duration::from_millis(500),
-            poll_interval: Duration::from_millis(20),
+            poll_interval: Duration::from_millis(4),
             queue_capacity: 4096,
             coalesce_bytes: 256 << 10,
             cluster_id: 0,
+            shards: 1,
+        }
+    }
+}
+
+impl MuxConfig {
+    /// The reactor configuration the node backbone runs on.
+    fn reactor(&self) -> ReactorConfig {
+        ReactorConfig {
+            max_frame: self.max_frame,
+            backoff_base: self.backoff_base,
+            backoff_max: self.backoff_max,
+            dial_timeout: self.dial_timeout,
+            high_watermark: self.queue_capacity.saturating_mul(2 << 10).max(64 << 10),
+            coalesce_bytes: self.coalesce_bytes,
+            tick: self.poll_interval,
+            group_id: self.cluster_id,
+            shards: self.shards,
         }
     }
 }
 
 /// Opaque application bytes received from another node's [`APP_LANE`].
+///
+/// `bytes` is a zero-copy [`FrameRef`] view into the receiving shard's
+/// read buffer (it derefs to `&[u8]`); holding it defers only that
+/// buffer block's reuse.
 ///
 /// [`APP_LANE`]: crate::frame::APP_LANE
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,7 +127,7 @@ pub struct AppEvent {
     /// The sending node.
     pub from: NodeId,
     /// The undecoded application bytes.
-    pub bytes: Vec<u8>,
+    pub bytes: FrameRef,
 }
 
 /// A registered lane's routing state.
@@ -102,30 +137,17 @@ struct LaneState<P> {
     events: Sender<NetEvent<P>>,
 }
 
-struct MuxInner<P> {
+/// The inbound half of the mux: routes decoded lane frames to their
+/// instances. This is what the shard threads hold — deliberately free
+/// of the [`ShardPool`] itself, so the pool's thread handles are never
+/// kept alive by the threads they join.
+struct MuxRouter<P> {
     node: NodeId,
-    n_nodes: usize,
-    cfg: MuxConfig,
     lanes: Mutex<HashMap<u64, LaneState<P>>>,
     app_tx: Sender<AppEvent>,
-    /// Per-peer outbound queues (`None` at the local node's slot).
-    queues: Vec<Option<SyncSender<Arc<[u8]>>>>,
-    shutdown: AtomicBool,
 }
 
-impl<P> MuxInner<P> {
-    /// Queues one already-encoded lane-frame body for `node`. Frames
-    /// to unreachable or hopelessly slow peers are dropped — both the
-    /// consensus layer and the cluster protocol tolerate loss.
-    fn enqueue(&self, node: NodeId, body: &[u8]) {
-        if body.len() > self.cfg.max_frame {
-            return;
-        }
-        if let Some(Some(queue)) = self.queues.get(node) {
-            let _ = queue.try_send(Arc::from(body));
-        }
-    }
-
+impl<P> MuxRouter<P> {
     /// Routes an inbound consensus message to its lane, translating
     /// the sender's node id into the lane-local replica index. Frames
     /// for unregistered lanes (stale epochs) and from nodes outside
@@ -158,6 +180,45 @@ impl<P> MuxInner<P> {
     }
 }
 
+impl<P: PayloadCodec + Send + 'static> ShardSink for MuxRouter<P> {
+    fn on_frame(&self, from: usize, frame: FrameRef) {
+        match decode_lane_frame_ref::<P>(&frame) {
+            // A malformed frame is dropped but the connection survives:
+            // framing is still intact, so later frames decode fine.
+            Err(_) => {}
+            Ok(LaneFrame::Msg { lane, msg }) => self.route_msg(from, lane, msg),
+            Ok(LaneFrame::App(bytes)) => {
+                let _ = self.app_tx.send(AppEvent { from, bytes });
+            }
+        }
+    }
+
+    fn on_peer(&self, from: usize, up: bool) {
+        self.route_peer(from, up);
+    }
+}
+
+/// The outbound half shared by the transport and its lanes: the shard
+/// pool plus enough config to frame and cap outgoing bodies.
+struct MuxCore<P> {
+    router: Arc<MuxRouter<P>>,
+    pool: ShardPool,
+    max_frame: usize,
+    n_nodes: usize,
+}
+
+impl<P> MuxCore<P> {
+    /// Queues one already-encoded lane-frame body for `node`. Frames
+    /// to unreachable or hopelessly slow peers are dropped — both the
+    /// consensus layer and the cluster protocol tolerate loss.
+    fn enqueue(&self, node: NodeId, body: &[u8]) {
+        if body.len() > self.max_frame {
+            return;
+        }
+        self.pool.enqueue(node, Arc::from(body));
+    }
+}
+
 /// One consensus instance's view of the shared node backbone.
 ///
 /// Implements [`Transport`] with lane-local replica ids, so a
@@ -172,7 +233,7 @@ pub struct Lane<P> {
     id: u64,
     local_index: ReplicaId,
     members: Vec<NodeId>,
-    inner: Arc<MuxInner<P>>,
+    core: Arc<MuxCore<P>>,
     events: Mutex<Receiver<NetEvent<P>>>,
     encode_buf: Mutex<Vec<u8>>,
 }
@@ -190,24 +251,24 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for Lane<P> {
         let Some(&node) = self.members.get(to) else {
             return;
         };
-        if node == self.inner.node {
+        if node == self.core.router.node {
             return;
         }
         let mut body = self.encode_buf.lock().expect("encode buffer poisoned");
         body.clear();
         encode_lane_msg_into(self.id, msg, &mut body);
-        self.inner.enqueue(node, &body);
+        self.core.enqueue(node, &body);
     }
 
     fn broadcast(&self, msg: &PbftMsg<P>) {
-        // Encode once; every peer queue shares the same bytes via the
+        // Encode once; every peer ring shares the same bytes via the
         // per-frame `Arc` inside `enqueue`.
         let mut body = self.encode_buf.lock().expect("encode buffer poisoned");
         body.clear();
         encode_lane_msg_into(self.id, msg, &mut body);
         for (replica, &node) in self.members.iter().enumerate() {
             if replica != self.local_index {
-                self.inner.enqueue(node, &body);
+                self.core.enqueue(node, &body);
             }
         }
     }
@@ -229,7 +290,8 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for Lane<P> {
     }
 
     fn shutdown(&self) {
-        self.inner
+        self.core
+            .router
             .lanes
             .lock()
             .expect("lane table poisoned")
@@ -238,14 +300,13 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for Lane<P> {
 }
 
 /// The shared node backbone: one listener, one connection pair per
-/// peer node, any number of registered [`Lane`]s on top.
+/// peer node, any number of registered [`Lane`]s on top — all driven
+/// by one [`ShardPool`] of event-loop threads.
 pub struct MuxTransport<P> {
-    inner: Arc<MuxInner<P>>,
+    core: Arc<MuxCore<P>>,
     app_rx: Mutex<Receiver<AppEvent>>,
     app_loopback: Sender<AppEvent>,
-    local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    writer_threads: Vec<JoinHandle<()>>,
+    registry: Registry,
 }
 
 impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
@@ -254,7 +315,7 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
     ///
     /// # Errors
     ///
-    /// Propagates listener configuration failures.
+    /// Propagates listener / event-loop configuration failures.
     ///
     /// # Panics
     ///
@@ -265,75 +326,80 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
         addrs: Vec<SocketAddr>,
         cfg: MuxConfig,
     ) -> io::Result<MuxTransport<P>> {
+        Self::bind_with_registry(node, listener, addrs, cfg, Registry::new())
+    }
+
+    /// Like [`MuxTransport::bind`], but publishes the backbone's
+    /// `net.*` metrics (shard gauges, decode-copy counter, latency
+    /// histograms) into the caller's `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener / event-loop configuration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for `addrs`.
+    pub fn bind_with_registry(
+        node: NodeId,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+        cfg: MuxConfig,
+        registry: Registry,
+    ) -> io::Result<MuxTransport<P>> {
         assert!(node < addrs.len(), "node id {node} out of range");
-        let local_addr = listener.local_addr()?;
-        listener.set_nonblocking(false)?;
         let (app_tx, app_rx) = channel();
         let n_nodes = addrs.len();
-
-        let mut queues = Vec::with_capacity(n_nodes);
-        let mut writer_threads = Vec::new();
-        let shutdown_flag = Arc::new(AtomicBool::new(false));
-        for (peer, &addr) in addrs.iter().enumerate() {
-            if peer == node {
-                queues.push(None);
-                continue;
-            }
-            let (tx, rx) = sync_channel::<Arc<[u8]>>(cfg.queue_capacity);
-            let cfg2 = cfg.clone();
-            let shutdown2 = Arc::clone(&shutdown_flag);
-            let handle = thread::Builder::new()
-                .name(format!("curb-mux-writer-{node}-{peer}"))
-                .spawn(move || writer_loop(node, n_nodes, addr, &cfg2, rx, &shutdown2))
-                .expect("spawn mux writer");
-            queues.push(Some(tx));
-            writer_threads.push(handle);
-        }
-
-        let inner = Arc::new(MuxInner {
+        let router = Arc::new(MuxRouter::<P> {
             node,
-            n_nodes,
-            cfg,
             lanes: Mutex::new(HashMap::new()),
             app_tx: app_tx.clone(),
-            queues,
-            shutdown: AtomicBool::new(false),
         });
-        // The writer threads watch a separate flag owned by `inner`
-        // indirectly: tie both flags together by mirroring shutdown
-        // into `shutdown_flag` when `shutdown()` is called. Simpler:
-        // store the writers' flag inside the accept thread closure and
-        // poll `inner.shutdown` there too.
-        let accept_inner = Arc::clone(&inner);
-        let writers_flag = Arc::clone(&shutdown_flag);
-        let accept_thread = thread::Builder::new()
-            .name(format!("curb-mux-accept-{node}"))
-            .spawn(move || accept_loop(listener, accept_inner, writers_flag))
-            .expect("spawn mux acceptor");
-
+        let pool = ShardPool::bind(
+            node,
+            listener,
+            addrs,
+            cfg.reactor(),
+            &registry,
+            Arc::clone(&router),
+            "curb-mux",
+        )?;
         Ok(MuxTransport {
-            inner,
+            core: Arc::new(MuxCore {
+                router,
+                pool,
+                max_frame: cfg.max_frame,
+                n_nodes,
+            }),
             app_rx: Mutex::new(app_rx),
             app_loopback: app_tx,
-            local_addr,
-            accept_thread: Some(accept_thread),
-            writer_threads,
+            registry,
         })
     }
 
     /// The local node id.
     pub fn node(&self) -> NodeId {
-        self.inner.node
+        self.core.router.node
     }
 
     /// Number of nodes in the cluster (including this one).
     pub fn n_nodes(&self) -> usize {
-        self.inner.n_nodes
+        self.core.n_nodes
     }
 
     /// The address the backbone listener is bound to.
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        self.core.pool.local_addr()
+    }
+
+    /// The number of reactor shards serving this backbone.
+    pub fn shards(&self) -> usize {
+        self.core.pool.shards()
+    }
+
+    /// The registry the backbone publishes its `net.*` metrics into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Registers consensus instance `lane_id` with the given member
@@ -348,10 +414,11 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
     pub fn lane(&self, lane_id: u64, members: Vec<NodeId>) -> Lane<P> {
         let local_index = members
             .iter()
-            .position(|&n| n == self.inner.node)
+            .position(|&n| n == self.core.router.node)
             .expect("local node must be a lane member");
         let (tx, rx) = channel();
-        self.inner
+        self.core
+            .router
             .lanes
             .lock()
             .expect("lane table poisoned")
@@ -366,7 +433,7 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
             id: lane_id,
             local_index,
             members,
-            inner: Arc::clone(&self.inner),
+            core: Arc::clone(&self.core),
             events: Mutex::new(rx),
             encode_buf: Mutex::new(Vec::new()),
         }
@@ -378,25 +445,25 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
     ///
     /// [`APP_LANE`]: crate::frame::APP_LANE
     pub fn send_app(&self, to: NodeId, bytes: &[u8]) {
-        if to == self.inner.node {
+        if to == self.core.router.node {
             let _ = self.app_loopback.send(AppEvent {
                 from: to,
-                bytes: bytes.to_vec(),
+                bytes: FrameRef::copied(bytes),
             });
             return;
         }
         let mut body = Vec::with_capacity(bytes.len() + 8);
         encode_lane_app_into(bytes, &mut body);
-        self.inner.enqueue(to, &body);
+        self.core.enqueue(to, &body);
     }
 
     /// Sends application bytes to every node except the local one.
     pub fn broadcast_app(&self, bytes: &[u8]) {
         let mut body = Vec::with_capacity(bytes.len() + 8);
         encode_lane_app_into(bytes, &mut body);
-        for node in 0..self.inner.n_nodes {
-            if node != self.inner.node {
-                self.inner.enqueue(node, &body);
+        for node in 0..self.core.n_nodes {
+            if node != self.core.router.node {
+                self.core.enqueue(node, &body);
             }
         }
     }
@@ -410,183 +477,35 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
             .ok()
     }
 
-    /// Stops all backbone threads. Idempotent; lanes registered on
-    /// this mux stop receiving events.
+    /// Stops the backbone's event loops. Idempotent; lanes registered
+    /// on this mux stop receiving events.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-        // Nudge the acceptor out of its blocking accept.
-        let _ = TcpStream::connect(self.local_addr);
+        self.core.pool.shutdown();
     }
 }
 
 impl<P> Drop for MuxTransport<P> {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        for queue in &self.inner.queues {
-            // Dropping happens via inner's Arc; writers exit when
-            // their queue senders disconnect or the flag flips.
-            let _ = queue;
-        }
-        for handle in self.writer_threads.drain(..) {
-            let _ = handle.join();
-        }
+        // Flag the shards down now; the pool's own Drop joins them
+        // when the last lane releases the core.
+        self.core.pool.shutdown();
     }
-}
-
-/// Writer thread body: dial-with-backoff, 32-byte hello, then frame
-/// bursts coalesced into single writes. Mirrors the thread-per-peer
-/// transport's writer; frames queued while the peer is down are
-/// dropped after the queue fills (loss-tolerant protocol above).
-fn writer_loop(
-    node: NodeId,
-    n_nodes: usize,
-    addr: SocketAddr,
-    cfg: &MuxConfig,
-    queue: Receiver<Arc<[u8]>>,
-    shutdown: &AtomicBool,
-) {
-    let mut conn: Option<TcpStream> = None;
-    let mut backoff = cfg.backoff_base;
-    let mut buf: Vec<u8> = Vec::new();
-    'bursts: loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        let first = match queue.recv_timeout(cfg.poll_interval) {
-            Ok(frame) => frame,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        buf.clear();
-        append_frame(&mut buf, &first);
-        while buf.len() < cfg.coalesce_bytes {
-            match queue.try_recv() {
-                Ok(frame) => append_frame(&mut buf, &frame),
-                Err(_) => break,
-            }
-        }
-        loop {
-            if shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            if conn.is_none() {
-                match dial(node, n_nodes, addr, cfg) {
-                    Ok(stream) => {
-                        conn = Some(stream);
-                        backoff = cfg.backoff_base;
-                    }
-                    Err(_) => {
-                        // The burst in `buf` is dropped: retrying every
-                        // frame against a down peer would only delay
-                        // newer traffic behind stale consensus rounds.
-                        thread::sleep(backoff.min(cfg.backoff_max));
-                        backoff = (backoff * 2).min(cfg.backoff_max);
-                        continue 'bursts;
-                    }
-                }
-            }
-            let stream = conn.as_mut().expect("connection just established");
-            match stream.write_all(&buf).and_then(|()| stream.flush()) {
-                Ok(()) => continue 'bursts,
-                Err(_) => conn = None,
-            }
-        }
-    }
-}
-
-/// Dials `addr` and performs the client half of the handshake.
-fn dial(node: NodeId, n_nodes: usize, addr: SocketAddr, cfg: &MuxConfig) -> io::Result<TcpStream> {
-    let mut stream = TcpStream::connect_timeout(&addr, cfg.dial_timeout)?;
-    stream.set_nodelay(true)?;
-    stream.write_all(&encode_hello(node, n_nodes, cfg.cluster_id))?;
-    stream.flush()?;
-    Ok(stream)
-}
-
-/// Accept-loop thread body: one reader thread per inbound connection.
-fn accept_loop<P: PayloadCodec + Send + 'static>(
-    listener: TcpListener,
-    inner: Arc<MuxInner<P>>,
-    writers_flag: Arc<AtomicBool>,
-) {
-    while !inner.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if inner.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-                let reader_inner = Arc::clone(&inner);
-                let _ = thread::Builder::new()
-                    .name("curb-mux-reader".to_string())
-                    .spawn(move || reader_loop(stream, reader_inner));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(inner.cfg.poll_interval);
-            }
-            Err(_) => thread::sleep(inner.cfg.poll_interval),
-        }
-    }
-    // Writers share the mux's lifetime; flip their flag on the way out.
-    writers_flag.store(true, Ordering::Relaxed);
-}
-
-/// Per-connection reader thread body: handshake, then lane frames
-/// routed to their instances until EOF, error or shutdown.
-fn reader_loop<P: PayloadCodec + Send + 'static>(mut stream: TcpStream, inner: Arc<MuxInner<P>>) {
-    if stream.set_nodelay(true).is_err()
-        || stream
-            .set_read_timeout(Some(inner.cfg.poll_interval))
-            .is_err()
-    {
-        return;
-    }
-    let mut hello = [0u8; HANDSHAKE_LEN];
-    match read_full(&mut stream, &mut hello, &inner.shutdown) {
-        Ok(true) => {}
-        Ok(false) | Err(_) => return,
-    }
-    let Some(from) = validate_hello(&hello, inner.n_nodes, inner.cfg.cluster_id) else {
-        return;
-    };
-    inner.route_peer(from, true);
-    let mut len_bytes = [0u8; 4];
-    while let Ok(true) = read_full(&mut stream, &mut len_bytes, &inner.shutdown) {
-        let len = u32::from_be_bytes(len_bytes) as usize;
-        if len > inner.cfg.max_frame {
-            break; // hostile or corrupted length prefix
-        }
-        let mut body = vec![0u8; len];
-        match read_full(&mut stream, &mut body, &inner.shutdown) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
-        }
-        match decode_lane_frame::<P>(&body) {
-            // A malformed frame is dropped but the connection survives:
-            // framing is still intact, so later frames decode fine.
-            Err(_) => continue,
-            Ok(LaneFrame::Msg { lane, msg }) => inner.route_msg(from, lane, msg),
-            Ok(LaneFrame::App(bytes)) => {
-                let _ = inner.app_tx.send(AppEvent { from, bytes });
-            }
-        }
-    }
-    inner.route_peer(from, false);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::append_frame;
+    use crate::tcp::encode_hello;
     use curb_consensus::{BytesPayload, Payload};
+    use std::io::Write;
+    use std::net::TcpStream;
 
     fn fast_cfg() -> MuxConfig {
         MuxConfig {
             backoff_base: Duration::from_millis(5),
             backoff_max: Duration::from_millis(100),
-            poll_interval: Duration::from_millis(5),
+            poll_interval: Duration::from_millis(1),
             ..MuxConfig::default()
         }
     }
@@ -717,7 +636,7 @@ mod tests {
             got,
             AppEvent {
                 from: 0,
-                bytes: b"agree: group 3".to_vec()
+                bytes: FrameRef::copied(b"agree: group 3"),
             }
         );
         // Local delivery skips the socket entirely.
@@ -725,13 +644,59 @@ mod tests {
         let local = nodes[1]
             .recv_app(Duration::from_secs(1))
             .expect("loopback app frame");
-        assert_eq!(local.bytes, b"note to self");
+        assert_eq!(&local.bytes[..], b"note to self");
         // Broadcast reaches the other node.
         nodes[1].broadcast_app(b"final block");
         let b = nodes[0]
             .recv_app(Duration::from_secs(5))
             .expect("broadcast");
         assert_eq!((b.from, &b.bytes[..]), (1, &b"final block"[..]));
+    }
+
+    #[test]
+    fn sharded_backbone_routes_lanes_and_app_frames() {
+        // 4 nodes, 2 shards: peers are split across event loops, and
+        // inbound connections from odd peers are handed off shard 0 →
+        // shard 1. Lane traffic and app frames must still route.
+        let cfg = MuxConfig {
+            shards: 2,
+            ..fast_cfg()
+        };
+        let nodes = bind_nodes(4, &cfg);
+        assert_eq!(nodes[0].shards(), 2);
+        let lanes: Vec<Lane<BytesPayload>> =
+            nodes.iter().map(|n| n.lane(11, vec![0, 1, 2, 3])).collect();
+        let msg = PbftMsg::Prepare {
+            view: 3,
+            seq: 1,
+            digest: p(b"sharded").digest(),
+        };
+        lanes[3].broadcast(&msg);
+        for r in 0..3 {
+            assert_eq!(wait_inbound(&lanes[r], 3), msg);
+        }
+        nodes[2].broadcast_app(b"epoch 9");
+        for r in [0usize, 1, 3] {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                match nodes[r].recv_app(Duration::from_millis(100)) {
+                    Some(ev) if ev.from == 2 => {
+                        assert_eq!(&ev.bytes[..], b"epoch 9");
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => assert!(
+                        std::time::Instant::now() < deadline,
+                        "node {r} never got the app broadcast"
+                    ),
+                }
+            }
+        }
+        // Zero-copy all the way: routing shares the shard's buffer.
+        assert_eq!(
+            nodes[0].registry().counter("net.decode_copy_bytes").get(),
+            0
+        );
     }
 
     #[test]
@@ -754,6 +719,15 @@ mod tests {
         let mut framed = Vec::new();
         append_frame(&mut framed, &body);
         let _ = s.write_all(&framed);
-        assert_eq!(l1.recv_timeout(Duration::from_millis(200)), None);
+        // The backbone dials peers eagerly, so node 0's legitimate
+        // connection may surface as PeerUp — but nothing the foreign
+        // dialer sent may ever decode into an Inbound.
+        let deadline = std::time::Instant::now() + Duration::from_millis(300);
+        while std::time::Instant::now() < deadline {
+            assert!(!matches!(
+                l1.recv_timeout(Duration::from_millis(50)),
+                Some(NetEvent::Inbound { .. })
+            ));
+        }
     }
 }

@@ -1,55 +1,64 @@
-//! Poll-based reactor transport: thousands of peers, one event loop.
+//! Sharded poll-based reactor transport: thousands of peers, a small
+//! pool of event-loop threads.
 //!
 //! [`TcpTransport`](crate::TcpTransport) spends two OS threads per
 //! peer (a reader and a writer), which caps a replica at a few hundred
 //! connections and makes per-message cost dominated by wakeups and
 //! context switches. [`ReactorTransport`] runs the same wire protocol
-//! — identical frames, identical 24-byte handshake, identical
-//! unidirectional-connection model — on **one** reactor thread that
-//! owns every socket in nonblocking mode behind a raw epoll shim
-//! ([`crate::sys`]):
+//! — identical frames, identical 32-byte handshake, identical
+//! unidirectional-connection model — on a [`ShardPool`]: `shards`
+//! event-loop threads that own every socket in nonblocking mode behind
+//! a raw epoll shim ([`crate::sys`]).
 //!
-//! * **Reads** go through the incremental
-//!   [`FrameDecoder`](crate::frame::FrameDecoder): whatever bytes a
-//!   nonblocking read returns are consumed into complete frames, with
-//!   partial frames buffered across wakeups.
-//! * **Writes** drain per-peer outbound rings into one coalesced burst
-//!   (up to [`ReactorConfig::coalesce_bytes`]) per writable socket —
-//!   level-triggered `EPOLLOUT` is armed only while a peer has
-//!   pending bytes, so an idle cluster generates no wakeups at all.
+//! * **Work partitioning, no work stealing.** Every peer socket is
+//!   hash-pinned to exactly one shard ([`shard_for_peer`]); a shard
+//!   dials, accepts (via handoff from shard 0, which owns the
+//!   listener) and services only its own peers. The read path takes no
+//!   cross-shard locks — each shard has its own epoll instance, wake
+//!   pipe, timer wheel, dirty list and connection slab.
+//! * **Zero-copy reads** go through the
+//!   [`SharedDecoder`](crate::frame::SharedDecoder): socket bytes land
+//!   directly in an `Arc`-shared block and complete frames are handed
+//!   to the sink as [`FrameRef`] views — no per-frame `to_vec`. The
+//!   `net.decode_copy_bytes` counter tallies the rare rescue copies
+//!   (partial frame tails across block rotations) and reads 0 on the
+//!   steady-state path.
+//! * **Vectored writes**: per-peer outbound rings hold encoded frames
+//!   as `Arc<[u8]>`; a flush moves them into the in-flight burst and
+//!   submits header/body slices to one `writev(2)`
+//!   ([`crate::sys::writev_fd`]) — coalesced bursts are never
+//!   re-concatenated into a contiguous buffer. Level-triggered
+//!   `EPOLLOUT` is armed only while a peer has pending bytes.
 //! * **Backpressure** is a per-peer byte watermark
 //!   ([`ReactorConfig::high_watermark`]): a ring pushed past the high
 //!   mark is emptied, the drops are counted
 //!   (`net.backpressure_drops`), and the peer's connection is torn
-//!   down and re-dialed — a peer too slow to drain a full ring is
-//!   better served by a fresh connection than an ever-growing queue.
+//!   down and re-dialed.
 //! * **Reconnects** reuse the capped-exponential-backoff policy of the
-//!   threaded transport, but as timer events on a coarse timing wheel
-//!   that also bounds the `epoll_wait` timeout — no sleeping threads.
+//!   threaded transport, as timer events on a coarse per-shard timing
+//!   wheel that also bounds the `epoll_wait` timeout.
 //!
-//! The runner talks to the reactor through the same [`Transport`]
-//! trait, so [`crate::NetRunner`] is oblivious to which transport it
-//! drives. Each transport costs exactly one networking thread; a
-//! process hosting many replicas (or, later, many per-group peer
-//! sets) scales by sharding peers across additional reactors rather
-//! than by spawning per-connection threads — the event loop itself is
-//! deliberately free of cross-thread state beyond the outbound rings.
+//! The pool is transport-agnostic: [`ReactorTransport`] decodes frames
+//! into PBFT messages, while the node-level mux
+//! ([`crate::MuxTransport`]) routes lane frames — both plug a
+//! [`ShardSink`] into the same shard set, so one `Node` hosting many
+//! consensus groups shares one pool instead of one loop per transport.
 //!
 //! Observability: `net.poll_wait_ns` (time blocked in `epoll_wait`),
-//! `net.events_per_wake` (readiness batch size), `net.ready_queue_depth`
-//! (decoded events queued to the runner), `net.backpressure_drops`,
-//! plus the `net.encode_ns`/`net.read_ns`/`net.write_ns`/
-//! `net.queue_depth`/`net.reconnects` families shared with the
-//! threaded transport.
+//! `net.events_per_wake`, `net.ready_queue_depth`,
+//! `net.backpressure_drops`, `net.shard_count`, `net.shard<i>.conns`
+//! (sockets owned per shard), `net.decode_copy_bytes`, plus the
+//! `net.encode_ns`/`net.read_ns`/`net.write_ns`/`net.queue_depth`/
+//! `net.reconnects` families shared with the threaded transport.
 
-use crate::frame::{append_frame, decode_msg, encode_msg_into, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::frame::{decode_msg, encode_msg_into, FrameRef, SharedDecoder, DEFAULT_MAX_FRAME};
 use crate::sys::{self, Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::tcp::{encode_hello, validate_hello, HANDSHAKE_LEN};
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
 use curb_telemetry::{Counter, Gauge, HistogramHandle, Registry};
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
@@ -58,6 +67,40 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Hard cap on the shard count (also sizes the static metric-name
+/// table for per-shard gauges).
+pub const MAX_SHARDS: usize = 16;
+
+/// Static names for the per-shard connection gauges — the telemetry
+/// registry interns `&'static str` names only.
+const SHARD_CONNS: [&str; MAX_SHARDS] = [
+    "net.shard0.conns",
+    "net.shard1.conns",
+    "net.shard2.conns",
+    "net.shard3.conns",
+    "net.shard4.conns",
+    "net.shard5.conns",
+    "net.shard6.conns",
+    "net.shard7.conns",
+    "net.shard8.conns",
+    "net.shard9.conns",
+    "net.shard10.conns",
+    "net.shard11.conns",
+    "net.shard12.conns",
+    "net.shard13.conns",
+    "net.shard14.conns",
+    "net.shard15.conns",
+];
+
+/// The shard a peer's sockets are pinned to: a plain modulus, so the
+/// mapping is stable for the lifetime of the pool and uniform across
+/// shards for dense peer ids. Both the outbound dial and the inbound
+/// accept handoff use this exact function — one peer, one shard, no
+/// work stealing.
+pub fn shard_for_peer(peer: usize, shards: usize) -> usize {
+    peer % shards.max(1)
+}
 
 /// Tuning knobs for [`ReactorTransport`].
 #[derive(Debug, Clone)]
@@ -76,7 +119,7 @@ pub struct ReactorConfig {
     /// connection down for a fresh reconnect.
     pub high_watermark: usize,
     /// Write coalescing limit: pending frames are drained into one
-    /// contiguous burst of at most this many bytes per write wakeup.
+    /// vectored burst of at most this many bytes per write wakeup.
     pub coalesce_bytes: usize,
     /// Timing-wheel slot granularity; timer deadlines are exact, the
     /// granularity only bounds how early the wheel re-checks them.
@@ -84,6 +127,10 @@ pub struct ReactorConfig {
     /// Consensus-instance id stamped into the handshake; peers carrying
     /// a different id are rejected. Defaults to 0 for single-group use.
     pub group_id: u64,
+    /// Number of event-loop shards peers are partitioned across.
+    /// Clamped to `1..=MAX_SHARDS`. One shard reproduces the previous
+    /// single-loop behaviour exactly.
+    pub shards: usize,
 }
 
 impl Default for ReactorConfig {
@@ -97,6 +144,7 @@ impl Default for ReactorConfig {
             coalesce_bytes: 256 << 10,
             tick: Duration::from_millis(4),
             group_id: 0,
+            shards: 1,
         }
     }
 }
@@ -106,7 +154,7 @@ impl Default for ReactorConfig {
 /// longer deadlines park in the furthest slot and re-insert on expiry.
 const WHEEL_SLOTS: usize = 512;
 
-/// What a timer firing means to the reactor.
+/// What a timer firing means to the shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TimerKind {
     /// Attempt a fresh dial to `peer` (scheduled with backoff).
@@ -213,7 +261,7 @@ impl TimerWheel {
     }
 }
 
-/// Reactor metric handles (`net.*` names). Latency histograms sample
+/// Pool metric handles (`net.*` names). Latency histograms sample
 /// only while telemetry is enabled; gauges and counters are relaxed
 /// atomics and always on.
 #[derive(Clone)]
@@ -221,18 +269,21 @@ struct ReactorMetrics {
     encode_ns: HistogramHandle,
     write_ns: HistogramHandle,
     read_ns: HistogramHandle,
-    /// Time the reactor spent blocked in `epoll_wait`.
+    /// Time a shard spent blocked in `epoll_wait`.
     poll_wait_ns: HistogramHandle,
     /// Readiness events delivered per `epoll_wait` return.
     events_per_wake: HistogramHandle,
     /// Frames currently queued across all outbound rings.
     queue_depth: Gauge,
-    /// Decoded events queued to the runner and not yet consumed.
+    /// Decoded events queued to the consumer and not yet drained.
     ready_depth: Gauge,
     /// Frames dropped because a ring crossed its high watermark.
     backpressure_drops: Counter,
     /// Outbound connections re-established after a drop.
     reconnects: Counter,
+    /// Frame-stream bytes rescued by copy on the decode path (block
+    /// rotations splitting a frame). 0 == fully zero-copy.
+    decode_copy_bytes: Counter,
 }
 
 impl ReactorMetrics {
@@ -247,18 +298,33 @@ impl ReactorMetrics {
             ready_depth: registry.gauge("net.ready_queue_depth"),
             backpressure_drops: registry.counter("net.backpressure_drops"),
             reconnects: registry.counter("net.reconnects"),
+            decode_copy_bytes: registry.counter("net.decode_copy_bytes"),
         }
     }
 }
 
-/// One peer's outbound ring: encoded frames waiting for the reactor to
+/// Where a shard delivers its work: one implementation decodes PBFT
+/// messages ([`ReactorTransport`]), another routes lane frames
+/// ([`crate::MuxTransport`]). Called from shard threads — implementors
+/// must be cheap and non-blocking on the hot path.
+pub(crate) trait ShardSink: Send + Sync + 'static {
+    /// A complete frame body arrived from `from`. The [`FrameRef`]
+    /// borrows the shard's read block; holding it defers (only) that
+    /// block's reuse.
+    fn on_frame(&self, from: usize, frame: FrameRef);
+    /// An inbound connection from `from` completed its handshake
+    /// (`up`) or closed (`!up`).
+    fn on_peer(&self, from: usize, up: bool);
+}
+
+/// One peer's outbound ring: encoded frames waiting for a shard to
 /// put them on the wire. Lock order: a ring lock is always the
 /// innermost lock and never held across a syscall other than the
 /// nonblocking wake write.
 struct Ring {
     frames: VecDeque<Arc<[u8]>>,
     bytes: usize,
-    /// Set by the sender when the watermark was crossed; the reactor
+    /// Set by the sender when the watermark was crossed; the shard
     /// answers by tearing the connection down for a fresh start.
     overflowed: bool,
 }
@@ -273,28 +339,59 @@ impl Ring {
     }
 }
 
-/// State shared between the runner-facing handle and the reactor
-/// thread.
+/// A validated inbound connection being transferred from shard 0 (the
+/// listener owner) to the shard that owns its peer.
+struct Handoff {
+    stream: TcpStream,
+    from: ReplicaId,
+}
+
+/// State shared between the sender-facing pool handle and the shard
+/// threads. Rings are global (indexed by peer); everything that a
+/// shard polls is per-shard, so the hot paths never contend across
+/// shards.
 struct Shared {
     rings: Vec<Mutex<Ring>>,
-    /// Peers whose ring changed since the reactor last looked.
-    dirty: Mutex<Vec<usize>>,
-    /// Whether a wake byte is already in flight (dedupes wake writes).
-    wake_pending: AtomicBool,
+    /// Per shard: peers whose ring changed since the shard last looked.
+    dirty: Vec<Mutex<Vec<usize>>>,
+    /// Per shard: whether a wake byte is already in flight.
+    wake_pending: Vec<AtomicBool>,
+    /// Per shard: write ends of the wake pipes (any thread may nudge
+    /// any shard — handoffs cross shards).
+    wake_tx: Vec<UnixStream>,
+    /// Per shard: inbound connections waiting to be adopted.
+    handoff: Vec<Mutex<Vec<Handoff>>>,
     shutdown: AtomicBool,
     connected: Vec<AtomicBool>,
     /// Frames dropped: oversize at encode time or watermark overflow.
     dropped: AtomicUsize,
 }
 
-/// Reserved epoll token: the listening socket.
+impl Shared {
+    /// Wakes `shard`, deduplicating the wake byte.
+    fn wake(&self, shard: usize) {
+        if !self.wake_pending[shard].swap(true, Ordering::SeqCst) {
+            // A full pipe still wakes the shard; the byte loss is
+            // harmless because one is already buffered.
+            let _ = (&self.wake_tx[shard]).write(&[1]);
+        }
+    }
+
+    fn wake_all(&self) {
+        for shard in 0..self.wake_tx.len() {
+            self.wake(shard);
+        }
+    }
+}
+
+/// Reserved epoll token: the listening socket (shard 0 only).
 const TOKEN_LISTENER: u64 = u64::MAX;
 /// Reserved epoll token: the wake pipe's read end.
 const TOKEN_WAKE: u64 = u64::MAX - 1;
 /// Reads per connection per wakeup before yielding to other sockets.
 const MAX_READS_PER_CONN: usize = 16;
 
-/// One registered connection inside the reactor.
+/// One registered connection inside a shard.
 enum Conn {
     /// Outbound connect in flight (`EINPROGRESS`); completion or
     /// failure arrives as `EPOLLOUT`/`EPOLLERR`.
@@ -303,27 +400,38 @@ enum Conn {
         stream: TcpStream,
         generation: u64,
     },
-    /// Established outbound connection. `wbuf[wpos..]` is the burst
-    /// currently going out (handshake first, then coalesced frames).
+    /// Established outbound connection. `pre[pre_off..]` is the
+    /// handshake preamble still going out; `headers`/`burst` hold the
+    /// in-flight frame burst as parallel header/body queues submitted
+    /// to `writev` without concatenation, with `off` bytes of the
+    /// front header+body unit already written.
     OutUp {
         peer: usize,
         stream: TcpStream,
-        wbuf: Vec<u8>,
-        wpos: usize,
+        pre: Vec<u8>,
+        pre_off: usize,
+        headers: VecDeque<[u8; 4]>,
+        burst: VecDeque<Arc<[u8]>>,
+        off: usize,
         /// Whether `EPOLLOUT` is currently registered.
         armed: bool,
     },
-    /// Inbound connection still reading its 24-byte handshake.
+    /// Inbound connection still reading its 32-byte handshake. Reads
+    /// go directly into `hello` — never past it — so a connection
+    /// handed to another shard carries no surplus bytes.
     InHandshake {
         stream: TcpStream,
         hello: [u8; HANDSHAKE_LEN],
         got: usize,
     },
-    /// Inbound connection past the handshake, decoding frames.
+    /// Inbound connection past the handshake, decoding frames in
+    /// place. `copied_reported` is the slice of the decoder's rescue
+    /// copies already published to the pool counter.
     InPeer {
         stream: TcpStream,
         from: ReplicaId,
-        decoder: FrameDecoder,
+        decoder: SharedDecoder,
+        copied_reported: u64,
     },
 }
 
@@ -338,18 +446,23 @@ impl Conn {
     }
 }
 
-/// The reactor thread: owns the epoll instance, every socket, the
-/// timing wheel and the connection slab.
-struct Reactor<P> {
+/// One event-loop thread of the pool: owns an epoll instance, the
+/// sockets of the peers pinned to it, a timing wheel and a connection
+/// slab. Shard 0 additionally owns the listener and hands validated
+/// inbound connections to their owning shards.
+struct Shard<S> {
+    idx: usize,
     id: ReplicaId,
     n: usize,
+    nshards: usize,
     cfg: ReactorConfig,
     epoll: Epoll,
-    listener: TcpListener,
+    listener: Option<TcpListener>,
     wake_rx: UnixStream,
     shared: Arc<Shared>,
-    events_tx: Sender<NetEvent<P>>,
+    sink: Arc<S>,
     addrs: Vec<SocketAddr>,
+    hello: [u8; HANDSHAKE_LEN],
     /// Connection slab; epoll tokens are indices into it.
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
@@ -364,12 +477,13 @@ struct Reactor<P> {
     ever_connected: Vec<bool>,
     wheel: TimerWheel,
     metrics: ReactorMetrics,
-    /// Scratch read buffer shared by all connections.
-    scratch: Vec<u8>,
+    /// Sockets currently owned by this shard (`net.shard<i>.conns`).
+    conns_gauge: Gauge,
 }
 
-impl<P: PayloadCodec + Send + 'static> Reactor<P> {
+impl<S: ShardSink> Shard<S> {
     fn alloc(&mut self, conn: Conn) -> usize {
+        self.conns_gauge.add(1);
         if let Some(token) = self.free.pop() {
             self.conns[token] = Some(conn);
             token
@@ -387,12 +501,18 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
         if let Some(conn) = self.conns[token].take() {
             let _ = self.epoll.delete(conn.fd());
             self.free.push(token);
+            self.conns_gauge.sub(1);
         }
+    }
+
+    /// Whether this shard owns `peer`'s sockets.
+    fn owns(&self, peer: usize) -> bool {
+        shard_for_peer(peer, self.nshards) == self.idx
     }
 
     fn run(mut self) {
         for peer in 0..self.n {
-            if peer != self.id {
+            if peer != self.id && self.owns(peer) {
                 self.start_dial(peer);
             }
         }
@@ -440,11 +560,11 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
             }
         }
         // Dropping the slab, listener and epoll closes every fd, so
-        // the listening port is free the moment the thread exits.
+        // the listening port is free the moment the last shard exits.
     }
 
     // ---------------------------------------------------------------
-    // Outbound side: dial → handshake → coalesced bursts.
+    // Outbound side: dial → handshake preamble → vectored bursts.
     // ---------------------------------------------------------------
 
     fn start_dial(&mut self, peer: usize) {
@@ -503,8 +623,8 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
     }
 
     /// Promotes a completed connect to an established connection: the
-    /// handshake bytes become the head of the write buffer and the
-    /// ring is drained behind them.
+    /// handshake bytes become the write preamble and the ring is
+    /// drained behind them.
     fn finish_connect(&mut self, token: usize, peer: usize) {
         let Some(conn) = self.conns[token].take() else {
             return;
@@ -517,8 +637,11 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
         self.conns[token] = Some(Conn::OutUp {
             peer,
             stream,
-            wbuf: encode_hello(self.id, self.n, self.cfg.group_id).to_vec(),
-            wpos: 0,
+            pre: self.hello.to_vec(),
+            pre_off: 0,
+            headers: VecDeque::new(),
+            burst: VecDeque::new(),
+            off: 0,
             armed: true,
         });
         self.backoff[peer] = self.cfg.backoff_base;
@@ -543,10 +666,13 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
     }
 
     /// Writes as much pending outbound data to `token`'s socket as the
-    /// kernel will take, refilling the burst buffer from the peer's
-    /// ring (up to `coalesce_bytes`) whenever it drains. Arms
-    /// `EPOLLOUT` only while bytes remain — level-triggered readiness
-    /// demands disarming, or an idle writable socket spins the loop.
+    /// kernel will take. The preamble and every queued frame
+    /// (4-byte header + `Arc` body) are submitted as separate iovecs
+    /// in one `writev` — the burst is never copied into a contiguous
+    /// buffer. The burst refills from the peer's ring (up to
+    /// `coalesce_bytes`) whenever it drains; `EPOLLOUT` is armed only
+    /// while bytes remain — level-triggered readiness demands
+    /// disarming, or an idle writable socket spins the loop.
     fn flush_out(&mut self, token: usize) {
         let Some(Conn::OutUp { peer, .. }) = &self.conns[token] else {
             return;
@@ -557,23 +683,31 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
             let mut drained: i64 = 0;
             let mut overflowed = false;
             {
-                let Some(Conn::OutUp { wbuf, wpos, .. }) = self.conns[token].as_mut() else {
+                let Some(Conn::OutUp {
+                    headers,
+                    burst,
+                    pre,
+                    pre_off,
+                    ..
+                }) = self.conns[token].as_mut()
+                else {
                     return;
                 };
-                if *wpos == wbuf.len() {
-                    wbuf.clear();
-                    *wpos = 0;
+                if burst.is_empty() && *pre_off == pre.len() {
                     let mut ring = self.shared.rings[peer].lock().expect("ring poisoned");
                     if ring.overflowed {
                         ring.overflowed = false;
                         overflowed = true;
                     } else {
-                        while wbuf.len() < self.cfg.coalesce_bytes {
+                        let mut burst_bytes = 0usize;
+                        while burst_bytes < self.cfg.coalesce_bytes {
                             let Some(frame) = ring.frames.pop_front() else {
                                 break;
                             };
                             ring.bytes -= frame.len() + 4;
-                            append_frame(wbuf, &frame);
+                            burst_bytes += frame.len() + 4;
+                            headers.push_back((frame.len() as u32).to_be_bytes());
+                            burst.push_back(frame);
                             drained += 1;
                         }
                     }
@@ -587,46 +721,119 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
             if drained > 0 {
                 self.metrics.queue_depth.sub(drained);
             }
-            let Some(Conn::OutUp {
-                stream,
-                wbuf,
-                wpos,
-                armed,
-                ..
-            }) = self.conns[token].as_mut()
-            else {
-                return;
-            };
-            if wbuf.is_empty() {
-                if *armed {
-                    *armed = false;
-                    let _ = self.epoll.modify(stream.as_raw_fd(), 0, token as u64);
+            // Build the iovec array and write. Immutable borrow scope:
+            // the raw fd is copied out so the result can be applied
+            // mutably below.
+            let (fd, result) = {
+                let Some(Conn::OutUp {
+                    stream,
+                    pre,
+                    pre_off,
+                    headers,
+                    burst,
+                    off,
+                    ..
+                }) = self.conns[token].as_ref()
+                else {
+                    return;
+                };
+                let mut slices: Vec<IoSlice<'_>> =
+                    Vec::with_capacity((burst.len() * 2 + 1).min(sys::MAX_IOVECS));
+                if *pre_off < pre.len() {
+                    slices.push(IoSlice::new(&pre[*pre_off..]));
                 }
-                return;
-            }
-            let t_write = curb_telemetry::enabled().then(Instant::now);
-            match stream.write(&wbuf[*wpos..]) {
-                Ok(0) => {
+                for (i, (hdr, frame)) in headers.iter().zip(burst.iter()).enumerate() {
+                    if slices.len() + 2 > sys::MAX_IOVECS {
+                        break;
+                    }
+                    if i == 0 && *off > 0 {
+                        // Partial front unit: resume mid-header or
+                        // mid-body.
+                        if *off < 4 {
+                            slices.push(IoSlice::new(&hdr[*off..]));
+                            slices.push(IoSlice::new(frame));
+                        } else {
+                            slices.push(IoSlice::new(&frame[*off - 4..]));
+                        }
+                    } else {
+                        slices.push(IoSlice::new(hdr));
+                        slices.push(IoSlice::new(frame));
+                    }
+                }
+                if slices.is_empty() {
+                    (stream.as_raw_fd(), None)
+                } else {
+                    let t_write = curb_telemetry::enabled().then(Instant::now);
+                    let result = sys::writev_fd(stream.as_raw_fd(), &slices);
+                    if let (Some(t), Ok(_)) = (t_write, &result) {
+                        self.metrics.write_ns.record(t.elapsed().as_nanos() as u64);
+                    }
+                    (stream.as_raw_fd(), Some(result))
+                }
+            };
+            match result {
+                None => {
+                    // Nothing pending: disarm EPOLLOUT if armed.
+                    let Some(Conn::OutUp { armed, .. }) = self.conns[token].as_mut() else {
+                        return;
+                    };
+                    if *armed {
+                        *armed = false;
+                        let _ = self.epoll.modify(fd, 0, token as u64);
+                    }
+                    return;
+                }
+                Some(Ok(0)) => {
                     self.teardown_out(peer);
                     return;
                 }
-                Ok(written) => {
-                    *wpos += written;
-                    if let Some(t) = t_write {
-                        self.metrics.write_ns.record(t.elapsed().as_nanos() as u64);
+                Some(Ok(written)) => {
+                    let Some(Conn::OutUp {
+                        pre,
+                        pre_off,
+                        headers,
+                        burst,
+                        off,
+                        ..
+                    }) = self.conns[token].as_mut()
+                    else {
+                        return;
+                    };
+                    let mut w = written;
+                    let pre_rem = pre.len() - *pre_off;
+                    let take = w.min(pre_rem);
+                    *pre_off += take;
+                    w -= take;
+                    if *pre_off == pre.len() && !pre.is_empty() {
+                        pre.clear();
+                        *pre_off = 0;
+                    }
+                    while w > 0 {
+                        let unit = 4 + burst.front().expect("written implies a unit").len();
+                        let rem = unit - *off;
+                        if w >= rem {
+                            w -= rem;
+                            *off = 0;
+                            burst.pop_front();
+                            headers.pop_front();
+                        } else {
+                            *off += w;
+                            w = 0;
+                        }
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                Some(Err(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let Some(Conn::OutUp { armed, .. }) = self.conns[token].as_mut() else {
+                        return;
+                    };
                     if !*armed {
                         *armed = true;
-                        let _ = self
-                            .epoll
-                            .modify(stream.as_raw_fd(), EPOLLOUT, token as u64);
+                        let _ = self.epoll.modify(fd, EPOLLOUT, token as u64);
                     }
                     return;
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => {
+                Some(Err(e)) if e.kind() == io::ErrorKind::Interrupted => {}
+                Some(Err(_)) => {
                     self.teardown_out(peer);
                     return;
                 }
@@ -635,12 +842,15 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
     }
 
     // ---------------------------------------------------------------
-    // Inbound side: accept → handshake → incremental frame decoding.
+    // Inbound side: accept → handshake → handoff → zero-copy decode.
     // ---------------------------------------------------------------
 
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
                         continue;
@@ -665,95 +875,159 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
         }
     }
 
+    /// Adopts inbound connections handed over by shard 0: registers
+    /// each already-validated peer socket with this shard's epoll.
+    fn adopt_handoffs(&mut self) {
+        let pending = {
+            let mut handoff = self.shared.handoff[self.idx]
+                .lock()
+                .expect("handoff poisoned");
+            std::mem::take(&mut *handoff)
+        };
+        for Handoff { stream, from } in pending {
+            let fd = stream.as_raw_fd();
+            let token = self.alloc(Conn::InPeer {
+                stream,
+                from,
+                decoder: SharedDecoder::new(self.cfg.max_frame),
+                copied_reported: 0,
+            });
+            if self
+                .epoll
+                .add(fd, EPOLLIN | EPOLLRDHUP, token as u64)
+                .is_err()
+            {
+                self.release(token);
+                self.sink.on_peer(from, false);
+            }
+        }
+    }
+
     /// Services readiness on an inbound connection: reads until
-    /// `WouldBlock` (bounded for fairness), feeding bytes through the
-    /// handshake validator and then the incremental frame decoder.
+    /// `WouldBlock` (bounded for fairness). Handshake reads fill the
+    /// fixed hello buffer exactly; frame reads land in the shared
+    /// decoder block and complete frames are emitted as zero-copy
+    /// [`FrameRef`]s.
     fn in_ready(&mut self, token: usize) {
         // The connection is taken out of the slab while being
-        // serviced so the event channel and metrics can be borrowed
-        // freely; it is put back unless it closed.
+        // serviced so the sink and metrics can be borrowed freely; it
+        // is put back unless it closed or was handed to another shard.
         let Some(mut conn) = self.conns[token].take() else {
             return;
         };
         let mut close = false;
         let mut peer_down: Option<ReplicaId> = None;
         'reads: for _ in 0..MAX_READS_PER_CONN {
-            let stream = match &mut conn {
-                Conn::InHandshake { stream, .. } | Conn::InPeer { stream, .. } => stream,
-                _ => break,
-            };
-            let read = match stream.read(&mut self.scratch) {
-                Ok(0) => {
-                    close = true;
-                    break;
-                }
-                Ok(read) => read,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    close = true;
-                    break;
-                }
-            };
-            let mut chunk = 0usize;
-            // Handshake first; any bytes after it fall through to the
-            // frame decoder in the same pass.
-            if let Conn::InHandshake { hello, got, .. } = &mut conn {
-                let take = (HANDSHAKE_LEN - *got).min(read);
-                hello[*got..*got + take].copy_from_slice(&self.scratch[..take]);
-                *got += take;
-                chunk = take;
-                if *got < HANDSHAKE_LEN {
-                    continue;
-                }
-                let Some(from) = validate_hello(hello, self.n, self.cfg.group_id) else {
-                    // Bad magic/id/group: close before any frame, and
-                    // without a PeerDown (no PeerUp was sent).
-                    close = true;
-                    break;
-                };
-                conn = match conn {
-                    Conn::InHandshake { stream, .. } => {
-                        self.send_event(NetEvent::PeerUp(from));
-                        Conn::InPeer {
-                            stream,
-                            from,
-                            decoder: FrameDecoder::new(self.cfg.max_frame),
+            match &mut conn {
+                Conn::InHandshake { stream, hello, got } => {
+                    // Read exactly up to the end of the handshake —
+                    // never past it — so the stream can be handed to
+                    // another shard with no surplus bytes in limbo.
+                    match stream.read(&mut hello[*got..]) {
+                        Ok(0) => {
+                            close = true;
+                            break;
+                        }
+                        Ok(read) => {
+                            *got += read;
+                            if *got < HANDSHAKE_LEN {
+                                continue;
+                            }
+                            let Some(from) = validate_hello(hello, self.n, self.cfg.group_id)
+                            else {
+                                // Bad magic/id/group: close before any
+                                // frame, and without a peer-down (no
+                                // peer-up was announced).
+                                close = true;
+                                break;
+                            };
+                            self.sink.on_peer(from, true);
+                            let target = shard_for_peer(from, self.nshards);
+                            if target != self.idx {
+                                // Hand the validated socket to the
+                                // shard that owns this peer.
+                                let Conn::InHandshake { stream, .. } = conn else {
+                                    unreachable!("matched InHandshake above");
+                                };
+                                let _ = self.epoll.delete(stream.as_raw_fd());
+                                self.free.push(token);
+                                self.conns_gauge.sub(1);
+                                self.shared.handoff[target]
+                                    .lock()
+                                    .expect("handoff poisoned")
+                                    .push(Handoff { stream, from });
+                                self.shared.wake(target);
+                                return;
+                            }
+                            conn = match conn {
+                                Conn::InHandshake { stream, .. } => Conn::InPeer {
+                                    stream,
+                                    from,
+                                    decoder: SharedDecoder::new(self.cfg.max_frame),
+                                    copied_reported: 0,
+                                },
+                                other => other,
+                            };
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            close = true;
+                            break;
                         }
                     }
-                    other => other,
-                };
-            }
-            if let Conn::InPeer { from, decoder, .. } = &mut conn {
-                let from = *from;
-                let t_read = curb_telemetry::enabled().then(Instant::now);
-                let mut decoded = 0u64;
-                let events_tx = &self.events_tx;
-                let ready_depth = &self.metrics.ready_depth;
-                let fed = decoder.feed(&self.scratch[chunk..read], |body| {
-                    // A malformed body is dropped but the connection
-                    // survives: framing is still intact.
-                    if let Ok(msg) = decode_msg::<P>(body) {
+                }
+                Conn::InPeer {
+                    stream,
+                    from,
+                    decoder,
+                    copied_reported,
+                } => {
+                    let from = *from;
+                    let buf = decoder.writable();
+                    let read = match stream.read(buf) {
+                        Ok(0) => {
+                            close = true;
+                            break;
+                        }
+                        Ok(read) => read,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            close = true;
+                            break;
+                        }
+                    };
+                    let t_read = curb_telemetry::enabled().then(Instant::now);
+                    let mut decoded = 0u64;
+                    let sink = &self.sink;
+                    let fed = decoder.advance(read, |frame| {
                         decoded += 1;
-                        if events_tx.send(NetEvent::Inbound { from, msg }).is_ok() {
-                            ready_depth.add(1);
+                        sink.on_frame(from, frame);
+                    });
+                    if let (Some(t), true) = (t_read, decoded > 0) {
+                        // Amortised read+decode cost per decoded frame.
+                        let per_frame = t.elapsed().as_nanos() as u64 / decoded;
+                        for _ in 0..decoded {
+                            self.metrics.read_ns.record(per_frame);
                         }
                     }
-                });
-                if let (Some(t), true) = (t_read, decoded > 0) {
-                    // Amortised read+decode cost per decoded frame.
-                    let per_frame = t.elapsed().as_nanos() as u64 / decoded;
-                    for _ in 0..decoded {
-                        self.metrics.read_ns.record(per_frame);
+                    let copied = decoder.copied_bytes();
+                    if copied > *copied_reported {
+                        self.metrics
+                            .decode_copy_bytes
+                            .add(copied - *copied_reported);
+                        *copied_reported = copied;
+                    }
+                    if fed.is_err() {
+                        // Hostile length prefix: the stream can never
+                        // re-align, drop the connection.
+                        peer_down = Some(from);
+                        close = true;
+                        break 'reads;
                     }
                 }
-                if fed.is_err() {
-                    // Hostile length prefix: the stream can never
-                    // re-align, drop the connection.
-                    peer_down = Some(from);
-                    close = true;
-                    break 'reads;
-                }
+                _ => break,
             }
         }
         if close {
@@ -765,17 +1039,12 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
             let _ = self.epoll.delete(conn.fd());
             drop(conn);
             self.free.push(token);
+            self.conns_gauge.sub(1);
             if let Some(from) = peer_down {
-                self.send_event(NetEvent::PeerDown(from));
+                self.sink.on_peer(from, false);
             }
         } else {
             self.conns[token] = Some(conn);
-        }
-    }
-
-    fn send_event(&self, event: NetEvent<P>) {
-        if self.events_tx.send(event).is_ok() {
-            self.metrics.ready_depth.add(1);
         }
     }
 
@@ -836,10 +1105,10 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
         }
     }
 
-    /// Drains the wake pipe and services every dirty ring: overflow
-    /// tears the peer's connection down, fresh frames are flushed
-    /// directly (the hot path writes from the wake, not from a second
-    /// `EPOLLOUT` round trip).
+    /// Drains the wake pipe, adopts handed-off connections and
+    /// services every dirty ring: overflow tears the peer's connection
+    /// down, fresh frames are flushed directly (the hot path writes
+    /// from the wake, not from a second `EPOLLOUT` round trip).
     fn wake_ready(&mut self) {
         let mut buf = [0u8; 64];
         loop {
@@ -850,9 +1119,10 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
                 Err(_) => break,
             }
         }
-        self.shared.wake_pending.store(false, Ordering::SeqCst);
+        self.shared.wake_pending[self.idx].store(false, Ordering::SeqCst);
+        self.adopt_handoffs();
         let dirty = {
-            let mut dirty = self.shared.dirty.lock().expect("dirty list poisoned");
+            let mut dirty = self.shared.dirty[self.idx].lock().expect("dirty poisoned");
             std::mem::take(&mut *dirty)
         };
         for peer in dirty {
@@ -889,147 +1159,127 @@ impl<P: PayloadCodec + Send + 'static> Reactor<P> {
     }
 }
 
-/// A [`Transport`] over real TCP sockets, multiplexed by one epoll
-/// reactor thread instead of two threads per peer.
-///
-/// Wire-compatible with [`crate::TcpTransport`] — same frames, same
-/// handshake, same unidirectional connections — so the two transports
-/// interoperate in a mixed cluster. Bind each replica with
-/// [`ReactorTransport::bind`], giving every replica the same ordered
-/// list of peer addresses (index = replica id).
-pub struct ReactorTransport<P> {
+/// A work-partitioned pool of reactor shards sharing one listener, one
+/// peer-ring set and one metric family. This is the engine under both
+/// [`ReactorTransport`] (PBFT frames) and [`crate::MuxTransport`]
+/// (lane frames): callers enqueue encoded `Arc<[u8]>` frames per peer
+/// and receive inbound frames through their [`ShardSink`].
+pub(crate) struct ShardPool {
     id: ReplicaId,
     n: usize,
+    nshards: usize,
     cfg: ReactorConfig,
     shared: Arc<Shared>,
-    wake_tx: UnixStream,
-    events: Mutex<Receiver<NetEvent<P>>>,
-    encode_buf: Mutex<Vec<u8>>,
     metrics: ReactorMetrics,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
-    registry: Registry,
 }
 
-impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
-    /// Starts the reactor transport for replica `id` on `listener`.
-    ///
-    /// `peer_addrs[i]` must be where replica `i` listens;
-    /// `peer_addrs[id]` is this replica's own address. The reactor
-    /// begins dialing peers immediately; peers that are not up yet are
-    /// retried with capped exponential backoff off the timer wheel.
-    ///
-    /// # Errors
-    ///
-    /// Returns any error from configuring the listener, the epoll
-    /// instance or the wake pipe.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id >= peer_addrs.len()`.
-    pub fn bind(
+impl ShardPool {
+    /// Starts `cfg.shards` event-loop threads for node `id`. Shard 0
+    /// takes ownership of `listener`; every peer in `peer_addrs` is
+    /// pinned to `shard_for_peer(peer, shards)`. Inbound frames and
+    /// peer up/down transitions are delivered to `sink` from shard
+    /// threads.
+    pub(crate) fn bind<S: ShardSink>(
         id: ReplicaId,
         listener: TcpListener,
         peer_addrs: Vec<SocketAddr>,
         cfg: ReactorConfig,
-    ) -> io::Result<ReactorTransport<P>> {
-        Self::bind_with_registry(id, listener, peer_addrs, cfg, Registry::new())
-    }
-
-    /// Like [`ReactorTransport::bind`], but publishes the reactor's
-    /// metrics into the caller's `registry` — share one registry with
-    /// [`NetRunner::spawn_with_registry`] to see runner and transport
-    /// metrics side by side.
-    ///
-    /// [`NetRunner::spawn_with_registry`]: crate::NetRunner::spawn_with_registry
-    ///
-    /// # Errors
-    ///
-    /// Returns any error from configuring the listener, the epoll
-    /// instance or the wake pipe.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id >= peer_addrs.len()`.
-    pub fn bind_with_registry(
-        id: ReplicaId,
-        listener: TcpListener,
-        peer_addrs: Vec<SocketAddr>,
-        cfg: ReactorConfig,
-        registry: Registry,
-    ) -> io::Result<ReactorTransport<P>> {
-        assert!(id < peer_addrs.len(), "replica id out of range");
+        registry: &Registry,
+        sink: Arc<S>,
+        thread_prefix: &str,
+    ) -> io::Result<ShardPool> {
+        assert!(id < peer_addrs.len(), "node id out of range");
         let n = peer_addrs.len();
+        let nshards = cfg.shards.clamp(1, MAX_SHARDS);
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (wake_tx, wake_rx) = UnixStream::pair()?;
-        wake_tx.set_nonblocking(true)?;
-        wake_rx.set_nonblocking(true)?;
-        let epoll = Epoll::new()?;
-        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
-        epoll.add(wake_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
-        let metrics = ReactorMetrics::new(&registry);
+        let metrics = ReactorMetrics::new(registry);
+        registry.gauge("net.shard_count").set(nshards as i64);
+
+        let mut wake_tx = Vec::with_capacity(nshards);
+        let mut wake_rx = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            wake_tx.push(tx);
+            wake_rx.push(rx);
+        }
         let shared = Arc::new(Shared {
             rings: (0..n).map(|_| Mutex::new(Ring::new())).collect(),
-            dirty: Mutex::new(Vec::new()),
-            wake_pending: AtomicBool::new(false),
+            dirty: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
+            wake_pending: (0..nshards).map(|_| AtomicBool::new(false)).collect(),
+            wake_tx,
+            handoff: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
             shutdown: AtomicBool::new(false),
             connected: (0..n).map(|_| AtomicBool::new(false)).collect(),
             dropped: AtomicUsize::new(0),
         });
-        let (events_tx, events_rx) = channel();
-        let now = Instant::now();
-        let reactor = Reactor {
+
+        let hello = encode_hello(id, n, cfg.group_id);
+        let mut listener = Some(listener);
+        let mut threads = Vec::with_capacity(nshards);
+        for (idx, rx) in wake_rx.into_iter().enumerate() {
+            let epoll = Epoll::new()?;
+            let shard_listener = if idx == 0 { listener.take() } else { None };
+            if let Some(l) = &shard_listener {
+                epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+            }
+            epoll.add(rx.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+            let now = Instant::now();
+            let shard = Shard {
+                idx,
+                id,
+                n,
+                nshards,
+                cfg: cfg.clone(),
+                epoll,
+                listener: shard_listener,
+                wake_rx: rx,
+                shared: Arc::clone(&shared),
+                sink: Arc::clone(&sink),
+                addrs: peer_addrs.clone(),
+                hello,
+                conns: Vec::new(),
+                free: Vec::new(),
+                out_token: vec![None; n],
+                backoff: vec![cfg.backoff_base; n],
+                generation: vec![0; n],
+                ever_connected: vec![false; n],
+                wheel: TimerWheel::new(cfg.tick, now),
+                metrics: metrics.clone(),
+                conns_gauge: registry.gauge(SHARD_CONNS[idx]),
+            };
+            let thread = thread::Builder::new()
+                .name(format!("{thread_prefix}-{id}-s{idx}"))
+                .spawn(move || shard.run())
+                .expect("spawn shard thread");
+            threads.push(thread);
+        }
+        Ok(ShardPool {
             id,
             n,
-            cfg: cfg.clone(),
-            epoll,
-            listener,
-            wake_rx,
-            shared: Arc::clone(&shared),
-            events_tx,
-            addrs: peer_addrs,
-            conns: Vec::new(),
-            free: Vec::new(),
-            out_token: vec![None; n],
-            backoff: vec![cfg.backoff_base; n],
-            generation: vec![0; n],
-            ever_connected: vec![false; n],
-            wheel: TimerWheel::new(cfg.tick, now),
-            metrics: metrics.clone(),
-            scratch: vec![0u8; 64 << 10],
-        };
-        let thread = thread::Builder::new()
-            .name(format!("curb-net-reactor-{id}"))
-            .spawn(move || reactor.run())
-            .expect("spawn reactor thread");
-        Ok(ReactorTransport {
-            id,
-            n,
+            nshards,
             cfg,
             shared,
-            wake_tx,
-            events: Mutex::new(events_rx),
-            encode_buf: Mutex::new(Vec::with_capacity(4 << 10)),
             metrics,
-            thread: Some(thread),
+            threads,
             local_addr,
-            registry,
         })
     }
 
-    /// The registry this transport publishes its metrics into.
-    pub fn registry(&self) -> &Registry {
-        &self.registry
-    }
-
-    /// The address this transport's listener is bound to.
-    pub fn local_addr(&self) -> SocketAddr {
+    pub(crate) fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
+    pub(crate) fn shards(&self) -> usize {
+        self.nshards
+    }
+
     /// Peers with an established outbound connection right now.
-    pub fn connected_peers(&self) -> usize {
+    pub(crate) fn connected_peers(&self) -> usize {
         self.shared
             .connected
             .iter()
@@ -1039,30 +1289,19 @@ impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
 
     /// Frames dropped since startup: encode-time oversize plus
     /// watermark overflow.
-    pub fn dropped_frames(&self) -> usize {
+    pub(crate) fn dropped_frames(&self) -> usize {
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
-    /// Encodes `msg` once into a frame body all peer rings can share.
-    fn encode_shared(&self, msg: &PbftMsg<P>) -> Option<Arc<[u8]>> {
-        let t_encode = curb_telemetry::enabled().then(Instant::now);
-        let mut buf = self.encode_buf.lock().expect("encode buffer poisoned");
-        buf.clear();
-        encode_msg_into(msg, &mut buf);
-        if buf.len() > self.cfg.max_frame {
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let frame: Arc<[u8]> = Arc::from(buf.as_slice());
-        if let Some(t) = t_encode {
-            self.metrics.encode_ns.record(t.elapsed().as_nanos() as u64);
-        }
-        Some(frame)
+    /// Counts one frame dropped before it reached a ring (encode-time
+    /// oversize).
+    pub(crate) fn count_dropped(&self) {
+        self.shared.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Queues `frame` on `to`'s ring, applying the watermark, and
-    /// wakes the reactor when it needs to look.
-    fn enqueue(&self, to: ReplicaId, frame: Arc<[u8]>) {
+    /// wakes the owning shard when it needs to look.
+    pub(crate) fn enqueue(&self, to: ReplicaId, frame: Arc<[u8]>) {
         if to == self.id || to >= self.n {
             return;
         }
@@ -1071,7 +1310,7 @@ impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
             let mut ring = self.shared.rings[to].lock().expect("ring poisoned");
             if ring.bytes + wire_len > self.cfg.high_watermark {
                 // Watermark crossed: empty the ring, count every
-                // casualty and ask the reactor for a fresh connection.
+                // casualty and ask the shard for a fresh connection.
                 let casualties = (ring.frames.len() + 1) as u64;
                 self.metrics.queue_depth.sub(ring.frames.len() as i64);
                 ring.frames.clear();
@@ -1091,22 +1330,214 @@ impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
             }
         };
         if notify {
-            self.shared
-                .dirty
+            let shard = shard_for_peer(to, self.nshards);
+            self.shared.dirty[shard]
                 .lock()
-                .expect("dirty list poisoned")
+                .expect("dirty poisoned")
                 .push(to);
-            self.wake();
+            self.shared.wake(shard);
         }
     }
 
-    /// Wakes the reactor thread, deduplicating the wake byte.
-    fn wake(&self) {
-        if !self.shared.wake_pending.swap(true, Ordering::SeqCst) {
-            // A full pipe still wakes the reactor; the byte loss is
-            // harmless because one is already buffered.
-            let _ = (&self.wake_tx).write(&[1]);
+    /// Signals every shard to exit. Threads are joined on drop.
+    pub(crate) fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.wake_all();
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Join the shards so every socket (and the listening port) is
+        // closed by the time `drop` returns — a restarted node can
+        // rebind immediately.
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
+        // Frames still ringed at shutdown will never be written; drain
+        // them from the queue-depth gauge so it ends at zero.
+        for ring in self.shared.rings.iter() {
+            let mut ring = ring.lock().expect("ring poisoned");
+            self.metrics.queue_depth.sub(ring.frames.len() as i64);
+            ring.frames.clear();
+            ring.bytes = 0;
+        }
+    }
+}
+
+/// The [`ShardSink`] behind [`ReactorTransport`]: decodes each frame
+/// as a PBFT message and queues it (with peer transitions) for the
+/// runner thread.
+struct ReplicaSink<P> {
+    events_tx: Sender<NetEvent<P>>,
+    ready_depth: Gauge,
+}
+
+impl<P: PayloadCodec + Send + 'static> ShardSink for ReplicaSink<P> {
+    fn on_frame(&self, from: usize, frame: FrameRef) {
+        // A malformed body is dropped but the connection survives:
+        // framing is still intact. The FrameRef drops here — the
+        // decoded message owns its fields — so the decoder block
+        // recycles immediately.
+        if let Ok(msg) = decode_msg::<P>(&frame) {
+            if self.events_tx.send(NetEvent::Inbound { from, msg }).is_ok() {
+                self.ready_depth.add(1);
+            }
+        }
+    }
+
+    fn on_peer(&self, from: usize, up: bool) {
+        let event = if up {
+            NetEvent::PeerUp(from)
+        } else {
+            NetEvent::PeerDown(from)
+        };
+        if self.events_tx.send(event).is_ok() {
+            self.ready_depth.add(1);
+        }
+    }
+}
+
+/// A [`Transport`] over real TCP sockets, multiplexed by a pool of
+/// epoll shard threads instead of two threads per peer.
+///
+/// Wire-compatible with [`crate::TcpTransport`] — same frames, same
+/// handshake, same unidirectional connections — so the two transports
+/// interoperate in a mixed cluster. Bind each replica with
+/// [`ReactorTransport::bind`], giving every replica the same ordered
+/// list of peer addresses (index = replica id). With the default
+/// `shards = 1` the transport costs exactly one networking thread;
+/// larger groups scale by raising [`ReactorConfig::shards`], which
+/// partitions peers across additional event loops without any
+/// cross-shard locking on the hot path.
+pub struct ReactorTransport<P> {
+    id: ReplicaId,
+    n: usize,
+    cfg: ReactorConfig,
+    pool: ShardPool,
+    events: Mutex<Receiver<NetEvent<P>>>,
+    encode_buf: Mutex<Vec<u8>>,
+    metrics: ReactorMetrics,
+    registry: Registry,
+}
+
+impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
+    /// Starts the reactor transport for replica `id` on `listener`.
+    ///
+    /// `peer_addrs[i]` must be where replica `i` listens;
+    /// `peer_addrs[id]` is this replica's own address. The pool begins
+    /// dialing peers immediately; peers that are not up yet are
+    /// retried with capped exponential backoff off the timer wheel.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from configuring the listener, the epoll
+    /// instances or the wake pipes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= peer_addrs.len()`.
+    pub fn bind(
+        id: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        cfg: ReactorConfig,
+    ) -> io::Result<ReactorTransport<P>> {
+        Self::bind_with_registry(id, listener, peer_addrs, cfg, Registry::new())
+    }
+
+    /// Like [`ReactorTransport::bind`], but publishes the pool's
+    /// metrics into the caller's `registry` — share one registry with
+    /// [`NetRunner::spawn_with_registry`] to see runner and transport
+    /// metrics side by side.
+    ///
+    /// [`NetRunner::spawn_with_registry`]: crate::NetRunner::spawn_with_registry
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from configuring the listener, the epoll
+    /// instances or the wake pipes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= peer_addrs.len()`.
+    pub fn bind_with_registry(
+        id: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        cfg: ReactorConfig,
+        registry: Registry,
+    ) -> io::Result<ReactorTransport<P>> {
+        let n = peer_addrs.len();
+        let metrics = ReactorMetrics::new(&registry);
+        let (events_tx, events_rx) = channel();
+        let sink = Arc::new(ReplicaSink::<P> {
+            events_tx,
+            ready_depth: metrics.ready_depth.clone(),
+        });
+        let pool = ShardPool::bind(
+            id,
+            listener,
+            peer_addrs,
+            cfg.clone(),
+            &registry,
+            sink,
+            "curb-net-reactor",
+        )?;
+        Ok(ReactorTransport {
+            id,
+            n,
+            cfg,
+            pool,
+            events: Mutex::new(events_rx),
+            encode_buf: Mutex::new(Vec::with_capacity(4 << 10)),
+            metrics,
+            registry,
+        })
+    }
+
+    /// The registry this transport publishes its metrics into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The address this transport's listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.pool.local_addr()
+    }
+
+    /// The number of reactor shards serving this transport.
+    pub fn shards(&self) -> usize {
+        self.pool.shards()
+    }
+
+    /// Peers with an established outbound connection right now.
+    pub fn connected_peers(&self) -> usize {
+        self.pool.connected_peers()
+    }
+
+    /// Frames dropped since startup: encode-time oversize plus
+    /// watermark overflow.
+    pub fn dropped_frames(&self) -> usize {
+        self.pool.dropped_frames()
+    }
+
+    /// Encodes `msg` once into a frame body all peer rings can share.
+    fn encode_shared(&self, msg: &PbftMsg<P>) -> Option<Arc<[u8]>> {
+        let t_encode = curb_telemetry::enabled().then(Instant::now);
+        let mut buf = self.encode_buf.lock().expect("encode buffer poisoned");
+        buf.clear();
+        encode_msg_into(msg, &mut buf);
+        if buf.len() > self.cfg.max_frame {
+            self.pool.count_dropped();
+            return None;
+        }
+        let frame: Arc<[u8]> = Arc::from(buf.as_slice());
+        if let Some(t) = t_encode {
+            self.metrics.encode_ns.record(t.elapsed().as_nanos() as u64);
+        }
+        Some(frame)
     }
 }
 
@@ -1124,7 +1555,7 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for ReactorTransport<P> {
             return;
         }
         if let Some(frame) = self.encode_shared(msg) {
-            self.enqueue(to, frame);
+            self.pool.enqueue(to, frame);
         }
     }
 
@@ -1135,7 +1566,7 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for ReactorTransport<P> {
         };
         for to in 0..self.n {
             if to != self.id {
-                self.enqueue(to, Arc::clone(&frame));
+                self.pool.enqueue(to, Arc::clone(&frame));
             }
         }
     }
@@ -1167,31 +1598,7 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for ReactorTransport<P> {
     }
 
     fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.wake();
-    }
-}
-
-impl<P> Drop for ReactorTransport<P> {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        if !self.shared.wake_pending.swap(true, Ordering::SeqCst) {
-            let _ = (&self.wake_tx).write(&[1]);
-        }
-        // Join the reactor so every socket (and the listening port) is
-        // closed by the time `drop` returns — a restarted replica can
-        // rebind immediately.
-        if let Some(handle) = self.thread.take() {
-            let _ = handle.join();
-        }
-        // Frames still ringed at shutdown will never be written; drain
-        // them from the queue-depth gauge so it ends at zero.
-        for ring in self.shared.rings.iter() {
-            let mut ring = ring.lock().expect("ring poisoned");
-            self.metrics.queue_depth.sub(ring.frames.len() as i64);
-            ring.frames.clear();
-            ring.bytes = 0;
-        }
+        self.pool.shutdown();
     }
 }
 
@@ -1285,6 +1692,93 @@ mod tests {
             group[1].recv_timeout(Duration::from_millis(50)),
             None | Some(NetEvent::PeerUp(_))
         ));
+    }
+
+    #[test]
+    fn sharded_group_exchanges_messages_across_all_peers() {
+        // 4 nodes, 2 shards each: every peer pair spans a shard
+        // boundary somewhere (inbound handoffs included), and the
+        // steady-state decode path must stay zero-copy.
+        let registry = Registry::new();
+        let cfg = ReactorConfig {
+            shards: 2,
+            ..fast_cfg()
+        };
+        let listeners: Vec<TcpListener> = (0..4)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        let group: Vec<ReactorTransport<BytesPayload>> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(id, l)| {
+                ReactorTransport::bind_with_registry(
+                    id,
+                    l,
+                    addrs.clone(),
+                    cfg.clone(),
+                    registry.clone(),
+                )
+                .expect("bind transport")
+            })
+            .collect();
+        assert_eq!(group[0].shards(), 2);
+        for (i, t) in group.iter().enumerate() {
+            let msg: PbftMsg<BytesPayload> = PbftMsg::Prepare {
+                view: i as u64,
+                seq: 1,
+                digest: p(b"s").digest(),
+            };
+            t.broadcast(&msg);
+        }
+        for (r, t) in group.iter().enumerate() {
+            let mut seen = [false; 4];
+            seen[r] = true;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while seen.iter().any(|s| !s) {
+                match t.recv_timeout(Duration::from_millis(100)) {
+                    Some(NetEvent::Inbound { from, .. }) => seen[from] = true,
+                    Some(_) => {}
+                    None => assert!(
+                        Instant::now() < deadline,
+                        "replica {r} missing broadcasts: {seen:?}"
+                    ),
+                }
+            }
+        }
+        assert_eq!(
+            registry.counter("net.decode_copy_bytes").get(),
+            0,
+            "steady-state decode path must be zero-copy"
+        );
+        assert_eq!(registry.gauge("net.shard_count").get(), 2);
+    }
+
+    #[test]
+    fn shard_pinning_is_stable_and_uniform() {
+        for shards in 1..=MAX_SHARDS {
+            for peer in 0..64 {
+                let s = shard_for_peer(peer, shards);
+                assert!(s < shards, "shard in range");
+                // Stable: the same peer always maps to the same shard.
+                assert_eq!(s, shard_for_peer(peer, shards));
+            }
+            // Uniform over dense ids: each shard owns 64/shards ± 1.
+            let mut counts = vec![0usize; shards];
+            for peer in 0..64 {
+                counts[shard_for_peer(peer, shards)] += 1;
+            }
+            let (min, max) = (
+                counts.iter().min().expect("nonempty"),
+                counts.iter().max().expect("nonempty"),
+            );
+            assert!(max - min <= 1, "shards {shards}: counts {counts:?}");
+        }
+        // Shard count 0 is treated as 1 rather than dividing by zero.
+        assert_eq!(shard_for_peer(7, 0), 0);
     }
 
     #[test]

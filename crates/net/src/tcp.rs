@@ -646,6 +646,9 @@ fn reader_loop<P: PayloadCodec + Send + 'static>(
         return;
     }
     let mut len_bytes = [0u8; 4];
+    // One scratch buffer for the life of the connection: each frame
+    // reuses its capacity instead of allocating a fresh Vec.
+    let mut body: Vec<u8> = Vec::new();
     while let Ok(true) = read_full(&mut stream, &mut len_bytes, shutdown) {
         let len = u32::from_be_bytes(len_bytes) as usize;
         if len > cfg.max_frame {
@@ -655,7 +658,7 @@ fn reader_loop<P: PayloadCodec + Send + 'static>(
         // pulling one frame off the wire, excluding idle waiting for
         // the next frame to arrive.
         let t_read = curb_telemetry::enabled().then(Instant::now);
-        let mut body = vec![0u8; len];
+        body.resize(len, 0);
         match read_full(&mut stream, &mut body, shutdown) {
             Ok(true) => {}
             Ok(false) | Err(_) => break,

@@ -32,7 +32,9 @@ use std::time::Duration;
 pub enum TransportKind {
     /// [`crate::TcpTransport`]: two OS threads per peer.
     Threaded,
-    /// [`crate::ReactorTransport`]: one epoll event loop for all peers.
+    /// [`crate::ReactorTransport`]: a pool of epoll event-loop shards
+    /// (one by default) servicing all peers nonblocking, with peers
+    /// hash-pinned to shards.
     Reactor,
 }
 

@@ -1,15 +1,24 @@
-//! Property tests for the incremental [`FrameDecoder`]: the reactor
-//! feeds it whatever byte spans nonblocking reads happen to return, so
-//! the decoder must produce the identical frame sequence under *every*
-//! chunking of the stream — including 1-byte reads and chunk
+//! Property tests for the incremental frame decoders: the reactor
+//! feeds them whatever byte spans nonblocking reads happen to return,
+//! so a decoder must produce the identical frame sequence under
+//! *every* chunking of the stream — including 1-byte reads and chunk
 //! boundaries that split the 4-byte length prefix — and must poison
 //! itself permanently the moment a hostile length prefix appears,
 //! no matter where in the stream (or mid-prefix) it lands.
+//!
+//! The zero-copy [`SharedDecoder`] is additionally checked **against
+//! the copying [`FrameDecoder`] as an oracle**: for any stream,
+//! chunking and block size (forcing rotations, compactions and
+//! growth), the `FrameRef` views it emits must be byte-identical to
+//! the oracle's copied frames — whether the consumer drops each view
+//! immediately (steady state) or holds every one alive (worst case
+//! for buffer reuse).
 
 use curb_consensus::{BytesPayload, Payload, PbftMsg};
 use curb_net::{
-    decode_lane_frame, encode_hello, encode_lane_app_into, encode_lane_msg_into, validate_hello,
-    FrameDecoder, LaneFrame, APP_LANE, HANDSHAKE_LEN,
+    decode_lane_frame, decode_lane_frame_ref, encode_hello, encode_lane_app_into,
+    encode_lane_msg_into, validate_hello, FrameDecoder, FrameRef, LaneFrame, SharedDecoder,
+    APP_LANE, HANDSHAKE_LEN,
 };
 use proptest::prelude::*;
 
@@ -159,15 +168,134 @@ proptest! {
     }
 
     /// App frames (reserved lane) carry arbitrary bytes verbatim and
-    /// never collide with a consensus lane on decode.
+    /// never collide with a consensus lane on decode — through both
+    /// the copying codec and the zero-copy `FrameRef` codec.
     #[test]
     fn app_frames_roundtrip_any_bytes(bytes in prop::collection::vec(0u8.., 0..256)) {
         let mut body = Vec::new();
         encode_lane_app_into(&bytes, &mut body);
         prop_assert_eq!(
             decode_lane_frame::<BytesPayload>(&body).expect("valid app frame"),
-            LaneFrame::App(bytes)
+            LaneFrame::App(FrameRef::copied(&bytes))
         );
+        let frame = FrameRef::copied(&body);
+        let Ok(LaneFrame::App(view)) = decode_lane_frame_ref::<BytesPayload>(&frame) else {
+            return Err(TestCaseError::fail("zero-copy app frame must decode"));
+        };
+        prop_assert_eq!(&view[..], &bytes[..]);
+    }
+
+    /// Oracle check: for any stream, chunking and block size, the
+    /// zero-copy `SharedDecoder` emits `FrameRef` views byte-identical
+    /// to the copying `FrameDecoder`'s frames. Views are dropped as
+    /// they arrive (the reactor's steady state), so rescue copying is
+    /// only ever triggered by frames spanning block boundaries.
+    #[test]
+    fn shared_decoder_matches_copying_oracle_under_any_chunking(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8.., 0..200),
+            0..12,
+        ),
+        cuts in prop::collection::vec(1usize..40, 1..50),
+        block in 8usize..512,
+    ) {
+        let stream = encode_stream(&bodies);
+        let (oracle_frames, oracle) = decode_with_cuts(&stream, &cuts);
+        let mut decoder = SharedDecoder::with_block_size(MAX_FRAME, block);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < stream.len() {
+            let take = cuts[i % cuts.len()].min(stream.len() - offset);
+            decoder
+                .feed(&stream[offset..offset + take], |frame| {
+                    frames.push(frame.to_vec());
+                })
+                .expect("valid stream must decode");
+            offset += take;
+            i += 1;
+        }
+        prop_assert_eq!(&frames, &oracle_frames, "zero-copy views differ from oracle");
+        prop_assert_eq!(decoder.is_aligned(), oracle.is_aligned());
+    }
+
+    /// Same oracle check with every emitted view held alive until the
+    /// end — the worst case for buffer reuse, forcing the decoder to
+    /// rotate blocks instead of recycling them — and the views must
+    /// still read back byte-identical *after* the whole stream is fed
+    /// (a rotation that corrupted a live view would show up here).
+    #[test]
+    fn shared_decoder_views_survive_rotation_under_any_chunking(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8.., 0..120),
+            0..10,
+        ),
+        cuts in prop::collection::vec(1usize..24, 1..20),
+        block in 8usize..256,
+    ) {
+        let stream = encode_stream(&bodies);
+        let mut decoder = SharedDecoder::with_block_size(MAX_FRAME, block);
+        let mut views: Vec<FrameRef> = Vec::new();
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < stream.len() {
+            let take = cuts[i % cuts.len()].min(stream.len() - offset);
+            decoder
+                .feed(&stream[offset..offset + take], |frame| views.push(frame))
+                .expect("valid stream must decode");
+            offset += take;
+            i += 1;
+        }
+        prop_assert_eq!(views.len(), bodies.len());
+        for (view, body) in views.iter().zip(bodies.iter()) {
+            prop_assert_eq!(&view[..], &body[..], "held view corrupted by buffer reuse");
+        }
+    }
+
+    /// Poisoning semantics carry over to the zero-copy decoder: a
+    /// hostile length prefix mid-stream delivers every prior frame,
+    /// errors at exactly that point, and is permanent.
+    #[test]
+    fn shared_decoder_poisons_like_the_oracle(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8.., 0..100),
+            0..6,
+        ),
+        hostile_len in (MAX_FRAME as u32 + 1)..,
+        cuts in prop::collection::vec(1usize..16, 1..20),
+        block in 8usize..256,
+    ) {
+        let mut stream = encode_stream(&bodies);
+        stream.extend_from_slice(&hostile_len.to_be_bytes());
+        stream.extend_from_slice(&[0xEE; 8]);
+
+        let mut decoder = SharedDecoder::with_block_size(MAX_FRAME, block);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut poisoned = false;
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < stream.len() {
+            let take = cuts[i % cuts.len()].min(stream.len() - offset);
+            let fed = decoder.feed(&stream[offset..offset + take], |frame| {
+                frames.push(frame.to_vec());
+            });
+            offset += take;
+            i += 1;
+            if fed.is_err() {
+                poisoned = true;
+                break;
+            }
+        }
+        prop_assert!(poisoned, "hostile length must surface as an error");
+        prop_assert_eq!(
+            &frames, &bodies,
+            "every frame before the hostile prefix must be delivered"
+        );
+        prop_assert!(!decoder.is_aligned(), "poisoned decoder is not aligned");
+        let retry = decoder.feed(&encode_stream(&[vec![1, 2, 3]]), |_| {
+            panic!("poisoned decoder must not emit frames")
+        });
+        prop_assert!(retry.is_err(), "decoder must stay poisoned");
     }
 
     /// Hostile lane frames — truncated prefixes, a valid lane followed

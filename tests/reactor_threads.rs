@@ -84,3 +84,58 @@ fn sixteen_replica_reactor_cluster_uses_one_net_thread_per_replica() {
         h.join();
     }
 }
+
+#[test]
+fn shard_count_is_respected_in_os_thread_count() {
+    // A sharded transport must spawn exactly `shards` event-loop
+    // threads — no hidden helpers, no thread-per-peer regression.
+    const N: usize = 3;
+    const SHARDS: usize = 3;
+
+    let baseline = os_thread_count();
+
+    let listeners: Vec<TcpListener> = (0..N)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    let cfg = ReactorConfig {
+        shards: SHARDS,
+        ..ReactorConfig::default()
+    };
+    let transports: Vec<ReactorTransport<Batch<BytesPayload>>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| {
+            ReactorTransport::bind(id, l, addrs.clone(), cfg.clone()).expect("bind transport")
+        })
+        .collect();
+    assert!(transports.iter().all(|t| t.shards() == SHARDS));
+
+    // Wait for the full mesh so the count is taken at steady state.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while transports.iter().any(|t| t.connected_peers() < N - 1) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mesh never fully connected"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let spawned = os_thread_count().saturating_sub(baseline);
+    assert_eq!(
+        spawned,
+        N * SHARDS,
+        "each of the {N} transports must run exactly {SHARDS} shard threads"
+    );
+
+    drop(transports);
+    // Shutdown joins every shard: the threads must actually be gone.
+    let after = os_thread_count();
+    assert!(
+        after <= baseline,
+        "shard threads must exit on drop ({after} > {baseline})"
+    );
+}

@@ -28,7 +28,7 @@
 //! are additionally written as JSONL (feed the file to `tracedump`
 //! for the full table).
 //!
-//! The JSON report (`schema_version` 5, shared `curb_bench::report`
+//! The JSON report (`schema_version` 6, shared `curb_bench::report`
 //! path with netbench) lands on stdout and in `--out`
 //! (default `BENCH_cluster.json`).
 //!
@@ -48,46 +48,42 @@
 
 use curb_bench::arg_value;
 use curb_bench::report::{self, Json};
+use curb_bench::spans::{phase_histograms, phases_json};
 use curb_cluster::{bootstrap_pinned, AgentEvent, Cluster, ClusterConfig, NodeBehavior};
 use curb_core::SwitchId;
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::Sha256;
 use curb_graph::synthetic;
 use curb_telemetry::{Histogram, SpanRecord};
-use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// Groups trace spans by name into one duration histogram each.
-fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
-    let mut by_name: BTreeMap<String, Histogram> = BTreeMap::new();
-    for s in spans {
-        by_name
-            .entry(s.name.to_string())
-            .or_default()
-            .record(s.dur_ns);
-    }
-    by_name.into_iter().collect()
+/// The seeded PACKET_IN workload: `requests` destination hosts per
+/// switch, every value drawn from one [`DetRng`] seeded with `--seed`
+/// (per-switch forks, so the matrix never depends on event arrival
+/// order). The same seed reproduces the exact request stream — and the
+/// digest below ties each report to it.
+fn dst_host_matrix(seed: u64, switches: usize, requests: usize) -> Vec<Vec<u32>> {
+    let mut master = DetRng::new(seed);
+    (0..switches)
+        .map(|_| {
+            let mut rng = master.fork();
+            (0..requests)
+                .map(|_| rng.next_range(1, 1 << 16) as u32)
+                .collect()
+        })
+        .collect()
 }
 
-fn phases_json(phases: &[(String, Histogram)]) -> Json {
-    if phases.is_empty() {
-        return Json::Null;
+/// SHA-256 over the whole dst-host matrix in switch-major order.
+fn workload_digest(matrix: &[Vec<u32>]) -> curb_crypto::sha256::Digest {
+    let mut h = Sha256::new();
+    for row in matrix {
+        h.update(&(row.len() as u64).to_be_bytes());
+        for &d in row {
+            h.update(&d.to_be_bytes());
+        }
     }
-    Json::Obj(
-        phases
-            .iter()
-            .map(|(name, h)| {
-                (
-                    name.clone(),
-                    Json::obj(vec![
-                        ("count", Json::UInt(h.count())),
-                        ("p50", Json::UInt(h.value_at_quantile(0.50))),
-                        ("p90", Json::UInt(h.value_at_quantile(0.90))),
-                        ("p99", Json::UInt(h.value_at_quantile(0.99))),
-                        ("max", Json::UInt(h.max())),
-                    ]),
-                )
-            })
-            .collect(),
-    )
+    h.finalize()
 }
 
 /// Everything the shared workload knobs say, minus the shard count —
@@ -154,7 +150,9 @@ fn run_cluster(w: &Workload, shards: usize) -> ClusterRun {
 
     // Closed loop, window of one request per switch: a switch's next
     // PACKET_IN goes out when its previous one is accepted, so the
-    // latency histogram is never queueing-inflated.
+    // latency histogram is never queueing-inflated. The request stream
+    // itself is seeded: same `--seed`, same dst hosts.
+    let dst_hosts = dst_host_matrix(w.seed, w.switches, w.requests);
     let requests = w.requests;
     let mut per_switch: Vec<Histogram> = (0..w.switches).map(|_| Histogram::new()).collect();
     let mut round = Histogram::new();
@@ -163,11 +161,35 @@ fn run_cluster(w: &Workload, shards: usize) -> ClusterRun {
     let mut reass_issued = 0u64;
     let mut epochs_adopted = 0u64;
     let started = Instant::now();
-    for s in 0..w.switches {
-        cluster.pkt_in(SwitchId(s), (s + 1) as u32);
+    for (s, hosts) in dst_hosts.iter().enumerate() {
+        cluster.pkt_in(SwitchId(s), hosts[0]);
     }
     let deadline = started + Duration::from_secs(120);
+    // An agent gives up on a request after its full re-raise budget
+    // (request_timeout * (MAX_RETRIES + 1) = 12 s at the defaults). If
+    // that happens during an epoch-rotation storm the switch goes
+    // quiet forever: an agent that stops requesting also stops
+    // auditing, so the accusation machinery that would drive the next
+    // rotation (and re-deliver the ANNOUNCE it missed) never runs. A
+    // real switch keeps raising PACKET_IN for as long as traffic
+    // misses its flow table, so the bench does the same: once a
+    // switch has been silent past the give-up horizon, re-inject its
+    // outstanding request and let the protocol recover on its own.
+    const STALL_REINJECT: Duration = Duration::from_secs(15);
+    let mut last_accept = vec![started; w.switches];
     while accepted.iter().any(|&a| a < requests) {
+        let now = Instant::now();
+        for s in 0..w.switches {
+            if accepted[s] < requests && now.duration_since(last_accept[s]) > STALL_REINJECT {
+                eprintln!(
+                    "clusterbench: switch {s} silent past the agent give-up horizon \
+                     ({} of {requests} accepted) — re-raising its PACKET_IN",
+                    accepted[s]
+                );
+                cluster.pkt_in(SwitchId(s), dst_hosts[s][accepted[s]]);
+                last_accept[s] = now;
+            }
+        }
         if Instant::now() > deadline {
             let heights: Vec<u64> = cluster
                 .nodes
@@ -195,10 +217,11 @@ fn run_cluster(w: &Workload, shards: usize) -> ClusterRun {
                 // 4-step rounds, so both land in the histogram.
                 per_switch[switch.0].record(latency_ns);
                 round.record(latency_ns);
+                last_accept[switch.0] = Instant::now();
                 if accepted[switch.0] < requests {
                     accepted[switch.0] += 1;
                     if accepted[switch.0] < requests {
-                        cluster.pkt_in(switch, (accepted[switch.0] + 1) as u32);
+                        cluster.pkt_in(switch, dst_hosts[switch.0][accepted[switch.0]]);
                     }
                 }
             }
@@ -367,6 +390,10 @@ fn main() {
             ("controller_capacity", Json::UInt(capacity as u64)),
             ("requests_per_switch", Json::UInt(requests as u64)),
             ("seed", Json::UInt(seed)),
+            (
+                "workload_digest",
+                Json::str(workload_digest(&dst_host_matrix(seed, switches, requests)).to_hex()),
+            ),
             (
                 "byzantine",
                 byzantine

@@ -1,0 +1,378 @@
+//! edgebench — open-loop edge workload generator over the scenario
+//! matrix.
+//!
+//! Where `clusterbench` runs a closed loop (a switch's next PACKET_IN
+//! waits for its previous accept), edgebench is the **open-loop**
+//! harness the paper's edge claims need: a seeded arrival process
+//! (Poisson or fixed-rate, per phase) schedules every PACKET_IN up
+//! front, the s-agent fleet injects them at their scheduled instants
+//! whether or not earlier rounds finished, and the report is the
+//! resulting offered-load vs delivered-throughput vs latency curve —
+//! per phase, with the saturation knee detected from the curve.
+//!
+//! The whole run is declared by one scenario file (see
+//! `curb_bench::scenario` for the format): topology, fleet size, the
+//! phase schedule (ramp/step/burst), a scripted fault timeline
+//! (partition, controller isolation, slow links, byzantine
+//! controllers) and the seed. Every random decision — inter-arrival
+//! gaps, switch choice, dst hosts — derives from that seed, so a
+//! same-seed rerun replays the identical workload and must reproduce
+//! the identical commit trace: the report embeds `scenario_hash`,
+//! `workload_digest` and `trace_digest`, and CI diffs them across
+//! reruns.
+//!
+//! Results land in `<out-dir>/scenario_<name>.json`
+//! (`schema_version` 6, shared `curb_bench::report` envelope), next to
+//! the `BENCH_*.json` trajectory files.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p curb-bench --bin edgebench -- \
+//!     --scenario scenarios/baseline_internet2.toml \
+//!     [--out-dir results] [--deadline-s 120]
+//! ```
+
+use curb_bench::report::{self, Json};
+use curb_bench::scenario::{detect_knee, knee_json, PhasePoint, Scenario, Topology};
+use curb_bench::spans::{phase_histograms, phases_json};
+use curb_bench::{arg_value, KNEE_RATIO};
+use curb_cluster::{
+    bootstrap_pinned, build_schedule, schedule_digest, spawn_fault_script, spawn_injector,
+    AgentEvent, Arrival, Cluster, ClusterConfig, NodeBehavior,
+};
+use curb_core::ConfigData;
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::Sha256;
+use curb_graph::{internet2, synthetic};
+use curb_telemetry::{Histogram, SpanScope};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// What one scenario run measured.
+struct Outcome {
+    groups: usize,
+    elapsed_s: f64,
+    /// Per phase: scheduled arrivals.
+    offered: Vec<u64>,
+    /// Per phase: accepted flow-rule configs attributed to it.
+    delivered: Vec<u64>,
+    /// Per phase: request → accept latency.
+    latency: Vec<Histogram>,
+    /// Flow-rule accepts whose attributed request time fell past the
+    /// workload (possible for retried requests re-raised in the drain).
+    late: u64,
+    byzantine_flagged: u64,
+    reass_issued: u64,
+    epochs_adopted: u64,
+    max_height: u64,
+    max_epoch: u64,
+    faults_dropped: u64,
+    faults_delayed: u64,
+    /// SHA-256 over the deduped, sorted set of accepted
+    /// `(switch, dst_host, config)` triples — the deterministic commit
+    /// trace a same-seed rerun must reproduce.
+    trace_digest: curb_crypto::sha256::Digest,
+}
+
+/// The phase (by schedule time) a request issued at `offset_ns` falls
+/// into; requests past the workload end return `None`.
+fn phase_of(boundaries_ns: &[u64], offset_ns: u64) -> Option<usize> {
+    boundaries_ns
+        .windows(2)
+        .position(|w| (w[0]..w[1]).contains(&offset_ns))
+}
+
+fn run_scenario(scenario: &Scenario, deadline: Duration) -> Outcome {
+    let topo = match scenario.topology {
+        Topology::Internet2 => internet2().with_switch_count(scenario.switches),
+        Topology::Synthetic => synthetic(scenario.controllers, scenario.switches, scenario.seed),
+    };
+    let mut cfg = ClusterConfig::default();
+    cfg.curb.seed = scenario.seed;
+    cfg.curb.controller_capacity = scenario.capacity;
+    // The bench measures the runtime, not the CAP solver: open the
+    // delay bounds so any (topology, fleet) combination is feasible.
+    cfg.curb.max_cs_delay_ms = 1e9;
+    cfg.curb.max_cc_delay_ms = None;
+    cfg.shards = scenario.shards;
+    cfg.request_timeout = Duration::from_millis(scenario.request_timeout_ms);
+    if !scenario.byzantine.is_empty() {
+        cfg.behaviors = vec![NodeBehavior::Honest; scenario.controllers];
+        for &liar in &scenario.byzantine {
+            cfg.behaviors[liar] = NodeBehavior::Lying;
+        }
+    }
+
+    // The workload is fixed before the cluster exists: one seeded RNG
+    // produces the entire schedule.
+    let mut rng = DetRng::new(scenario.seed);
+    let schedule: Vec<Arrival> = build_schedule(&scenario.phases, scenario.switches, &mut rng);
+    let mut offered = vec![0u64; scenario.phases.len()];
+    for a in &schedule {
+        offered[a.phase] += 1;
+    }
+    let mut boundaries_ns: Vec<u64> = vec![0];
+    for p in &scenario.phases {
+        boundaries_ns.push(boundaries_ns.last().unwrap() + p.duration_ms * 1_000_000);
+    }
+
+    let cluster = if scenario.pinned_groups > 0 {
+        let boot = bootstrap_pinned(&topo, cfg.curb.clone(), scenario.pinned_groups)
+            .expect("pinned bootstrap");
+        Cluster::launch_with(boot, &cfg)
+    } else {
+        Cluster::launch(&topo, cfg).expect("cluster bootstrap")
+    };
+    let groups = cluster.epoch0.group_count();
+    let plane = cluster.fault_plane();
+    eprintln!(
+        "edgebench: scenario {:?} — {} controllers in {groups} group(s), {} s-agent(s), \
+         {} phases / {} arrivals / {} fault(s), seed {} …",
+        scenario.name,
+        scenario.controllers,
+        scenario.switches,
+        scenario.phases.len(),
+        schedule.len(),
+        scenario.faults.len(),
+        scenario.seed,
+    );
+
+    let start = Instant::now();
+    let injector = spawn_injector(cluster.injectors(), schedule, start);
+    let script = spawn_fault_script(plane.clone(), scenario.faults.clone(), start);
+
+    // Collect until the drain window closes; everything still missing
+    // then is a missed commit.
+    let workload_end = start + Duration::from_millis(scenario.workload_ms());
+    let collect_until =
+        (workload_end + Duration::from_millis(scenario.drain_ms)).min(start + deadline);
+    let mut delivered = vec![0u64; scenario.phases.len()];
+    let mut latency: Vec<Histogram> = scenario.phases.iter().map(|_| Histogram::new()).collect();
+    let mut late = 0u64;
+    let mut byzantine_flagged = 0u64;
+    let mut reass_issued = 0u64;
+    let mut epochs_adopted = 0u64;
+    // The deterministic commit trace: retries and fault-era duplicates
+    // dedup away, event-order nondeterminism sorts away.
+    let mut trace: BTreeSet<(usize, Vec<u8>)> = BTreeSet::new();
+    loop {
+        let now = Instant::now();
+        if now >= collect_until {
+            break;
+        }
+        let Ok((switch, event)) = cluster.events.recv_timeout(collect_until - now) else {
+            continue;
+        };
+        match event {
+            AgentEvent::Accepted {
+                config, latency_ns, ..
+            } => {
+                // Only flow-rule rounds are workload deliveries;
+                // RE-ASS / announcement rounds are control traffic.
+                if !matches!(config, ConfigData::FlowRules(_)) {
+                    continue;
+                }
+                // Attribute the accept to the phase its *request* was
+                // issued in: accept instant minus the agent-measured
+                // round latency.
+                let offset_ns = (Instant::now() - start)
+                    .as_nanos()
+                    .saturating_sub(latency_ns as u128) as u64;
+                match phase_of(&boundaries_ns, offset_ns) {
+                    Some(p) => {
+                        delivered[p] += 1;
+                        latency[p].record(latency_ns);
+                    }
+                    None => late += 1,
+                }
+                trace.insert((switch.0, config.encode()));
+            }
+            AgentEvent::Byzantine { .. } => byzantine_flagged += 1,
+            AgentEvent::ReassIssued { .. } => reass_issued += 1,
+            AgentEvent::EpochAdopted { .. } => epochs_adopted += 1,
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    // Heal before shutdown so no node is left unreachable mid-join,
+    // then stop the driver threads and the cluster.
+    plane.heal_all();
+    let _ = injector.join();
+    let _ = script.join();
+    let faults_dropped = plane.dropped();
+    let faults_delayed = plane.delayed();
+    let max_height = cluster.max_height();
+    let max_epoch = cluster.max_epoch();
+    cluster.shutdown();
+
+    let mut h = Sha256::new();
+    for (switch, config) in &trace {
+        h.update(&(*switch as u64).to_be_bytes());
+        h.update(&(config.len() as u64).to_be_bytes());
+        h.update(config);
+    }
+
+    Outcome {
+        groups,
+        elapsed_s,
+        offered,
+        delivered,
+        latency,
+        late,
+        byzantine_flagged,
+        reass_issued,
+        epochs_adopted,
+        max_height,
+        max_epoch,
+        faults_dropped,
+        faults_delayed,
+        trace_digest: h.finalize(),
+    }
+}
+
+fn main() {
+    let scenario_path = arg_value("scenario").unwrap_or_else(|| {
+        eprintln!("edgebench: --scenario <file.toml> is required");
+        std::process::exit(2);
+    });
+    let out_dir = arg_value("out-dir").unwrap_or_else(|| "results".to_string());
+    let deadline_s: u64 = arg_value("deadline-s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+
+    let text = std::fs::read_to_string(&scenario_path).unwrap_or_else(|e| {
+        eprintln!("edgebench: cannot read {scenario_path}: {e}");
+        std::process::exit(2);
+    });
+    let scenario = Scenario::parse(&text).unwrap_or_else(|e| {
+        eprintln!("edgebench: {scenario_path}: {e}");
+        std::process::exit(2);
+    });
+
+    // The workload digest is a pure function of the scenario — compute
+    // it exactly the way the run will.
+    let mut rng = DetRng::new(scenario.seed);
+    let workload_digest = schedule_digest(&build_schedule(
+        &scenario.phases,
+        scenario.switches,
+        &mut rng,
+    ));
+
+    // Span recording scoped to this scenario: everything the run emits
+    // (and nothing from before) lands in `phases_ns`. The cluster's
+    // worker threads are all joined inside `run_scenario`, so their
+    // buffers are flushed by the time the scope ends.
+    let scope = SpanScope::begin();
+    let outcome = run_scenario(&scenario, Duration::from_secs(deadline_s));
+    let span_phases = phase_histograms(&scope.end());
+
+    let offered_total: u64 = outcome.offered.iter().sum();
+    let delivered_total: u64 = outcome.delivered.iter().sum::<u64>() + outcome.late;
+    let missed = offered_total.saturating_sub(delivered_total);
+
+    let points: Vec<PhasePoint> = scenario
+        .phases
+        .iter()
+        .zip(outcome.offered.iter().zip(&outcome.delivered))
+        .map(|(spec, (&o, &d))| {
+            let secs = spec.duration_ms as f64 / 1e3;
+            PhasePoint {
+                offered_hz: o as f64 / secs,
+                delivered_hz: d as f64 / secs,
+            }
+        })
+        .collect();
+    let knee = detect_knee(&points);
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let curve: Vec<Json> = scenario
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let h = &outcome.latency[i];
+            Json::obj(vec![
+                ("phase", Json::UInt(i as u64)),
+                (
+                    "process",
+                    Json::str(format!("{:?}", spec.process).to_lowercase()),
+                ),
+                ("duration_ms", Json::UInt(spec.duration_ms)),
+                ("rate_hz", Json::Fixed(spec.rate_hz, 2)),
+                ("offered", Json::UInt(outcome.offered[i])),
+                ("offered_hz", Json::Fixed(points[i].offered_hz, 2)),
+                ("delivered", Json::UInt(outcome.delivered[i])),
+                ("delivered_hz", Json::Fixed(points[i].delivered_hz, 2)),
+                (
+                    "latency_ms",
+                    Json::obj(vec![
+                        ("p50", Json::Fixed(ms(h.value_at_quantile(0.50)), 3)),
+                        ("p99", Json::Fixed(ms(h.value_at_quantile(0.99)), 3)),
+                        ("p999", Json::Fixed(ms(h.value_at_quantile(0.999)), 3)),
+                        ("max", Json::Fixed(ms(h.max()), 3)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+
+    let report = report::envelope(
+        "edgebench",
+        outcome.groups,
+        vec![
+            ("scenario", Json::str(scenario.name.clone())),
+            ("seed", Json::UInt(scenario.seed)),
+            ("scenario_hash", Json::str(scenario.hash.to_hex())),
+            ("workload_digest", Json::str(workload_digest.to_hex())),
+            ("trace_digest", Json::str(outcome.trace_digest.to_hex())),
+            (
+                "topology",
+                Json::str(match scenario.topology {
+                    Topology::Internet2 => "internet2",
+                    Topology::Synthetic => "synthetic",
+                }),
+            ),
+            ("controllers", Json::UInt(scenario.controllers as u64)),
+            ("switches", Json::UInt(scenario.switches as u64)),
+            ("pinned_groups", Json::UInt(scenario.pinned_groups as u64)),
+            ("controller_capacity", Json::UInt(scenario.capacity as u64)),
+            ("shards", Json::UInt(scenario.shards as u64)),
+            (
+                "byzantine",
+                Json::Arr(
+                    scenario
+                        .byzantine
+                        .iter()
+                        .map(|&b| Json::UInt(b as u64))
+                        .collect(),
+                ),
+            ),
+            ("workload_ms", Json::UInt(scenario.workload_ms())),
+            ("drain_ms", Json::UInt(scenario.drain_ms)),
+            ("elapsed_s", Json::Fixed(outcome.elapsed_s, 4)),
+            ("offered_total", Json::UInt(offered_total)),
+            ("delivered_total", Json::UInt(delivered_total)),
+            ("delivered_late", Json::UInt(outcome.late)),
+            ("missed", Json::UInt(missed)),
+            ("knee_ratio", Json::Fixed(KNEE_RATIO, 2)),
+            ("knee", knee_json(knee.as_ref())),
+            ("byzantine_flagged", Json::UInt(outcome.byzantine_flagged)),
+            ("reass_issued", Json::UInt(outcome.reass_issued)),
+            ("epochs_adopted", Json::UInt(outcome.epochs_adopted)),
+            ("max_height", Json::UInt(outcome.max_height)),
+            ("max_epoch", Json::UInt(outcome.max_epoch)),
+            ("faults_dropped", Json::UInt(outcome.faults_dropped)),
+            ("faults_delayed", Json::UInt(outcome.faults_delayed)),
+            ("load_curve", Json::Arr(curve)),
+            ("phases_ns", phases_json(&span_phases)),
+        ],
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("edgebench: cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let out_path = format!("{out_dir}/scenario_{}.json", scenario.name);
+    report::emit("edgebench", &out_path, &report);
+}

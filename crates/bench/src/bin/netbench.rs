@@ -40,7 +40,7 @@
 //! to `<path>` as JSONL — feed that to the `tracedump` binary for the
 //! full per-phase table and per-seq critical path.
 //!
-//! Results are printed as JSON (`schema_version` 5: every report
+//! Results are printed as JSON (`schema_version` 6: every report
 //! carries the controller `groups` count — always 1 here, netbench
 //! drives a single flat PBFT group; `clusterbench` covers the
 //! multi-group runtime) and also written to a machine-readable report
@@ -58,14 +58,16 @@
 //! ```
 
 use curb_bench::report::{self, Json};
+use curb_bench::spans::{phase_histograms, phases_json};
 use curb_bench::{arg_flag, arg_value};
 use curb_consensus::{Batch, BytesPayload, Replica};
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::Sha256;
 use curb_net::{
     LoopbackTransport, NetRunner, ReactorConfig, ReactorTransport, RunnerConfig, RunnerHandle,
     TcpConfig, TcpTransport, TransportKind,
 };
 use curb_telemetry::{Histogram, Registry, SpanRecord};
-use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
@@ -86,16 +88,33 @@ impl BenchTransport {
     }
 }
 
-/// Groups trace spans by name into one duration histogram each.
-fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
-    let mut by_name: BTreeMap<String, Histogram> = BTreeMap::new();
-    for s in spans {
-        by_name
-            .entry(s.name.to_string())
-            .or_default()
-            .record(s.dur_ns);
+/// Builds payload `idx` of the seeded workload: the 8-byte big-endian
+/// submission index (per-payload order and latency survive batching)
+/// followed by bytes from a [`DetRng`] derived from `(seed, idx)` —
+/// derivation by index, not by a shared stream, so the same `--seed`
+/// reproduces the exact bytes regardless of which run of the sweep
+/// matrix builds them.
+fn seeded_payload(seed: u64, idx: u64, payload_size: usize) -> BytesPayload {
+    let mut body = vec![0u8; payload_size.max(8)];
+    body[..8].copy_from_slice(&idx.to_be_bytes());
+    let mut rng = DetRng::new(seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.fill_bytes(&mut body[8..]);
+    BytesPayload(body)
+}
+
+/// SHA-256 over the measured proposal stream (payloads `0..=proposals`
+/// — the warmup plus every measured submission), tying a report to its
+/// seeded workload.
+fn workload_digest(
+    seed: u64,
+    proposals: usize,
+    payload_size: usize,
+) -> curb_crypto::sha256::Digest {
+    let mut h = Sha256::new();
+    for idx in 0..=proposals as u64 {
+        h.update(&seeded_payload(seed, idx, payload_size).0);
     }
-    by_name.into_iter().collect()
+    h.finalize()
 }
 
 fn runner_cfg(max_batch: usize, window: Duration) -> RunnerConfig {
@@ -213,6 +232,7 @@ struct RunResult {
     net_registry: Registry,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     transport: BenchTransport,
     n: usize,
@@ -222,6 +242,7 @@ fn run_once(
     shards: usize,
     max_batch: usize,
     window: Duration,
+    seed: u64,
 ) -> RunResult {
     let net_registry = Registry::new();
     let handles = match transport {
@@ -232,13 +253,7 @@ fn run_once(
     };
     let leader = &handles[0];
 
-    // Each payload embeds its submission index in its first 8 bytes so
-    // per-payload order and latency survive batching.
-    let make_payload = |idx: u64| {
-        let mut body = vec![0u8; payload_size.max(8)];
-        body[..8].copy_from_slice(&idx.to_be_bytes());
-        BytesPayload(body)
-    };
+    let make_payload = |idx: u64| seeded_payload(seed, idx, payload_size);
 
     // Warm up: one throwaway commit, observed on every replica, forces
     // all TCP connections (and their reconnect backoff) through before
@@ -353,6 +368,7 @@ struct RecoveryResult {
 /// takes to deliver the full committed log. The measured window
 /// includes TCP reconnect backoff — this is end-to-end rejoin time as
 /// an operator would see it, not just the state-transfer RTT.
+#[allow(clippy::too_many_arguments)]
 fn run_recovery(
     kind: TransportKind,
     n: usize,
@@ -361,6 +377,7 @@ fn run_recovery(
     shards: usize,
     max_batch: usize,
     window: Duration,
+    seed: u64,
 ) -> RecoveryResult {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
@@ -386,11 +403,7 @@ fn run_recovery(
         .enumerate()
         .map(|(id, l)| Some(spawn(id, l)))
         .collect();
-    let make_payload = |idx: u64| {
-        let mut body = vec![0u8; payload_size.max(8)];
-        body[..8].copy_from_slice(&idx.to_be_bytes());
-        BytesPayload(body)
-    };
+    let make_payload = |idx: u64| seeded_payload(seed, idx, payload_size);
     let propose = |handles: &[Option<RunnerHandle<BytesPayload>>], idx: u64| {
         let leader = handles[0].as_ref().expect("leader alive");
         assert!(leader.propose(make_payload(idx)), "runner stopped early");
@@ -484,29 +497,6 @@ fn recovery_json(r: &RecoveryResult) -> Json {
         ("state_requests", Json::UInt(r.state_requests)),
         ("state_retries", Json::UInt(r.state_retries)),
     ])
-}
-
-fn phases_json(phases: &[(String, Histogram)]) -> Json {
-    if phases.is_empty() {
-        return Json::Null;
-    }
-    Json::Obj(
-        phases
-            .iter()
-            .map(|(name, h)| {
-                (
-                    name.clone(),
-                    Json::obj(vec![
-                        ("count", Json::UInt(h.count())),
-                        ("p50", Json::UInt(h.value_at_quantile(0.50))),
-                        ("p90", Json::UInt(h.value_at_quantile(0.90))),
-                        ("p99", Json::UInt(h.value_at_quantile(0.99))),
-                        ("max", Json::UInt(h.max())),
-                    ]),
-                )
-            })
-            .collect(),
-    )
 }
 
 /// The reactor's cluster-wide `net.*` metrics for one run: the
@@ -710,6 +700,7 @@ fn main() {
         .filter_map(|s| s.trim().parse().ok())
         .filter(|&s| s >= 1)
         .collect();
+    let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_net.json".to_string());
     let trace_path = arg_value("trace");
     let loopback = arg_flag("loopback");
@@ -770,7 +761,7 @@ fn main() {
                 "netbench: running transport={} shards={s} max_batch={b} …",
                 t.as_str()
             );
-            run_once(t, n, proposals, payload_size, inflight, s, b, window)
+            run_once(t, n, proposals, payload_size, inflight, s, b, window, seed)
         })
         .collect();
     // The unbatched baseline is per transport and shard count:
@@ -800,6 +791,7 @@ fn main() {
             shard_counts[0],
             batches[0],
             window,
+            seed,
         );
         eprintln!(
             "netbench: rejoined replica recovered {} payloads in {:.1} ms",
@@ -832,6 +824,11 @@ fn main() {
             ),
             ("replicas", Json::UInt(n as u64)),
             ("proposals", Json::UInt(proposals as u64)),
+            ("seed", Json::UInt(seed)),
+            (
+                "workload_digest",
+                Json::str(workload_digest(seed, proposals, payload_size).to_hex()),
+            ),
             ("payload_bytes", Json::UInt(payload_size.max(8) as u64)),
             ("inflight", Json::UInt(inflight as u64)),
             (

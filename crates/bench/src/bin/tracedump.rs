@@ -155,7 +155,7 @@ fn main() {
     // Per-seq critical path: slowest instances by e2e duration.
     let mut slowest: Vec<(&(i64, i64), &Instance)> =
         instances.iter().filter(|(_, i)| i.e2e_ns > 0).collect();
-    slowest.sort_by(|a, b| b.1.e2e_ns.cmp(&a.1.e2e_ns));
+    slowest.sort_by_key(|(_, i)| std::cmp::Reverse(i.e2e_ns));
     slowest.truncate(top);
     if !slowest.is_empty() {
         println!(

@@ -15,11 +15,14 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod scenario;
 pub mod scenarios;
+pub mod spans;
 pub mod table;
 pub mod viz;
 
 pub use report::{Json, SCHEMA_VERSION};
+pub use scenario::{detect_knee, Knee, PhasePoint, Scenario, Topology, KNEE_RATIO};
 pub use scenarios::*;
 pub use table::Table;
 pub use viz::render_html;

@@ -6,19 +6,23 @@
 //! tiny [`Json`] value tree (the build is offline, so no serde) plus
 //! [`emit`], which prints the rendered report and persists it.
 //!
-//! Schema version **5**: every report carries `bench`,
+//! Schema version **6**: every report carries `bench`,
 //! `schema_version` and `groups` (the number of controller groups the
 //! workload ran across — 1 for the flat single-group `netbench`
-//! cluster, the CAP solver's group count for `clusterbench`), both
-//! benches sweep the reactor shard count (`shard_counts` knob,
-//! `shard_comparison` / `shard_sweep` tables) and `phases_ns` is
-//! populated unconditionally (span recording no longer gated on
-//! `--trace`).
+//! cluster, the CAP solver's group count for `clusterbench` and
+//! `edgebench`), both socket benches sweep the reactor shard count
+//! (`shard_counts` knob, `shard_comparison` / `shard_sweep` tables)
+//! and `phases_ns` is populated unconditionally. New in 6: the
+//! open-loop `edgebench` scenario reports (`results/scenario_*.json`)
+//! with `seed`, `scenario_hash`, `workload_digest`, `trace_digest`,
+//! a per-phase offered/delivered/latency table and the detected
+//! saturation `knee`; `clusterbench` and `netbench` gained a
+//! `workload_digest` tying the report to its seeded workload.
 
 use std::fmt::Write as _;
 
 /// The schema version every benchmark report stamps.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// A JSON value with deterministic, pretty-printed rendering.
 #[derive(Debug, Clone)]
@@ -178,7 +182,7 @@ mod tests {
             ],
         );
         let text = report.render();
-        assert!(text.contains("\"schema_version\": 5"));
+        assert!(text.contains("\"schema_version\": 6"));
         assert!(text.contains("\"groups\": 2"));
         assert!(text.contains("\"throughput\": 123.46"));
         assert!(text.contains("\"x\": -1"));

@@ -1,0 +1,45 @@
+//! Shared span → report plumbing for the socket benches.
+//!
+//! Every bench embeds a `phases_ns` breakdown (one latency histogram
+//! per span name) in its JSON report; this is the one place that
+//! grouping and rendering live.
+
+use crate::report::Json;
+use curb_telemetry::{Histogram, SpanRecord};
+use std::collections::BTreeMap;
+
+/// Groups trace spans by name into one duration histogram each.
+pub fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
+    let mut by_name: BTreeMap<String, Histogram> = BTreeMap::new();
+    for s in spans {
+        by_name
+            .entry(s.name.to_string())
+            .or_default()
+            .record(s.dur_ns);
+    }
+    by_name.into_iter().collect()
+}
+
+/// Renders the grouped histograms as the `phases_ns` report field.
+pub fn phases_json(phases: &[(String, Histogram)]) -> Json {
+    if phases.is_empty() {
+        return Json::Null;
+    }
+    Json::Obj(
+        phases
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::UInt(h.count())),
+                        ("p50", Json::UInt(h.value_at_quantile(0.50))),
+                        ("p90", Json::UInt(h.value_at_quantile(0.90))),
+                        ("p99", Json::UInt(h.value_at_quantile(0.99))),
+                        ("max", Json::UInt(h.max())),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}

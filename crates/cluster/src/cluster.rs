@@ -200,6 +200,10 @@ pub struct Cluster {
     pub agents: Vec<AgentHandle>,
     /// Merged event stream from every agent.
     pub events: Receiver<(SwitchId, AgentEvent)>,
+    /// Per-node backbone link-fault handles (index = controller id),
+    /// captured before each mux moved into its node. The scenario
+    /// driver's [`FaultPlane`](crate::FaultPlane) wraps these.
+    pub faults: Vec<Arc<curb_net::LinkFaults>>,
 }
 
 impl Cluster {
@@ -255,10 +259,14 @@ impl Cluster {
         };
 
         let mut nodes = Vec::with_capacity(n);
+        let mut faults = Vec::with_capacity(n);
         for (c, (listener, sb_listener)) in backbone.into_iter().zip(southbound).enumerate() {
             let mux: MuxTransport<Batch<CtrlPayload>> =
                 MuxTransport::bind(c, listener, backbone_addrs.clone(), mux_cfg.clone())
                     .expect("bind mux transport");
+            // Grab the fault handle before the mux moves into the
+            // node; it stays valid for the transport's lifetime.
+            faults.push(mux.faults());
             let node_cfg = NodeConfig {
                 behavior: cfg.behaviors.get(c).copied().unwrap_or_default(),
                 ..cfg.node.clone()
@@ -296,6 +304,7 @@ impl Cluster {
             nodes,
             agents,
             events,
+            faults,
         }
     }
 

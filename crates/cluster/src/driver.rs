@@ -1,0 +1,465 @@
+//! Open-loop workload driver and scripted fault timeline for a
+//! running [`Cluster`].
+//!
+//! The closed-loop benches answer "how fast can the control plane go
+//! when every switch waits for its previous round" — useful for a
+//! ceiling, useless for the paper's edge-computing claims, which are
+//! about **latency under a given offered load**. This module is the
+//! open-loop half: PACKET_IN arrivals are scheduled by a seeded
+//! arrival process ([`ArrivalGen`]: Poisson or fixed-rate, all
+//! randomness from [`DetRng`] — no wall-clock randomness in any rate
+//! decision), materialised up front into a deterministic
+//! [`Arrival`] schedule, and injected at their scheduled offsets
+//! regardless of whether earlier rounds finished. Offered load is a
+//! property of the schedule; delivered throughput and latency are
+//! whatever the cluster manages.
+//!
+//! The same seed always produces the same schedule — switches, dst
+//! hosts and inter-arrival gaps — which is what lets a scenario double
+//! as a regression test: [`schedule_digest`] fingerprints the workload
+//! and the bench embeds it (plus an event-trace digest) in its report.
+//!
+//! The fault half scripts the timeline: a [`FaultScript`] is a list of
+//! `(at_ms, action)` events applied to the cluster's [`FaultPlane`]
+//! (the per-node [`LinkFaults`] handles of every backbone transport) —
+//! partitions, node isolation ("churn" that keeps chain state, as a
+//! kill-restart with state transfer would), slow links, and heals.
+
+use crate::cluster::Cluster;
+use crate::sagent::AgentInjector;
+use curb_core::SwitchId;
+use curb_crypto::rng::DetRng;
+use curb_crypto::sha256::{Digest, Sha256};
+use curb_net::LinkFaults;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// The inter-arrival process of an open-loop phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponentially distributed gaps (a Poisson arrival stream).
+    Poisson,
+    /// Constant gaps (a deterministic fixed-rate stream).
+    Fixed,
+}
+
+impl std::str::FromStr for ArrivalProcess {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "poisson" => Ok(ArrivalProcess::Poisson),
+            "fixed" => Ok(ArrivalProcess::Fixed),
+            other => Err(format!("unknown arrival process {other:?}")),
+        }
+    }
+}
+
+/// Seeded inter-arrival gap generator: every gap comes from the
+/// [`DetRng`] it was built with, so one seed fixes the entire stream.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    /// Mean gap in nanoseconds (`1e9 / rate_hz`).
+    mean_gap_ns: f64,
+    rng: DetRng,
+}
+
+impl ArrivalGen {
+    /// A generator emitting gaps for `rate_hz` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not strictly positive and finite.
+    pub fn new(process: ArrivalProcess, rate_hz: f64, rng: DetRng) -> ArrivalGen {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "arrival rate must be positive, got {rate_hz}"
+        );
+        ArrivalGen {
+            process,
+            mean_gap_ns: 1e9 / rate_hz,
+            rng,
+        }
+    }
+
+    /// The next inter-arrival gap in nanoseconds (at least 1).
+    pub fn next_gap_ns(&mut self) -> u64 {
+        let gap = match self.process {
+            ArrivalProcess::Fixed => self.mean_gap_ns,
+            ArrivalProcess::Poisson => {
+                // Inverse-CDF sample of Exp(rate): −ln(u) · mean with
+                // u ∈ (0, 1]. `next_f64` is [0, 1), so flip it to keep
+                // ln away from zero.
+                let u = 1.0 - self.rng.next_f64();
+                -u.ln() * self.mean_gap_ns
+            }
+        };
+        (gap.max(1.0)) as u64
+    }
+}
+
+/// One scheduled PACKET_IN injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from workload start.
+    pub at_ns: u64,
+    /// The phase (index into the spec list) this arrival belongs to.
+    pub phase: usize,
+    /// The switch raising the PACKET_IN.
+    pub switch: SwitchId,
+    /// The destination host of the flow request.
+    pub dst_host: u32,
+}
+
+/// One open-loop phase: `rate_hz` arrivals per second for
+/// `duration_ms`, under the given process. A ramp is a list of phases
+/// with increasing rates; a burst is a short high-rate phase between
+/// calm ones; a step is two phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase length in milliseconds.
+    pub duration_ms: u64,
+    /// Offered arrival rate across the whole fleet, in Hz.
+    pub rate_hz: f64,
+    /// Gap distribution.
+    pub process: ArrivalProcess,
+}
+
+/// Materialises the full arrival schedule for `phases` over
+/// `n_switches` switches. Everything — gaps, switch choice, dst host —
+/// is drawn from `rng`, so the schedule is a pure function of the
+/// seed and the specs. Arrivals are in nondecreasing `at_ns` order.
+pub fn build_schedule(phases: &[PhaseSpec], n_switches: usize, rng: &mut DetRng) -> Vec<Arrival> {
+    assert!(n_switches > 0, "schedule needs at least one switch");
+    let mut schedule = Vec::new();
+    let mut phase_start_ns: u64 = 0;
+    for (idx, spec) in phases.iter().enumerate() {
+        let phase_end_ns = phase_start_ns + spec.duration_ms * 1_000_000;
+        let mut gen = ArrivalGen::new(spec.process, spec.rate_hz, rng.fork());
+        // The first gap offsets from the phase start: an open-loop
+        // stream has no arrival pinned at t=0.
+        let mut t = phase_start_ns + gen.next_gap_ns();
+        while t < phase_end_ns {
+            schedule.push(Arrival {
+                at_ns: t,
+                phase: idx,
+                switch: SwitchId(rng.next_below(n_switches as u64) as usize),
+                dst_host: rng.next_range(1, 1 << 16) as u32,
+            });
+            t += gen.next_gap_ns();
+        }
+        phase_start_ns = phase_end_ns;
+    }
+    schedule
+}
+
+/// Fingerprints a schedule: the SHA-256 over every arrival's
+/// `(at_ns, phase, switch, dst_host)` in order. Two runs with the same
+/// seed and specs produce the same digest; the bench embeds it so a
+/// regression diff can tell "the workload changed" from "the system
+/// changed".
+pub fn schedule_digest(schedule: &[Arrival]) -> Digest {
+    let mut h = Sha256::new();
+    for a in schedule {
+        h.update(&a.at_ns.to_be_bytes());
+        h.update(&(a.phase as u64).to_be_bytes());
+        h.update(&(a.switch.0 as u64).to_be_bytes());
+        h.update(&a.dst_host.to_be_bytes());
+    }
+    h.finalize()
+}
+
+/// Injects `schedule` into the cluster's agents open-loop: each
+/// arrival fires at its scheduled offset from `start`, whether or not
+/// earlier rounds completed. Runs on its own thread; join the handle
+/// to wait for the last injection.
+///
+/// Sleeping is coarse (OS timer); the *schedule* is exact and
+/// deterministic, the injection instant jitters by scheduler noise —
+/// the same tolerance any real switch's PACKET_IN timing has.
+pub fn spawn_injector(
+    injectors: Vec<AgentInjector>,
+    schedule: Vec<Arrival>,
+    start: Instant,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name("curb-edgeload".into())
+        .spawn(move || {
+            for arrival in schedule {
+                let due = start + Duration::from_nanos(arrival.at_ns);
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                if let Some(inj) = injectors.get(arrival.switch.0) {
+                    inj.pkt_in(arrival.dst_host);
+                }
+            }
+        })
+        .expect("spawn open-loop injector")
+}
+
+/// A scripted network fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Cut every backbone link between `side` and the rest of the
+    /// controllers, both directions.
+    Partition {
+        /// One side of the cut, by controller id.
+        side: Vec<usize>,
+    },
+    /// Cut every backbone link of one controller (both directions):
+    /// the node is gone from its peers' view but keeps its chain
+    /// state, like a controller mid-churn before its restart.
+    Isolate {
+        /// The controller to isolate.
+        node: usize,
+    },
+    /// Undo an [`FaultAction::Isolate`] of `node`.
+    Rejoin {
+        /// The controller to reconnect.
+        node: usize,
+    },
+    /// Add `delay_ms` of one-way latency on the `a`↔`b` backbone
+    /// link, both directions.
+    SlowLink {
+        /// One endpoint, by controller id.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Added one-way latency in milliseconds.
+        delay_ms: u64,
+    },
+    /// Heal every cut and clear every delay on every node.
+    Heal,
+}
+
+/// One timeline entry: apply `action` `at_ms` after workload start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Offset from workload start, in milliseconds.
+    pub at_ms: u64,
+    /// What to do.
+    pub action: FaultAction,
+}
+
+/// The per-node link-fault handles of a running cluster's backbone
+/// transports, with cluster-level fault verbs on top.
+#[derive(Clone)]
+pub struct FaultPlane {
+    handles: Vec<Arc<LinkFaults>>,
+}
+
+impl FaultPlane {
+    /// Wraps the per-node handles (index = controller id).
+    pub fn new(handles: Vec<Arc<LinkFaults>>) -> FaultPlane {
+        FaultPlane { handles }
+    }
+
+    /// Number of controllers covered.
+    pub fn nodes(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The raw handle of one node's backbone.
+    pub fn node(&self, id: usize) -> Option<&Arc<LinkFaults>> {
+        self.handles.get(id)
+    }
+
+    /// Applies one scripted action.
+    pub fn apply(&self, action: &FaultAction) {
+        match action {
+            FaultAction::Partition { side } => self.partition(side),
+            FaultAction::Isolate { node } => self.isolate(*node),
+            FaultAction::Rejoin { node } => self.rejoin(*node),
+            FaultAction::SlowLink { a, b, delay_ms } => {
+                self.slow_link(*a, *b, Duration::from_millis(*delay_ms));
+            }
+            FaultAction::Heal => self.heal_all(),
+        }
+    }
+
+    /// Cuts every link crossing the `side` / rest boundary, both
+    /// directions.
+    pub fn partition(&self, side: &[usize]) {
+        for a in 0..self.handles.len() {
+            let a_in = side.contains(&a);
+            for b in 0..self.handles.len() {
+                if a != b && a_in != side.contains(&b) {
+                    self.handles[a].cut(b);
+                }
+            }
+        }
+    }
+
+    /// Cuts every link of `node`, both directions.
+    pub fn isolate(&self, node: usize) {
+        for (other, handle) in self.handles.iter().enumerate() {
+            if other != node {
+                handle.cut(node);
+                self.handles[node].cut(other);
+            }
+        }
+    }
+
+    /// Heals every link of `node`, both directions.
+    pub fn rejoin(&self, node: usize) {
+        for (other, handle) in self.handles.iter().enumerate() {
+            if other != node {
+                handle.heal(node);
+                self.handles[node].heal(other);
+            }
+        }
+    }
+
+    /// Adds one-way `delay` on the `a`↔`b` link, both directions.
+    pub fn slow_link(&self, a: usize, b: usize, delay: Duration) {
+        if let Some(h) = self.handles.get(a) {
+            h.set_delay(b, delay);
+        }
+        if let Some(h) = self.handles.get(b) {
+            h.set_delay(a, delay);
+        }
+    }
+
+    /// Heals every cut and clears every delay everywhere.
+    pub fn heal_all(&self) {
+        for handle in &self.handles {
+            handle.heal_all();
+        }
+    }
+
+    /// Total frames the fault layer dropped across all nodes.
+    pub fn dropped(&self) -> u64 {
+        self.handles.iter().map(|h| h.dropped()).sum()
+    }
+
+    /// Total frames the fault layer delayed across all nodes.
+    pub fn delayed(&self) -> u64 {
+        self.handles.iter().map(|h| h.delayed()).sum()
+    }
+}
+
+/// Spawns a thread that applies `events` (sorted or not) at their
+/// offsets from `start`. Join the handle to wait for the last fault.
+pub fn spawn_fault_script(
+    plane: FaultPlane,
+    mut events: Vec<FaultEvent>,
+    start: Instant,
+) -> JoinHandle<()> {
+    events.sort_by_key(|e| e.at_ms);
+    thread::Builder::new()
+        .name("curb-faultscript".into())
+        .spawn(move || {
+            for event in events {
+                let due = start + Duration::from_millis(event.at_ms);
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                plane.apply(&event.action);
+            }
+        })
+        .expect("spawn fault script")
+}
+
+impl Cluster {
+    /// The fault-injection plane over every node's backbone transport.
+    pub fn fault_plane(&self) -> FaultPlane {
+        FaultPlane::new(self.faults.clone())
+    }
+
+    /// Per-switch open-loop injection handles, cloneable into a driver
+    /// thread.
+    pub fn injectors(&self) -> Vec<AgentInjector> {
+        self.agents.iter().map(|a| a.injector()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases() -> Vec<PhaseSpec> {
+        vec![
+            PhaseSpec {
+                duration_ms: 100,
+                rate_hz: 200.0,
+                process: ArrivalProcess::Poisson,
+            },
+            PhaseSpec {
+                duration_ms: 50,
+                rate_hz: 1000.0,
+                process: ArrivalProcess::Fixed,
+            },
+        ]
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let a = build_schedule(&phases(), 4, &mut DetRng::new(42));
+        let b = build_schedule(&phases(), 4, &mut DetRng::new(42));
+        let c = build_schedule(&phases(), 4, &mut DetRng::new(43));
+        assert_eq!(a, b);
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        assert_ne!(schedule_digest(&a), schedule_digest(&c));
+    }
+
+    #[test]
+    fn schedule_is_ordered_and_phase_bounded() {
+        let sched = build_schedule(&phases(), 4, &mut DetRng::new(7));
+        assert!(!sched.is_empty());
+        for w in sched.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns, "arrivals must be time-ordered");
+        }
+        for a in &sched {
+            match a.phase {
+                0 => assert!(a.at_ns < 100_000_000),
+                1 => assert!((100_000_000..150_000_000).contains(&a.at_ns)),
+                p => panic!("arrival in nonexistent phase {p}"),
+            }
+            assert!(a.switch.0 < 4);
+            assert!(a.dst_host >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_process_hits_exact_count() {
+        // 1 kHz for 50 ms = gap 1 ms → arrivals at 1..=49 ms (the
+        // first gap offsets from phase start, the 50 ms boundary is
+        // exclusive).
+        let spec = vec![PhaseSpec {
+            duration_ms: 50,
+            rate_hz: 1000.0,
+            process: ArrivalProcess::Fixed,
+        }];
+        let sched = build_schedule(&spec, 2, &mut DetRng::new(1));
+        assert_eq!(sched.len(), 49);
+    }
+
+    #[test]
+    fn fault_plane_partition_and_heal_shapes() {
+        // Free-standing LinkFaults handles (no sockets): the plane's
+        // pairwise cut/heal logic is pure bookkeeping over flags.
+        let handles: Vec<Arc<LinkFaults>> = (0..4).map(|_| LinkFaults::for_testing(4)).collect();
+        let plane = FaultPlane::new(handles);
+        plane.partition(&[0, 1]);
+        let h = |i: usize| plane.node(i).unwrap();
+        assert!(h(0).is_cut(2) && h(0).is_cut(3) && !h(0).is_cut(1));
+        assert!(h(2).is_cut(0) && h(2).is_cut(1) && !h(2).is_cut(3));
+        plane.heal_all();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(!h(a).is_cut(b));
+            }
+        }
+        plane.isolate(3);
+        assert!(h(0).is_cut(3) && h(3).is_cut(0) && !h(0).is_cut(1));
+        plane.rejoin(3);
+        assert!(!h(0).is_cut(3) && !h(3).is_cut(0));
+        plane.slow_link(1, 2, Duration::from_millis(5));
+        assert_eq!(h(1).delay_ns(2), 5_000_000);
+        assert_eq!(h(2).delay_ns(1), 5_000_000);
+    }
+}

@@ -47,16 +47,21 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod driver;
 pub mod node;
 pub mod payload;
 pub mod sagent;
 pub mod wire;
 
 pub use cluster::{bootstrap, bootstrap_pinned, Bootstrap, Cluster, ClusterConfig};
+pub use driver::{
+    build_schedule, schedule_digest, spawn_fault_script, spawn_injector, Arrival, ArrivalGen,
+    ArrivalProcess, FaultAction, FaultEvent, FaultPlane, PhaseSpec,
+};
 pub use node::{
     final_lane, intra_lane, ControllerNode, NodeBehavior, NodeConfig, NodeHandle, NodeProbe,
     LANE_STRIDE,
 };
 pub use payload::CtrlPayload;
-pub use sagent::{AgentConfig, AgentEvent, AgentHandle, AgentProbe, SAgent};
+pub use sagent::{AgentConfig, AgentEvent, AgentHandle, AgentInjector, AgentProbe, SAgent};
 pub use wire::{ClusterMsg, SbMsg};

@@ -208,8 +208,10 @@ pub struct ControllerNode {
     final_start: Option<([u8; 32], u64)>,
     /// Block announcements from committee members, keyed by hash.
     votes: BTreeMap<[u8; 32], (Block, BTreeSet<NodeId>)>,
-    /// Southbound reply sockets by switch id.
-    sb_conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    /// Southbound reply sockets by switch id, tagged with the
+    /// registration token of the connection that installed them (see
+    /// `southbound_reader`'s exit path).
+    sb_conns: Arc<Mutex<HashMap<usize, (u64, TcpStream)>>>,
     sb_rx: Receiver<SbEvent>,
     probe: Arc<NodeProbe>,
     shutdown: Arc<AtomicBool>,
@@ -238,7 +240,8 @@ impl ControllerNode {
     ) -> NodeHandle {
         let shutdown = Arc::new(AtomicBool::new(false));
         let probe = Arc::new(NodeProbe::default());
-        let sb_conns: Arc<Mutex<HashMap<usize, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let sb_conns: Arc<Mutex<HashMap<usize, (u64, TcpStream)>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let (sb_tx, sb_rx) = channel();
 
         southbound
@@ -352,9 +355,30 @@ impl ControllerNode {
             return;
         }
         let epoch = Arc::clone(&self.active.epoch);
+        if !epoch.ctrl_list(switch).contains(&self.id) {
+            // The issuing agent is homed on a stale epoch's controller
+            // list (it missed the rotation's announcement — they are
+            // delivered once, best-effort). Silence here would strand
+            // it forever, so answer with the *current* assignment
+            // under the announce key: once `f + 1` stale-list members
+            // send the identical hint, the agent's usual announcement
+            // matcher re-homes it.
+            self.rehome_hint(switch);
+            return;
+        }
         let gid = epoch.group_of(switch);
-        if epoch.groups[gid.0].leader() != self.id {
-            return; // followers act only through consensus
+        let leader = epoch.groups[gid.0].leader();
+        if leader != self.id {
+            // PBFT's client-request relay: a follower cannot propose,
+            // but dropping the request would wedge an agent whose
+            // stale controller list still overlaps the current group
+            // yet misses its leader. Hand it to the controller that
+            // can propose it; `seen` caps the relay at once per key.
+            if self.seen.insert(record.key) {
+                self.mux
+                    .send_app(leader, &ClusterMsg::Forward(record).encode());
+            }
+            return;
         }
         if !self.seen.insert(record.key) {
             return;
@@ -512,6 +536,14 @@ impl ControllerNode {
             ClusterMsg::FinalBlock { epoch, block } => {
                 self.on_block_announcement(from, epoch, block);
             }
+            ClusterMsg::Forward(record) => {
+                // A follower relayed a southbound request it could not
+                // propose; treat it exactly like a direct arrival. If
+                // the epoch rotated again in flight this re-routes (or
+                // re-homes) under the now-active assignment — the
+                // per-key dedup in `on_request` stops relay loops.
+                self.on_request(record.key.switch, record);
+            }
         }
     }
 
@@ -668,7 +700,7 @@ impl ControllerNode {
             config,
         };
         let mut conns = self.sb_conns.lock().expect("southbound registry poisoned");
-        if let Some(stream) = conns.get_mut(&switch.0) {
+        if let Some((_, stream)) = conns.get_mut(&switch.0) {
             if write_sb_frame(stream, &msg).is_err() {
                 conns.remove(&switch.0);
             }
@@ -761,6 +793,32 @@ impl ControllerNode {
         }
     }
 
+    /// Answers a request from an agent this node does not currently
+    /// serve: the sender is still homed on a stale epoch's controller
+    /// list. Push the active assignment to it under the announce key —
+    /// the same `f + 1` identical-config rule that gates a normal
+    /// announcement gates the re-home, so a lone (or lying) hinter
+    /// cannot steer the agent.
+    fn rehome_hint(&self, switch: SwitchId) {
+        if self.cfg.behavior == NodeBehavior::Silent {
+            return;
+        }
+        let config = ConfigData::NewAssignment {
+            groups: (0..self.shared.plan.n_switches)
+                .map(|s| self.active.epoch.ctrl_list(SwitchId(s)).to_vec())
+                .collect(),
+        };
+        let announced = match self.cfg.behavior {
+            NodeBehavior::Lying => corrupt(&config),
+            _ => config,
+        };
+        let key = RequestKey {
+            switch,
+            seq: ANNOUNCE_SEQ_BIT | self.active.no,
+        };
+        self.reply_to(switch, key, announced);
+    }
+
     fn runtime_epoch(&self, no: u64) -> Option<Arc<Epoch>> {
         if no == self.active.no {
             return Some(Arc::clone(&self.active.epoch));
@@ -832,6 +890,11 @@ fn build_runtime(
 }
 
 /// Writes one southbound frame (u32 length prefix + body).
+/// Monotonic registration tokens for southbound connections, so a
+/// reader thread that exits late can tell whether the registry entry
+/// for its switch is still its own (see `southbound_reader`).
+static SB_REG_TOKEN: AtomicU64 = AtomicU64::new(0);
+
 pub(crate) fn write_sb_frame(stream: &mut TcpStream, msg: &SbMsg) -> std::io::Result<()> {
     let body = msg.encode();
     let mut frame = Vec::with_capacity(4 + body.len());
@@ -842,7 +905,7 @@ pub(crate) fn write_sb_frame(stream: &mut TcpStream, msg: &SbMsg) -> std::io::Re
 
 fn southbound_accept_loop(
     listener: TcpListener,
-    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    conns: Arc<Mutex<HashMap<usize, (u64, TcpStream)>>>,
     events: Sender<SbEvent>,
     shutdown: Arc<AtomicBool>,
     poll: Duration,
@@ -869,7 +932,7 @@ fn southbound_accept_loop(
 /// main loop. Anything malformed drops the connection.
 fn southbound_reader(
     stream: TcpStream,
-    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    conns: Arc<Mutex<HashMap<usize, (u64, TcpStream)>>>,
     events: Sender<SbEvent>,
     shutdown: Arc<AtomicBool>,
     max_frame: usize,
@@ -884,7 +947,7 @@ fn southbound_reader(
     // message scratch vec is reused across reads.
     let mut decoder = SharedDecoder::new(max_frame);
     let mut msgs: Vec<Option<SbMsg>> = Vec::new();
-    let mut registered: Option<usize> = None;
+    let mut registered: Option<(usize, u64)> = None;
     'outer: while !shutdown.load(Ordering::SeqCst) {
         let n = match reader.read(decoder.writable()) {
             Ok(0) => break,
@@ -908,14 +971,15 @@ fn southbound_reader(
             match msg {
                 Some(SbMsg::Hello { switch }) if registered.is_none() => {
                     let switch = switch as usize;
-                    registered = Some(switch);
-                    conns
-                        .lock()
-                        .expect("southbound registry poisoned")
-                        .insert(switch, stream.try_clone().expect("clone sb stream"));
+                    let token = SB_REG_TOKEN.fetch_add(1, Ordering::Relaxed);
+                    registered = Some((switch, token));
+                    conns.lock().expect("southbound registry poisoned").insert(
+                        switch,
+                        (token, stream.try_clone().expect("clone sb stream")),
+                    );
                 }
                 Some(SbMsg::Request(record)) => {
-                    if let Some(switch) = registered {
+                    if let Some((switch, _)) = registered {
                         if events.send(SbEvent::Request { switch, record }).is_err() {
                             break 'outer;
                         }
@@ -925,10 +989,16 @@ fn southbound_reader(
             }
         }
     }
-    if let Some(switch) = registered {
-        conns
-            .lock()
-            .expect("southbound registry poisoned")
-            .remove(&switch);
+    if let Some((switch, token)) = registered {
+        // Remove only the entry this connection installed: the agent
+        // may already have reconnected and re-registered while this
+        // reader was still parked on its dead socket, and blindly
+        // removing by switch id would sever the agent's *new* reply
+        // path — every future REPLY to it would vanish, wedging the
+        // switch for good.
+        let mut conns = conns.lock().expect("southbound registry poisoned");
+        if conns.get(&switch).is_some_and(|(t, _)| *t == token) {
+            conns.remove(&switch);
+        }
     }
 }

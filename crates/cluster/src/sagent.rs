@@ -137,6 +137,17 @@ impl AgentHandle {
         let _ = self.cmds.send(AgentCmd::PktIn { dst_host });
     }
 
+    /// A cloneable injection-only handle for driver threads: it can
+    /// raise PACKET_INs but cannot join or shut the agent down, so an
+    /// open-loop workload thread can own one while the cluster keeps
+    /// the real handle.
+    pub fn injector(&self) -> AgentInjector {
+        AgentInjector {
+            switch: self.switch,
+            cmds: self.cmds.clone(),
+        }
+    }
+
     /// Stops the agent and waits for its thread.
     pub fn join(mut self) {
         self.shutdown_and_join();
@@ -155,6 +166,22 @@ impl AgentHandle {
 impl Drop for AgentHandle {
     fn drop(&mut self) {
         self.shutdown_and_join();
+    }
+}
+
+/// Injection-only clone of an [`AgentHandle`] (see
+/// [`AgentHandle::injector`]). Dropping it never stops the agent.
+#[derive(Clone)]
+pub struct AgentInjector {
+    /// The switch this injector feeds.
+    pub switch: SwitchId,
+    cmds: Sender<AgentCmd>,
+}
+
+impl AgentInjector {
+    /// Raises a PACKET_IN for `dst_host` (a table miss at the switch).
+    pub fn pkt_in(&self, dst_host: u32) {
+        let _ = self.cmds.send(AgentCmd::PktIn { dst_host });
     }
 }
 

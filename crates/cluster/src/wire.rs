@@ -140,6 +140,13 @@ pub enum ClusterMsg {
         /// The certified block.
         block: Block,
     },
+    /// Group member → its group's current leader: a southbound request
+    /// that arrived at a follower, relayed to the controller that can
+    /// actually propose it (PBFT's client-request forwarding). Covers
+    /// an agent whose stale controller list overlaps the current group
+    /// but no longer contains its leader — the members it can still
+    /// reach hand the request on instead of dropping it.
+    Forward(RequestRecord),
 }
 
 impl ClusterMsg {
@@ -157,6 +164,10 @@ impl ClusterMsg {
                 out.push(1);
                 out.extend_from_slice(&epoch.to_be_bytes());
                 encode_block(&mut out, block);
+            }
+            ClusterMsg::Forward(record) => {
+                out.push(2);
+                out.extend_from_slice(&record.signing_bytes());
             }
         }
         out
@@ -179,6 +190,13 @@ impl ClusterMsg {
                     return None;
                 }
                 Some(ClusterMsg::FinalBlock { epoch, block })
+            }
+            2 => {
+                let record = RequestRecord::decode(&mut rest)?;
+                if !rest.is_empty() {
+                    return None;
+                }
+                Some(ClusterMsg::Forward(record))
             }
             _ => None,
         }
@@ -254,6 +272,7 @@ mod tests {
                 txs: TxListPayload(vec![tx]),
             },
             ClusterMsg::FinalBlock { epoch: 1, block },
+            ClusterMsg::Forward(record(6)),
         ];
         for msg in msgs {
             assert_eq!(ClusterMsg::decode(&msg.encode()), Some(msg));

@@ -67,6 +67,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 pub mod frame;
 mod mux;
 mod reactor;
@@ -76,6 +77,7 @@ mod sys;
 mod tcp;
 mod transport;
 
+pub use fault::LinkFaults;
 pub use frame::{
     decode_lane_frame, decode_lane_frame_ref, decode_msg, encode_lane_app_into,
     encode_lane_msg_into, encode_msg, encode_msg_into, read_frame, read_frame_into, write_frame,

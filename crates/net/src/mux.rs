@@ -402,6 +402,13 @@ impl<P: PayloadCodec + Send + 'static> MuxTransport<P> {
         &self.registry
     }
 
+    /// The link-fault injection handle for this node's backbone: cut
+    /// or slow this node's outbound links to individual peer nodes
+    /// while the cluster runs (partitions, churn, slow WAN links).
+    pub fn faults(&self) -> Arc<crate::fault::LinkFaults> {
+        self.core.pool.faults()
+    }
+
     /// Registers consensus instance `lane_id` with the given member
     /// nodes (replica index = position in `members`) and returns its
     /// [`Transport`] handle. Registering an id again replaces the

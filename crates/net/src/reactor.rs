@@ -51,6 +51,7 @@
 //! `net.encode_ns`/`net.read_ns`/`net.write_ns`/`net.queue_depth`/
 //! `net.reconnects` families shared with the threaded transport.
 
+use crate::fault::LinkFaults;
 use crate::frame::{decode_msg, encode_msg_into, FrameRef, SharedDecoder, DEFAULT_MAX_FRAME};
 use crate::sys::{self, Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::tcp::{encode_hello, validate_hello, HANDSHAKE_LEN};
@@ -1165,14 +1166,72 @@ impl<S: ShardSink> Shard<S> {
 /// (lane frames): callers enqueue encoded `Arc<[u8]>` frames per peer
 /// and receive inbound frames through their [`ShardSink`].
 pub(crate) struct ShardPool {
-    id: ReplicaId,
-    n: usize,
     nshards: usize,
-    cfg: ReactorConfig,
     shared: Arc<Shared>,
     metrics: ReactorMetrics,
     threads: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
+    /// The ring-enqueue half, shared with the fault delay line so
+    /// released frames re-enter the pool without re-entering the
+    /// fault gate.
+    sender: RingSender,
+    /// Link-fault gate on the enqueue path (cuts, delays).
+    faults: Arc<LinkFaults>,
+}
+
+/// The watermarked ring-push half of the pool: everything `enqueue`
+/// needs, cloneable so the fault delay line can release frames
+/// straight into the rings from its own thread.
+#[derive(Clone)]
+struct RingSender {
+    id: ReplicaId,
+    n: usize,
+    nshards: usize,
+    high_watermark: usize,
+    shared: Arc<Shared>,
+    metrics: ReactorMetrics,
+}
+
+impl RingSender {
+    /// Queues `frame` on `to`'s ring, applying the watermark, and
+    /// wakes the owning shard when it needs to look.
+    fn send(&self, to: ReplicaId, frame: Arc<[u8]>) {
+        if to == self.id || to >= self.n {
+            return;
+        }
+        let wire_len = frame.len() + 4;
+        let notify = {
+            let mut ring = self.shared.rings[to].lock().expect("ring poisoned");
+            if ring.bytes + wire_len > self.high_watermark {
+                // Watermark crossed: empty the ring, count every
+                // casualty and ask the shard for a fresh connection.
+                let casualties = (ring.frames.len() + 1) as u64;
+                self.metrics.queue_depth.sub(ring.frames.len() as i64);
+                ring.frames.clear();
+                ring.bytes = 0;
+                ring.overflowed = true;
+                self.shared
+                    .dropped
+                    .fetch_add(casualties as usize, Ordering::Relaxed);
+                self.metrics.backpressure_drops.add(casualties);
+                true
+            } else {
+                let was_empty = ring.frames.is_empty();
+                ring.frames.push_back(frame);
+                ring.bytes += wire_len;
+                self.metrics.queue_depth.add(1);
+                was_empty
+            }
+        };
+        if notify {
+            let shard = shard_for_peer(to, self.nshards);
+            self.shared.dirty[shard]
+                .lock()
+                .expect("dirty poisoned")
+                .push(to);
+            self.shared.wake(shard);
+        }
+    }
 }
 
 impl ShardPool {
@@ -1258,15 +1317,24 @@ impl ShardPool {
                 .expect("spawn shard thread");
             threads.push(thread);
         }
-        Ok(ShardPool {
+        let sender = RingSender {
             id,
             n,
             nshards,
-            cfg,
+            high_watermark: cfg.high_watermark,
+            shared: Arc::clone(&shared),
+            metrics: metrics.clone(),
+        };
+        let release = sender.clone();
+        let faults = LinkFaults::new(n, Arc::new(move |to, frame| release.send(to, frame)));
+        Ok(ShardPool {
+            nshards,
             shared,
             metrics,
             threads,
             local_addr,
+            sender,
+            faults,
         })
     }
 
@@ -1299,48 +1367,23 @@ impl ShardPool {
         self.shared.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Queues `frame` on `to`'s ring, applying the watermark, and
-    /// wakes the owning shard when it needs to look.
+    /// Queues `frame` on `to`'s ring (through the link-fault gate),
+    /// applying the watermark, and wakes the owning shard when it
+    /// needs to look.
     pub(crate) fn enqueue(&self, to: ReplicaId, frame: Arc<[u8]>) {
-        if to == self.id || to >= self.n {
-            return;
+        if let Some(frame) = self.faults.admit(to, frame) {
+            self.sender.send(to, frame);
         }
-        let wire_len = frame.len() + 4;
-        let notify = {
-            let mut ring = self.shared.rings[to].lock().expect("ring poisoned");
-            if ring.bytes + wire_len > self.cfg.high_watermark {
-                // Watermark crossed: empty the ring, count every
-                // casualty and ask the shard for a fresh connection.
-                let casualties = (ring.frames.len() + 1) as u64;
-                self.metrics.queue_depth.sub(ring.frames.len() as i64);
-                ring.frames.clear();
-                ring.bytes = 0;
-                ring.overflowed = true;
-                self.shared
-                    .dropped
-                    .fetch_add(casualties as usize, Ordering::Relaxed);
-                self.metrics.backpressure_drops.add(casualties);
-                true
-            } else {
-                let was_empty = ring.frames.is_empty();
-                ring.frames.push_back(frame);
-                ring.bytes += wire_len;
-                self.metrics.queue_depth.add(1);
-                was_empty
-            }
-        };
-        if notify {
-            let shard = shard_for_peer(to, self.nshards);
-            self.shared.dirty[shard]
-                .lock()
-                .expect("dirty poisoned")
-                .push(to);
-            self.shared.wake(shard);
-        }
+    }
+
+    /// The link-fault handle gating this pool's outbound frames.
+    pub(crate) fn faults(&self) -> Arc<LinkFaults> {
+        Arc::clone(&self.faults)
     }
 
     /// Signals every shard to exit. Threads are joined on drop.
     pub(crate) fn shutdown(&self) {
+        self.faults.stop();
         self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.wake_all();
     }
@@ -1521,6 +1564,12 @@ impl<P: PayloadCodec + Send + 'static> ReactorTransport<P> {
     /// watermark overflow.
     pub fn dropped_frames(&self) -> usize {
         self.pool.dropped_frames()
+    }
+
+    /// The link-fault injection handle for this transport: cut or slow
+    /// individual outbound links while the cluster runs.
+    pub fn faults(&self) -> Arc<LinkFaults> {
+        self.pool.faults()
     }
 
     /// Encodes `msg` once into a frame body all peer rings can share.

@@ -24,6 +24,7 @@
 //! mismatch, an out-of-range id or a wrong group size closes the
 //! connection before any frame is read.
 
+use crate::fault::LinkFaults;
 use crate::frame::{append_frame as push_frame, decode_msg, encode_msg_into, DEFAULT_MAX_FRAME};
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{PayloadCodec, PbftMsg, ReplicaId};
@@ -187,17 +188,23 @@ pub(crate) fn read_full(
     Ok(true)
 }
 
+/// Per-peer outbound queues, `Arc`-shared with the link-fault delay
+/// line so its thread can release held frames into the same queues.
+type PeerQueues = Arc<Vec<Option<SyncSender<Arc<[u8]>>>>>;
+
 /// Outbound side: one writer thread per peer with its own bounded
 /// queue, connection establishment, handshake and capped exponential
 /// backoff reconnect.
 pub struct PeerManager {
     // Frames are reference-counted so a broadcast encodes once and
     // every peer queue shares the same bytes.
-    queues: Vec<Option<SyncSender<Arc<[u8]>>>>,
+    queues: PeerQueues,
     connected: Arc<Vec<AtomicBool>>,
     dropped: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
     metrics: TcpMetrics,
+    /// Link-fault gate on the enqueue path (cuts, delays).
+    faults: Arc<LinkFaults>,
 }
 
 impl PeerManager {
@@ -233,27 +240,44 @@ impl PeerManager {
                 .expect("spawn writer thread");
             workers.push(handle);
         }
+        let queues = Arc::new(queues);
+        let release_queues = Arc::clone(&queues);
+        let release_dropped = Arc::clone(&dropped);
+        let release_metrics = metrics.clone();
+        let faults = LinkFaults::new(
+            n,
+            Arc::new(move |to, frame| {
+                push_queue(
+                    &release_queues,
+                    to,
+                    frame,
+                    &release_dropped,
+                    &release_metrics,
+                )
+            }),
+        );
         PeerManager {
             queues,
             connected,
             dropped,
             workers,
             metrics,
+            faults,
         }
     }
 
-    /// Queues an encoded frame for `to`; drops it (and counts the drop)
-    /// when the peer's queue is full or `to` is unknown/local.
+    /// Queues an encoded frame for `to` (through the link-fault gate);
+    /// drops it (and counts the drop) when the peer's queue is full or
+    /// `to` is unknown/local.
     fn enqueue(&self, to: ReplicaId, frame: Arc<[u8]>) {
-        let Some(Some(tx)) = self.queues.get(to) else {
-            return;
-        };
-        match tx.try_send(frame) {
-            Ok(()) => self.metrics.queue_depth.add(1),
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-            }
+        if let Some(frame) = self.faults.admit(to, frame) {
+            push_queue(&self.queues, to, frame, &self.dropped, &self.metrics);
         }
+    }
+
+    /// The link-fault handle gating this manager's outbound frames.
+    pub fn faults(&self) -> Arc<LinkFaults> {
+        Arc::clone(&self.faults)
     }
 
     /// Number of peers with a currently established outbound connection.
@@ -267,6 +291,26 @@ impl PeerManager {
     /// Frames dropped because a peer queue was full.
     pub fn dropped_frames(&self) -> usize {
         self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// The raw (post-fault) queue push shared by the manager's enqueue and
+/// the fault delay line's release path.
+fn push_queue(
+    queues: &[Option<SyncSender<Arc<[u8]>>>],
+    to: ReplicaId,
+    frame: Arc<[u8]>,
+    dropped: &AtomicUsize,
+    metrics: &TcpMetrics,
+) {
+    let Some(Some(tx)) = queues.get(to) else {
+        return;
+    };
+    match tx.try_send(frame) {
+        Ok(()) => metrics.queue_depth.add(1),
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -518,6 +562,12 @@ impl<P: PayloadCodec + Send + 'static> TcpTransport<P> {
     pub fn dropped_frames(&self) -> usize {
         self.peers.dropped_frames()
     }
+
+    /// The link-fault injection handle for this transport: cut or slow
+    /// individual outbound links while the cluster runs.
+    pub fn faults(&self) -> Arc<LinkFaults> {
+        self.peers.faults()
+    }
 }
 
 impl<P: PayloadCodec + Send + 'static> Transport<P> for TcpTransport<P> {
@@ -568,12 +618,14 @@ impl<P: PayloadCodec + Send + 'static> Transport<P> for TcpTransport<P> {
 
     fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        self.peers.faults.stop();
     }
 }
 
 impl<P> Drop for TcpTransport<P> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        self.peers.faults.stop();
         // Join the accept thread so the listening port is free for a
         // restarted replica by the time `drop` returns; writer/reader
         // threads notice the flag within one poll interval and exit on

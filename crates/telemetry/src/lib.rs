@@ -36,5 +36,5 @@ pub use hist::Histogram;
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use trace::{
     disable, drain, enable, enabled, flush_thread, now_nanos, read_jsonl, record_span, set_clock,
-    to_jsonl, write_jsonl, SpanRecord,
+    to_jsonl, write_jsonl, SpanRecord, SpanScope,
 };

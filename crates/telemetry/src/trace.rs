@@ -165,6 +165,44 @@ pub fn drain() -> Vec<SpanRecord> {
     std::mem::take(&mut *global_sink().lock().expect("trace sink poisoned"))
 }
 
+/// A span-recording scope for one scenario (or any other bounded
+/// workload phase): spans recorded between [`SpanScope::begin`] and
+/// [`SpanScope::end`] are returned by `end`, isolated from whatever
+/// ran before the scope opened.
+///
+/// `begin` enables recording and clears the sink (leftover spans from
+/// earlier work are discarded so they cannot leak into this scope's
+/// report); `end` drains exactly the scope's spans. The contract on
+/// worker threads is unchanged: they must [`flush_thread`] (or be
+/// joined by code that does) before `end` for their tail to be seen —
+/// the cluster runtime already does this on node/agent shutdown.
+///
+/// ```
+/// let scope = curb_telemetry::SpanScope::begin();
+/// // … run one scenario …
+/// let spans = scope.end();
+/// ```
+#[must_use = "end() returns the scope's spans"]
+#[derive(Debug)]
+pub struct SpanScope {
+    _private: (),
+}
+
+impl SpanScope {
+    /// Opens a scope: enables span recording and discards anything
+    /// recorded before this point.
+    pub fn begin() -> SpanScope {
+        enable();
+        let _ = drain();
+        SpanScope { _private: () }
+    }
+
+    /// Closes the scope and returns every span recorded inside it.
+    pub fn end(self) -> Vec<SpanRecord> {
+        drain()
+    }
+}
+
 /// Renders spans as JSONL (one JSON object per line).
 pub fn to_jsonl(records: &[SpanRecord]) -> String {
     let mut out = String::with_capacity(records.len() * 96);

@@ -318,3 +318,90 @@ fn batch_codec_accepts_exactly_the_member_cap() {
     bytes.extend_from_slice(&[0u8; 4]);
     assert_eq!(Batch::<BytesPayload>::decode_payload(&bytes), None);
 }
+
+// ---------------------------------------------------------------------------
+// ReplyMatcher: the f+1 acceptance invariant under arbitrary arrival
+// orders and liar-bucket interleavings.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For a 3f+1 group with at most f liars and at most f silent
+    /// members, the matcher accepts exactly the honest configuration
+    /// regardless of reply arrival order — at precisely the (f+1)-th
+    /// honest reply — and every liar that replied is reported as a
+    /// contradictor exactly once. Duplicate votes never count, and the
+    /// timeout audit names exactly the silent members.
+    #[test]
+    fn reply_matcher_accepts_honest_quorum_in_any_order(
+        seed in 0u64..100_000,
+        f in 1usize..4,
+        liars in 0usize..4,
+        silent in 0usize..4,
+        same_lie in 0usize..2,
+    ) {
+        use curb::core::{ConfigData, FlowRuleSpec, ReplyMatcher};
+        use curb::crypto::rng::DetRng;
+
+        let liars = liars.min(f);
+        let silent = silent.min(f);
+        let n = 3 * f + 1;
+        let honest = n - liars - silent; // >= f + 1 always
+        prop_assert!(honest > f);
+
+        let rules = |port: u16| {
+            ConfigData::FlowRules(vec![FlowRuleSpec { priority: 10, dst_host: 7, out_port: port }])
+        };
+        let honest_cfg = rules(3);
+        // Liars either collude on one wrong config (same_lie) or each
+        // invent their own; colluding f < f+1 liars still never reach
+        // the quorum.
+        let lie = |c: usize| if same_lie == 1 { rules(999) } else { rules(100 + c as u16) };
+
+        // Controllers 0..honest are honest, then liars, then silent.
+        let mut order: Vec<usize> = (0..honest + liars).collect();
+        let mut rng = DetRng::new(seed);
+        rng.shuffle(&mut order);
+
+        let mut m = ReplyMatcher::new(f + 1, 300);
+        let mut honest_seen = 0usize;
+        let mut accepted_events = 0usize;
+        let mut reported: Vec<usize> = Vec::new();
+        for (i, &c) in order.iter().enumerate() {
+            let is_liar = c >= honest;
+            let cfg = if is_liar { lie(c) } else { honest_cfg.clone() };
+            let out = m.on_reply(c, cfg.clone(), (i as u64 + 1) * 10);
+            if !is_liar {
+                honest_seen += 1;
+            }
+            if let Some(acc) = &out.newly_accepted {
+                accepted_events += 1;
+                prop_assert_eq!(acc, &honest_cfg, "only the honest config can reach f+1");
+                prop_assert_eq!(honest_seen, f + 1, "accepts at exactly the (f+1)-th honest reply");
+            }
+            reported.extend(out.contradictors.iter().copied());
+            // A duplicate vote from the same controller is always inert.
+            let dup = m.on_reply(c, cfg, (i as u64 + 1) * 10 + 5);
+            prop_assert_eq!(dup.newly_accepted, None);
+            prop_assert!(dup.contradictors.is_empty());
+        }
+
+        prop_assert_eq!(accepted_events, 1, "quorum forms exactly once");
+        prop_assert_eq!(m.accepted(), Some(&honest_cfg));
+        prop_assert_eq!(m.reply_count(), honest + liars);
+
+        // Every liar that replied is reported exactly once, no honest
+        // controller ever is.
+        reported.sort_unstable();
+        let expected: Vec<usize> = (honest..honest + liars).collect();
+        prop_assert_eq!(reported, expected, "contradictors = the liars, each once");
+
+        // The timeout audit names exactly the silent controllers.
+        let ctrl_list: Vec<usize> = (0..n).collect();
+        let audit = m.audit(&ctrl_list).expect("first audit runs");
+        let missing: Vec<usize> = (honest + liars..n).collect();
+        prop_assert_eq!(audit.missing, missing);
+        prop_assert_eq!(m.audit(&ctrl_list), None, "audit is one-shot");
+    }
+}

@@ -26,7 +26,13 @@
 //! `cluster.intra` / `cluster.final` breakdown is embedded as
 //! `phases_ns` in every report. With `--trace <path>` the raw spans
 //! are additionally written as JSONL (feed the file to `tracedump`
-//! for the full table).
+//! for the full table). With `--trace-dir <dir>` the spans are split
+//! into one file per node label (`ctrl0.jsonl`, `agent0.jsonl`, …) —
+//! the layout `tracedump --distributed <dir>` stitches back into
+//! cross-node rounds. With `--flight-dir <dir>` a flight recorder is
+//! installed for the run: every anomaly (byzantine flag, RE-ASS,
+//! epoch rotation) dumps the recent-span/event rings as JSONL there,
+//! and the report gains a `flight_dumps` count.
 //!
 //! The JSON report (`schema_version` 6, shared `curb_bench::report`
 //! path with netbench) lands on stdout and in `--out`
@@ -38,7 +44,8 @@
 //! cargo run --release -p curb-bench --bin clusterbench -- \
 //!     [--controllers 8] [--switches 2] [--capacity 1] [--requests 20] \
 //!     [--seed 7] [--byzantine 2] [--pinned-groups 2] [--shards 1,2] \
-//!     [--trace trace.jsonl] [--out BENCH_cluster.json]
+//!     [--trace trace.jsonl] [--trace-dir traces/] [--flight-dir flight/] \
+//!     [--out BENCH_cluster.json]
 //! ```
 //!
 //! `--pinned-groups G` skips the CAP solver for the initial layout and
@@ -48,7 +55,7 @@
 
 use curb_bench::arg_value;
 use curb_bench::report::{self, Json};
-use curb_bench::spans::{phase_histograms, phases_json};
+use curb_bench::spans::{phase_histograms, phases_json, write_node_traces};
 use curb_cluster::{bootstrap_pinned, AgentEvent, Cluster, ClusterConfig, NodeBehavior};
 use curb_core::SwitchId;
 use curb_crypto::rng::DetRng;
@@ -281,6 +288,8 @@ fn main() {
         .filter(|&s| s >= 1)
         .collect();
     let trace_path = arg_value("trace");
+    let trace_dir = arg_value("trace-dir");
+    let flight_dir = arg_value("flight-dir");
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_cluster.json".to_string());
     assert!(
         (4..=64).contains(&controllers),
@@ -299,6 +308,22 @@ fn main() {
     // report; `--trace` only controls whether the raw spans are also
     // written out as JSONL.
     curb_telemetry::enable();
+    // `--flight-dir` arms the anomaly flight recorder: byzantine
+    // flags, RE-ASS and epoch rotations each trigger a bounded JSONL
+    // dump of the recent-span/event rings into the directory.
+    let recorder = flight_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create --flight-dir");
+        curb_telemetry::install_flight_recorder(curb_telemetry::FlightConfig {
+            dump_dir: Some(dir.into()),
+            // A byzantine run flags the liar from several observers and
+            // every controller logs its own epoch adoption, so the
+            // default dump cap would be exhausted before the rotation —
+            // the dump that proves the flag → RE-ASS → rotation
+            // sequence — gets written.
+            max_dumps: 64,
+            ..curb_telemetry::FlightConfig::default()
+        })
+    });
 
     let workload = Workload {
         controllers,
@@ -323,6 +348,22 @@ fn main() {
             ),
             Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
         }
+    }
+    if let Some(dir) = &trace_dir {
+        // One file per node label (ctrl0…, agent0…): the distributed
+        // layout `tracedump --distributed` reassembles.
+        let spans: Vec<SpanRecord> = runs.iter().flat_map(|r| r.spans.clone()).collect();
+        match write_node_traces(dir, &spans) {
+            Ok((files, written)) => eprintln!(
+                "clusterbench: {written} spans split across {files} per-node files in {dir}"
+            ),
+            Err(e) => eprintln!("warning: could not write per-node traces to {dir}: {e}"),
+        }
+    }
+    let flight_dumps = recorder.as_ref().map(|r| r.dumps_taken() as u64);
+    if let (Some(dir), Some(dumps)) = (&flight_dir, flight_dumps) {
+        eprintln!("clusterbench: {dumps} flight dump(s) in {dir}");
+        curb_telemetry::uninstall_flight_recorder();
     }
 
     // The top-level fields describe the baseline run (first listed
@@ -414,6 +455,18 @@ fn main() {
             (
                 "trace",
                 trace_path.as_deref().map(Json::str).unwrap_or(Json::Null),
+            ),
+            (
+                "trace_dir",
+                trace_dir.as_deref().map(Json::str).unwrap_or(Json::Null),
+            ),
+            (
+                "flight_dir",
+                flight_dir.as_deref().map(Json::str).unwrap_or(Json::Null),
+            ),
+            (
+                "flight_dumps",
+                flight_dumps.map(Json::UInt).unwrap_or(Json::Null),
             ),
             ("phases_ns", phases_json(&base.phases)),
             ("shard_sweep", shard_sweep),

@@ -16,14 +16,31 @@
 //!
 //! ```text
 //! cargo run --release -p curb-bench --bin tracedump -- \
-//!     --trace trace.jsonl [--top 10] [--csv] \
-//!     [--require-phases consensus.pre_prepare,consensus.commit]
+//!     --trace trace.jsonl [--top 10] [--csv] [--json] \
+//!     [--require-phases consensus.pre_prepare,cluster.*]
 //! ```
 //!
-//! `--require-phases` exits non-zero if any named span is absent from
-//! the trace — CI uses it to assert the instrumentation stays wired.
+//! `--require-phases` exits non-zero if any named span (or `prefix.*`
+//! wildcard) matches nothing in the trace — CI uses it to assert the
+//! instrumentation stays wired. `--json` replaces the tables with one
+//! machine-readable JSON document.
+//!
+//! # Distributed mode
+//!
+//! ```text
+//! tracedump --distributed <dir> [--min-rounds N] [--top N] [--json]
+//! ```
+//!
+//! Treats every `*.jsonl` file in `<dir>` as one node's trace (as
+//! written by `clusterbench --trace-dir`), aligns the nodes' clocks
+//! from span containment, stitches spans by trace context into
+//! per-round cross-node critical paths and prints each round's five
+//! legs (request, intra, handoff, final, reply) plus per-leg p50/p99.
+//! `--min-rounds N` exits non-zero unless at least `N` *complete*
+//! rounds (all three span kinds observed) were reconstructed.
 
-use curb_bench::{arg_flag, arg_value, Table};
+use curb_bench::distributed::{align_clocks, assemble, load_dir, AssembledRound, LEG_NAMES};
+use curb_bench::{arg_flag, arg_value, Json, Table};
 use curb_telemetry::{Histogram, SpanRecord};
 use std::collections::BTreeMap;
 
@@ -47,17 +64,27 @@ struct Instance {
 }
 
 fn main() {
+    let top: usize = arg_value("top").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let csv = arg_flag("csv");
+    let json = arg_flag("json");
+    if let Some(dir) = arg_value("distributed") {
+        let min_rounds: usize = arg_value("min-rounds")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        run_distributed(&dir, top, csv, json, min_rounds);
+        return;
+    }
     let path = match arg_value("trace") {
         Some(p) => p,
         None => {
             eprintln!(
-                "usage: tracedump --trace <spans.jsonl> [--top N] [--csv] [--require-phases a,b]"
+                "usage: tracedump --trace <spans.jsonl> [--top N] [--csv] [--json] \
+                 [--require-phases a,b.*]\n\
+                 \x20      tracedump --distributed <dir> [--min-rounds N] [--top N] [--json]"
             );
             std::process::exit(2);
         }
     };
-    let top: usize = arg_value("top").and_then(|v| v.parse().ok()).unwrap_or(10);
-    let csv = arg_flag("csv");
     let spans: Vec<SpanRecord> = match curb_telemetry::read_jsonl(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -77,18 +104,21 @@ fn main() {
     }
 
     if let Some(required) = arg_value("require-phases") {
-        let missing: Vec<&str> = required
-            .split(',')
-            .map(str::trim)
-            .filter(|r| !r.is_empty() && !by_name.contains_key(r))
+        check_required_phases(&required, &by_name, &path);
+    }
+
+    if json {
+        let phases: Vec<(String, Json)> = by_name
+            .iter()
+            .map(|(name, h)| (name.to_string(), hist_json(h)))
             .collect();
-        if !missing.is_empty() {
-            eprintln!(
-                "tracedump: required phases missing from {path}: {}",
-                missing.join(", ")
-            );
-            std::process::exit(1);
-        }
+        let doc = Json::obj(vec![
+            ("trace", Json::str(&path)),
+            ("spans", Json::UInt(spans.len() as u64)),
+            ("phases", Json::Obj(phases)),
+        ]);
+        println!("{}", doc.render());
+        return;
     }
 
     println!("tracedump: {} spans from {path}\n", spans.len());
@@ -185,5 +215,175 @@ fn main() {
             );
         }
         cp.print(csv);
+    }
+}
+
+/// Verifies every required phase name (or `prefix.*` wildcard) matches
+/// at least one recorded phase; exits non-zero with a diagnostic
+/// naming the misses *and* what was actually present otherwise.
+fn check_required_phases(required: &str, by_name: &BTreeMap<&str, Histogram>, path: &str) {
+    let missing: Vec<&str> = required
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .filter(|r| match r.strip_suffix('*') {
+            Some(prefix) => !by_name.keys().any(|n| n.starts_with(prefix)),
+            None => !by_name.contains_key(r),
+        })
+        .collect();
+    if !missing.is_empty() {
+        let available: Vec<&str> = by_name.keys().copied().collect();
+        eprintln!(
+            "tracedump: required phases matched nothing in {path}: {}\n\
+             tracedump: phases present: {}",
+            missing.join(", "),
+            if available.is_empty() {
+                "(none)".to_string()
+            } else {
+                available.join(", ")
+            }
+        );
+        std::process::exit(1);
+    }
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::UInt(h.count())),
+        ("p50_ns", Json::UInt(h.value_at_quantile(0.50))),
+        ("p90_ns", Json::UInt(h.value_at_quantile(0.90))),
+        ("p99_ns", Json::UInt(h.value_at_quantile(0.99))),
+        ("max_ns", Json::UInt(h.max())),
+    ])
+}
+
+/// `--distributed`: cross-node round reconstruction over a directory
+/// of per-node traces.
+fn run_distributed(dir: &str, top: usize, csv: bool, json: bool, min_rounds: usize) {
+    let traces = match load_dir(dir) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracedump: cannot load trace dir {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if traces.is_empty() {
+        eprintln!("tracedump: {dir} holds no *.jsonl trace files");
+        std::process::exit(1);
+    }
+    let align = align_clocks(&traces);
+    let rounds = assemble(&traces, &align);
+    let complete: Vec<&AssembledRound> = rounds.iter().filter(|r| r.complete).collect();
+
+    // Per-leg latency distributions over complete rounds.
+    let mut leg_hists: [Histogram; 5] = Default::default();
+    let mut total_hist = Histogram::new();
+    for r in &complete {
+        for (h, &ns) in leg_hists.iter_mut().zip(&r.legs) {
+            h.record(ns);
+        }
+        total_hist.record(r.total_ns);
+    }
+
+    if json {
+        let legs: Vec<(String, Json)> = LEG_NAMES
+            .iter()
+            .zip(&leg_hists)
+            .map(|(name, h)| (name.to_string(), hist_json(h)))
+            .collect();
+        let doc = Json::obj(vec![
+            ("trace_dir", Json::str(dir)),
+            ("nodes", Json::UInt(traces.len() as u64)),
+            ("reference_clock", Json::str(&align.reference)),
+            ("rounds", Json::UInt(rounds.len() as u64)),
+            ("complete_rounds", Json::UInt(complete.len() as u64)),
+            ("round_total", hist_json(&total_hist)),
+            ("legs", Json::Obj(legs)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!(
+            "tracedump: {} nodes, {} rounds ({} complete) from {dir}; \
+             clocks aligned to {}\n",
+            traces.len(),
+            rounds.len(),
+            complete.len(),
+            align.reference,
+        );
+        if !complete.is_empty() {
+            let mut legs = Table::new("leg", &["p50 (ms)", "p99 (ms)", "max (ms)"]);
+            for (name, h) in LEG_NAMES.iter().zip(&leg_hists) {
+                legs.row(
+                    name,
+                    &[
+                        ms(h.value_at_quantile(0.50)),
+                        ms(h.value_at_quantile(0.99)),
+                        ms(h.max()),
+                    ],
+                );
+            }
+            legs.row(
+                "total",
+                &[
+                    ms(total_hist.value_at_quantile(0.50)),
+                    ms(total_hist.value_at_quantile(0.99)),
+                    ms(total_hist.max()),
+                ],
+            );
+            legs.print(csv);
+
+            let mut slowest: Vec<&&AssembledRound> = complete.iter().collect();
+            slowest.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+            slowest.truncate(top);
+            println!(
+                "\ncross-node critical path — {} slowest rounds:",
+                slowest.len()
+            );
+            let mut cp = Table::new(
+                "round (origin/nonce · path)",
+                &[
+                    "total (ms)",
+                    "request (ms)",
+                    "intra (ms)",
+                    "handoff (ms)",
+                    "final (ms)",
+                    "reply (ms)",
+                ],
+            );
+            for r in slowest {
+                let path = format!(
+                    "{}→{}→{}",
+                    r.agent,
+                    r.leader.as_deref().unwrap_or("?"),
+                    r.finalizer.as_deref().unwrap_or("?"),
+                );
+                cp.row(
+                    &format!("{}/{} · {path}", r.key.0, r.key.1),
+                    &[
+                        ms(r.total_ns),
+                        ms(r.legs[0]),
+                        ms(r.legs[1]),
+                        ms(r.legs[2]),
+                        ms(r.legs[3]),
+                        ms(r.legs[4]),
+                    ],
+                );
+            }
+            cp.print(csv);
+        }
+    }
+
+    if complete.len() < min_rounds {
+        eprintln!(
+            "tracedump: only {} complete cross-node rounds reconstructed \
+             (need {min_rounds}); nodes seen: {}",
+            complete.len(),
+            traces
+                .iter()
+                .map(|t| t.node.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
     }
 }

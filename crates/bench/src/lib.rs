@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distributed;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;

@@ -20,6 +20,40 @@ pub fn phase_histograms(spans: &[SpanRecord]) -> Vec<(String, Histogram)> {
     by_name.into_iter().collect()
 }
 
+/// Splits spans by the node label their recording thread carried —
+/// the per-node trace files `tracedump --distributed` stitches back
+/// together. Spans recorded on unlabeled threads land under
+/// `"unlabeled"`.
+pub fn split_by_node(spans: &[SpanRecord]) -> BTreeMap<String, Vec<SpanRecord>> {
+    let mut by_node: BTreeMap<String, Vec<SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        let node = s.node.as_deref().unwrap_or("unlabeled").to_string();
+        by_node.entry(node).or_default().push(s.clone());
+    }
+    by_node
+}
+
+/// Writes one `<node>.jsonl` per node into `dir` (created if absent),
+/// returning `(files, spans)` written.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_node_traces(
+    dir: impl AsRef<std::path::Path>,
+    spans: &[SpanRecord],
+) -> std::io::Result<(usize, usize)> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let by_node = split_by_node(spans);
+    let mut written = 0;
+    for (node, spans) in &by_node {
+        curb_telemetry::write_jsonl(dir.join(format!("{node}.jsonl")), spans)?;
+        written += spans.len();
+    }
+    Ok((by_node.len(), written))
+}
+
 /// Renders the grouped histograms as the `phases_ns` report field.
 pub fn phases_json(phases: &[(String, Histogram)]) -> Json {
     if phases.is_empty() {

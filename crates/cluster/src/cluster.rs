@@ -10,6 +10,7 @@
 //! PBFT → block append → REPLY, with live RE-ASS on byzantine
 //! evidence.
 
+use crate::introspect::{IntrospectServer, IntrospectState};
 use crate::node::{ControllerNode, NodeBehavior, NodeConfig, NodeHandle};
 use crate::payload::CtrlPayload;
 use crate::sagent::{AgentConfig, AgentEvent, AgentHandle, SAgent};
@@ -204,6 +205,13 @@ pub struct Cluster {
     /// captured before each mux moved into its node. The scenario
     /// driver's [`FaultPlane`](crate::FaultPlane) wraps these.
     pub faults: Vec<Arc<curb_net::LinkFaults>>,
+    /// Per-node metric registries (index = controller id) — each
+    /// node's consensus runners publish into its own.
+    pub registries: Vec<curb_telemetry::Registry>,
+    /// Per-node introspection endpoints (index = controller id): the
+    /// `health`/`metrics`/`flight` line protocol, queryable with
+    /// [`crate::introspect::query`].
+    pub introspect: Vec<IntrospectServer>,
 }
 
 impl Cluster {
@@ -260,6 +268,8 @@ impl Cluster {
 
         let mut nodes = Vec::with_capacity(n);
         let mut faults = Vec::with_capacity(n);
+        let mut registries = Vec::with_capacity(n);
+        let mut introspect = Vec::with_capacity(n);
         for (c, (listener, sb_listener)) in backbone.into_iter().zip(southbound).enumerate() {
             let mux: MuxTransport<Batch<CtrlPayload>> =
                 MuxTransport::bind(c, listener, backbone_addrs.clone(), mux_cfg.clone())
@@ -267,18 +277,29 @@ impl Cluster {
             // Grab the fault handle before the mux moves into the
             // node; it stays valid for the transport's lifetime.
             faults.push(mux.faults());
+            // A fresh registry per node: cloning the one in `cfg.node`
+            // would share a single store across every controller.
+            let registry = curb_telemetry::Registry::new();
             let node_cfg = NodeConfig {
                 behavior: cfg.behaviors.get(c).copied().unwrap_or_default(),
+                registry: registry.clone(),
                 ..cfg.node.clone()
             };
-            nodes.push(ControllerNode::spawn(
+            let node = ControllerNode::spawn(
                 c,
                 Arc::clone(&shared),
                 Arc::clone(&epoch),
                 mux,
                 sb_listener,
                 node_cfg,
-            ));
+            );
+            introspect.push(IntrospectServer::spawn(IntrospectState {
+                node: format!("ctrl{c}"),
+                registry: registry.clone(),
+                probe: Arc::clone(&node.probe),
+            }));
+            registries.push(registry);
+            nodes.push(node);
         }
 
         let (events_tx, events) = channel();
@@ -305,7 +326,14 @@ impl Cluster {
             agents,
             events,
             faults,
+            registries,
+            introspect,
         }
+    }
+
+    /// The introspection endpoint addresses, by controller id.
+    pub fn introspect_addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.introspect.iter().map(|s| s.addr()).collect()
     }
 
     /// Raises a PACKET_IN at switch `switch` for `dst_host`.
@@ -333,13 +361,16 @@ impl Cluster {
             .unwrap_or(0)
     }
 
-    /// Stops every agent and node.
+    /// Stops every agent, node and introspection endpoint.
     pub fn shutdown(self) {
         for agent in self.agents {
             agent.join();
         }
         for node in self.nodes {
             node.join();
+        }
+        for server in self.introspect {
+            server.join();
         }
     }
 }

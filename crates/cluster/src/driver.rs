@@ -269,6 +269,10 @@ impl FaultPlane {
 
     /// Applies one scripted action.
     pub fn apply(&self, action: &FaultAction) {
+        curb_telemetry::record_event(
+            curb_telemetry::EventKind::LinkFault,
+            format!("fault plane applied {action:?}"),
+        );
         match action {
             FaultAction::Partition { side } => self.partition(side),
             FaultAction::Isolate { node } => self.isolate(*node),

@@ -48,6 +48,7 @@
 
 pub mod cluster;
 pub mod driver;
+pub mod introspect;
 pub mod node;
 pub mod payload;
 pub mod sagent;
@@ -58,6 +59,7 @@ pub use driver::{
     build_schedule, schedule_digest, spawn_fault_script, spawn_injector, Arrival, ArrivalGen,
     ArrivalProcess, FaultAction, FaultEvent, FaultPlane, PhaseSpec,
 };
+pub use introspect::{query as introspect_query, IntrospectServer, IntrospectState};
 pub use node::{
     final_lane, intra_lane, ControllerNode, NodeBehavior, NodeConfig, NodeHandle, NodeProbe,
     LANE_STRIDE,

@@ -44,7 +44,9 @@ use curb_core::{
     TxListPayload,
 };
 use curb_net::{Lane, MuxTransport, NetRunner, NodeId, RunnerConfig, RunnerHandle, SharedDecoder};
-use curb_telemetry::{now_nanos, record_span};
+use curb_telemetry::{
+    now_nanos, record_event, record_span, record_span_ctx, EventKind, Registry, TraceCtx,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -100,6 +102,10 @@ pub struct NodeConfig {
     pub poll: Duration,
     /// Maximum southbound frame size.
     pub max_frame: usize,
+    /// Metrics registry this node's consensus runners publish into.
+    /// Cloning a `NodeConfig` *shares* the registry (it is an `Arc`
+    /// handle) — hand each node its own for per-node introspection.
+    pub registry: Registry,
 }
 
 impl Default for NodeConfig {
@@ -110,6 +116,7 @@ impl Default for NodeConfig {
             drain: Duration::from_secs(2),
             poll: Duration::from_millis(1),
             max_frame: 1 << 20,
+            registry: Registry::new(),
         }
     }
 }
@@ -183,8 +190,13 @@ enum SbEvent {
     Request {
         switch: usize,
         record: RequestRecord,
+        ctx: TraceCtx,
     },
 }
+
+/// A proposed block's tracing state on the final leader: hash, propose
+/// time, and the traced rounds the block carries.
+type FinalSpan = ([u8; 32], u64, Vec<(RequestKey, TraceCtx)>);
 
 /// The node state machine; owned by the node's main thread.
 pub struct ControllerNode {
@@ -198,14 +210,20 @@ pub struct ControllerNode {
     removed: Vec<bool>,
     /// Request keys already proposed (as leader) — at-most-once intake.
     seen: HashSet<RequestKey>,
-    /// Group-leader spans: propose time per request key.
-    intra_start: HashMap<RequestKey, u64>,
+    /// Group-leader spans: (propose time, minted context) per key.
+    intra_start: HashMap<RequestKey, (u64, TraceCtx)>,
+    /// Trace contexts of rounds this node serves, kept so the eventual
+    /// REPLY can be stamped with the round's correlation key.
+    round_ctxs: HashMap<RequestKey, TraceCtx>,
     /// Final-leader queue of intra-committed transactions.
     pending_txs: Vec<ProtoTx>,
     pending_keys: HashSet<RequestKey>,
+    /// Trace contexts of queued transactions, by key.
+    pending_ctxs: HashMap<RequestKey, TraceCtx>,
     block_in_flight: bool,
-    /// Final-leader span: (proposed block hash, propose time).
-    final_start: Option<([u8; 32], u64)>,
+    /// Final-leader span: (proposed block hash, propose time, the
+    /// traced rounds the block carries).
+    final_start: Option<FinalSpan>,
     /// Block announcements from committee members, keyed by hash.
     votes: BTreeMap<[u8; 32], (Block, BTreeSet<NodeId>)>,
     /// Southbound reply sockets by switch id, tagged with the
@@ -273,8 +291,12 @@ impl ControllerNode {
         let thread = thread::Builder::new()
             .name(format!("curb-node-{id}"))
             .spawn(move || {
+                // Name this thread's spans after the node: per-node
+                // trace files are split on this label.
+                curb_telemetry::set_thread_node(format!("ctrl{id}"));
                 let removed = epoch.removed.clone();
-                let active = build_runtime(id, 0, Arc::clone(&epoch), &mux, &cfg.runner);
+                let active =
+                    build_runtime(id, 0, Arc::clone(&epoch), &mux, &cfg.runner, &cfg.registry);
                 let mut node = ControllerNode {
                     id,
                     shared,
@@ -286,8 +308,10 @@ impl ControllerNode {
                     removed,
                     seen: HashSet::new(),
                     intra_start: HashMap::new(),
+                    round_ctxs: HashMap::new(),
                     pending_txs: Vec::new(),
                     pending_keys: HashSet::new(),
+                    pending_ctxs: HashMap::new(),
                     block_in_flight: false,
                     final_start: None,
                     votes: BTreeMap::new(),
@@ -311,8 +335,13 @@ impl ControllerNode {
     fn run(&mut self) {
         while !self.shutdown.load(Ordering::SeqCst) {
             let mut progress = false;
-            while let Ok(SbEvent::Request { switch, record }) = self.sb_rx.try_recv() {
-                self.on_request(SwitchId(switch), record);
+            while let Ok(SbEvent::Request {
+                switch,
+                record,
+                ctx,
+            }) = self.sb_rx.try_recv()
+            {
+                self.on_request(SwitchId(switch), record, ctx);
                 progress = true;
             }
             while let Some(ev) = self.mux.recv_app(Duration::ZERO) {
@@ -350,7 +379,7 @@ impl ControllerNode {
 
     /// Step 1→2: a request arrived southbound; the group leader
     /// computes the configuration and proposes it on the group's lane.
-    fn on_request(&mut self, switch: SwitchId, record: RequestRecord) {
+    fn on_request(&mut self, switch: SwitchId, record: RequestRecord, ctx: TraceCtx) {
         if switch.0 >= self.shared.plan.n_switches || record.key.switch != switch {
             return;
         }
@@ -366,6 +395,11 @@ impl ControllerNode {
             self.rehome_hint(switch);
             return;
         }
+        if ctx.is_some() {
+            // Every serving member remembers the round's context: the
+            // REPLY it sends after the final commit echoes it back.
+            self.round_ctxs.insert(record.key, ctx);
+        }
         let gid = epoch.group_of(switch);
         let leader = epoch.groups[gid.0].leader();
         if leader != self.id {
@@ -376,7 +410,7 @@ impl ControllerNode {
             // can propose it; `seen` caps the relay at once per key.
             if self.seen.insert(record.key) {
                 self.mux
-                    .send_app(leader, &ClusterMsg::Forward(record).encode());
+                    .send_app(leader, &ClusterMsg::Forward { record, ctx }.encode());
             }
             return;
         }
@@ -393,8 +427,13 @@ impl ControllerNode {
         };
         let key = tx.record.key;
         if let Some((_, runner)) = self.active.intra.iter().find(|(g, _)| *g == gid) {
-            self.intra_start.insert(key, now_nanos());
-            if runner.propose(CtrlPayload::Txs(TxListPayload(vec![tx]))) {
+            self.intra_start.insert(key, (now_nanos(), ctx));
+            let payload = CtrlPayload::Txs {
+                txs: TxListPayload(vec![tx]),
+                // Hop 1: the round entered the intra-group lane.
+                ctxs: vec![ctx.next_hop()],
+            };
+            if runner.propose(payload) {
                 self.probe.proposed.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -449,7 +488,7 @@ impl ControllerNode {
     fn pump_decisions(&mut self) -> bool {
         let mut progress = false;
         // Collect first to end the borrow of the runtimes, then act.
-        let mut intra_committed: Vec<(u64, GroupId, TxListPayload)> = Vec::new();
+        let mut intra_committed: Vec<(u64, GroupId, TxListPayload, Vec<TraceCtx>)> = Vec::new();
         let mut final_committed: Vec<(u64, BlockPayload)> = Vec::new();
         {
             let runtimes =
@@ -457,9 +496,9 @@ impl ControllerNode {
             for rt in runtimes {
                 for (gid, runner) in &rt.intra {
                     while let Ok(d) = runner.decisions.try_recv() {
-                        if let CtrlPayload::Txs(txs) = d.payload {
+                        if let CtrlPayload::Txs { txs, ctxs } = d.payload {
                             if !txs.0.is_empty() {
-                                intra_committed.push((rt.no, *gid, txs));
+                                intra_committed.push((rt.no, *gid, txs, ctxs));
                             }
                         }
                     }
@@ -473,9 +512,9 @@ impl ControllerNode {
                 }
             }
         }
-        for (no, gid, txs) in intra_committed {
+        for (no, gid, txs, ctxs) in intra_committed {
             progress = true;
-            self.on_intra_commit(no, gid, txs);
+            self.on_intra_commit(no, gid, txs, ctxs);
         }
         for (no, block) in final_committed {
             progress = true;
@@ -486,19 +525,30 @@ impl ControllerNode {
 
     /// Step 3: the group agreed on a transaction list. The group
     /// leader hands it to the final-committee leader.
-    fn on_intra_commit(&mut self, epoch_no: u64, gid: GroupId, txs: TxListPayload) {
+    fn on_intra_commit(
+        &mut self,
+        epoch_no: u64,
+        gid: GroupId,
+        txs: TxListPayload,
+        ctxs: Vec<TraceCtx>,
+    ) {
         let rt_epoch = self
             .runtime_epoch(epoch_no)
             .unwrap_or_else(|| Arc::clone(&self.active.epoch));
+        // Decoders enforce one context per transaction, but keep the
+        // invariant locally too — a short list would desync the zip.
+        let mut ctxs = ctxs;
+        ctxs.resize(txs.0.len(), TraceCtx::NONE);
         let end = now_nanos();
-        for tx in &txs.0 {
-            if let Some(start) = self.intra_start.remove(&tx.record.key) {
-                record_span(
+        for (tx, ctx) in txs.0.iter().zip(&ctxs) {
+            if let Some((start, _)) = self.intra_start.remove(&tx.record.key) {
+                record_span_ctx(
                     "cluster.intra",
                     start,
                     end,
                     self.id as i64,
                     tx.record.key.seq as i64,
+                    *ctx,
                 );
             }
         }
@@ -511,6 +561,8 @@ impl ControllerNode {
         let msg = ClusterMsg::Agree {
             epoch: self.active.no,
             group: gid.0 as u64,
+            // Hop 2: the round crossed into the final-committee lane.
+            ctxs: ctxs.iter().map(|c| c.next_hop()).collect(),
             txs,
         };
         if target == self.id {
@@ -522,12 +574,15 @@ impl ControllerNode {
 
     fn on_cluster_msg(&mut self, from: NodeId, msg: ClusterMsg) {
         match msg {
-            ClusterMsg::Agree { txs, .. } => {
+            ClusterMsg::Agree { ctxs, txs, .. } => {
                 if self.active.epoch.final_leader() != self.id {
                     return;
                 }
-                for tx in txs.0 {
+                for (i, tx) in txs.0.into_iter().enumerate() {
                     if self.pending_keys.insert(tx.record.key) {
+                        if let Some(ctx) = ctxs.get(i).copied().filter(|c| c.is_some()) {
+                            self.pending_ctxs.insert(tx.record.key, ctx);
+                        }
                         self.pending_txs.push(tx);
                     }
                 }
@@ -536,13 +591,13 @@ impl ControllerNode {
             ClusterMsg::FinalBlock { epoch, block } => {
                 self.on_block_announcement(from, epoch, block);
             }
-            ClusterMsg::Forward(record) => {
+            ClusterMsg::Forward { record, ctx } => {
                 // A follower relayed a southbound request it could not
                 // propose; treat it exactly like a direct arrival. If
                 // the epoch rotated again in flight this re-routes (or
                 // re-homes) under the now-active assignment — the
                 // per-key dedup in `on_request` stops relay loops.
-                self.on_request(record.key.switch, record);
+                self.on_request(record.key.switch, record, ctx);
             }
         }
     }
@@ -560,13 +615,19 @@ impl ControllerNode {
         let Some(runner) = &self.active.finalr else {
             return;
         };
-        let txs: Vec<_> = self
-            .pending_txs
-            .drain(..)
-            .map(|t| t.to_chain_tx())
-            .collect();
+        let pending: Vec<ProtoTx> = self.pending_txs.drain(..).collect();
+        let mut rounds = Vec::with_capacity(pending.len());
+        let mut txs = Vec::with_capacity(pending.len());
+        for t in pending {
+            let key = t.record.key;
+            let ctx = self.pending_ctxs.remove(&key).unwrap_or(TraceCtx::NONE);
+            if ctx.is_some() {
+                rounds.push((key, ctx));
+            }
+            txs.push(t.to_chain_tx());
+        }
         let block = Block::next(self.chain.tip(), txs, now_nanos());
-        self.final_start = Some((block.hash().0, now_nanos()));
+        self.final_start = Some((block.hash().0, now_nanos(), rounds));
         self.block_in_flight = true;
         runner.propose(CtrlPayload::Block(BlockPayload(Some(block))));
     }
@@ -643,17 +704,31 @@ impl ControllerNode {
             .height
             .store(self.chain.height(), Ordering::Relaxed);
         self.probe.blocks.fetch_add(1, Ordering::Relaxed);
-        if let Some((hash, start)) = self.final_start.take() {
+        if let Some((hash, start, rounds)) = self.final_start.take() {
             if hash == block.hash().0 {
+                let end = now_nanos();
                 record_span(
                     "cluster.final",
                     start,
-                    now_nanos(),
+                    end,
                     self.id as i64,
                     block.header.height as i64,
                 );
+                // One tagged span per traced round the block carried,
+                // so cross-node assembly can place the final-committee
+                // leg on each round's critical path.
+                for (key, ctx) in rounds {
+                    record_span_ctx(
+                        "cluster.final_round",
+                        start,
+                        end,
+                        self.id as i64,
+                        key.seq as i64,
+                        ctx,
+                    );
+                }
             } else {
-                self.final_start = Some((hash, start));
+                self.final_start = Some((hash, start, rounds));
             }
         }
         self.handle_committed(&block);
@@ -669,6 +744,10 @@ impl ControllerNode {
                 continue;
             };
             let switch = tx.record.key.switch;
+            let round_ctx = self
+                .round_ctxs
+                .remove(&tx.record.key)
+                .unwrap_or(TraceCtx::NONE);
             if switch.0 < self.shared.plan.n_switches
                 && self.active.epoch.ctrl_list(switch).contains(&self.id)
                 && self.cfg.behavior != NodeBehavior::Silent
@@ -677,9 +756,12 @@ impl ControllerNode {
                     NodeBehavior::Lying => corrupt(&tx.config),
                     _ => tx.config.clone(),
                 };
-                self.reply_to(switch, tx.record.key, config);
+                // Hop back: the stored hop-0 context, advanced once,
+                // marks the REPLY leg.
+                self.reply_to(switch, tx.record.key, config, round_ctx.next_hop());
             }
             self.intra_start.remove(&tx.record.key);
+            self.pending_ctxs.remove(&tx.record.key);
             if let ConfigData::NewAssignment { groups } = &tx.config {
                 let accused = match &tx.record.kind {
                     ReqKind::ReAss { accused } => accused.clone(),
@@ -693,11 +775,12 @@ impl ControllerNode {
         }
     }
 
-    fn reply_to(&self, switch: SwitchId, key: RequestKey, config: ConfigData) {
+    fn reply_to(&self, switch: SwitchId, key: RequestKey, config: ConfigData, ctx: TraceCtx) {
         let msg = SbMsg::Reply {
             controller: self.id as u64,
             key,
             config,
+            ctx,
         };
         let mut conns = self.sb_conns.lock().expect("southbound registry poisoned");
         if let Some((_, stream)) = conns.get_mut(&switch.0) {
@@ -729,7 +812,14 @@ impl ControllerNode {
             self.removed.clone(),
         ));
         let no = self.active.no + 1;
-        let fresh = build_runtime(self.id, no, Arc::clone(&epoch), &self.mux, &self.cfg.runner);
+        let fresh = build_runtime(
+            self.id,
+            no,
+            Arc::clone(&epoch),
+            &self.mux,
+            &self.cfg.runner,
+            &self.cfg.registry,
+        );
         let old = std::mem::replace(&mut self.active, fresh);
         let was_final_leader = old.epoch.final_leader() == self.id;
         self.announce_assignment(&old.epoch, &epoch, no);
@@ -737,18 +827,33 @@ impl ControllerNode {
         self.block_in_flight = false;
         self.final_start = None;
         self.probe.epoch.store(no, Ordering::Relaxed);
+        record_event(
+            EventKind::EpochRotation,
+            format!("controller {} rotated to epoch {no}", self.id),
+        );
         // Carry queued transactions across the boundary: if the final
         // leadership moved, re-route them to the new leader.
         if was_final_leader && !self.pending_txs.is_empty() {
             let target = epoch.final_leader();
             if target != self.id {
                 let txs = TxListPayload(self.pending_txs.drain(..).collect());
+                let ctxs = txs
+                    .0
+                    .iter()
+                    .map(|t| {
+                        self.pending_ctxs
+                            .remove(&t.record.key)
+                            .unwrap_or(TraceCtx::NONE)
+                    })
+                    .collect();
                 self.pending_keys.clear();
+                self.pending_ctxs.clear();
                 self.mux.send_app(
                     target,
                     &ClusterMsg::Agree {
                         epoch: no,
                         group: u64::MAX,
+                        ctxs,
                         txs,
                     }
                     .encode(),
@@ -789,7 +894,7 @@ impl ControllerNode {
                 switch,
                 seq: ANNOUNCE_SEQ_BIT | no,
             };
-            self.reply_to(switch, key, announced);
+            self.reply_to(switch, key, announced, TraceCtx::NONE);
         }
     }
 
@@ -816,7 +921,7 @@ impl ControllerNode {
             switch,
             seq: ANNOUNCE_SEQ_BIT | self.active.no,
         };
-        self.reply_to(switch, key, announced);
+        self.reply_to(switch, key, announced, TraceCtx::NONE);
     }
 
     fn runtime_epoch(&self, no: u64) -> Option<Arc<Epoch>> {
@@ -863,7 +968,14 @@ fn build_runtime(
     epoch: Arc<Epoch>,
     mux: &MuxTransport<Batch<CtrlPayload>>,
     runner_cfg: &RunnerConfig,
+    registry: &Registry,
 ) -> EpochRuntime {
+    let mut runner_cfg = runner_cfg.clone();
+    if runner_cfg.node_label.is_none() {
+        // Consensus spans recorded on runner threads carry the node's
+        // label, landing in this node's file of a distributed trace.
+        runner_cfg.node_label = Some(format!("ctrl{id}"));
+    }
     let mut intra = Vec::new();
     for (gid, group) in epoch.groups.iter().enumerate() {
         let Some(replica_index) = group.replica_index(id) else {
@@ -873,13 +985,13 @@ fn build_runtime(
         let replica = Replica::new(replica_index, group.members.len());
         intra.push((
             GroupId(gid),
-            NetRunner::spawn(replica, lane, runner_cfg.clone()),
+            NetRunner::spawn_with_registry(replica, lane, runner_cfg.clone(), registry.clone()),
         ));
     }
     let finalr = epoch.final_replica_index(id).map(|replica_index| {
         let lane: Lane<Batch<CtrlPayload>> = mux.lane(final_lane(no), epoch.final_com.clone());
         let replica = Replica::new(replica_index, epoch.final_com.len());
-        NetRunner::spawn(replica, lane, runner_cfg.clone())
+        NetRunner::spawn_with_registry(replica, lane, runner_cfg.clone(), registry.clone())
     });
     EpochRuntime {
         no,
@@ -978,9 +1090,16 @@ fn southbound_reader(
                         (token, stream.try_clone().expect("clone sb stream")),
                     );
                 }
-                Some(SbMsg::Request(record)) => {
+                Some(SbMsg::Request { record, ctx }) => {
                     if let Some((switch, _)) = registered {
-                        if events.send(SbEvent::Request { switch, record }).is_err() {
+                        if events
+                            .send(SbEvent::Request {
+                                switch,
+                                record,
+                                ctx,
+                            })
+                            .is_err()
+                        {
                             break 'outer;
                         }
                     }

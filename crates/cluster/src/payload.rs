@@ -10,11 +10,19 @@
 //! transaction lists and lanes carrying blocks share wire plumbing
 //! without sharing consensus state.
 //!
+//! Intra-group proposals additionally carry one [`TraceCtx`] per
+//! transaction so the round's correlation key survives the consensus
+//! hop. The contexts are **observability metadata**: they ride in the
+//! wire encoding but are excluded from [`Payload::digest`], so tracing
+//! can never change what the replicas agree on (and a commit
+//! certificate still verifies a payload whose contexts differ).
+//!
 //! [`MuxTransport`]: curb_net::MuxTransport
 
 use curb_consensus::{Payload, PayloadCodec};
 use curb_core::{BlockPayload, TxListPayload};
 use curb_crypto::sha256::{digest_parts, Digest};
+use curb_telemetry::TraceCtx;
 
 /// Either Curb consensus payload, tagged so intra-group and final
 /// lanes can share one transport type.
@@ -25,14 +33,29 @@ use curb_crypto::sha256::{digest_parts, Digest};
 #[derive(Debug, Clone, PartialEq)]
 pub enum CtrlPayload {
     /// An intra-group transaction list (Algorithm 3's `txList`).
-    Txs(TxListPayload),
+    Txs {
+        /// The proposed transactions.
+        txs: TxListPayload,
+        /// One trace context per transaction (same order). Not part of
+        /// the digest; decoders reject a count mismatch.
+        ctxs: Vec<TraceCtx>,
+    },
     /// A final-committee block proposal.
     Block(BlockPayload),
 }
 
+impl CtrlPayload {
+    /// An intra-group proposal with every context absent — for filler
+    /// payloads and call sites that have nothing to correlate.
+    pub fn txs_untraced(txs: TxListPayload) -> CtrlPayload {
+        let ctxs = vec![TraceCtx::NONE; txs.0.len()];
+        CtrlPayload::Txs { txs, ctxs }
+    }
+}
+
 impl Default for CtrlPayload {
     fn default() -> Self {
-        CtrlPayload::Txs(TxListPayload::default())
+        CtrlPayload::txs_untraced(TxListPayload::default())
     }
 }
 
@@ -40,15 +63,17 @@ impl Payload for CtrlPayload {
     fn digest(&self) -> Digest {
         // Domain-separate the variants so a transaction list can never
         // collide with a block proposal in prepare/commit references.
+        // Trace contexts are deliberately left out: replicas agree on
+        // the transactions, not on who is watching them.
         match self {
-            CtrlPayload::Txs(txs) => digest_parts(&[b"ctrl-txs", &txs.digest().0]),
+            CtrlPayload::Txs { txs, .. } => digest_parts(&[b"ctrl-txs", &txs.digest().0]),
             CtrlPayload::Block(block) => digest_parts(&[b"ctrl-block", &block.digest().0]),
         }
     }
 
     fn wire_size(&self) -> usize {
         1 + match self {
-            CtrlPayload::Txs(txs) => txs.wire_size(),
+            CtrlPayload::Txs { txs, ctxs } => 4 + ctxs.len() * TraceCtx::WIRE_LEN + txs.wire_size(),
             CtrlPayload::Block(block) => block.wire_size(),
         }
     }
@@ -57,8 +82,14 @@ impl Payload for CtrlPayload {
 impl PayloadCodec for CtrlPayload {
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
-            CtrlPayload::Txs(txs) => {
+            CtrlPayload::Txs { txs, ctxs } => {
                 out.push(0);
+                // Contexts go before the tx list: the tx codec
+                // consumes the remainder of the buffer.
+                out.extend_from_slice(&(ctxs.len() as u32).to_be_bytes());
+                for ctx in ctxs {
+                    ctx.encode_to(out);
+                }
                 txs.encode_payload(out);
             }
             CtrlPayload::Block(block) => {
@@ -69,9 +100,27 @@ impl PayloadCodec for CtrlPayload {
     }
 
     fn decode_payload(bytes: &[u8]) -> Option<Self> {
-        let (tag, rest) = bytes.split_first()?;
+        let (tag, mut rest) = bytes.split_first()?;
         match tag {
-            0 => TxListPayload::decode_payload(rest).map(CtrlPayload::Txs),
+            0 => {
+                if rest.len() < 4 {
+                    return None;
+                }
+                let (head, tail) = rest.split_at(4);
+                rest = tail;
+                let count = u32::from_be_bytes(head.try_into().ok()?);
+                let mut ctxs = Vec::new();
+                for _ in 0..count {
+                    // Decode-as-you-go: a hostile count fails on the
+                    // first missing context instead of pre-allocating.
+                    ctxs.push(TraceCtx::decode(&mut rest)?);
+                }
+                let txs = TxListPayload::decode_payload(rest)?;
+                if ctxs.len() != txs.0.len() {
+                    return None;
+                }
+                Some(CtrlPayload::Txs { txs, ctxs })
+            }
             1 => BlockPayload::decode_payload(rest).map(CtrlPayload::Block),
             _ => None,
         }
@@ -104,7 +153,11 @@ mod tests {
         let block = Block::next(&genesis, vec![sample_tx().to_chain_tx()], 9);
         let payloads = [
             CtrlPayload::default(),
-            CtrlPayload::Txs(TxListPayload(vec![sample_tx()])),
+            CtrlPayload::Txs {
+                txs: TxListPayload(vec![sample_tx()]),
+                ctxs: vec![TraceCtx::mint(2, 7).next_hop()],
+            },
+            CtrlPayload::txs_untraced(TxListPayload(vec![sample_tx()])),
             CtrlPayload::Block(BlockPayload(None)),
             CtrlPayload::Block(BlockPayload(Some(block))),
         ];
@@ -117,14 +170,57 @@ mod tests {
 
     #[test]
     fn variants_never_collide_on_digest() {
-        let txs = CtrlPayload::Txs(TxListPayload::default());
+        let txs = CtrlPayload::default();
         let block = CtrlPayload::Block(BlockPayload(None));
         assert_ne!(txs.digest(), block.digest());
     }
 
     #[test]
+    fn trace_ctx_does_not_change_the_digest() {
+        let traced = CtrlPayload::Txs {
+            txs: TxListPayload(vec![sample_tx()]),
+            ctxs: vec![TraceCtx::mint(9, 42)],
+        };
+        let untraced = CtrlPayload::txs_untraced(TxListPayload(vec![sample_tx()]));
+        assert_eq!(
+            traced.digest(),
+            untraced.digest(),
+            "contexts are observability metadata, not consensus content"
+        );
+        assert_ne!(
+            {
+                let mut b = Vec::new();
+                traced.encode_payload(&mut b);
+                b
+            },
+            {
+                let mut b = Vec::new();
+                untraced.encode_payload(&mut b);
+                b
+            },
+            "but they do ride in the wire bytes"
+        );
+    }
+
+    #[test]
+    fn ctx_count_mismatch_is_rejected() {
+        let mut bytes = Vec::new();
+        CtrlPayload::txs_untraced(TxListPayload(vec![sample_tx()])).encode_payload(&mut bytes);
+        // Bump the context count without adding a context.
+        bytes[1..5].copy_from_slice(&2u32.to_be_bytes());
+        assert_eq!(CtrlPayload::decode_payload(&bytes), None);
+    }
+
+    #[test]
     fn hostile_bytes_never_panic() {
-        for bytes in [&[][..], &[9][..], &[0, 1][..], &[1, 1, 2, 3][..]] {
+        for bytes in [
+            &[][..],
+            &[9][..],
+            &[0, 1][..],
+            &[0, 0, 0, 0, 1][..],
+            &[0xFF; 30][..],
+            &[1, 1, 2, 3][..],
+        ] {
             let _ = CtrlPayload::decode_payload(bytes);
         }
     }

@@ -24,7 +24,9 @@ use curb_core::{
 };
 use curb_net::SharedDecoder;
 use curb_sdn::{FlowAction, FlowEntry, FlowMatch, FlowMod, FlowTable, HostId, PortId};
-use curb_telemetry::{now_nanos, record_span};
+use curb_telemetry::{
+    next_trace_nonce, now_nanos, record_event_ctx, record_span_ctx, EventKind, TraceCtx,
+};
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -200,6 +202,9 @@ struct PendingReq {
     deadline: Instant,
     reaped: bool,
     retries: u32,
+    /// The round's trace context (minted at send; [`TraceCtx::NONE`]
+    /// for controller-initiated announcement matchers).
+    ctx: TraceCtx,
 }
 
 /// The s-agent state machine; owned by its thread.
@@ -242,6 +247,10 @@ impl SAgent {
         let thread = thread::Builder::new()
             .name(format!("curb-sagent-{}", switch.0))
             .spawn(move || {
+                // Spans and flight-recorder events from this thread
+                // carry the agent's node label, which becomes the
+                // clock-domain name in merged multi-node traces.
+                curb_telemetry::set_thread_node(format!("agent{}", switch.0));
                 let (reply_tx, reply_rx) = channel();
                 let mut agent = SAgent {
                     evidence: EvidenceBook::new(cfg.suspect_threshold, cfg.lazy_patience),
@@ -315,6 +324,11 @@ impl SAgent {
             key,
             kind: kind.clone(),
         };
+        // Mint the round's cross-process correlation key. The nonce is
+        // a process-global counter (not the per-switch seq) so rounds
+        // from successive cluster runs in one process never collide in
+        // a merged trace.
+        let ctx = TraceCtx::mint(self.cfg.switch.0 as u64, next_trace_nonce());
         self.pending.insert(
             key,
             PendingReq {
@@ -324,9 +338,10 @@ impl SAgent {
                 deadline: Instant::now() + self.cfg.request_timeout,
                 reaped: false,
                 retries,
+                ctx,
             },
         );
-        let msg = SbMsg::Request(record);
+        let msg = SbMsg::Request { record, ctx };
         for c in self.ctrl_list.clone() {
             self.write_to(c, &msg);
         }
@@ -356,6 +371,7 @@ impl SAgent {
                     // Announcements are controller-initiated; there is
                     // nothing for the agent to re-raise.
                     retries: MAX_RETRIES,
+                    ctx: TraceCtx::NONE,
                 },
             );
         }
@@ -366,6 +382,7 @@ impl SAgent {
         if let Some(config) = outcome.newly_accepted {
             let latency_ns = now.saturating_sub(pending.sent_ns);
             let sent_ns = pending.sent_ns;
+            let ctx = pending.ctx;
             // Install before announcing: anyone observing `Accepted`
             // must already see the config's effects (flow table,
             // ctrl_list) on the agent.
@@ -374,12 +391,13 @@ impl SAgent {
                 // Only agent-issued rounds count as accepts; an
                 // announcement quorum just applies (EpochAdopted
                 // is emitted by apply_config).
-                record_span(
+                record_span_ctx(
                     "cluster.round",
                     sent_ns,
                     now,
                     self.cfg.switch.0 as i64,
                     key.seq as i64,
+                    ctx,
                 );
                 self.probe.accepted.fetch_add(1, Ordering::Relaxed);
                 let _ = self.events.send((
@@ -487,6 +505,11 @@ impl SAgent {
         if fresh.is_empty() {
             return;
         }
+        record_event_ctx(
+            EventKind::ByzantineFlag,
+            format!("switch {} accuses {:?}", self.cfg.switch.0, fresh),
+            TraceCtx::NONE,
+        );
         let _ = self.events.send((
             self.cfg.switch,
             AgentEvent::Byzantine {
@@ -496,6 +519,15 @@ impl SAgent {
         let key = self.send_request(ReqKind::ReAss {
             accused: fresh.clone(),
         });
+        let reass_ctx = self.pending.get(&key).map(|p| p.ctx).unwrap_or_default();
+        record_event_ctx(
+            EventKind::ReAss,
+            format!(
+                "switch {} issued RE-ASS seq {} over {:?}",
+                self.cfg.switch.0, key.seq, fresh
+            ),
+            reass_ctx,
+        );
         self.probe.reass_issued.fetch_add(1, Ordering::Relaxed);
         let _ = self.events.send((
             self.cfg.switch,

@@ -21,6 +21,7 @@ use curb_chain::Block;
 use curb_consensus::PayloadCodec;
 use curb_core::payload::{decode_block, encode_block};
 use curb_core::{ConfigData, RequestKey, RequestRecord, SwitchId, TxListPayload};
+use curb_telemetry::TraceCtx;
 
 /// High bit marking a synthetic [`RequestKey::seq`] used for
 /// controller-initiated REPLYs: when a reassignment commits, every
@@ -44,7 +45,14 @@ pub enum SbMsg {
         switch: u64,
     },
     /// Agent → controller: a PKT-IN or RE-ASS request.
-    Request(RequestRecord),
+    Request {
+        /// The request.
+        record: RequestRecord,
+        /// The round's trace context, minted by the issuing agent.
+        /// Observability metadata only: excluded from every digest and
+        /// from the request's signing bytes.
+        ctx: TraceCtx,
+    },
     /// Controller → agent: the configuration committed for `key`, as
     /// claimed by `controller`. Agents accept on `f + 1` identical
     /// configs and flag contradictors as byzantine evidence.
@@ -55,6 +63,10 @@ pub enum SbMsg {
         key: RequestKey,
         /// The (claimed) committed configuration.
         config: ConfigData,
+        /// The round's trace context, echoed back one hop further
+        /// along ([`TraceCtx::NONE`] for controller-initiated
+        /// announcements).
+        ctx: TraceCtx,
     },
 }
 
@@ -67,20 +79,23 @@ impl SbMsg {
                 out.push(0);
                 out.extend_from_slice(&switch.to_be_bytes());
             }
-            SbMsg::Request(record) => {
+            SbMsg::Request { record, ctx } => {
                 out.push(1);
                 out.extend_from_slice(&record.signing_bytes());
+                ctx.encode_to(&mut out);
             }
             SbMsg::Reply {
                 controller,
                 key,
                 config,
+                ctx,
             } => {
                 out.push(2);
                 out.extend_from_slice(&controller.to_be_bytes());
                 out.extend_from_slice(&(key.switch.0 as u64).to_be_bytes());
                 out.extend_from_slice(&key.seq.to_be_bytes());
                 out.extend_from_slice(&config.encode());
+                ctx.encode_to(&mut out);
             }
         }
         out
@@ -93,12 +108,16 @@ impl SbMsg {
             0 => SbMsg::Hello {
                 switch: take_u64(&mut rest)?,
             },
-            1 => SbMsg::Request(RequestRecord::decode(&mut rest)?),
+            1 => SbMsg::Request {
+                record: RequestRecord::decode(&mut rest)?,
+                ctx: TraceCtx::decode(&mut rest)?,
+            },
             2 => {
                 let controller = take_u64(&mut rest)?;
                 let switch = take_u64(&mut rest)? as usize;
                 let seq = take_u64(&mut rest)?;
                 let config = ConfigData::decode(&mut rest)?;
+                let ctx = TraceCtx::decode(&mut rest)?;
                 SbMsg::Reply {
                     controller,
                     key: RequestKey {
@@ -106,6 +125,7 @@ impl SbMsg {
                         seq,
                     },
                     config,
+                    ctx,
                 }
             }
             _ => return None,
@@ -128,6 +148,9 @@ pub enum ClusterMsg {
         epoch: u64,
         /// The originating controller group.
         group: u64,
+        /// Trace contexts, one per transaction in `txs` (in order).
+        /// Observability metadata only — never digested or signed.
+        ctxs: Vec<TraceCtx>,
         /// The intra-group-committed transactions.
         txs: TxListPayload,
     },
@@ -146,7 +169,12 @@ pub enum ClusterMsg {
     /// an agent whose stale controller list overlaps the current group
     /// but no longer contains its leader — the members it can still
     /// reach hand the request on instead of dropping it.
-    Forward(RequestRecord),
+    Forward {
+        /// The relayed request.
+        record: RequestRecord,
+        /// The request's trace context, relayed unchanged.
+        ctx: TraceCtx,
+    },
 }
 
 impl ClusterMsg {
@@ -154,10 +182,21 @@ impl ClusterMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            ClusterMsg::Agree { epoch, group, txs } => {
+            ClusterMsg::Agree {
+                epoch,
+                group,
+                ctxs,
+                txs,
+            } => {
                 out.push(0);
                 out.extend_from_slice(&epoch.to_be_bytes());
                 out.extend_from_slice(&group.to_be_bytes());
+                // Contexts go before the tx list: the tx codec
+                // consumes the remainder of the buffer.
+                out.extend_from_slice(&(ctxs.len() as u32).to_be_bytes());
+                for ctx in ctxs {
+                    ctx.encode_to(&mut out);
+                }
                 txs.encode_payload(&mut out);
             }
             ClusterMsg::FinalBlock { epoch, block } => {
@@ -165,9 +204,10 @@ impl ClusterMsg {
                 out.extend_from_slice(&epoch.to_be_bytes());
                 encode_block(&mut out, block);
             }
-            ClusterMsg::Forward(record) => {
+            ClusterMsg::Forward { record, ctx } => {
                 out.push(2);
                 out.extend_from_slice(&record.signing_bytes());
+                ctx.encode_to(&mut out);
             }
         }
         out
@@ -180,8 +220,23 @@ impl ClusterMsg {
             0 => {
                 let epoch = take_u64(&mut rest)?;
                 let group = take_u64(&mut rest)?;
+                let count = take_u32(&mut rest)?;
+                let mut ctxs = Vec::new();
+                for _ in 0..count {
+                    // Decode-as-you-go: a hostile count fails on the
+                    // first missing context instead of pre-allocating.
+                    ctxs.push(TraceCtx::decode(&mut rest)?);
+                }
                 let txs = TxListPayload::decode_payload(rest)?;
-                Some(ClusterMsg::Agree { epoch, group, txs })
+                if ctxs.len() != txs.0.len() {
+                    return None;
+                }
+                Some(ClusterMsg::Agree {
+                    epoch,
+                    group,
+                    ctxs,
+                    txs,
+                })
             }
             1 => {
                 let epoch = take_u64(&mut rest)?;
@@ -193,10 +248,11 @@ impl ClusterMsg {
             }
             2 => {
                 let record = RequestRecord::decode(&mut rest)?;
+                let ctx = TraceCtx::decode(&mut rest)?;
                 if !rest.is_empty() {
                     return None;
                 }
-                Some(ClusterMsg::Forward(record))
+                Some(ClusterMsg::Forward { record, ctx })
             }
             _ => None,
         }
@@ -210,6 +266,15 @@ fn take_u64(buf: &mut &[u8]) -> Option<u64> {
     let (head, rest) = buf.split_at(8);
     *buf = rest;
     Some(u64::from_be_bytes(head.try_into().ok()?))
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Some(u32::from_be_bytes(head.try_into().ok()?))
 }
 
 #[cfg(test)]
@@ -231,16 +296,22 @@ mod tests {
     fn southbound_roundtrip() {
         let msgs = [
             SbMsg::Hello { switch: 9 },
-            SbMsg::Request(record(4)),
-            SbMsg::Request(RequestRecord {
-                key: RequestKey {
-                    switch: SwitchId(1),
-                    seq: 2,
+            SbMsg::Request {
+                record: record(4),
+                ctx: TraceCtx::mint(3, 77),
+            },
+            SbMsg::Request {
+                record: RequestRecord {
+                    key: RequestKey {
+                        switch: SwitchId(1),
+                        seq: 2,
+                    },
+                    kind: ReqKind::ReAss {
+                        accused: vec![0, 3],
+                    },
                 },
-                kind: ReqKind::ReAss {
-                    accused: vec![0, 3],
-                },
-            }),
+                ctx: TraceCtx::NONE,
+            },
             SbMsg::Reply {
                 controller: 2,
                 key: record(4).key,
@@ -249,6 +320,7 @@ mod tests {
                     dst_host: 12,
                     out_port: 3,
                 }]),
+                ctx: TraceCtx::mint(3, 77).next_hop(),
             },
         ];
         for msg in msgs {
@@ -269,14 +341,38 @@ mod tests {
             ClusterMsg::Agree {
                 epoch: 1,
                 group: 0,
+                ctxs: vec![TraceCtx::mint(3, 9).next_hop()],
                 txs: TxListPayload(vec![tx]),
             },
             ClusterMsg::FinalBlock { epoch: 1, block },
-            ClusterMsg::Forward(record(6)),
+            ClusterMsg::Forward {
+                record: record(6),
+                ctx: TraceCtx::mint(3, 6),
+            },
         ];
         for msg in msgs {
             assert_eq!(ClusterMsg::decode(&msg.encode()), Some(msg));
         }
+    }
+
+    #[test]
+    fn agree_ctx_count_must_match_txs() {
+        let tx = ProtoTx {
+            record: record(1),
+            handled_by: 0,
+            config: ConfigData::FlowRules(vec![]),
+        };
+        let msg = ClusterMsg::Agree {
+            epoch: 1,
+            group: 0,
+            ctxs: vec![TraceCtx::mint(3, 9)],
+            txs: TxListPayload(vec![tx]),
+        };
+        let mut bytes = msg.encode();
+        // Bump the context count without adding a context: the count
+        // now points into the tx list and the decode must reject it.
+        bytes[17..21].copy_from_slice(&2u32.to_be_bytes());
+        assert_eq!(ClusterMsg::decode(&bytes), None);
     }
 
     #[test]

@@ -220,10 +220,10 @@ mod tests {
         let mut logs = vec![Vec::new(); n];
         let mut queue: VecDeque<(usize, usize, CoreMsg<BytesPayload>)> = VecDeque::new();
         let mut sent = 0u64;
-        let mut push = |queue: &mut VecDeque<_>,
-                        sent: &mut u64,
-                        from: usize,
-                        out: Vec<(Dest, CoreMsg<BytesPayload>)>| {
+        let push = |queue: &mut VecDeque<_>,
+                    sent: &mut u64,
+                    from: usize,
+                    out: Vec<(Dest, CoreMsg<BytesPayload>)>| {
             for (dest, msg) in out {
                 match dest {
                     Dest::Broadcast => {

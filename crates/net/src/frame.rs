@@ -1279,7 +1279,7 @@ mod tests {
         // copy, whatever the read chunking.
         let mut stream = Vec::new();
         for i in 0..64 {
-            write_frame(&mut stream, &vec![i as u8; 100], DEFAULT_MAX_FRAME).unwrap();
+            write_frame(&mut stream, &[i as u8; 100], DEFAULT_MAX_FRAME).unwrap();
         }
         for chunk in [1, 3, 104, 200, stream.len()] {
             let mut decoder = SharedDecoder::new(DEFAULT_MAX_FRAME);

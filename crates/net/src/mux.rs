@@ -679,8 +679,8 @@ mod tests {
             digest: p(b"sharded").digest(),
         };
         lanes[3].broadcast(&msg);
-        for r in 0..3 {
-            assert_eq!(wait_inbound(&lanes[r], 3), msg);
+        for lane in &lanes[..3] {
+            assert_eq!(wait_inbound(lane, 3), msg);
         }
         nodes[2].broadcast_app(b"epoch 9");
         for r in [0usize, 1, 3] {

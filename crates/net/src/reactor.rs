@@ -1214,6 +1214,10 @@ impl RingSender {
                     .dropped
                     .fetch_add(casualties as usize, Ordering::Relaxed);
                 self.metrics.backpressure_drops.add(casualties);
+                curb_telemetry::record_event(
+                    curb_telemetry::EventKind::Backpressure,
+                    format!("peer {to} ring over watermark, dropped {casualties} frames"),
+                );
                 true
             } else {
                 let was_empty = ring.frames.is_empty();

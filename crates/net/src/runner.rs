@@ -93,6 +93,11 @@ pub struct RunnerConfig {
     /// [`PbftMsg::StateResponse`] when *serving* a peer's catch-up
     /// (forwarded to [`Replica::set_max_state_chunk`] at spawn).
     pub max_state_chunk: usize,
+    /// When set, the runner thread labels itself with this node name
+    /// ([`curb_telemetry::set_thread_node`]) so the consensus spans it
+    /// records carry the owning node's label in merged multi-node
+    /// traces.
+    pub node_label: Option<String>,
 }
 
 impl Default for RunnerConfig {
@@ -106,6 +111,7 @@ impl Default for RunnerConfig {
             max_events_per_tick: 1024,
             catch_up_timeout: Duration::from_millis(500),
             max_state_chunk: DEFAULT_STATE_CHUNK,
+            node_label: None,
         }
     }
 }
@@ -351,6 +357,9 @@ where
         commands: Receiver<Command<P>>,
         decisions: Sender<Delivery<P>>,
     ) -> RunnerStats {
+        if let Some(label) = &self.cfg.node_label {
+            curb_telemetry::set_thread_node(label.clone());
+        }
         loop {
             let mut progressed = false;
             // 1. Drain every queued client command.
@@ -403,6 +412,14 @@ where
                 let starving = !self.pending.is_empty() && !self.replica.is_leader();
                 if starving && self.last_progress.elapsed() > timeout {
                     self.metrics.view_changes_started.inc();
+                    curb_telemetry::record_event(
+                        curb_telemetry::EventKind::ViewChange,
+                        format!(
+                            "replica {} starving with {} pending",
+                            self.replica.id(),
+                            self.pending.len()
+                        ),
+                    );
                     self.last_progress = Instant::now();
                     let out = self.replica.start_view_change();
                     self.dispatch(out);
@@ -452,6 +469,13 @@ where
             let baseline = self.catch_up.as_ref().map(|c| c.gap_lo);
             match (self.replica.catch_up_gap(), baseline) {
                 (Some((lo, _)), Some(gap_lo)) if lo <= gap_lo => {
+                    curb_telemetry::record_event(
+                        curb_telemetry::EventKind::CatchupRetry,
+                        format!(
+                            "replica {} catch-up unhelpful at gap {gap_lo}, rotating peer",
+                            self.replica.id()
+                        ),
+                    );
                     // The peer answered but the gap did not move:
                     // unhelpful or lying. Try the next one.
                     self.metrics.state_retries.inc();
@@ -506,6 +530,14 @@ where
                     );
                 }
                 self.metrics.state_retries.inc();
+                curb_telemetry::record_event(
+                    curb_telemetry::EventKind::CatchupRetry,
+                    format!(
+                        "replica {} catch-up request to {} timed out",
+                        self.replica.id(),
+                        cu.target
+                    ),
+                );
                 self.rotate_target();
                 self.catch_up = None;
             } else {

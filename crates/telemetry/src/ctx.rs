@@ -1,0 +1,165 @@
+//! Trace-context propagation: the cross-process correlation key.
+//!
+//! A [`TraceCtx`] is minted once per round by the s-agent that emits
+//! the request and then carried, byte-for-byte, through every wire hop
+//! of that round — the southbound REQUEST, the intra-group batch, the
+//! AGREE hand-off to the final committee, and the REPLY. Every span
+//! recorded on the round's critical path is stamped with it
+//! ([`record_span_ctx`](crate::record_span_ctx)), so spans emitted on
+//! *different processes* share one `(origin, nonce)` correlation key
+//! and an offline tool can stitch per-node traces back into one
+//! cross-node round.
+//!
+//! The context is deliberately tiny (20 wire bytes) and carries no
+//! semantics the protocol depends on: it is observability metadata,
+//! excluded from every digest and signature, so tracing can never
+//! change what the consensus layer agrees on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A compact trace context: `(origin, nonce)` is the round's
+/// process-spanning correlation key, `hop` counts wire hops since the
+/// context was minted (0 at the originating agent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The originating agent (switch id for s-agents).
+    pub origin: u64,
+    /// Round nonce, unique per origin within a process run.
+    pub nonce: u64,
+    /// Wire hops since minting (agent = 0, group = 1, committee = 2…).
+    pub hop: u32,
+}
+
+impl TraceCtx {
+    /// The absent context: spans carrying it are process-local and
+    /// take no part in cross-node assembly. Never sent on the wire as
+    /// a minted context (`origin` is the reserved sentinel).
+    pub const NONE: TraceCtx = TraceCtx {
+        origin: u64::MAX,
+        nonce: 0,
+        hop: 0,
+    };
+
+    /// Encoded length on the wire, in bytes.
+    pub const WIRE_LEN: usize = 20;
+
+    /// Mints a fresh hop-0 context for a new round.
+    pub fn mint(origin: u64, nonce: u64) -> TraceCtx {
+        TraceCtx {
+            origin,
+            nonce,
+            hop: 0,
+        }
+    }
+
+    /// Whether this is the absent-context sentinel.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.origin == u64::MAX
+    }
+
+    /// Whether this context correlates to a minted round.
+    #[inline]
+    pub fn is_some(&self) -> bool {
+        !self.is_none()
+    }
+
+    /// The same round, one wire hop further along. The sentinel stays
+    /// the sentinel.
+    #[must_use]
+    pub fn next_hop(self) -> TraceCtx {
+        if self.is_none() {
+            return self;
+        }
+        TraceCtx {
+            hop: self.hop.saturating_add(1),
+            ..self
+        }
+    }
+
+    /// The round correlation key shared by every hop.
+    #[inline]
+    pub fn key(&self) -> (u64, u64) {
+        (self.origin, self.nonce)
+    }
+
+    /// Appends the fixed [`Self::WIRE_LEN`]-byte encoding.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.origin.to_be_bytes());
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out.extend_from_slice(&self.hop.to_be_bytes());
+    }
+
+    /// Consumes [`Self::WIRE_LEN`] bytes from `buf`. `None` if the
+    /// buffer is short — callers treat that as a malformed frame.
+    pub fn decode(buf: &mut &[u8]) -> Option<TraceCtx> {
+        if buf.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let (head, rest) = buf.split_at(Self::WIRE_LEN);
+        *buf = rest;
+        Some(TraceCtx {
+            origin: u64::from_be_bytes(head[0..8].try_into().ok()?),
+            nonce: u64::from_be_bytes(head[8..16].try_into().ok()?),
+            hop: u32::from_be_bytes(head[16..20].try_into().ok()?),
+        })
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx::NONE
+    }
+}
+
+/// Hands out process-unique round nonces, so contexts minted by
+/// successive runs (or successive agents reusing sequence numbers)
+/// never collide within one trace.
+pub fn next_trace_nonce() -> u64 {
+    static NONCE: AtomicU64 = AtomicU64::new(1);
+    NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let ctx = TraceCtx {
+            origin: 7,
+            nonce: 0xDEAD_BEEF_0042,
+            hop: 3,
+        };
+        let mut bytes = Vec::new();
+        ctx.encode_to(&mut bytes);
+        assert_eq!(bytes.len(), TraceCtx::WIRE_LEN);
+        let mut slice = bytes.as_slice();
+        assert_eq!(TraceCtx::decode(&mut slice), Some(ctx));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        let mut short: &[u8] = &[0u8; TraceCtx::WIRE_LEN - 1];
+        assert_eq!(TraceCtx::decode(&mut short), None);
+    }
+
+    #[test]
+    fn sentinel_and_hops() {
+        assert!(TraceCtx::NONE.is_none());
+        assert!(TraceCtx::NONE.next_hop().is_none());
+        let ctx = TraceCtx::mint(2, 9);
+        assert!(ctx.is_some());
+        assert_eq!(ctx.hop, 0);
+        assert_eq!(ctx.next_hop().hop, 1);
+        assert_eq!(ctx.next_hop().key(), ctx.key());
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let a = next_trace_nonce();
+        let b = next_trace_nonce();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,621 @@
+//! Flight recorder: a fixed-capacity ring of recent spans plus a
+//! typed, structured event log, for post-mortems of anomalies.
+//!
+//! The tracer ([`crate::record_span`]) answers "how long did phases
+//! take", but when something goes *wrong* — a controller is flagged
+//! byzantine, a view change fires, backpressure sheds frames — the
+//! interesting question is "what led up to this?". The flight recorder
+//! answers it:
+//!
+//! * a [`Ring`] of the most recent spans and a second ring of typed
+//!   [`EventRecord`]s (view change, byzantine flag, RE-ASS,
+//!   backpressure drop, catch-up retry, epoch rotation, link fault)
+//!   are kept in memory at fixed cost, regardless of run length;
+//! * when an **anomaly** event ([`EventKind::is_anomaly`]) is
+//!   recorded and a dump directory is configured, the recorder writes
+//!   a bounded JSONL snapshot of both rings — the verdict *plus* its
+//!   trailing context — capped at [`FlightConfig::max_dumps`] files so
+//!   a byzantine storm cannot fill a disk.
+//!
+//! Recording is wired the same way as the tracer: a process-global
+//! recorder installed with [`install_flight_recorder`], a relaxed
+//! atomic gate on the hot path, and everything compiled out under the
+//! `disabled` cargo feature.
+//!
+//! # Wraparound discipline
+//!
+//! [`Ring`] keeps a monotone `pushed` counter; item `i` (0-based, in
+//! push order) lives in slot `i % capacity` until overwritten by item
+//! `i + capacity`. Therefore at any point the ring holds exactly the
+//! last `min(pushed, capacity)` items, and [`Ring::snapshot`] returns
+//! them oldest→newest by walking indices `pushed - len .. pushed`.
+//! Property tests in `tests/ring_proptests.rs` check this discipline
+//! (no loss below capacity, suffix semantics and ordering above it).
+
+use crate::ctx::TraceCtx;
+use crate::trace::{now_nanos, thread_node, SpanRecord};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// The typed anomaly/lifecycle events the flight recorder understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A consensus instance started a view change.
+    ViewChange,
+    /// An s-agent flagged a controller as byzantine.
+    ByzantineFlag,
+    /// An s-agent issued a RE-ASS request.
+    ReAss,
+    /// A node rotated into a new epoch (new assignment committed).
+    EpochRotation,
+    /// The reactor shed frames under backpressure.
+    Backpressure,
+    /// A lagging replica re-issued a state catch-up request.
+    CatchupRetry,
+    /// A scripted or observed link fault.
+    LinkFault,
+}
+
+impl EventKind {
+    /// The stable string written to JSONL dumps.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::ViewChange => "view_change",
+            EventKind::ByzantineFlag => "byzantine_flag",
+            EventKind::ReAss => "reass",
+            EventKind::EpochRotation => "epoch_rotation",
+            EventKind::Backpressure => "backpressure_drop",
+            EventKind::CatchupRetry => "catchup_retry",
+            EventKind::LinkFault => "link_fault",
+        }
+    }
+
+    /// Parses the string written by [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "view_change" => EventKind::ViewChange,
+            "byzantine_flag" => EventKind::ByzantineFlag,
+            "reass" => EventKind::ReAss,
+            "epoch_rotation" => EventKind::EpochRotation,
+            "backpressure_drop" => EventKind::Backpressure,
+            "catchup_retry" => EventKind::CatchupRetry,
+            "link_fault" => EventKind::LinkFault,
+            _ => return None,
+        })
+    }
+
+    /// Whether recording this event should trigger a ring dump.
+    /// Anomalies are the byzantine-incident chain — flag, RE-ASS,
+    /// rotation — the events a post-mortem starts from; the rest are
+    /// context that rides along in the rings.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ByzantineFlag | EventKind::ReAss | EventKind::EpochRotation
+        )
+    }
+}
+
+/// One structured event: what happened, when, where, and (when the
+/// event sits on a round's path) which round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// What happened.
+    pub kind: EventKind,
+    /// When, in installed-clock nanoseconds.
+    pub ts_ns: u64,
+    /// The node/thread label that recorded it, if one was set.
+    pub node: Option<Arc<str>>,
+    /// Free-form detail (accused ids, epoch number, drop count…).
+    pub detail: String,
+    /// The round this event belongs to, or [`TraceCtx::NONE`].
+    pub ctx: TraceCtx,
+}
+
+impl EventRecord {
+    /// Renders this event as one flat JSON line (no trailing newline).
+    pub fn render_line(&self, out: &mut String) {
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str(&format!("\",\"ts_ns\":{}", self.ts_ns));
+        if let Some(node) = &self.node {
+            out.push_str(",\"node\":\"");
+            crate::json::escape_into(out, node);
+            out.push('"');
+        }
+        out.push_str(",\"detail\":\"");
+        crate::json::escape_into(out, &self.detail);
+        out.push('"');
+        if self.ctx.is_some() {
+            out.push_str(&format!(
+                ",\"t_origin\":{},\"t_nonce\":{},\"t_hop\":{}",
+                self.ctx.origin, self.ctx.nonce, self.ctx.hop
+            ));
+        }
+        out.push('}');
+    }
+
+    /// Parses one event line as rendered by [`EventRecord::render_line`].
+    pub fn parse_line(line: &str) -> Option<EventRecord> {
+        let object = crate::json::parse_flat_object(line)?;
+        let str_of = |key: &str| -> Option<String> {
+            match object.get(key)? {
+                crate::json::JsonValue::String(s) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let num = |key: &str| -> Option<u64> {
+            match object.get(key)? {
+                crate::json::JsonValue::Number(n) => Some(*n as u64),
+                _ => None,
+            }
+        };
+        let ctx = match (num("t_origin"), num("t_nonce"), num("t_hop")) {
+            (Some(origin), Some(nonce), Some(hop)) => TraceCtx {
+                origin,
+                nonce,
+                hop: hop as u32,
+            },
+            _ => TraceCtx::NONE,
+        };
+        Some(EventRecord {
+            kind: EventKind::parse(&str_of("kind")?)?,
+            ts_ns: num("ts_ns")?,
+            node: str_of("node").map(Arc::from),
+            detail: str_of("detail")?,
+            ctx,
+        })
+    }
+}
+
+/// A fixed-capacity ring that keeps the last `capacity` pushed items.
+///
+/// See the module docs for the wraparound discipline this type
+/// guarantees (and the proptests that hold it to it).
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    slots: Vec<Option<T>>,
+    pushed: u64,
+}
+
+impl<T: Clone> Ring<T> {
+    /// A ring holding at most `capacity` items (`capacity` is clamped
+    /// to at least 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            slots: vec![None; capacity.max(1)],
+            pushed: 0,
+        }
+    }
+
+    /// Maximum number of retained items.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of items ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Number of items currently retained: `min(pushed, capacity)`.
+    pub fn len(&self) -> usize {
+        self.pushed.min(self.capacity() as u64) as usize
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Number of items that have been overwritten (`pushed - len`).
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.len() as u64
+    }
+
+    /// Pushes an item, overwriting the oldest once full.
+    pub fn push(&mut self, item: T) {
+        let cap = self.capacity() as u64;
+        let slot = (self.pushed % cap) as usize;
+        self.slots[slot] = Some(item);
+        self.pushed += 1;
+    }
+
+    /// The retained items, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let cap = self.capacity() as u64;
+        let first = self.pushed.saturating_sub(cap);
+        (first..self.pushed)
+            .map(|i| {
+                self.slots[(i % cap) as usize]
+                    .clone()
+                    .expect("ring slot below pushed watermark is occupied")
+            })
+            .collect()
+    }
+}
+
+/// Flight-recorder sizing and dump policy.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Span-ring capacity.
+    pub span_capacity: usize,
+    /// Event-ring capacity.
+    pub event_capacity: usize,
+    /// Where anomaly dumps are written; `None` disables dumping (the
+    /// rings still fill and can be snapshotted on demand).
+    pub dump_dir: Option<PathBuf>,
+    /// Upper bound on dump files per process, so an anomaly storm
+    /// cannot fill a disk.
+    pub max_dumps: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            span_capacity: 4096,
+            event_capacity: 1024,
+            dump_dir: None,
+            max_dumps: 8,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    spans: Ring<SpanRecord>,
+    events: Ring<EventRecord>,
+    dumps_taken: usize,
+}
+
+/// The process-wide flight recorder: recent-span and typed-event rings
+/// plus the bounded anomaly-dump policy. Usually installed once via
+/// [`install_flight_recorder`]; standalone instances are handy in
+/// tests.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+    cfg: FlightConfig,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given sizing/dump policy.
+    pub fn new(cfg: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(FlightInner {
+                spans: Ring::new(cfg.span_capacity),
+                events: Ring::new(cfg.event_capacity),
+                dumps_taken: 0,
+            }),
+            cfg,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Feeds one completed span into the span ring.
+    pub fn observe_span(&self, span: &SpanRecord) {
+        self.lock().spans.push(span.clone());
+    }
+
+    /// Records one event. If it is an anomaly and a dump directory is
+    /// configured (and the dump budget is not exhausted), both rings
+    /// are dumped and the dump path is returned.
+    pub fn record(&self, ev: EventRecord) -> Option<PathBuf> {
+        let mut inner = self.lock();
+        let anomaly = ev.kind.is_anomaly();
+        let kind = ev.kind;
+        inner.events.push(ev);
+        if !anomaly {
+            return None;
+        }
+        let dir = self.cfg.dump_dir.as_deref()?;
+        if inner.dumps_taken >= self.cfg.max_dumps {
+            return None;
+        }
+        inner.dumps_taken += 1;
+        let path = dir.join(format!(
+            "flight-{:03}-{}.jsonl",
+            inner.dumps_taken,
+            kind.as_str()
+        ));
+        let text = render_dump(&inner.spans.snapshot(), &inner.events.snapshot());
+        drop(inner);
+        if write_dump(&path, &text).is_err() {
+            // Dumping is best-effort; the rings (and the budget slot)
+            // are unaffected by a failed write.
+            return None;
+        }
+        Some(path)
+    }
+
+    /// The retained spans and events, each oldest first.
+    pub fn snapshot(&self) -> (Vec<SpanRecord>, Vec<EventRecord>) {
+        let inner = self.lock();
+        (inner.spans.snapshot(), inner.events.snapshot())
+    }
+
+    /// Number of anomaly dumps written so far.
+    pub fn dumps_taken(&self) -> usize {
+        self.lock().dumps_taken
+    }
+
+    /// Renders the current rings as one merged JSONL dump.
+    pub fn to_jsonl(&self) -> String {
+        let (spans, events) = self.snapshot();
+        render_dump(&spans, &events)
+    }
+}
+
+/// Renders a merged dump: event and span lines interleaved oldest
+/// first (events by `ts_ns`, spans by end timestamp — a span only
+/// "happened" once it completed).
+pub fn render_dump(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    enum Line<'a> {
+        Span(&'a SpanRecord),
+        Event(&'a EventRecord),
+    }
+    let mut lines: Vec<(u64, Line<'_>)> = Vec::with_capacity(spans.len() + events.len());
+    for s in spans {
+        lines.push((s.start_ns.saturating_add(s.dur_ns), Line::Span(s)));
+    }
+    for e in events {
+        lines.push((e.ts_ns, Line::Event(e)));
+    }
+    lines.sort_by_key(|(ts, _)| *ts);
+    let mut out = String::with_capacity(lines.len() * 112);
+    for (_, line) in &lines {
+        match line {
+            Line::Span(s) => crate::trace::render_span_line(&mut out, s),
+            Line::Event(e) => e.render_line(&mut out),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn write_dump(path: &Path, text: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())
+}
+
+/// Parses a merged dump produced by [`render_dump`]: lines with a
+/// `kind` key are events, the rest must be spans. Lines that parse as
+/// neither are skipped (dumps are diagnostics, not protocol input).
+pub fn parse_dump(text: &str) -> (Vec<SpanRecord>, Vec<EventRecord>) {
+    let mut spans = Vec::new();
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(ev) = EventRecord::parse_line(line) {
+            events.push(ev);
+        } else if let Some(span) = crate::trace::parse_line(line) {
+            spans.push(span);
+        }
+    }
+    (spans, events)
+}
+
+static RECORDER_ON: AtomicBool = AtomicBool::new(false);
+
+fn recorder_cell() -> &'static RwLock<Option<Arc<FlightRecorder>>> {
+    static CELL: OnceLock<RwLock<Option<Arc<FlightRecorder>>>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `cfg` as the process-wide flight recorder (replacing any
+/// previous one) and returns a handle to it. With the `disabled`
+/// feature the recorder is created but never fed.
+pub fn install_flight_recorder(cfg: FlightConfig) -> Arc<FlightRecorder> {
+    let recorder = Arc::new(FlightRecorder::new(cfg));
+    *recorder_cell().write().expect("recorder lock poisoned") = Some(recorder.clone());
+    RECORDER_ON.store(!cfg_disabled(), Ordering::Relaxed);
+    recorder
+}
+
+/// Removes the process-wide flight recorder; recording calls become
+/// no-ops again.
+pub fn uninstall_flight_recorder() {
+    RECORDER_ON.store(false, Ordering::Relaxed);
+    *recorder_cell().write().expect("recorder lock poisoned") = None;
+}
+
+/// The installed process-wide flight recorder, if any.
+pub fn flight_recorder() -> Option<Arc<FlightRecorder>> {
+    if !RECORDER_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    recorder_cell()
+        .read()
+        .expect("recorder lock poisoned")
+        .clone()
+}
+
+#[inline]
+fn cfg_disabled() -> bool {
+    cfg!(feature = "disabled")
+}
+
+/// Feeds a completed span into the installed recorder's span ring.
+/// Called by the tracer; one relaxed atomic load when no recorder is
+/// installed.
+#[inline]
+pub(crate) fn observe_span(span: &SpanRecord) {
+    if !RECORDER_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(rec) = flight_recorder() {
+        rec.observe_span(span);
+    }
+}
+
+/// Records a typed event with no round context. See
+/// [`record_event_ctx`].
+pub fn record_event(kind: EventKind, detail: impl Into<String>) -> Option<PathBuf> {
+    record_event_ctx(kind, detail, TraceCtx::NONE)
+}
+
+/// Records a typed event against the installed flight recorder,
+/// stamped with the installed clock and the calling thread's node
+/// label. Returns the dump path if this event triggered an anomaly
+/// dump. One relaxed atomic load when no recorder is installed (and a
+/// guaranteed no-op under the `disabled` feature).
+pub fn record_event_ctx(
+    kind: EventKind,
+    detail: impl Into<String>,
+    ctx: TraceCtx,
+) -> Option<PathBuf> {
+    if !RECORDER_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    let rec = flight_recorder()?;
+    rec.record(EventRecord {
+        kind,
+        ts_ns: now_nanos(),
+        node: thread_node(),
+        detail: detail.into(),
+        ctx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(name: &'static str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name: Cow::Borrowed(name),
+            start_ns: start,
+            dur_ns: dur,
+            replica: 1,
+            seq: 2,
+            ctx: TraceCtx::mint(4, 9),
+            node: Some(Arc::from("ctrl1")),
+        }
+    }
+
+    fn event(kind: EventKind, ts: u64) -> EventRecord {
+        EventRecord {
+            kind,
+            ts_ns: ts,
+            node: Some(Arc::from("agent0")),
+            detail: format!("at {ts}"),
+            ctx: TraceCtx::NONE,
+        }
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything_in_order() {
+        let mut ring = Ring::new(8);
+        for i in 0..5u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.snapshot(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_wraps_to_the_last_capacity_items() {
+        let mut ring = Ring::new(4);
+        for i in 0..11u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.snapshot(), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = Ring::new(0);
+        ring.push(41u8);
+        ring.push(42u8);
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot(), vec![42]);
+    }
+
+    #[test]
+    fn event_line_round_trip() {
+        let mut ev = event(EventKind::ByzantineFlag, 777);
+        ev.ctx = TraceCtx {
+            origin: 3,
+            nonce: 12,
+            hop: 2,
+        };
+        ev.detail = "accused [1, \"two\"]\n".into();
+        let mut line = String::new();
+        ev.render_line(&mut line);
+        assert_eq!(EventRecord::parse_line(&line), Some(ev));
+    }
+
+    #[test]
+    fn anomaly_dump_is_written_and_bounded() {
+        let dir = std::env::temp_dir().join(format!("curb-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::new(FlightConfig {
+            span_capacity: 16,
+            event_capacity: 16,
+            dump_dir: Some(dir.clone()),
+            max_dumps: 2,
+        });
+        rec.observe_span(&span("cluster.round", 10, 5));
+        assert!(rec.record(event(EventKind::ViewChange, 20)).is_none());
+        let first = rec
+            .record(event(EventKind::ByzantineFlag, 30))
+            .expect("anomaly dumps");
+        assert!(rec.record(event(EventKind::ReAss, 40)).is_some());
+        assert!(
+            rec.record(event(EventKind::EpochRotation, 50)).is_none(),
+            "third dump exceeds max_dumps"
+        );
+        assert_eq!(rec.dumps_taken(), 2);
+
+        let text = std::fs::read_to_string(&first).expect("dump readable");
+        let (spans, events) = parse_dump(&text);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "cluster.round");
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![EventKind::ViewChange, EventKind::ByzantineFlag],
+            "dump holds the lead-up context in time order"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn global_recorder_collects_events() {
+        // The global recorder is process state shared with other
+        // tests; serialise through the tracer's test lock.
+        let _guard = crate::trace::tests::trace_test_lock();
+        let rec = install_flight_recorder(FlightConfig::default());
+        record_event(EventKind::CatchupRetry, "lane 3");
+        #[cfg(not(feature = "disabled"))]
+        {
+            let (_, events) = rec.snapshot();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].kind, EventKind::CatchupRetry);
+            assert_eq!(events[0].detail, "lane 3");
+        }
+        #[cfg(feature = "disabled")]
+        {
+            let (_, events) = rec.snapshot();
+            assert!(events.is_empty(), "disabled build records nothing");
+        }
+        uninstall_flight_recorder();
+        assert!(record_event(EventKind::ViewChange, "ignored").is_none());
+    }
+}

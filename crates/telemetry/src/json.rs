@@ -8,6 +8,23 @@
 
 use std::collections::BTreeMap;
 
+/// Appends `s` to `out` with JSON string escaping (the inverse of what
+/// [`parse_flat_object`] unescapes). Shared by every renderer in the
+/// crate so traces, events and dumps escape identically.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
 /// A scalar JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {

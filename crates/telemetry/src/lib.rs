@@ -19,6 +19,17 @@
 //!   [`HistogramHandle`]s shared between the subsystem that updates
 //!   them and the view that reports them.
 //!
+//! Two distributed-observability pieces ride on the tracer:
+//!
+//! * **Trace context** ([`TraceCtx`], [`record_span_ctx`]) — a compact
+//!   correlation key minted per round and carried across process
+//!   boundaries, so per-node traces can be stitched back into one
+//!   cross-node critical path.
+//! * **Flight recorder** ([`FlightRecorder`], [`record_event`]) —
+//!   fixed-capacity rings of recent spans and typed events (view
+//!   change, byzantine flag, RE-ASS, …); anomaly events trigger a
+//!   bounded JSONL dump for post-mortems.
+//!
 //! Traces export as JSONL (one flat object per line); [`read_jsonl`]
 //! loads them back for offline analysis (`tracedump` in curb-bench).
 
@@ -26,15 +37,24 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod ctx;
+mod events;
 mod hist;
 pub mod json;
 mod registry;
 mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use ctx::{next_trace_nonce, TraceCtx};
+pub use events::{
+    flight_recorder, install_flight_recorder, parse_dump, record_event, record_event_ctx,
+    render_dump, uninstall_flight_recorder, EventKind, EventRecord, FlightConfig, FlightRecorder,
+    Ring,
+};
 pub use hist::Histogram;
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use trace::{
-    disable, drain, enable, enabled, flush_thread, now_nanos, read_jsonl, record_span, set_clock,
-    to_jsonl, write_jsonl, SpanRecord, SpanScope,
+    clear_thread_node, disable, drain, enable, enabled, flush_thread, now_nanos, read_jsonl,
+    record_span, record_span_ctx, set_clock, set_thread_node, thread_node, to_jsonl, write_jsonl,
+    SpanRecord, SpanScope,
 };

@@ -10,10 +10,18 @@
 //! * **thread-local buffers** — spans accumulate in a per-thread `Vec`
 //!   and migrate to the process-wide sink only every
 //!   [`FLUSH_THRESHOLD`] records, so enabled-mode recording takes no
-//!   lock most of the time;
+//!   lock most of the time. The buffer's destructor flushes whatever
+//!   remains when the thread exits — including by **panic** unwind —
+//!   so a crashed node/agent thread no longer loses its tail of spans;
 //! * **explicit drain** — a harness calls [`drain`] (after worker
 //!   threads flushed, e.g. on shutdown) to collect everything, then
 //!   [`write_jsonl`] to persist the trace.
+//!
+//! Spans carry two optional labels beyond `(replica, seq)`: a
+//! [`TraceCtx`] correlation key stamped via [`record_span_ctx`] (so
+//! spans from different processes can be stitched into one cross-node
+//! round), and a per-thread **node label** ([`set_thread_node`]) that
+//! names the process/node that emitted the span in merged traces.
 //!
 //! Timestamps come from the installed [`Clock`]: the networked runtime
 //! leaves the default [`MonotonicClock`]; the discrete-event simulator
@@ -22,6 +30,7 @@
 //! spans there.
 
 use crate::clock::{Clock, MonotonicClock};
+use crate::ctx::TraceCtx;
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::io::{self, BufRead, BufWriter, Write};
@@ -31,7 +40,10 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// One completed span: a named phase with explicit start and duration,
 /// optionally labelled with the replica that recorded it and the
-/// consensus sequence number it belongs to (`-1` = unlabelled).
+/// consensus sequence number it belongs to (`-1` = unlabelled), the
+/// cross-process [`TraceCtx`] of the round it serves
+/// ([`TraceCtx::NONE`] = process-local), and the node label of the
+/// thread that emitted it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Phase name, e.g. `"consensus.prepare"`.
@@ -44,6 +56,10 @@ pub struct SpanRecord {
     pub replica: i64,
     /// Consensus sequence number, or `-1`.
     pub seq: i64,
+    /// Round correlation key, or [`TraceCtx::NONE`].
+    pub ctx: TraceCtx,
+    /// Emitting node/thread label, if one was set.
+    pub node: Option<Arc<str>>,
 }
 
 /// Thread-local spans migrate to the global sink once this many have
@@ -62,8 +78,55 @@ fn global_sink() -> &'static Mutex<Vec<SpanRecord>> {
     SINK.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+fn sink_extend(drained: Vec<SpanRecord>) {
+    // Never panic here: this also runs from thread-local destructors
+    // during panic unwind, where a poisoned sink is survivable.
+    let mut sink = match global_sink().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    sink.extend(drained);
+}
+
+/// The per-thread span buffer. Wrapping the `Vec` in a type with a
+/// `Drop` impl makes the flush-on-exit guarantee structural: the
+/// thread-local destructor runs on normal exit *and* on panic unwind,
+/// so a crashed worker's tail of spans still reaches the sink.
+#[derive(Default)]
+struct LocalBuf {
+    spans: Vec<SpanRecord>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if !self.spans.is_empty() {
+            sink_extend(std::mem::take(&mut self.spans));
+        }
+    }
+}
+
 thread_local! {
-    static LOCAL_BUF: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_BUF: RefCell<LocalBuf> = const { RefCell::new(LocalBuf { spans: Vec::new() }) };
+    static NODE_LABEL: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Labels the calling thread as belonging to the named node (e.g.
+/// `"ctrl3"`, `"agent0"`): every span and flight-recorder event it
+/// records from now on carries the label, which names the clock
+/// domain / file in merged multi-node traces.
+pub fn set_thread_node(label: impl Into<String>) {
+    let label: Arc<str> = Arc::from(label.into());
+    NODE_LABEL.with(|l| *l.borrow_mut() = Some(label));
+}
+
+/// Removes the calling thread's node label.
+pub fn clear_thread_node() {
+    NODE_LABEL.with(|l| *l.borrow_mut() = None);
+}
+
+/// The calling thread's node label, if one was set.
+pub fn thread_node() -> Option<Arc<str>> {
+    NODE_LABEL.with(|l| l.borrow().clone())
 }
 
 /// Replaces the process-wide clock. Call before enabling tracing so
@@ -117,6 +180,21 @@ pub fn enabled() -> bool {
 /// panicking (clock installs mid-span can produce that).
 #[inline]
 pub fn record_span(name: &'static str, start_ns: u64, end_ns: u64, replica: i64, seq: i64) {
+    record_span_ctx(name, start_ns, end_ns, replica, seq, TraceCtx::NONE);
+}
+
+/// [`record_span`] stamped with a round's [`TraceCtx`]: spans sharing
+/// a context key — across threads *and* processes — belong to the same
+/// round, which is what `tracedump --distributed` stitches on.
+#[inline]
+pub fn record_span_ctx(
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    replica: i64,
+    seq: i64,
+    ctx: TraceCtx,
+) {
     if !enabled() {
         return;
     }
@@ -126,34 +204,31 @@ pub fn record_span(name: &'static str, start_ns: u64, end_ns: u64, replica: i64,
         dur_ns: end_ns.saturating_sub(start_ns),
         replica,
         seq,
+        ctx,
+        node: thread_node(),
     };
+    crate::events::observe_span(&record);
     LOCAL_BUF.with(|buf| {
         let mut buf = buf.borrow_mut();
-        buf.push(record);
-        if buf.len() >= FLUSH_THRESHOLD {
-            let drained: Vec<SpanRecord> = buf.drain(..).collect();
-            global_sink()
-                .lock()
-                .expect("trace sink poisoned")
-                .extend(drained);
+        buf.spans.push(record);
+        if buf.spans.len() >= FLUSH_THRESHOLD {
+            let drained: Vec<SpanRecord> = buf.spans.drain(..).collect();
+            sink_extend(drained);
         }
     });
 }
 
 /// Moves this thread's buffered spans to the process-wide sink. Worker
-/// threads must call this before exiting or their tail of spans is
-/// lost (the net runner does so on shutdown).
+/// threads should call this before long idle periods; on exit (normal
+/// or panic) the buffer flushes itself.
 pub fn flush_thread() {
     LOCAL_BUF.with(|buf| {
         let mut buf = buf.borrow_mut();
-        if buf.is_empty() {
+        if buf.spans.is_empty() {
             return;
         }
-        let drained: Vec<SpanRecord> = buf.drain(..).collect();
-        global_sink()
-            .lock()
-            .expect("trace sink poisoned")
-            .extend(drained);
+        let drained: Vec<SpanRecord> = buf.spans.drain(..).collect();
+        sink_extend(drained);
     });
 }
 
@@ -215,21 +290,29 @@ pub fn to_jsonl(records: &[SpanRecord]) -> String {
 
 fn render_line(out: &mut String, r: &SpanRecord) {
     out.push_str("{\"name\":\"");
-    for c in r.name.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
+    crate::json::escape_into(out, &r.name);
     out.push_str(&format!(
-        "\",\"start_ns\":{},\"dur_ns\":{},\"replica\":{},\"seq\":{}}}",
+        "\",\"start_ns\":{},\"dur_ns\":{},\"replica\":{},\"seq\":{}",
         r.start_ns, r.dur_ns, r.replica, r.seq
     ));
+    if let Some(node) = &r.node {
+        out.push_str(",\"node\":\"");
+        crate::json::escape_into(out, node);
+        out.push('"');
+    }
+    if r.ctx.is_some() {
+        out.push_str(&format!(
+            ",\"t_origin\":{},\"t_nonce\":{},\"t_hop\":{}",
+            r.ctx.origin, r.ctx.nonce, r.ctx.hop
+        ));
+    }
+    out.push('}');
+}
+
+/// Crate-internal alias so the flight recorder renders spans in the
+/// exact trace format.
+pub(crate) fn render_span_line(out: &mut String, r: &SpanRecord) {
+    render_line(out, r);
 }
 
 /// Writes spans to `path` as JSONL.
@@ -278,6 +361,8 @@ pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<SpanRecord>> {
 }
 
 /// Parses one JSONL span line. Exposed for tools that stream traces.
+/// The `node` and `t_*` (trace-context) keys are optional, so traces
+/// from before they existed still load.
 pub fn parse_line(line: &str) -> Option<SpanRecord> {
     let object = crate::json::parse_flat_object(line)?;
     let name = match object.get("name")? {
@@ -290,17 +375,37 @@ pub fn parse_line(line: &str) -> Option<SpanRecord> {
             _ => None,
         }
     };
+    let uint = |key: &str| -> Option<u64> {
+        match object.get(key)? {
+            crate::json::JsonValue::Number(n) => Some(*n as u64),
+            _ => None,
+        }
+    };
+    let node = match object.get("node") {
+        Some(crate::json::JsonValue::String(s)) => Some(Arc::from(s.as_str())),
+        _ => None,
+    };
+    let ctx = match (uint("t_origin"), uint("t_nonce"), uint("t_hop")) {
+        (Some(origin), Some(nonce), Some(hop)) => TraceCtx {
+            origin,
+            nonce,
+            hop: hop as u32,
+        },
+        _ => TraceCtx::NONE,
+    };
     Some(SpanRecord {
         name: Cow::Owned(name),
         start_ns: int("start_ns")?.max(0) as u64,
         dur_ns: int("dur_ns")?.max(0) as u64,
         replica: int("replica")?,
         seq: int("seq")?,
+        ctx,
+        node,
     })
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::clock::VirtualClock;
 
@@ -338,7 +443,27 @@ mod tests {
         assert_eq!(spans[0].start_ns, 100);
         assert_eq!(spans[0].dur_ns, 250);
         assert_eq!((spans[0].replica, spans[0].seq), (2, 9));
+        assert!(spans[0].ctx.is_none());
         assert_eq!(spans[1].dur_ns, 0, "backwards span clamps to zero");
+    }
+
+    #[test]
+    #[cfg(not(feature = "disabled"))]
+    fn ctx_and_node_label_ride_along() {
+        let _guard = trace_test_lock();
+        enable();
+        let _ = drain();
+        set_thread_node("testnode");
+        let ctx = TraceCtx::mint(5, 77);
+        record_span_ctx("test.ctx", 10, 30, 1, 2, ctx);
+        clear_thread_node();
+        record_span("test.plain", 40, 50, 1, 3);
+        let spans = drain();
+        disable();
+        assert_eq!(spans[0].ctx, ctx);
+        assert_eq!(spans[0].node.as_deref(), Some("testnode"));
+        assert!(spans[1].ctx.is_none());
+        assert_eq!(spans[1].node, None);
     }
 
     #[test]
@@ -360,6 +485,28 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "disabled"))]
+    fn panicking_thread_still_flushes_its_spans() {
+        let _guard = trace_test_lock();
+        enable();
+        let _ = drain();
+        let worker = std::thread::Builder::new()
+            .name("panicky".into())
+            .spawn(|| {
+                record_span("test.panic_tail", 1, 2, 7, 1);
+                panic!("boom — spans must survive this");
+            })
+            .expect("spawn");
+        assert!(worker.join().is_err(), "worker panicked as arranged");
+        let spans = drain();
+        disable();
+        assert!(
+            spans.iter().any(|s| s.name == "test.panic_tail"),
+            "Drop guard flushed the panicking thread's buffer"
+        );
+    }
+
+    #[test]
     fn virtual_clock_drives_timestamps() {
         let _guard = trace_test_lock();
         let vc = Arc::new(VirtualClock::new());
@@ -378,6 +525,8 @@ mod tests {
                 dur_ns: 400,
                 replica: 3,
                 seq: 12,
+                ctx: TraceCtx::NONE,
+                node: None,
             },
             SpanRecord {
                 name: Cow::Owned("weird \"name\"\\with\nescapes".to_string()),
@@ -385,6 +534,12 @@ mod tests {
                 dur_ns: 0,
                 replica: -1,
                 seq: -1,
+                ctx: TraceCtx {
+                    origin: 4,
+                    nonce: 123_456,
+                    hop: 2,
+                },
+                node: Some(Arc::from("ctrl\"7\"")),
             },
         ];
         let text = to_jsonl(&records);
@@ -393,6 +548,14 @@ mod tests {
             .map(|l| parse_line(l).expect("line parses"))
             .collect();
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn legacy_lines_without_new_keys_still_parse() {
+        let line = r#"{"name":"net.encode","start_ns":5,"dur_ns":6,"replica":0,"seq":-1}"#;
+        let span = parse_line(line).expect("parses");
+        assert!(span.ctx.is_none());
+        assert_eq!(span.node, None);
     }
 
     #[test]
@@ -405,6 +568,8 @@ mod tests {
             dur_ns: 6,
             replica: 0,
             seq: -1,
+            ctx: TraceCtx::mint(1, 2),
+            node: Some(Arc::from("agent1")),
         }];
         write_jsonl(&path, &records).expect("write");
         let read = read_jsonl(&path).expect("read");

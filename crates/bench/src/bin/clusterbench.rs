@@ -34,7 +34,12 @@
 //! epoch rotation) dumps the recent-span/event rings as JSONL there,
 //! and the report gains a `flight_dumps` count.
 //!
-//! The JSON report (`schema_version` 6, shared `curb_bench::report`
+//! `--checkpoint-interval` (default `8`) sets the consensus
+//! checkpoint interval on every node's runners, so the sweep also
+//! exercises stable-checkpoint log GC (a `checkpoint_stable` flight
+//! event per collected certificate when `--flight-dir` is set).
+//!
+//! The JSON report (`schema_version` 7, shared `curb_bench::report`
 //! path with netbench) lands on stdout and in `--out`
 //! (default `BENCH_cluster.json`).
 //!
@@ -44,7 +49,8 @@
 //! cargo run --release -p curb-bench --bin clusterbench -- \
 //!     [--controllers 8] [--switches 2] [--capacity 1] [--requests 20] \
 //!     [--seed 7] [--byzantine 2] [--pinned-groups 2] [--shards 1,2] \
-//!     [--trace trace.jsonl] [--trace-dir traces/] [--flight-dir flight/] \
+//!     [--checkpoint-interval 8] [--trace trace.jsonl] \
+//!     [--trace-dir traces/] [--flight-dir flight/] \
 //!     [--out BENCH_cluster.json]
 //! ```
 //!
@@ -103,6 +109,9 @@ struct Workload {
     seed: u64,
     byzantine: Option<usize>,
     pinned_groups: Option<usize>,
+    /// Consensus checkpoint interval for every node's runners (0 =
+    /// off). Bounds each lane's committed log under the sweep.
+    checkpoint_interval: u64,
 }
 
 /// One complete closed-loop run and everything the report needs from it.
@@ -136,6 +145,7 @@ fn run_cluster(w: &Workload, shards: usize) -> ClusterRun {
     cfg.curb.max_cs_delay_ms = 1e9;
     cfg.curb.max_cc_delay_ms = None;
     cfg.shards = shards;
+    cfg.node.runner.checkpoint_interval = w.checkpoint_interval;
     if let Some(liar) = w.byzantine {
         cfg.behaviors = vec![NodeBehavior::Honest; w.controllers];
         cfg.behaviors[liar] = NodeBehavior::Lying;
@@ -281,6 +291,9 @@ fn main() {
     let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
     let byzantine: Option<usize> = arg_value("byzantine").and_then(|v| v.parse().ok());
     let pinned_groups: Option<usize> = arg_value("pinned-groups").and_then(|v| v.parse().ok());
+    let checkpoint_interval: u64 = arg_value("checkpoint-interval")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let shard_counts: Vec<usize> = arg_value("shards")
         .unwrap_or_else(|| "1".to_string())
         .split(',')
@@ -333,6 +346,7 @@ fn main() {
         seed,
         byzantine,
         pinned_groups,
+        checkpoint_interval,
     };
     let runs: Vec<ClusterRun> = shard_counts
         .iter()
@@ -431,6 +445,7 @@ fn main() {
             ("controller_capacity", Json::UInt(capacity as u64)),
             ("requests_per_switch", Json::UInt(requests as u64)),
             ("seed", Json::UInt(seed)),
+            ("checkpoint_interval", Json::UInt(checkpoint_interval)),
             (
                 "workload_digest",
                 Json::str(workload_digest(&dst_host_matrix(seed, switches, requests)).to_hex()),

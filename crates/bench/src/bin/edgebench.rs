@@ -22,7 +22,7 @@
 //! reruns.
 //!
 //! Results land in `<out-dir>/scenario_<name>.json`
-//! (`schema_version` 6, shared `curb_bench::report` envelope), next to
+//! (`schema_version` 7, shared `curb_bench::report` envelope), next to
 //! the `BENCH_*.json` trajectory files.
 //!
 //! Usage:

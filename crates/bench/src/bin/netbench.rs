@@ -19,13 +19,21 @@
 //! baseline + optimized pair the perf trajectory tracks.
 //!
 //! With `--recovery` the run also measures **crash recovery**: it
-//! commits a prefix, kills the last replica, commits a second prefix
-//! without it, restarts it on its original address and times how long
-//! the rejoined replica takes to deliver the *entire* committed log
-//! (state-transfer catch-up plus reconnect). The result lands in the
-//! report as a `recovery` object (`recovery_ms`, recovered payload
-//! count, state-request/retry counters, the transport it ran under).
-//! TCP only — a loopback replica cannot be restarted.
+//! commits a history prefix, kills the last replica, commits a second
+//! prefix without it, restarts it on its original address and times
+//! how long the rejoined replica takes to reach the commit frontier
+//! (snapshot install + delta replay + reconnect). `--history` (comma
+//! separated payload counts, default `--proposals`) repeats the
+//! measurement per history length, proving catch-up cost tracks the
+//! *delta* above the stable checkpoint, not the full history. The
+//! result lands in the report as a `recovery` object (`recovery_ms`,
+//! `entries_transferred`, `snapshot_used`, state-request/retry
+//! counters, one `history_runs` entry per length). TCP only — a
+//! loopback replica cannot be restarted.
+//!
+//! `--checkpoint-interval` (default 64) sets the consensus checkpoint
+//! interval for every run; `0` disables checkpointing and restores the
+//! unbounded-log, full-history-replay behaviour.
 //!
 //! `--shards` (comma separated, default `1`) sweeps the reactor's
 //! event-loop shard count: each listed value runs the full batch sweep
@@ -40,7 +48,7 @@
 //! to `<path>` as JSONL — feed that to the `tracedump` binary for the
 //! full per-phase table and per-seq critical path.
 //!
-//! Results are printed as JSON (`schema_version` 6: every report
+//! Results are printed as JSON (`schema_version` 7: every report
 //! carries the controller `groups` count — always 1 here, netbench
 //! drives a single flat PBFT group; `clusterbench` covers the
 //! multi-group runtime) and also written to a machine-readable report
@@ -54,7 +62,8 @@
 //! cargo run --release -p curb-bench --bin netbench -- \
 //!     [--n 4] [--proposals 500] [--payload 256] [--inflight 256] \
 //!     [--batch 1,16,64] [--window 0] [--transport both] [--shards 1,2] \
-//!     [--loopback] [--recovery] [--trace trace.jsonl] [--out BENCH_net.json]
+//!     [--checkpoint-interval 64] [--loopback] [--recovery] \
+//!     [--history 100,1000] [--trace trace.jsonl] [--out BENCH_net.json]
 //! ```
 
 use curb_bench::report::{self, Json};
@@ -117,21 +126,24 @@ fn workload_digest(
     h.finalize()
 }
 
-fn runner_cfg(max_batch: usize, window: Duration) -> RunnerConfig {
+fn runner_cfg(max_batch: usize, window: Duration, checkpoint_interval: u64) -> RunnerConfig {
     RunnerConfig {
         max_batch,
         batch_window: window,
+        checkpoint_interval,
         ..RunnerConfig::default()
     }
 }
 
 /// Binds one listener per replica and spawns the cluster on `kind`.
+#[allow(clippy::too_many_arguments)]
 fn spawn_socket_cluster(
     kind: TransportKind,
     n: usize,
     shards: usize,
     max_batch: usize,
     window: Duration,
+    checkpoint_interval: u64,
     registry: &Registry,
 ) -> Vec<RunnerHandle<BytesPayload>> {
     let listeners: Vec<TcpListener> = (0..n)
@@ -151,7 +163,7 @@ fn spawn_socket_cluster(
                 id,
                 listener,
                 &addrs,
-                runner_cfg(max_batch, window),
+                runner_cfg(max_batch, window, checkpoint_interval),
                 registry,
             )
         })
@@ -201,11 +213,18 @@ fn spawn_loopback_cluster(
     n: usize,
     max_batch: usize,
     window: Duration,
+    checkpoint_interval: u64,
 ) -> Vec<RunnerHandle<BytesPayload>> {
     LoopbackTransport::<Batch<BytesPayload>>::group(n)
         .into_iter()
         .enumerate()
-        .map(|(id, t)| NetRunner::spawn(Replica::new(id, n), t, runner_cfg(max_batch, window)))
+        .map(|(id, t)| {
+            NetRunner::spawn(
+                Replica::new(id, n),
+                t,
+                runner_cfg(max_batch, window, checkpoint_interval),
+            )
+        })
         .collect()
 }
 
@@ -242,14 +261,23 @@ fn run_once(
     shards: usize,
     max_batch: usize,
     window: Duration,
+    checkpoint_interval: u64,
     seed: u64,
 ) -> RunResult {
     let net_registry = Registry::new();
     let handles = match transport {
-        BenchTransport::Loopback => spawn_loopback_cluster(n, max_batch, window),
-        BenchTransport::Tcp(kind) => {
-            spawn_socket_cluster(kind, n, shards, max_batch, window, &net_registry)
+        BenchTransport::Loopback => {
+            spawn_loopback_cluster(n, max_batch, window, checkpoint_interval)
         }
+        BenchTransport::Tcp(kind) => spawn_socket_cluster(
+            kind,
+            n,
+            shards,
+            max_batch,
+            window,
+            checkpoint_interval,
+            &net_registry,
+        ),
     };
     let leader = &handles[0];
 
@@ -353,30 +381,48 @@ fn run_once(
 }
 
 struct RecoveryResult {
-    transport: TransportKind,
-    /// Payloads the rejoined replica had to deliver (missed prefix +
-    /// live tail).
+    /// Payloads committed before the restart (2× this run's history).
+    history: usize,
+    /// Payloads committed cluster-wide over the whole run (history
+    /// prefixes plus nudge markers).
+    committed_payloads: usize,
+    /// Payloads the rejoined replica actually delivered before
+    /// reaching the frontier — *less* than `committed_payloads` when a
+    /// snapshot skipped the checkpointed prefix.
     recovered_payloads: usize,
-    /// Wall-clock from respawn until its log reached the frontier.
+    /// Wall-clock from respawn until the rejoined replica delivered a
+    /// frontier marker.
     recovery_ms: f64,
+    /// Committed entries the rejoined replica applied via state
+    /// transfer (snapshot delta + plain responses).
+    entries_transferred: u64,
+    /// Whether catch-up went through a `SNAPSHOT-RESPONSE` (vs. plain
+    /// full-history `STATE-RESPONSE`s).
+    snapshot_used: bool,
     state_requests: u64,
     state_retries: u64,
 }
 
-/// Commits `prefix` payloads with all `n` replicas, `prefix` more with
-/// the last replica killed, then restarts it and times how long it
-/// takes to deliver the full committed log. The measured window
-/// includes TCP reconnect backoff — this is end-to-end rejoin time as
-/// an operator would see it, not just the state-transfer RTT.
+/// Commits `history` payloads with all `n` replicas, `history` more
+/// with the last replica killed, then restarts it and times how long
+/// it takes to reach the commit frontier: the clock stops when the
+/// rejoined replica delivers a marker payload proposed *after* its
+/// respawn. With checkpointing enabled the donors' logs are pruned, so
+/// the rejoined replica installs a snapshot and replays only the delta
+/// — `recovered_payloads` then undercuts `committed_payloads` by the
+/// checkpointed prefix. The measured window includes TCP reconnect
+/// backoff — this is end-to-end rejoin time as an operator would see
+/// it, not just the state-transfer RTT.
 #[allow(clippy::too_many_arguments)]
 fn run_recovery(
     kind: TransportKind,
     n: usize,
-    prefix: usize,
+    history: usize,
     payload_size: usize,
     shards: usize,
     max_batch: usize,
     window: Duration,
+    checkpoint_interval: u64,
     seed: u64,
 ) -> RecoveryResult {
     let listeners: Vec<TcpListener> = (0..n)
@@ -394,7 +440,7 @@ fn run_recovery(
             id,
             listener,
             &addrs,
-            runner_cfg(max_batch, window),
+            runner_cfg(max_batch, window, checkpoint_interval),
             &registry,
         )
     };
@@ -418,26 +464,26 @@ fn run_recovery(
 
     // Phase 1 — everyone commits the first prefix (payload 0 doubles
     // as the connection warmup).
-    for idx in 0..prefix as u64 {
+    for idx in 0..history as u64 {
         propose(&handles, idx);
     }
     for (r, h) in handles.iter().enumerate() {
         drain(
             h.as_ref().expect("replica"),
-            prefix,
+            history,
             &format!("replica {r}"),
         );
     }
 
     // Phase 2 — the last replica is down; the rest keep committing.
     handles[n - 1].take().expect("victim").join();
-    for idx in prefix as u64..2 * prefix as u64 {
+    for idx in history as u64..2 * history as u64 {
         propose(&handles, idx);
     }
     for (r, h) in handles.iter().enumerate().take(n - 1) {
         drain(
             h.as_ref().expect("replica"),
-            prefix,
+            history,
             &format!("replica {r}"),
         );
     }
@@ -445,32 +491,34 @@ fn run_recovery(
     // Phase 3 — restart on the original address and start the clock.
     // Nudge proposals reveal the gap to the rejoined replica (a nudge
     // sent before its peers reconnect can be lost to it, so keep
-    // nudging until its first delivery arrives); it must then deliver
-    // everything from seq 1.
+    // nudging until its deliveries reach a marker). Every payload
+    // carries its submission index, so the first delivered index at or
+    // past `2 * history` is a marker proposed after the respawn: the
+    // rejoined replica has caught up to the live frontier.
     let listener = TcpListener::bind(addrs[n - 1]).expect("rebind victim's port");
     let clock = Instant::now();
     handles[n - 1] = Some(spawn(n - 1, listener));
+    let frontier = 2 * history as u64;
     let mut nudges = 0usize;
-    loop {
-        propose(&handles, (2 * prefix + nudges) as u64);
+    let mut recovered = 0usize;
+    'rejoin: loop {
+        propose(&handles, frontier + nudges as u64);
         nudges += 1;
         drain(handles[0].as_ref().expect("leader"), 1, "leader");
-        let first = handles[n - 1]
+        while let Ok(d) = handles[n - 1]
             .as_ref()
             .expect("rejoined")
             .decisions
-            .recv_timeout(Duration::from_millis(500));
-        if first.is_ok() {
-            break;
+            .recv_timeout(Duration::from_millis(500))
+        {
+            recovered += 1;
+            let idx = u64::from_be_bytes(d.payload.0[..8].try_into().expect("8-byte header"));
+            if idx >= frontier {
+                break 'rejoin;
+            }
         }
-        assert!(nudges < 120, "rejoined replica never started delivering");
+        assert!(nudges < 120, "rejoined replica never reached the frontier");
     }
-    let total = 2 * prefix + nudges;
-    drain(
-        handles[n - 1].as_ref().expect("rejoined"),
-        total - 1, // the first delivery was consumed by the nudge loop
-        "rejoined replica",
-    );
     let recovery_ms = clock.elapsed().as_secs_f64() * 1e3;
 
     let stats = handles[n - 1].take().expect("rejoined").join();
@@ -478,24 +526,58 @@ fn run_recovery(
         h.join();
     }
     RecoveryResult {
-        transport: kind,
-        recovered_payloads: total,
+        history,
+        committed_payloads: 2 * history + nudges,
+        recovered_payloads: recovered,
         recovery_ms,
+        entries_transferred: stats.state_entries_applied,
+        snapshot_used: stats.snapshots_installed > 0,
         state_requests: stats.state_requests,
         state_retries: stats.state_retries,
     }
 }
 
-fn recovery_json(r: &RecoveryResult) -> Json {
+fn recovery_run_json(r: &RecoveryResult) -> Json {
     Json::obj(vec![
-        ("transport", Json::str(r.transport.as_str())),
+        ("history", Json::UInt(r.history as u64)),
+        (
+            "committed_payloads",
+            Json::UInt(r.committed_payloads as u64),
+        ),
         (
             "recovered_payloads",
             Json::UInt(r.recovered_payloads as u64),
         ),
         ("recovery_ms", Json::Fixed(r.recovery_ms, 3)),
+        ("entries_transferred", Json::UInt(r.entries_transferred)),
+        ("snapshot_used", Json::Bool(r.snapshot_used)),
         ("state_requests", Json::UInt(r.state_requests)),
         ("state_retries", Json::UInt(r.state_retries)),
+    ])
+}
+
+/// The report's `recovery` object: the transport and checkpoint knobs,
+/// the first history run's numbers at the top level (the shape older
+/// CI asserts parse), and one `history_runs` entry per measured
+/// history length.
+fn recovery_json(kind: TransportKind, checkpoint_interval: u64, runs: &[RecoveryResult]) -> Json {
+    let first = runs.first().expect("at least one recovery run");
+    Json::obj(vec![
+        ("transport", Json::str(kind.as_str())),
+        ("checkpoint_interval", Json::UInt(checkpoint_interval)),
+        (
+            "recovered_payloads",
+            Json::UInt(first.recovered_payloads as u64),
+        ),
+        ("recovery_ms", Json::Fixed(first.recovery_ms, 3)),
+        ("entries_transferred", Json::UInt(first.entries_transferred)),
+        ("snapshot_used", Json::Bool(first.snapshot_used)),
+        ("state_requests", Json::UInt(first.state_requests)),
+        ("state_retries", Json::UInt(first.state_retries)),
+        (
+            "history_runs",
+            Json::Arr(runs.iter().map(recovery_run_json).collect()),
+        ),
     ])
 }
 
@@ -701,10 +783,21 @@ fn main() {
         .filter(|&s| s >= 1)
         .collect();
     let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let checkpoint_interval: u64 = arg_value("checkpoint-interval")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_net.json".to_string());
     let trace_path = arg_value("trace");
     let loopback = arg_flag("loopback");
     let recovery = arg_flag("recovery");
+    let histories: Vec<usize> = arg_value("history")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|h| h.trim().parse().ok())
+                .filter(|&h| h >= 1)
+                .collect()
+        })
+        .unwrap_or_else(|| vec![proposals]);
     let transport_arg = arg_value("transport").unwrap_or_else(|| "both".to_string());
     // Span recording is always on so `phases_ns` is populated in every
     // report; `--trace` only controls whether the raw spans are also
@@ -720,6 +813,10 @@ fn main() {
     assert!(
         !(recovery && loopback),
         "--recovery needs TCP: a loopback replica cannot be restarted"
+    );
+    assert!(
+        !histories.is_empty(),
+        "--history must name at least one history length"
     );
 
     // Which clusters to sweep: loopback is its own mode; over TCP the
@@ -761,7 +858,18 @@ fn main() {
                 "netbench: running transport={} shards={s} max_batch={b} …",
                 t.as_str()
             );
-            run_once(t, n, proposals, payload_size, inflight, s, b, window, seed)
+            run_once(
+                t,
+                n,
+                proposals,
+                payload_size,
+                inflight,
+                s,
+                b,
+                window,
+                checkpoint_interval,
+                seed,
+            )
         })
         .collect();
     // The unbatched baseline is per transport and shard count:
@@ -782,22 +890,33 @@ fn main() {
                 BenchTransport::Loopback => None,
             })
             .expect("recovery requires a TCP transport");
-        eprintln!("netbench: measuring crash recovery ({kind}) …");
-        let r = run_recovery(
-            kind,
-            n,
-            proposals,
-            payload_size,
-            shard_counts[0],
-            batches[0],
-            window,
-            seed,
-        );
-        eprintln!(
-            "netbench: rejoined replica recovered {} payloads in {:.1} ms",
-            r.recovered_payloads, r.recovery_ms
-        );
-        recovery_json(&r)
+        let runs: Vec<RecoveryResult> = histories
+            .iter()
+            .map(|&history| {
+                eprintln!(
+                    "netbench: measuring crash recovery \
+                     ({kind}, history {history}, checkpoint interval {checkpoint_interval}) …"
+                );
+                let r = run_recovery(
+                    kind,
+                    n,
+                    history,
+                    payload_size,
+                    shard_counts[0],
+                    batches[0],
+                    window,
+                    checkpoint_interval,
+                    seed,
+                );
+                eprintln!(
+                    "netbench: rejoined replica reached the frontier in {:.1} ms \
+                     ({} payloads delivered, {} entries transferred, snapshot: {})",
+                    r.recovery_ms, r.recovered_payloads, r.entries_transferred, r.snapshot_used
+                );
+                r
+            })
+            .collect();
+        recovery_json(kind, checkpoint_interval, &runs)
     } else {
         Json::Null
     };
@@ -840,6 +959,7 @@ fn main() {
                 Json::Arr(shard_counts.iter().map(|&s| Json::UInt(s as u64)).collect()),
             ),
             ("batch_window_ms", Json::UInt(window.as_millis() as u64)),
+            ("checkpoint_interval", Json::UInt(checkpoint_interval)),
             (
                 "coalesce_bytes",
                 Json::UInt(TcpConfig::default().coalesce_bytes as u64),

@@ -6,23 +6,25 @@
 //! tiny [`Json`] value tree (the build is offline, so no serde) plus
 //! [`emit`], which prints the rendered report and persists it.
 //!
-//! Schema version **6**: every report carries `bench`,
-//! `schema_version` and `groups` (the number of controller groups the
+//! Schema version **7**: every report carries `bench`,
+//! `schema_version`, `groups` (the number of controller groups the
 //! workload ran across — 1 for the flat single-group `netbench`
 //! cluster, the CAP solver's group count for `clusterbench` and
-//! `edgebench`), both socket benches sweep the reactor shard count
-//! (`shard_counts` knob, `shard_comparison` / `shard_sweep` tables)
-//! and `phases_ns` is populated unconditionally. New in 6: the
-//! open-loop `edgebench` scenario reports (`results/scenario_*.json`)
-//! with `seed`, `scenario_hash`, `workload_digest`, `trace_digest`,
-//! a per-phase offered/delivered/latency table and the detected
-//! saturation `knee`; `clusterbench` and `netbench` gained a
-//! `workload_digest` tying the report to its seeded workload.
+//! `edgebench`) and `host_cores` (`available_parallelism` on the
+//! machine that produced the numbers), both socket benches sweep the
+//! reactor shard count (`shard_counts` knob, `shard_comparison` /
+//! `shard_sweep` tables) and `phases_ns` is populated unconditionally.
+//! New in 7: `host_cores` in the envelope, and the `netbench`
+//! `recovery` block became checkpoint-aware — it records
+//! `checkpoint_interval`, per-history-length runs (`history_runs`
+//! with `history`, `recovery_ms`, `entries_transferred` and
+//! `snapshot_used`), proving catch-up is O(delta) rather than
+//! O(history).
 
 use std::fmt::Write as _;
 
 /// The schema version every benchmark report stamps.
-pub const SCHEMA_VERSION: u64 = 6;
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// A JSON value with deterministic, pretty-printed rendering.
 #[derive(Debug, Clone)]
@@ -140,13 +142,21 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Builds the common report envelope: `bench`, `schema_version` and
-/// `groups` first, then the benchmark-specific fields.
+/// Builds the common report envelope: `bench`, `schema_version`,
+/// `groups` and `host_cores` first, then the benchmark-specific
+/// fields. `host_cores` pins the report to the parallelism of the
+/// machine that produced it, so cross-host comparisons of
+/// shard-sweep and recovery numbers are never apples-to-oranges by
+/// accident.
 pub fn envelope(bench: &str, groups: usize, fields: Vec<(&str, Json)>) -> Json {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
     let mut all = vec![
         ("bench", Json::str(bench)),
         ("schema_version", Json::UInt(SCHEMA_VERSION)),
         ("groups", Json::UInt(groups as u64)),
+        ("host_cores", Json::UInt(host_cores)),
     ];
     all.extend(fields);
     Json::obj(all)
@@ -182,8 +192,9 @@ mod tests {
             ],
         );
         let text = report.render();
-        assert!(text.contains("\"schema_version\": 6"));
+        assert!(text.contains("\"schema_version\": 7"));
         assert!(text.contains("\"groups\": 2"));
+        assert!(text.contains("\"host_cores\": "));
         assert!(text.contains("\"throughput\": 123.46"));
         assert!(text.contains("\"x\": -1"));
         // Balanced braces/brackets — the document must parse.

@@ -191,6 +191,67 @@ fn decode_tx(r: &mut ByteReader<'_>) -> Result<Transaction, CodecError> {
     Ok(tx)
 }
 
+fn encode_block(out: &mut Vec<u8>, block: &Block) {
+    out.extend_from_slice(&block.header.height.to_be_bytes());
+    out.extend_from_slice(&block.header.prev_hash.0);
+    out.extend_from_slice(&block.header.merkle_root.0);
+    out.extend_from_slice(&block.header.timestamp_ns.to_be_bytes());
+    out.extend_from_slice(&(block.txs.len() as u32).to_be_bytes());
+    for tx in &block.txs {
+        encode_tx(out, tx);
+    }
+}
+
+fn decode_block(r: &mut ByteReader<'_>) -> Result<Block, CodecError> {
+    let height = r.u64()?;
+    let prev_hash = r.digest()?;
+    let merkle_root = r.digest()?;
+    let timestamp_ns = r.u64()?;
+    let n_txs = r.u32()?;
+    if n_txs > 1 << 24 {
+        return Err(CodecError::Corrupt("transaction count"));
+    }
+    let mut txs = Vec::with_capacity(n_txs as usize);
+    for _ in 0..n_txs {
+        txs.push(decode_tx(r)?);
+    }
+    Ok(Block {
+        header: BlockHeader {
+            height,
+            prev_hash,
+            merkle_root,
+            timestamp_ns,
+        },
+        txs,
+    })
+}
+
+impl Block {
+    /// Serialises one block (header + transactions) — the unit the
+    /// write-ahead log ([`crate::wal`]) stores per record.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_block(&mut out, self);
+        out
+    }
+
+    /// Restores a block serialised with [`Block::to_bytes`]. The block
+    /// is structurally decoded only; chain-level validity (hash link,
+    /// body/header match) is checked on append.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on malformed or trailing input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Block, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let block = decode_block(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        Ok(block)
+    }
+}
+
 impl Blockchain {
     /// Serialises the full chain (including genesis) to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -198,14 +259,7 @@ impl Blockchain {
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.len() as u64).to_be_bytes());
         for block in self.iter() {
-            out.extend_from_slice(&block.header.height.to_be_bytes());
-            out.extend_from_slice(&block.header.prev_hash.0);
-            out.extend_from_slice(&block.header.merkle_root.0);
-            out.extend_from_slice(&block.header.timestamp_ns.to_be_bytes());
-            out.extend_from_slice(&(block.txs.len() as u32).to_be_bytes());
-            for tx in &block.txs {
-                encode_tx(&mut out, tx);
-            }
+            encode_block(&mut out, block);
         }
         out
     }
@@ -228,27 +282,7 @@ impl Blockchain {
         }
         let mut blocks = Vec::with_capacity(n_blocks as usize);
         for _ in 0..n_blocks {
-            let height = r.u64()?;
-            let prev_hash = r.digest()?;
-            let merkle_root = r.digest()?;
-            let timestamp_ns = r.u64()?;
-            let n_txs = r.u32()?;
-            if n_txs > 1 << 24 {
-                return Err(CodecError::Corrupt("transaction count"));
-            }
-            let mut txs = Vec::with_capacity(n_txs as usize);
-            for _ in 0..n_txs {
-                txs.push(decode_tx(&mut r)?);
-            }
-            blocks.push(Block {
-                header: BlockHeader {
-                    height,
-                    prev_hash,
-                    merkle_root,
-                    timestamp_ns,
-                },
-                txs,
-            });
+            blocks.push(decode_block(&mut r)?);
         }
         if !r.buf.is_empty() {
             return Err(CodecError::Corrupt("trailing bytes"));

@@ -33,9 +33,11 @@ mod chain;
 pub mod codec;
 mod merkle;
 mod transaction;
+pub mod wal;
 
 pub use block::{Block, BlockHeader};
 pub use chain::{Blockchain, ChainError};
 pub use codec::{put_bytes, ByteReader, CodecError};
 pub use merkle::merkle_root;
 pub use transaction::{RequestKind, Transaction, TxId};
+pub use wal::{Wal, WalConfig, WalRecord, WalStats};

@@ -7,7 +7,8 @@
 //! answer and closes:
 //!
 //! * `health` — one flat-JSON line with the node's live counters
-//!   (chain height, epoch, blocks appended, proposals made).
+//!   (chain height, epoch, blocks appended, proposals made, WAL
+//!   records/bytes/fsyncs and the prefix restored from disk at boot).
 //! * `metrics` — one flat-JSON line: the node's metric [`Registry`]
 //!   rendered by [`Registry::to_json`] (counters, gauges, histogram
 //!   `p50`/`p99` summaries), prefixed with the node's name.
@@ -134,12 +135,17 @@ fn respond(command: &str, state: &IntrospectState) -> String {
         "health" => {
             let mut out = String::new();
             out.push_str(&format!(
-                "{{\"node\":\"{}\",\"height\":{},\"epoch\":{},\"blocks\":{},\"proposed\":{}}}\n",
+                "{{\"node\":\"{}\",\"height\":{},\"epoch\":{},\"blocks\":{},\"proposed\":{},\
+                 \"wal_records\":{},\"wal_bytes\":{},\"wal_fsyncs\":{},\"restored\":{}}}\n",
                 state.node,
                 state.probe.height.load(Ordering::Relaxed),
                 state.probe.epoch.load(Ordering::Relaxed),
                 state.probe.blocks.load(Ordering::Relaxed),
                 state.probe.proposed.load(Ordering::Relaxed),
+                state.probe.wal_records.load(Ordering::Relaxed),
+                state.probe.wal_bytes.load(Ordering::Relaxed),
+                state.probe.wal_fsyncs.load(Ordering::Relaxed),
+                state.probe.restored.load(Ordering::Relaxed),
             ));
             out
         }
@@ -188,6 +194,8 @@ mod tests {
         let probe = Arc::new(NodeProbe::default());
         probe.height.store(12, Ordering::Relaxed);
         probe.epoch.store(2, Ordering::Relaxed);
+        probe.wal_records.store(12, Ordering::Relaxed);
+        probe.wal_fsyncs.store(3, Ordering::Relaxed);
         IntrospectState {
             node: "ctrl0".to_string(),
             registry,
@@ -206,6 +214,9 @@ mod tests {
         );
         assert_eq!(obj.get("height"), Some(&JsonValue::Number(12.0)));
         assert_eq!(obj.get("epoch"), Some(&JsonValue::Number(2.0)));
+        assert_eq!(obj.get("wal_records"), Some(&JsonValue::Number(12.0)));
+        assert_eq!(obj.get("wal_fsyncs"), Some(&JsonValue::Number(3.0)));
+        assert_eq!(obj.get("restored"), Some(&JsonValue::Number(0.0)));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod driver;
 pub mod introspect;
 pub mod node;
 pub mod payload;
+pub mod persist;
 pub mod sagent;
 pub mod wire;
 
@@ -65,5 +66,6 @@ pub use node::{
     LANE_STRIDE,
 };
 pub use payload::CtrlPayload;
+pub use persist::{ChainStore, PersistConfig, RecoveryInfo};
 pub use sagent::{AgentConfig, AgentEvent, AgentHandle, AgentInjector, AgentProbe, SAgent};
 pub use wire::{ClusterMsg, SbMsg};

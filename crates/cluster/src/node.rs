@@ -34,9 +34,10 @@
 //! by the transport's routing table.
 
 use crate::payload::CtrlPayload;
+use crate::persist::{ChainStore, PersistConfig};
 use crate::wire::{ClusterMsg, SbMsg, ANNOUNCE_SEQ_BIT};
 use curb_assign::{solve, Assignment};
-use curb_chain::{Block, Blockchain};
+use curb_chain::Block;
 use curb_consensus::{Batch, Replica};
 use curb_core::{BlockPayload, FlowRuleSpec};
 use curb_core::{
@@ -106,6 +107,11 @@ pub struct NodeConfig {
     /// Cloning a `NodeConfig` *shares* the registry (it is an `Arc`
     /// handle) — hand each node its own for per-node introspection.
     pub registry: Registry,
+    /// Durable chain storage. `None` (the default) keeps the chain
+    /// purely in memory; `Some` WAL-logs every appended block and
+    /// restores the committed prefix on restart (see
+    /// [`crate::persist::ChainStore`]).
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for NodeConfig {
@@ -117,6 +123,7 @@ impl Default for NodeConfig {
             poll: Duration::from_millis(1),
             max_frame: 1 << 20,
             registry: Registry::new(),
+            persist: None,
         }
     }
 }
@@ -133,6 +140,14 @@ pub struct NodeProbe {
     pub blocks: AtomicU64,
     /// Requests this node proposed as a group leader.
     pub proposed: AtomicU64,
+    /// WAL records written (0 when persistence is off).
+    pub wal_records: AtomicU64,
+    /// WAL bytes written, framing included (0 when persistence is off).
+    pub wal_bytes: AtomicU64,
+    /// WAL fsync calls issued (0 when persistence is off).
+    pub wal_fsyncs: AtomicU64,
+    /// Blocks replayed from disk (snapshot + WAL) at boot.
+    pub restored: AtomicU64,
 }
 
 /// Control surface for a spawned [`ControllerNode`].
@@ -204,7 +219,7 @@ pub struct ControllerNode {
     shared: Arc<Shared>,
     cfg: NodeConfig,
     mux: MuxTransport<Batch<CtrlPayload>>,
-    chain: Blockchain,
+    chain: ChainStore,
     active: EpochRuntime,
     draining: Vec<(Instant, EpochRuntime)>,
     removed: Vec<bool>,
@@ -284,7 +299,18 @@ impl ControllerNode {
                 .collect(),
         }
         .encode();
-        let chain = Blockchain::with_genesis(&genesis_record);
+        let chain = match &cfg.persist {
+            Some(persist) => ChainStore::open(persist.clone(), &genesis_record)
+                .expect("open durable chain store"),
+            None => ChainStore::ephemeral(&genesis_record),
+        };
+        // A durable store may restore committed blocks from disk;
+        // surface the restored prefix to pollers immediately.
+        probe.height.store(chain.height(), Ordering::Relaxed);
+        probe.restored.store(
+            chain.recovery().snapshot_height + chain.recovery().wal_replayed,
+            Ordering::Relaxed,
+        );
 
         let flag = Arc::clone(&shutdown);
         let probe2 = Arc::clone(&probe);
@@ -704,6 +730,10 @@ impl ControllerNode {
             .height
             .store(self.chain.height(), Ordering::Relaxed);
         self.probe.blocks.fetch_add(1, Ordering::Relaxed);
+        let wal = self.chain.wal_stats();
+        self.probe.wal_records.store(wal.records, Ordering::Relaxed);
+        self.probe.wal_bytes.store(wal.bytes, Ordering::Relaxed);
+        self.probe.wal_fsyncs.store(wal.fsyncs, Ordering::Relaxed);
         if let Some((hash, start, rounds)) = self.final_start.take() {
             if hash == block.hash().0 {
                 let end = now_nanos();

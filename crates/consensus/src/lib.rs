@@ -21,7 +21,11 @@
 //!   committed log with [`CommitCert`] evidence and serves
 //!   [`PbftMsg::StateRequest`]s, so a rejoining replica can re-obtain
 //!   and *verify* the prefix it missed (see [`Replica::catch_up_gap`]),
-//!   and
+//! * optional stable checkpoints ([`Replica::set_checkpoint_interval`]):
+//!   a [`PbftMsg::Checkpoint`] attestation every interval of
+//!   deliveries, stability at `2f + 1` matching state digests, log
+//!   garbage collection below the low-water mark, and O(delta)
+//!   snapshot catch-up via [`PbftMsg::SnapshotResponse`], and
 //! * byzantine [`Behavior`] injection (silent, lazy, equivocating
 //!   leaders, lying state servers) used by the paper's resilience
 //!   experiments.
@@ -60,5 +64,8 @@ pub use core_select::{BftCore, CoreKind, CoreMsg};
 pub use hotstuff::{HotStuffMsg, HotStuffReplica, HsCluster, HsOutbound};
 pub use messages::{CertError, CommitCert, CommittedEntry, Dest, Outbound, PbftMsg};
 pub use payload::{BytesPayload, Payload, PayloadCodec};
-pub use replica::{Behavior, NotLeader, Replica, ReplicaId, Seq, View, DEFAULT_STATE_CHUNK};
+pub use replica::{
+    chain_state_digest, Behavior, NotLeader, Replica, ReplicaId, Seq, StableCheckpoint, View,
+    DEFAULT_STATE_CHUNK,
+};
 pub use tendermint::{TendermintMsg, TendermintReplica, TmCluster, TmOutbound};

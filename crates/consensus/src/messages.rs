@@ -1,6 +1,8 @@
 //! PBFT wire messages, including the state-transfer (catch-up)
 //! extension a rejoining replica uses to re-obtain the committed
-//! prefix it missed while down.
+//! prefix it missed while down, and the stable-checkpoint extension
+//! that garbage-collects the committed log below the low-water mark
+//! and serves snapshot-based catch-up for history that was pruned.
 
 use crate::payload::Payload;
 use crate::replica::{ReplicaId, Seq, View};
@@ -62,6 +64,24 @@ impl CommitCert {
     /// Returns the first [`CertError`] encountered; `Ok(())` means the
     /// entry is safe to apply as committed.
     pub fn verify<P: Payload>(&self, payload: &P, n: usize) -> Result<(), CertError> {
+        self.verify_structure(n)?;
+        if payload.digest() != self.digest {
+            return Err(CertError::DigestMismatch);
+        }
+        Ok(())
+    }
+
+    /// Verifies only the quorum structure (`2f + 1` distinct, in-range
+    /// voters) without pinning the digest to a payload. Used for
+    /// checkpoint certificates, whose digest is a *state* digest over
+    /// the committed prefix rather than a single payload's digest —
+    /// the receiver of a snapshot has no prefix to recompute it from,
+    /// so only the quorum shape is checkable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural [`CertError`] encountered.
+    pub fn verify_structure(&self, n: usize) -> Result<(), CertError> {
         let f = (n.saturating_sub(1)) / 3;
         if self.voters.len() < 2 * f + 1 {
             return Err(CertError::QuorumTooSmall);
@@ -74,9 +94,6 @@ impl CommitCert {
             if !seen.insert(v) {
                 return Err(CertError::DuplicateVoter);
             }
-        }
-        if payload.digest() != self.digest {
-            return Err(CertError::DigestMismatch);
         }
         Ok(())
     }
@@ -158,6 +175,38 @@ pub enum PbftMsg<P> {
         /// Committed entries in ascending sequence order.
         entries: Vec<CommittedEntry<P>>,
     },
+    /// A replica's attestation that its committed prefix through `seq`
+    /// has the chained state digest `state_digest`. Broadcast every
+    /// `checkpoint_interval` deliveries; a checkpoint becomes *stable*
+    /// once `2f + 1` replicas attest the same `(seq, state_digest)`,
+    /// which advances the low-water mark and lets the committed log
+    /// below it be garbage-collected.
+    Checkpoint {
+        /// Highest delivered sequence number the attestation covers.
+        seq: Seq,
+        /// Chained digest over the committed prefix through `seq`.
+        state_digest: Digest,
+    },
+    /// Answer to a [`PbftMsg::StateRequest`] whose range starts below
+    /// the serving replica's low-water mark: the pruned prefix cannot
+    /// be streamed entry-by-entry any more, so the peer sends its
+    /// stable checkpoint (seq, state digest and the attesting quorum as
+    /// a [`CommitCert`]) plus only the *delta* entries above it. The
+    /// receiver installs the checkpoint — adopting its state digest and
+    /// skipping the pruned prefix — then replays the delta, making
+    /// catch-up O(delta) instead of O(history).
+    SnapshotResponse {
+        /// Sequence number of the stable checkpoint.
+        checkpoint_seq: Seq,
+        /// The checkpoint's state digest and its `2f + 1` attesting
+        /// voters. Only the quorum structure is verifiable by a
+        /// receiver with no prior state
+        /// ([`CommitCert::verify_structure`]); every delta entry still
+        /// carries its own individually-verified commit certificate.
+        checkpoint: CommitCert,
+        /// Committed entries above `checkpoint_seq`, ascending.
+        entries: Vec<CommittedEntry<P>>,
+    },
 }
 
 impl<P: Payload> PbftMsg<P> {
@@ -171,6 +220,8 @@ impl<P: Payload> PbftMsg<P> {
             PbftMsg::NewView { .. } => "NEW-VIEW",
             PbftMsg::StateRequest { .. } => "STATE-REQUEST",
             PbftMsg::StateResponse { .. } => "STATE-RESPONSE",
+            PbftMsg::Checkpoint { .. } => "CHECKPOINT",
+            PbftMsg::SnapshotResponse { .. } => "SNAPSHOT-RESPONSE",
         }
     }
 
@@ -197,6 +248,20 @@ impl<P: Payload> PbftMsg<P> {
                     .iter()
                     .map(|e| 8 + e.payload.wire_size() + 36 + 8 * e.cert.voters.len())
                     .sum::<usize>()
+            }
+            PbftMsg::Checkpoint { .. } => 48,
+            PbftMsg::SnapshotResponse {
+                checkpoint,
+                entries,
+                ..
+            } => {
+                8 + 36
+                    + 8 * checkpoint.voters.len()
+                    + 8
+                    + entries
+                        .iter()
+                        .map(|e| 8 + e.payload.wire_size() + 36 + 8 * e.cert.voters.len())
+                        .sum::<usize>()
             }
         }
     }
@@ -282,9 +347,49 @@ mod tests {
                 to_seq: 9,
             },
             PbftMsg::StateResponse { entries: vec![] },
+            PbftMsg::Checkpoint {
+                seq: 8,
+                state_digest: d,
+            },
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq: 8,
+                checkpoint: CommitCert {
+                    digest: d,
+                    voters: vec![0, 1, 2],
+                },
+                entries: vec![],
+            },
         ];
         let cats: std::collections::HashSet<&str> = msgs.iter().map(|m| m.category()).collect();
-        assert_eq!(cats.len(), 7);
+        assert_eq!(cats.len(), 9);
+    }
+
+    #[test]
+    fn structural_verification_ignores_the_payload() {
+        // A checkpoint certificate's digest is a state digest, not a
+        // payload digest — structure-only verification must accept a
+        // sound quorum regardless and still reject malformed ones.
+        let d = crate::Payload::digest(&BytesPayload(b"state".to_vec()));
+        let sound = CommitCert {
+            digest: d,
+            voters: vec![0, 1, 3],
+        };
+        assert_eq!(sound.verify_structure(4), Ok(()));
+        let small = CommitCert {
+            voters: vec![0, 1],
+            ..sound.clone()
+        };
+        assert_eq!(small.verify_structure(4), Err(CertError::QuorumTooSmall));
+        let dup = CommitCert {
+            voters: vec![0, 1, 1],
+            ..sound.clone()
+        };
+        assert_eq!(dup.verify_structure(4), Err(CertError::DuplicateVoter));
+        let oob = CommitCert {
+            voters: vec![0, 1, 9],
+            ..sound
+        };
+        assert_eq!(oob.verify_structure(4), Err(CertError::VoterOutOfRange));
     }
 
     #[test]

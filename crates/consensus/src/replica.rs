@@ -2,12 +2,49 @@
 
 use crate::messages::{CommitCert, CommittedEntry, Outbound, PbftMsg};
 use crate::payload::Payload;
-use curb_crypto::sha256::Digest;
+use curb_crypto::sha256::{digest_parts, Digest};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Default cap on the entries served in one [`PbftMsg::StateResponse`]
 /// (tunable per replica with [`Replica::set_max_state_chunk`]).
 pub const DEFAULT_STATE_CHUNK: usize = 256;
+
+/// Chains the running state digest over one delivered entry: the
+/// digest of the committed prefix through `seq` is a hash chain over
+/// `(prev_digest, seq, payload_digest)` in delivery order, so every
+/// honest replica computes the identical digest for the identical
+/// prefix without retaining the prefix itself.
+pub fn chain_state_digest(prev: Digest, seq: Seq, payload_digest: Digest) -> Digest {
+    digest_parts(&[
+        b"curb-checkpoint",
+        &prev.0,
+        &seq.to_be_bytes(),
+        &payload_digest.0,
+    ])
+}
+
+/// A checkpoint that gathered a `2f + 1` attestation quorum: the
+/// committed prefix through `seq` is *stable* — a quorum agrees on its
+/// chained state digest — so the log below it may be pruned and served
+/// to laggards as a snapshot instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableCheckpoint {
+    /// Highest sequence number the checkpoint covers.
+    pub seq: Seq,
+    /// Chained state digest of the committed prefix through `seq`.
+    pub state_digest: Digest,
+    /// The replicas whose matching attestations made it stable.
+    pub voters: Vec<ReplicaId>,
+}
+
+/// An in-progress checkpoint round: attestation votes per state digest
+/// (a byzantine replica may attest garbage) plus the tracer timestamp
+/// at which the round opened, bounding the `consensus.checkpoint` span.
+#[derive(Debug, Clone)]
+struct CheckpointRound {
+    t_open: u64,
+    votes: BTreeMap<Digest, BTreeSet<ReplicaId>>,
+}
 
 /// Index of a replica within its consensus group (`0..n`).
 pub type ReplicaId = usize;
@@ -131,17 +168,44 @@ pub struct Replica<P> {
     view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<(Seq, P)>>>,
     /// Highest view this replica has voted to change to.
     voted_view: View,
-    /// The full decision history with commit-certificate evidence:
-    /// every `(seq, payload)` this replica decided (or applied from a
+    /// The decision history with commit-certificate evidence: every
+    /// `(seq, payload)` this replica decided (or applied from a
     /// verified state transfer), retained so it can serve catch-up
-    /// requests from rejoining peers. Curb's trust story requires each
-    /// controller replica to hold the complete verifiable history, so
-    /// nothing is pruned.
+    /// requests from rejoining peers. With checkpointing enabled
+    /// ([`Replica::set_checkpoint_interval`]) entries at or below the
+    /// stable low-water mark are pruned — they are covered by the
+    /// quorum-attested checkpoint and served via
+    /// [`PbftMsg::SnapshotResponse`] instead — bounding steady-state
+    /// memory to O(checkpoint interval). With checkpointing disabled
+    /// (the default) nothing is pruned.
     committed_log: BTreeMap<Seq, (P, CommitCert)>,
     /// Cap on entries per outgoing `STATE-RESPONSE`.
     max_state_chunk: usize,
     /// State-transfer entries rejected by certificate verification.
     state_rejections: u64,
+    /// State-transfer/snapshot-delta entries applied after
+    /// verification.
+    state_entries_applied: u64,
+    /// Broadcast a [`PbftMsg::Checkpoint`] every this many deliveries
+    /// (0 disables checkpointing entirely).
+    checkpoint_interval: u64,
+    /// Chained state digest of the delivered prefix
+    /// (see [`chain_state_digest`]).
+    state_digest: Digest,
+    /// Sequence number of the latest stable checkpoint; committed-log
+    /// entries at or below it have been pruned.
+    low_water_mark: Seq,
+    /// Attestation votes for checkpoints not yet stable.
+    checkpoint_rounds: BTreeMap<Seq, CheckpointRound>,
+    /// The latest stable checkpoint, if any.
+    stable_checkpoint: Option<StableCheckpoint>,
+    /// Own checkpoint attestations queued by delivery, drained by
+    /// [`Replica::take_checkpoint_msgs`].
+    pending_checkpoints: Vec<(Seq, Digest)>,
+    /// Checkpoints that became stable on this replica.
+    checkpoints_stable: u64,
+    /// Snapshots installed via [`PbftMsg::SnapshotResponse`].
+    snapshots_installed: u64,
 }
 
 impl<P: Payload + Default> Replica<P> {
@@ -168,6 +232,15 @@ impl<P: Payload + Default> Replica<P> {
             committed_log: BTreeMap::new(),
             max_state_chunk: DEFAULT_STATE_CHUNK,
             state_rejections: 0,
+            state_entries_applied: 0,
+            checkpoint_interval: 0,
+            state_digest: Digest::ZERO,
+            low_water_mark: 0,
+            checkpoint_rounds: BTreeMap::new(),
+            stable_checkpoint: None,
+            pending_checkpoints: Vec::new(),
+            checkpoints_stable: 0,
+            snapshots_installed: 0,
         }
     }
 
@@ -263,9 +336,57 @@ impl<P: Payload + Default> Replica<P> {
     }
 
     /// Number of entries in the committed log (the verifiable decision
-    /// history retained for serving catch-up requests).
+    /// history retained for serving catch-up requests). Bounded by
+    /// O(checkpoint interval) when checkpointing is enabled.
     pub fn committed_log_len(&self) -> usize {
         self.committed_log.len()
+    }
+
+    /// Enables checkpointing: broadcast a [`PbftMsg::Checkpoint`]
+    /// attestation every `interval` deliveries (0, the default,
+    /// disables checkpointing — nothing is ever pruned and inbound
+    /// checkpoint attestations are ignored).
+    pub fn set_checkpoint_interval(&mut self, interval: u64) {
+        self.checkpoint_interval = interval;
+    }
+
+    /// The configured checkpoint interval (0 = disabled).
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
+    /// Sequence number of the latest stable checkpoint (0 if none);
+    /// committed-log entries at or below it have been pruned and are
+    /// served to laggards via snapshot instead.
+    pub fn low_water_mark(&self) -> Seq {
+        self.low_water_mark
+    }
+
+    /// The latest stable checkpoint, if one exists.
+    pub fn stable_checkpoint(&self) -> Option<&StableCheckpoint> {
+        self.stable_checkpoint.as_ref()
+    }
+
+    /// Chained state digest of the delivered prefix.
+    pub fn state_digest(&self) -> Digest {
+        self.state_digest
+    }
+
+    /// Checkpoints that became stable (gathered `2f + 1` matching
+    /// attestations) on this replica.
+    pub fn checkpoints_stable(&self) -> u64 {
+        self.checkpoints_stable
+    }
+
+    /// Snapshots installed from a verified `SNAPSHOT-RESPONSE`.
+    pub fn snapshots_installed(&self) -> u64 {
+        self.snapshots_installed
+    }
+
+    /// State-transfer and snapshot-delta entries applied after their
+    /// certificates verified.
+    pub fn state_entries_applied(&self) -> u64 {
+        self.state_entries_applied
     }
 
     /// Proposes `payload` at the next sequence number.
@@ -362,7 +483,202 @@ impl<P: Payload + Default> Replica<P> {
                 self.on_state_request(from, from_seq, to_seq)
             }
             PbftMsg::StateResponse { entries } => self.on_state_response(entries),
+            PbftMsg::Checkpoint { seq, state_digest } => {
+                self.on_checkpoint(from, seq, state_digest)
+            }
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq,
+                checkpoint,
+                entries,
+            } => self.on_snapshot_response(checkpoint_seq, checkpoint, entries),
         }
+    }
+
+    /// Drains the checkpoint attestations queued by delivery, counting
+    /// this replica's own vote and returning the broadcasts. Call after
+    /// [`Replica::take_decisions`].
+    pub fn take_checkpoint_msgs(&mut self) -> Vec<Outbound<P>> {
+        if self.pending_checkpoints.is_empty() {
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut self.pending_checkpoints);
+        if self.behavior == Behavior::Silent {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (seq, digest) in pending {
+            // A vote-corrupting byzantine replica attests a garbage
+            // digest; it can never contribute to an honest quorum.
+            let vote = if self.behavior == Behavior::VoteGarbage {
+                self.corrupt(digest)
+            } else {
+                digest
+            };
+            self.record_checkpoint_vote(self.id, seq, vote);
+            out.push(Outbound::broadcast(PbftMsg::Checkpoint {
+                seq,
+                state_digest: vote,
+            }));
+        }
+        out
+    }
+
+    /// Handles a peer's checkpoint attestation.
+    fn on_checkpoint(
+        &mut self,
+        from: ReplicaId,
+        seq: Seq,
+        state_digest: Digest,
+    ) -> Vec<Outbound<P>> {
+        // A replica with checkpointing disabled stays fully inert: it
+        // neither votes nor prunes, so a mixed-configuration group
+        // cannot surprise it with garbage collection.
+        if self.checkpoint_interval == 0 || from >= self.n || seq <= self.low_water_mark {
+            return Vec::new();
+        }
+        self.record_checkpoint_vote(from, seq, state_digest);
+        Vec::new()
+    }
+
+    /// Counts one checkpoint attestation; at `2f + 1` matching digests
+    /// the checkpoint becomes stable.
+    fn record_checkpoint_vote(&mut self, from: ReplicaId, seq: Seq, digest: Digest) {
+        if seq <= self.low_water_mark {
+            return;
+        }
+        let round = self
+            .checkpoint_rounds
+            .entry(seq)
+            .or_insert_with(|| CheckpointRound {
+                t_open: trace_now(),
+                votes: BTreeMap::new(),
+            });
+        let votes = round.votes.entry(digest).or_default();
+        votes.insert(from);
+        let checkpoint_quorum = 2 * self.f + 1;
+        if votes.len() >= checkpoint_quorum {
+            let voters: Vec<ReplicaId> = votes.iter().copied().collect();
+            let t_open = round.t_open;
+            self.stabilize_checkpoint(seq, digest, voters, t_open);
+        }
+    }
+
+    /// Marks the checkpoint at `seq` stable: advances the low-water
+    /// mark and garbage-collects everything the checkpoint covers.
+    fn stabilize_checkpoint(
+        &mut self,
+        seq: Seq,
+        state_digest: Digest,
+        voters: Vec<ReplicaId>,
+        t_open: u64,
+    ) {
+        self.low_water_mark = seq;
+        self.stable_checkpoint = Some(StableCheckpoint {
+            seq,
+            state_digest,
+            voters,
+        });
+        // Entries at or below the stable checkpoint are covered by the
+        // quorum attestation; laggards below the low-water mark are
+        // served a snapshot, so the verbatim history can go.
+        self.committed_log = self.committed_log.split_off(&(seq + 1));
+        self.checkpoint_rounds = self.checkpoint_rounds.split_off(&(seq + 1));
+        self.checkpoints_stable += 1;
+        let now = trace_now();
+        if t_open > 0 && now > 0 {
+            curb_telemetry::record_span(
+                "consensus.checkpoint",
+                t_open,
+                now,
+                self.id as i64,
+                seq as i64,
+            );
+        }
+    }
+
+    /// Applies a `SNAPSHOT-RESPONSE`: adopts a quorum-attested stable
+    /// checkpoint as the new delivery floor (skipping the pruned
+    /// prefix entirely) and replays the certificate-verified delta
+    /// above it. The whole response is verified before anything is
+    /// installed — a snapshot install is irreversible, so a partially
+    /// lying response must not be applied at all.
+    fn on_snapshot_response(
+        &mut self,
+        checkpoint_seq: Seq,
+        checkpoint: CommitCert,
+        entries: Vec<CommittedEntry<P>>,
+    ) -> Vec<Outbound<P>> {
+        if checkpoint_seq < self.next_deliver || checkpoint_seq < self.low_water_mark {
+            // The checkpointed prefix is already covered locally; the
+            // delta may still close a live gap, so feed it through the
+            // regular verified path. `checkpoint_seq == low_water_mark`
+            // with delivery still below it must NOT take this path: a
+            // restarted replica can learn the mark from its peers'
+            // gossiped CHECKPOINT votes before any snapshot lands, and
+            // only an install can move `next_deliver` past the pruned
+            // prefix — nobody can serve those entries verbatim anymore.
+            return self.on_state_response(entries);
+        }
+        let t_verify = trace_now();
+        // The chained state digest cannot be recomputed without the
+        // pruned prefix; trust rests on the attestation quorum, so the
+        // certificate must at least be structurally sound.
+        if checkpoint.verify_structure(self.n).is_err() {
+            self.state_rejections += 1;
+            return Vec::new();
+        }
+        for entry in &entries {
+            if entry.seq <= checkpoint_seq || entry.cert.verify(&entry.payload, self.n).is_err() {
+                self.state_rejections += 1;
+                return Vec::new();
+            }
+        }
+        let t_verified = trace_now();
+        curb_telemetry::record_span(
+            "catchup.verify",
+            t_verify,
+            t_verified,
+            self.id as i64,
+            checkpoint_seq as i64,
+        );
+        // Install: the checkpoint becomes this replica's own stable
+        // checkpoint and delivery resumes just above it.
+        self.state_digest = checkpoint.digest;
+        self.low_water_mark = checkpoint_seq;
+        self.stable_checkpoint = Some(StableCheckpoint {
+            seq: checkpoint_seq,
+            state_digest: checkpoint.digest,
+            voters: checkpoint.voters.clone(),
+        });
+        self.next_deliver = self.next_deliver.max(checkpoint_seq + 1);
+        self.next_seq = self.next_seq.max(checkpoint_seq + 1);
+        self.ready = self.ready.split_off(&(checkpoint_seq + 1));
+        self.instances = self.instances.split_off(&(checkpoint_seq + 1));
+        self.committed_log = self.committed_log.split_off(&(checkpoint_seq + 1));
+        self.checkpoint_rounds = self.checkpoint_rounds.split_off(&(checkpoint_seq + 1));
+        self.snapshots_installed += 1;
+        // Replay the already-verified delta.
+        for entry in entries {
+            if entry.seq < self.next_deliver || self.committed_log.contains_key(&entry.seq) {
+                continue;
+            }
+            if let Some(inst) = self.instances.get_mut(&entry.seq) {
+                inst.decided = true;
+            }
+            let seq = entry.seq;
+            self.ready.insert(seq, entry.payload.clone());
+            self.committed_log.insert(seq, (entry.payload, entry.cert));
+            self.next_seq = self.next_seq.max(seq + 1);
+            self.state_entries_applied += 1;
+        }
+        curb_telemetry::record_span(
+            "catchup.apply",
+            t_verified,
+            trace_now(),
+            self.id as i64,
+            checkpoint_seq as i64,
+        );
+        Vec::new()
     }
 
     /// Initiates a view change to `view + 1` (called by the embedding
@@ -380,6 +696,13 @@ impl<P: Payload + Default> Replica<P> {
         let mut out = Vec::new();
         while let Some(p) = self.ready.remove(&self.next_deliver) {
             let seq = self.next_deliver;
+            // Chain the state digest over the delivered prefix and
+            // queue a checkpoint attestation at every interval
+            // boundary (drained by `take_checkpoint_msgs`).
+            self.state_digest = chain_state_digest(self.state_digest, seq, p.digest());
+            if self.checkpoint_interval > 0 && seq.is_multiple_of(self.checkpoint_interval) {
+                self.pending_checkpoints.push((seq, self.state_digest));
+            }
             out.push((seq, p));
             // Garbage-collect the decided instance.
             if let Some(inst) = self.instances.remove(&seq) {
@@ -589,7 +912,12 @@ impl<P: Payload + Default> Replica<P> {
                 .copied()
                 .collect();
             let cert = CommitCert { digest, voters };
-            self.committed_log.insert(seq, (payload.clone(), cert));
+            // A straggler quorum completing below the low-water mark is
+            // already covered by the stable checkpoint; re-inserting it
+            // would leak a log entry GC never revisits.
+            if seq > self.low_water_mark {
+                self.committed_log.insert(seq, (payload.clone(), cert));
+            }
             self.ready.insert(seq, payload);
         }
         out
@@ -597,8 +925,13 @@ impl<P: Payload + Default> Replica<P> {
 
     /// Serves a `STATE-REQUEST`: answers with the committed entries in
     /// `from_seq ..= to_seq` (capped at `max_state_chunk`), each with
-    /// its commit certificate. An empty response tells the requester
-    /// this peer cannot help, so it can try another one immediately.
+    /// its commit certificate. A request reaching below the low-water
+    /// mark cannot be served verbatim (that history is pruned) and is
+    /// answered with a `SNAPSHOT-RESPONSE` instead: the stable
+    /// checkpoint certificate plus the delta entries above it, making
+    /// catch-up O(delta) rather than O(history). An empty response
+    /// tells the requester this peer cannot help, so it can try
+    /// another one immediately.
     fn on_state_request(
         &mut self,
         from: ReplicaId,
@@ -609,6 +942,45 @@ impl<P: Payload + Default> Replica<P> {
             return Vec::new();
         }
         let lo = from_seq.max(1);
+        if lo <= self.low_water_mark {
+            if let Some(cp) = self.stable_checkpoint.clone() {
+                let mut entries = Vec::new();
+                let delta_lo = cp.seq + 1;
+                if delta_lo <= to_seq {
+                    for (&seq, (payload, cert)) in self.committed_log.range(delta_lo..=to_seq) {
+                        if entries.len() >= self.max_state_chunk {
+                            break;
+                        }
+                        let mut cert = cert.clone();
+                        if self.behavior == Behavior::StateGarbage {
+                            cert.digest = self.corrupt(cert.digest);
+                        }
+                        entries.push(CommittedEntry {
+                            seq,
+                            payload: payload.clone(),
+                            cert,
+                        });
+                    }
+                }
+                let mut checkpoint = CommitCert {
+                    digest: cp.state_digest,
+                    voters: cp.voters,
+                };
+                if self.behavior == Behavior::StateGarbage {
+                    // The lying peer's attestation quorum is bogus;
+                    // structural verification must catch it.
+                    checkpoint.voters = vec![self.id];
+                }
+                return vec![Outbound::to(
+                    from,
+                    PbftMsg::SnapshotResponse {
+                        checkpoint_seq: cp.seq,
+                        checkpoint,
+                        entries,
+                    },
+                )];
+            }
+        }
         let mut entries = Vec::new();
         if lo <= to_seq {
             for (&seq, (payload, cert)) in self.committed_log.range(lo..=to_seq) {
@@ -664,6 +1036,7 @@ impl<P: Payload + Default> Replica<P> {
             self.ready.insert(seq, entry.payload.clone());
             self.committed_log.insert(seq, (entry.payload, entry.cert));
             self.next_seq = self.next_seq.max(seq + 1);
+            self.state_entries_applied += 1;
             curb_telemetry::record_span(
                 "catchup.apply",
                 t_verified,
@@ -1081,8 +1454,9 @@ mod tests {
         decide_at(&mut r, 1, &payload(b"first"));
         assert_eq!(r.committed_log_len(), 1);
         assert_eq!(r.take_decisions(), vec![(1, payload(b"first"))]);
-        // The log survives delivery (history is never pruned) and the
-        // recorded certificate verifies against the payload.
+        // The log survives delivery (pruning happens only below a
+        // stable checkpoint, and checkpointing is off by default) and
+        // the recorded certificate verifies against the payload.
         assert_eq!(r.committed_log_len(), 1);
         let out = r.on_message(
             3,
@@ -1365,5 +1739,280 @@ mod tests {
             (1, 2),
             "lowest seqs first"
         );
+    }
+
+    /// Drains `r`'s queued checkpoint attestations and echoes each one
+    /// back as matching votes from peers 2 and 3 (`r` is id 1 of 4, so
+    /// own vote + two peers reaches the `2f + 1 = 3` quorum).
+    fn stabilize_via_peers(r: &mut Replica<BytesPayload>) {
+        for ob in r.take_checkpoint_msgs() {
+            let PbftMsg::Checkpoint { seq, state_digest } = ob.msg else {
+                panic!("expected checkpoint broadcast");
+            };
+            for peer in [2, 3] {
+                r.on_message(peer, PbftMsg::Checkpoint { seq, state_digest });
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_stabilize_and_prune_the_log() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        r.set_checkpoint_interval(4);
+        for seq in 1..=10 {
+            decide_at(&mut r, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        assert_eq!(r.take_decisions().len(), 10);
+        stabilize_via_peers(&mut r);
+        // Checkpoints at 4 and 8 went stable; everything at or below 8
+        // is pruned, entries 9 and 10 remain.
+        assert_eq!(r.checkpoints_stable(), 2);
+        assert_eq!(r.low_water_mark(), 8);
+        assert_eq!(r.committed_log_len(), 2);
+        let cp = r.stable_checkpoint().expect("stable checkpoint").clone();
+        assert_eq!(cp.seq, 8);
+        assert!(cp.voters.len() >= 3);
+        // A request reaching below the low-water mark is answered with
+        // a snapshot: the attestation cert plus the delta above it.
+        let out = r.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 10,
+            },
+        );
+        match &out[0].msg {
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq,
+                checkpoint,
+                entries,
+            } => {
+                assert_eq!(*checkpoint_seq, 8);
+                assert_eq!(checkpoint.digest, cp.state_digest);
+                assert_eq!(checkpoint.verify_structure(4), Ok(()));
+                assert_eq!(
+                    entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+                    vec![9, 10]
+                );
+            }
+            other => panic!("expected snapshot response, got {other:?}"),
+        }
+        // Requests above the low-water mark still get verbatim history.
+        let out = r.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 9,
+                to_seq: 10,
+            },
+        );
+        assert!(matches!(&out[0].msg, PbftMsg::StateResponse { .. }));
+    }
+
+    #[test]
+    fn snapshot_install_skips_the_pruned_prefix() {
+        let mut donor = Replica::<BytesPayload>::new(1, 4);
+        donor.set_checkpoint_interval(4);
+        for seq in 1..=10 {
+            decide_at(&mut donor, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        donor.take_decisions();
+        stabilize_via_peers(&mut donor);
+        let out = donor.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 10,
+            },
+        );
+        let snapshot = out[0].msg.clone();
+        // A fresh replica installs the snapshot: the pruned prefix is
+        // skipped, only the delta is delivered, and the chained state
+        // digest converges with the donor's.
+        let mut r = Replica::<BytesPayload>::new(3, 4);
+        r.set_checkpoint_interval(4);
+        r.on_message(1, snapshot);
+        assert_eq!(r.snapshots_installed(), 1);
+        assert_eq!(r.state_entries_applied(), 2);
+        assert_eq!(r.low_water_mark(), 8);
+        assert_eq!(r.catch_up_gap(), None);
+        let delivered = r.take_decisions();
+        assert_eq!(
+            delivered.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![9, 10]
+        );
+        assert_eq!(r.next_deliver(), 11);
+        assert_eq!(r.state_digest(), donor.state_digest());
+    }
+
+    #[test]
+    fn snapshot_at_the_gossiped_low_water_mark_still_installs() {
+        // A freshly restarted replica can collect 2f + 1 of its peers'
+        // gossiped CHECKPOINT votes before its first snapshot response
+        // lands: the low-water mark advances while next_deliver is
+        // still 1. The donor's snapshot at exactly that mark must
+        // still INSTALL — the pruned prefix cannot be served verbatim
+        // by anyone, so routing the response to the entry-by-entry
+        // path would strand the replica in a catch-up loop forever.
+        let mut donor = Replica::<BytesPayload>::new(1, 4);
+        donor.set_checkpoint_interval(4);
+        for seq in 1..=10 {
+            decide_at(&mut donor, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        donor.take_decisions();
+        stabilize_via_peers(&mut donor);
+        let cp = donor.stable_checkpoint().expect("donor checkpoint").clone();
+
+        let mut r = Replica::<BytesPayload>::new(3, 4);
+        r.set_checkpoint_interval(4);
+        for peer in [0, 1, 2] {
+            r.on_message(
+                peer,
+                PbftMsg::Checkpoint {
+                    seq: cp.seq,
+                    state_digest: cp.state_digest,
+                },
+            );
+        }
+        assert_eq!(r.low_water_mark(), cp.seq, "gossip stabilized the mark");
+        assert_eq!(r.next_deliver(), 1, "nothing delivered yet");
+
+        let out = donor.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 10,
+            },
+        );
+        r.on_message(1, out[0].msg.clone());
+        assert_eq!(r.snapshots_installed(), 1, "snapshot must install");
+        assert_eq!(r.state_entries_applied(), 2);
+        assert_eq!(r.catch_up_gap(), None);
+        let delivered = r.take_decisions();
+        assert_eq!(
+            delivered.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![9, 10]
+        );
+        assert_eq!(r.next_deliver(), 11);
+        assert_eq!(r.state_digest(), donor.state_digest());
+    }
+
+    #[test]
+    fn snapshot_with_bogus_attestation_is_rejected() {
+        let mut liar = Replica::<BytesPayload>::new(1, 4);
+        liar.set_checkpoint_interval(4);
+        for seq in 1..=6 {
+            decide_at(&mut liar, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        liar.take_decisions();
+        stabilize_via_peers(&mut liar);
+        liar.set_behavior(Behavior::StateGarbage);
+        let out = liar.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 6,
+            },
+        );
+        let snapshot = out[0].msg.clone();
+        let mut r = Replica::<BytesPayload>::new(3, 4);
+        r.set_checkpoint_interval(4);
+        r.on_message(1, snapshot);
+        assert!(r.state_rejections() >= 1, "bogus snapshot counted");
+        assert_eq!(r.snapshots_installed(), 0);
+        assert_eq!(r.next_deliver(), 1, "nothing installed");
+    }
+
+    #[test]
+    fn snapshot_with_corrupt_delta_is_rejected_atomically() {
+        let mut donor = Replica::<BytesPayload>::new(1, 4);
+        donor.set_checkpoint_interval(4);
+        for seq in 1..=6 {
+            decide_at(&mut donor, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        donor.take_decisions();
+        stabilize_via_peers(&mut donor);
+        let out = donor.on_message(
+            3,
+            PbftMsg::StateRequest {
+                from_seq: 1,
+                to_seq: 6,
+            },
+        );
+        let PbftMsg::SnapshotResponse {
+            checkpoint_seq,
+            checkpoint,
+            mut entries,
+        } = out[0].msg.clone()
+        else {
+            panic!("expected snapshot response");
+        };
+        // Corrupt the *last* delta certificate: unlike the streaming
+        // state-response path, a snapshot must install all-or-nothing.
+        entries.last_mut().unwrap().cert.digest.0[0] ^= 0xFF;
+        let mut r = Replica::<BytesPayload>::new(3, 4);
+        r.set_checkpoint_interval(4);
+        r.on_message(
+            1,
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq,
+                checkpoint,
+                entries,
+            },
+        );
+        assert_eq!(r.state_rejections(), 1);
+        assert_eq!(r.snapshots_installed(), 0);
+        assert_eq!(r.committed_log_len(), 0, "no partial install");
+        assert_eq!(r.next_deliver(), 1);
+    }
+
+    #[test]
+    fn checkpointing_disabled_replicas_stay_inert() {
+        // With the default interval of 0 a replica ignores inbound
+        // attestations entirely: nothing is voted, nothing is pruned.
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        for seq in 1..=4 {
+            decide_at(&mut r, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        r.take_decisions();
+        assert!(r.take_checkpoint_msgs().is_empty());
+        let d = Digest::ZERO;
+        for peer in [0, 2, 3] {
+            r.on_message(
+                peer,
+                PbftMsg::Checkpoint {
+                    seq: 4,
+                    state_digest: d,
+                },
+            );
+        }
+        assert_eq!(r.low_water_mark(), 0);
+        assert_eq!(r.committed_log_len(), 4, "nothing pruned");
+        assert_eq!(r.checkpoints_stable(), 0);
+    }
+
+    #[test]
+    fn stale_checkpoint_votes_below_the_mark_are_ignored() {
+        let mut r = Replica::<BytesPayload>::new(1, 4);
+        r.set_checkpoint_interval(4);
+        for seq in 1..=8 {
+            decide_at(&mut r, seq, &payload(format!("p{seq}").as_bytes()));
+        }
+        r.take_decisions();
+        stabilize_via_peers(&mut r);
+        assert_eq!(r.low_water_mark(), 8);
+        let stable_before = r.checkpoints_stable();
+        // A late quorum for the already-covered seq 4 must not regress
+        // the low-water mark or count as a new stable checkpoint.
+        for peer in [0, 2, 3] {
+            r.on_message(
+                peer,
+                PbftMsg::Checkpoint {
+                    seq: 4,
+                    state_digest: Digest::ZERO,
+                },
+            );
+        }
+        assert_eq!(r.low_water_mark(), 8);
+        assert_eq!(r.checkpoints_stable(), stable_before);
     }
 }

@@ -17,6 +17,9 @@
 //! tag 4     := NEW-VIEW     view:u64     count:u32 (seq:u64 payload)*
 //! tag 5     := STATE-REQUEST  from_seq:u64 to_seq:u64
 //! tag 6     := STATE-RESPONSE count:u32 (seq:u64 payload cert)*
+//! tag 7     := CHECKPOINT     seq:u64 state_digest:[u8;32]
+//! tag 8     := SNAPSHOT-RESPONSE checkpoint_seq:u64 cert
+//!              count:u32 (seq:u64 payload cert)*
 //! cert      := digest:[u8;32] count:u32 (voter:u64)*
 //! payload   := u32 len | PayloadCodec bytes
 //! ```
@@ -80,6 +83,8 @@ const TAG_VIEW_CHANGE: u8 = 3;
 const TAG_NEW_VIEW: u8 = 4;
 const TAG_STATE_REQUEST: u8 = 5;
 const TAG_STATE_RESPONSE: u8 = 6;
+const TAG_CHECKPOINT: u8 = 7;
+const TAG_SNAPSHOT_RESPONSE: u8 = 8;
 
 /// Cap on the `(seq, payload)` list length in view-change messages;
 /// prevents a hostile length prefix from pre-allocating gigabytes.
@@ -234,6 +239,21 @@ pub fn encode_msg_into<P: PayloadCodec>(msg: &PbftMsg<P>, out: &mut Vec<u8>) {
             out.push(TAG_STATE_RESPONSE);
             put_entries(out, entries);
         }
+        PbftMsg::Checkpoint { seq, state_digest } => {
+            out.push(TAG_CHECKPOINT);
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(&state_digest.0);
+        }
+        PbftMsg::SnapshotResponse {
+            checkpoint_seq,
+            checkpoint,
+            entries,
+        } => {
+            out.push(TAG_SNAPSHOT_RESPONSE);
+            out.extend_from_slice(&checkpoint_seq.to_be_bytes());
+            put_cert(out, checkpoint);
+            put_entries(out, entries);
+        }
     }
 }
 
@@ -288,6 +308,21 @@ pub fn decode_msg<P: PayloadCodec>(body: &[u8]) -> Result<PbftMsg<P>, WireError>
         TAG_STATE_RESPONSE => {
             let entries = get_entries(&mut r)?;
             PbftMsg::StateResponse { entries }
+        }
+        TAG_CHECKPOINT => {
+            let seq = r.u64()?;
+            let state_digest = r.digest()?;
+            PbftMsg::Checkpoint { seq, state_digest }
+        }
+        TAG_SNAPSHOT_RESPONSE => {
+            let checkpoint_seq = r.u64()?;
+            let checkpoint = get_cert(&mut r)?;
+            let entries = get_entries(&mut r)?;
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq,
+                checkpoint,
+                entries,
+            }
         }
         _ => return Err(WireError::Corrupt("message tag")),
     };
@@ -986,6 +1021,33 @@ mod tests {
                     },
                 ],
             },
+            PbftMsg::Checkpoint {
+                seq: 64,
+                state_digest: Digest([0xC4; 32]),
+            },
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq: 128,
+                checkpoint: CommitCert {
+                    digest: Digest([0x11; 32]),
+                    voters: vec![0, 2, 3],
+                },
+                entries: vec![],
+            },
+            PbftMsg::SnapshotResponse {
+                checkpoint_seq: u64::MAX - 1,
+                checkpoint: CommitCert {
+                    digest: Digest([0x22; 32]),
+                    voters: vec![1, 2, 3, 4],
+                },
+                entries: vec![CommittedEntry {
+                    seq: u64::MAX,
+                    payload: p(b"delta"),
+                    cert: CommitCert {
+                        digest: p(b"delta").digest(),
+                        voters: vec![0, 1, 2],
+                    },
+                }],
+            },
         ]
     }
 
@@ -1026,7 +1088,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        for tag in 7u8..=255 {
+        for tag in 9u8..=255 {
             assert_eq!(
                 decode_msg::<BytesPayload>(&[tag]),
                 Err(WireError::Corrupt("message tag"))
@@ -1076,6 +1138,30 @@ mod tests {
         assert_eq!(
             decode_msg::<BytesPayload>(&body),
             Err(WireError::Corrupt("cert voter count"))
+        );
+    }
+
+    #[test]
+    fn hostile_snapshot_counts_rejected_without_allocation() {
+        // SNAPSHOT-RESPONSE whose checkpoint certificate claims 2^32-1
+        // voters in a tiny body.
+        let mut body = vec![TAG_SNAPSHOT_RESPONSE];
+        body.extend_from_slice(&64u64.to_be_bytes()); // checkpoint_seq
+        body.extend_from_slice(&[0u8; 32]); // cert digest
+        body.extend_from_slice(&u32::MAX.to_be_bytes()); // voter count
+        assert_eq!(
+            decode_msg::<BytesPayload>(&body),
+            Err(WireError::Corrupt("cert voter count"))
+        );
+        // A sound checkpoint cert followed by a hostile delta count.
+        let mut body = vec![TAG_SNAPSHOT_RESPONSE];
+        body.extend_from_slice(&64u64.to_be_bytes());
+        body.extend_from_slice(&[0u8; 32]);
+        body.extend_from_slice(&0u32.to_be_bytes()); // no voters
+        body.extend_from_slice(&(MAX_STATE_ENTRIES + 1).to_be_bytes());
+        assert_eq!(
+            decode_msg::<BytesPayload>(&body),
+            Err(WireError::Corrupt("state-entry count"))
         );
     }
 

@@ -44,6 +44,15 @@
 //! the runner retries the next peer. Chunking means one request may
 //! close only part of the gap; the loop simply re-requests the rest
 //! until delivery resumes.
+//!
+//! With checkpointing enabled ([`RunnerConfig::checkpoint_interval`])
+//! a donor whose history below the requested range has been garbage
+//! collected answers with a [`PbftMsg::SnapshotResponse`] instead: the
+//! stable checkpoint certificate plus only the delta above it. The
+//! replica verifies and installs it atomically, making catch-up
+//! O(delta) instead of O(history); the runner records a
+//! `snapshot_install` flight event and counts it in
+//! [`RunnerStats::snapshots_installed`].
 
 use crate::transport::{NetEvent, Transport};
 use curb_consensus::{Batch, Dest, Outbound, Payload, PbftMsg, Replica, Seq, DEFAULT_STATE_CHUNK};
@@ -93,6 +102,13 @@ pub struct RunnerConfig {
     /// [`PbftMsg::StateResponse`] when *serving* a peer's catch-up
     /// (forwarded to [`Replica::set_max_state_chunk`] at spawn).
     pub max_state_chunk: usize,
+    /// Broadcast a checkpoint attestation every this many deliveries
+    /// (forwarded to [`Replica::set_checkpoint_interval`] at spawn).
+    /// `0` — the default — disables checkpointing entirely: nothing is
+    /// pruned and catch-up always replays verbatim history. With a
+    /// nonzero interval the committed log stays O(interval) and
+    /// laggards below the low-water mark are served snapshots.
+    pub checkpoint_interval: u64,
     /// When set, the runner thread labels itself with this node name
     /// ([`curb_telemetry::set_thread_node`]) so the consensus spans it
     /// records carry the owning node's label in merged multi-node
@@ -111,6 +127,7 @@ impl Default for RunnerConfig {
             max_events_per_tick: 1024,
             catch_up_timeout: Duration::from_millis(500),
             max_state_chunk: DEFAULT_STATE_CHUNK,
+            checkpoint_interval: 0,
             node_label: None,
         }
     }
@@ -149,6 +166,15 @@ pub struct RunnerStats {
     /// State-transfer entries the replica rejected because their
     /// commit certificates failed verification.
     pub state_rejections: u64,
+    /// Checkpoints that became stable (gathered their `2f + 1`
+    /// attestation quorum) on this replica.
+    pub checkpoints_stable: u64,
+    /// Snapshots this replica installed instead of replaying verbatim
+    /// history.
+    pub snapshots_installed: u64,
+    /// State-transfer and snapshot-delta entries applied after their
+    /// certificates verified — the wire cost of catch-up.
+    pub state_entries_applied: u64,
 }
 
 /// Typed [`Registry`] handles for the runner's counters.
@@ -165,6 +191,14 @@ struct RunnerMetrics {
     state_requests: Counter,
     state_retries: Counter,
     state_rejections: Counter,
+    checkpoints_stable: Counter,
+    snapshots_installed: Counter,
+    state_entries_applied: Counter,
+    /// Live size of the replica's committed log — the gauge proving
+    /// checkpoint GC keeps memory bounded under sustained load.
+    committed_log_len: curb_telemetry::Gauge,
+    /// The replica's stable-checkpoint low-water mark.
+    low_water_mark: curb_telemetry::Gauge,
 }
 
 impl RunnerMetrics {
@@ -180,6 +214,11 @@ impl RunnerMetrics {
             state_requests: registry.counter("runner.state_requests"),
             state_retries: registry.counter("runner.state_retries"),
             state_rejections: registry.counter("runner.state_rejections"),
+            checkpoints_stable: registry.counter("runner.checkpoints_stable"),
+            snapshots_installed: registry.counter("runner.snapshots_installed"),
+            state_entries_applied: registry.counter("runner.state_entries_applied"),
+            committed_log_len: registry.gauge("runner.committed_log_len"),
+            low_water_mark: registry.gauge("runner.low_water_mark"),
         }
     }
 
@@ -195,6 +234,9 @@ impl RunnerMetrics {
             state_requests: self.state_requests.get(),
             state_retries: self.state_retries.get(),
             state_rejections: self.state_rejections.get(),
+            checkpoints_stable: self.checkpoints_stable.get(),
+            snapshots_installed: self.snapshots_installed.get(),
+            state_entries_applied: self.state_entries_applied.get(),
         }
     }
 }
@@ -283,6 +325,11 @@ pub struct NetRunner<P: Payload, T> {
     /// Replica rejection total already published to the registry; the
     /// delta is published the moment new rejections are counted.
     rejections_seen: u64,
+    /// Replica checkpoint/snapshot totals already published, so only
+    /// deltas hit the registry (and each one emits a flight event).
+    checkpoints_seen: u64,
+    snapshots_seen: u64,
+    entries_applied_seen: u64,
     last_progress: Instant,
     /// The in-flight catch-up request, if any.
     catch_up: Option<CatchUp>,
@@ -322,6 +369,7 @@ where
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
         replica.set_max_state_chunk(cfg.max_state_chunk);
+        replica.set_checkpoint_interval(cfg.checkpoint_interval);
         let (commands_tx, commands_rx) = channel();
         let (decisions_tx, decisions_rx) = channel();
         let name = format!("curb-net-runner-{}", replica.id());
@@ -335,6 +383,9 @@ where
             pending_since: None,
             metrics: metrics.clone(),
             rejections_seen: 0,
+            checkpoints_seen: 0,
+            snapshots_seen: 0,
+            entries_applied_seen: 0,
             last_progress: Instant::now(),
             catch_up: None,
             next_target,
@@ -404,9 +455,16 @@ where
             if !self.publish_decisions(&decisions, &mut progressed) {
                 return self.finish();
             }
-            // 5. Close any committed-prefix hole via state transfer.
+            // 5. Broadcast checkpoint attestations queued by delivery
+            // and publish checkpoint/snapshot metric deltas.
+            let checkpoints = self.replica.take_checkpoint_msgs();
+            if !checkpoints.is_empty() {
+                self.dispatch(checkpoints);
+            }
+            self.sync_checkpoints();
+            // 6. Close any committed-prefix hole via state transfer.
             self.drive_catch_up();
-            // 6. Leader-failure recovery: demand a view change when
+            // 7. Leader-failure recovery: demand a view change when
             // work is pending but nothing commits.
             if let Some(timeout) = self.cfg.view_change_timeout {
                 let starving = !self.pending.is_empty() && !self.replica.is_leader();
@@ -425,7 +483,7 @@ where
                     self.dispatch(out);
                 }
             }
-            // 7. Only block when truly idle, and never past the point
+            // 8. Only block when truly idle, and never past the point
             // where a held-back partial batch becomes due.
             if !progressed {
                 if let Some(NetEvent::Inbound { from, msg }) =
@@ -445,7 +503,13 @@ where
     /// waiting out the timeout.
     fn handle_inbound(&mut self, from: usize, msg: PbftMsg<Batch<P>>) {
         self.metrics.inbound.inc();
-        let is_state_response = matches!(msg, PbftMsg::StateResponse { .. });
+        // A snapshot response resolves a catch-up request exactly like
+        // a verbatim state response: judge the serving peer on whether
+        // the gap moved.
+        let is_state_response = matches!(
+            msg,
+            PbftMsg::StateResponse { .. } | PbftMsg::SnapshotResponse { .. }
+        );
         let awaited = is_state_response && self.catch_up.as_ref().is_some_and(|c| c.target == from);
         let out = self.replica.on_message(from, msg);
         self.dispatch(out);
@@ -498,6 +562,59 @@ where
                 .state_rejections
                 .add(total - self.rejections_seen);
             self.rejections_seen = total;
+        }
+    }
+
+    /// Publishes checkpoint/snapshot counter deltas and the log-size
+    /// gauges, and records one flight event per newly stable
+    /// checkpoint batch and per snapshot install.
+    fn sync_checkpoints(&mut self) {
+        self.metrics
+            .committed_log_len
+            .set(self.replica.committed_log_len() as i64);
+        let stable = self.replica.checkpoints_stable();
+        if stable > self.checkpoints_seen {
+            self.metrics
+                .checkpoints_stable
+                .add(stable - self.checkpoints_seen);
+            self.checkpoints_seen = stable;
+            self.metrics
+                .low_water_mark
+                .set(self.replica.low_water_mark() as i64);
+            curb_telemetry::record_event(
+                curb_telemetry::EventKind::CheckpointStable,
+                format!(
+                    "replica {} low-water mark {} log_len {}",
+                    self.replica.id(),
+                    self.replica.low_water_mark(),
+                    self.replica.committed_log_len()
+                ),
+            );
+        }
+        let snapshots = self.replica.snapshots_installed();
+        if snapshots > self.snapshots_seen {
+            self.metrics
+                .snapshots_installed
+                .add(snapshots - self.snapshots_seen);
+            self.snapshots_seen = snapshots;
+            self.metrics
+                .low_water_mark
+                .set(self.replica.low_water_mark() as i64);
+            curb_telemetry::record_event(
+                curb_telemetry::EventKind::SnapshotInstall,
+                format!(
+                    "replica {} installed snapshot at seq {}",
+                    self.replica.id(),
+                    self.replica.low_water_mark()
+                ),
+            );
+        }
+        let applied = self.replica.state_entries_applied();
+        if applied > self.entries_applied_seen {
+            self.metrics
+                .state_entries_applied
+                .add(applied - self.entries_applied_seen);
+            self.entries_applied_seen = applied;
         }
     }
 
@@ -575,6 +692,7 @@ where
     fn finish(mut self) -> RunnerStats {
         self.transport.shutdown();
         self.sync_rejections();
+        self.sync_checkpoints();
         // This thread recorded consensus spans; push its tail of
         // buffered spans to the global sink before the thread exits.
         curb_telemetry::flush_thread();
@@ -761,6 +879,55 @@ mod tests {
         for h in handles {
             let end = h.join();
             assert_eq!(end.decided, 1);
+        }
+    }
+
+    #[test]
+    fn checkpointing_bounds_the_committed_log_under_load() {
+        const INTERVAL: u64 = 4;
+        const PROPOSALS: usize = 64;
+        let cfg = RunnerConfig {
+            max_batch: 1,
+            checkpoint_interval: INTERVAL,
+            ..RunnerConfig::default()
+        };
+        let handles = spawn_cluster(4, cfg);
+        for i in 0..PROPOSALS {
+            assert!(handles[0].propose(BytesPayload(vec![i as u8])));
+        }
+        for h in &handles {
+            for _ in 0..PROPOSALS {
+                h.decisions
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("delivery");
+            }
+        }
+        // Give the final attestation round time to stabilize, then
+        // assert GC kept the log bounded by the checkpoint interval —
+        // not the 64-entry history.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let log_len = handles[0]
+                .registry()
+                .gauge("runner.committed_log_len")
+                .get();
+            let lwm = handles[0].registry().gauge("runner.low_water_mark").get();
+            if (log_len as u64) <= 2 * INTERVAL && lwm > 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "log never shrank: len {log_len}, low-water mark {lwm}"
+            );
+            thread::sleep(Duration::from_millis(20));
+        }
+        for h in handles {
+            let stats = h.join();
+            assert!(
+                stats.checkpoints_stable >= PROPOSALS as u64 / INTERVAL - 1,
+                "checkpoints stabilized steadily, got {}",
+                stats.checkpoints_stable
+            );
         }
     }
 

@@ -56,6 +56,12 @@ pub enum EventKind {
     CatchupRetry,
     /// A scripted or observed link fault.
     LinkFault,
+    /// A consensus checkpoint gathered its `2f + 1` attestation quorum
+    /// and advanced the low-water mark.
+    CheckpointStable,
+    /// A lagging replica installed a snapshot (stable checkpoint +
+    /// delta) instead of replaying full history.
+    SnapshotInstall,
 }
 
 impl EventKind {
@@ -69,6 +75,8 @@ impl EventKind {
             EventKind::Backpressure => "backpressure_drop",
             EventKind::CatchupRetry => "catchup_retry",
             EventKind::LinkFault => "link_fault",
+            EventKind::CheckpointStable => "checkpoint_stable",
+            EventKind::SnapshotInstall => "snapshot_install",
         }
     }
 
@@ -82,6 +90,8 @@ impl EventKind {
             "backpressure_drop" => EventKind::Backpressure,
             "catchup_retry" => EventKind::CatchupRetry,
             "link_fault" => EventKind::LinkFault,
+            "checkpoint_stable" => EventKind::CheckpointStable,
+            "snapshot_install" => EventKind::SnapshotInstall,
             _ => return None,
         })
     }
@@ -514,6 +524,20 @@ mod tests {
             node: Some(Arc::from("agent0")),
             detail: format!("at {ts}"),
             ctx: TraceCtx::NONE,
+        }
+    }
+
+    #[test]
+    fn checkpoint_kinds_roundtrip_and_are_not_anomalies() {
+        // Checkpoint stability and snapshot installs are normal
+        // operation — they must ride the rings as context without
+        // burning an anomaly-dump slot.
+        for kind in [EventKind::CheckpointStable, EventKind::SnapshotInstall] {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+            assert!(!kind.is_anomaly());
+            let mut line = String::new();
+            event(kind, 99).render_line(&mut line);
+            assert_eq!(EventRecord::parse_line(&line).map(|e| e.kind), Some(kind));
         }
     }
 

@@ -7,8 +7,11 @@
 //! into identical per-payload `(seq, index)` logs on every replica,
 //! and a cluster whose view-0 leader never starts must still commit
 //! via the timeout-driven view change. Fault-injection tests cover
-//! catch-up racing continuous batched load and a lying state server
-//! whose bad certificates must be rejected.
+//! catch-up racing continuous batched load, a lying state server
+//! whose bad certificates must be rejected, and checkpointed recovery
+//! where the restarted replica's gap starts below every donor's
+//! low-water mark — healed by a snapshot install plus delta replay,
+//! never by re-delivering the pruned prefix.
 //!
 //! Every socket-level scenario runs under **both** TCP transports —
 //! the thread-per-peer `TcpTransport` and the epoll `ReactorTransport`
@@ -612,6 +615,121 @@ fn lying_state_peer_body(kind: TransportKind) {
     assert!(
         stats.state_retries >= 1,
         "catch-up must have moved on to another peer"
+    );
+    for h in handles.into_iter().flatten() {
+        h.join();
+    }
+}
+
+#[test]
+fn snapshot_catch_up_below_the_low_water_mark() {
+    with_deadline(Duration::from_secs(180), || {
+        snapshot_catch_up_body(TransportKind::Threaded)
+    });
+}
+
+#[test]
+fn snapshot_catch_up_below_the_low_water_mark_reactor() {
+    with_deadline(Duration::from_secs(180), || {
+        snapshot_catch_up_body(TransportKind::Reactor)
+    });
+}
+
+/// Fault injection for checkpointed recovery: with a small checkpoint
+/// interval, the donors garbage-collect their committed logs while
+/// replica 3 is down, so the restarted replica's gap starts BELOW
+/// every donor's low-water mark and the per-entry state transfer
+/// cannot serve it. Recovery must instead install the donor's stable
+/// checkpoint (the snapshot path) and replay only the delta above it —
+/// which also means the rejoined replica does NOT re-deliver the
+/// pruned prefix. The killed replica 2 makes the rejoined replica
+/// load-bearing: further commits need it in the quorum.
+fn snapshot_catch_up_body(kind: TransportKind) {
+    const N: usize = 4;
+    const INTERVAL: u64 = 4;
+    let cfg = RunnerConfig {
+        checkpoint_interval: INTERVAL,
+        catch_up_timeout: Duration::from_millis(200),
+        ..RunnerConfig::default()
+    };
+    let (listeners, addrs) = bind_listeners(N);
+    let mut handles: Vec<Option<RunnerHandle<BytesPayload>>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, l)| Some(spawn_net_replica(kind, id, l, &addrs, cfg.clone())))
+        .collect();
+
+    let expect_commit =
+        |handles: &[Option<RunnerHandle<BytesPayload>>], live: &[usize], seq: Seq, i: usize| {
+            let leader = handles[0].as_ref().expect("leader alive");
+            assert!(leader.propose(payload(i)));
+            for &r in live {
+                let h = handles[r].as_ref().expect("live replica");
+                let d = h
+                    .decisions
+                    .recv_timeout(Duration::from_secs(30))
+                    .unwrap_or_else(|_| panic!("replica {r} missing seq {seq}"));
+                assert_eq!((d.seq, d.index), (seq, 0), "replica {r}");
+                assert_eq!(d.payload, payload(i), "replica {r}");
+            }
+        };
+
+    // Phase 1 — a short shared prefix, then replica 3 goes down.
+    for i in 0..3 {
+        expect_commit(&handles, &[0, 1, 2, 3], (i + 1) as Seq, i);
+    }
+    handles[3].take().expect("replica 3").join();
+
+    // Phase 2 — commit far past several checkpoint intervals. The
+    // donors' low-water marks advance to at least seq 24 (interval 4,
+    // 27 commits), well above replica 3's gap start at seq 4: the
+    // entries it needs first no longer exist in any donor's log.
+    for i in 3..27 {
+        expect_commit(&handles, &[0, 1, 2], (i + 1) as Seq, i);
+    }
+
+    // Phase 3 — restart replica 3 fresh, then kill replica 2 so
+    // commits REQUIRE the rejoined replica in the quorum.
+    let listener = TcpListener::bind(addrs[3]).expect("rebind replica 3's port");
+    handles[3] = Some(spawn_net_replica(kind, 3, listener, &addrs, cfg.clone()));
+    handles[2].take().expect("replica 2").join();
+    for i in 27..32 {
+        expect_commit(&handles, &[0, 1], (i + 1) as Seq, i);
+    }
+
+    // The rejoined replica converges on the suffix: everything it
+    // delivers is in global order and it reaches the live frontier
+    // (seq 32). It must NOT be required to re-deliver the pruned
+    // prefix — the stable checkpoint replaced those entries — so the
+    // assertion is on suffix convergence, not on full redelivery.
+    let h3 = handles[3].as_ref().expect("restarted replica");
+    let mut last_seq: Seq = 0;
+    loop {
+        let d = h3
+            .decisions
+            .recv_timeout(Duration::from_secs(30))
+            .expect("rejoined replica stalled before reaching the frontier");
+        assert!(d.seq > last_seq, "rejoined replica replayed out of order");
+        last_seq = d.seq;
+        assert_eq!(d.payload, payload(d.seq as usize - 1), "rejoined replica");
+        if d.seq == 32 {
+            break;
+        }
+    }
+
+    let stats = handles[3].take().expect("restarted replica").join();
+    assert!(
+        stats.state_requests >= 1,
+        "recovery must use state transfer"
+    );
+    assert!(
+        stats.snapshots_installed >= 1,
+        "a gap below the donors' low-water mark must be healed by a \
+         snapshot install, not per-entry transfer"
+    );
+    assert!(
+        stats.delivered < 32,
+        "the checkpointed prefix must not be re-delivered entry by entry"
     );
     for h in handles.into_iter().flatten() {
         h.join();
